@@ -1,0 +1,58 @@
+// Micro ablation — read-buffer replacement strategies (§3.6.2): the paper
+// makes the replacement policy pluggable with LRU as the default; this
+// bench compares LRU vs FIFO hit rates under zipfian and scan-heavy traces.
+
+#include "bench/common.h"
+#include "src/tablet/read_buffer.h"
+
+using namespace logbase;
+using namespace logbase::bench;
+
+namespace {
+
+double RunTrace(std::unique_ptr<tablet::ReplacementPolicy> policy,
+                bool scan_heavy) {
+  const uint64_t kKeys = 10000;
+  const size_t kCapacity = 2 << 20;  // holds ~2K of 10K records
+  tablet::ReadBuffer buffer(kCapacity, std::move(policy));
+  ZipfianGenerator zipf(kKeys, 0.99);
+  Random rnd(17);
+  uint64_t scan_cursor = 0;
+  const std::string value(1024, 'v');
+  for (int i = 0; i < 60000; i++) {
+    std::string key;
+    if (scan_heavy && i % 4 == 0) {
+      // Periodic sequential sweeps pollute the buffer.
+      key = "key" + std::to_string(scan_cursor++ % kKeys);
+    } else {
+      key = "key" + std::to_string(zipf.Next(&rnd));
+    }
+    tablet::CachedRecord rec;
+    if (!buffer.Get(key, &rec)) {
+      buffer.Put(key, tablet::CachedRecord{1, value});
+    }
+  }
+  return static_cast<double>(buffer.hits()) /
+         static_cast<double>(buffer.hits() + buffer.misses());
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Micro: read buffer",
+              "Replacement strategy hit rates (§3.6.2 pluggable policy)");
+  std::printf("%-10s %18s %20s\n", "policy", "zipfian hit-rate",
+              "zipfian+scan hit-rate");
+  std::printf("%-10s %17.1f%% %19.1f%%\n", "lru",
+              RunTrace(tablet::MakeLruPolicy(), false) * 100,
+              RunTrace(tablet::MakeLruPolicy(), true) * 100);
+  std::printf("%-10s %17.1f%% %19.1f%%\n", "fifo",
+              RunTrace(tablet::MakeFifoPolicy(), false) * 100,
+              RunTrace(tablet::MakeFifoPolicy(), true) * 100);
+  PrintPaperClaim(
+      "the read buffer's replacement strategy is an abstracted interface "
+      "(LRU by default) so applications can plug in policies fitting their "
+      "access patterns (§3.6.2); LRU keeps the zipfian hot set resident "
+      "better than FIFO.");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Micro ablation — single log per server vs one log per column group
+// (§3.4 design choice): the multi-log layout costs extra disk seeks on the
+// write path (interleaved appends to several files) but recovers one column
+// group without scanning the others' data. LogBase picks the single log for
+// sustained write throughput.
+
+#include "bench/common.h"
+#include "src/log/log_reader.h"
+#include "src/log/log_writer.h"
+
+using namespace logbase;
+using namespace logbase::bench;
+
+namespace {
+
+log::LogRecord MakeRecord(uint32_t group, uint64_t i) {
+  log::LogRecord record;
+  record.type = log::LogRecordType::kData;
+  record.key.table_id = 1;
+  record.key.tablet_id = group << 20;
+  record.row.primary_key = "key" + std::to_string(i);
+  record.row.column_group = group;
+  record.row.timestamp = i + 1;
+  record.value = std::string(1024, 'v');
+  return record;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Micro: log layout",
+              "One log per server vs one log per column group (§3.4)");
+  const int kGroups = 4;
+  const uint64_t kRecords = 40000;  // spread over the groups
+
+  // --- Single shared log ---------------------------------------------------
+  double single_write_s, single_recover_s;
+  {
+    dfs::DfsOptions dfs_options;
+    dfs_options.num_nodes = 3;
+    dfs::Dfs dfs(dfs_options);
+    dfs::DfsFileSystem fs(&dfs, 0);
+    log::LogWriter writer(&fs, "/log", 0);
+    if (!writer.Open().ok()) return 1;
+    single_write_s = TimedRun([&] {
+      for (uint64_t i = 0; i < kRecords; i++) {
+        if (!writer.Append(MakeRecord(i % kGroups, i)).ok()) std::abort();
+      }
+    });
+    // Recovering ONE column group scans the whole shared log.
+    ResetCosts(&dfs);
+    log::LogReader reader(&fs, "/log");
+    single_recover_s = TimedRun([&] {
+      auto scanner = reader.NewScanner();
+      uint64_t mine = 0;
+      for (; (*scanner)->Valid(); (*scanner)->Next()) {
+        if ((*scanner)->record().row.column_group == 0) mine++;
+      }
+      if (mine != kRecords / kGroups) std::abort();
+    });
+  }
+
+  // --- One log per column group ---------------------------------------------
+  double multi_write_s, multi_recover_s;
+  {
+    dfs::DfsOptions dfs_options;
+    dfs_options.num_nodes = 3;
+    dfs::Dfs dfs(dfs_options);
+    dfs::DfsFileSystem fs(&dfs, 0);
+    std::vector<std::unique_ptr<log::LogWriter>> writers;
+    for (int g = 0; g < kGroups; g++) {
+      writers.push_back(std::make_unique<log::LogWriter>(
+          &fs, "/log-cg" + std::to_string(g), g));
+      if (!writers.back()->Open().ok()) return 1;
+    }
+    multi_write_s = TimedRun([&] {
+      for (uint64_t i = 0; i < kRecords; i++) {
+        uint32_t g = i % kGroups;
+        if (!writers[g]->Append(MakeRecord(g, i)).ok()) std::abort();
+      }
+    });
+    // Recovering one column group scans only its own log.
+    ResetCosts(&dfs);
+    log::LogReader reader(&fs, "/log-cg0", 0);
+    multi_recover_s = TimedRun([&] {
+      auto scanner = reader.NewScanner();
+      uint64_t mine = 0;
+      for (; (*scanner)->Valid(); (*scanner)->Next()) mine++;
+      if (mine != kRecords / kGroups) std::abort();
+    });
+  }
+
+  std::printf("%-24s %14s %20s\n", "layout", "write(s)",
+              "recover 1 group(s)");
+  std::printf("%-24s %14.2f %20.3f\n", "single log (LogBase)",
+              single_write_s, single_recover_s);
+  std::printf("%-24s %14.2f %20.3f\n", "log per column group",
+              multi_write_s, multi_recover_s);
+  PrintPaperClaim(
+      "a per-column-group log speeds up recovery of one group (no need to "
+      "scan unrelated data) but costs more connections/seeks on the write "
+      "path; LogBase chooses the single log per server for sustained write "
+      "throughput and regains locality via compaction (§3.4).");
+  return 0;
+}

@@ -1,0 +1,273 @@
+// Shared benchmark harness: fixtures matching the paper's setups (§4.1) and
+// uniform result printing. Macro benchmarks measure *virtual* time on the
+// simulated cluster (disk seek/bandwidth + 1 GbE network + 3-way replicated
+// DFS), so absolute numbers differ from the paper's 2012 testbed; every
+// binary prints the paper's qualitative result next to the measured one.
+//
+// Scale: figures quoting 1M x 1KB tuples per node run here at
+// LOGBASE_BENCH_SCALE (default 0.1 => 100K tuples) to keep in-process memory
+// and wall time reasonable; set the env var to 1.0 to run paper-scale.
+
+#ifndef LOGBASE_BENCH_COMMON_H_
+#define LOGBASE_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/hbase/hbase_server.h"
+#include "src/baselines/lrs/lrs_server.h"
+#include "src/cluster/mini_cluster.h"
+#include "src/core/kv_engine.h"
+#include "src/sim/sim_context.h"
+#include "src/workload/driver.h"
+#include "src/workload/ycsb.h"
+
+namespace logbase::bench {
+
+inline double Scale() {
+  const char* env = std::getenv("LOGBASE_BENCH_SCALE");
+  double scale = env != nullptr ? std::atof(env) : 0.1;
+  return scale > 0 ? scale : 0.1;
+}
+
+inline uint64_t Scaled(uint64_t paper_value) {
+  uint64_t v = static_cast<uint64_t>(static_cast<double>(paper_value) *
+                                     Scale());
+  return v > 0 ? v : 1;
+}
+
+/// Buffer/threshold sizes (memtables, LSM buffers) scale with the data so
+/// flush/compaction *frequency* matches the paper's 1M x 1KB runs.
+inline uint64_t ScaledBytes(uint64_t paper_bytes) {
+  uint64_t v = static_cast<uint64_t>(static_cast<double>(paper_bytes) *
+                                     Scale());
+  return std::max<uint64_t>(v, 64 << 10);
+}
+
+inline void PrintHeader(const char* figure, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, title);
+  std::printf("scale factor %.3g (LOGBASE_BENCH_SCALE; paper counts scaled "
+              "accordingly), virtual-time simulation\n",
+              Scale());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintPaperClaim(const char* claim) {
+  std::printf("--------------------------------------------------------------\n");
+  std::printf("paper: %s\n", claim);
+  std::printf("--------------------------------------------------------------\n");
+}
+
+/// Runs `fn` as one simulated actor and returns the virtual seconds it took.
+template <typename Fn>
+double TimedRun(Fn&& fn) {
+  sim::SimContext ctx;
+  {
+    sim::SimContext::Scope scope(&ctx);
+    fn();
+  }
+  return static_cast<double>(ctx.now()) / 1e6;
+}
+
+/// Clears FCFS queue state between benchmark phases (the system is idle at
+/// a phase boundary, so the next phase's clock starts at zero rather than
+/// queueing behind the previous phase).
+inline void ResetCosts(dfs::Dfs* dfs, sim::NetworkModel* network = nullptr) {
+  for (int i = 0; i < dfs->num_nodes(); i++) {
+    dfs->data_node(i)->disk()->resource()->Reset();
+  }
+  if (network == nullptr) network = dfs->network();  // DFS-owned NICs
+  if (network != nullptr) {
+    for (int i = 0; i < network->num_nodes(); i++) {
+      network->nic(i)->Reset();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Micro fixture (paper §4.2): ONE tablet server storing data on a 3-node
+// DFS. Each engine gets its own DFS so I/O accounting is isolated.
+// ---------------------------------------------------------------------------
+
+struct MicroLogBase {
+  std::unique_ptr<dfs::Dfs> dfs;
+  coord::CoordinationService coord;
+  std::unique_ptr<sstable::BlockCache> lsm_cache;
+  std::unique_ptr<tablet::TabletServer> server;
+  std::string uid;
+
+  explicit MicroLogBase(size_t read_buffer_bytes = 0,
+                        index::IndexKind kind = index::IndexKind::kBlink) {
+    dfs::DfsOptions dfs_options;
+    dfs_options.num_nodes = 3;
+    dfs = std::make_unique<dfs::Dfs>(dfs_options);
+    tablet::TabletServerOptions options;
+    options.server_id = 0;
+    options.index_kind = kind;
+    options.read_buffer_bytes = read_buffer_bytes;
+    if (kind == index::IndexKind::kLsm) {
+      // The paper's LRS uses LevelDB's moderate 4 MB write / 8 MB read
+      // buffers; buffer sizes scale with the data like the HBase memtable.
+      options.lsm.memtable_bytes = ScaledBytes(4ull << 20);
+      options.lsm.base_level_bytes = ScaledBytes(10ull << 20);
+      // The 8 MB read buffer is NOT scaled down: in the paper's runs the
+      // LevelDB index files additionally sit in the OS page cache (which we
+      // do not model), so a cache that covers the scaled index reproduces
+      // the effective behaviour.
+      lsm_cache = std::make_unique<sstable::BlockCache>(8ull << 20);
+      options.lsm.block_cache = lsm_cache.get();
+    }
+    server = std::make_unique<tablet::TabletServer>(options, dfs.get(),
+                                                    &coord);
+    if (!server->Start().ok()) std::abort();
+    tablet::TabletDescriptor d;
+    d.table_id = 1;
+    d.table_name = "bench";
+    uid = d.uid();
+    if (!server->OpenTablet(d).ok()) std::abort();
+  }
+};
+
+struct MicroHBase {
+  std::unique_ptr<dfs::Dfs> dfs;
+  coord::CoordinationService coord;
+  std::unique_ptr<baselines::hbase::HBaseServer> server;
+  std::string uid = "bench";
+
+  explicit MicroHBase(size_t block_cache_bytes = 0) {
+    dfs::DfsOptions dfs_options;
+    dfs_options.num_nodes = 3;
+    dfs = std::make_unique<dfs::Dfs>(dfs_options);
+    baselines::hbase::HBaseServerOptions options;
+    options.server_id = 0;
+    options.memtable_flush_bytes = ScaledBytes(64ull << 20);
+    options.block_cache_bytes = block_cache_bytes;
+    server = std::make_unique<baselines::hbase::HBaseServer>(options,
+                                                             dfs.get(),
+                                                             &coord);
+    if (!server->OpenTablet(uid).ok()) std::abort();
+    if (!server->Start().ok()) std::abort();
+  }
+};
+
+/// Sequentially loads `n` records through `engine` as one simulated client
+/// (resetting phase state first); returns virtual seconds.
+inline double SequentialLoad(core::KvEngine* engine, const std::string& uid,
+                             const workload::YcsbWorkload& workload,
+                             uint64_t n, dfs::Dfs* dfs) {
+  ResetCosts(dfs);
+  Random rnd(4242);
+  return TimedRun([&] {
+    for (uint64_t i = 0; i < n; i++) {
+      Status s = engine->Put(uid, Slice(workload.KeyAt(i)),
+                             Slice(workload.MakeValue(&rnd)));
+      if (!s.ok()) std::abort();
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Cluster fixture for the HBase comparison at scale: N machines, one engine
+// per machine, hash routing (paper §4.3).
+// ---------------------------------------------------------------------------
+
+struct LogBaseCluster {
+  std::unique_ptr<sim::NetworkModel> network;
+  std::unique_ptr<dfs::Dfs> dfs;
+  coord::CoordinationService coord;
+  std::vector<std::unique_ptr<sstable::BlockCache>> lsm_caches;
+  std::vector<std::unique_ptr<tablet::TabletServer>> servers;
+  std::vector<std::unique_ptr<core::TabletServerEngine>> engines;
+  workload::EngineCluster cluster;
+
+  explicit LogBaseCluster(int nodes,
+                          index::IndexKind kind = index::IndexKind::kBlink,
+                          size_t read_buffer_bytes = 8ull << 20,
+                          uint64_t data_per_node_bytes = 0) {
+    (void)data_per_node_bytes;
+    network = std::make_unique<sim::NetworkModel>(nodes);
+    dfs::DfsOptions dfs_options;
+    dfs_options.num_nodes = nodes;
+    dfs = std::make_unique<dfs::Dfs>(dfs_options, network.get());
+    for (int i = 0; i < nodes; i++) {
+      tablet::TabletServerOptions options;
+      options.server_id = i;
+      options.index_kind = kind;
+      options.read_buffer_bytes = read_buffer_bytes;
+      if (kind == index::IndexKind::kLsm) {
+        options.lsm.memtable_bytes =
+            data_per_node_bytes > 0 ? data_per_node_bytes / 256
+                                    : ScaledBytes(4ull << 20);
+        options.lsm.base_level_bytes = options.lsm.memtable_bytes * 4;
+        lsm_caches.push_back(
+            std::make_unique<sstable::BlockCache>(8ull << 20));
+        options.lsm.block_cache = lsm_caches.back().get();
+      }
+      servers.push_back(std::make_unique<tablet::TabletServer>(
+          options, dfs.get(), &coord));
+      if (!servers.back()->Start().ok()) std::abort();
+      tablet::TabletDescriptor d;
+      d.table_id = 1;
+      d.range_id = i;
+      if (!servers.back()->OpenTablet(d).ok()) std::abort();
+      engines.push_back(std::make_unique<core::TabletServerEngine>(
+          servers.back().get(), kind == index::IndexKind::kBlink ? "LogBase"
+                                                                 : "LRS"));
+      cluster.engines.push_back(engines.back().get());
+    }
+    cluster.route = workload::HashRouter(nodes);
+    cluster.tablet_uid = [](int node) {
+      tablet::TabletDescriptor d;
+      d.table_id = 1;
+      d.range_id = node;
+      return d.uid();
+    };
+    cluster.network = network.get();
+  }
+};
+
+struct HBaseCluster {
+  std::unique_ptr<sim::NetworkModel> network;
+  std::unique_ptr<dfs::Dfs> dfs;
+  coord::CoordinationService coord;
+  std::vector<std::unique_ptr<baselines::hbase::HBaseServer>> servers;
+  std::vector<std::unique_ptr<core::HBaseEngine>> engines;
+  workload::EngineCluster cluster;
+
+  /// `data_per_node_bytes` scales the memtable so the run sees the paper's
+  /// flush frequency (1 GB data : 64 MB memtable = 16 flushes).
+  explicit HBaseCluster(int nodes, size_t block_cache_bytes = 8ull << 20,
+                        uint64_t data_per_node_bytes = 0) {
+    network = std::make_unique<sim::NetworkModel>(nodes);
+    dfs::DfsOptions dfs_options;
+    dfs_options.num_nodes = nodes;
+    dfs = std::make_unique<dfs::Dfs>(dfs_options, network.get());
+    for (int i = 0; i < nodes; i++) {
+      baselines::hbase::HBaseServerOptions options;
+      options.server_id = i;
+      options.block_cache_bytes = block_cache_bytes;
+      if (data_per_node_bytes > 0) {
+        options.memtable_flush_bytes =
+            std::max<uint64_t>(data_per_node_bytes / 16, 64 << 10);
+      }
+      servers.push_back(std::make_unique<baselines::hbase::HBaseServer>(
+          options, dfs.get(), &coord));
+      if (!servers.back()->OpenTablet("bench").ok()) std::abort();
+      if (!servers.back()->Start().ok()) std::abort();
+      engines.push_back(
+          std::make_unique<core::HBaseEngine>(servers.back().get()));
+      cluster.engines.push_back(engines.back().get());
+    }
+    cluster.route = workload::HashRouter(nodes);
+    cluster.tablet_uid = [](int) { return std::string("bench"); };
+    cluster.network = network.get();
+  }
+};
+
+}  // namespace logbase::bench
+
+#endif  // LOGBASE_BENCH_COMMON_H_

@@ -1,0 +1,76 @@
+#include "src/baselines/hbase/hbase_memtable.h"
+
+namespace logbase::baselines::hbase {
+
+std::string EncodeCell(bool is_delete, const Slice& value) {
+  std::string cell;
+  cell.push_back(is_delete ? '\0' : '\1');
+  cell.append(value.data(), value.size());
+  return cell;
+}
+
+bool DecodeCell(const Slice& cell, bool* is_delete, Slice* value) {
+  if (cell.empty()) return false;
+  *is_delete = cell[0] == '\0';
+  *value = Slice(cell.data() + 1, cell.size() - 1);
+  return true;
+}
+
+HMemTable::HMemTable() : table_(EntryComparator{}) {}
+
+void HMemTable::Add(const Slice& key, uint64_t timestamp, bool is_delete,
+                    const Slice& value) {
+  entries_.push_back(Entry{index::EncodeCompositeKey(key, timestamp),
+                           EncodeCell(is_delete, value)});
+  const Entry* entry = &entries_.back();
+  table_.Insert(entry);
+  table_.BumpSize();
+  mem_usage_ += entry->composite.size() + entry->cell.size() + 64;
+}
+
+bool HMemTable::Get(const Slice& key, uint64_t as_of, bool* is_delete,
+                    uint64_t* timestamp, std::string* value) const {
+  Entry probe{index::EncodeCompositeKey(key, as_of), ""};
+  Table::Iterator iter(&table_);
+  iter.Seek(&probe);
+  if (!iter.Valid()) return false;
+  const Entry* entry = iter.key();
+  std::string found_key;
+  uint64_t found_ts;
+  if (!index::DecodeCompositeKey(Slice(entry->composite), &found_key,
+                                 &found_ts)) {
+    return false;
+  }
+  if (Slice(found_key) != key) return false;
+  Slice cell_value;
+  if (!DecodeCell(Slice(entry->cell), is_delete, &cell_value)) return false;
+  *timestamp = found_ts;
+  *value = cell_value.ToString();
+  return true;
+}
+
+class HMemTable::Iter : public KvIterator {
+ public:
+  explicit Iter(const HMemTable* mem) : iter_(&mem->table_) {}
+
+  bool Valid() const override { return iter_.Valid(); }
+  void SeekToFirst() override { iter_.SeekToFirst(); }
+  void Seek(const Slice& target) override {
+    probe_.composite.assign(target.data(), target.size());
+    iter_.Seek(&probe_);
+  }
+  void Next() override { iter_.Next(); }
+  Slice key() const override { return Slice(iter_.key()->composite); }
+  Slice value() const override { return Slice(iter_.key()->cell); }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  Table::Iterator iter_;
+  Entry probe_;
+};
+
+std::unique_ptr<KvIterator> HMemTable::NewIterator() const {
+  return std::make_unique<Iter>(this);
+}
+
+}  // namespace logbase::baselines::hbase

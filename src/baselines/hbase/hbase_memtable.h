@@ -1,0 +1,64 @@
+// The HBase-baseline memtable: unlike LogBase's read buffer this holds
+// *dirty* data that must be flushed into store files when full — the
+// WAL+Data write path whose flush stalls the paper measures (§4.2.1, §4.3).
+// Entries are multiversion cells keyed (row key, write timestamp desc).
+
+#ifndef LOGBASE_BASELINES_HBASE_HBASE_MEMTABLE_H_
+#define LOGBASE_BASELINES_HBASE_HBASE_MEMTABLE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "src/index/composite_key.h"
+#include "src/util/iterator.h"
+#include "src/util/skiplist.h"
+
+namespace logbase::baselines::hbase {
+
+/// Cell payload stored in the memtable and store files: a 1-byte liveness
+/// marker (0 = tombstone, 1 = value) followed by the value bytes.
+std::string EncodeCell(bool is_delete, const Slice& value);
+bool DecodeCell(const Slice& cell, bool* is_delete, Slice* value);
+
+class HMemTable {
+ public:
+  HMemTable();
+
+  /// Adds a cell version. REQUIRES external write synchronization.
+  void Add(const Slice& key, uint64_t timestamp, bool is_delete,
+           const Slice& value);
+
+  /// Newest cell with timestamp <= as_of. Returns false when the memtable
+  /// holds no version of the key in range; *is_delete reports tombstones.
+  bool Get(const Slice& key, uint64_t as_of, bool* is_delete,
+           uint64_t* timestamp, std::string* value) const;
+
+  /// Iterator over (encoded composite key -> cell) in sorted order.
+  std::unique_ptr<KvIterator> NewIterator() const;
+
+  size_t ApproximateMemoryUsage() const { return mem_usage_; }
+  size_t num_entries() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string composite;  // EncodeCompositeKey(key, timestamp)
+    std::string cell;
+  };
+  struct EntryComparator {
+    int operator()(const Entry* a, const Entry* b) const {
+      return Slice(a->composite).compare(Slice(b->composite));
+    }
+  };
+  using Table = SkipList<const Entry*, EntryComparator>;
+
+  class Iter;
+
+  std::deque<Entry> entries_;
+  Table table_;
+  size_t mem_usage_ = 0;
+};
+
+}  // namespace logbase::baselines::hbase
+
+#endif  // LOGBASE_BASELINES_HBASE_HBASE_MEMTABLE_H_

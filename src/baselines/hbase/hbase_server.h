@@ -1,0 +1,98 @@
+// The HBase-baseline region server: one shared WAL in the DFS, HTablets
+// with memtables + store files, a block cache sized like the paper's
+// configuration (20% of heap for data blocks, §4.1), and WAL-replay
+// recovery.
+
+#ifndef LOGBASE_BASELINES_HBASE_HBASE_SERVER_H_
+#define LOGBASE_BASELINES_HBASE_HBASE_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/baselines/hbase/hbase_tablet.h"
+#include "src/coord/coordination_service.h"
+#include "src/dfs/dfs.h"
+
+namespace logbase::baselines::hbase {
+
+struct HBaseServerOptions {
+  int server_id = 0;
+  uint64_t segment_bytes = 64ull << 20;  // WAL segment size
+  uint64_t memtable_flush_bytes = 64ull << 20;
+  int compaction_trigger = 4;
+  size_t block_cache_bytes = 0;  // 0 disables the block cache
+  sstable::TableOptions table;
+};
+
+class HBaseServer {
+ public:
+  HBaseServer(HBaseServerOptions options, dfs::Dfs* dfs,
+              coord::CoordinationService* coord);
+  ~HBaseServer();
+
+  /// Recovers registered tablets (store files + WAL replay) and opens a
+  /// fresh WAL segment.
+  Status Start();
+  Status Stop();
+  void Crash();
+  bool running() const { return running_; }
+
+  Status OpenTablet(const std::string& uid);
+
+  Status Put(const std::string& uid, const Slice& key, const Slice& value);
+  Status PutBatch(
+      const std::string& uid,
+      const std::vector<std::pair<std::string, std::string>>& kvs);
+  Result<tablet::ReadValue> Get(const std::string& uid, const Slice& key);
+  Result<tablet::ReadValue> GetAsOf(const std::string& uid, const Slice& key,
+                                    uint64_t as_of);
+  Status Delete(const std::string& uid, const Slice& key);
+  Result<std::vector<tablet::ReadRow>> Scan(const std::string& uid,
+                                            const Slice& start_key,
+                                            const Slice& end_key);
+
+  Status FlushAll();
+  Status CompactAll();
+
+  HTablet* FindTablet(const std::string& uid);
+  sstable::BlockCache* block_cache() { return block_cache_.get(); }
+  uint64_t wal_bytes_written() const { return wal_->bytes_written(); }
+  int server_id() const { return options_.server_id; }
+
+ private:
+  std::string root() const {
+    return "/hbase/" + std::to_string(options_.server_id);
+  }
+  uint64_t NextTimestamp();
+  Status ReplayWal();
+  /// uid -> numeric id mapping, persisted so WAL records stay routable
+  /// across restarts. Require tablets_mu_ held.
+  Status LoadRegistryLocked();
+  Status SaveRegistryLocked();
+
+  HBaseServerOptions options_;
+  dfs::Dfs* const dfs_;
+  coord::CoordinationService* const coord_;
+  std::unique_ptr<FileSystem> fs_;
+  std::unique_ptr<sstable::BlockCache> block_cache_;
+  std::unique_ptr<log::LogWriter> wal_;
+
+  bool running_ = false;
+  std::mutex tablets_mu_;
+  std::map<std::string, std::unique_ptr<HTablet>> tablets_;
+  std::map<uint32_t, HTablet*> by_numeric_id_;
+  std::map<std::string, uint32_t> registry_;  // persisted uid -> id
+  bool registry_loaded_ = false;
+  uint32_t next_numeric_id_ = 1;
+
+  std::mutex ts_mu_;
+  uint64_t ts_next_ = 0;
+  uint64_t ts_limit_ = 0;
+};
+
+}  // namespace logbase::baselines::hbase
+
+#endif  // LOGBASE_BASELINES_HBASE_HBASE_SERVER_H_

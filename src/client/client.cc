@@ -1,0 +1,304 @@
+#include "src/client/client.h"
+
+#include "src/util/coding.h"
+
+namespace logbase::client {
+
+std::string EncodeColumns(const std::map<std::string, std::string>& columns) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(columns.size()));
+  for (const auto& [name, value] : columns) {
+    PutLengthPrefixedSlice(&out, Slice(name));
+    PutLengthPrefixedSlice(&out, Slice(value));
+  }
+  return out;
+}
+
+Result<std::map<std::string, std::string>> DecodeColumns(const Slice& value) {
+  Slice in = value;
+  uint32_t count;
+  if (!GetVarint32(&in, &count)) {
+    return Status::Corruption("bad column encoding");
+  }
+  std::map<std::string, std::string> columns;
+  for (uint32_t i = 0; i < count; i++) {
+    Slice name, val;
+    if (!GetLengthPrefixedSlice(&in, &name) ||
+        !GetLengthPrefixedSlice(&in, &val)) {
+      return Status::Corruption("bad column entry");
+    }
+    columns[name.ToString()] = val.ToString();
+  }
+  return columns;
+}
+
+LogBaseClient::LogBaseClient(
+    master::Master* master,
+    std::function<tablet::TabletServer*(int)> server_resolver,
+    coord::CoordinationService* coord, int node, sim::NetworkModel* network)
+    : master_(master),
+      server_resolver_(std::move(server_resolver)),
+      node_(node),
+      network_(network) {
+  txn_ = std::make_unique<txn::TransactionManager>(
+      coord, node,
+      [this](const std::string& uid) { return ServerByUid(uid); });
+}
+
+void LogBaseClient::ChargeRpc(int server_id, uint64_t request_bytes,
+                              uint64_t response_bytes) {
+  if (network_ == nullptr) return;
+  network_->Transfer(node_, server_id, request_bytes);
+  network_->Transfer(server_id, node_, response_bytes);
+}
+
+Result<LogBaseClient::Route> LogBaseClient::Resolve(const std::string& table,
+                                                    uint32_t column_group,
+                                                    const Slice& key) {
+  // Locating through the master only happens on cache misses (§3.3); we
+  // model that by keeping the cached copy of the whole table's layout.
+  {
+    std::lock_guard<std::mutex> l(cache_mu_);
+    auto schema_it = schema_cache_.find(table);
+    if (schema_it != schema_cache_.end()) {
+      for (const auto& [uid, location] : location_cache_) {
+        if (location.descriptor.table_id == schema_it->second.id &&
+            location.descriptor.column_group == column_group &&
+            location.descriptor.Contains(key)) {
+          return Route{uid, location.server_id};
+        }
+      }
+    }
+  }
+  // Miss: ask the master and fill the cache.
+  auto schema = master_->GetTable(table);
+  if (!schema.ok()) return schema.status();
+  auto location = master_->Locate(table, column_group, key);
+  if (!location.ok()) return location.status();
+  {
+    std::lock_guard<std::mutex> l(cache_mu_);
+    schema_cache_[table] = *schema;
+    location_cache_[location->descriptor.uid()] = *location;
+  }
+  return Route{location->descriptor.uid(), location->server_id};
+}
+
+tablet::TabletServer* LogBaseClient::ServerByUid(const std::string& uid) {
+  {
+    std::lock_guard<std::mutex> l(cache_mu_);
+    auto it = location_cache_.find(uid);
+    if (it != location_cache_.end()) {
+      tablet::TabletServer* server = server_resolver_(it->second.server_id);
+      if (server != nullptr && server->running()) return server;
+    }
+  }
+  return nullptr;
+}
+
+Result<tablet::TabletServer*> LogBaseClient::ServerFor(const Route& route) {
+  tablet::TabletServer* server = server_resolver_(route.server_id);
+  if (server == nullptr || !server->running()) {
+    // Stale cache (e.g. server died, tablets reassigned): refresh once.
+    InvalidateCache();
+    return Status::Unavailable("tablet server down; cache invalidated");
+  }
+  return server;
+}
+
+void LogBaseClient::InvalidateCache() {
+  std::lock_guard<std::mutex> l(cache_mu_);
+  location_cache_.clear();
+  schema_cache_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Single-record operations.
+// ---------------------------------------------------------------------------
+
+Status LogBaseClient::Put(const std::string& table, uint32_t column_group,
+                          const Slice& key, const Slice& value) {
+  for (int attempt = 0; attempt < 2; attempt++) {
+    auto route = Resolve(table, column_group, key);
+    if (!route.ok()) return route.status();
+    auto server = ServerFor(*route);
+    if (!server.ok()) continue;  // refreshed cache; retry
+    ChargeRpc(route->server_id, key.size() + value.size() + 64, 32);
+    return (*server)->Put(route->tablet_uid, key, value);
+  }
+  return Status::Unavailable("no live server for tablet");
+}
+
+Result<tablet::ReadValue> LogBaseClient::GetVersioned(
+    const std::string& table, uint32_t column_group, const Slice& key) {
+  for (int attempt = 0; attempt < 2; attempt++) {
+    auto route = Resolve(table, column_group, key);
+    if (!route.ok()) return route.status();
+    auto server = ServerFor(*route);
+    if (!server.ok()) continue;
+    auto read = (*server)->Get(route->tablet_uid, key);
+    if (read.ok()) {
+      ChargeRpc(route->server_id, key.size() + 64, read->value.size() + 32);
+    }
+    return read;
+  }
+  return Status::Unavailable("no live server for tablet");
+}
+
+Result<std::string> LogBaseClient::Get(const std::string& table,
+                                       uint32_t column_group,
+                                       const Slice& key) {
+  auto read = GetVersioned(table, column_group, key);
+  if (!read.ok()) return read.status();
+  return std::move(read->value);
+}
+
+Result<std::string> LogBaseClient::GetAsOf(const std::string& table,
+                                           uint32_t column_group,
+                                           const Slice& key, uint64_t as_of) {
+  auto route = Resolve(table, column_group, key);
+  if (!route.ok()) return route.status();
+  auto server = ServerFor(*route);
+  if (!server.ok()) return server.status();
+  auto read = (*server)->GetAsOf(route->tablet_uid, key, as_of);
+  if (!read.ok()) return read.status();
+  ChargeRpc(route->server_id, key.size() + 64, read->value.size() + 32);
+  return std::move(read->value);
+}
+
+Result<std::vector<tablet::ReadRow>> LogBaseClient::GetVersions(
+    const std::string& table, uint32_t column_group, const Slice& key) {
+  auto route = Resolve(table, column_group, key);
+  if (!route.ok()) return route.status();
+  auto server = ServerFor(*route);
+  if (!server.ok()) return server.status();
+  return (*server)->GetVersions(route->tablet_uid, key);
+}
+
+Status LogBaseClient::Delete(const std::string& table, uint32_t column_group,
+                             const Slice& key) {
+  auto route = Resolve(table, column_group, key);
+  if (!route.ok()) return route.status();
+  auto server = ServerFor(*route);
+  if (!server.ok()) return server.status();
+  ChargeRpc(route->server_id, key.size() + 64, 32);
+  return (*server)->Delete(route->tablet_uid, key);
+}
+
+Result<std::vector<tablet::ReadRow>> LogBaseClient::Scan(
+    const std::string& table, uint32_t column_group, const Slice& start_key,
+    const Slice& end_key) {
+  auto locations = master_->LocateAll(table, column_group);
+  if (!locations.ok()) return locations.status();
+  std::vector<tablet::ReadRow> rows;
+  for (const master::TabletLocation& location : *locations) {
+    const tablet::TabletDescriptor& d = location.descriptor;
+    // Skip tablets entirely outside the range.
+    if (!end_key.empty() && !d.start_key.empty() &&
+        Slice(d.start_key).compare(end_key) >= 0) {
+      continue;
+    }
+    if (!start_key.empty() && !d.end_key.empty() &&
+        Slice(d.end_key).compare(start_key) <= 0) {
+      continue;
+    }
+    tablet::TabletServer* server = server_resolver_(location.server_id);
+    if (server == nullptr || !server->running()) {
+      return Status::Unavailable("tablet server down during scan");
+    }
+    auto part = server->Scan(d.uid(), start_key, end_key, ~0ull);
+    if (!part.ok()) return part.status();
+    uint64_t bytes = 0;
+    for (const auto& row : *part) bytes += row.key.size() + row.value.size();
+    ChargeRpc(location.server_id, 64, bytes + 32);
+    rows.insert(rows.end(), std::make_move_iterator(part->begin()),
+                std::make_move_iterator(part->end()));
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Row operations across column groups.
+// ---------------------------------------------------------------------------
+
+Status LogBaseClient::PutRow(
+    const std::string& table, const Slice& key,
+    const std::map<std::string, std::string>& columns) {
+  auto schema = master_->GetTable(table);
+  if (!schema.ok()) return schema.status();
+  for (const tablet::ColumnGroup& group : schema->groups) {
+    std::map<std::string, std::string> group_columns;
+    for (const std::string& column : group.columns) {
+      auto it = columns.find(column);
+      if (it != columns.end()) group_columns[column] = it->second;
+    }
+    if (group_columns.empty()) continue;
+    LOGBASE_RETURN_NOT_OK(
+        Put(table, group.id, key, Slice(EncodeColumns(group_columns))));
+  }
+  return Status::OK();
+}
+
+Result<std::map<std::string, std::string>> LogBaseClient::GetRow(
+    const std::string& table, const Slice& key) {
+  auto schema = master_->GetTable(table);
+  if (!schema.ok()) return schema.status();
+  std::map<std::string, std::string> row;
+  bool found_any = false;
+  for (const tablet::ColumnGroup& group : schema->groups) {
+    auto value = Get(table, group.id, key);
+    if (!value.ok()) {
+      if (value.status().IsNotFound()) continue;
+      return value.status();
+    }
+    found_any = true;
+    auto columns = DecodeColumns(Slice(*value));
+    if (!columns.ok()) return columns.status();
+    for (auto& [name, val] : *columns) {
+      row[name] = std::move(val);
+    }
+  }
+  if (!found_any) return Status::NotFound("row not found");
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// Transactions.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<txn::Transaction> LogBaseClient::Begin() {
+  return txn_->Begin();
+}
+
+Result<std::string> LogBaseClient::TxnRead(txn::Transaction* txn,
+                                           const std::string& table,
+                                           uint32_t column_group,
+                                           const Slice& key) {
+  auto route = Resolve(table, column_group, key);
+  if (!route.ok()) return route.status();
+  return txn_->Read(txn, route->tablet_uid, key);
+}
+
+Status LogBaseClient::TxnWrite(txn::Transaction* txn,
+                               const std::string& table,
+                               uint32_t column_group, const Slice& key,
+                               const Slice& value) {
+  auto route = Resolve(table, column_group, key);
+  if (!route.ok()) return route.status();
+  return txn_->Write(txn, route->tablet_uid, key, value);
+}
+
+Status LogBaseClient::TxnDelete(txn::Transaction* txn,
+                                const std::string& table,
+                                uint32_t column_group, const Slice& key) {
+  auto route = Resolve(table, column_group, key);
+  if (!route.ok()) return route.status();
+  return txn_->Delete(txn, route->tablet_uid, key);
+}
+
+Status LogBaseClient::Commit(txn::Transaction* txn) {
+  return txn_->Commit(txn);
+}
+
+void LogBaseClient::Abort(txn::Transaction* txn) { txn_->Abort(txn); }
+
+}  // namespace logbase::client

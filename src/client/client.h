@@ -1,0 +1,114 @@
+// The client library (paper §3.3): resolves the master through the
+// coordination service, caches tablet locations so the master stays off the
+// data path, routes operations to tablet servers, reconstructs tuples across
+// column groups, and exposes MVOCC transactions.
+
+#ifndef LOGBASE_CLIENT_CLIENT_H_
+#define LOGBASE_CLIENT_CLIENT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/master/master.h"
+#include "src/sim/network_model.h"
+#include "src/txn/transaction_manager.h"
+
+namespace logbase::client {
+
+/// Encodes a column->value map into one column-group value (and back);
+/// PutRow/GetRow use this so a group's columns are stored together.
+std::string EncodeColumns(const std::map<std::string, std::string>& columns);
+Result<std::map<std::string, std::string>> DecodeColumns(const Slice& value);
+
+class LogBaseClient {
+ public:
+  /// `node` is the machine this client runs on (for network charging);
+  /// `network` may be null.
+  LogBaseClient(master::Master* master,
+                std::function<tablet::TabletServer*(int)> server_resolver,
+                coord::CoordinationService* coord, int node,
+                sim::NetworkModel* network = nullptr);
+
+  // -- Single-record operations (auto-commit, §3.6) ----------------------
+
+  Status Put(const std::string& table, uint32_t column_group,
+             const Slice& key, const Slice& value);
+  Result<std::string> Get(const std::string& table, uint32_t column_group,
+                          const Slice& key);
+  Result<tablet::ReadValue> GetVersioned(const std::string& table,
+                                         uint32_t column_group,
+                                         const Slice& key);
+  /// Historical read: the newest version with write timestamp <= as_of.
+  Result<std::string> GetAsOf(const std::string& table,
+                              uint32_t column_group, const Slice& key,
+                              uint64_t as_of);
+  /// All versions, newest first.
+  Result<std::vector<tablet::ReadRow>> GetVersions(const std::string& table,
+                                                   uint32_t column_group,
+                                                   const Slice& key);
+  Status Delete(const std::string& table, uint32_t column_group,
+                const Slice& key);
+  /// Range scan across tablets (fans out to every overlapping tablet).
+  Result<std::vector<tablet::ReadRow>> Scan(const std::string& table,
+                                            uint32_t column_group,
+                                            const Slice& start_key,
+                                            const Slice& end_key);
+
+  // -- Row operations across column groups --------------------------------
+
+  /// Writes each column into its group (per the table's vertical
+  /// partitioning).
+  Status PutRow(const std::string& table, const Slice& key,
+                const std::map<std::string, std::string>& columns);
+  /// Tuple reconstruction (§3.2): collects the row's data from every column
+  /// group by primary key.
+  Result<std::map<std::string, std::string>> GetRow(const std::string& table,
+                                                    const Slice& key);
+
+  // -- Transactions (§3.7) -------------------------------------------------
+
+  std::unique_ptr<txn::Transaction> Begin();
+  Result<std::string> TxnRead(txn::Transaction* txn, const std::string& table,
+                              uint32_t column_group, const Slice& key);
+  Status TxnWrite(txn::Transaction* txn, const std::string& table,
+                  uint32_t column_group, const Slice& key,
+                  const Slice& value);
+  Status TxnDelete(txn::Transaction* txn, const std::string& table,
+                   uint32_t column_group, const Slice& key);
+  Status Commit(txn::Transaction* txn);
+  void Abort(txn::Transaction* txn);
+
+  const txn::TxnStats& txn_stats() const { return txn_->stats(); }
+
+  /// Drops cached locations (picked up again from the master lazily).
+  void InvalidateCache();
+
+ private:
+  struct Route {
+    std::string tablet_uid;
+    int server_id = -1;
+  };
+  Result<Route> Resolve(const std::string& table, uint32_t column_group,
+                        const Slice& key);
+  tablet::TabletServer* ServerByUid(const std::string& uid);
+  Result<tablet::TabletServer*> ServerFor(const Route& route);
+  void ChargeRpc(int server_id, uint64_t request_bytes,
+                 uint64_t response_bytes);
+
+  master::Master* const master_;
+  std::function<tablet::TabletServer*(int)> server_resolver_;
+  const int node_;
+  sim::NetworkModel* const network_;
+  std::unique_ptr<txn::TransactionManager> txn_;
+
+  std::mutex cache_mu_;
+  std::map<std::string, master::TabletLocation> location_cache_;  // by uid
+  std::map<std::string, tablet::TableSchema> schema_cache_;
+};
+
+}  // namespace logbase::client
+
+#endif  // LOGBASE_CLIENT_CLIENT_H_

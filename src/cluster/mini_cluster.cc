@@ -1,0 +1,75 @@
+#include "src/cluster/mini_cluster.h"
+
+#include "src/util/logging.h"
+
+namespace logbase::cluster {
+
+MiniCluster::MiniCluster(MiniClusterOptions options)
+    : options_(std::move(options)) {
+  options_.dfs.num_nodes = options_.num_nodes;
+  network_ = std::make_unique<sim::NetworkModel>(options_.num_nodes,
+                                                 options_.network);
+  dfs_ = std::make_unique<dfs::Dfs>(options_.dfs, network_.get());
+  coord_ = std::make_unique<coord::CoordinationService>(network_.get(),
+                                                        /*host_node=*/0);
+  for (int node = 0; node < options_.num_nodes; node++) {
+    tablet::TabletServerOptions server_options = options_.server_template;
+    server_options.server_id = node;
+    servers_.push_back(std::make_unique<tablet::TabletServer>(
+        server_options, dfs_.get(), coord_.get()));
+  }
+  std::vector<int> server_ids;
+  for (int node = 0; node < options_.num_nodes; node++) {
+    server_ids.push_back(node);
+  }
+  master_ = std::make_unique<master::Master>(
+      coord_.get(), /*node=*/0,
+      [this](int id) {
+        return (id >= 0 && id < static_cast<int>(servers_.size()))
+                   ? servers_[id].get()
+                   : nullptr;
+      },
+      server_ids);
+}
+
+MiniCluster::~MiniCluster() {
+  for (auto& server : servers_) {
+    if (server->running()) server->Stop();
+  }
+}
+
+Status MiniCluster::Start() {
+  for (auto& server : servers_) {
+    LOGBASE_RETURN_NOT_OK(server->Start());
+  }
+  LOGBASE_RETURN_NOT_OK(master_->Start());
+  LOGBASE_LOG(kInfo, "mini cluster started: %d nodes", options_.num_nodes);
+  return Status::OK();
+}
+
+std::unique_ptr<client::LogBaseClient> MiniCluster::NewClient(int node) {
+  return std::make_unique<client::LogBaseClient>(
+      master_.get(),
+      [this](int id) {
+        return (id >= 0 && id < static_cast<int>(servers_.size()))
+                   ? servers_[id].get()
+                   : nullptr;
+      },
+      coord_.get(), node, network_.get());
+}
+
+void MiniCluster::CrashServer(int node) { servers_[node]->Crash(); }
+
+Status MiniCluster::RestartServer(int node, tablet::RecoveryStats* stats) {
+  return servers_[node]->Start(stats);
+}
+
+Status MiniCluster::KillNode(int node) {
+  servers_[node]->Crash();
+  dfs_->KillDataNode(node);
+  auto copied = dfs_->Rereplicate(node);
+  if (!copied.ok()) return copied.status();
+  return Status::OK();
+}
+
+}  // namespace logbase::cluster

@@ -1,0 +1,70 @@
+// The in-process cluster harness: the paper's testbed in one process. Each
+// "machine" hosts a data node and a tablet server (plus, on node 0, the
+// coordination ensemble and the master), sharing a virtual-time network and
+// per-node disks. Benchmarks instantiate this at 3/6/12/24 nodes.
+
+#ifndef LOGBASE_CLUSTER_MINI_CLUSTER_H_
+#define LOGBASE_CLUSTER_MINI_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/client.h"
+#include "src/coord/coordination_service.h"
+#include "src/dfs/dfs.h"
+#include "src/master/master.h"
+#include "src/sim/network_model.h"
+#include "src/tablet/tablet_server.h"
+
+namespace logbase::cluster {
+
+struct MiniClusterOptions {
+  int num_nodes = 3;
+  dfs::DfsOptions dfs;  // num_nodes is overridden by the cluster's
+  sim::NetworkParams network;
+  tablet::TabletServerOptions server_template;
+};
+
+class MiniCluster {
+ public:
+  explicit MiniCluster(MiniClusterOptions options);
+  ~MiniCluster();
+
+  MiniCluster(const MiniCluster&) = delete;
+  MiniCluster& operator=(const MiniCluster&) = delete;
+
+  /// Boots data nodes, coordination, master and tablet servers.
+  Status Start();
+
+  int num_nodes() const { return options_.num_nodes; }
+  coord::CoordinationService* coord() { return coord_.get(); }
+  dfs::Dfs* dfs() { return dfs_.get(); }
+  master::Master* master() { return master_.get(); }
+  sim::NetworkModel* network() { return network_.get(); }
+  tablet::TabletServer* server(int node) { return servers_[node].get(); }
+
+  /// A client homed on `node` (benchmark clients run one per node).
+  std::unique_ptr<client::LogBaseClient> NewClient(int node);
+
+  /// Crashes the tablet server process on a node (data node stays up; the
+  /// log survives in the DFS). Restart with RestartServer.
+  void CrashServer(int node);
+  Status RestartServer(int node, tablet::RecoveryStats* stats = nullptr);
+
+  /// Kills the whole machine: tablet server + data node. The DFS
+  /// re-replicates the lost blocks.
+  Status KillNode(int node);
+
+ private:
+  MiniClusterOptions options_;
+  std::unique_ptr<sim::NetworkModel> network_;
+  std::unique_ptr<dfs::Dfs> dfs_;
+  std::unique_ptr<coord::CoordinationService> coord_;
+  std::vector<std::unique_ptr<tablet::TabletServer>> servers_;
+  std::unique_ptr<master::Master> master_;
+};
+
+}  // namespace logbase::cluster
+
+#endif  // LOGBASE_CLUSTER_MINI_CLUSTER_H_

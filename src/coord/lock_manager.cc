@@ -1,0 +1,58 @@
+#include "src/coord/lock_manager.h"
+
+namespace logbase::coord {
+
+namespace {
+
+std::string HexEscape(const Slice& key) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(key.size() * 2);
+  for (size_t i = 0; i < key.size(); i++) {
+    unsigned char c = static_cast<unsigned char>(key[i]);
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace
+
+LockManager::LockManager(CoordinationService* coord) : coord_(coord) {
+  // The lock root is shared infrastructure; create it eagerly.
+  if (!coord_->znodes()->Exists(kLockRoot)) {
+    coord_->znodes()->Create(0, kLockRoot, "", CreateMode::kPersistent);
+  }
+}
+
+std::string LockManager::LockPath(const Slice& key) {
+  return std::string(kLockRoot) + "/" + HexEscape(key);
+}
+
+bool LockManager::TryLock(SessionId session, const Slice& key,
+                          const std::string& owner, int client_node) {
+  coord_->ChargeRoundTrip(client_node);
+  std::string path = LockPath(key);
+  auto created =
+      coord_->znodes()->Create(session, path, owner, CreateMode::kEphemeral);
+  if (created.ok()) return true;
+  // Lock node exists: re-entrant success only for the same owner.
+  auto holder = coord_->znodes()->Get(path);
+  return holder.ok() && *holder == owner;
+}
+
+void LockManager::Unlock(const Slice& key, const std::string& owner,
+                         int client_node) {
+  coord_->ChargeRoundTrip(client_node);
+  std::string path = LockPath(key);
+  auto holder = coord_->znodes()->Get(path);
+  if (holder.ok() && *holder == owner) {
+    coord_->znodes()->Delete(path);
+  }
+}
+
+Result<std::string> LockManager::Holder(const Slice& key) const {
+  return coord_->znodes()->Get(LockPath(key));
+}
+
+}  // namespace logbase::coord

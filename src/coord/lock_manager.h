@@ -1,0 +1,44 @@
+// Distributed write locks on the znode tree (ZK lock recipe with ephemeral
+// nodes). MVOCC validation acquires these over the records in a
+// transaction's write set, in key order to avoid deadlock (paper §3.7.1,
+// "Validation with Write Locks").
+
+#ifndef LOGBASE_COORD_LOCK_MANAGER_H_
+#define LOGBASE_COORD_LOCK_MANAGER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/coord/coordination_service.h"
+#include "src/util/slice.h"
+
+namespace logbase::coord {
+
+class LockManager {
+ public:
+  explicit LockManager(CoordinationService* coord);
+
+  /// Attempts to take the exclusive lock for `key` on behalf of `owner`
+  /// (an opaque transaction identity). Returns true on success, false when
+  /// another owner holds it. Re-entrant for the same owner.
+  bool TryLock(SessionId session, const Slice& key, const std::string& owner,
+               int client_node);
+
+  /// Releases the lock; no-op if `owner` does not hold it.
+  void Unlock(const Slice& key, const std::string& owner, int client_node);
+
+  /// Current holder of the lock, or NotFound.
+  Result<std::string> Holder(const Slice& key) const;
+
+  /// Lock-node path for `key` (keys are hex-escaped into one path segment).
+  static std::string LockPath(const Slice& key);
+
+ private:
+  static constexpr const char* kLockRoot = "/locks";
+
+  CoordinationService* coord_;
+};
+
+}  // namespace logbase::coord
+
+#endif  // LOGBASE_COORD_LOCK_MANAGER_H_

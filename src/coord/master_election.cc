@@ -1,0 +1,59 @@
+#include "src/coord/master_election.h"
+
+#include <algorithm>
+
+namespace logbase::coord {
+
+MasterElection::MasterElection(CoordinationService* coord, SessionId session,
+                               std::string candidate_id, int client_node)
+    : coord_(coord),
+      session_(session),
+      candidate_id_(std::move(candidate_id)),
+      client_node_(client_node) {}
+
+Status MasterElection::Campaign() {
+  if (!my_node_.empty() && coord_->znodes()->Exists(my_node_)) {
+    return Status::OK();
+  }
+  ZnodeTree* tree = coord_->znodes();
+  if (!tree->Exists(kElectionRoot)) {
+    // Racing creators are fine; "exists" errors are ignored.
+    tree->Create(session_, kElectionRoot, "", CreateMode::kPersistent);
+  }
+  coord_->ChargeRoundTrip(client_node_);
+  auto created =
+      tree->Create(session_, std::string(kElectionRoot) + "/member_",
+                   candidate_id_, CreateMode::kEphemeralSequential);
+  if (!created.ok()) return created.status();
+  my_node_ = *created;
+  return Status::OK();
+}
+
+bool MasterElection::IsLeader() const {
+  if (my_node_.empty()) return false;
+  auto leader_path = [this]() -> std::string {
+    auto children = coord_->znodes()->GetChildren(kElectionRoot);
+    if (!children.ok() || children->empty()) return "";
+    return std::string(kElectionRoot) + "/" +
+           *std::min_element(children->begin(), children->end());
+  }();
+  return !leader_path.empty() && leader_path == my_node_;
+}
+
+Result<std::string> MasterElection::Leader() const {
+  coord_->ChargeRoundTrip(client_node_);
+  auto children = coord_->znodes()->GetChildren(kElectionRoot);
+  if (!children.ok()) return children.status();
+  if (children->empty()) return Status::NotFound("no leader elected");
+  std::string lowest = *std::min_element(children->begin(), children->end());
+  return coord_->znodes()->Get(std::string(kElectionRoot) + "/" + lowest);
+}
+
+void MasterElection::Resign() {
+  if (!my_node_.empty()) {
+    coord_->znodes()->Delete(my_node_);
+    my_node_.clear();
+  }
+}
+
+}  // namespace logbase::coord

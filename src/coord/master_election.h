@@ -1,0 +1,47 @@
+// Leader election on the znode tree (ZK "leader election" recipe): each
+// candidate creates an ephemeral-sequential node under /election; the lowest
+// sequence wins. When the active master's session dies its node disappears
+// and the next candidate takes over (paper §3.3: multiple master instances,
+// active master elected via Zookeeper).
+
+#ifndef LOGBASE_COORD_MASTER_ELECTION_H_
+#define LOGBASE_COORD_MASTER_ELECTION_H_
+
+#include <string>
+
+#include "src/coord/coordination_service.h"
+
+namespace logbase::coord {
+
+class MasterElection {
+ public:
+  /// `candidate_id` is an opaque identity (e.g. "master-1") stored as the
+  /// node data so others can find the current leader.
+  MasterElection(CoordinationService* coord, SessionId session,
+                 std::string candidate_id, int client_node);
+
+  /// Joins the election (idempotent).
+  Status Campaign();
+
+  /// True iff this candidate currently holds the lowest sequence.
+  bool IsLeader() const;
+
+  /// The current leader's candidate id.
+  Result<std::string> Leader() const;
+
+  /// Withdraws from the election.
+  void Resign();
+
+ private:
+  static constexpr const char* kElectionRoot = "/election";
+
+  CoordinationService* coord_;
+  SessionId session_;
+  std::string candidate_id_;
+  int client_node_;
+  std::string my_node_;  // actual sequential path; empty when not campaigning
+};
+
+}  // namespace logbase::coord
+
+#endif  // LOGBASE_COORD_MASTER_ELECTION_H_

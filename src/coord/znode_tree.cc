@@ -1,0 +1,205 @@
+#include "src/coord/znode_tree.h"
+
+#include <cstdio>
+
+namespace logbase::coord {
+
+std::string ZnodeTree::ParentOf(const std::string& path) {
+  size_t pos = path.rfind('/');
+  if (pos == std::string::npos || pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+SessionId ZnodeTree::CreateSession() {
+  std::lock_guard<std::mutex> l(mu_);
+  SessionId id = next_session_++;
+  sessions_.insert(id);
+  return id;
+}
+
+bool ZnodeTree::SessionAlive(SessionId session) const {
+  std::lock_guard<std::mutex> l(mu_);
+  return sessions_.count(session) > 0;
+}
+
+void ZnodeTree::CloseSession(SessionId session) {
+  std::vector<std::pair<WatchCallback, std::string>> fired;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (sessions_.erase(session) == 0) return;
+    // Collect this session's ephemerals, then delete them.
+    std::vector<std::string> to_delete;
+    for (const auto& [path, node] : nodes_) {
+      if ((node.mode == CreateMode::kEphemeral ||
+           node.mode == CreateMode::kEphemeralSequential) &&
+          node.owner == session) {
+        to_delete.push_back(path);
+      }
+    }
+    // Delete deepest-first so children go before parents.
+    for (auto it = to_delete.rbegin(); it != to_delete.rend(); ++it) {
+      DeleteLocked(*it, &fired);
+    }
+  }
+  for (auto& [cb, path] : fired) cb(path);
+}
+
+std::vector<std::pair<WatchCallback, std::string>>
+ZnodeTree::CollectNodeWatches(const std::string& path) {
+  std::vector<std::pair<WatchCallback, std::string>> fired;
+  auto it = node_watches_.find(path);
+  if (it != node_watches_.end()) {
+    for (auto& cb : it->second) fired.emplace_back(std::move(cb), path);
+    node_watches_.erase(it);
+  }
+  return fired;
+}
+
+std::vector<std::pair<WatchCallback, std::string>>
+ZnodeTree::CollectChildWatches(const std::string& parent) {
+  std::vector<std::pair<WatchCallback, std::string>> fired;
+  auto it = child_watches_.find(parent);
+  if (it != child_watches_.end()) {
+    for (auto& cb : it->second) fired.emplace_back(std::move(cb), parent);
+    child_watches_.erase(it);
+  }
+  return fired;
+}
+
+Result<std::string> ZnodeTree::Create(SessionId session,
+                                      const std::string& path,
+                                      const std::string& data,
+                                      CreateMode mode) {
+  std::vector<std::pair<WatchCallback, std::string>> fired;
+  std::string actual;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (path.empty() || path[0] != '/' ||
+        (path.size() > 1 && path.back() == '/')) {
+      return Status::InvalidArgument("bad znode path: " + path);
+    }
+    if ((mode == CreateMode::kEphemeral ||
+         mode == CreateMode::kEphemeralSequential) &&
+        sessions_.count(session) == 0) {
+      return Status::InvalidArgument("ephemeral create with dead session");
+    }
+    std::string parent = ParentOf(path);
+    if (parent != "/" && nodes_.count(parent) == 0) {
+      return Status::NotFound("parent znode missing: " + parent);
+    }
+
+    actual = path;
+    if (mode == CreateMode::kPersistentSequential ||
+        mode == CreateMode::kEphemeralSequential) {
+      uint64_t seq = 0;
+      if (parent == "/") {
+        seq = root_sequence_counter_++;
+      } else {
+        seq = nodes_[parent].next_sequence++;
+      }
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%010llu",
+                    static_cast<unsigned long long>(seq));
+      actual += buf;
+    }
+
+    if (nodes_.count(actual) > 0) {
+      return Status::InvalidArgument("znode exists: " + actual);
+    }
+    Znode node;
+    node.data = data;
+    node.mode = mode;
+    node.owner = session;
+    nodes_[actual] = std::move(node);
+    fired = CollectChildWatches(parent);
+  }
+  for (auto& [cb, p] : fired) cb(p);
+  return actual;
+}
+
+Result<std::string> ZnodeTree::Get(const std::string& path) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound(path);
+  return it->second.data;
+}
+
+Status ZnodeTree::Set(const std::string& path, const std::string& data) {
+  std::vector<std::pair<WatchCallback, std::string>> fired;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = nodes_.find(path);
+    if (it == nodes_.end()) return Status::NotFound(path);
+    it->second.data = data;
+    fired = CollectNodeWatches(path);
+  }
+  for (auto& [cb, p] : fired) cb(p);
+  return Status::OK();
+}
+
+bool ZnodeTree::HasChildrenLocked(const std::string& path) const {
+  std::string prefix = path == "/" ? "/" : path + "/";
+  auto it = nodes_.lower_bound(prefix);
+  return it != nodes_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+}
+
+Status ZnodeTree::DeleteLocked(
+    const std::string& path,
+    std::vector<std::pair<WatchCallback, std::string>>* fired) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound(path);
+  if (HasChildrenLocked(path)) {
+    return Status::InvalidArgument("znode has children: " + path);
+  }
+  nodes_.erase(it);
+  auto node_fired = CollectNodeWatches(path);
+  fired->insert(fired->end(), node_fired.begin(), node_fired.end());
+  auto child_fired = CollectChildWatches(ParentOf(path));
+  fired->insert(fired->end(), child_fired.begin(), child_fired.end());
+  return Status::OK();
+}
+
+Status ZnodeTree::Delete(const std::string& path) {
+  std::vector<std::pair<WatchCallback, std::string>> fired;
+  Status s;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    s = DeleteLocked(path, &fired);
+  }
+  for (auto& [cb, p] : fired) cb(p);
+  return s;
+}
+
+bool ZnodeTree::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> l(mu_);
+  return nodes_.count(path) > 0;
+}
+
+Result<std::vector<std::string>> ZnodeTree::GetChildren(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> l(mu_);
+  if (path != "/" && nodes_.count(path) == 0) return Status::NotFound(path);
+  std::string prefix = path == "/" ? "/" : path + "/";
+  std::vector<std::string> children;
+  for (auto it = nodes_.lower_bound(prefix);
+       it != nodes_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    std::string rest = it->first.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) children.push_back(rest);
+  }
+  return children;
+}
+
+void ZnodeTree::WatchNode(const std::string& path, WatchCallback callback) {
+  std::lock_guard<std::mutex> l(mu_);
+  node_watches_[path].push_back(std::move(callback));
+}
+
+void ZnodeTree::WatchChildren(const std::string& path,
+                              WatchCallback callback) {
+  std::lock_guard<std::mutex> l(mu_);
+  child_watches_[path].push_back(std::move(callback));
+}
+
+}  // namespace logbase::coord

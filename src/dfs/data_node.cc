@@ -1,0 +1,77 @@
+#include "src/dfs/data_node.h"
+
+namespace logbase::dfs {
+
+DataNode::DataNode(int id, sim::DiskParams disk_params)
+    : id_(id), disk_("disk-" + std::to_string(id), disk_params) {}
+
+Status DataNode::StoreBlockData(BlockId block, uint64_t offset,
+                                const Slice& data) {
+  if (!alive()) return Status::Unavailable("data node is down");
+  std::lock_guard<std::mutex> l(mu_);
+  std::string& stored = blocks_[block];
+  if (offset != stored.size()) {
+    return Status::InvalidArgument("non-contiguous block append");
+  }
+  stored.append(data.data(), data.size());
+  return Status::OK();
+}
+
+Status DataNode::WriteBlock(BlockId block, uint64_t offset,
+                            const Slice& data) {
+  LOGBASE_RETURN_NOT_OK(StoreBlockData(block, offset, data));
+  disk_.Access(block, offset, data.size(), /*is_write=*/true);
+  return Status::OK();
+}
+
+Result<std::string> DataNode::ReadBlock(BlockId block, uint64_t offset,
+                                        uint64_t n) const {
+  if (!alive()) return Status::Unavailable("data node is down");
+  std::string out;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = blocks_.find(block);
+    if (it == blocks_.end()) return Status::NotFound("block not on this node");
+    const std::string& stored = it->second;
+    if (offset < stored.size()) {
+      out = stored.substr(offset, std::min<uint64_t>(n, stored.size() - offset));
+    }
+  }
+  disk_.Access(block, offset, out.size());
+  return out;
+}
+
+Status DataNode::DeleteBlock(BlockId block) {
+  std::lock_guard<std::mutex> l(mu_);
+  blocks_.erase(block);
+  return Status::OK();
+}
+
+bool DataNode::HasBlock(BlockId block) const {
+  std::lock_guard<std::mutex> l(mu_);
+  return blocks_.count(block) > 0;
+}
+
+Result<uint64_t> DataNode::BlockSize(BlockId block) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) return Status::NotFound("block not on this node");
+  return static_cast<uint64_t>(it->second.size());
+}
+
+std::vector<BlockId> DataNode::ListBlocks() const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<BlockId> ids;
+  ids.reserve(blocks_.size());
+  for (const auto& [id, data] : blocks_) ids.push_back(id);
+  return ids;
+}
+
+uint64_t DataNode::used_bytes() const {
+  std::lock_guard<std::mutex> l(mu_);
+  uint64_t total = 0;
+  for (const auto& [id, data] : blocks_) total += data.size();
+  return total;
+}
+
+}  // namespace logbase::dfs

@@ -1,0 +1,72 @@
+// A DFS data node: stores replicas of fixed-size blocks and owns one
+// simulated disk. Each cluster machine runs one data node and one tablet
+// server (the paper's deployment), so they share the machine's node id.
+
+#ifndef LOGBASE_DFS_DATA_NODE_H_
+#define LOGBASE_DFS_DATA_NODE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/disk_model.h"
+#include "src/util/result.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace logbase::dfs {
+
+using BlockId = uint64_t;
+
+/// Thread-safe block store with simulated disk costs.
+class DataNode {
+ public:
+  DataNode(int id, sim::DiskParams disk_params = sim::DiskParams());
+
+  int id() const { return id_; }
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+
+  /// Simulates a machine crash: the node stops serving; its block data
+  /// survives (disks outlive processes) and is visible again after Restart().
+  void Kill() { alive_.store(false, std::memory_order_release); }
+  void Restart() { alive_.store(true, std::memory_order_release); }
+
+  /// Appends `data` at `offset` within the block (creating it on first
+  /// write). Charges a disk access. Fails when dead or on non-contiguous
+  /// append.
+  Status WriteBlock(BlockId block, uint64_t offset, const Slice& data);
+
+  /// Stores the bytes without charging disk costs — the DFS write pipeline
+  /// charges the disks itself so the hops overlap (packet streaming).
+  Status StoreBlockData(BlockId block, uint64_t offset, const Slice& data);
+
+  /// Reads up to n bytes from the block at `offset`; short reads at the end
+  /// of the block are not an error. Charges a disk access.
+  Result<std::string> ReadBlock(BlockId block, uint64_t offset,
+                                uint64_t n) const;
+
+  Status DeleteBlock(BlockId block);
+  bool HasBlock(BlockId block) const;
+  Result<uint64_t> BlockSize(BlockId block) const;
+  std::vector<BlockId> ListBlocks() const;
+
+  /// Total stored bytes (all replicas hosted here).
+  uint64_t used_bytes() const;
+
+  sim::DiskModel* disk() { return &disk_; }
+
+ private:
+  const int id_;
+  std::atomic<bool> alive_{true};
+  // Mutable: reads charge disk costs too.
+  mutable sim::DiskModel disk_;
+  mutable std::mutex mu_;
+  std::unordered_map<BlockId, std::string> blocks_;
+};
+
+}  // namespace logbase::dfs
+
+#endif  // LOGBASE_DFS_DATA_NODE_H_

@@ -1,0 +1,365 @@
+#include "src/dfs/dfs.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace logbase::dfs {
+
+namespace {
+constexpr uint64_t kMetadataRpcBytes = 128;
+constexpr int kNameNodeHost = 0;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer: synchronous replication pipeline.
+// ---------------------------------------------------------------------------
+
+class DfsWritableFile : public WritableFile {
+ public:
+  DfsWritableFile(Dfs* dfs, std::string path, int client_node)
+      : dfs_(dfs), path_(std::move(path)), client_node_(client_node) {}
+
+  ~DfsWritableFile() override { Close(); }
+
+  // Appends buffer client-side (HDFS streams packets asynchronously and
+  // only waits for pipeline acknowledgement at sync points); Sync() pushes
+  // the buffer through the replication pipeline and is the durability
+  // boundary.
+  Status Append(const Slice& data) override {
+    buffer_.append(data.data(), data.size());
+    size_ += data.size();
+    if (buffer_.size() >= kStreamChunk) {
+      return FlushBuffer();
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override { return FlushBuffer(); }
+
+  Status Close() override {
+    LOGBASE_RETURN_NOT_OK(FlushBuffer());
+    block_open_ = false;
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  static constexpr size_t kStreamChunk = 1 << 20;
+
+  Status FlushBuffer() {
+    Slice remaining(buffer_);
+    while (!remaining.empty()) {
+      if (!block_open_ || block_fill_ >= dfs_->options_.block_size) {
+        LOGBASE_RETURN_NOT_OK(StartNewBlock());
+      }
+      uint64_t room = dfs_->options_.block_size - block_fill_;
+      size_t chunk_len =
+          static_cast<size_t>(std::min<uint64_t>(room, remaining.size()));
+      Slice chunk(remaining.data(), chunk_len);
+      LOGBASE_RETURN_NOT_OK(PipelineWrite(chunk));
+      remaining.remove_prefix(chunk_len);
+    }
+    buffer_.clear();
+    return Status::OK();
+  }
+  Status StartNewBlock() {
+    dfs_->MetadataRpc(client_node_);
+    auto block = dfs_->name_node_.AllocateBlock(path_, client_node_,
+                                                dfs_->AliveNodes());
+    if (!block.ok()) return block.status();
+    current_ = *block;
+    block_fill_ = 0;
+    block_open_ = true;
+    return Status::OK();
+  }
+
+  /// Streams the chunk through the replica pipeline: client → r0 → r1 → r2.
+  /// HDFS pipelines packets, so the hops overlap: each downstream hop
+  /// starts one RPC overhead after its upstream, and disks write while the
+  /// network streams. Total latency ≈ max(stage time) + per-hop overheads,
+  /// while every NIC/disk is still charged its full service time (so
+  /// utilization and contention stay honest). Dead replicas are dropped
+  /// from the pipeline (HDFS behaviour); at least one must survive.
+  Status PipelineWrite(const Slice& chunk) {
+    sim::SimContext* ctx = sim::SimContext::Current();
+    sim::VirtualTime stream_begin = ctx != nullptr ? ctx->now() : 0;
+    sim::VirtualTime completion = stream_begin;
+    int prev = client_node_;
+    int successes = 0;
+    for (int replica : current_.replicas) {
+      DataNode* dn = dfs_->data_nodes_[replica].get();
+      if (!dn->alive()) continue;
+      Status s = dn->StoreBlockData(current_.id, block_fill_, chunk);
+      if (!s.ok()) continue;
+      if (ctx != nullptr && dfs_->network_ != nullptr) {
+        sim::VirtualTime net_done = dfs_->network_->TransferFrom(
+            stream_begin, prev, replica, chunk.size());
+        sim::VirtualTime disk_done = dn->disk()->AccessFrom(
+            stream_begin, current_.id, block_fill_, chunk.size(),
+            /*is_write=*/true);
+        completion = std::max({completion, net_done, disk_done});
+        stream_begin += dfs_->network_->params().rpc_overhead_us;
+      } else {
+        // No actor: keep the disk's stream state warm, charge nothing.
+        dn->disk()->Access(current_.id, block_fill_, chunk.size(),
+                           /*is_write=*/true);
+      }
+      successes++;
+      prev = replica;
+    }
+    if (successes == 0) {
+      return Status::IOError("all replicas failed for block append");
+    }
+    if (ctx != nullptr) ctx->AdvanceTo(completion);
+    block_fill_ += chunk.size();
+    size_ += chunk.size();
+    // Publish the new length so concurrent readers can see the tail.
+    return dfs_->name_node_.SealBlock(path_, current_.id, block_fill_);
+  }
+
+  Dfs* dfs_;
+  const std::string path_;
+  const int client_node_;
+  std::string buffer_;  // appended but not yet pipelined
+  BlockInfo current_;
+  bool block_open_ = false;
+  uint64_t block_fill_ = 0;
+  uint64_t size_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Reader: replica selection with data locality, location caching.
+// ---------------------------------------------------------------------------
+
+class DfsRandomAccessFile : public RandomAccessFile {
+ public:
+  DfsRandomAccessFile(Dfs* dfs, std::string path, int client_node)
+      : dfs_(dfs), path_(std::move(path)), client_node_(client_node) {}
+
+  Result<std::string> Read(uint64_t offset, size_t n) const override {
+    LOGBASE_RETURN_NOT_OK(RefreshLocationsIfNeeded(offset + n));
+    std::string out;
+    uint64_t block_start = 0;
+    for (const BlockInfo& b : blocks_) {
+      uint64_t block_end = block_start + b.size;
+      if (offset < block_end && offset + n > block_start) {
+        uint64_t in_off = offset > block_start ? offset - block_start : 0;
+        uint64_t want =
+            std::min<uint64_t>(offset + n, block_end) - (block_start + in_off);
+        auto piece = ReadFromReplica(b, in_off, want);
+        if (!piece.ok()) return piece.status();
+        out += *piece;
+      }
+      block_start = block_end;
+      if (block_start >= offset + n) break;
+    }
+    return out;
+  }
+
+  uint64_t Size() const override {
+    auto size = dfs_->name_node_.FileSize(path_);
+    return size.ok() ? *size : 0;
+  }
+
+ private:
+  Status RefreshLocationsIfNeeded(uint64_t need_bytes) const {
+    if (!blocks_.empty()) {
+      uint64_t cached = 0;
+      for (const BlockInfo& b : blocks_) cached += b.size;
+      if (cached >= need_bytes) return Status::OK();
+    }
+    dfs_->MetadataRpc(client_node_);
+    auto blocks = dfs_->name_node_.GetBlocks(path_);
+    if (!blocks.ok()) return blocks.status();
+    blocks_ = std::move(*blocks);
+    return Status::OK();
+  }
+
+  Result<std::string> ReadFromReplica(const BlockInfo& b, uint64_t offset,
+                                      uint64_t n) const {
+    // Prefer the local replica (HDFS short-circuit read), then any live one.
+    std::vector<int> order;
+    for (int r : b.replicas) {
+      if (r == client_node_) order.insert(order.begin(), r);
+      else order.push_back(r);
+    }
+    Status last = Status::Unavailable("no replicas");
+    for (int r : order) {
+      DataNode* dn = dfs_->data_nodes_[r].get();
+      if (!dn->alive()) continue;
+      auto data = dn->ReadBlock(b.id, offset, n);
+      if (data.ok()) {
+        if (dfs_->network_ != nullptr) {
+          dfs_->network_->Transfer(r, client_node_, data->size());
+        }
+        return data;
+      }
+      last = data.status();
+    }
+    return last;
+  }
+
+  Dfs* dfs_;
+  const std::string path_;
+  const int client_node_;
+  mutable std::vector<BlockInfo> blocks_;  // cached locations
+};
+
+// ---------------------------------------------------------------------------
+// Dfs facade.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<int> MakeRacks(const DfsOptions& options) {
+  std::vector<int> racks(options.num_nodes);
+  for (int i = 0; i < options.num_nodes; i++) {
+    racks[i] = i / std::max(1, options.nodes_per_rack);
+  }
+  return racks;
+}
+
+}  // namespace
+
+Dfs::Dfs(DfsOptions options, sim::NetworkModel* network)
+    : options_(options),
+      owned_network_(network == nullptr
+                         ? std::make_unique<sim::NetworkModel>(options.num_nodes)
+                         : nullptr),
+      network_(network == nullptr ? owned_network_.get() : network),
+      name_node_(MakeRacks(options), options.replication) {
+  data_nodes_.reserve(options.num_nodes);
+  for (int i = 0; i < options.num_nodes; i++) {
+    data_nodes_.push_back(std::make_unique<DataNode>(i, options.disk_params));
+  }
+}
+
+void Dfs::MetadataRpc(int client_node) const {
+  if (network_ != nullptr) {
+    network_->Transfer(client_node, kNameNodeHost, kMetadataRpcBytes);
+  }
+}
+
+std::vector<bool> Dfs::AliveNodes() const {
+  std::vector<bool> alive(data_nodes_.size());
+  for (size_t i = 0; i < data_nodes_.size(); i++) {
+    alive[i] = data_nodes_[i]->alive();
+  }
+  return alive;
+}
+
+Result<std::unique_ptr<WritableFile>> Dfs::Create(const std::string& path,
+                                                  int client_node) {
+  MetadataRpc(client_node);
+  LOGBASE_RETURN_NOT_OK(name_node_.CreateFile(path));
+  return std::unique_ptr<WritableFile>(
+      new DfsWritableFile(this, path, client_node));
+}
+
+Result<std::unique_ptr<RandomAccessFile>> Dfs::Open(const std::string& path,
+                                                    int client_node) {
+  MetadataRpc(client_node);
+  if (!name_node_.Exists(path)) return Status::NotFound(path);
+  return std::unique_ptr<RandomAccessFile>(
+      new DfsRandomAccessFile(this, path, client_node));
+}
+
+Status Dfs::Delete(const std::string& path) {
+  auto blocks = name_node_.DeleteFile(path);
+  if (!blocks.ok()) return blocks.status();
+  for (const BlockInfo& b : *blocks) {
+    for (int r : b.replicas) {
+      data_nodes_[r]->DeleteBlock(b.id);
+    }
+  }
+  return Status::OK();
+}
+
+Status Dfs::Rename(const std::string& from, const std::string& to) {
+  return name_node_.Rename(from, to);
+}
+
+bool Dfs::Exists(const std::string& path) const {
+  return name_node_.Exists(path);
+}
+
+Result<uint64_t> Dfs::FileSize(const std::string& path) const {
+  return name_node_.FileSize(path);
+}
+
+Result<std::vector<std::string>> Dfs::List(const std::string& prefix) const {
+  return name_node_.List(prefix);
+}
+
+void Dfs::KillDataNode(int node) { data_nodes_[node]->Kill(); }
+
+void Dfs::RestartDataNode(int node) { data_nodes_[node]->Restart(); }
+
+Result<int> Dfs::Rereplicate(int dead_node) {
+  auto tasks = name_node_.PlanRereplication(dead_node, AliveNodes());
+  int copied = 0;
+  for (const auto& task : tasks) {
+    DataNode* src = data_nodes_[task.source_node].get();
+    DataNode* dst = data_nodes_[task.target_node].get();
+    auto size = src->BlockSize(task.block);
+    if (!size.ok()) continue;
+    auto data = src->ReadBlock(task.block, 0, *size);
+    if (!data.ok()) continue;
+    if (network_ != nullptr) {
+      network_->Transfer(task.source_node, task.target_node, data->size());
+    }
+    if (dst->HasBlock(task.block)) continue;
+    Status s = dst->WriteBlock(task.block, 0, *data);
+    if (!s.ok()) continue;
+    LOGBASE_RETURN_NOT_OK(name_node_.AddReplica(task.path, task.block,
+                                                task.target_node));
+    copied++;
+  }
+  LOGBASE_LOG(kInfo, "re-replicated %d blocks after node %d failure", copied,
+              dead_node);
+  return copied;
+}
+
+// ---------------------------------------------------------------------------
+// FileSystem adapter.
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<WritableFile>> DfsFileSystem::NewWritableFile(
+    const std::string& path) {
+  // FileSystem::NewWritableFile truncates; DFS files are create-once, so
+  // delete any existing file first.
+  if (dfs_->Exists(path)) {
+    LOGBASE_RETURN_NOT_OK(dfs_->Delete(path));
+  }
+  return dfs_->Create(path, client_node_);
+}
+
+Result<std::unique_ptr<RandomAccessFile>> DfsFileSystem::NewRandomAccessFile(
+    const std::string& path) {
+  return dfs_->Open(path, client_node_);
+}
+
+Status DfsFileSystem::DeleteFile(const std::string& path) {
+  return dfs_->Delete(path);
+}
+
+Status DfsFileSystem::Rename(const std::string& from, const std::string& to) {
+  return dfs_->Rename(from, to);
+}
+
+bool DfsFileSystem::Exists(const std::string& path) {
+  return dfs_->Exists(path);
+}
+
+Result<uint64_t> DfsFileSystem::FileSize(const std::string& path) {
+  return dfs_->FileSize(path);
+}
+
+Result<std::vector<std::string>> DfsFileSystem::List(
+    const std::string& prefix) {
+  return dfs_->List(prefix);
+}
+
+}  // namespace logbase::dfs

@@ -1,0 +1,204 @@
+#include "src/dfs/name_node.h"
+
+#include <algorithm>
+
+namespace logbase::dfs {
+
+NameNode::NameNode(std::vector<int> racks, int replication)
+    : racks_(std::move(racks)), replication_(replication) {}
+
+Status NameNode::CreateFile(const std::string& path) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto [it, inserted] = files_.try_emplace(path);
+  if (!inserted) return Status::InvalidArgument("file exists: " + path);
+  return Status::OK();
+}
+
+std::vector<int> NameNode::PlaceReplicas(int writer_node,
+                                         const std::vector<bool>& alive) {
+  const int n = static_cast<int>(racks_.size());
+  std::vector<int> chosen;
+  auto is_chosen = [&chosen](int node) {
+    return std::find(chosen.begin(), chosen.end(), node) != chosen.end();
+  };
+
+  // First replica: the writer's own node when alive (HDFS data locality).
+  if (writer_node >= 0 && writer_node < n && alive[writer_node]) {
+    chosen.push_back(writer_node);
+  }
+
+  // Second replica: a node on a different rack than the first.
+  if (static_cast<int>(chosen.size()) < replication_ && !chosen.empty()) {
+    int first_rack = racks_[chosen[0]];
+    std::vector<int> candidates;
+    for (int i = 0; i < n; i++) {
+      if (alive[i] && racks_[i] != first_rack && !is_chosen(i)) {
+        candidates.push_back(i);
+      }
+    }
+    if (!candidates.empty()) {
+      chosen.push_back(candidates[rnd_.Uniform(candidates.size())]);
+    }
+  }
+
+  // Third replica: same rack as the second, different node.
+  if (static_cast<int>(chosen.size()) < replication_ && chosen.size() >= 2) {
+    int second_rack = racks_[chosen[1]];
+    std::vector<int> candidates;
+    for (int i = 0; i < n; i++) {
+      if (alive[i] && racks_[i] == second_rack && !is_chosen(i)) {
+        candidates.push_back(i);
+      }
+    }
+    if (!candidates.empty()) {
+      chosen.push_back(candidates[rnd_.Uniform(candidates.size())]);
+    }
+  }
+
+  // Fill any remaining slots (or handle a dead writer) with arbitrary live
+  // nodes — availability beats placement.
+  while (static_cast<int>(chosen.size()) < replication_) {
+    std::vector<int> candidates;
+    for (int i = 0; i < n; i++) {
+      if (alive[i] && !is_chosen(i)) candidates.push_back(i);
+    }
+    if (candidates.empty()) break;
+    chosen.push_back(candidates[rnd_.Uniform(candidates.size())]);
+  }
+  return chosen;
+}
+
+Result<BlockInfo> NameNode::AllocateBlock(const std::string& path,
+                                          int writer_node,
+                                          const std::vector<bool>& alive) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  BlockInfo info;
+  info.id = next_block_id_++;
+  info.replicas = PlaceReplicas(writer_node, alive);
+  if (info.replicas.empty()) {
+    return Status::Unavailable("no live data nodes for block placement");
+  }
+  it->second.blocks.push_back(info);
+  return info;
+}
+
+Status NameNode::SealBlock(const std::string& path, BlockId block,
+                           uint64_t size) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  for (BlockInfo& b : it->second.blocks) {
+    if (b.id == block) {
+      b.size = size;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("block not in file");
+}
+
+Result<std::vector<BlockInfo>> NameNode::GetBlocks(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  return it->second.blocks;
+}
+
+Result<uint64_t> NameNode::FileSize(const std::string& path) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  uint64_t total = 0;
+  for (const BlockInfo& b : it->second.blocks) total += b.size;
+  return total;
+}
+
+bool NameNode::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> l(mu_);
+  return files_.count(path) > 0;
+}
+
+Status NameNode::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound(from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::OK();
+}
+
+Result<std::vector<BlockInfo>> NameNode::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  std::vector<BlockInfo> blocks = std::move(it->second.blocks);
+  files_.erase(it);
+  return blocks;
+}
+
+Result<std::vector<std::string>> NameNode::List(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<std::string> names;
+  for (const auto& [path, inode] : files_) {
+    if (Slice(path).starts_with(prefix)) names.push_back(path);
+  }
+  return names;
+}
+
+std::vector<NameNode::RereplicationTask> NameNode::PlanRereplication(
+    int dead_node, const std::vector<bool>& alive) {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<RereplicationTask> tasks;
+  const int n = static_cast<int>(racks_.size());
+  for (auto& [path, inode] : files_) {
+    for (BlockInfo& b : inode.blocks) {
+      auto dead_it =
+          std::find(b.replicas.begin(), b.replicas.end(), dead_node);
+      if (dead_it == b.replicas.end()) continue;
+
+      int source = -1;
+      for (int r : b.replicas) {
+        if (r != dead_node && r >= 0 && r < n && alive[r]) {
+          source = r;
+          break;
+        }
+      }
+      if (source < 0) continue;  // no live source; block is lost for now
+
+      std::vector<int> candidates;
+      for (int i = 0; i < n; i++) {
+        if (alive[i] &&
+            std::find(b.replicas.begin(), b.replicas.end(), i) ==
+                b.replicas.end()) {
+          candidates.push_back(i);
+        }
+      }
+      if (candidates.empty()) continue;
+      int target =
+          static_cast<int>(candidates[rnd_.Uniform(candidates.size())]);
+      tasks.push_back(RereplicationTask{path, b.id, source, target});
+    }
+  }
+  return tasks;
+}
+
+Status NameNode::AddReplica(const std::string& path, BlockId block, int node) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  for (BlockInfo& b : it->second.blocks) {
+    if (b.id == block) {
+      if (std::find(b.replicas.begin(), b.replicas.end(), node) ==
+          b.replicas.end()) {
+        b.replicas.push_back(node);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("block not in file");
+}
+
+}  // namespace logbase::dfs

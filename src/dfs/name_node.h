@@ -1,0 +1,90 @@
+// The DFS name node: file namespace (path → ordered block list), block
+// placement with HDFS's rack-aware policy, and replication bookkeeping.
+// Pure metadata — block bytes live on data nodes.
+
+#ifndef LOGBASE_DFS_NAME_NODE_H_
+#define LOGBASE_DFS_NAME_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/dfs/data_node.h"
+#include "src/util/random.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace logbase::dfs {
+
+/// Locations and size of one block of a file.
+struct BlockInfo {
+  BlockId id = 0;
+  uint64_t size = 0;
+  std::vector<int> replicas;  // data-node ids, pipeline order
+};
+
+/// Thread-safe metadata service.
+class NameNode {
+ public:
+  /// `racks[i]` is the rack of data node i.
+  NameNode(std::vector<int> racks, int replication);
+
+  /// Creates an empty file; fails if it already exists.
+  Status CreateFile(const std::string& path);
+
+  /// Allocates a new block for the tail of `path`, placing replicas
+  /// rack-aware: first on `writer_node` (when alive), second on a different
+  /// rack, third on the second replica's rack but a different node.
+  /// `alive` reports liveness per node.
+  Result<BlockInfo> AllocateBlock(const std::string& path, int writer_node,
+                                  const std::vector<bool>& alive);
+
+  /// Records the final size of a block once the writer seals it.
+  Status SealBlock(const std::string& path, BlockId block, uint64_t size);
+
+  Result<std::vector<BlockInfo>> GetBlocks(const std::string& path) const;
+  Result<uint64_t> FileSize(const std::string& path) const;
+  bool Exists(const std::string& path) const;
+  Status Rename(const std::string& from, const std::string& to);
+  /// Removes the file; returns the blocks that should be reclaimed.
+  Result<std::vector<BlockInfo>> DeleteFile(const std::string& path);
+  Result<std::vector<std::string>> List(const std::string& prefix) const;
+
+  /// Blocks that lost a replica on `dead_node` and, for each, a surviving
+  /// source and a placement target for re-replication.
+  struct RereplicationTask {
+    std::string path;
+    BlockId block;
+    int source_node;
+    int target_node;
+  };
+  std::vector<RereplicationTask> PlanRereplication(
+      int dead_node, const std::vector<bool>& alive);
+
+  /// Registers the extra replica created by a completed re-replication.
+  Status AddReplica(const std::string& path, BlockId block, int node);
+
+  int replication() const { return replication_; }
+
+ private:
+  struct Inode {
+    std::vector<BlockInfo> blocks;
+  };
+
+  /// Picks replica nodes per the rack-aware policy. Requires mu_ held.
+  std::vector<int> PlaceReplicas(int writer_node,
+                                 const std::vector<bool>& alive);
+
+  const std::vector<int> racks_;
+  const int replication_;
+  mutable std::mutex mu_;
+  std::map<std::string, Inode> files_;
+  BlockId next_block_id_ = 1;
+  Random rnd_{12345};
+};
+
+}  // namespace logbase::dfs
+
+#endif  // LOGBASE_DFS_NAME_NODE_H_

@@ -1,0 +1,85 @@
+// A Lehman–Yao B-link tree over composite (key, timestamp) index entries —
+// the paper's in-memory multiversion index (§3.5: "The indexes resemble
+// Blink-trees to provide efficient key range search and concurrency
+// support"). Timestamps order *descending* within a key so the newest
+// version of a key is its first entry and "latest version <= t" is a single
+// forward seek.
+//
+// Concurrency: per-node mutexes, no lock coupling on descent; every
+// traversal is prepared to chase right-links because a node may split
+// underneath it (the Lehman–Yao protocol). Nodes are never reclaimed until
+// the tree is destroyed, so lock-free readers of stale pointers stay safe.
+
+#ifndef LOGBASE_INDEX_BLINK_TREE_H_
+#define LOGBASE_INDEX_BLINK_TREE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/index/multiversion_index.h"
+
+namespace logbase::index {
+
+class BlinkTree : public MultiVersionIndex {
+ public:
+  BlinkTree();
+  ~BlinkTree() override;
+
+  BlinkTree(const BlinkTree&) = delete;
+  BlinkTree& operator=(const BlinkTree&) = delete;
+
+  Status Insert(const Slice& key, uint64_t timestamp,
+                const log::LogPtr& ptr) override;
+  Status UpdateIfPresent(const Slice& key, uint64_t timestamp,
+                         const log::LogPtr& ptr) override;
+  Result<IndexEntry> GetLatest(const Slice& key) const override;
+  Result<IndexEntry> GetAsOf(const Slice& key, uint64_t as_of) const override;
+  std::vector<IndexEntry> GetAllVersions(const Slice& key) const override;
+  Status RemoveAllVersions(const Slice& key) override;
+  std::vector<IndexEntry> ScanRange(const Slice& start, const Slice& end,
+                                    uint64_t as_of) const override;
+  void VisitAll(
+      const std::function<void(const IndexEntry&)>& visitor) const override;
+  size_t num_entries() const override {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
+  size_t ApproximateMemoryBytes() const override {
+    return memory_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Tree height (test/diagnostic aid).
+  int Height() const;
+
+  // Implementation types; public so file-local helpers in the .cc can name
+  // them, not part of the supported API.
+  struct Node;
+  struct CompositeKey;
+
+ private:
+  Node* NewNode(bool is_leaf, int level);
+  /// Descends to the leaf that should hold `target`, filling `path` with the
+  /// visited node per level (hints for split propagation); no locks held on
+  /// return.
+  Node* DescendToLeaf(const CompositeKey& target,
+                      std::vector<Node*>* path) const;
+  /// Inserts separator/child into the parent level after a split.
+  void InsertIntoParent(std::vector<Node*>* path, int child_level,
+                        const CompositeKey& separator, Node* new_child);
+  /// Splits `node` (exclusively locked) and returns the new right sibling;
+  /// the separator (left node's new high key) is stored in *separator.
+  Node* SplitLocked(Node* node, CompositeKey* separator);
+  Node* FindParentAtLevel(const CompositeKey& key, int level) const;
+
+  std::atomic<Node*> root_;
+  mutable std::mutex root_change_mu_;
+  mutable std::mutex alloc_mu_;
+  std::vector<std::unique_ptr<Node>> all_nodes_;
+  std::atomic<size_t> num_entries_{0};
+  std::atomic<size_t> memory_bytes_{0};
+};
+
+}  // namespace logbase::index
+
+#endif  // LOGBASE_INDEX_BLINK_TREE_H_

@@ -1,0 +1,67 @@
+// Order-preserving byte encoding of the composite IdxKey = (primary key,
+// timestamp) for index implementations that compare raw bytes (the LSM
+// index): escape(key) ++ big-endian(~timestamp). Zero bytes in the key are
+// escaped (0x00 -> 0x00 0x01) and the key is terminated with 0x00 0x00, so
+// lexicographic comparison of encodings matches (key asc, timestamp desc).
+
+#ifndef LOGBASE_INDEX_COMPOSITE_KEY_H_
+#define LOGBASE_INDEX_COMPOSITE_KEY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/slice.h"
+
+namespace logbase::index {
+
+inline std::string EncodeCompositeKey(const Slice& key, uint64_t timestamp) {
+  std::string out;
+  out.reserve(key.size() + 10);
+  for (size_t i = 0; i < key.size(); i++) {
+    out.push_back(key[i]);
+    if (key[i] == '\0') out.push_back('\x01');
+  }
+  out.push_back('\0');
+  out.push_back('\0');
+  uint64_t inverted = ~timestamp;
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((inverted >> shift) & 0xff));
+  }
+  return out;
+}
+
+/// Inverse of EncodeCompositeKey; false on malformed input.
+inline bool DecodeCompositeKey(const Slice& encoded, std::string* key,
+                               uint64_t* timestamp) {
+  key->clear();
+  size_t i = 0;
+  while (i < encoded.size()) {
+    char c = encoded[i];
+    if (c == '\0') {
+      if (i + 1 >= encoded.size()) return false;
+      char next = encoded[i + 1];
+      if (next == '\0') {
+        i += 2;
+        break;  // terminator
+      }
+      if (next != '\x01') return false;
+      key->push_back('\0');
+      i += 2;
+      continue;
+    }
+    key->push_back(c);
+    i++;
+  }
+  if (encoded.size() - i != 8) return false;
+  uint64_t inverted = 0;
+  for (int j = 0; j < 8; j++) {
+    inverted = (inverted << 8) |
+               static_cast<unsigned char>(encoded[i + j]);
+  }
+  *timestamp = ~inverted;
+  return true;
+}
+
+}  // namespace logbase::index
+
+#endif  // LOGBASE_INDEX_COMPOSITE_KEY_H_

@@ -1,0 +1,30 @@
+// Persisting an in-memory index to a DFS index file and reloading it — the
+// checkpoint primitive (paper §3.5/§3.8): flushing indexes to index files
+// lets a restarted tablet server reload them instead of scanning the whole
+// log.
+//
+// File format: fixed64 magic, fixed64 entry count, entries (length-prefixed
+// key, fixed64 timestamp, LogPtr), fixed32 masked CRC32C over everything
+// before it.
+
+#ifndef LOGBASE_INDEX_INDEX_CHECKPOINT_H_
+#define LOGBASE_INDEX_INDEX_CHECKPOINT_H_
+
+#include <string>
+
+#include "src/index/multiversion_index.h"
+#include "src/util/io.h"
+
+namespace logbase::index {
+
+/// Writes all entries of `index` to `path` (replacing any existing file).
+Status WriteIndexCheckpoint(FileSystem* fs, const std::string& path,
+                            const MultiVersionIndex& index);
+
+/// Loads a checkpoint file, inserting every entry into `index`.
+Status LoadIndexCheckpoint(FileSystem* fs, const std::string& path,
+                           MultiVersionIndex* index);
+
+}  // namespace logbase::index
+
+#endif  // LOGBASE_INDEX_INDEX_CHECKPOINT_H_

@@ -1,0 +1,132 @@
+#include "src/index/lsm_index.h"
+
+#include "src/index/composite_key.h"
+
+namespace logbase::index {
+
+namespace {
+
+bool ParseEntry(const Slice& encoded_key, const Slice& value,
+                IndexEntry* entry) {
+  if (!DecodeCompositeKey(encoded_key, &entry->key, &entry->timestamp)) {
+    return false;
+  }
+  Slice input = value;
+  return log::DecodeLogPtr(&input, &entry->ptr);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LsmIndex>> LsmIndex::Open(lsm::LsmOptions options,
+                                                 FileSystem* fs,
+                                                 std::string dir) {
+  auto tree = lsm::LsmTree::Open(std::move(options), fs, std::move(dir));
+  if (!tree.ok()) return tree.status();
+  return std::unique_ptr<LsmIndex>(new LsmIndex(std::move(*tree)));
+}
+
+Status LsmIndex::Insert(const Slice& key, uint64_t timestamp,
+                        const log::LogPtr& ptr) {
+  std::string value;
+  log::EncodeLogPtr(&value, ptr);
+  return tree_->Put(Slice(EncodeCompositeKey(key, timestamp)), Slice(value));
+}
+
+size_t LsmIndex::num_entries() const {
+  size_t count = 0;
+  auto iter = tree_->NewIterator();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) count++;
+  return count;
+}
+
+Status LsmIndex::UpdateIfPresent(const Slice& key, uint64_t timestamp,
+                                 const log::LogPtr& ptr) {
+  auto existing = GetAsOf(key, timestamp);
+  if (!existing.ok()) return existing.status();
+  if (existing->timestamp != timestamp) {
+    return Status::NotFound("version not indexed");
+  }
+  std::string value;
+  log::EncodeLogPtr(&value, ptr);
+  return tree_->Put(Slice(EncodeCompositeKey(key, timestamp)), Slice(value));
+}
+
+Result<IndexEntry> LsmIndex::GetAsOf(const Slice& key, uint64_t as_of) const {
+  auto iter = tree_->NewIterator();
+  iter->Seek(Slice(EncodeCompositeKey(key, as_of)));
+  if (!iter->Valid()) return Status::NotFound("key not in index");
+  IndexEntry entry;
+  if (!ParseEntry(iter->key(), iter->value(), &entry)) {
+    return Status::Corruption("bad index entry");
+  }
+  if (Slice(entry.key) != key) return Status::NotFound("key not in index");
+  return entry;
+}
+
+Result<IndexEntry> LsmIndex::GetLatest(const Slice& key) const {
+  return GetAsOf(key, ~0ull);
+}
+
+std::vector<IndexEntry> LsmIndex::GetAllVersions(const Slice& key) const {
+  std::vector<IndexEntry> versions;
+  auto iter = tree_->NewIterator();
+  for (iter->Seek(Slice(EncodeCompositeKey(key, ~0ull))); iter->Valid();
+       iter->Next()) {
+    IndexEntry entry;
+    if (!ParseEntry(iter->key(), iter->value(), &entry)) break;
+    if (Slice(entry.key) != key) break;
+    versions.push_back(std::move(entry));
+  }
+  return versions;
+}
+
+Status LsmIndex::RemoveAllVersions(const Slice& key) {
+  std::vector<IndexEntry> versions = GetAllVersions(key);
+  for (const IndexEntry& v : versions) {
+    LOGBASE_RETURN_NOT_OK(
+        tree_->Delete(Slice(EncodeCompositeKey(Slice(v.key), v.timestamp))));
+  }
+  return Status::OK();
+}
+
+std::vector<IndexEntry> LsmIndex::ScanRange(const Slice& start,
+                                            const Slice& end,
+                                            uint64_t as_of) const {
+  std::vector<IndexEntry> result;
+  auto iter = tree_->NewIterator();
+  std::string current_key;
+  bool have_current = false;
+  bool taken = false;
+  for (iter->Seek(Slice(EncodeCompositeKey(start, ~0ull))); iter->Valid();
+       iter->Next()) {
+    IndexEntry entry;
+    if (!ParseEntry(iter->key(), iter->value(), &entry)) break;
+    if (!end.empty() && Slice(entry.key).compare(end) >= 0) break;
+    if (!have_current || entry.key != current_key) {
+      current_key = entry.key;
+      have_current = true;
+      taken = false;
+    }
+    if (!taken && entry.timestamp <= as_of) {
+      taken = true;
+      result.push_back(std::move(entry));
+    }
+  }
+  return result;
+}
+
+void LsmIndex::VisitAll(
+    const std::function<void(const IndexEntry&)>& visitor) const {
+  auto iter = tree_->NewIterator();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    IndexEntry entry;
+    if (!ParseEntry(iter->key(), iter->value(), &entry)) continue;
+    visitor(entry);
+  }
+}
+
+size_t LsmIndex::ApproximateMemoryBytes() const {
+  return tree_->MemtableBytes();
+}
+
+}  // namespace logbase::index

@@ -1,0 +1,94 @@
+#include "src/log/log_record.h"
+
+#include "src/util/coding.h"
+#include "src/util/crc32c.h"
+
+namespace logbase::log {
+
+namespace {
+
+void EncodePayload(const LogRecord& record, std::string* dst) {
+  dst->push_back(static_cast<char>(record.type));
+  PutVarint64(dst, record.key.lsn);
+  PutVarint32(dst, record.key.table_id);
+  PutVarint32(dst, record.key.tablet_id);
+  PutVarint64(dst, record.txn_id);
+  PutLengthPrefixedSlice(dst, Slice(record.row.primary_key));
+  PutVarint32(dst, record.row.column_group);
+  PutFixed64(dst, record.row.timestamp);
+  PutLengthPrefixedSlice(dst, Slice(record.value));
+  PutFixed64(dst, record.commit_ts);
+}
+
+}  // namespace
+
+void LogRecord::EncodeTo(std::string* dst) const {
+  std::string payload;
+  EncodePayload(*this, &payload);
+  PutFixed32(dst, crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  dst->append(payload);
+}
+
+uint32_t LogRecord::EncodedSize() const {
+  std::string payload;
+  EncodePayload(*this, &payload);
+  return kLogFrameHeaderSize + static_cast<uint32_t>(payload.size());
+}
+
+Status LogRecord::DecodeFrom(Slice* input, LogRecord* record) {
+  uint32_t masked_crc, len;
+  if (!GetFixed32(input, &masked_crc) || !GetFixed32(input, &len)) {
+    return Status::Corruption("truncated log frame header");
+  }
+  if (input->size() < len) {
+    return Status::Corruption("truncated log frame payload");
+  }
+  Slice payload(input->data(), len);
+  input->remove_prefix(len);
+
+  if (crc32c::Unmask(masked_crc) !=
+      crc32c::Value(payload.data(), payload.size())) {
+    return Status::Corruption("log frame checksum mismatch");
+  }
+
+  if (payload.empty()) return Status::Corruption("empty log payload");
+  record->type = static_cast<LogRecordType>(payload[0]);
+  payload.remove_prefix(1);
+  if (record->type != LogRecordType::kData &&
+      record->type != LogRecordType::kInvalidate &&
+      record->type != LogRecordType::kCommit) {
+    return Status::Corruption("unknown log record type");
+  }
+
+  Slice primary_key, value;
+  if (!GetVarint64(&payload, &record->key.lsn) ||
+      !GetVarint32(&payload, &record->key.table_id) ||
+      !GetVarint32(&payload, &record->key.tablet_id) ||
+      !GetVarint64(&payload, &record->txn_id) ||
+      !GetLengthPrefixedSlice(&payload, &primary_key) ||
+      !GetVarint32(&payload, &record->row.column_group) ||
+      !GetFixed64(&payload, &record->row.timestamp) ||
+      !GetLengthPrefixedSlice(&payload, &value) ||
+      !GetFixed64(&payload, &record->commit_ts)) {
+    return Status::Corruption("malformed log payload");
+  }
+  record->row.primary_key = primary_key.ToString();
+  record->value = value.ToString();
+  return Status::OK();
+}
+
+void EncodeLogPtr(std::string* dst, const LogPtr& ptr) {
+  PutFixed32(dst, ptr.instance);
+  PutFixed32(dst, ptr.segment);
+  PutFixed64(dst, ptr.offset);
+  PutFixed32(dst, ptr.size);
+}
+
+bool DecodeLogPtr(Slice* input, LogPtr* ptr) {
+  return GetFixed32(input, &ptr->instance) &&
+         GetFixed32(input, &ptr->segment) &&
+         GetFixed64(input, &ptr->offset) && GetFixed32(input, &ptr->size);
+}
+
+}  // namespace logbase::log

@@ -1,0 +1,130 @@
+#include "src/log/log_writer.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace logbase::log {
+
+std::string SegmentFileName(const std::string& dir, uint32_t segment) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/segment_%06u.log", segment);
+  return dir + buf;
+}
+
+bool ParseSegmentNumber(const std::string& path, uint32_t* segment) {
+  size_t pos = path.rfind("/segment_");
+  if (pos == std::string::npos) return false;
+  const char* digits = path.c_str() + pos + 9;  // past "/segment_"
+  char* end = nullptr;
+  unsigned long value = std::strtoul(digits, &end, 10);
+  if (end == digits || std::string(end) != ".log") return false;
+  *segment = static_cast<uint32_t>(value);
+  return true;
+}
+
+LogWriter::LogWriter(FileSystem* fs, std::string dir, uint32_t instance,
+                     uint64_t segment_bytes)
+    : fs_(fs),
+      dir_(std::move(dir)),
+      instance_(instance),
+      segment_bytes_(segment_bytes) {}
+
+Status LogWriter::Open(uint64_t first_lsn) {
+  std::lock_guard<std::mutex> l(mu_);
+  next_lsn_ = first_lsn;
+  // Find the highest existing segment and continue after it: old segments
+  // are immutable history (possibly replayed by recovery).
+  auto existing = fs_->List(dir_ + "/segment_");
+  uint32_t highest = 0;
+  if (existing.ok()) {
+    for (const std::string& path : *existing) {
+      uint32_t seg = 0;
+      if (!ParseSegmentNumber(path, &seg)) continue;
+      // The writer owns the low segment lane; compaction outputs live in
+      // high lanes (generation << 24) and are never appended to.
+      if (seg > highest && seg < (1u << 24)) highest = seg;
+    }
+  }
+  segment_ = highest + 1;
+  segment_offset_ = 0;
+  auto file = fs_->NewWritableFile(SegmentFileName(dir_, segment_));
+  if (!file.ok()) return file.status();
+  file_ = std::move(*file);
+  return Status::OK();
+}
+
+Status LogWriter::RollSegmentLocked() {
+  if (file_ != nullptr) {
+    LOGBASE_RETURN_NOT_OK(file_->Sync());
+    LOGBASE_RETURN_NOT_OK(file_->Close());
+  }
+  segment_++;
+  segment_offset_ = 0;
+  auto file = fs_->NewWritableFile(SegmentFileName(dir_, segment_));
+  if (!file.ok()) return file.status();
+  file_ = std::move(*file);
+  return Status::OK();
+}
+
+Status LogWriter::Roll() {
+  std::lock_guard<std::mutex> l(mu_);
+  if (file_ == nullptr) return Status::InvalidArgument("log writer not open");
+  return RollSegmentLocked();
+}
+
+Result<LogPtr> LogWriter::Append(LogRecord record) {
+  std::vector<LogRecord> batch;
+  batch.push_back(std::move(record));
+  std::vector<LogPtr> ptrs;
+  LOGBASE_RETURN_NOT_OK(AppendBatch(&batch, &ptrs));
+  return ptrs[0];
+}
+
+Status LogWriter::AppendBatch(std::vector<LogRecord>* records,
+                              std::vector<LogPtr>* ptrs) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (file_ == nullptr) return Status::InvalidArgument("log writer not open");
+  ptrs->clear();
+  if (records->empty()) return Status::OK();
+
+  if (segment_offset_ >= segment_bytes_) {
+    LOGBASE_RETURN_NOT_OK(RollSegmentLocked());
+  }
+
+  std::string buffer;
+  uint64_t offset = segment_offset_;
+  for (LogRecord& record : *records) {
+    record.key.lsn = next_lsn_++;
+    size_t before = buffer.size();
+    record.EncodeTo(&buffer);
+    LogPtr ptr;
+    ptr.instance = instance_;
+    ptr.segment = segment_;
+    ptr.offset = offset + before;
+    ptr.size = static_cast<uint32_t>(buffer.size() - before);
+    ptrs->push_back(ptr);
+  }
+  // One replicated append for the whole batch — the group-commit win.
+  LOGBASE_RETURN_NOT_OK(file_->Append(Slice(buffer)));
+  LOGBASE_RETURN_NOT_OK(file_->Sync());
+  segment_offset_ += buffer.size();
+  bytes_written_ += buffer.size();
+  return Status::OK();
+}
+
+LogPosition LogWriter::Position() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return LogPosition{segment_, segment_offset_};
+}
+
+uint64_t LogWriter::next_lsn() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return next_lsn_;
+}
+
+uint64_t LogWriter::bytes_written() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return bytes_written_;
+}
+
+}  // namespace logbase::log

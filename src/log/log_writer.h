@@ -1,0 +1,88 @@
+// The single log instance of a tablet server (paper §3.4 design choice: one
+// log per server for all its tablets, to keep writes sequential). The log is
+// an infinite sequence of 64 MB segments, each an append-only DFS file.
+// AppendBatch implements the paper's group-commit optimization (§3.7.2):
+// records of a batch are persisted with one replication round-trip.
+
+#ifndef LOGBASE_LOG_LOG_WRITER_H_
+#define LOGBASE_LOG_LOG_WRITER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/log/log_record.h"
+#include "src/util/io.h"
+#include "src/util/result.h"
+
+namespace logbase::log {
+
+/// Position in the log: everything before it is persisted.
+struct LogPosition {
+  uint32_t segment = 0;
+  uint64_t offset = 0;
+
+  bool operator<(const LogPosition& o) const {
+    return segment != o.segment ? segment < o.segment : offset < o.offset;
+  }
+  bool operator==(const LogPosition& o) const {
+    return segment == o.segment && offset == o.offset;
+  }
+};
+
+std::string SegmentFileName(const std::string& dir, uint32_t segment);
+/// Inverse of SegmentFileName; false when `path` is not a segment file.
+bool ParseSegmentNumber(const std::string& path, uint32_t* segment);
+
+class LogWriter {
+ public:
+  /// `dir` is the server's log directory in the DFS; `instance` is the log
+  /// instance id stamped into every LogPtr (the owning server's stable id).
+  LogWriter(FileSystem* fs, std::string dir, uint32_t instance = 0,
+            uint64_t segment_bytes = 64ull << 20);
+
+  /// Prepares for appending: scans existing segments and starts a fresh one
+  /// after the highest (used both at first start and after recovery).
+  /// `first_lsn` seeds LSN assignment (paper: LSN restarts from the last
+  /// checkpointed LSN).
+  Status Open(uint64_t first_lsn = 1);
+
+  /// Appends one record (assigning its LSN) and synchronously persists it.
+  Result<LogPtr> Append(LogRecord record);
+
+  /// Group commit: assigns LSNs, encodes all records into one buffer and
+  /// persists them with a single replicated append. ptrs[i] locates
+  /// records[i].
+  Status AppendBatch(std::vector<LogRecord>* records,
+                     std::vector<LogPtr>* ptrs);
+
+  /// Closes the current segment and starts a new one (compaction freezes the
+  /// input set this way).
+  Status Roll();
+
+  /// The tail position (next record lands here).
+  LogPosition Position() const;
+
+  uint64_t next_lsn() const;
+  uint64_t bytes_written() const;
+
+ private:
+  Status RollSegmentLocked();
+
+  FileSystem* const fs_;
+  const std::string dir_;
+  const uint32_t instance_;
+  const uint64_t segment_bytes_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<WritableFile> file_;
+  uint32_t segment_ = 0;
+  uint64_t segment_offset_ = 0;
+  uint64_t next_lsn_ = 1;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace logbase::log
+
+#endif  // LOGBASE_LOG_LOG_WRITER_H_

@@ -1,0 +1,80 @@
+// LSM internal-key format (LevelDB idiom): user_key ++ fixed64 tag where
+// tag = (sequence << 8) | type. The internal comparator orders user keys
+// ascending and, within a user key, tags descending so the newest version
+// comes first.
+
+#ifndef LOGBASE_LSM_FORMAT_H_
+#define LOGBASE_LSM_FORMAT_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "src/util/coding.h"
+#include "src/util/comparator.h"
+#include "src/util/slice.h"
+
+namespace logbase::lsm {
+
+enum class ValueType : uint8_t {
+  kDeletion = 0,
+  kValue = 1,
+};
+
+inline constexpr uint64_t kMaxSequence = (1ull << 56) - 1;
+
+inline uint64_t PackTag(uint64_t sequence, ValueType type) {
+  assert(sequence <= kMaxSequence);
+  return (sequence << 8) | static_cast<uint8_t>(type);
+}
+
+inline uint64_t TagSequence(uint64_t tag) { return tag >> 8; }
+inline ValueType TagType(uint64_t tag) {
+  return static_cast<ValueType>(tag & 0xff);
+}
+
+inline std::string MakeInternalKey(const Slice& user_key, uint64_t sequence,
+                                   ValueType type) {
+  std::string ikey;
+  ikey.reserve(user_key.size() + 8);
+  ikey.append(user_key.data(), user_key.size());
+  PutFixed64(&ikey, PackTag(sequence, type));
+  return ikey;
+}
+
+inline Slice ExtractUserKey(const Slice& internal_key) {
+  assert(internal_key.size() >= 8);
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+inline uint64_t ExtractTag(const Slice& internal_key) {
+  assert(internal_key.size() >= 8);
+  return DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+}
+
+/// Orders internal keys: user key ascending, then tag descending.
+class InternalKeyComparator : public Comparator {
+ public:
+  explicit InternalKeyComparator(const Comparator* user_comparator)
+      : user_(user_comparator) {}
+
+  int Compare(const Slice& a, const Slice& b) const override {
+    int r = user_->Compare(ExtractUserKey(a), ExtractUserKey(b));
+    if (r != 0) return r;
+    uint64_t atag = ExtractTag(a);
+    uint64_t btag = ExtractTag(b);
+    if (atag > btag) return -1;
+    if (atag < btag) return +1;
+    return 0;
+  }
+
+  const char* Name() const override { return "logbase.InternalKey"; }
+  const Comparator* user_comparator() const { return user_; }
+
+ private:
+  const Comparator* user_;
+};
+
+}  // namespace logbase::lsm
+
+#endif  // LOGBASE_LSM_FORMAT_H_

@@ -1,0 +1,65 @@
+#include "src/lsm/memtable.h"
+
+namespace logbase::lsm {
+
+MemTable::MemTable(const InternalKeyComparator* comparator)
+    : comparator_(comparator), table_(EntryComparator{comparator}) {}
+
+void MemTable::Add(uint64_t sequence, ValueType type, const Slice& user_key,
+                   const Slice& value) {
+  entries_.push_back(Entry{MakeInternalKey(user_key, sequence, type),
+                           value.ToString()});
+  const Entry* entry = &entries_.back();
+  table_.Insert(entry);
+  table_.BumpSize();
+  mem_usage_ += entry->internal_key.size() + entry->value.size() + 64;
+}
+
+LookupResult MemTable::Get(const Slice& user_key, uint64_t snapshot,
+                           std::string* value) const {
+  // Seek to the first entry for user_key with sequence <= snapshot (tags are
+  // descending within a user key, so seek with the largest wanted tag).
+  Entry probe{MakeInternalKey(user_key, snapshot, ValueType::kValue), ""};
+  Table::Iterator iter(&table_);
+  iter.Seek(&probe);
+  if (!iter.Valid()) return LookupResult::kNotPresent;
+  const Entry* entry = iter.key();
+  Slice found_user = ExtractUserKey(Slice(entry->internal_key));
+  if (comparator_->user_comparator()->Compare(found_user, user_key) != 0) {
+    return LookupResult::kNotPresent;
+  }
+  if (TagType(ExtractTag(Slice(entry->internal_key))) ==
+      ValueType::kDeletion) {
+    return LookupResult::kDeleted;
+  }
+  *value = entry->value;
+  return LookupResult::kFound;
+}
+
+class MemTable::Iter : public KvIterator {
+ public:
+  explicit Iter(const MemTable* mem)
+      : mem_(mem), iter_(&mem->table_) {}
+
+  bool Valid() const override { return iter_.Valid(); }
+  void SeekToFirst() override { iter_.SeekToFirst(); }
+  void Seek(const Slice& target) override {
+    probe_.internal_key.assign(target.data(), target.size());
+    iter_.Seek(&probe_);
+  }
+  void Next() override { iter_.Next(); }
+  Slice key() const override { return Slice(iter_.key()->internal_key); }
+  Slice value() const override { return Slice(iter_.key()->value); }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  const MemTable* mem_;
+  Table::Iterator iter_;
+  Entry probe_;
+};
+
+std::unique_ptr<KvIterator> MemTable::NewIterator() const {
+  return std::make_unique<Iter>(this);
+}
+
+}  // namespace logbase::lsm

@@ -1,0 +1,65 @@
+// The LSM write buffer: a skip list of internal keys. Writes require
+// external synchronization (the LsmTree's write mutex); reads are lock-free.
+
+#ifndef LOGBASE_LSM_MEMTABLE_H_
+#define LOGBASE_LSM_MEMTABLE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "src/lsm/format.h"
+#include "src/util/iterator.h"
+#include "src/util/skiplist.h"
+
+namespace logbase::lsm {
+
+enum class LookupResult {
+  kFound,      // a live value was found
+  kDeleted,    // a tombstone shadows the key — stop searching older data
+  kNotPresent  // nothing here — keep searching older data
+};
+
+class MemTable {
+ public:
+  explicit MemTable(const InternalKeyComparator* comparator);
+
+  /// Adds an entry. REQUIRES: external write synchronization and a sequence
+  /// number greater than any previously added for this user key.
+  void Add(uint64_t sequence, ValueType type, const Slice& user_key,
+           const Slice& value);
+
+  /// Looks up the newest version of `user_key` with sequence <= `snapshot`.
+  LookupResult Get(const Slice& user_key, uint64_t snapshot,
+                   std::string* value) const;
+
+  /// Iterator over internal keys (ascending internal order).
+  std::unique_ptr<KvIterator> NewIterator() const;
+
+  size_t ApproximateMemoryUsage() const { return mem_usage_; }
+  size_t num_entries() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string internal_key;
+    std::string value;
+  };
+  struct EntryComparator {
+    const InternalKeyComparator* cmp;
+    int operator()(const Entry* a, const Entry* b) const {
+      return cmp->Compare(Slice(a->internal_key), Slice(b->internal_key));
+    }
+  };
+  using Table = SkipList<const Entry*, EntryComparator>;
+
+  class Iter;
+
+  const InternalKeyComparator* comparator_;
+  std::deque<Entry> entries_;  // arena: stable addresses
+  Table table_;
+  size_t mem_usage_ = 0;
+};
+
+}  // namespace logbase::lsm
+
+#endif  // LOGBASE_LSM_MEMTABLE_H_

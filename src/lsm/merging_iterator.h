@@ -1,0 +1,72 @@
+// K-way merging iterator over child KvIterators, ordered by a comparator.
+// Used by LSM reads and compactions and by the HBase-baseline multi-file
+// scans.
+
+#ifndef LOGBASE_LSM_MERGING_ITERATOR_H_
+#define LOGBASE_LSM_MERGING_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/util/comparator.h"
+#include "src/util/iterator.h"
+
+namespace logbase::lsm {
+
+class MergingIterator : public KvIterator {
+ public:
+  /// Children earlier in the vector win ties (callers order newest-first so
+  /// the freshest duplicate surfaces first).
+  MergingIterator(const Comparator* comparator,
+                  std::vector<std::unique_ptr<KvIterator>> children)
+      : comparator_(comparator), children_(std::move(children)) {}
+
+  bool Valid() const override { return current_ >= 0; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) child->SeekToFirst();
+    FindSmallest();
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) child->Seek(target);
+    FindSmallest();
+  }
+
+  void Next() override {
+    children_[current_]->Next();
+    FindSmallest();
+  }
+
+  Slice key() const override { return children_[current_]->key(); }
+  Slice value() const override { return children_[current_]->value(); }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  void FindSmallest() {
+    current_ = -1;
+    for (int i = 0; i < static_cast<int>(children_.size()); i++) {
+      if (!children_[i]->Valid()) continue;
+      if (current_ < 0 ||
+          comparator_->Compare(children_[i]->key(),
+                               children_[current_]->key()) < 0) {
+        current_ = i;
+      }
+    }
+  }
+
+  const Comparator* comparator_;
+  std::vector<std::unique_ptr<KvIterator>> children_;
+  int current_ = -1;
+};
+
+}  // namespace logbase::lsm
+
+#endif  // LOGBASE_LSM_MERGING_ITERATOR_H_

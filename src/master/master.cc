@@ -1,0 +1,224 @@
+#include "src/master/master.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace logbase::master {
+
+Master::Master(coord::CoordinationService* coord, int node,
+               std::function<tablet::TabletServer*(int)> server_resolver,
+               std::vector<int> server_ids)
+    : coord_(coord),
+      node_(node),
+      server_resolver_(std::move(server_resolver)),
+      server_ids_(std::move(server_ids)) {}
+
+Status Master::Start() {
+  session_ = coord_->CreateSession(node_);
+  election_ = std::make_unique<coord::MasterElection>(
+      coord_, session_, "master-" + std::to_string(node_), node_);
+  return election_->Campaign();
+}
+
+std::vector<int> Master::LiveServers() const {
+  std::vector<int> live;
+  auto children = coord_->znodes()->GetChildren("/servers");
+  if (!children.ok()) return live;
+  for (const std::string& child : *children) {
+    live.push_back(std::atoi(child.c_str()));
+  }
+  std::sort(live.begin(), live.end());
+  return live;
+}
+
+int Master::PickServerForRange(uint32_t range_id,
+                               const std::vector<int>& live) const {
+  // Same range of every column group lands on the same server: the column
+  // groups of one row co-locate, keeping most transactions single-server.
+  return live[range_id % live.size()];
+}
+
+Status Master::AssignTablet(const tablet::TabletDescriptor& descriptor,
+                            int server_id) {
+  tablet::TabletServer* server = server_resolver_(server_id);
+  if (server == nullptr || !server->running()) {
+    return Status::Unavailable("assigned server is down");
+  }
+  LOGBASE_RETURN_NOT_OK(server->OpenTablet(descriptor));
+  assignments_[descriptor.uid()] = TabletLocation{descriptor, server_id};
+  return Status::OK();
+}
+
+Result<tablet::TableSchema> Master::CreateTable(
+    const std::string& name, const std::vector<std::string>& columns,
+    const std::vector<std::vector<std::string>>& column_groups,
+    const std::vector<std::string>& split_keys) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (tables_.count(name) > 0) {
+    return Status::InvalidArgument("table exists: " + name);
+  }
+  std::vector<int> live = LiveServers();
+  if (live.empty()) return Status::Unavailable("no live tablet servers");
+
+  tablet::TableSchema schema;
+  schema.id = next_table_id_++;
+  schema.name = name;
+  schema.columns = columns;
+  uint32_t group_id = 0;
+  for (const auto& group_columns : column_groups) {
+    tablet::ColumnGroup group;
+    group.id = group_id++;
+    group.name = "cg" + std::to_string(group.id);
+    group.columns = group_columns;
+    schema.groups.push_back(std::move(group));
+  }
+
+  // Range-partition each column group at the split keys.
+  for (const tablet::ColumnGroup& group : schema.groups) {
+    for (uint32_t range = 0; range <= split_keys.size(); range++) {
+      tablet::TabletDescriptor d;
+      d.table_id = schema.id;
+      d.table_name = name;
+      d.column_group = group.id;
+      d.range_id = range;
+      d.start_key = range == 0 ? "" : split_keys[range - 1];
+      d.end_key = range == split_keys.size() ? "" : split_keys[range];
+      LOGBASE_RETURN_NOT_OK(AssignTablet(d, PickServerForRange(range, live)));
+    }
+  }
+
+  tables_[name] = schema;
+  split_keys_[name] = split_keys;
+  LOGBASE_LOG(kInfo, "created table %s: %zu groups x %zu ranges",
+              name.c_str(), schema.groups.size(), split_keys.size() + 1);
+  return schema;
+}
+
+Status Master::AddColumnGroup(const std::string& table,
+                              const std::vector<std::string>& columns) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound(table);
+  std::vector<int> live = LiveServers();
+  if (live.empty()) return Status::Unavailable("no live tablet servers");
+
+  tablet::TableSchema& schema = it->second;
+  tablet::ColumnGroup group;
+  group.id = schema.groups.empty() ? 0 : schema.groups.back().id + 1;
+  group.name = "cg" + std::to_string(group.id);
+  group.columns = columns;
+
+  const std::vector<std::string>& splits = split_keys_[table];
+  for (uint32_t range = 0; range <= splits.size(); range++) {
+    tablet::TabletDescriptor d;
+    d.table_id = schema.id;
+    d.table_name = table;
+    d.column_group = group.id;
+    d.range_id = range;
+    d.start_key = range == 0 ? "" : splits[range - 1];
+    d.end_key = range == splits.size() ? "" : splits[range];
+    LOGBASE_RETURN_NOT_OK(AssignTablet(d, PickServerForRange(range, live)));
+  }
+  schema.groups.push_back(std::move(group));
+  schema.columns.insert(schema.columns.end(), columns.begin(), columns.end());
+  return Status::OK();
+}
+
+Result<tablet::TableSchema> Master::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound(name);
+  return it->second;
+}
+
+Result<TabletLocation> Master::Locate(const std::string& table,
+                                      uint32_t column_group,
+                                      const Slice& key) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound(table);
+  auto splits_it = split_keys_.find(table);
+  const std::vector<std::string>& splits = splits_it->second;
+
+  // Binary search the range containing the key.
+  uint32_t range = 0;
+  while (range < splits.size() && key.compare(Slice(splits[range])) >= 0) {
+    range++;
+  }
+  tablet::TabletDescriptor probe;
+  probe.table_id = it->second.id;
+  probe.column_group = column_group;
+  probe.range_id = range;
+  auto assignment = assignments_.find(probe.uid());
+  if (assignment == assignments_.end()) {
+    return Status::NotFound("tablet not assigned: " + probe.uid());
+  }
+  return assignment->second;
+}
+
+Result<std::vector<TabletLocation>> Master::LocateAll(
+    const std::string& table, uint32_t column_group) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound(table);
+  std::vector<TabletLocation> locations;
+  for (const auto& [uid, location] : assignments_) {
+    if (location.descriptor.table_id == it->second.id &&
+        location.descriptor.column_group == column_group) {
+      locations.push_back(location);
+    }
+  }
+  std::sort(locations.begin(), locations.end(),
+            [](const TabletLocation& a, const TabletLocation& b) {
+              return a.descriptor.range_id < b.descriptor.range_id;
+            });
+  return locations;
+}
+
+Status Master::HandleServerFailure(int dead_server) {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<int> live = LiveServers();
+  live.erase(std::remove(live.begin(), live.end(), dead_server), live.end());
+  if (live.empty()) return Status::Unavailable("no live servers to adopt");
+
+  int next = 0;
+  int adopted = 0;
+  for (auto& [uid, location] : assignments_) {
+    if (location.server_id != dead_server) continue;
+    int target_id = live[next++ % live.size()];
+    tablet::TabletServer* target = server_resolver_(target_id);
+    if (target == nullptr || !target->running()) {
+      return Status::Unavailable("adoption target is down");
+    }
+    LOGBASE_RETURN_NOT_OK(
+        target->AdoptTablet(location.descriptor, dead_server));
+    location.server_id = target_id;
+    adopted++;
+  }
+  LOGBASE_LOG(kInfo, "master reassigned %d tablets from dead server %d",
+              adopted, dead_server);
+  return Status::OK();
+}
+
+Result<int> Master::DetectAndHandleFailures() {
+  std::vector<int> dead;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    std::vector<int> live = LiveServers();
+    for (const auto& [uid, location] : assignments_) {
+      if (std::find(live.begin(), live.end(), location.server_id) ==
+              live.end() &&
+          std::find(dead.begin(), dead.end(), location.server_id) ==
+              dead.end()) {
+        dead.push_back(location.server_id);
+      }
+    }
+  }
+  for (int server : dead) {
+    LOGBASE_RETURN_NOT_OK(HandleServerFailure(server));
+  }
+  return static_cast<int>(dead.size());
+}
+
+}  // namespace logbase::master

@@ -1,0 +1,103 @@
+// The master node (paper §3.3): metadata (tables, column groups, range
+// partitions), tablet-to-server assignment, and tablet-server failure
+// handling (permanent failures reassign tablets; the new owners recover from
+// the dead server's log in the shared DFS, §3.8). Multiple masters may run;
+// the active one is elected through the coordination service. The master is
+// off the data path: clients cache routing information.
+
+#ifndef LOGBASE_MASTER_MASTER_H_
+#define LOGBASE_MASTER_MASTER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/coord/coordination_service.h"
+#include "src/coord/master_election.h"
+#include "src/tablet/schema.h"
+#include "src/tablet/tablet_server.h"
+
+namespace logbase::master {
+
+struct TabletLocation {
+  tablet::TabletDescriptor descriptor;
+  int server_id = -1;
+};
+
+class Master {
+ public:
+  /// `server_resolver` maps a server id to its live TabletServer (nullptr
+  /// when down); `server_ids` is the set of machines in the cluster.
+  Master(coord::CoordinationService* coord, int node,
+         std::function<tablet::TabletServer*(int)> server_resolver,
+         std::vector<int> server_ids);
+
+  /// Joins the master election.
+  Status Start();
+  bool IsActiveMaster() const { return election_->IsLeader(); }
+
+  // -- DDL ---------------------------------------------------------------
+
+  /// Creates a table with the given column groups; each group is range-
+  /// partitioned at `split_keys` (n split keys = n + 1 tablets per group).
+  /// Tablets of the same range across groups co-locate on one server, so a
+  /// row's column groups share a machine (entity-group clustering, §3.2).
+  Result<tablet::TableSchema> CreateTable(
+      const std::string& name, const std::vector<std::string>& columns,
+      const std::vector<std::vector<std::string>>& column_groups,
+      const std::vector<std::string>& split_keys);
+
+  /// Adds a column group to an existing table (same range partitioning).
+  Status AddColumnGroup(const std::string& table,
+                        const std::vector<std::string>& columns);
+
+  Result<tablet::TableSchema> GetTable(const std::string& name) const;
+
+  // -- Routing -----------------------------------------------------------
+
+  Result<TabletLocation> Locate(const std::string& table,
+                                uint32_t column_group,
+                                const Slice& key) const;
+  /// All tablets of one column group, key-ordered (scan fan-out).
+  Result<std::vector<TabletLocation>> LocateAll(const std::string& table,
+                                                uint32_t column_group) const;
+
+  // -- Failure handling ----------------------------------------------------
+
+  /// Servers whose liveness znode is present.
+  std::vector<int> LiveServers() const;
+
+  /// Treats `dead_server` as permanently failed: every tablet it hosted is
+  /// adopted by a live server (checkpoint reload + filtered log redo).
+  Status HandleServerFailure(int dead_server);
+
+  /// Compares assignments against liveness znodes and handles every dead
+  /// server found. Returns the number of servers handled.
+  Result<int> DetectAndHandleFailures();
+
+ private:
+  Status AssignTablet(const tablet::TabletDescriptor& descriptor,
+                      int server_id);  // requires mu_ held
+  int PickServerForRange(uint32_t range_id,
+                         const std::vector<int>& live) const;
+
+  coord::CoordinationService* const coord_;
+  const int node_;
+  std::function<tablet::TabletServer*(int)> server_resolver_;
+  const std::vector<int> server_ids_;
+  coord::SessionId session_ = 0;
+  std::unique_ptr<coord::MasterElection> election_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, tablet::TableSchema> tables_;
+  std::map<std::string, std::vector<std::string>> split_keys_;  // per table
+  std::map<std::string, TabletLocation> assignments_;           // by uid
+  uint32_t next_table_id_ = 1;
+};
+
+}  // namespace logbase::master
+
+#endif  // LOGBASE_MASTER_MASTER_H_

@@ -1,0 +1,98 @@
+#include "src/partition/graph_partitioner.h"
+
+#include <algorithm>
+#include <set>
+
+namespace logbase::partition {
+
+double GraphPartitioner::CrossPartitionFraction(
+    const std::vector<TransactionTrace>& trace,
+    const std::map<std::string, int>& assignment) {
+  double total = 0, crossing = 0;
+  int synthetic = -1;  // distinct negative ids for unassigned keys
+  for (const TransactionTrace& txn : trace) {
+    total += txn.frequency;
+    std::set<int> partitions;
+    for (const std::string& key : txn.keys) {
+      auto it = assignment.find(key);
+      partitions.insert(it != assignment.end() ? it->second : synthetic--);
+    }
+    if (partitions.size() > 1) crossing += txn.frequency;
+  }
+  return total > 0 ? crossing / total : 0;
+}
+
+GraphPartition GraphPartitioner::Partition(
+    const std::vector<TransactionTrace>& trace, int k,
+    const GraphPartitionerOptions& options) {
+  GraphPartition result;
+  if (k <= 0) return result;
+
+  // Collect the vertex set.
+  std::set<std::string> keys;
+  for (const TransactionTrace& txn : trace) {
+    keys.insert(txn.keys.begin(), txn.keys.end());
+  }
+  if (keys.empty()) return result;
+  size_t capacity = std::max<size_t>(
+      1, static_cast<size_t>(
+             static_cast<double>(keys.size()) / k * options.balance_factor +
+             0.999));
+
+  // Heaviest transactions first: their key sets are the co-access cliques
+  // we most want to keep intact.
+  std::vector<const TransactionTrace*> ordered;
+  for (const TransactionTrace& txn : trace) ordered.push_back(&txn);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const TransactionTrace* a, const TransactionTrace* b) {
+              return a->frequency > b->frequency;
+            });
+
+  std::vector<size_t> load(k, 0);
+  auto lightest = [&load, k]() {
+    int best = 0;
+    for (int p = 1; p < k; p++) {
+      if (load[p] < load[best]) best = p;
+    }
+    return best;
+  };
+
+  for (const TransactionTrace* txn : ordered) {
+    // Count where this transaction's already-placed keys live.
+    std::vector<int> votes(k, 0);
+    std::vector<std::string> unplaced;
+    for (const std::string& key : txn->keys) {
+      auto it = result.assignment.find(key);
+      if (it != result.assignment.end()) {
+        votes[it->second]++;
+      } else {
+        unplaced.push_back(key);
+      }
+    }
+    if (unplaced.empty()) continue;
+    // Target: the most-voted partition with room, else the lightest with
+    // room, else the globally lightest.
+    int target = -1;
+    int best_votes = -1;
+    for (int p = 0; p < k; p++) {
+      if (load[p] + unplaced.size() <= capacity && votes[p] > best_votes) {
+        best_votes = votes[p];
+        target = p;
+      }
+    }
+    if (target < 0) target = lightest();
+    for (const std::string& key : unplaced) {
+      // A transaction bigger than one partition's headroom overflows into
+      // the lightest partitions rather than blowing the balance cap.
+      if (load[target] >= capacity) target = lightest();
+      result.assignment[key] = target;
+      load[target]++;
+    }
+  }
+
+  result.cross_partition_fraction =
+      CrossPartitionFraction(trace, result.assignment);
+  return result;
+}
+
+}  // namespace logbase::partition

@@ -1,0 +1,58 @@
+// Workload-driven horizontal partitioning (paper §3.2, citing Schism
+// [Curino et al., VLDB'10]): when data cannot be clustered into entity
+// groups by key design, model the transaction workload as a graph — records
+// are vertices, co-access within a transaction adds edge weight — and
+// partition it so that few transactions cross partitions while partitions
+// stay balanced.
+//
+// The partitioner here is a greedy edge-driven heuristic: transactions are
+// considered by total weight; each is pulled into the partition where most
+// of its records already live (or the lightest partition when unplaced),
+// subject to a balance cap.
+
+#ifndef LOGBASE_PARTITION_GRAPH_PARTITIONER_H_
+#define LOGBASE_PARTITION_GRAPH_PARTITIONER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace logbase::partition {
+
+/// One transaction class from the trace: the records it touches and how
+/// often it runs.
+struct TransactionTrace {
+  std::vector<std::string> keys;
+  double frequency = 1.0;
+};
+
+struct GraphPartitionerOptions {
+  /// Max allowed partition size as a multiple of the ideal (n/k).
+  double balance_factor = 1.3;
+};
+
+struct GraphPartition {
+  /// key -> partition id in [0, k).
+  std::map<std::string, int> assignment;
+  /// Weighted fraction of trace transactions whose keys span >1 partition.
+  double cross_partition_fraction = 0;
+};
+
+class GraphPartitioner {
+ public:
+  /// Partitions the keys appearing in `trace` into `k` parts.
+  static GraphPartition Partition(const std::vector<TransactionTrace>& trace,
+                                  int k,
+                                  const GraphPartitionerOptions& options = {});
+
+  /// Weighted fraction of transactions that would be distributed under
+  /// `assignment` (keys absent from the assignment count as their own
+  /// partition).
+  static double CrossPartitionFraction(
+      const std::vector<TransactionTrace>& trace,
+      const std::map<std::string, int>& assignment);
+};
+
+}  // namespace logbase::partition
+
+#endif  // LOGBASE_PARTITION_GRAPH_PARTITIONER_H_

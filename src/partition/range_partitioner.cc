@@ -1,0 +1,34 @@
+#include "src/partition/range_partitioner.h"
+
+#include <algorithm>
+
+namespace logbase::partition {
+
+std::vector<std::string> RangePartitioner::SplitPoints(
+    std::vector<std::string> sample, int num_partitions) {
+  std::vector<std::string> splits;
+  if (num_partitions <= 1 || sample.empty()) return splits;
+  std::sort(sample.begin(), sample.end());
+  sample.erase(std::unique(sample.begin(), sample.end()), sample.end());
+  for (int i = 1; i < num_partitions; i++) {
+    size_t pos = sample.size() * i / num_partitions;
+    if (pos >= sample.size()) pos = sample.size() - 1;
+    const std::string& candidate = sample[pos];
+    if (splits.empty() || splits.back() < candidate) {
+      splits.push_back(candidate);
+    }
+  }
+  return splits;
+}
+
+int RangePartitioner::Locate(const std::vector<std::string>& splits,
+                             const Slice& key) {
+  int partition = 0;
+  while (partition < static_cast<int>(splits.size()) &&
+         key.compare(Slice(splits[partition])) >= 0) {
+    partition++;
+  }
+  return partition;
+}
+
+}  // namespace logbase::partition

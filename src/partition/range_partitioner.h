@@ -1,0 +1,29 @@
+// Horizontal (range) partitioning of a column group into tablets (paper
+// §3.2): split points chosen from a key sample so tablets carry roughly
+// equal data, and a locator for routing.
+
+#ifndef LOGBASE_PARTITION_RANGE_PARTITIONER_H_
+#define LOGBASE_PARTITION_RANGE_PARTITIONER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/slice.h"
+
+namespace logbase::partition {
+
+class RangePartitioner {
+ public:
+  /// Picks `num_partitions - 1` split keys from a sample of keys so each
+  /// partition holds a similar share of the sample.
+  static std::vector<std::string> SplitPoints(std::vector<std::string> sample,
+                                              int num_partitions);
+
+  /// Index of the partition holding `key` given sorted split points
+  /// (partition i covers [splits[i-1], splits[i])).
+  static int Locate(const std::vector<std::string>& splits, const Slice& key);
+};
+
+}  // namespace logbase::partition
+
+#endif  // LOGBASE_PARTITION_RANGE_PARTITIONER_H_

@@ -1,0 +1,129 @@
+#include "src/partition/vertical_partitioner.h"
+
+#include <algorithm>
+#include <set>
+
+namespace logbase::partition {
+
+double VerticalPartitioner::IoCost(
+    const Grouping& grouping,
+    const std::map<std::string, double>& column_bytes,
+    const std::vector<QueryTrace>& workload) {
+  // Precompute group widths.
+  std::vector<double> width(grouping.size(), 0.0);
+  for (size_t g = 0; g < grouping.size(); g++) {
+    for (const std::string& column : grouping[g]) {
+      auto it = column_bytes.find(column);
+      width[g] += it != column_bytes.end() ? it->second : 8.0;
+    }
+  }
+  double cost = 0;
+  for (const QueryTrace& query : workload) {
+    std::set<std::string> wanted(query.columns.begin(), query.columns.end());
+    for (size_t g = 0; g < grouping.size(); g++) {
+      bool touched = std::any_of(
+          grouping[g].begin(), grouping[g].end(),
+          [&wanted](const std::string& c) { return wanted.count(c) > 0; });
+      if (touched) cost += query.frequency * width[g];
+    }
+  }
+  return cost;
+}
+
+Grouping VerticalPartitioner::ExhaustiveSearch(
+    const std::vector<std::string>& columns,
+    const std::map<std::string, double>& column_bytes,
+    const std::vector<QueryTrace>& workload) {
+  // Enumerate set partitions via restricted growth strings.
+  size_t n = columns.size();
+  std::vector<int> assignment(n, 0);
+  Grouping best;
+  double best_cost = -1;
+
+  auto evaluate = [&]() {
+    int groups = *std::max_element(assignment.begin(), assignment.end()) + 1;
+    Grouping grouping(groups);
+    for (size_t i = 0; i < n; i++) {
+      grouping[assignment[i]].push_back(columns[i]);
+    }
+    double cost = IoCost(grouping, column_bytes, workload);
+    if (best_cost < 0 || cost < best_cost) {
+      best_cost = cost;
+      best = std::move(grouping);
+    }
+  };
+
+  // Iterative restricted-growth-string enumeration.
+  while (true) {
+    evaluate();
+    // Next RGS: rightmost position that can be incremented.
+    int i = static_cast<int>(n) - 1;
+    for (; i > 0; i--) {
+      int max_prefix = *std::max_element(assignment.begin(),
+                                         assignment.begin() + i);
+      if (assignment[i] <= max_prefix) break;
+    }
+    if (i == 0) break;
+    assignment[i]++;
+    for (size_t j = i + 1; j < n; j++) assignment[j] = 0;
+  }
+  return best;
+}
+
+Grouping VerticalPartitioner::GreedyMerge(
+    const std::vector<std::string>& columns,
+    const std::map<std::string, double>& column_bytes,
+    const std::vector<QueryTrace>& workload) {
+  // Start with singletons; merge the pair with the biggest cost reduction
+  // until no merge helps.
+  Grouping grouping;
+  for (const std::string& column : columns) {
+    grouping.push_back({column});
+  }
+  double current = IoCost(grouping, column_bytes, workload);
+  while (grouping.size() > 1) {
+    double best_cost = current;
+    size_t best_a = 0, best_b = 0;
+    for (size_t a = 0; a < grouping.size(); a++) {
+      for (size_t b = a + 1; b < grouping.size(); b++) {
+        Grouping candidate;
+        for (size_t g = 0; g < grouping.size(); g++) {
+          if (g == a || g == b) continue;
+          candidate.push_back(grouping[g]);
+        }
+        std::vector<std::string> merged = grouping[a];
+        merged.insert(merged.end(), grouping[b].begin(), grouping[b].end());
+        candidate.push_back(std::move(merged));
+        double cost = IoCost(candidate, column_bytes, workload);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_cost >= current) break;
+    std::vector<std::string> merged = grouping[best_a];
+    merged.insert(merged.end(), grouping[best_b].begin(),
+                  grouping[best_b].end());
+    grouping.erase(grouping.begin() + best_b);
+    grouping.erase(grouping.begin() + best_a);
+    grouping.push_back(std::move(merged));
+    current = best_cost;
+  }
+  return grouping;
+}
+
+Grouping VerticalPartitioner::Partition(
+    const std::vector<std::string>& columns,
+    const std::map<std::string, double>& column_bytes,
+    const std::vector<QueryTrace>& workload,
+    const VerticalPartitionerOptions& options) {
+  if (columns.empty()) return {};
+  if (columns.size() <= options.exhaustive_limit) {
+    return ExhaustiveSearch(columns, column_bytes, workload);
+  }
+  return GreedyMerge(columns, column_bytes, workload);
+}
+
+}  // namespace logbase::partition

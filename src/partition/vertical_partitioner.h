@@ -1,0 +1,60 @@
+// Workload-driven vertical partitioning (paper §3.2): given a table's
+// columns, their average stored widths and a query-workload trace, choose
+// the grouping of columns into column groups that minimizes the workload's
+// I/O cost. A query pays the full row width of every group it touches, so
+// co-grouping columns that are accessed together saves I/O. Small schemas
+// are solved exactly (all set partitions enumerated); larger ones use a
+// greedy pairwise-merge heuristic.
+
+#ifndef LOGBASE_PARTITION_VERTICAL_PARTITIONER_H_
+#define LOGBASE_PARTITION_VERTICAL_PARTITIONER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace logbase::partition {
+
+/// One query class in the workload trace: the set of columns it reads and
+/// its relative frequency.
+struct QueryTrace {
+  std::vector<std::string> columns;
+  double frequency = 1.0;
+};
+
+using Grouping = std::vector<std::vector<std::string>>;
+
+struct VerticalPartitionerOptions {
+  /// Exhaustive search up to this many columns (Bell numbers explode);
+  /// greedy merge beyond it.
+  size_t exhaustive_limit = 8;
+};
+
+class VerticalPartitioner {
+ public:
+  /// The weighted I/O bytes the workload pays under `grouping`.
+  static double IoCost(const Grouping& grouping,
+                       const std::map<std::string, double>& column_bytes,
+                       const std::vector<QueryTrace>& workload);
+
+  /// The cost-minimal grouping of `columns`.
+  static Grouping Partition(
+      const std::vector<std::string>& columns,
+      const std::map<std::string, double>& column_bytes,
+      const std::vector<QueryTrace>& workload,
+      const VerticalPartitionerOptions& options = {});
+
+ private:
+  static Grouping ExhaustiveSearch(
+      const std::vector<std::string>& columns,
+      const std::map<std::string, double>& column_bytes,
+      const std::vector<QueryTrace>& workload);
+  static Grouping GreedyMerge(
+      const std::vector<std::string>& columns,
+      const std::map<std::string, double>& column_bytes,
+      const std::vector<QueryTrace>& workload);
+};
+
+}  // namespace logbase::partition
+
+#endif  // LOGBASE_PARTITION_VERTICAL_PARTITIONER_H_

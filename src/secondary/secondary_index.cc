@@ -1,0 +1,119 @@
+#include "src/secondary/secondary_index.h"
+
+namespace logbase::secondary {
+
+SecondaryIndex::SecondaryIndex(std::string name, KeyExtractor extractor)
+    : name_(std::move(name)), extractor_(std::move(extractor)) {}
+
+std::string SecondaryIndex::Prefix(const Slice& secondary) {
+  // Escape 0x00 (0x00 -> 0x00 0x01) and terminate with 0x00 0x00 so the
+  // boundary between secondary and primary parts is unambiguous and
+  // order-preserving.
+  std::string out;
+  out.reserve(secondary.size() + 2);
+  for (size_t i = 0; i < secondary.size(); i++) {
+    out.push_back(secondary[i]);
+    if (secondary[i] == '\0') out.push_back('\x01');
+  }
+  out.push_back('\0');
+  out.push_back('\0');
+  return out;
+}
+
+std::string SecondaryIndex::Composite(const Slice& secondary,
+                                      const Slice& primary) {
+  std::string out = Prefix(secondary);
+  out.append(primary.data(), primary.size());
+  return out;
+}
+
+bool SecondaryIndex::SplitComposite(const Slice& composite,
+                                    std::string* secondary,
+                                    std::string* primary) {
+  secondary->clear();
+  size_t i = 0;
+  while (i < composite.size()) {
+    char c = composite[i];
+    if (c == '\0') {
+      if (i + 1 >= composite.size()) return false;
+      char next = composite[i + 1];
+      if (next == '\0') {
+        i += 2;
+        *primary = std::string(composite.data() + i, composite.size() - i);
+        return true;
+      }
+      if (next != '\x01') return false;
+      secondary->push_back('\0');
+      i += 2;
+      continue;
+    }
+    secondary->push_back(c);
+    i++;
+  }
+  return false;
+}
+
+Status SecondaryIndex::OnWrite(const Slice& primary_key, uint64_t timestamp,
+                               const Slice& value) {
+  std::optional<std::string> secondary = extractor_(value);
+  if (!secondary.has_value()) return Status::OK();
+  {
+    std::lock_guard<std::mutex> l(history_mu_);
+    history_[primary_key.ToString()].insert(*secondary);
+  }
+  // The LogPtr payload is unused by secondary entries; the timestamp carries
+  // the version.
+  return tree_.Insert(Slice(Composite(Slice(*secondary), primary_key)),
+                      timestamp, log::LogPtr{});
+}
+
+Status SecondaryIndex::OnDelete(const Slice& primary_key) {
+  std::set<std::string> secondaries;
+  {
+    std::lock_guard<std::mutex> l(history_mu_);
+    auto it = history_.find(primary_key.ToString());
+    if (it == history_.end()) return Status::OK();
+    secondaries = std::move(it->second);
+    history_.erase(it);
+  }
+  for (const std::string& secondary : secondaries) {
+    LOGBASE_RETURN_NOT_OK(tree_.RemoveAllVersions(
+        Slice(Composite(Slice(secondary), primary_key))));
+  }
+  return Status::OK();
+}
+
+std::vector<SecondaryMatch> SecondaryIndex::Lookup(
+    const Slice& secondary_key, uint64_t as_of) const {
+  std::string start = Prefix(secondary_key);
+  // All composites for this secondary share `start` as a strict prefix; the
+  // terminator's second 0x00 bumped to 0x01 bounds the range.
+  std::string end = start;
+  end.back() = '\x01';
+  return LookupRangeInternal_(start, end, as_of);
+}
+
+std::vector<SecondaryMatch> SecondaryIndex::LookupRange(
+    const Slice& start, const Slice& end, uint64_t as_of) const {
+  std::string lo = Prefix(start);
+  std::string hi = end.empty() ? std::string() : Prefix(end);
+  return LookupRangeInternal_(lo, hi, as_of);
+}
+
+std::vector<SecondaryMatch> SecondaryIndex::LookupRangeInternal_(
+    const std::string& lo, const std::string& hi, uint64_t as_of) const {
+  std::vector<SecondaryMatch> matches;
+  for (const index::IndexEntry& entry :
+       tree_.ScanRange(Slice(lo), Slice(hi), as_of)) {
+    SecondaryMatch match;
+    if (!SplitComposite(Slice(entry.key), &match.secondary_key,
+                        &match.primary_key)) {
+      continue;
+    }
+    match.timestamp = entry.timestamp;
+    matches.push_back(std::move(match));
+  }
+  return matches;
+}
+
+}  // namespace logbase::secondary

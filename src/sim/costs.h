@@ -1,0 +1,32 @@
+// CPU cost constants charged to the ambient virtual clock by the software
+// layers (index probes, memtable inserts, record parsing, ...). These are
+// small relative to I/O and network costs — the paper's effects are
+// I/O-dominated — but they keep pure-memory paths (cache hits, index scans)
+// from being free.
+
+#ifndef LOGBASE_SIM_COSTS_H_
+#define LOGBASE_SIM_COSTS_H_
+
+#include "src/sim/sim_context.h"
+
+namespace logbase::sim::costs {
+
+/// One in-memory index (B-link tree / LSM memtable) probe.
+inline constexpr VirtualTime kIndexLookupUs = 2;
+/// One in-memory index insert.
+inline constexpr VirtualTime kIndexInsertUs = 3;
+/// Advancing an in-memory iterator one entry.
+inline constexpr VirtualTime kIndexNextUs = 1;
+/// Encoding or decoding one log record / table entry.
+inline constexpr VirtualTime kRecordCodecUs = 1;
+/// Read-buffer / block-cache probe.
+inline constexpr VirtualTime kCacheProbeUs = 1;
+/// Transaction bookkeeping per operation (read/write set tracking).
+inline constexpr VirtualTime kTxnBookkeepingUs = 1;
+/// One coordination-service call (Zookeeper-style quorum write), charged in
+/// addition to network transfer to the coordinator node.
+inline constexpr VirtualTime kCoordinationUs = 300;
+
+}  // namespace logbase::sim::costs
+
+#endif  // LOGBASE_SIM_COSTS_H_

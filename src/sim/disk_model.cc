@@ -1,0 +1,74 @@
+#include "src/sim/disk_model.h"
+
+#include <algorithm>
+
+namespace logbase::sim {
+
+DiskModel::DiskModel(std::string name, DiskParams params)
+    : params_(params), resource_(std::move(name)) {}
+
+VirtualTime DiskModel::TransferUs(uint64_t n) const {
+  // 1 MB/s == 1 byte/us, so bytes / MB-per-s gives microseconds.
+  double bytes_per_us = params_.bandwidth_mb_per_s;
+  return static_cast<VirtualTime>(static_cast<double>(n) / bytes_per_us) + 1;
+}
+
+bool DiskModel::MatchStreamLocked(uint64_t locus, uint64_t offset,
+                                  uint64_t n) {
+  // `locus` arrives pre-tagged with the read/write bit by the callers.
+  auto it = streams_.find(locus);
+  bool sequential = it != streams_.end() && it->second == offset;
+  if (it != streams_.end()) {
+    it->second = offset + n;
+    stream_lru_.remove(locus);
+    stream_lru_.push_front(locus);
+  } else {
+    streams_[locus] = offset + n;
+    stream_lru_.push_front(locus);
+    if (stream_lru_.size() > kMaxStreams) {
+      streams_.erase(stream_lru_.back());
+      stream_lru_.pop_back();
+    }
+  }
+  return sequential;
+}
+
+VirtualTime DiskModel::AccessCost(uint64_t locus, uint64_t offset,
+                                  uint64_t n, bool is_write) const {
+  std::lock_guard<std::mutex> l(mu_);
+  uint64_t stream_key = (locus << 1) | (is_write ? 1 : 0);
+  auto it = streams_.find(stream_key);
+  bool sequential = it != streams_.end() && it->second == offset;
+  VirtualTime positioning =
+      sequential ? 0 : params_.seek_us + params_.rotational_us;
+  return positioning + TransferUs(n);
+}
+
+VirtualTime DiskModel::AccessFrom(VirtualTime start, uint64_t locus,
+                                  uint64_t offset, uint64_t n,
+                                  bool is_write) {
+  VirtualTime cost;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    uint64_t stream_key = (locus << 1) | (is_write ? 1 : 0);
+    bool sequential = MatchStreamLocked(stream_key, offset, n);
+    VirtualTime positioning =
+        sequential ? 0 : params_.seek_us + params_.rotational_us;
+    cost = positioning + TransferUs(n);
+  }
+  return resource_.Acquire(start, cost);
+}
+
+void DiskModel::Access(uint64_t locus, uint64_t offset, uint64_t n,
+                       bool is_write) {
+  SimContext* ctx = SimContext::Current();
+  if (ctx == nullptr) {
+    // No actor: still update stream state, charge nothing.
+    std::lock_guard<std::mutex> l(mu_);
+    MatchStreamLocked((locus << 1) | (is_write ? 1 : 0), offset, n);
+    return;
+  }
+  ctx->AdvanceTo(AccessFrom(ctx->now(), locus, offset, n, is_write));
+}
+
+}  // namespace logbase::sim

@@ -1,0 +1,85 @@
+// A commodity-disk cost model (the paper's testbed: 500 GB SATA disks,
+// ~2012). Sequential transfers pay only bandwidth; a positioning change pays
+// seek + half-rotation. The model tracks a small set of concurrent
+// sequential streams (one per file/extent being read or written), the way OS
+// readahead and write-behind make a few interleaved sequential streams on
+// one spindle each behave sequentially. Random accesses never match a
+// stream and pay the positioning cost — the mechanism behind every headline
+// result in the paper (log-only sequential writes vs. in-place random I/O).
+
+#ifndef LOGBASE_SIM_DISK_MODEL_H_
+#define LOGBASE_SIM_DISK_MODEL_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/sim/resource.h"
+#include "src/sim/sim_context.h"
+
+namespace logbase::sim {
+
+struct DiskParams {
+  /// Average seek time (7200 rpm commodity disk).
+  VirtualTime seek_us = 8000;
+  /// Average rotational delay (half a revolution at 7200 rpm).
+  VirtualTime rotational_us = 4150;
+  /// Sustained sequential bandwidth.
+  double bandwidth_mb_per_s = 100.0;
+};
+
+/// One physical disk. Thread-safe.
+class DiskModel {
+ public:
+  DiskModel(std::string name, DiskParams params = DiskParams());
+
+  /// Charges an access of `n` bytes at (`locus`, `offset`) — locus is an
+  /// opaque file/extent identifier — to the ambient SimContext. An access
+  /// that continues one of the tracked sequential streams (same locus,
+  /// contiguous offset) pays bandwidth only; anything else pays positioning
+  /// and starts a new stream. No-op without an ambient context.
+  /// `is_write` separates read and write streams on the same locus (the OS
+  /// keeps independent readahead and write-behind contexts, so interleaved
+  /// reads never break an append stream's sequentiality in practice).
+  void Access(uint64_t locus, uint64_t offset, uint64_t n,
+              bool is_write = false);
+
+  /// Like Access but starting at `start` instead of the ambient clock and
+  /// returning the completion time without advancing any context — building
+  /// block for pipelined multi-resource operations (the DFS write
+  /// pipeline).
+  VirtualTime AccessFrom(VirtualTime start, uint64_t locus, uint64_t offset,
+                         uint64_t n, bool is_write = false);
+
+  /// Max concurrent sequential streams tracked. Linux keeps readahead state
+  /// per open file, so many interleaved sequential streams each stay
+  /// effectively sequential (the inter-stream head movement is amortized by
+  /// the readahead window); the cap only bounds the model's memory.
+  static constexpr size_t kMaxStreams = 64;
+
+  /// Cost of the access without charging it (for planners/tests).
+  VirtualTime AccessCost(uint64_t locus, uint64_t offset, uint64_t n,
+                         bool is_write = false) const;
+
+  Resource* resource() { return &resource_; }
+  const DiskParams& params() const { return params_; }
+
+ private:
+  VirtualTime TransferUs(uint64_t n) const;
+  /// True when (locus, offset) continues a tracked stream; updates the
+  /// stream table either way. Requires mu_ held.
+  bool MatchStreamLocked(uint64_t locus, uint64_t offset, uint64_t n);
+
+  const DiskParams params_;
+  Resource resource_;
+  mutable std::mutex mu_;
+  // locus -> expected next offset, LRU-bounded to kMaxStreams.
+  std::unordered_map<uint64_t, uint64_t> streams_;
+  std::list<uint64_t> stream_lru_;  // front = most recent
+};
+
+}  // namespace logbase::sim
+
+#endif  // LOGBASE_SIM_DISK_MODEL_H_

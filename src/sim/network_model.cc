@@ -1,0 +1,39 @@
+#include "src/sim/network_model.h"
+
+#include <algorithm>
+
+namespace logbase::sim {
+
+NetworkModel::NetworkModel(int num_nodes, NetworkParams params)
+    : params_(params) {
+  nics_.reserve(num_nodes);
+  for (int i = 0; i < num_nodes; i++) {
+    nics_.push_back(std::make_unique<Resource>("nic-" + std::to_string(i)));
+  }
+}
+
+VirtualTime NetworkModel::TransferUs(uint64_t bytes) const {
+  double bytes_per_us = params_.bandwidth_mb_per_s;  // 1 MB/s == 1 byte/us
+  return static_cast<VirtualTime>(static_cast<double>(bytes) / bytes_per_us) +
+         1;
+}
+
+VirtualTime NetworkModel::TransferFrom(VirtualTime start, int src, int dst,
+                                       uint64_t bytes) {
+  if (src == dst) return start + params_.loopback_us;
+  VirtualTime wire = TransferUs(bytes);
+  // Both NICs stream the payload concurrently; the receiver finishes one
+  // fixed overhead after the sender starts.
+  VirtualTime sent = nics_[src]->Acquire(start, wire);
+  VirtualTime received =
+      nics_[dst]->Acquire(start + params_.rpc_overhead_us, wire);
+  return std::max(sent, received) + params_.rpc_overhead_us;
+}
+
+void NetworkModel::Transfer(int src, int dst, uint64_t bytes) {
+  SimContext* ctx = SimContext::Current();
+  if (ctx == nullptr) return;
+  ctx->AdvanceTo(TransferFrom(ctx->now(), src, dst, bytes));
+}
+
+}  // namespace logbase::sim

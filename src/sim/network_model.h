@@ -1,0 +1,54 @@
+// The cluster interconnect: one NIC resource per node on a 1 GbE network
+// (the paper's testbed). An RPC pays fixed software/propagation overhead plus
+// serialization of the payload on both endpoints' NICs. Same-node transfers
+// pay only a loopback cost.
+
+#ifndef LOGBASE_SIM_NETWORK_MODEL_H_
+#define LOGBASE_SIM_NETWORK_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/resource.h"
+#include "src/sim/sim_context.h"
+
+namespace logbase::sim {
+
+struct NetworkParams {
+  /// Per-RPC fixed overhead (kernel + switch + stack).
+  VirtualTime rpc_overhead_us = 150;
+  /// Same-node (loopback / in-process) call overhead.
+  VirtualTime loopback_us = 15;
+  /// 1 GbE payload bandwidth.
+  double bandwidth_mb_per_s = 117.0;
+};
+
+/// NICs for a cluster of `num_nodes` nodes. Thread-safe.
+class NetworkModel {
+ public:
+  NetworkModel(int num_nodes, NetworkParams params = NetworkParams());
+
+  /// Charges a transfer of `bytes` from node `src` to node `dst` to the
+  /// ambient SimContext. No-op without one.
+  void Transfer(int src, int dst, uint64_t bytes);
+
+  /// Like Transfer but from an explicit start time; returns the completion
+  /// time without touching any context (pipelined operations).
+  VirtualTime TransferFrom(VirtualTime start, int src, int dst,
+                           uint64_t bytes);
+
+  int num_nodes() const { return static_cast<int>(nics_.size()); }
+  Resource* nic(int node) { return nics_[node].get(); }
+  const NetworkParams& params() const { return params_; }
+
+ private:
+  VirtualTime TransferUs(uint64_t bytes) const;
+
+  const NetworkParams params_;
+  std::vector<std::unique_ptr<Resource>> nics_;
+};
+
+}  // namespace logbase::sim
+
+#endif  // LOGBASE_SIM_NETWORK_MODEL_H_

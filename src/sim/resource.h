@@ -1,0 +1,49 @@
+// A FCFS single server in virtual time: the building block for disks and
+// NICs. A request arriving at `now` with service time `s` completes at
+// max(now, free_at) + s. Serializing all actors' requests through the same
+// Resource is what produces queueing delay under contention.
+
+#ifndef LOGBASE_SIM_RESOURCE_H_
+#define LOGBASE_SIM_RESOURCE_H_
+
+#include <mutex>
+#include <string>
+
+#include "src/sim/sim_context.h"
+
+namespace logbase::sim {
+
+/// Thread-safe FCFS virtual-time server.
+class Resource {
+ public:
+  explicit Resource(std::string name) : name_(std::move(name)) {}
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Serves a request of `service_us` starting no earlier than `now`;
+  /// returns the completion time.
+  VirtualTime Acquire(VirtualTime now, VirtualTime service_us);
+
+  /// Total time this resource has spent serving requests (utilization
+  /// accounting for bottleneck analysis).
+  VirtualTime total_busy_us() const;
+
+  /// The earliest time a new request could start service.
+  VirtualTime free_at() const;
+
+  const std::string& name() const { return name_; }
+
+  /// Forgets queue state (between benchmark phases).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  const std::string name_;
+  VirtualTime free_at_ = 0;
+  VirtualTime total_busy_ = 0;
+};
+
+}  // namespace logbase::sim
+
+#endif  // LOGBASE_SIM_RESOURCE_H_

@@ -1,0 +1,27 @@
+#include "src/sim/sim_context.h"
+
+namespace logbase::sim {
+
+namespace {
+thread_local SimContext* g_current = nullptr;
+}  // namespace
+
+SimContext* SimContext::Current() { return g_current; }
+
+SimContext::Scope::Scope(SimContext* ctx) : saved_(g_current) {
+  g_current = ctx;
+}
+
+SimContext::Scope::~Scope() { g_current = saved_; }
+
+void ChargeCpu(VirtualTime us) {
+  SimContext* ctx = SimContext::Current();
+  if (ctx != nullptr) ctx->Advance(us);
+}
+
+VirtualTime CurrentVirtualTime() {
+  SimContext* ctx = SimContext::Current();
+  return ctx != nullptr ? ctx->now() : 0;
+}
+
+}  // namespace logbase::sim

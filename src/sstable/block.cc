@@ -1,0 +1,116 @@
+#include "src/sstable/block.h"
+
+#include "src/util/coding.h"
+
+namespace logbase::sstable {
+
+Block::Block(std::string contents) : data_(std::move(contents)) {
+  if (data_.size() >= sizeof(uint32_t)) {
+    num_restarts_ = DecodeFixed32(data_.data() + data_.size() - 4);
+    uint64_t restart_bytes =
+        static_cast<uint64_t>(num_restarts_) * sizeof(uint32_t) + 4;
+    if (restart_bytes <= data_.size()) {
+      restarts_offset_ = static_cast<uint32_t>(data_.size() - restart_bytes);
+    } else {
+      num_restarts_ = 0;  // corrupt
+    }
+  }
+}
+
+Block::Iter::Iter(const Block* block, const Comparator* cmp)
+    : block_(block),
+      cmp_(cmp),
+      restarts_offset_(block->restarts_offset_),
+      num_restarts_(block->num_restarts_),
+      current_(restarts_offset_),
+      next_(restarts_offset_) {}
+
+uint32_t Block::Iter::RestartPoint(uint32_t index) const {
+  return DecodeFixed32(block_->data_.data() + restarts_offset_ +
+                       index * sizeof(uint32_t));
+}
+
+void Block::Iter::SeekToRestart(uint32_t index) {
+  key_.clear();
+  current_ = next_ = RestartPoint(index);
+}
+
+bool Block::Iter::ParseCurrent() {
+  current_ = next_;
+  if (current_ >= restarts_offset_) return false;
+  const char* p = block_->data_.data() + current_;
+  const char* limit = block_->data_.data() + restarts_offset_;
+  uint32_t shared, non_shared, value_len;
+  p = GetVarint32Ptr(p, limit, &shared);
+  if (p == nullptr) goto corrupt;
+  p = GetVarint32Ptr(p, limit, &non_shared);
+  if (p == nullptr) goto corrupt;
+  p = GetVarint32Ptr(p, limit, &value_len);
+  if (p == nullptr) goto corrupt;
+  if (p + non_shared + value_len > limit || shared > key_.size()) {
+    goto corrupt;
+  }
+  key_.resize(shared);
+  key_.append(p, non_shared);
+  value_ = Slice(p + non_shared, value_len);
+  next_ = static_cast<uint32_t>((p + non_shared + value_len) -
+                                block_->data_.data());
+  return true;
+
+corrupt:
+  corrupted_ = true;
+  current_ = next_ = restarts_offset_;
+  return false;
+}
+
+void Block::Iter::SeekToFirst() {
+  if (num_restarts_ == 0) {
+    current_ = restarts_offset_;
+    return;
+  }
+  SeekToRestart(0);
+  ParseCurrent();
+}
+
+void Block::Iter::Next() {
+  ParseCurrent();
+}
+
+void Block::Iter::Seek(const Slice& target) {
+  if (num_restarts_ == 0) {
+    current_ = restarts_offset_;
+    return;
+  }
+  // Binary search over restart points for the last restart whose key is
+  // < target (each restart entry stores a full key: shared == 0).
+  uint32_t left = 0;
+  uint32_t right = num_restarts_ - 1;
+  while (left < right) {
+    uint32_t mid = (left + right + 1) / 2;
+    // Decode the full key at restart `mid`.
+    const char* p = block_->data_.data() + RestartPoint(mid);
+    const char* limit = block_->data_.data() + restarts_offset_;
+    uint32_t shared, non_shared, value_len;
+    p = GetVarint32Ptr(p, limit, &shared);
+    if (p != nullptr) p = GetVarint32Ptr(p, limit, &non_shared);
+    if (p != nullptr) p = GetVarint32Ptr(p, limit, &value_len);
+    if (p == nullptr || shared != 0) {
+      corrupted_ = true;
+      current_ = next_ = restarts_offset_;
+      return;
+    }
+    Slice mid_key(p, non_shared);
+    if (cmp_->Compare(mid_key, target) < 0) {
+      left = mid;
+    } else {
+      right = mid - 1;
+    }
+  }
+  // Linear scan forward from that restart.
+  SeekToRestart(left);
+  while (ParseCurrent()) {
+    if (cmp_->Compare(Slice(key_), target) >= 0) return;
+  }
+}
+
+}  // namespace logbase::sstable

@@ -1,0 +1,41 @@
+// Builder for one sorted data/index block: prefix-compressed entries with
+// restart points every `restart_interval` entries (LevelDB block format).
+
+#ifndef LOGBASE_SSTABLE_BLOCK_BUILDER_H_
+#define LOGBASE_SSTABLE_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/slice.h"
+
+namespace logbase::sstable {
+
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval = 16);
+
+  /// Adds an entry; keys must be appended in ascending order.
+  void Add(const Slice& key, const Slice& value);
+
+  /// Appends the restart array and returns the finished block contents
+  /// (valid until Reset()).
+  Slice Finish();
+
+  void Reset();
+  size_t CurrentSizeEstimate() const;
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_ = 0;
+  bool finished_ = false;
+  std::string last_key_;
+};
+
+}  // namespace logbase::sstable
+
+#endif  // LOGBASE_SSTABLE_BLOCK_BUILDER_H_

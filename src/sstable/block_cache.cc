@@ -1,0 +1,61 @@
+#include "src/sstable/block_cache.h"
+
+#include "src/sim/costs.h"
+
+namespace logbase::sstable {
+
+BlockCache::BlockCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+std::shared_ptr<Block> BlockCache::Lookup(uint64_t file_id, uint64_t offset) {
+  sim::ChargeCpu(sim::costs::kCacheProbeUs);
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = map_.find(Key{file_id, offset});
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->block;
+}
+
+void BlockCache::Insert(uint64_t file_id, uint64_t offset,
+                        std::shared_ptr<Block> block) {
+  std::lock_guard<std::mutex> l(mu_);
+  Key key{file_id, offset};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    usage_ -= it->second->block->size();
+    usage_ += block->size();
+    it->second->block = std::move(block);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    usage_ += block->size();
+    lru_.push_front(Entry{key, std::move(block)});
+    map_[key] = lru_.begin();
+  }
+  EvictIfNeeded();
+}
+
+void BlockCache::EvictIfNeeded() {
+  while (usage_ > capacity_ && !lru_.empty()) {
+    Entry& victim = lru_.back();
+    usage_ -= victim.block->size();
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+void BlockCache::Clear() {
+  std::lock_guard<std::mutex> l(mu_);
+  lru_.clear();
+  map_.clear();
+  usage_ = 0;
+}
+
+size_t BlockCache::usage() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return usage_;
+}
+
+}  // namespace logbase::sstable

@@ -1,0 +1,73 @@
+// LRU cache of decoded blocks keyed by (file cache-id, block offset). Plays
+// the role of HBase's block cache in the baseline (the paper configures both
+// systems with 20% of heap for caching data blocks, §4.1) and serves the LSM
+// index's reads.
+
+#ifndef LOGBASE_SSTABLE_BLOCK_CACHE_H_
+#define LOGBASE_SSTABLE_BLOCK_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/sstable/block.h"
+
+namespace logbase::sstable {
+
+/// Thread-safe LRU over shared_ptr<Block>; eviction is by total cached block
+/// bytes against a capacity.
+class BlockCache {
+ public:
+  explicit BlockCache(size_t capacity_bytes);
+
+  /// Unique id for a newly opened table file (cache key namespace).
+  uint64_t NewId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::shared_ptr<Block> Lookup(uint64_t file_id, uint64_t offset);
+  void Insert(uint64_t file_id, uint64_t offset,
+              std::shared_ptr<Block> block);
+  /// Drops every cached block (e.g. for cold-cache benchmark phases).
+  void Clear();
+
+  size_t usage() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Key {
+    uint64_t file_id;
+    uint64_t offset;
+    bool operator==(const Key& o) const {
+      return file_id == o.file_id && offset == o.offset;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()(k.file_id * 0x9e3779b97f4a7c15ull ^
+                                   k.offset);
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<Block> block;
+  };
+
+  void EvictIfNeeded();  // requires mu_ held
+
+  const size_t capacity_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  size_t usage_ = 0;
+};
+
+}  // namespace logbase::sstable
+
+#endif  // LOGBASE_SSTABLE_BLOCK_CACHE_H_

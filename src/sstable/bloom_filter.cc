@@ -1,0 +1,84 @@
+#include "src/sstable/bloom_filter.h"
+
+#include <algorithm>
+
+namespace logbase::sstable {
+
+uint32_t BloomHash(const Slice& key) {
+  // Murmur-inspired string hash (LevelDB's Hash()).
+  const uint32_t seed = 0xbc9f1d34;
+  const uint32_t m = 0xc6a4a793;
+  const char* data = key.data();
+  size_t n = key.size();
+  uint32_t h = seed ^ (static_cast<uint32_t>(n) * m);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint32_t w;
+    memcpy(&w, data + i, 4);
+    h += w;
+    h *= m;
+    h ^= (h >> 16);
+  }
+  switch (n - i) {
+    case 3:
+      h += static_cast<unsigned char>(data[i + 2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h += static_cast<unsigned char>(data[i + 1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h += static_cast<unsigned char>(data[i]);
+      h *= m;
+      h ^= (h >> 24);
+      break;
+  }
+  return h;
+}
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
+    : bits_per_key_(bits_per_key) {}
+
+void BloomFilterBuilder::AddKey(const Slice& key) {
+  hashes_.push_back(BloomHash(key));
+}
+
+std::string BloomFilterBuilder::Finish() {
+  // k = bits_per_key * ln(2), clamped.
+  int k = static_cast<int>(bits_per_key_ * 0.69);
+  k = std::clamp(k, 1, 30);
+
+  size_t bits = std::max<size_t>(hashes_.size() * bits_per_key_, 64);
+  size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string filter(bytes, '\0');
+  for (uint32_t h : hashes_) {
+    uint32_t delta = (h >> 17) | (h << 15);  // double hashing
+    for (int j = 0; j < k; j++) {
+      uint32_t bitpos = h % bits;
+      filter[bitpos / 8] |= (1 << (bitpos % 8));
+      h += delta;
+    }
+  }
+  filter.push_back(static_cast<char>(k));
+  return filter;
+}
+
+bool BloomFilterReader::MayContain(const Slice& key) const {
+  if (data_.size() < 2) return true;  // malformed: be conservative
+  size_t bytes = data_.size() - 1;
+  size_t bits = bytes * 8;
+  int k = data_[data_.size() - 1];
+  if (k < 1 || k > 30) return true;
+
+  uint32_t h = BloomHash(key);
+  uint32_t delta = (h >> 17) | (h << 15);
+  for (int j = 0; j < k; j++) {
+    uint32_t bitpos = h % bits;
+    if ((data_[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace logbase::sstable

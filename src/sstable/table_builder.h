@@ -1,0 +1,53 @@
+// Writes a sorted table to a WritableFile. Keys must be Add()ed in the
+// table's comparator order.
+
+#ifndef LOGBASE_SSTABLE_TABLE_BUILDER_H_
+#define LOGBASE_SSTABLE_TABLE_BUILDER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/sstable/block_builder.h"
+#include "src/sstable/bloom_filter.h"
+#include "src/sstable/table.h"
+#include "src/util/io.h"
+#include "src/util/status.h"
+
+namespace logbase::sstable {
+
+class TableBuilder {
+ public:
+  /// Does not take ownership of `file`.
+  TableBuilder(TableOptions options, WritableFile* file);
+
+  /// Adds an entry; keys must be ascending and unique.
+  Status Add(const Slice& key, const Slice& value);
+
+  /// Flushes everything and writes filter/index/footer. The caller still
+  /// owns Sync/Close of the file.
+  Status Finish();
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t file_size() const { return offset_; }
+
+ private:
+  Status FlushDataBlock();
+  /// Writes `contents` + CRC at the current offset; fills `handle`.
+  Status WriteRawBlock(const Slice& contents, BlockHandle* handle);
+
+  const TableOptions options_;
+  WritableFile* file_;
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  BloomFilterBuilder filter_;
+  std::string last_key_;
+  uint64_t num_entries_ = 0;
+  uint64_t offset_ = 0;
+  bool pending_index_entry_ = false;
+  BlockHandle pending_handle_;
+  bool finished_ = false;
+};
+
+}  // namespace logbase::sstable
+
+#endif  // LOGBASE_SSTABLE_TABLE_BUILDER_H_

@@ -1,0 +1,178 @@
+#include "src/sstable/table_reader.h"
+
+#include "src/util/crc32c.h"
+
+namespace logbase::sstable {
+
+namespace {
+
+/// Reads [offset, offset+size+4) from `file`, verifies the CRC trailer and
+/// returns the raw contents.
+Result<std::string> ReadVerifiedBlock(const RandomAccessFile& file,
+                                      const BlockHandle& handle) {
+  auto data = file.Read(handle.offset, handle.size + 4);
+  if (!data.ok()) return data.status();
+  if (data->size() != handle.size + 4) {
+    return Status::Corruption("truncated block read");
+  }
+  uint32_t expected = crc32c::Unmask(DecodeFixed32(data->data() + handle.size));
+  uint32_t actual = crc32c::Value(data->data(), handle.size);
+  if (expected != actual) {
+    return Status::Corruption("block checksum mismatch");
+  }
+  data->resize(handle.size);
+  return std::move(*data);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TableReader>> TableReader::Open(
+    TableOptions options, std::unique_ptr<RandomAccessFile> file,
+    BlockCache* cache) {
+  uint64_t size = file->Size();
+  if (size < kFooterSize) return Status::Corruption("file too short");
+  auto footer = file->Read(size - kFooterSize, kFooterSize);
+  if (!footer.ok()) return footer.status();
+  if (footer->size() != kFooterSize) {
+    return Status::Corruption("truncated footer");
+  }
+  Slice input(*footer);
+  uint64_t index_off, index_size, filter_off, filter_size, num_entries, magic;
+  GetFixed64(&input, &index_off);
+  GetFixed64(&input, &index_size);
+  GetFixed64(&input, &filter_off);
+  GetFixed64(&input, &filter_size);
+  GetFixed64(&input, &num_entries);
+  GetFixed64(&input, &magic);
+  if (magic != kTableMagic) return Status::Corruption("bad table magic");
+
+  std::unique_ptr<TableReader> reader(
+      new TableReader(std::move(options), std::move(file)));
+  reader->cache_ = cache;
+  reader->cache_id_ = cache != nullptr ? cache->NewId() : 0;
+  reader->num_entries_ = num_entries;
+
+  auto index_contents = ReadVerifiedBlock(
+      *reader->file_, BlockHandle{index_off, index_size});
+  if (!index_contents.ok()) return index_contents.status();
+  reader->index_block_ = std::make_shared<Block>(std::move(*index_contents));
+
+  if (filter_size > 0) {
+    auto filter_contents = ReadVerifiedBlock(
+        *reader->file_, BlockHandle{filter_off, filter_size});
+    if (!filter_contents.ok()) return filter_contents.status();
+    reader->filter_data_ = std::move(*filter_contents);
+    reader->filter_.emplace(Slice(reader->filter_data_));
+  }
+  return reader;
+}
+
+bool TableReader::MayContain(const Slice& key) const {
+  if (!filter_.has_value()) return true;
+  Slice filter_key =
+      options_.filter_key_extractor ? options_.filter_key_extractor(key) : key;
+  return filter_->MayContain(filter_key);
+}
+
+Result<std::shared_ptr<Block>> TableReader::ReadBlock(
+    const BlockHandle& handle) const {
+  if (cache_ != nullptr) {
+    std::shared_ptr<Block> cached = cache_->Lookup(cache_id_, handle.offset);
+    if (cached != nullptr) return cached;
+  }
+  auto contents = ReadVerifiedBlock(*file_, handle);
+  if (!contents.ok()) return contents.status();
+  auto block = std::make_shared<Block>(std::move(*contents));
+  if (cache_ != nullptr) {
+    cache_->Insert(cache_id_, handle.offset, block);
+  }
+  return block;
+}
+
+/// Two-level iterator: walks the index block; per index entry loads the data
+/// block and iterates it.
+class TableIterator : public KvIterator {
+ public:
+  explicit TableIterator(const TableReader* table)
+      : table_(table),
+        index_iter_(table->index_block_->NewIterator(
+            table->options_.comparator)) {}
+
+  bool Valid() const override {
+    return data_iter_ != nullptr && data_iter_->Valid();
+  }
+
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    LoadDataBlockAndPosition([](Block::Iter* it) { it->SeekToFirst(); });
+    SkipEmptyBlocksForward();
+  }
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    LoadDataBlockAndPosition(
+        [&target](Block::Iter* it) { it->Seek(target); });
+    SkipEmptyBlocksForward();
+  }
+
+  void Next() override {
+    data_iter_->Next();
+    SkipEmptyBlocksForward();
+  }
+
+  Slice key() const override { return data_iter_->key(); }
+  Slice value() const override { return data_iter_->value(); }
+  Status status() const override { return status_; }
+
+ private:
+  template <typename PositionFn>
+  void LoadDataBlockAndPosition(PositionFn position) {
+    data_iter_.reset();
+    data_block_.reset();
+    if (!index_iter_->Valid()) return;
+    Slice handle_encoding = index_iter_->value();
+    BlockHandle handle;
+    if (!handle.DecodeFrom(&handle_encoding)) {
+      status_ = Status::Corruption("bad block handle in index");
+      return;
+    }
+    auto block = table_->ReadBlock(handle);
+    if (!block.ok()) {
+      status_ = block.status();
+      return;
+    }
+    data_block_ = std::move(*block);
+    data_iter_ = data_block_->NewIterator(table_->options_.comparator);
+    position(data_iter_.get());
+  }
+
+  void SkipEmptyBlocksForward() {
+    while (data_iter_ != nullptr && !data_iter_->Valid() && status_.ok()) {
+      index_iter_->Next();
+      LoadDataBlockAndPosition([](Block::Iter* it) { it->SeekToFirst(); });
+    }
+  }
+
+  const TableReader* table_;
+  std::unique_ptr<Block::Iter> index_iter_;
+  std::shared_ptr<Block> data_block_;
+  std::unique_ptr<Block::Iter> data_iter_;
+  Status status_;
+};
+
+std::unique_ptr<KvIterator> TableReader::NewIterator() const {
+  return std::make_unique<TableIterator>(this);
+}
+
+Status TableReader::SeekFirstGE(const Slice& target, std::string* actual_key,
+                                std::string* value) const {
+  auto iter = NewIterator();
+  iter->Seek(target);
+  if (!iter->status().ok()) return iter->status();
+  if (!iter->Valid()) return Status::NotFound("past end of table");
+  *actual_key = iter->key().ToString();
+  *value = iter->value().ToString();
+  return Status::OK();
+}
+
+}  // namespace logbase::sstable

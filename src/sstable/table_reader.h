@@ -1,0 +1,64 @@
+// Reads a sorted table: bloom-filter pre-check, two-level iteration over the
+// in-memory index block and cached data blocks.
+
+#ifndef LOGBASE_SSTABLE_TABLE_READER_H_
+#define LOGBASE_SSTABLE_TABLE_READER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/sstable/block.h"
+#include "src/sstable/block_cache.h"
+#include "src/sstable/bloom_filter.h"
+#include "src/sstable/table.h"
+#include "src/util/io.h"
+#include "src/util/iterator.h"
+#include "src/util/result.h"
+
+namespace logbase::sstable {
+
+class TableReader {
+ public:
+  /// Opens a table: reads footer, index block and filter block. `cache` may
+  /// be null (every data-block read then hits the file).
+  static Result<std::unique_ptr<TableReader>> Open(
+      TableOptions options, std::unique_ptr<RandomAccessFile> file,
+      BlockCache* cache);
+
+  /// False means no entry with this (extracted) filter key can exist.
+  bool MayContain(const Slice& key) const;
+
+  /// Iterator over all entries in comparator order.
+  std::unique_ptr<KvIterator> NewIterator() const;
+
+  /// Convenience point lookup: first entry with key >= target, or NotFound
+  /// when the table ends before one.
+  Status SeekFirstGE(const Slice& target, std::string* actual_key,
+                     std::string* value) const;
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t file_size() const { return file_->Size(); }
+
+ private:
+  TableReader(TableOptions options, std::unique_ptr<RandomAccessFile> file)
+      : options_(std::move(options)), file_(std::move(file)) {}
+
+  /// Reads and CRC-checks a block, consulting the block cache.
+  Result<std::shared_ptr<Block>> ReadBlock(const BlockHandle& handle) const;
+
+  friend class TableIterator;
+
+  TableOptions options_;
+  std::unique_ptr<RandomAccessFile> file_;
+  BlockCache* cache_ = nullptr;
+  uint64_t cache_id_ = 0;
+  std::shared_ptr<Block> index_block_;
+  std::string filter_data_;
+  std::optional<BloomFilterReader> filter_;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace logbase::sstable
+
+#endif  // LOGBASE_SSTABLE_TABLE_READER_H_

@@ -1,0 +1,33 @@
+// Shared between checkpoint.cc (writer) and recovery.cc (loader): the
+// checkpoint block format. Internal to the tablet module.
+
+#ifndef LOGBASE_TABLET_CHECKPOINT_INTERNAL_H_
+#define LOGBASE_TABLET_CHECKPOINT_INTERNAL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/log/log_writer.h"
+#include "src/tablet/schema.h"
+#include "src/util/io.h"
+
+namespace logbase::tablet::checkpoint_internal {
+
+inline constexpr uint64_t kCheckpointMagic = 0x4c42434b50ull;  // "LBCKP"
+
+std::string MetaPath(const std::string& dir);
+std::string IndexFilePath(const std::string& dir, const std::string& uid);
+
+struct CheckpointMeta {
+  log::LogPosition position;
+  uint64_t next_lsn = 1;
+  /// Descriptors plus the log instance each tablet reads from.
+  std::vector<std::pair<TabletDescriptor, uint32_t>> tablets;
+};
+
+Status LoadMeta(FileSystem* fs, const std::string& dir, CheckpointMeta* meta);
+
+}  // namespace logbase::tablet::checkpoint_internal
+
+#endif  // LOGBASE_TABLET_CHECKPOINT_INTERNAL_H_

@@ -1,0 +1,210 @@
+// Recovery (paper §3.8): reload the persisted index files named by the last
+// checkpoint block, then redo the log from the checkpoint position. Redo is
+// an idempotent upsert keyed by (key, write timestamp); uncommitted
+// transactional entries are ignored (their COMMIT record never appears) and
+// invalidated entries re-apply deletions. Repeated crashes during recovery
+// simply redo again.
+//
+// Also implements tablet adoption after *permanent* server failures: the new
+// owner loads the dead server's per-tablet index file and redoes the dead
+// log's tail filtered to the adopted tablet, reading everything from the
+// shared DFS.
+
+#include <map>
+
+#include "src/index/index_checkpoint.h"
+#include "src/log/log_reader.h"
+#include "src/tablet/checkpoint_internal.h"
+#include "src/tablet/tablet_server.h"
+#include "src/util/logging.h"
+
+namespace logbase::tablet {
+
+namespace {
+
+struct PendingOp {
+  Tablet* tablet;
+  bool is_delete;
+  std::string key;
+  uint64_t timestamp;
+  log::LogPtr ptr;
+};
+
+/// Applies one committed operation to its tablet's index.
+Status ApplyOp(const PendingOp& op) {
+  if (op.is_delete) {
+    return op.tablet->index()->RemoveAllVersions(Slice(op.key));
+  }
+  return op.tablet->index()->Insert(Slice(op.key), op.timestamp, op.ptr);
+}
+
+/// Redoes `instance`'s log from `from`. `route` maps a record to the tablet
+/// whose index should absorb it (nullptr = not ours, skip).
+Status RedoLog(TabletServer* server, uint32_t instance, log::LogPosition from,
+               const std::function<Tablet*(const log::LogRecord&)>& route,
+               RecoveryStats* stats, uint64_t* max_lsn) {
+  auto reader_or = [&]() -> Result<log::LogReader*> {
+    // Private access via friend functions in this file only.
+    return server->ReaderFor(instance);
+  }();
+  if (!reader_or.ok()) return reader_or.status();
+  // Low-lane segments only: compaction outputs (gen << 24) are fully covered
+  // by the checkpoint the compaction wrote before reclaiming its inputs.
+  auto scanner = (*reader_or)->NewScanner(from, 1u << 24);
+  if (!scanner.ok()) return scanner.status();
+
+  std::map<uint64_t, std::vector<PendingOp>> pending;  // txn id -> ops
+  for (; (*scanner)->Valid(); (*scanner)->Next()) {
+    const log::LogRecord& record = (*scanner)->record();
+    if (record.key.lsn > *max_lsn) *max_lsn = record.key.lsn;
+    if (stats != nullptr) {
+      stats->redo_records++;
+      stats->redo_bytes += (*scanner)->ptr().size;
+    }
+
+    switch (record.type) {
+      case log::LogRecordType::kData: {
+        Tablet* tablet = route(record);
+        if (tablet == nullptr) break;
+        PendingOp op{tablet, false, record.row.primary_key,
+                     record.row.timestamp, (*scanner)->ptr()};
+        if (record.txn_id == 0) {
+          LOGBASE_RETURN_NOT_OK(ApplyOp(op));
+        } else {
+          pending[record.txn_id].push_back(std::move(op));
+        }
+        break;
+      }
+      case log::LogRecordType::kInvalidate: {
+        Tablet* tablet = route(record);
+        if (tablet == nullptr) break;
+        PendingOp op{tablet, true, record.row.primary_key,
+                     record.row.timestamp, (*scanner)->ptr()};
+        if (record.txn_id == 0) {
+          LOGBASE_RETURN_NOT_OK(ApplyOp(op));
+        } else {
+          pending[record.txn_id].push_back(std::move(op));
+        }
+        break;
+      }
+      case log::LogRecordType::kCommit: {
+        auto it = pending.find(record.txn_id);
+        if (it != pending.end()) {
+          for (const PendingOp& op : it->second) {
+            LOGBASE_RETURN_NOT_OK(ApplyOp(op));
+          }
+          pending.erase(it);
+        }
+        break;
+      }
+    }
+  }
+  // Entries still pending lack a COMMIT record: the transaction never
+  // committed, so its writes stay invisible (and compaction reclaims them).
+  return (*scanner)->status();
+}
+
+TabletDescriptor DescriptorFromRecord(const log::LogRecord& record) {
+  TabletDescriptor d;
+  d.table_id = record.key.table_id;
+  d.column_group = record.key.tablet_id >> 20;
+  d.range_id = record.key.tablet_id & 0xfffff;
+  return d;
+}
+
+}  // namespace
+
+Status RunRecovery(TabletServer* server, RecoveryStats* stats) {
+  namespace ci = checkpoint_internal;
+  FileSystem* fs = server->fs_.get();
+  const std::string ckpt_dir = server->checkpoint_dir();
+
+  log::LogPosition start{0, 0};
+  uint64_t next_lsn = 1;
+
+  if (fs->Exists(ci::MetaPath(ckpt_dir))) {
+    ci::CheckpointMeta meta;
+    LOGBASE_RETURN_NOT_OK(ci::LoadMeta(fs, ckpt_dir, &meta));
+    start = meta.position;
+    next_lsn = meta.next_lsn;
+    if (stats != nullptr) stats->loaded_checkpoint = true;
+
+    for (const auto& [descriptor, source] : meta.tablets) {
+      LOGBASE_RETURN_NOT_OK(server->OpenTablet(descriptor));
+      Tablet* tablet = server->FindTablet(descriptor.uid());
+      tablet->set_source_instance(source);
+      std::string idx_path = ci::IndexFilePath(ckpt_dir, descriptor.uid());
+      if (fs->Exists(idx_path)) {
+        LOGBASE_RETURN_NOT_OK(
+            index::LoadIndexCheckpoint(fs, idx_path, tablet->index()));
+        if (stats != nullptr) {
+          stats->checkpoint_entries += tablet->index()->num_entries();
+        }
+      }
+    }
+  }
+
+  // Redo the tail of our own log. Records of tablets we have not seen yet
+  // (no checkpoint — e.g. first crash before any checkpoint) recreate their
+  // tablets on the fly; the master's later OpenTablet is a no-op.
+  uint64_t max_lsn = 0;
+  auto route = [server](const log::LogRecord& record) -> Tablet* {
+    TabletDescriptor d = DescriptorFromRecord(record);
+    Tablet* tablet = server->FindTablet(d.uid());
+    if (tablet == nullptr) {
+      if (!server->OpenTablet(d).ok()) return nullptr;
+      tablet = server->FindTablet(d.uid());
+    }
+    return tablet;
+  };
+  LOGBASE_RETURN_NOT_OK(
+      RedoLog(server, server->server_id(), start, route, stats, &max_lsn));
+
+  LOGBASE_LOG(kInfo, "server %d recovered: redo from segment %u",
+              server->server_id(), start.segment);
+  return server->writer_->Open(std::max(next_lsn, max_lsn + 1));
+}
+
+Status TabletServer::AdoptTablet(const TabletDescriptor& descriptor,
+                                 uint32_t dead_instance) {
+  namespace ci = checkpoint_internal;
+  LOGBASE_RETURN_NOT_OK(OpenTablet(descriptor));
+  Tablet* tablet = FindTablet(descriptor.uid());
+  tablet->set_source_instance(dead_instance);
+
+  const std::string dead_ckpt = CheckpointDirFor(dead_instance);
+  log::LogPosition start{0, 0};
+  if (fs_->Exists(ci::MetaPath(dead_ckpt))) {
+    ci::CheckpointMeta meta;
+    LOGBASE_RETURN_NOT_OK(ci::LoadMeta(fs_.get(), dead_ckpt, &meta));
+    for (const auto& [d, source] : meta.tablets) {
+      if (d.uid() != descriptor.uid()) continue;
+      std::string idx_path = ci::IndexFilePath(dead_ckpt, d.uid());
+      if (fs_->Exists(idx_path)) {
+        LOGBASE_RETURN_NOT_OK(index::LoadIndexCheckpoint(fs_.get(), idx_path,
+                                                         tablet->index()));
+        start = meta.position;
+      }
+      break;
+    }
+  }
+
+  // Redo the dead server's log tail, filtered to the adopted tablet (the
+  // paper's log split: one shared log, per-tablet extraction).
+  uint64_t max_lsn = 0;
+  auto route = [tablet, &descriptor](const log::LogRecord& record)
+      -> Tablet* {
+    if (record.key.table_id != descriptor.table_id ||
+        record.key.tablet_id != descriptor.packed_id()) {
+      return nullptr;
+    }
+    return tablet;
+  };
+  LOGBASE_RETURN_NOT_OK(
+      RedoLog(this, dead_instance, start, route, nullptr, &max_lsn));
+  LOGBASE_LOG(kInfo, "server %d adopted tablet %s from dead instance %u",
+              server_id(), descriptor.uid().c_str(), dead_instance);
+  return Status::OK();
+}
+
+}  // namespace logbase::tablet

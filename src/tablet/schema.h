@@ -1,0 +1,76 @@
+// Table schemas, column groups (vertical partitions, §3.2) and tablet
+// descriptors (horizontal partitions of a column group).
+
+#ifndef LOGBASE_TABLET_SCHEMA_H_
+#define LOGBASE_TABLET_SCHEMA_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/util/slice.h"
+
+namespace logbase::tablet {
+
+/// Columns stored together in one physical partition because the workload
+/// accesses them together.
+struct ColumnGroup {
+  uint32_t id = 0;
+  std::string name;
+  std::vector<std::string> columns;
+};
+
+struct TableSchema {
+  uint32_t id = 0;
+  std::string name;
+  std::vector<std::string> columns;
+  std::vector<ColumnGroup> groups;
+
+  const ColumnGroup* FindGroup(uint32_t group_id) const {
+    for (const ColumnGroup& g : groups) {
+      if (g.id == group_id) return &g;
+    }
+    return nullptr;
+  }
+
+  const ColumnGroup* GroupForColumn(const std::string& column) const {
+    for (const ColumnGroup& g : groups) {
+      for (const std::string& c : g.columns) {
+        if (c == column) return &g;
+      }
+    }
+    return nullptr;
+  }
+};
+
+/// One tablet: a key range of one column group of one table.
+struct TabletDescriptor {
+  uint32_t table_id = 0;
+  std::string table_name;
+  uint32_t column_group = 0;
+  uint32_t range_id = 0;
+  std::string start_key;  // inclusive
+  std::string end_key;    // exclusive; empty = unbounded
+
+  /// Packed id recorded in LogKey.tablet_id (column group in the high bits).
+  uint32_t packed_id() const { return (column_group << 20) | range_id; }
+
+  /// Stable identifier used for maps, checkpoint file names and routing.
+  std::string uid() const {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "t%u.g%u.r%u", table_id, column_group,
+                  range_id);
+    return buf;
+  }
+
+  bool Contains(const Slice& key) const {
+    if (!start_key.empty() && key.compare(Slice(start_key)) < 0) return false;
+    if (!end_key.empty() && key.compare(Slice(end_key)) >= 0) return false;
+    return true;
+  }
+};
+
+}  // namespace logbase::tablet
+
+#endif  // LOGBASE_TABLET_SCHEMA_H_

@@ -1,0 +1,95 @@
+// One tablet as hosted by a tablet server: the descriptor plus the
+// per-column-group in-memory multiversion index and its persistence counter
+// (paper §3.6.1: an update counter triggers merging the index out to an
+// index file).
+
+#ifndef LOGBASE_TABLET_TABLET_H_
+#define LOGBASE_TABLET_TABLET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/index/multiversion_index.h"
+#include "src/secondary/secondary_index.h"
+#include "src/tablet/schema.h"
+
+namespace logbase::tablet {
+
+class Tablet {
+ public:
+  Tablet(TabletDescriptor descriptor,
+         std::unique_ptr<index::MultiVersionIndex> index)
+      : descriptor_(std::move(descriptor)), index_(std::move(index)) {}
+
+  Tablet(const Tablet&) = delete;
+  Tablet& operator=(const Tablet&) = delete;
+
+  const TabletDescriptor& descriptor() const { return descriptor_; }
+  index::MultiVersionIndex* index() { return index_.get(); }
+  const index::MultiVersionIndex* index() const { return index_.get(); }
+
+  /// Updates since the index was last persisted (checkpoint trigger).
+  uint64_t updates_since_persist() const {
+    return updates_since_persist_.load(std::memory_order_relaxed);
+  }
+  void RecordUpdate() {
+    updates_since_persist_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void ResetUpdateCounter() {
+    updates_since_persist_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Instance id of the log this tablet was adopted from after a permanent
+  /// server failure, or the owner's own instance.
+  uint32_t source_instance() const { return source_instance_; }
+  void set_source_instance(uint32_t instance) { source_instance_ = instance; }
+
+  // -- Secondary indexes (§5 future work, implemented) -------------------
+
+  void AddSecondaryIndex(std::unique_ptr<secondary::SecondaryIndex> index) {
+    std::lock_guard<std::mutex> l(secondary_mu_);
+    secondary_.push_back(std::move(index));
+  }
+  secondary::SecondaryIndex* FindSecondaryIndex(const std::string& name) {
+    std::lock_guard<std::mutex> l(secondary_mu_);
+    for (auto& index : secondary_) {
+      if (index->name() == name) return index.get();
+    }
+    return nullptr;
+  }
+  /// Notifies every secondary index of a committed write / delete.
+  Status NotifySecondaryWrite(const Slice& key, uint64_t timestamp,
+                              const Slice& value) {
+    std::lock_guard<std::mutex> l(secondary_mu_);
+    for (auto& index : secondary_) {
+      LOGBASE_RETURN_NOT_OK(index->OnWrite(key, timestamp, value));
+    }
+    return Status::OK();
+  }
+  Status NotifySecondaryDelete(const Slice& key) {
+    std::lock_guard<std::mutex> l(secondary_mu_);
+    for (auto& index : secondary_) {
+      LOGBASE_RETURN_NOT_OK(index->OnDelete(key));
+    }
+    return Status::OK();
+  }
+  bool has_secondary_indexes() const {
+    std::lock_guard<std::mutex> l(secondary_mu_);
+    return !secondary_.empty();
+  }
+
+ private:
+  const TabletDescriptor descriptor_;
+  std::unique_ptr<index::MultiVersionIndex> index_;
+  std::atomic<uint64_t> updates_since_persist_{0};
+  uint32_t source_instance_ = 0;
+  mutable std::mutex secondary_mu_;
+  std::vector<std::unique_ptr<secondary::SecondaryIndex>> secondary_;
+};
+
+}  // namespace logbase::tablet
+
+#endif  // LOGBASE_TABLET_TABLET_H_

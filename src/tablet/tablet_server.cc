@@ -1,0 +1,531 @@
+#include "src/tablet/tablet_server.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/coord/znode_tree.h"
+#include "src/index/blink_tree.h"
+#include "src/index/lsm_index.h"
+#include "src/sim/costs.h"
+#include "src/util/logging.h"
+
+namespace logbase::tablet {
+
+namespace {
+constexpr uint32_t kTimestampBatch = 4096;
+constexpr const char* kServersRoot = "/servers";
+}  // namespace
+
+// Defined in recovery.cc / checkpoint.cc / compaction.cc.
+Status RunRecovery(TabletServer* server, RecoveryStats* stats);
+Status WriteServerCheckpoint(TabletServer* server);
+Status RunCompaction(TabletServer* server, const CompactionOptions& options,
+                     CompactionStats* stats);
+
+std::string TabletServer::LogDirFor(uint32_t instance) {
+  return "/logbase/logs/" + std::to_string(instance);
+}
+
+std::string TabletServer::log_dir() const {
+  return LogDirFor(options_.server_id);
+}
+
+std::string TabletServer::CheckpointDirFor(int server_id) {
+  return "/logbase/checkpoints/" + std::to_string(server_id);
+}
+
+std::string TabletServer::checkpoint_dir() const {
+  return CheckpointDirFor(options_.server_id);
+}
+
+TabletServer::TabletServer(TabletServerOptions options, dfs::Dfs* dfs,
+                           coord::CoordinationService* coord)
+    : options_(std::move(options)),
+      dfs_(dfs),
+      coord_(coord),
+      fs_(std::make_unique<dfs::DfsFileSystem>(dfs, options_.server_id)),
+      buffer_(options_.read_buffer_bytes,
+              MakePolicy(options_.replacement_policy)) {
+  writer_ = std::make_unique<log::LogWriter>(
+      fs_.get(), log_dir(), options_.server_id, options_.segment_bytes);
+}
+
+TabletServer::~TabletServer() {
+  if (running()) Stop();
+}
+
+Status TabletServer::Start(RecoveryStats* recovery_stats) {
+  if (running()) return Status::InvalidArgument("server already running");
+  session_ = coord_->CreateSession(options_.server_id);
+  // Liveness znode: ephemeral, disappears with the session so the master
+  // notices failures.
+  coord::ZnodeTree* tree = coord_->znodes();
+  if (!tree->Exists(kServersRoot)) {
+    tree->Create(session_, kServersRoot, "", coord::CreateMode::kPersistent);
+  }
+  auto created = tree->Create(
+      session_, std::string(kServersRoot) + "/" +
+                    std::to_string(options_.server_id),
+      std::to_string(options_.server_id), coord::CreateMode::kEphemeral);
+  if (!created.ok()) return created.status();
+
+  // Recovery reloads checkpointed indexes and redoes the log tail, then the
+  // writer continues in a fresh segment.
+  LOGBASE_RETURN_NOT_OK(RunRecovery(this, recovery_stats));
+  running_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status TabletServer::Stop() {
+  if (!running()) return Status::OK();
+  LOGBASE_RETURN_NOT_OK(Checkpoint());
+  coord_->CloseSession(session_);
+  running_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+void TabletServer::Crash() {
+  running_.store(false, std::memory_order_release);
+  coord_->CloseSession(session_);
+  {
+    std::lock_guard<std::mutex> l(tablets_mu_);
+    tablets_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> l(readers_mu_);
+    readers_.clear();
+  }
+  buffer_.Clear();
+  std::lock_guard<std::mutex> l(ts_mu_);
+  ts_next_ = ts_limit_ = 0;
+}
+
+Result<std::unique_ptr<index::MultiVersionIndex>> TabletServer::NewIndex(
+    const std::string& uid) {
+  if (options_.index_kind == index::IndexKind::kBlink) {
+    return std::unique_ptr<index::MultiVersionIndex>(
+        new index::BlinkTree());
+  }
+  std::string dir = "/logbase/lsmidx/" + std::to_string(options_.server_id) +
+                    "/" + uid;
+  auto lsm_index = index::LsmIndex::Open(options_.lsm, fs_.get(), dir);
+  if (!lsm_index.ok()) return lsm_index.status();
+  return std::unique_ptr<index::MultiVersionIndex>(std::move(*lsm_index));
+}
+
+Status TabletServer::OpenTablet(const TabletDescriptor& descriptor) {
+  {
+    // Idempotent: re-registration after recovery keeps the recovered index.
+    std::lock_guard<std::mutex> l(tablets_mu_);
+    if (tablets_.count(descriptor.uid()) > 0) return Status::OK();
+  }
+  auto idx = NewIndex(descriptor.uid());
+  if (!idx.ok()) return idx.status();
+  auto tablet = std::make_unique<Tablet>(descriptor, std::move(*idx));
+  tablet->set_source_instance(options_.server_id);
+  std::lock_guard<std::mutex> l(tablets_mu_);
+  tablets_[descriptor.uid()] = std::move(tablet);
+  return Status::OK();
+}
+
+std::vector<TabletDescriptor> TabletServer::Tablets() const {
+  std::lock_guard<std::mutex> l(tablets_mu_);
+  std::vector<TabletDescriptor> out;
+  out.reserve(tablets_.size());
+  for (const auto& [uid, tablet] : tablets_) {
+    out.push_back(tablet->descriptor());
+  }
+  return out;
+}
+
+Tablet* TabletServer::FindTablet(const std::string& uid) {
+  std::lock_guard<std::mutex> l(tablets_mu_);
+  auto it = tablets_.find(uid);
+  return it == tablets_.end() ? nullptr : it->second.get();
+}
+
+Result<log::LogReader*> TabletServer::ReaderFor(uint32_t instance) {
+  std::lock_guard<std::mutex> l(readers_mu_);
+  auto it = readers_.find(instance);
+  if (it != readers_.end()) return it->second.get();
+  auto reader = std::make_unique<log::LogReader>(
+      fs_.get(), LogDirFor(instance), instance);
+  log::LogReader* raw = reader.get();
+  readers_[instance] = std::move(reader);
+  return raw;
+}
+
+uint64_t TabletServer::NextLocalTimestamp() {
+  std::lock_guard<std::mutex> l(ts_mu_);
+  if (ts_next_ >= ts_limit_) {
+    ts_next_ = coord_->ReserveTimestamps(options_.server_id, kTimestampBatch);
+    ts_limit_ = ts_next_ + kTimestampBatch;
+  }
+  return ts_next_++;
+}
+
+std::string TabletServer::BufferKey(const std::string& tablet_uid,
+                                    const Slice& key) const {
+  std::string buffer_key = tablet_uid;
+  buffer_key.push_back('\0');
+  buffer_key.append(key.data(), key.size());
+  return buffer_key;
+}
+
+Status TabletServer::MaybeAutoCheckpoint(Tablet* tablet) {
+  if (options_.checkpoint_update_threshold == 0) return Status::OK();
+  if (tablet->updates_since_persist() <
+      options_.checkpoint_update_threshold) {
+    return Status::OK();
+  }
+  return Checkpoint();
+}
+
+// ---------------------------------------------------------------------------
+// Auto-committed operations.
+// ---------------------------------------------------------------------------
+
+Status TabletServer::Put(const std::string& tablet_uid, const Slice& key,
+                         const Slice& value) {
+  if (!running()) return Status::Unavailable("tablet server is down");
+  Tablet* tablet = FindTablet(tablet_uid);
+  if (tablet == nullptr) return Status::NotFound("unknown tablet");
+
+  uint64_t ts = NextLocalTimestamp();
+  log::LogRecord record;
+  record.type = log::LogRecordType::kData;
+  record.key.table_id = tablet->descriptor().table_id;
+  record.key.tablet_id = tablet->descriptor().packed_id();
+  record.row.primary_key = key.ToString();
+  record.row.column_group = tablet->descriptor().column_group;
+  record.row.timestamp = ts;
+  record.value = value.ToString();
+  record.commit_ts = ts;
+
+  // Log first (the log IS the data repository), then index, then cache.
+  auto ptr = writer_->Append(std::move(record));
+  if (!ptr.ok()) return ptr.status();
+  LOGBASE_RETURN_NOT_OK(tablet->index()->Insert(key, ts, *ptr));
+  tablet->RecordUpdate();
+  buffer_.Put(BufferKey(tablet_uid, key), CachedRecord{ts, value.ToString()});
+  if (tablet->has_secondary_indexes()) {
+    LOGBASE_RETURN_NOT_OK(tablet->NotifySecondaryWrite(key, ts, value));
+  }
+  return MaybeAutoCheckpoint(tablet);
+}
+
+Status TabletServer::PutBatch(
+    const std::string& tablet_uid,
+    const std::vector<std::pair<std::string, std::string>>& kvs) {
+  if (!running()) return Status::Unavailable("tablet server is down");
+  Tablet* tablet = FindTablet(tablet_uid);
+  if (tablet == nullptr) return Status::NotFound("unknown tablet");
+
+  std::vector<log::LogRecord> records;
+  std::vector<uint64_t> timestamps;
+  records.reserve(kvs.size());
+  for (const auto& [key, value] : kvs) {
+    uint64_t ts = NextLocalTimestamp();
+    timestamps.push_back(ts);
+    log::LogRecord record;
+    record.type = log::LogRecordType::kData;
+    record.key.table_id = tablet->descriptor().table_id;
+    record.key.tablet_id = tablet->descriptor().packed_id();
+    record.row.primary_key = key;
+    record.row.column_group = tablet->descriptor().column_group;
+    record.row.timestamp = ts;
+    record.value = value;
+    record.commit_ts = ts;
+    records.push_back(std::move(record));
+  }
+  std::vector<log::LogPtr> ptrs;
+  LOGBASE_RETURN_NOT_OK(writer_->AppendBatch(&records, &ptrs));
+  for (size_t i = 0; i < kvs.size(); i++) {
+    LOGBASE_RETURN_NOT_OK(tablet->index()->Insert(Slice(kvs[i].first),
+                                                  timestamps[i], ptrs[i]));
+    tablet->RecordUpdate();
+    if (tablet->has_secondary_indexes()) {
+      LOGBASE_RETURN_NOT_OK(tablet->NotifySecondaryWrite(
+          Slice(kvs[i].first), timestamps[i], Slice(kvs[i].second)));
+    }
+  }
+  return MaybeAutoCheckpoint(tablet);
+}
+
+Result<std::string> TabletServer::FetchRecordValue(const log::LogPtr& ptr,
+                                                   uint64_t expect_ts) {
+  auto reader = ReaderFor(ptr.instance);
+  if (!reader.ok()) return reader.status();
+  auto record = (*reader)->Read(ptr);
+  if (!record.ok()) return record.status();
+  sim::ChargeCpu(sim::costs::kRecordCodecUs);
+  if (record->row.timestamp != expect_ts) {
+    return Status::Corruption("index points at wrong record version");
+  }
+  return std::move(record->value);
+}
+
+Result<ReadValue> TabletServer::Get(const std::string& tablet_uid,
+                                    const Slice& key) {
+  if (!running()) return Status::Unavailable("tablet server is down");
+  Tablet* tablet = FindTablet(tablet_uid);
+  if (tablet == nullptr) return Status::NotFound("unknown tablet");
+
+  CachedRecord cached;
+  if (buffer_.Get(BufferKey(tablet_uid, key), &cached)) {
+    return ReadValue{cached.timestamp, std::move(cached.value)};
+  }
+  auto entry = tablet->index()->GetLatest(key);
+  if (!entry.ok()) return entry.status();
+  auto value = FetchRecordValue(entry->ptr, entry->timestamp);
+  if (!value.ok()) return value.status();
+  buffer_.Put(BufferKey(tablet_uid, key),
+              CachedRecord{entry->timestamp, *value});
+  return ReadValue{entry->timestamp, std::move(*value)};
+}
+
+Result<ReadValue> TabletServer::GetAsOf(const std::string& tablet_uid,
+                                        const Slice& key, uint64_t as_of) {
+  if (!running()) return Status::Unavailable("tablet server is down");
+  Tablet* tablet = FindTablet(tablet_uid);
+  if (tablet == nullptr) return Status::NotFound("unknown tablet");
+
+  // The buffer holds the latest version; it answers historical reads only
+  // when that latest version is already visible at `as_of`.
+  CachedRecord cached;
+  if (buffer_.Get(BufferKey(tablet_uid, key), &cached) &&
+      cached.timestamp <= as_of) {
+    return ReadValue{cached.timestamp, std::move(cached.value)};
+  }
+  auto entry = tablet->index()->GetAsOf(key, as_of);
+  if (!entry.ok()) return entry.status();
+  auto value = FetchRecordValue(entry->ptr, entry->timestamp);
+  if (!value.ok()) return value.status();
+  return ReadValue{entry->timestamp, std::move(*value)};
+}
+
+Result<std::vector<ReadRow>> TabletServer::GetVersions(
+    const std::string& tablet_uid, const Slice& key) {
+  if (!running()) return Status::Unavailable("tablet server is down");
+  Tablet* tablet = FindTablet(tablet_uid);
+  if (tablet == nullptr) return Status::NotFound("unknown tablet");
+
+  std::vector<ReadRow> rows;
+  for (const index::IndexEntry& entry :
+       tablet->index()->GetAllVersions(key)) {
+    auto value = FetchRecordValue(entry.ptr, entry.timestamp);
+    if (!value.ok()) return value.status();
+    rows.push_back(ReadRow{entry.key, entry.timestamp, std::move(*value)});
+  }
+  return rows;
+}
+
+Status TabletServer::Delete(const std::string& tablet_uid, const Slice& key) {
+  if (!running()) return Status::Unavailable("tablet server is down");
+  Tablet* tablet = FindTablet(tablet_uid);
+  if (tablet == nullptr) return Status::NotFound("unknown tablet");
+
+  // Step 1: drop index entries so no query can reach the record. Step 2:
+  // persist an invalidated entry so restarts re-apply the deletion (§3.6.3).
+  LOGBASE_RETURN_NOT_OK(tablet->index()->RemoveAllVersions(key));
+  log::LogRecord record;
+  record.type = log::LogRecordType::kInvalidate;
+  record.key.table_id = tablet->descriptor().table_id;
+  record.key.tablet_id = tablet->descriptor().packed_id();
+  record.row.primary_key = key.ToString();
+  record.row.column_group = tablet->descriptor().column_group;
+  record.row.timestamp = NextLocalTimestamp();
+  auto ptr = writer_->Append(std::move(record));
+  if (!ptr.ok()) return ptr.status();
+  tablet->RecordUpdate();
+  buffer_.Invalidate(BufferKey(tablet_uid, key));
+  if (tablet->has_secondary_indexes()) {
+    LOGBASE_RETURN_NOT_OK(tablet->NotifySecondaryDelete(key));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ReadRow>> TabletServer::Scan(const std::string& tablet_uid,
+                                                const Slice& start_key,
+                                                const Slice& end_key,
+                                                uint64_t as_of) {
+  if (!running()) return Status::Unavailable("tablet server is down");
+  Tablet* tablet = FindTablet(tablet_uid);
+  if (tablet == nullptr) return Status::NotFound("unknown tablet");
+
+  std::vector<ReadRow> rows;
+  for (const index::IndexEntry& entry :
+       tablet->index()->ScanRange(start_key, end_key, as_of)) {
+    auto value = FetchRecordValue(entry.ptr, entry.timestamp);
+    if (!value.ok()) return value.status();
+    rows.push_back(ReadRow{entry.key, entry.timestamp, std::move(*value)});
+  }
+  return rows;
+}
+
+Result<uint64_t> TabletServer::FullScanCount(const std::string& tablet_uid) {
+  if (!running()) return Status::Unavailable("tablet server is down");
+  Tablet* tablet = FindTablet(tablet_uid);
+  if (tablet == nullptr) return Status::NotFound("unknown tablet");
+
+  auto reader = ReaderFor(tablet->source_instance());
+  if (!reader.ok()) return reader.status();
+  auto segments = (*reader)->ListSegments();
+  if (!segments.ok()) return segments.status();
+
+  uint64_t live = 0;
+  for (uint32_t segment : *segments) {
+    auto scanner = (*reader)->NewSegmentScanner(segment);
+    if (!scanner.ok()) return scanner.status();
+    for (; (*scanner)->Valid(); (*scanner)->Next()) {
+      const log::LogRecord& record = (*scanner)->record();
+      if (record.type != log::LogRecordType::kData) continue;
+      if (record.key.table_id != tablet->descriptor().table_id ||
+          record.key.tablet_id != tablet->descriptor().packed_id()) {
+        continue;
+      }
+      sim::ChargeCpu(sim::costs::kRecordCodecUs);
+      // Version check against the in-memory index (§3.6.4): only records
+      // holding the current version count as live.
+      auto entry = tablet->index()->GetLatest(Slice(record.row.primary_key));
+      if (entry.ok() && entry->timestamp == record.row.timestamp) {
+        live++;
+      }
+    }
+    if (!(*scanner)->status().ok()) return (*scanner)->status();
+  }
+  return live;
+}
+
+// ---------------------------------------------------------------------------
+// Transaction support.
+// ---------------------------------------------------------------------------
+
+Result<std::vector<log::LogPtr>> TabletServer::AppendBatch(
+    std::vector<log::LogRecord>* records) {
+  if (!running()) return Status::Unavailable("tablet server is down");
+  std::vector<log::LogPtr> ptrs;
+  LOGBASE_RETURN_NOT_OK(writer_->AppendBatch(records, &ptrs));
+  return ptrs;
+}
+
+Status TabletServer::PublishWrite(const std::string& tablet_uid,
+                                  const Slice& key, uint64_t timestamp,
+                                  const log::LogPtr& ptr,
+                                  const Slice& value) {
+  Tablet* tablet = FindTablet(tablet_uid);
+  if (tablet == nullptr) return Status::NotFound("unknown tablet");
+  LOGBASE_RETURN_NOT_OK(tablet->index()->Insert(key, timestamp, ptr));
+  tablet->RecordUpdate();
+  buffer_.Put(BufferKey(tablet_uid, key),
+              CachedRecord{timestamp, value.ToString()});
+  if (tablet->has_secondary_indexes()) {
+    LOGBASE_RETURN_NOT_OK(
+        tablet->NotifySecondaryWrite(key, timestamp, value));
+  }
+  return Status::OK();
+}
+
+Status TabletServer::PublishDelete(const std::string& tablet_uid,
+                                   const Slice& key) {
+  Tablet* tablet = FindTablet(tablet_uid);
+  if (tablet == nullptr) return Status::NotFound("unknown tablet");
+  LOGBASE_RETURN_NOT_OK(tablet->index()->RemoveAllVersions(key));
+  tablet->RecordUpdate();
+  buffer_.Invalidate(BufferKey(tablet_uid, key));
+  if (tablet->has_secondary_indexes()) {
+    LOGBASE_RETURN_NOT_OK(tablet->NotifySecondaryDelete(key));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> TabletServer::LatestVersion(const std::string& tablet_uid,
+                                             const Slice& key) {
+  Tablet* tablet = FindTablet(tablet_uid);
+  if (tablet == nullptr) return Status::NotFound("unknown tablet");
+  auto entry = tablet->index()->GetLatest(key);
+  if (!entry.ok()) {
+    if (entry.status().IsNotFound()) return static_cast<uint64_t>(0);
+    return entry.status();
+  }
+  return entry->timestamp;
+}
+
+// ---------------------------------------------------------------------------
+// Secondary indexes.
+// ---------------------------------------------------------------------------
+
+Status TabletServer::CreateSecondaryIndex(const std::string& tablet_uid,
+                                          const std::string& index_name,
+                                          secondary::KeyExtractor extractor) {
+  Tablet* tablet = FindTablet(tablet_uid);
+  if (tablet == nullptr) return Status::NotFound("unknown tablet");
+  if (tablet->FindSecondaryIndex(index_name) != nullptr) {
+    return Status::InvalidArgument("secondary index exists: " + index_name);
+  }
+  auto index =
+      std::make_unique<secondary::SecondaryIndex>(index_name, extractor);
+  // Backfill from the current (latest-version) contents of the tablet.
+  for (const index::IndexEntry& entry :
+       tablet->index()->ScanRange("", "", ~0ull)) {
+    auto value = FetchRecordValue(entry.ptr, entry.timestamp);
+    if (!value.ok()) return value.status();
+    LOGBASE_RETURN_NOT_OK(
+        index->OnWrite(Slice(entry.key), entry.timestamp, Slice(*value)));
+  }
+  tablet->AddSecondaryIndex(std::move(index));
+  return Status::OK();
+}
+
+Result<std::vector<ReadRow>> TabletServer::LookupBySecondary(
+    const std::string& tablet_uid, const std::string& index_name,
+    const Slice& secondary_key, uint64_t as_of) {
+  if (!running()) return Status::Unavailable("tablet server is down");
+  Tablet* tablet = FindTablet(tablet_uid);
+  if (tablet == nullptr) return Status::NotFound("unknown tablet");
+  secondary::SecondaryIndex* index = tablet->FindSecondaryIndex(index_name);
+  if (index == nullptr) return Status::NotFound("unknown secondary index");
+
+  std::vector<ReadRow> rows;
+  std::set<std::string> seen;
+  for (const secondary::SecondaryMatch& match :
+       index->Lookup(secondary_key, as_of)) {
+    if (!seen.insert(match.primary_key).second) continue;
+    // Verify the candidate: its value at `as_of` must still map to the
+    // queried secondary key (the entry may predate an attribute change).
+    auto read = GetAsOf(tablet_uid, Slice(match.primary_key), as_of);
+    if (!read.ok()) {
+      if (read.status().IsNotFound()) continue;
+      return read.status();
+    }
+    auto current = index->extractor()(Slice(read->value));
+    if (!current.has_value() || Slice(*current) != secondary_key) continue;
+    rows.push_back(
+        ReadRow{match.primary_key, read->timestamp, std::move(read->value)});
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance entry points (implemented in checkpoint.cc / compaction.cc).
+// ---------------------------------------------------------------------------
+
+Status TabletServer::Checkpoint() {
+  Status s = WriteServerCheckpoint(this);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> l(tablets_mu_);
+    for (auto& [uid, tablet] : tablets_) {
+      tablet->ResetUpdateCounter();
+    }
+  }
+  return s;
+}
+
+Status TabletServer::CompactLog(const CompactionOptions& options,
+                                CompactionStats* stats) {
+  CompactionStats local;
+  Status s = RunCompaction(this, options, stats != nullptr ? stats : &local);
+  return s;
+}
+
+}  // namespace logbase::tablet

@@ -1,0 +1,233 @@
+// The tablet server (paper §3.3/§3.6): a single log instance in the DFS as
+// the *only* data repository, one in-memory multiversion index per column
+// group per tablet, an optional read buffer, checkpointing, recovery and log
+// compaction. Transactions layer on top through the Append/Publish
+// primitives (src/txn/).
+
+#ifndef LOGBASE_TABLET_TABLET_SERVER_H_
+#define LOGBASE_TABLET_TABLET_SERVER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/coord/coordination_service.h"
+#include "src/dfs/dfs.h"
+#include "src/index/multiversion_index.h"
+#include "src/log/log_reader.h"
+#include "src/log/log_writer.h"
+#include "src/lsm/lsm_tree.h"
+#include "src/tablet/read_buffer.h"
+#include "src/tablet/tablet.h"
+
+namespace logbase::tablet {
+
+struct TabletServerOptions {
+  /// Server id == cluster node id == log instance id.
+  int server_id = 0;
+  index::IndexKind index_kind = index::IndexKind::kBlink;
+  uint64_t segment_bytes = 64ull << 20;
+  /// 0 disables the read buffer (it is an optional component, §3.6.1).
+  size_t read_buffer_bytes = 0;
+  std::string replacement_policy = "lru";
+  /// Persist indexes after this many updates (0 = only explicit
+  /// checkpoints), §3.6.1.
+  uint64_t checkpoint_update_threshold = 0;
+  /// Settings for IndexKind::kLsm.
+  lsm::LsmOptions lsm;
+};
+
+/// A read result: the version (write timestamp) and value.
+struct ReadValue {
+  uint64_t timestamp = 0;
+  std::string value;
+};
+
+/// A row surfaced by a scan.
+struct ReadRow {
+  std::string key;
+  uint64_t timestamp = 0;
+  std::string value;
+};
+
+struct CompactionOptions {
+  /// Keep at most this many newest versions per key (0 = keep all).
+  uint32_t max_versions_per_key = 0;
+};
+
+struct CompactionStats {
+  uint64_t input_records = 0;
+  uint64_t output_records = 0;
+  uint64_t dropped_invalidated = 0;
+  uint64_t dropped_uncommitted = 0;
+  uint64_t dropped_obsolete = 0;
+  uint32_t output_segments = 0;
+};
+
+struct RecoveryStats {
+  bool loaded_checkpoint = false;
+  uint64_t checkpoint_entries = 0;
+  uint64_t redo_records = 0;
+  uint64_t redo_bytes = 0;
+};
+
+class TabletServer {
+ public:
+  TabletServer(TabletServerOptions options, dfs::Dfs* dfs,
+               coord::CoordinationService* coord);
+  ~TabletServer();
+
+  TabletServer(const TabletServer&) = delete;
+  TabletServer& operator=(const TabletServer&) = delete;
+
+  /// Brings the server up: coordination session + liveness znode, recovery
+  /// from checkpoint + log redo, then a fresh log segment for new writes.
+  Status Start(RecoveryStats* recovery_stats = nullptr);
+
+  /// Graceful shutdown: checkpoint, close session.
+  Status Stop();
+
+  /// Simulated machine crash: all in-memory state (indexes, read buffer) is
+  /// lost; the log and checkpoint files in the DFS survive.
+  void Crash();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // -- Tablet management -----------------------------------------------
+
+  Status OpenTablet(const TabletDescriptor& descriptor);
+  /// Takes over a tablet from a permanently failed server: loads the dead
+  /// server's checkpointed index for it and redoes the tail of the dead
+  /// server's log, filtered to this tablet (§3.8).
+  Status AdoptTablet(const TabletDescriptor& descriptor,
+                     uint32_t dead_instance);
+  std::vector<TabletDescriptor> Tablets() const;
+
+  // -- Auto-committed data operations (§3.6) ----------------------------
+
+  Status Put(const std::string& tablet_uid, const Slice& key,
+             const Slice& value);
+  /// Bulk write: one group-committed log append for the whole batch.
+  Status PutBatch(const std::string& tablet_uid,
+                  const std::vector<std::pair<std::string, std::string>>& kvs);
+  Result<ReadValue> Get(const std::string& tablet_uid, const Slice& key);
+  Result<ReadValue> GetAsOf(const std::string& tablet_uid, const Slice& key,
+                            uint64_t as_of);
+  /// All versions of a key, newest first (multiversion access).
+  Result<std::vector<ReadRow>> GetVersions(const std::string& tablet_uid,
+                                           const Slice& key);
+  Status Delete(const std::string& tablet_uid, const Slice& key);
+  Result<std::vector<ReadRow>> Scan(const std::string& tablet_uid,
+                                    const Slice& start_key,
+                                    const Slice& end_key,
+                                    uint64_t as_of = ~0ull);
+  /// Full scan with index version check (§3.6.4): returns the number of
+  /// records whose stored version is current.
+  Result<uint64_t> FullScanCount(const std::string& tablet_uid);
+
+  // -- Transaction support (used by txn::TransactionManager) ------------
+
+  /// Group-commits a batch of prepared records into the log.
+  Result<std::vector<log::LogPtr>> AppendBatch(
+      std::vector<log::LogRecord>* records);
+  /// Publishes a committed write into the index + read buffer.
+  Status PublishWrite(const std::string& tablet_uid, const Slice& key,
+                      uint64_t timestamp, const log::LogPtr& ptr,
+                      const Slice& value);
+  /// Publishes a committed delete (index removal; the INVALIDATE record must
+  /// already be in the batch).
+  Status PublishDelete(const std::string& tablet_uid, const Slice& key);
+  /// Latest committed version of a key (0 when absent) — MVOCC validation.
+  Result<uint64_t> LatestVersion(const std::string& tablet_uid,
+                                 const Slice& key);
+
+  // -- Secondary indexes (§5 future work, implemented) -------------------
+
+  /// Creates and backfills a secondary index on the tablet: `extractor`
+  /// derives the indexed attribute from record values. Subsequent writes
+  /// and deletes maintain the index; lookups verify candidates against the
+  /// base record. After a restart the application recreates its secondary
+  /// indexes (backfill rebuilds them from the recovered data).
+  Status CreateSecondaryIndex(const std::string& tablet_uid,
+                              const std::string& index_name,
+                              secondary::KeyExtractor extractor);
+
+  /// Rows whose extracted attribute equals `secondary_key` at `as_of`.
+  Result<std::vector<ReadRow>> LookupBySecondary(
+      const std::string& tablet_uid, const std::string& index_name,
+      const Slice& secondary_key, uint64_t as_of = ~0ull);
+
+  // -- Maintenance -------------------------------------------------------
+
+  /// Persists all indexes + a checkpoint block {log position, last LSN}
+  /// (§3.8).
+  Status Checkpoint();
+  /// Log compaction (§3.6.5): drops uncommitted/invalidated/obsolete
+  /// entries, clusters the survivors by (table, column group, key,
+  /// timestamp) into sorted segments, swings index pointers, reclaims the
+  /// inputs, and checkpoints.
+  Status CompactLog(const CompactionOptions& options = {},
+                    CompactionStats* stats = nullptr);
+
+  // -- Introspection -----------------------------------------------------
+
+  int server_id() const { return options_.server_id; }
+  std::string log_dir() const;
+  static std::string LogDirFor(uint32_t instance);
+  std::string checkpoint_dir() const;
+  static std::string CheckpointDirFor(int server_id);
+  log::LogPosition LogPosition() const { return writer_->Position(); }
+  uint64_t log_bytes_written() const { return writer_->bytes_written(); }
+  ReadBuffer* read_buffer() { return &buffer_; }
+  Tablet* FindTablet(const std::string& uid);
+  /// Reader over a log instance's segments (own or adopted), created
+  /// lazily; exposed for recovery, compaction and diagnostics.
+  Result<log::LogReader*> ReaderFor(uint32_t instance);
+  coord::CoordinationService* coord() { return coord_; }
+  dfs::Dfs* dfs() { return dfs_; }
+  const TabletServerOptions& options() const { return options_; }
+
+ private:
+  friend Status RunRecovery(TabletServer* server, RecoveryStats* stats);
+  friend Status WriteServerCheckpoint(TabletServer* server);
+  friend Status RunCompaction(TabletServer* server,
+                              const CompactionOptions& options,
+                              CompactionStats* stats);
+
+  Result<std::unique_ptr<index::MultiVersionIndex>> NewIndex(
+      const std::string& uid);
+  Result<std::string> FetchRecordValue(const log::LogPtr& ptr,
+                                       uint64_t expect_ts);
+  std::string BufferKey(const std::string& tablet_uid, const Slice& key) const;
+  Status MaybeAutoCheckpoint(Tablet* tablet);
+  /// Write timestamp for auto-commit operations, drawn from a locally cached
+  /// block reserved at the timestamp authority.
+  uint64_t NextLocalTimestamp();
+
+  TabletServerOptions options_;
+  dfs::Dfs* const dfs_;
+  coord::CoordinationService* const coord_;
+  std::unique_ptr<FileSystem> fs_;  // DFS adapter bound to this node
+
+  std::atomic<bool> running_{false};
+  coord::SessionId session_ = 0;
+
+  mutable std::mutex tablets_mu_;
+  std::map<std::string, std::unique_ptr<Tablet>> tablets_;
+
+  std::unique_ptr<log::LogWriter> writer_;
+  std::mutex readers_mu_;
+  std::map<uint32_t, std::unique_ptr<log::LogReader>> readers_;
+  ReadBuffer buffer_;
+
+  std::mutex ts_mu_;
+  uint64_t ts_next_ = 0;
+  uint64_t ts_limit_ = 0;
+};
+
+}  // namespace logbase::tablet
+
+#endif  // LOGBASE_TABLET_TABLET_SERVER_H_

@@ -1,0 +1,61 @@
+#include "src/txn/lock_table.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace logbase::txn {
+
+OrderedLockSet::OrderedLockSet(coord::LockManager* locks,
+                               coord::SessionId session, std::string owner,
+                               int client_node)
+    : locks_(locks),
+      session_(session),
+      owner_(std::move(owner)),
+      client_node_(client_node) {}
+
+OrderedLockSet::~OrderedLockSet() { ReleaseAll(); }
+
+std::string OrderedLockSet::LockName(const TxnCell& cell) {
+  std::string name = cell.tablet_uid;
+  name.push_back('\0');
+  name += cell.key;
+  return name;
+}
+
+Status OrderedLockSet::AcquireAll(const std::vector<TxnCell>& cells,
+                                  int max_attempts_per_lock) {
+  std::vector<TxnCell> ordered = cells;
+  std::sort(ordered.begin(), ordered.end());
+  ordered.erase(std::unique(ordered.begin(), ordered.end()), ordered.end());
+
+  for (const TxnCell& cell : ordered) {
+    std::string name = LockName(cell);
+    bool acquired = false;
+    for (int attempt = 0; attempt < max_attempts_per_lock; attempt++) {
+      if (locks_->TryLock(session_, Slice(name), owner_, client_node_)) {
+        acquired = true;
+        break;
+      }
+      // Another validating transaction holds it; keep pre-claiming (the
+      // order guarantees the holder is not waiting on us).
+      std::this_thread::yield();
+    }
+    if (!acquired) {
+      ReleaseAll();
+      return Status::Busy("could not acquire write lock: " + cell.key);
+    }
+    held_.push_back(std::move(name));
+  }
+  holds_all_ = true;
+  return Status::OK();
+}
+
+void OrderedLockSet::ReleaseAll() {
+  for (const std::string& name : held_) {
+    locks_->Unlock(Slice(name), owner_, client_node_);
+  }
+  held_.clear();
+  holds_all_ = false;
+}
+
+}  // namespace logbase::txn

@@ -1,0 +1,255 @@
+#include "src/txn/transaction_manager.h"
+
+#include <map>
+#include <vector>
+
+#include "src/sim/costs.h"
+#include "src/txn/lock_table.h"
+#include "src/util/logging.h"
+
+namespace logbase::txn {
+
+TransactionManager::TransactionManager(coord::CoordinationService* coord,
+                                       int client_node,
+                                       ServerResolver resolver,
+                                       TransactionManagerOptions options)
+    : coord_(coord),
+      client_node_(client_node),
+      options_(options),
+      resolver_(std::move(resolver)),
+      locks_(coord) {
+  session_ = coord_->CreateSession(client_node_);
+}
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  stats_.begun.fetch_add(1, std::memory_order_relaxed);
+  // The snapshot is the latest issued timestamp: every transaction that
+  // committed before Begin is visible.
+  return std::make_unique<Transaction>(
+      next_txn_id_.fetch_add(1, std::memory_order_relaxed),
+      coord_->LatestTimestamp());
+}
+
+Result<std::string> TransactionManager::Read(Transaction* txn,
+                                             const std::string& tablet_uid,
+                                             const Slice& key) {
+  sim::ChargeCpu(sim::costs::kTxnBookkeepingUs);
+  TxnCell cell{tablet_uid, key.ToString()};
+  // Read-your-own-writes.
+  if (const BufferedWrite* own = txn->FindWrite(cell)) {
+    if (own->is_delete) return Status::NotFound("deleted in this txn");
+    return own->value;
+  }
+
+  tablet::TabletServer* server = resolver_(tablet_uid);
+  if (server == nullptr) return Status::Unavailable("no server for tablet");
+  auto read = server->GetAsOf(tablet_uid, key, txn->snapshot_ts());
+  if (read.ok()) {
+    txn->RecordRead(cell, read->timestamp);
+    return std::move(read->value);
+  }
+  if (read.status().IsNotFound()) {
+    txn->RecordRead(cell, 0);
+  }
+  return read.status();
+}
+
+Status TransactionManager::Write(Transaction* txn,
+                                 const std::string& tablet_uid,
+                                 const Slice& key, const Slice& value) {
+  sim::ChargeCpu(sim::costs::kTxnBookkeepingUs);
+  TxnCell cell{tablet_uid, key.ToString()};
+  if (txn->FindReadVersion(cell) == nullptr) {
+    // No blind writes: observe the version being overwritten so validation
+    // can detect a concurrent committer.
+    tablet::TabletServer* server = resolver_(tablet_uid);
+    if (server == nullptr) return Status::Unavailable("no server for tablet");
+    auto version = server->LatestVersion(tablet_uid, key);
+    if (!version.ok()) return version.status();
+    txn->RecordRead(cell, *version);
+  }
+  txn->BufferWrite(cell, BufferedWrite{false, value.ToString()});
+  return Status::OK();
+}
+
+Status TransactionManager::Delete(Transaction* txn,
+                                  const std::string& tablet_uid,
+                                  const Slice& key) {
+  TxnCell cell{tablet_uid, key.ToString()};
+  if (txn->FindReadVersion(cell) == nullptr) {
+    tablet::TabletServer* server = resolver_(tablet_uid);
+    if (server == nullptr) return Status::Unavailable("no server for tablet");
+    auto version = server->LatestVersion(tablet_uid, key);
+    if (!version.ok()) return version.status();
+    txn->RecordRead(cell, *version);
+  }
+  txn->BufferWrite(cell, BufferedWrite{true, ""});
+  return Status::OK();
+}
+
+Status TransactionManager::ValidateLocked(Transaction* txn) {
+  // First-committer-wins: if any record in the write set changed since this
+  // transaction observed it, a concurrent transaction committed first.
+  // Under the serializable option the whole read set is validated too,
+  // eliminating write skew (rw-antidependency cycles).
+  for (const auto& [cell, observed] : txn->read_versions()) {
+    if (!options_.serializable && txn->FindWrite(cell) == nullptr) {
+      continue;  // snapshot isolation: reads outside the write set pass
+    }
+    tablet::TabletServer* server = resolver_(cell.tablet_uid);
+    if (server == nullptr) return Status::Unavailable("no server for tablet");
+    auto current = server->LatestVersion(cell.tablet_uid, Slice(cell.key));
+    if (!current.ok()) return current.status();
+    if (*current != observed) {
+      return Status::Aborted("conflict on " + cell.key);
+    }
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::PersistAndPublish(Transaction* txn) {
+  // Group writes per participant server.
+  struct Participant {
+    tablet::TabletServer* server;
+    std::vector<log::LogRecord> records;
+    std::vector<const TxnCell*> cells;  // parallel to records
+  };
+  std::map<tablet::TabletServer*, Participant> participants;
+
+  for (const auto& [cell, write] : txn->writes()) {
+    tablet::TabletServer* server = resolver_(cell.tablet_uid);
+    if (server == nullptr) return Status::Unavailable("no server for tablet");
+    tablet::Tablet* tablet = server->FindTablet(cell.tablet_uid);
+    if (tablet == nullptr) return Status::NotFound("unknown tablet");
+
+    Participant& p = participants[server];
+    p.server = server;
+    log::LogRecord record;
+    record.type = write.is_delete ? log::LogRecordType::kInvalidate
+                                  : log::LogRecordType::kData;
+    record.key.table_id = tablet->descriptor().table_id;
+    record.key.tablet_id = tablet->descriptor().packed_id();
+    record.txn_id = txn->id();
+    record.row.primary_key = cell.key;
+    record.row.column_group = tablet->descriptor().column_group;
+    record.row.timestamp = txn->commit_ts();
+    record.value = write.value;
+    record.commit_ts = txn->commit_ts();
+    p.records.push_back(std::move(record));
+    p.cells.push_back(&cell);
+  }
+
+  auto make_commit_record = [txn]() {
+    log::LogRecord commit;
+    commit.type = log::LogRecordType::kCommit;
+    commit.txn_id = txn->id();
+    commit.commit_ts = txn->commit_ts();
+    return commit;
+  };
+
+  std::map<tablet::TabletServer*, std::vector<log::LogPtr>> ptrs;
+  if (participants.size() == 1) {
+    // Fast path: data + COMMIT in one group-committed append (§3.7.2).
+    Participant& p = participants.begin()->second;
+    p.records.push_back(make_commit_record());
+    auto appended = p.server->AppendBatch(&p.records);
+    if (!appended.ok()) return appended.status();
+    appended->pop_back();  // drop the commit record's ptr
+    p.records.pop_back();
+    ptrs[p.server] = std::move(*appended);
+  } else {
+    // 2PC: phase one writes the data records everywhere...
+    for (auto& [server, p] : participants) {
+      auto appended = server->AppendBatch(&p.records);
+      if (!appended.ok()) return appended.status();  // invisible: no COMMIT
+      ptrs[server] = std::move(*appended);
+    }
+    // ...phase two makes the transaction durable-visible everywhere.
+    for (auto& [server, p] : participants) {
+      std::vector<log::LogRecord> commit_batch;
+      commit_batch.push_back(make_commit_record());
+      std::vector<log::LogPtr> commit_ptrs;
+      auto appended = server->AppendBatch(&commit_batch);
+      if (!appended.ok()) return appended.status();
+      (void)commit_ptrs;
+    }
+  }
+
+  // Publication: only now do the writes become visible to reads.
+  for (auto& [server, p] : participants) {
+    const std::vector<log::LogPtr>& server_ptrs = ptrs[server];
+    for (size_t i = 0; i < p.cells.size(); i++) {
+      const TxnCell& cell = *p.cells[i];
+      const BufferedWrite& write = txn->writes().at(cell);
+      if (write.is_delete) {
+        LOGBASE_RETURN_NOT_OK(
+            server->PublishDelete(cell.tablet_uid, Slice(cell.key)));
+      } else {
+        LOGBASE_RETURN_NOT_OK(server->PublishWrite(
+            cell.tablet_uid, Slice(cell.key), txn->commit_ts(),
+            server_ptrs[i], Slice(write.value)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (txn->state() != Transaction::State::kActive) {
+    return Status::InvalidArgument("transaction not active");
+  }
+  // Read-only transactions saw a consistent snapshot: always commit
+  // (§3.7.1 — the separation MVOCC buys).
+  if (txn->read_only()) {
+    txn->set_state(Transaction::State::kCommitted);
+    stats_.committed.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  std::vector<TxnCell> cells;
+  cells.reserve(txn->writes().size());
+  for (const auto& [cell, write] : txn->writes()) cells.push_back(cell);
+  if (options_.serializable) {
+    // Read locks too (§3.7.1): blocks concurrent writers of what we read.
+    for (const auto& [cell, version] : txn->read_versions()) {
+      cells.push_back(cell);
+    }
+  }
+
+  OrderedLockSet lock_set(&locks_, session_,
+                          "txn-" + std::to_string(txn->id()), client_node_);
+  Status lock_status = lock_set.AcquireAll(cells);
+  if (!lock_status.ok()) {
+    stats_.lock_failures.fetch_add(1, std::memory_order_relaxed);
+    Abort(txn);
+    return Status::Aborted(lock_status.message());
+  }
+
+  Status valid = ValidateLocked(txn);
+  if (!valid.ok()) {
+    if (valid.IsAborted()) {
+      stats_.validation_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    Abort(txn);
+    return valid;
+  }
+
+  txn->set_commit_ts(coord_->NextTimestamp(client_node_));
+  Status persisted = PersistAndPublish(txn);
+  if (!persisted.ok()) {
+    Abort(txn);
+    return persisted;
+  }
+  txn->set_state(Transaction::State::kCommitted);
+  stats_.committed.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void TransactionManager::Abort(Transaction* txn) {
+  if (txn->state() == Transaction::State::kActive) {
+    txn->set_state(Transaction::State::kAborted);
+    stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace logbase::txn

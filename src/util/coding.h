@@ -1,0 +1,63 @@
+// Binary encoding primitives: little-endian fixed-width integers, varints and
+// length-prefixed slices, used by the log record format, the sorted-table
+// format and index checkpoints.
+
+#ifndef LOGBASE_UTIL_CODING_H_
+#define LOGBASE_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/util/slice.h"
+
+namespace logbase {
+
+inline void EncodeFixed32(char* buf, uint32_t value) {
+  memcpy(buf, &value, sizeof(value));  // little-endian hosts only
+}
+
+inline void EncodeFixed64(char* buf, uint64_t value) {
+  memcpy(buf, &value, sizeof(value));
+}
+
+inline uint32_t DecodeFixed32(const char* ptr) {
+  uint32_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+inline uint64_t DecodeFixed64(const char* ptr) {
+  uint64_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+/// Appends varint32(len) followed by the bytes of `value`.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+/// Each Get* consumes the decoded bytes from the front of `input` and returns
+/// false on underflow/malformed data (input left unspecified on failure).
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+/// Number of bytes PutVarint32/64 would append.
+int VarintLength(uint64_t v);
+
+/// Lower-level varint writers into a raw buffer; return one past the last
+/// written byte. The buffer must have at least 5 (resp. 10) bytes available.
+char* EncodeVarint32(char* dst, uint32_t value);
+char* EncodeVarint64(char* dst, uint64_t value);
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+}  // namespace logbase
+
+#endif  // LOGBASE_UTIL_CODING_H_

@@ -1,0 +1,35 @@
+// Pluggable key ordering for the sorted-table format and LSM-tree (LevelDB
+// idiom): the default is bytewise; the LSM installs an internal-key
+// comparator that orders versions of a key newest-first.
+
+#ifndef LOGBASE_UTIL_COMPARATOR_H_
+#define LOGBASE_UTIL_COMPARATOR_H_
+
+#include "src/util/slice.h"
+
+namespace logbase {
+
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+  /// <0, 0, >0 as a is before, equal to, after b.
+  virtual int Compare(const Slice& a, const Slice& b) const = 0;
+  virtual const char* Name() const = 0;
+};
+
+/// Lexicographic byte order; singleton.
+inline const Comparator* BytewiseComparator() {
+  class Bytewise final : public Comparator {
+   public:
+    int Compare(const Slice& a, const Slice& b) const override {
+      return a.compare(b);
+    }
+    const char* Name() const override { return "logbase.Bytewise"; }
+  };
+  static const Bytewise* singleton = new Bytewise();
+  return singleton;
+}
+
+}  // namespace logbase
+
+#endif  // LOGBASE_UTIL_COMPARATOR_H_

@@ -1,0 +1,30 @@
+// Generic ordered key/value iterator interface shared by sorted tables, the
+// LSM-tree merging iterator and tablet scans.
+
+#ifndef LOGBASE_UTIL_ITERATOR_H_
+#define LOGBASE_UTIL_ITERATOR_H_
+
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace logbase {
+
+class KvIterator {
+ public:
+  virtual ~KvIterator() = default;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  /// Positions at the first entry with key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  /// REQUIRES: Valid(). Slices remain valid until the next mutation.
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+  /// Non-ok when iteration hit an I/O or corruption error.
+  virtual Status status() const = 0;
+};
+
+}  // namespace logbase
+
+#endif  // LOGBASE_UTIL_ITERATOR_H_

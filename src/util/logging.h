@@ -1,0 +1,35 @@
+// Minimal leveled logging to stderr, off by default below WARN so tests and
+// benches stay quiet. Set LOGBASE_LOG_LEVEL=0 (DEBUG) or 1 (INFO) to see
+// internal events (tablet assignment, compaction, recovery progress).
+
+#ifndef LOGBASE_UTIL_LOGGING_H_
+#define LOGBASE_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace logbase {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+inline int GlobalLogLevel() {
+  static const int level = [] {
+    const char* env = std::getenv("LOGBASE_LOG_LEVEL");
+    return env != nullptr ? std::atoi(env) : 2;
+  }();
+  return level;
+}
+
+}  // namespace logbase
+
+#define LOGBASE_LOG(level, ...)                                            \
+  do {                                                                     \
+    if (static_cast<int>(::logbase::LogLevel::level) >=                    \
+        ::logbase::GlobalLogLevel()) {                                     \
+      std::fprintf(stderr, "[%s %s:%d] ", #level, __FILE__, __LINE__);     \
+      std::fprintf(stderr, __VA_ARGS__);                                   \
+      std::fprintf(stderr, "\n");                                          \
+    }                                                                      \
+  } while (false)
+
+#endif  // LOGBASE_UTIL_LOGGING_H_

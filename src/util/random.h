@@ -1,0 +1,114 @@
+// Pseudo-random utilities: a fast xorshift generator plus the YCSB zipfian
+// and scrambled-zipfian key choosers used by the workload generators (the
+// paper's benchmark clients draw keys from a zipfian with coefficient 1.0).
+
+#ifndef LOGBASE_UTIL_RANDOM_H_
+#define LOGBASE_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace logbase {
+
+/// xorshift64* generator; small, fast, good enough for workload synthesis.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ull : seed) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+/// YCSB-style zipfian generator over [0, item_count): item 0 is the most
+/// popular. The default constant 0.99 matches YCSB; the paper configures the
+/// "co-efficient" to 1.0, which we map to the same popularity skew.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t item_count, double constant = 0.99)
+      : items_(item_count), theta_(constant) {
+    assert(item_count > 0);
+    zetan_ = Zeta(items_, theta_);
+    zeta2theta_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1 - std::pow(2.0 / static_cast<double>(items_), 1 - theta_)) /
+           (1 - zeta2theta_ / zetan_);
+  }
+
+  uint64_t Next(Random* rnd) {
+    double u = rnd->NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(items_) * std::pow(eta_ * u - eta_ + 1, alpha_));
+  }
+
+  uint64_t item_count() const { return items_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t items_;
+  double theta_;
+  double zetan_;
+  double zeta2theta_;
+  double alpha_;
+  double eta_;
+};
+
+/// Zipfian popularity spread over the key space by FNV hashing, so that hot
+/// items are scattered rather than clustered at low keys (YCSB
+/// ScrambledZipfian). Output is in [0, item_count).
+class ScrambledZipfianGenerator {
+ public:
+  explicit ScrambledZipfianGenerator(uint64_t item_count,
+                                     double constant = 0.99)
+      : items_(item_count), gen_(item_count, constant) {}
+
+  uint64_t Next(Random* rnd) { return FnvHash64(gen_.Next(rnd)) % items_; }
+
+ private:
+  static uint64_t FnvHash64(uint64_t v) {
+    uint64_t hash = 0xcbf29ce484222325ull;
+    for (int i = 0; i < 8; i++) {
+      hash ^= (v >> (8 * i)) & 0xff;
+      hash *= 0x100000001b3ull;
+    }
+    return hash;
+  }
+
+  uint64_t items_;
+  ZipfianGenerator gen_;
+};
+
+}  // namespace logbase
+
+#endif  // LOGBASE_UTIL_RANDOM_H_

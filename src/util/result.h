@@ -1,0 +1,76 @@
+// Result<T>: a Status or a value (Arrow idiom). Fallible functions that
+// produce a value return Result<T> instead of taking an output parameter.
+
+#ifndef LOGBASE_UTIL_RESULT_H_
+#define LOGBASE_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace logbase {
+
+/// Holds either an ok value of type T or a non-ok Status describing why the
+/// value could not be produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from a non-ok Status: `return Status::NotFound();`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from an OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating a non-ok status; otherwise
+/// binds the value to `lhs`. Usage:
+///   LOGBASE_ASSIGN_OR_RETURN(auto file, dfs->Open(path));
+#define LOGBASE_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  LOGBASE_ASSIGN_OR_RETURN_IMPL_(                                  \
+      LOGBASE_CONCAT_(_logbase_result_, __LINE__), lhs, rexpr)
+
+#define LOGBASE_CONCAT_INNER_(a, b) a##b
+#define LOGBASE_CONCAT_(a, b) LOGBASE_CONCAT_INNER_(a, b)
+#define LOGBASE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace logbase
+
+#endif  // LOGBASE_UTIL_RESULT_H_

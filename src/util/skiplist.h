@@ -1,0 +1,187 @@
+// A sorted in-memory skip list with lock-free reads and externally
+// synchronized writes (RocksDB memtable idiom). Used by the LSM memtable and
+// the HBase-baseline memtable.
+
+#ifndef LOGBASE_UTIL_SKIPLIST_H_
+#define LOGBASE_UTIL_SKIPLIST_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace logbase {
+
+/// SkipList<Key, Comparator>.
+///
+/// Thread-safety contract: Insert() calls require external synchronization
+/// (one writer at a time); readers (Contains, Iterator) need no
+/// synchronization and may run concurrently with a writer. Keys are never
+/// deleted until the whole list is destroyed.
+///
+/// Comparator must provide: int operator()(const Key& a, const Key& b) const.
+template <typename Key, class Comparator>
+class SkipList {
+ public:
+  explicit SkipList(Comparator cmp)
+      : compare_(cmp),
+        rnd_(0xdeadbeef),
+        head_(NewNode(Key(), kMaxHeight)),
+        max_height_(1) {
+    for (int i = 0; i < kMaxHeight; i++) {
+      head_->SetNext(i, nullptr);
+    }
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  ~SkipList() {
+    Node* x = head_;
+    while (x != nullptr) {
+      Node* next = x->NoBarrierNext(0);
+      // Nodes are allocated as raw storage + placement-new (variable-height
+      // pointer array), so they must be destroyed the same way.
+      x->~Node();
+      ::operator delete(x);
+      x = next;
+    }
+  }
+
+  /// Inserts key. REQUIRES: nothing equal to key is currently in the list
+  /// and external write synchronization is held.
+  void Insert(const Key& key) {
+    Node* prev[kMaxHeight];
+    Node* x = FindGreaterOrEqual(key, prev);
+    assert(x == nullptr || !Equal(key, x->key));
+
+    int height = RandomHeight();
+    if (height > GetMaxHeight()) {
+      for (int i = GetMaxHeight(); i < height; i++) {
+        prev[i] = head_;
+      }
+      max_height_.store(height, std::memory_order_relaxed);
+    }
+
+    x = NewNode(key, height);
+    for (int i = 0; i < height; i++) {
+      x->NoBarrierSetNext(i, prev[i]->NoBarrierNext(i));
+      prev[i]->SetNext(i, x);
+    }
+  }
+
+  /// Returns true iff an entry equal to key is in the list.
+  bool Contains(const Key& key) const {
+    Node* x = FindGreaterOrEqual(key, nullptr);
+    return x != nullptr && Equal(key, x->key);
+  }
+
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  void BumpSize() { size_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Forward iterator over the list contents; safe to use concurrently with
+  /// a writer.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+    void Next() {
+      assert(Valid());
+      node_ = node_->Next(0);
+    }
+    /// Advances to the first entry with key >= target.
+    void Seek(const Key& target) {
+      node_ = list_->FindGreaterOrEqual(target, nullptr);
+    }
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
+
+   private:
+    const SkipList* list_;
+    typename SkipList::Node* node_;
+  };
+
+ private:
+  static constexpr int kMaxHeight = 12;
+  static constexpr int kBranching = 4;
+
+  struct Node {
+    explicit Node(const Key& k) : key(k) {}
+
+    const Key key;
+
+    Node* Next(int n) {
+      return next_[n].load(std::memory_order_acquire);
+    }
+    void SetNext(int n, Node* x) {
+      next_[n].store(x, std::memory_order_release);
+    }
+    Node* NoBarrierNext(int n) {
+      return next_[n].load(std::memory_order_relaxed);
+    }
+    void NoBarrierSetNext(int n, Node* x) {
+      next_[n].store(x, std::memory_order_relaxed);
+    }
+
+    // Array length is the node's height; allocated with the node.
+    std::atomic<Node*> next_[1];
+  };
+
+  Node* NewNode(const Key& key, int height) {
+    char* mem = static_cast<char*>(::operator new(
+        sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1)));
+    Node* n = new (mem) Node(key);
+    for (int i = 0; i < height; i++) {
+      n->NoBarrierSetNext(i, nullptr);
+    }
+    return n;
+  }
+
+  int GetMaxHeight() const {
+    return max_height_.load(std::memory_order_relaxed);
+  }
+
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight && rnd_.Uniform(kBranching) == 0) {
+      height++;
+    }
+    return height;
+  }
+
+  bool Equal(const Key& a, const Key& b) const { return compare_(a, b) == 0; }
+
+  /// Returns the earliest node >= key; fills prev[0..max_height) with the
+  /// predecessor at each level when prev != nullptr.
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
+    Node* x = head_;
+    int level = GetMaxHeight() - 1;
+    while (true) {
+      Node* next = x->Next(level);
+      if (next != nullptr && compare_(next->key, key) < 0) {
+        x = next;
+      } else {
+        if (prev != nullptr) prev[level] = x;
+        if (level == 0) return next;
+        level--;
+      }
+    }
+  }
+
+  Comparator const compare_;
+  Random rnd_;
+  Node* const head_;
+  std::atomic<int> max_height_;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace logbase
+
+#endif  // LOGBASE_UTIL_SKIPLIST_H_

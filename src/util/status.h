@@ -1,0 +1,94 @@
+// Status: the error model used across every logbase API (RocksDB/Arrow
+// idiom). No exceptions cross module boundaries; fallible functions return
+// Status or Result<T>.
+
+#ifndef LOGBASE_UTIL_STATUS_H_
+#define LOGBASE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "src/util/slice.h"
+
+namespace logbase {
+
+/// The outcome of a fallible operation: a code plus an optional message.
+/// Ok statuses are cheap to copy (no allocation).
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+    kBusy = 6,
+    kTimedOut = 7,
+    kAborted = 8,      // e.g. transaction validation failure
+    kUnavailable = 9,  // e.g. dead data node or tablet server
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(Slice msg = Slice()) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(Slice msg = Slice()) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status NotSupported(Slice msg = Slice()) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status InvalidArgument(Slice msg = Slice()) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(Slice msg = Slice()) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status Busy(Slice msg = Slice()) { return Status(Code::kBusy, msg); }
+  static Status TimedOut(Slice msg = Slice()) {
+    return Status(Code::kTimedOut, msg);
+  }
+  static Status Aborted(Slice msg = Slice()) {
+    return Status(Code::kAborted, msg);
+  }
+  static Status Unavailable(Slice msg = Slice()) {
+    return Status(Code::kUnavailable, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "<code>: <message>" form for logging and test output.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, Slice msg) : code_(code), msg_(msg.ToString()) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Propagates a non-ok Status to the caller (Arrow idiom).
+#define LOGBASE_RETURN_NOT_OK(expr)                 \
+  do {                                              \
+    ::logbase::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+}  // namespace logbase
+
+#endif  // LOGBASE_UTIL_STATUS_H_

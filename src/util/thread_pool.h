@@ -1,0 +1,48 @@
+// A fixed-size worker pool used for parallel full-table scans, background
+// compaction jobs and multithreaded tests.
+
+#ifndef LOGBASE_UTIL_THREAD_POOL_H_
+#define LOGBASE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace logbase {
+
+/// Runs submitted std::function tasks on `num_threads` workers. Destruction
+/// waits for all queued tasks to finish.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace logbase
+
+#endif  // LOGBASE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,169 @@
+#include "src/workload/driver.h"
+
+#include <algorithm>
+
+#include "src/sim/sim_context.h"
+#include "src/sstable/bloom_filter.h"
+
+namespace logbase::workload {
+
+std::function<int(const Slice&)> HashRouter(int num_nodes) {
+  return [num_nodes](const Slice& key) {
+    return static_cast<int>(sstable::BloomHash(key) % num_nodes);
+  };
+}
+
+namespace {
+
+/// Client -> server request/response RPC charge.
+void ChargeRpc(const EngineCluster& cluster, int client_node, int server_node,
+               uint64_t request_bytes, uint64_t response_bytes) {
+  if (cluster.network == nullptr) return;
+  cluster.network->Transfer(client_node, server_node, request_bytes);
+  cluster.network->Transfer(server_node, client_node, response_bytes);
+}
+
+}  // namespace
+
+DriverResult ClosedLoopDriver::Load(const EngineCluster& cluster,
+                                    const YcsbWorkload& workload,
+                                    uint64_t records_per_node,
+                                    size_t batch_size) {
+  const int nodes = static_cast<int>(cluster.engines.size());
+  DriverResult result;
+  std::vector<sim::SimContext> clients(nodes);
+
+  // One loader per node, each owning a stride of the record ordinals.
+  // Loaders are stepped round-robin — one batch per loader per round — so
+  // their requests interleave in virtual time the way truly concurrent
+  // clients would (sequentially draining one loader would make later
+  // loaders queue behind its entire timeline).
+  uint64_t total_records = records_per_node * nodes;
+  struct Loader {
+    uint64_t next_index;
+    std::vector<std::vector<std::pair<std::string, std::string>>> pending;
+    Random value_rnd;
+    bool exhausted = false;
+
+    Loader(uint64_t start, int nodes, uint64_t seed)
+        : next_index(start), pending(nodes), value_rnd(seed) {}
+  };
+  std::vector<Loader> loaders;
+  for (int i = 0; i < nodes; i++) {
+    loaders.emplace_back(static_cast<uint64_t>(i), nodes, 991 + i);
+  }
+
+  auto send_batch = [&](int loader, int target,
+                        std::vector<std::pair<std::string, std::string>>*
+                            batch) {
+    uint64_t bytes = 0;
+    for (const auto& [k, v] : *batch) bytes += k.size() + v.size();
+    ChargeRpc(cluster, loader, target, bytes, 64);
+    Status s = cluster.engines[target]->PutBatch(cluster.tablet_uid(target),
+                                                 *batch);
+    if (!s.ok()) result.failed_ops++;
+    result.total_ops += batch->size();
+    batch->clear();
+  };
+
+  bool all_done = false;
+  while (!all_done) {
+    all_done = true;
+    for (int l = 0; l < nodes; l++) {
+      Loader& loader = loaders[l];
+      if (loader.exhausted) continue;
+      all_done = false;
+      sim::SimContext::Scope scope(&clients[l]);
+      // Generate records until one destination bucket fills, then ship it.
+      int full_target = -1;
+      while (full_target < 0 && loader.next_index < total_records) {
+        std::string key = workload.KeyAt(loader.next_index);
+        loader.next_index += nodes;
+        int target = cluster.route(Slice(key));
+        loader.pending[target].emplace_back(
+            std::move(key), workload.MakeValue(&loader.value_rnd));
+        if (loader.pending[target].size() >= batch_size) full_target = target;
+      }
+      if (full_target >= 0) {
+        send_batch(l, full_target, &loader.pending[full_target]);
+      } else {
+        // Input exhausted: drain the partial buckets and retire.
+        for (int target = 0; target < nodes; target++) {
+          if (!loader.pending[target].empty()) {
+            send_batch(l, target, &loader.pending[target]);
+          }
+        }
+        loader.exhausted = true;
+      }
+    }
+  }
+
+  for (const sim::SimContext& client : clients) {
+    result.virtual_seconds =
+        std::max(result.virtual_seconds, client.now() / 1e6);
+  }
+  if (result.virtual_seconds > 0) {
+    result.throughput_ops_per_sec = result.total_ops / result.virtual_seconds;
+  }
+  return result;
+}
+
+DriverResult ClosedLoopDriver::RunYcsb(const EngineCluster& cluster,
+                                       YcsbWorkload* workload,
+                                       uint64_t ops_per_client,
+                                       uint64_t seed) {
+  const int nodes = static_cast<int>(cluster.engines.size());
+  DriverResult result;
+  std::vector<sim::SimContext> clients(nodes);
+  std::vector<Random> rngs;
+  for (int i = 0; i < nodes; i++) {
+    rngs.emplace_back(seed * 7919 + i);
+  }
+
+  // Round-robin one op per client so the FCFS resources interleave the
+  // clients' requests (closed loop per client).
+  for (uint64_t round = 0; round < ops_per_client; round++) {
+    for (int c = 0; c < nodes; c++) {
+      sim::SimContext::Scope scope(&clients[c]);
+      YcsbWorkload::Op op = workload->NextOp(&rngs[c]);
+      int target = cluster.route(Slice(op.key));
+      sim::VirtualTime start = clients[c].now();
+      if (op.type == YcsbWorkload::OpType::kUpdate) {
+        ChargeRpc(cluster, c, target, op.key.size() + op.value.size() + 64,
+                  32);
+        Status s = cluster.engines[target]->Put(cluster.tablet_uid(target),
+                                                Slice(op.key),
+                                                Slice(op.value));
+        if (!s.ok()) {
+          result.failed_ops++;
+        } else {
+          result.update_latency_us.Add(
+              static_cast<double>(clients[c].now() - start));
+        }
+      } else {
+        ChargeRpc(cluster, c, target, op.key.size() + 64, 32);
+        auto read = cluster.engines[target]->Get(cluster.tablet_uid(target),
+                                                 Slice(op.key));
+        if (read.ok()) {
+          ChargeRpc(cluster, c, target, 0, read->value.size());
+          result.read_latency_us.Add(
+              static_cast<double>(clients[c].now() - start));
+        } else {
+          result.failed_ops++;
+        }
+      }
+      result.total_ops++;
+    }
+  }
+
+  for (const sim::SimContext& client : clients) {
+    result.virtual_seconds =
+        std::max(result.virtual_seconds, client.now() / 1e6);
+  }
+  if (result.virtual_seconds > 0) {
+    result.throughput_ops_per_sec = result.total_ops / result.virtual_seconds;
+  }
+  return result;
+}
+
+}  // namespace logbase::workload

@@ -1,0 +1,81 @@
+#include "src/workload/tpcw.h"
+
+#include <cstdio>
+
+namespace logbase::workload {
+
+double TpcwUpdateFraction(TpcwMix mix) {
+  switch (mix) {
+    case TpcwMix::kBrowsing:
+      return 0.05;
+    case TpcwMix::kShopping:
+      return 0.20;
+    case TpcwMix::kOrdering:
+      return 0.50;
+  }
+  return 0.05;
+}
+
+const char* TpcwMixName(TpcwMix mix) {
+  switch (mix) {
+    case TpcwMix::kBrowsing:
+      return "browsing";
+    case TpcwMix::kShopping:
+      return "shopping";
+    case TpcwMix::kOrdering:
+      return "ordering";
+  }
+  return "unknown";
+}
+
+TpcwWorkload::TpcwWorkload(TpcwOptions options)
+    : options_(options), item_chooser_(options.item_count) {}
+
+std::string TpcwWorkload::ItemKey(uint64_t i) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "item%010llu",
+                static_cast<unsigned long long>(i));
+  return buf;
+}
+
+std::string TpcwWorkload::CartKey(uint64_t customer) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "cust%010llu/cart",
+                static_cast<unsigned long long>(customer));
+  return buf;
+}
+
+std::string TpcwWorkload::OrderKey(uint64_t customer, uint64_t seq) const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "cust%010llu/order%010llu",
+                static_cast<unsigned long long>(customer),
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::string TpcwWorkload::MakeValue(Random* rnd) const {
+  std::string value;
+  value.reserve(options_.value_bytes);
+  while (value.size() + 8 <= options_.value_bytes) {
+    uint64_t word = rnd->Next();
+    value.append(reinterpret_cast<const char*>(&word), 8);
+  }
+  value.resize(options_.value_bytes, 'x');
+  return value;
+}
+
+TpcwWorkload::Txn TpcwWorkload::NextTxn(Random* rnd, TpcwMix mix) {
+  Txn txn;
+  txn.update = rnd->Bernoulli(TpcwUpdateFraction(mix));
+  if (txn.update) {
+    uint64_t customer = rnd->Uniform(options_.customer_count);
+    txn.cart_key = CartKey(customer);
+    txn.order_key = OrderKey(customer, next_order_++);
+    txn.order_value = MakeValue(rnd);
+  } else {
+    txn.item_key = ItemKey(item_chooser_.Next(rnd));
+  }
+  return txn;
+}
+
+}  // namespace logbase::workload

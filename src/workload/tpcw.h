@@ -1,0 +1,63 @@
+// TPC-W webshop mixes (paper §4.4): browsing / shopping / ordering with
+// 5% / 20% / 50% update transactions. A read-only transaction queries a
+// product in the item table; an update transaction reads the customer's
+// shopping cart and writes an order.
+
+#ifndef LOGBASE_WORKLOAD_TPCW_H_
+#define LOGBASE_WORKLOAD_TPCW_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/random.h"
+
+namespace logbase::workload {
+
+enum class TpcwMix {
+  kBrowsing,  // 5% update transactions
+  kShopping,  // 20%
+  kOrdering,  // 50%
+};
+
+double TpcwUpdateFraction(TpcwMix mix);
+const char* TpcwMixName(TpcwMix mix);
+
+struct TpcwOptions {
+  /// Products and customers loaded per run (paper: 1M per node).
+  uint64_t item_count = 10000;
+  uint64_t customer_count = 10000;
+  size_t value_bytes = 256;
+};
+
+class TpcwWorkload {
+ public:
+  explicit TpcwWorkload(TpcwOptions options);
+
+  /// One generated transaction.
+  struct Txn {
+    bool update = false;
+    std::string item_key;    // read-only: query item detail
+    std::string cart_key;    // update: read the shopping cart...
+    std::string order_key;   // ...and write the order
+    std::string order_value;
+  };
+
+  std::string ItemKey(uint64_t i) const;
+  std::string CartKey(uint64_t customer) const;
+  std::string OrderKey(uint64_t customer, uint64_t seq) const;
+  std::string MakeValue(Random* rnd) const;
+
+  Txn NextTxn(Random* rnd, TpcwMix mix);
+
+  const TpcwOptions& options() const { return options_; }
+
+ private:
+  const TpcwOptions options_;
+  // Product popularity is skewed (bestsellers), customers roughly uniform.
+  ScrambledZipfianGenerator item_chooser_;
+  uint64_t next_order_ = 0;
+};
+
+}  // namespace logbase::workload
+
+#endif  // LOGBASE_WORKLOAD_TPCW_H_

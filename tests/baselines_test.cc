@@ -1,0 +1,328 @@
+// Tests for the evaluation baselines: the HBase-like WAL+Data engine and
+// LRS, plus a differential parity test running the same random workload
+// against all three engines.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/baselines/hbase/hbase_memtable.h"
+#include "src/baselines/hbase/hbase_server.h"
+#include "src/baselines/lrs/lrs_server.h"
+#include "src/core/kv_engine.h"
+#include "src/util/random.h"
+
+namespace logbase::baselines {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HBase memtable
+// ---------------------------------------------------------------------------
+
+TEST(HMemTableTest, VersionedGet) {
+  hbase::HMemTable mem;
+  mem.Add("k", 10, false, "v10");
+  mem.Add("k", 20, false, "v20");
+  bool is_delete;
+  uint64_t ts;
+  std::string value;
+  ASSERT_TRUE(mem.Get("k", ~0ull, &is_delete, &ts, &value));
+  EXPECT_FALSE(is_delete);
+  EXPECT_EQ(ts, 20u);
+  EXPECT_EQ(value, "v20");
+  ASSERT_TRUE(mem.Get("k", 15, &is_delete, &ts, &value));
+  EXPECT_EQ(value, "v10");
+  EXPECT_FALSE(mem.Get("k", 5, &is_delete, &ts, &value));
+  EXPECT_FALSE(mem.Get("other", ~0ull, &is_delete, &ts, &value));
+}
+
+TEST(HMemTableTest, TombstonesVisible) {
+  hbase::HMemTable mem;
+  mem.Add("k", 1, false, "v");
+  mem.Add("k", 2, true, "");
+  bool is_delete;
+  uint64_t ts;
+  std::string value;
+  ASSERT_TRUE(mem.Get("k", ~0ull, &is_delete, &ts, &value));
+  EXPECT_TRUE(is_delete);
+}
+
+TEST(HMemTableTest, CellCodec) {
+  std::string cell = hbase::EncodeCell(false, "payload");
+  bool is_delete;
+  Slice value;
+  ASSERT_TRUE(hbase::DecodeCell(Slice(cell), &is_delete, &value));
+  EXPECT_FALSE(is_delete);
+  EXPECT_EQ(value.ToString(), "payload");
+  cell = hbase::EncodeCell(true, "");
+  ASSERT_TRUE(hbase::DecodeCell(Slice(cell), &is_delete, &value));
+  EXPECT_TRUE(is_delete);
+}
+
+// ---------------------------------------------------------------------------
+// HBase server
+// ---------------------------------------------------------------------------
+
+struct HBaseFixture {
+  dfs::Dfs dfs{[] {
+    dfs::DfsOptions o;
+    o.num_nodes = 3;
+    return o;
+  }()};
+  coord::CoordinationService coord;
+  std::unique_ptr<hbase::HBaseServer> server;
+
+  explicit HBaseFixture(uint64_t flush_bytes = 1 << 16) {
+    hbase::HBaseServerOptions options;
+    options.memtable_flush_bytes = flush_bytes;
+    options.block_cache_bytes = 1 << 20;
+    options.segment_bytes = 1 << 20;
+    server = std::make_unique<hbase::HBaseServer>(options, &dfs, &coord);
+    EXPECT_TRUE(server->OpenTablet("t1").ok());
+    EXPECT_TRUE(server->Start().ok());
+  }
+};
+
+TEST(HBaseServerTest, PutGetDelete) {
+  HBaseFixture f;
+  ASSERT_TRUE(f.server->Put("t1", "k", "v").ok());
+  EXPECT_EQ(f.server->Get("t1", "k")->value, "v");
+  ASSERT_TRUE(f.server->Delete("t1", "k").ok());
+  EXPECT_TRUE(f.server->Get("t1", "k").status().IsNotFound());
+}
+
+TEST(HBaseServerTest, FlushPersistsToStoreFiles) {
+  HBaseFixture f;
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(f.server->Put("t1", "k" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(f.server->FlushAll().ok());
+  auto* tablet = f.server->FindTablet("t1");
+  EXPECT_GE(tablet->num_store_files(), 1);
+  EXPECT_EQ(tablet->memtable_bytes(), 0u);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_TRUE(f.server->Get("t1", "k" + std::to_string(i)).ok()) << i;
+  }
+}
+
+TEST(HBaseServerTest, AutomaticFlushWhenMemtableFull) {
+  HBaseFixture f(/*flush_bytes=*/4096);
+  std::string big(512, 'x');
+  for (int i = 0; i < 40; i++) {
+    ASSERT_TRUE(f.server->Put("t1", "k" + std::to_string(i), big).ok());
+  }
+  EXPECT_GE(f.server->FindTablet("t1")->num_store_files(), 1);
+  for (int i = 0; i < 40; i++) {
+    EXPECT_TRUE(f.server->Get("t1", "k" + std::to_string(i)).ok());
+  }
+}
+
+TEST(HBaseServerTest, ReadsCheckMultipleStoreFiles) {
+  HBaseFixture f;
+  ASSERT_TRUE(f.server->Put("t1", "old", "v1").ok());
+  ASSERT_TRUE(f.server->FlushAll().ok());
+  ASSERT_TRUE(f.server->Put("t1", "newer", "v2").ok());
+  ASSERT_TRUE(f.server->FlushAll().ok());
+  EXPECT_GE(f.server->FindTablet("t1")->num_store_files(), 2);
+  EXPECT_TRUE(f.server->Get("t1", "old").ok());
+  EXPECT_TRUE(f.server->Get("t1", "newer").ok());
+}
+
+TEST(HBaseServerTest, NewerStoreFileShadowsOlder) {
+  HBaseFixture f;
+  ASSERT_TRUE(f.server->Put("t1", "k", "old").ok());
+  ASSERT_TRUE(f.server->FlushAll().ok());
+  ASSERT_TRUE(f.server->Put("t1", "k", "new").ok());
+  ASSERT_TRUE(f.server->FlushAll().ok());
+  EXPECT_EQ(f.server->Get("t1", "k")->value, "new");
+}
+
+TEST(HBaseServerTest, CompactionMergesStoreFiles) {
+  HBaseFixture f;
+  for (int round = 0; round < 3; round++) {
+    for (int i = 0; i < 20; i++) {
+      ASSERT_TRUE(f.server->Put("t1", "k" + std::to_string(i),
+                                "r" + std::to_string(round))
+                      .ok());
+    }
+    ASSERT_TRUE(f.server->FlushAll().ok());
+  }
+  ASSERT_TRUE(f.server->CompactAll().ok());
+  EXPECT_EQ(f.server->FindTablet("t1")->num_store_files(), 1);
+  for (int i = 0; i < 20; i++) {
+    EXPECT_EQ(f.server->Get("t1", "k" + std::to_string(i))->value, "r2");
+  }
+}
+
+TEST(HBaseServerTest, CompactionDropsTombstonedHistory) {
+  HBaseFixture f;
+  ASSERT_TRUE(f.server->Put("t1", "dead", "v").ok());
+  ASSERT_TRUE(f.server->FlushAll().ok());
+  ASSERT_TRUE(f.server->Delete("t1", "dead").ok());
+  ASSERT_TRUE(f.server->FlushAll().ok());
+  uint64_t before = f.server->FindTablet("t1")->store_file_bytes();
+  ASSERT_TRUE(f.server->CompactAll().ok());
+  EXPECT_TRUE(f.server->Get("t1", "dead").status().IsNotFound());
+  EXPECT_LT(f.server->FindTablet("t1")->store_file_bytes(), before);
+}
+
+TEST(HBaseServerTest, ScanMergesMemtableAndFiles) {
+  HBaseFixture f;
+  ASSERT_TRUE(f.server->Put("t1", "a", "1").ok());
+  ASSERT_TRUE(f.server->FlushAll().ok());
+  ASSERT_TRUE(f.server->Put("t1", "b", "2").ok());
+  ASSERT_TRUE(f.server->Put("t1", "a", "1-updated").ok());
+  auto rows = f.server->Scan("t1", "", "");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].value, "1-updated");
+  EXPECT_EQ((*rows)[1].value, "2");
+}
+
+TEST(HBaseServerTest, WalRecoveryAfterCrash) {
+  HBaseFixture f;
+  for (int i = 0; i < 30; i++) {
+    ASSERT_TRUE(f.server->Put("t1", "k" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(f.server->FlushAll().ok());
+  for (int i = 30; i < 50; i++) {
+    ASSERT_TRUE(f.server->Put("t1", "k" + std::to_string(i), "v").ok());
+  }
+  f.server->Crash();  // memtable (k30..k49) lost, WAL survives
+  ASSERT_TRUE(f.server->OpenTablet("t1").ok());
+  ASSERT_TRUE(f.server->Start().ok());
+  for (int i = 0; i < 50; i++) {
+    EXPECT_TRUE(f.server->Get("t1", "k" + std::to_string(i)).ok()) << i;
+  }
+}
+
+TEST(HBaseServerTest, DeleteDurableAcrossCrash) {
+  HBaseFixture f;
+  ASSERT_TRUE(f.server->Put("t1", "gone", "v").ok());
+  ASSERT_TRUE(f.server->FlushAll().ok());
+  ASSERT_TRUE(f.server->Delete("t1", "gone").ok());
+  f.server->Crash();
+  ASSERT_TRUE(f.server->OpenTablet("t1").ok());
+  ASSERT_TRUE(f.server->Start().ok());
+  EXPECT_TRUE(f.server->Get("t1", "gone").status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// LRS
+// ---------------------------------------------------------------------------
+
+TEST(LrsServerTest, IsTabletServerWithLsmIndex) {
+  dfs::DfsOptions dfs_options;
+  dfs_options.num_nodes = 3;
+  dfs::Dfs dfs(dfs_options);
+  coord::CoordinationService coord;
+  lrs::LrsOptions options;
+  auto server = lrs::NewLrsServer(options, &dfs, &coord, nullptr);
+  EXPECT_EQ(server->options().index_kind, index::IndexKind::kLsm);
+  ASSERT_TRUE(server->Start().ok());
+  tablet::TabletDescriptor d;
+  d.table_id = 1;
+  ASSERT_TRUE(server->OpenTablet(d).ok());
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(server->Put(d.uid(), "k" + std::to_string(i), "v").ok());
+  }
+  for (int i = 0; i < 50; i++) {
+    EXPECT_TRUE(server->Get(d.uid(), "k" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(server->Stop().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Differential parity: the same random op stream produces identical results
+// on LogBase, HBase and LRS.
+// ---------------------------------------------------------------------------
+
+class EngineParityTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineParityTest,
+                         ::testing::Values(5ull, 1234ull));
+
+TEST_P(EngineParityTest, AllEnginesAgreeWithOracle) {
+  dfs::DfsOptions dfs_options;
+  dfs_options.num_nodes = 3;
+  dfs::Dfs dfs(dfs_options);
+  coord::CoordinationService coord;
+
+  // LogBase.
+  tablet::TabletServerOptions lb_options;
+  lb_options.server_id = 0;
+  tablet::TabletServer logbase_server(lb_options, &dfs, &coord);
+  ASSERT_TRUE(logbase_server.Start().ok());
+  tablet::TabletDescriptor d;
+  d.table_id = 1;
+  ASSERT_TRUE(logbase_server.OpenTablet(d).ok());
+
+  // HBase (separate machine id to keep DFS paths apart).
+  hbase::HBaseServerOptions hb_options;
+  hb_options.server_id = 1;
+  hb_options.memtable_flush_bytes = 8192;  // force flushes mid-run
+  hbase::HBaseServer hbase_server(hb_options, &dfs, &coord);
+  ASSERT_TRUE(hbase_server.OpenTablet("t1.g0.r0").ok());
+  ASSERT_TRUE(hbase_server.Start().ok());
+
+  // LRS.
+  lrs::LrsOptions lrs_options;
+  lrs_options.server_id = 2;
+  lrs_options.write_buffer_bytes = 8192;
+  auto lrs_server = lrs::NewLrsServer(lrs_options, &dfs, &coord, nullptr);
+  ASSERT_TRUE(lrs_server->Start().ok());
+  ASSERT_TRUE(lrs_server->OpenTablet(d).ok());
+
+  core::TabletServerEngine logbase_engine(&logbase_server, "LogBase");
+  core::HBaseEngine hbase_engine(&hbase_server);
+  core::TabletServerEngine lrs_engine(lrs_server.get(), "LRS");
+  std::vector<core::KvEngine*> engines{&logbase_engine, &hbase_engine,
+                                       &lrs_engine};
+
+  std::map<std::string, std::string> oracle;
+  Random rnd(GetParam());
+  const std::string uid = "t1.g0.r0";
+  for (int step = 0; step < 1500; step++) {
+    std::string key = "key" + std::to_string(rnd.Uniform(80));
+    uint64_t action = rnd.Uniform(10);
+    if (action < 6) {
+      std::string value = "v" + std::to_string(step);
+      for (auto* engine : engines) {
+        ASSERT_TRUE(engine->Put(uid, key, value).ok()) << engine->Name();
+      }
+      oracle[key] = value;
+    } else if (action < 8) {
+      for (auto* engine : engines) {
+        ASSERT_TRUE(engine->Delete(uid, key).ok()) << engine->Name();
+      }
+      oracle.erase(key);
+    } else {
+      auto want = oracle.find(key);
+      for (auto* engine : engines) {
+        auto got = engine->Get(uid, key);
+        if (want == oracle.end()) {
+          EXPECT_TRUE(got.status().IsNotFound())
+              << engine->Name() << " " << key;
+        } else {
+          ASSERT_TRUE(got.ok()) << engine->Name() << " " << key;
+          EXPECT_EQ(got->value, want->second) << engine->Name() << " " << key;
+        }
+      }
+    }
+  }
+  // Final scans agree with the oracle on every engine.
+  for (auto* engine : engines) {
+    auto rows = engine->Scan(uid, "", "");
+    ASSERT_TRUE(rows.ok()) << engine->Name();
+    ASSERT_EQ(rows->size(), oracle.size()) << engine->Name();
+    auto want = oracle.begin();
+    for (const auto& row : *rows) {
+      EXPECT_EQ(row.key, want->first) << engine->Name();
+      EXPECT_EQ(row.value, want->second) << engine->Name();
+      ++want;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace logbase::baselines

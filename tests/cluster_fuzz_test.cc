@@ -1,0 +1,91 @@
+// End-to-end differential fuzz: random operations through the routing
+// client against a 3-node mini-cluster and a std::map oracle, with random
+// server crash/restart cycles — exercising routing, cache invalidation,
+// recovery and multi-tablet state together.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/cluster/mini_cluster.h"
+#include "src/util/random.h"
+
+namespace logbase::cluster {
+namespace {
+
+class ClusterFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterFuzzTest,
+                         ::testing::Values(7ull, 5150ull));
+
+TEST_P(ClusterFuzzTest, ClientViewMatchesOracleAcrossCrashes) {
+  MiniClusterOptions options;
+  options.num_nodes = 3;
+  MiniCluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster.master()
+                  ->CreateTable("t", {"c"}, {{"c"}}, {"key3", "key6"})
+                  .ok());
+  auto client = cluster.NewClient(0);
+
+  Random rnd(GetParam());
+  std::map<std::string, std::string> oracle;
+  for (int step = 0; step < 800; step++) {
+    std::string key = "key" + std::to_string(rnd.Uniform(9)) + "-" +
+                      std::to_string(rnd.Uniform(40));
+    uint64_t action = rnd.Uniform(100);
+    if (action < 50) {
+      std::string value = "v" + std::to_string(step);
+      ASSERT_TRUE(client->Put("t", 0, key, value).ok()) << step;
+      oracle[key] = value;
+    } else if (action < 65) {
+      Status s = client->Delete("t", 0, key);
+      ASSERT_TRUE(s.ok() || s.IsNotFound()) << s.ToString();
+      oracle.erase(key);
+    } else if (action < 90) {
+      auto got = client->Get("t", 0, key);
+      auto want = oracle.find(key);
+      if (want == oracle.end()) {
+        EXPECT_TRUE(got.status().IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(got.ok()) << key << " " << got.status().ToString();
+        EXPECT_EQ(*got, want->second);
+      }
+    } else if (action < 96) {
+      // Crash + restart one server; the master re-registers its tablets.
+      int victim = static_cast<int>(rnd.Uniform(3));
+      cluster.CrashServer(victim);
+      ASSERT_TRUE(cluster.RestartServer(victim).ok());
+      auto locations = cluster.master()->LocateAll("t", 0);
+      ASSERT_TRUE(locations.ok());
+      for (const auto& location : *locations) {
+        if (location.server_id == victim) {
+          ASSERT_TRUE(cluster.server(victim)
+                          ->OpenTablet(location.descriptor)
+                          .ok());
+        }
+      }
+      client->InvalidateCache();
+    } else {
+      // Scan a random sub-range and compare against the oracle.
+      std::string lo = "key" + std::to_string(rnd.Uniform(9));
+      std::string hi = lo + "\xff";
+      auto rows = client->Scan("t", 0, lo, hi);
+      ASSERT_TRUE(rows.ok());
+      size_t expected = 0;
+      for (const auto& [k, v] : oracle) {
+        if (k >= lo && k < hi) expected++;
+      }
+      EXPECT_EQ(rows->size(), expected) << lo;
+    }
+  }
+  // Final full agreement.
+  for (const auto& [key, value] : oracle) {
+    auto got = client->Get("t", 0, key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, value);
+  }
+}
+
+}  // namespace
+}  // namespace logbase::cluster

@@ -1,0 +1,272 @@
+// Integration tests: master (DDL, routing, failure handling), client
+// (routing cache, row operations, transactions) and the mini-cluster
+// end-to-end, including node failures with DFS re-replication.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cluster/mini_cluster.h"
+
+namespace logbase::cluster {
+namespace {
+
+MiniClusterOptions SmallCluster(int nodes = 3) {
+  MiniClusterOptions options;
+  options.num_nodes = nodes;
+  options.server_template.segment_bytes = 1 << 20;
+  return options;
+}
+
+struct ClusterFixture {
+  std::unique_ptr<MiniCluster> cluster;
+  std::unique_ptr<client::LogBaseClient> client;
+
+  explicit ClusterFixture(int nodes = 3) {
+    cluster = std::make_unique<MiniCluster>(SmallCluster(nodes));
+    EXPECT_TRUE(cluster->Start().ok());
+    client = cluster->NewClient(0);
+  }
+
+  Status CreateUsersTable(int splits = 2) {
+    std::vector<std::string> split_keys;
+    for (int i = 1; i <= splits; i++) {
+      split_keys.push_back("user" + std::to_string(i * 3));
+    }
+    return cluster->master()
+        ->CreateTable("users", {"name", "email", "bio"},
+                      {{"name", "email"}, {"bio"}}, split_keys)
+        .status();
+  }
+};
+
+TEST(MasterTest, CreateTableAssignsTablets) {
+  ClusterFixture f;
+  ASSERT_TRUE(f.CreateUsersTable().ok());
+  auto schema = f.cluster->master()->GetTable("users");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->groups.size(), 2u);
+  // 2 groups x 3 ranges = 6 tablets, all assigned.
+  auto locations = f.cluster->master()->LocateAll("users", 0);
+  ASSERT_TRUE(locations.ok());
+  EXPECT_EQ(locations->size(), 3u);
+  for (const auto& location : *locations) {
+    EXPECT_GE(location.server_id, 0);
+    EXPECT_LT(location.server_id, 3);
+  }
+}
+
+TEST(MasterTest, DuplicateTableRejected) {
+  ClusterFixture f;
+  ASSERT_TRUE(f.CreateUsersTable().ok());
+  EXPECT_TRUE(f.CreateUsersTable().IsInvalidArgument());
+}
+
+TEST(MasterTest, SameRangeColocatesAcrossGroups) {
+  // Entity-group clustering (§3.2): the same key range of every column
+  // group lives on the same server, keeping row transactions single-server.
+  ClusterFixture f;
+  ASSERT_TRUE(f.CreateUsersTable().ok());
+  auto g0 = f.cluster->master()->LocateAll("users", 0);
+  auto g1 = f.cluster->master()->LocateAll("users", 1);
+  ASSERT_EQ(g0->size(), g1->size());
+  for (size_t i = 0; i < g0->size(); i++) {
+    EXPECT_EQ((*g0)[i].server_id, (*g1)[i].server_id);
+  }
+}
+
+TEST(MasterTest, LocateRoutesByRange) {
+  ClusterFixture f;
+  ASSERT_TRUE(f.CreateUsersTable().ok());  // splits at user3, user6
+  auto low = f.cluster->master()->Locate("users", 0, "user1");
+  auto mid = f.cluster->master()->Locate("users", 0, "user4");
+  auto high = f.cluster->master()->Locate("users", 0, "user9");
+  ASSERT_TRUE(low.ok() && mid.ok() && high.ok());
+  EXPECT_EQ(low->descriptor.range_id, 0u);
+  EXPECT_EQ(mid->descriptor.range_id, 1u);
+  EXPECT_EQ(high->descriptor.range_id, 2u);
+  // Boundary key belongs to the right-hand range (start inclusive).
+  EXPECT_EQ(f.cluster->master()->Locate("users", 0, "user3")
+                ->descriptor.range_id,
+            1u);
+}
+
+TEST(MasterTest, AddColumnGroup) {
+  ClusterFixture f;
+  ASSERT_TRUE(f.CreateUsersTable().ok());
+  ASSERT_TRUE(
+      f.cluster->master()->AddColumnGroup("users", {"last_login"}).ok());
+  auto schema = f.cluster->master()->GetTable("users");
+  EXPECT_EQ(schema->groups.size(), 3u);
+  auto locations = f.cluster->master()->LocateAll("users", 2);
+  EXPECT_EQ(locations->size(), 3u);
+}
+
+TEST(MasterTest, ElectionProducesActiveMaster) {
+  ClusterFixture f;
+  EXPECT_TRUE(f.cluster->master()->IsActiveMaster());
+}
+
+TEST(ClientTest, PutGetThroughRouting) {
+  ClusterFixture f;
+  ASSERT_TRUE(f.CreateUsersTable().ok());
+  for (int i = 0; i < 10; i++) {
+    std::string key = "user" + std::to_string(i);
+    ASSERT_TRUE(f.client->Put("users", 0, key, "value" + std::to_string(i))
+                    .ok());
+  }
+  for (int i = 0; i < 10; i++) {
+    std::string key = "user" + std::to_string(i);
+    auto value = f.client->Get("users", 0, key);
+    ASSERT_TRUE(value.ok()) << key;
+    EXPECT_EQ(*value, "value" + std::to_string(i));
+  }
+}
+
+TEST(ClientTest, DeleteThroughClient) {
+  ClusterFixture f;
+  ASSERT_TRUE(f.CreateUsersTable().ok());
+  ASSERT_TRUE(f.client->Put("users", 0, "user5", "v").ok());
+  ASSERT_TRUE(f.client->Delete("users", 0, "user5").ok());
+  EXPECT_TRUE(f.client->Get("users", 0, "user5").status().IsNotFound());
+}
+
+TEST(ClientTest, ScanSpansTablets) {
+  ClusterFixture f;
+  ASSERT_TRUE(f.CreateUsersTable().ok());
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(
+        f.client->Put("users", 0, "user" + std::to_string(i), "v").ok());
+  }
+  auto rows = f.client->Scan("users", 0, "user2", "user8");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 6u);  // user2..user7
+  EXPECT_EQ((*rows)[0].key, "user2");
+  EXPECT_EQ(rows->back().key, "user7");
+}
+
+TEST(ClientTest, HistoricalReads) {
+  ClusterFixture f;
+  ASSERT_TRUE(f.CreateUsersTable().ok());
+  ASSERT_TRUE(f.client->Put("users", 0, "user1", "v1").ok());
+  auto v1 = f.client->GetVersioned("users", 0, "user1");
+  ASSERT_TRUE(f.client->Put("users", 0, "user1", "v2").ok());
+  EXPECT_EQ(*f.client->GetAsOf("users", 0, "user1", v1->timestamp), "v1");
+  auto versions = f.client->GetVersions("users", 0, "user1");
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions->size(), 2u);
+}
+
+TEST(ClientTest, RowOperationsAcrossColumnGroups) {
+  ClusterFixture f;
+  ASSERT_TRUE(f.CreateUsersTable().ok());
+  std::map<std::string, std::string> row{
+      {"name", "Ada"}, {"email", "ada@example.com"}, {"bio", "pioneer"}};
+  ASSERT_TRUE(f.client->PutRow("users", "user7", row).ok());
+  // Tuple reconstruction collects from both groups (§3.2).
+  auto read = f.client->GetRow("users", "user7");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, row);
+}
+
+TEST(ClientTest, TransactionsThroughClient) {
+  ClusterFixture f;
+  ASSERT_TRUE(f.CreateUsersTable().ok());
+  ASSERT_TRUE(f.client->Put("users", 0, "user1", "balance:100").ok());
+  auto txn = f.client->Begin();
+  auto balance = f.client->TxnRead(txn.get(), "users", 0, "user1");
+  ASSERT_TRUE(balance.ok());
+  ASSERT_TRUE(
+      f.client->TxnWrite(txn.get(), "users", 0, "user1", "balance:50").ok());
+  ASSERT_TRUE(
+      f.client->TxnWrite(txn.get(), "users", 0, "user2", "balance:50").ok());
+  ASSERT_TRUE(f.client->Commit(txn.get()).ok());
+  EXPECT_EQ(*f.client->Get("users", 0, "user1"), "balance:50");
+  EXPECT_EQ(*f.client->Get("users", 0, "user2"), "balance:50");
+}
+
+TEST(ClusterTest, ServerCrashRecoveryEndToEnd) {
+  ClusterFixture f;
+  ASSERT_TRUE(f.CreateUsersTable().ok());
+  for (int i = 0; i < 9; i++) {
+    ASSERT_TRUE(
+        f.client->Put("users", 0, "user" + std::to_string(i), "v").ok());
+  }
+  // Crash and restart every server; data must survive via log recovery.
+  for (int node = 0; node < 3; node++) {
+    f.cluster->CrashServer(node);
+    tablet::RecoveryStats stats;
+    ASSERT_TRUE(f.cluster->RestartServer(node, &stats).ok());
+  }
+  f.client->InvalidateCache();
+  for (int i = 0; i < 9; i++) {
+    EXPECT_TRUE(f.client->Get("users", 0, "user" + std::to_string(i)).ok())
+        << i;
+  }
+}
+
+TEST(ClusterTest, PermanentFailureReassignsTablets) {
+  ClusterFixture f;
+  ASSERT_TRUE(f.CreateUsersTable().ok());
+  for (int i = 0; i < 9; i++) {
+    ASSERT_TRUE(
+        f.client->Put("users", 0, "user" + std::to_string(i), "v").ok());
+  }
+  // Find a server hosting at least one tablet and kill it for good.
+  auto location = f.cluster->master()->Locate("users", 0, "user1");
+  int victim = location->server_id;
+  f.cluster->CrashServer(victim);
+  auto handled = f.cluster->master()->DetectAndHandleFailures();
+  ASSERT_TRUE(handled.ok());
+  EXPECT_EQ(*handled, 1);
+  // All rows stay readable through the reassigned tablets.
+  f.client->InvalidateCache();
+  for (int i = 0; i < 9; i++) {
+    auto value = f.client->Get("users", 0, "user" + std::to_string(i));
+    EXPECT_TRUE(value.ok()) << "user" << i << ": "
+                            << value.status().ToString();
+  }
+  // And new writes land on the new owners.
+  EXPECT_TRUE(f.client->Put("users", 0, "user1", "after failover").ok());
+  EXPECT_EQ(*f.client->Get("users", 0, "user1"), "after failover");
+}
+
+TEST(ClusterTest, DataNodeLossToleratedByReplication) {
+  ClusterFixture f;
+  ASSERT_TRUE(f.CreateUsersTable().ok());
+  for (int i = 0; i < 9; i++) {
+    ASSERT_TRUE(
+        f.client->Put("users", 0, "user" + std::to_string(i), "v").ok());
+  }
+  // Kill machine 2 entirely (tablet server + data node).
+  ASSERT_TRUE(f.cluster->KillNode(2).ok());
+  ASSERT_TRUE(f.cluster->master()->DetectAndHandleFailures().ok());
+  f.client->InvalidateCache();
+  for (int i = 0; i < 9; i++) {
+    EXPECT_TRUE(f.client->Get("users", 0, "user" + std::to_string(i)).ok())
+        << i;
+  }
+}
+
+TEST(ClusterTest, ScalesToMoreNodes) {
+  ClusterFixture f(6);
+  std::vector<std::string> splits;
+  for (int i = 1; i < 6; i++) splits.push_back("k" + std::to_string(i));
+  ASSERT_TRUE(f.cluster->master()
+                  ->CreateTable("wide", {"c"}, {{"c"}}, splits)
+                  .ok());
+  std::set<int> used_servers;
+  auto locations = f.cluster->master()->LocateAll("wide", 0);
+  for (const auto& location : *locations) {
+    used_servers.insert(location.server_id);
+  }
+  EXPECT_EQ(used_servers.size(), 6u);  // one range per node
+  for (int i = 0; i < 30; i++) {
+    std::string key = "k" + std::to_string(i % 6) + "-" + std::to_string(i);
+    ASSERT_TRUE(f.client->Put("wide", 0, key, "v").ok());
+    EXPECT_TRUE(f.client->Get("wide", 0, key).ok());
+  }
+}
+
+}  // namespace
+}  // namespace logbase::cluster

@@ -1,0 +1,253 @@
+// Tests for the coordination service: znode semantics, sessions/ephemerals,
+// watches, master election, distributed locks, timestamp oracle.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/coord/coordination_service.h"
+#include "src/coord/lock_manager.h"
+#include "src/coord/master_election.h"
+#include "src/coord/znode_tree.h"
+
+namespace logbase::coord {
+namespace {
+
+TEST(ZnodeTreeTest, CreateGetSetDelete) {
+  ZnodeTree tree;
+  SessionId s = tree.CreateSession();
+  auto path = tree.Create(s, "/a", "v1", CreateMode::kPersistent);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, "/a");
+  EXPECT_EQ(*tree.Get("/a"), "v1");
+  ASSERT_TRUE(tree.Set("/a", "v2").ok());
+  EXPECT_EQ(*tree.Get("/a"), "v2");
+  ASSERT_TRUE(tree.Delete("/a").ok());
+  EXPECT_FALSE(tree.Exists("/a"));
+}
+
+TEST(ZnodeTreeTest, CreateRequiresParent) {
+  ZnodeTree tree;
+  SessionId s = tree.CreateSession();
+  EXPECT_TRUE(tree.Create(s, "/a/b", "", CreateMode::kPersistent)
+                  .status()
+                  .IsNotFound());
+  ASSERT_TRUE(tree.Create(s, "/a", "", CreateMode::kPersistent).ok());
+  EXPECT_TRUE(tree.Create(s, "/a/b", "", CreateMode::kPersistent).ok());
+}
+
+TEST(ZnodeTreeTest, CreateRejectsDuplicates) {
+  ZnodeTree tree;
+  SessionId s = tree.CreateSession();
+  ASSERT_TRUE(tree.Create(s, "/dup", "", CreateMode::kPersistent).ok());
+  EXPECT_FALSE(tree.Create(s, "/dup", "", CreateMode::kPersistent).ok());
+}
+
+TEST(ZnodeTreeTest, DeleteRefusesNodeWithChildren) {
+  ZnodeTree tree;
+  SessionId s = tree.CreateSession();
+  tree.Create(s, "/p", "", CreateMode::kPersistent);
+  tree.Create(s, "/p/c", "", CreateMode::kPersistent);
+  EXPECT_FALSE(tree.Delete("/p").ok());
+  ASSERT_TRUE(tree.Delete("/p/c").ok());
+  EXPECT_TRUE(tree.Delete("/p").ok());
+}
+
+TEST(ZnodeTreeTest, SequentialNodesGetIncreasingSuffixes) {
+  ZnodeTree tree;
+  SessionId s = tree.CreateSession();
+  tree.Create(s, "/q", "", CreateMode::kPersistent);
+  auto a = tree.Create(s, "/q/n_", "", CreateMode::kPersistentSequential);
+  auto b = tree.Create(s, "/q/n_", "", CreateMode::kPersistentSequential);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(*a, *b);
+  EXPECT_NE(*a, "/q/n_");
+}
+
+TEST(ZnodeTreeTest, GetChildrenSorted) {
+  ZnodeTree tree;
+  SessionId s = tree.CreateSession();
+  tree.Create(s, "/d", "", CreateMode::kPersistent);
+  tree.Create(s, "/d/c", "", CreateMode::kPersistent);
+  tree.Create(s, "/d/a", "", CreateMode::kPersistent);
+  tree.Create(s, "/d/b", "", CreateMode::kPersistent);
+  // Grandchildren are not listed.
+  tree.Create(s, "/d/a/x", "", CreateMode::kPersistent);
+  auto children = tree.GetChildren("/d");
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(*children, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ZnodeTreeTest, SessionCloseRemovesEphemerals) {
+  ZnodeTree tree;
+  SessionId s1 = tree.CreateSession();
+  SessionId s2 = tree.CreateSession();
+  tree.Create(s1, "/e1", "", CreateMode::kEphemeral);
+  tree.Create(s2, "/e2", "", CreateMode::kEphemeral);
+  tree.Create(s1, "/p", "", CreateMode::kPersistent);
+  tree.CloseSession(s1);
+  EXPECT_FALSE(tree.Exists("/e1"));
+  EXPECT_TRUE(tree.Exists("/e2"));
+  EXPECT_TRUE(tree.Exists("/p"));  // persistent survives its creator
+  EXPECT_FALSE(tree.SessionAlive(s1));
+  EXPECT_TRUE(tree.SessionAlive(s2));
+}
+
+TEST(ZnodeTreeTest, EphemeralCreateWithDeadSessionFails) {
+  ZnodeTree tree;
+  SessionId s = tree.CreateSession();
+  tree.CloseSession(s);
+  EXPECT_FALSE(tree.Create(s, "/e", "", CreateMode::kEphemeral).ok());
+}
+
+TEST(ZnodeTreeTest, NodeWatchFiresOnceOnSet) {
+  ZnodeTree tree;
+  SessionId s = tree.CreateSession();
+  tree.Create(s, "/w", "", CreateMode::kPersistent);
+  std::atomic<int> fired{0};
+  tree.WatchNode("/w", [&fired](const std::string&) { fired++; });
+  tree.Set("/w", "1");
+  tree.Set("/w", "2");  // one-shot: no second fire
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(ZnodeTreeTest, NodeWatchFiresOnDelete) {
+  ZnodeTree tree;
+  SessionId s = tree.CreateSession();
+  tree.Create(s, "/w", "", CreateMode::kPersistent);
+  std::atomic<int> fired{0};
+  tree.WatchNode("/w", [&fired](const std::string&) { fired++; });
+  tree.Delete("/w");
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(ZnodeTreeTest, ChildWatchFiresOnCreateAndSessionExpiry) {
+  ZnodeTree tree;
+  SessionId s = tree.CreateSession();
+  tree.Create(s, "/parent", "", CreateMode::kPersistent);
+  std::atomic<int> fired{0};
+  tree.WatchChildren("/parent", [&fired](const std::string&) { fired++; });
+  tree.Create(s, "/parent/kid", "", CreateMode::kEphemeral);
+  EXPECT_EQ(fired.load(), 1);
+  tree.WatchChildren("/parent", [&fired](const std::string&) { fired++; });
+  tree.CloseSession(s);  // ephemeral kid disappears
+  EXPECT_EQ(fired.load(), 2);
+}
+
+TEST(CoordinationServiceTest, TimestampsAreUniqueAndMonotonic) {
+  CoordinationService coord;
+  uint64_t prev = 0;
+  for (int i = 0; i < 1000; i++) {
+    uint64_t ts = coord.NextTimestamp(0);
+    EXPECT_GT(ts, prev);
+    prev = ts;
+  }
+  EXPECT_EQ(coord.LatestTimestamp(), prev);
+}
+
+TEST(CoordinationServiceTest, ReservedRangesDoNotOverlap) {
+  CoordinationService coord;
+  uint64_t a = coord.ReserveTimestamps(0, 100);
+  uint64_t b = coord.ReserveTimestamps(1, 100);
+  EXPECT_GE(b, a + 100);
+  EXPECT_GT(coord.NextTimestamp(0), b + 99);
+}
+
+TEST(CoordinationServiceTest, RoundTripChargesVirtualTime) {
+  sim::NetworkModel net(2);
+  CoordinationService coord(&net, 0);
+  sim::SimContext ctx;
+  sim::SimContext::Scope scope(&ctx);
+  coord.NextTimestamp(1);
+  EXPECT_GT(ctx.now(), 0);
+}
+
+TEST(MasterElectionTest, FirstCandidateWins) {
+  CoordinationService coord;
+  SessionId s1 = coord.CreateSession(0);
+  SessionId s2 = coord.CreateSession(1);
+  MasterElection m1(&coord, s1, "master-1", 0);
+  MasterElection m2(&coord, s2, "master-2", 1);
+  ASSERT_TRUE(m1.Campaign().ok());
+  ASSERT_TRUE(m2.Campaign().ok());
+  EXPECT_TRUE(m1.IsLeader());
+  EXPECT_FALSE(m2.IsLeader());
+  EXPECT_EQ(*m1.Leader(), "master-1");
+}
+
+TEST(MasterElectionTest, FailoverOnSessionDeath) {
+  CoordinationService coord;
+  SessionId s1 = coord.CreateSession(0);
+  SessionId s2 = coord.CreateSession(1);
+  MasterElection m1(&coord, s1, "master-1", 0);
+  MasterElection m2(&coord, s2, "master-2", 1);
+  ASSERT_TRUE(m1.Campaign().ok());
+  ASSERT_TRUE(m2.Campaign().ok());
+  coord.CloseSession(s1);  // active master dies
+  EXPECT_TRUE(m2.IsLeader());
+  EXPECT_EQ(*m2.Leader(), "master-2");
+}
+
+TEST(MasterElectionTest, ResignHandsOver) {
+  CoordinationService coord;
+  SessionId s1 = coord.CreateSession(0);
+  SessionId s2 = coord.CreateSession(1);
+  MasterElection m1(&coord, s1, "a", 0);
+  MasterElection m2(&coord, s2, "b", 1);
+  m1.Campaign();
+  m2.Campaign();
+  m1.Resign();
+  EXPECT_FALSE(m1.IsLeader());
+  EXPECT_TRUE(m2.IsLeader());
+}
+
+TEST(LockManagerTest, MutualExclusion) {
+  CoordinationService coord;
+  LockManager locks(&coord);
+  SessionId s1 = coord.CreateSession(0);
+  SessionId s2 = coord.CreateSession(1);
+  EXPECT_TRUE(locks.TryLock(s1, "key1", "txn-1", 0));
+  EXPECT_FALSE(locks.TryLock(s2, "key1", "txn-2", 1));
+  EXPECT_EQ(*locks.Holder("key1"), "txn-1");
+  locks.Unlock("key1", "txn-1", 0);
+  EXPECT_TRUE(locks.TryLock(s2, "key1", "txn-2", 1));
+}
+
+TEST(LockManagerTest, ReentrantForSameOwner) {
+  CoordinationService coord;
+  LockManager locks(&coord);
+  SessionId s = coord.CreateSession(0);
+  EXPECT_TRUE(locks.TryLock(s, "k", "txn-9", 0));
+  EXPECT_TRUE(locks.TryLock(s, "k", "txn-9", 0));
+}
+
+TEST(LockManagerTest, UnlockByNonOwnerIsIgnored) {
+  CoordinationService coord;
+  LockManager locks(&coord);
+  SessionId s = coord.CreateSession(0);
+  EXPECT_TRUE(locks.TryLock(s, "k", "owner", 0));
+  locks.Unlock("k", "impostor", 0);
+  EXPECT_EQ(*locks.Holder("k"), "owner");
+}
+
+TEST(LockManagerTest, SessionDeathReleasesLocks) {
+  CoordinationService coord;
+  LockManager locks(&coord);
+  SessionId s1 = coord.CreateSession(0);
+  SessionId s2 = coord.CreateSession(1);
+  EXPECT_TRUE(locks.TryLock(s1, "k", "txn-1", 0));
+  coord.CloseSession(s1);  // crashed transaction holder
+  EXPECT_TRUE(locks.TryLock(s2, "k", "txn-2", 1));
+}
+
+TEST(LockManagerTest, BinaryKeysAreEscaped) {
+  CoordinationService coord;
+  LockManager locks(&coord);
+  SessionId s = coord.CreateSession(0);
+  std::string weird("a/b\0c", 5);
+  EXPECT_TRUE(locks.TryLock(s, Slice(weird), "o", 0));
+  EXPECT_FALSE(locks.TryLock(s, Slice(weird), "other", 0));
+}
+
+}  // namespace
+}  // namespace logbase::coord

@@ -1,0 +1,286 @@
+// Tests for the distributed file system: replication, rack-aware placement,
+// block striping, failure handling and the FileSystem adapter.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/dfs/dfs.h"
+#include "src/sim/sim_context.h"
+#include "src/util/random.h"
+
+namespace logbase::dfs {
+namespace {
+
+DfsOptions SmallBlocks(int nodes = 3, uint64_t block = 1024) {
+  DfsOptions options;
+  options.num_nodes = nodes;
+  options.block_size = block;
+  options.nodes_per_rack = 2;
+  return options;
+}
+
+TEST(DfsTest, CreateWriteRead) {
+  Dfs dfs(SmallBlocks());
+  auto wf = dfs.Create("/f", 0);
+  ASSERT_TRUE(wf.ok());
+  ASSERT_TRUE((*wf)->Append("hello dfs").ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+  auto rf = dfs.Open("/f", 1);
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(*(*rf)->Read(0, 9), "hello dfs");
+  EXPECT_EQ((*rf)->Size(), 9u);
+}
+
+TEST(DfsTest, CreateFailsIfExists) {
+  Dfs dfs(SmallBlocks());
+  ASSERT_TRUE(dfs.Create("/f", 0).ok());
+  EXPECT_FALSE(dfs.Create("/f", 0).ok());
+}
+
+TEST(DfsTest, OpenMissingFileFails) {
+  Dfs dfs(SmallBlocks());
+  EXPECT_TRUE(dfs.Open("/nope", 0).status().IsNotFound());
+}
+
+TEST(DfsTest, LargeAppendSpansBlocks) {
+  Dfs dfs(SmallBlocks(3, 1000));
+  auto wf = dfs.Create("/big", 0);
+  std::string data(4500, 'z');
+  ASSERT_TRUE((*wf)->Append(data).ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+  auto blocks = dfs.name_node()->GetBlocks("/big");
+  ASSERT_TRUE(blocks.ok());
+  EXPECT_EQ(blocks->size(), 5u);  // 4 full + 1 partial
+  auto rf = dfs.Open("/big", 0);
+  auto all = (*rf)->Read(0, 4500);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, data);
+  // Cross-block read.
+  EXPECT_EQ(*(*rf)->Read(950, 100), std::string(100, 'z'));
+}
+
+TEST(DfsTest, ThreeWayReplication) {
+  Dfs dfs(SmallBlocks(5));
+  auto wf = dfs.Create("/r", 0);
+  ASSERT_TRUE((*wf)->Append("abc").ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+  auto blocks = dfs.name_node()->GetBlocks("/r");
+  ASSERT_EQ(blocks->size(), 1u);
+  EXPECT_EQ((*blocks)[0].replicas.size(), 3u);
+  // Every replica node actually stores the bytes.
+  for (int node : (*blocks)[0].replicas) {
+    EXPECT_TRUE(dfs.data_node(node)->HasBlock((*blocks)[0].id));
+  }
+}
+
+TEST(DfsTest, FirstReplicaIsWriterLocal) {
+  Dfs dfs(SmallBlocks(5));
+  auto wf = dfs.Create("/local", 3);
+  ASSERT_TRUE((*wf)->Append("x").ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+  auto blocks = dfs.name_node()->GetBlocks("/local");
+  EXPECT_EQ((*blocks)[0].replicas[0], 3);
+}
+
+TEST(DfsTest, RackAwarePlacement) {
+  // 6 nodes, 2 per rack -> racks {0,0,1,1,2,2} with nodes_per_rack=2.
+  Dfs dfs(SmallBlocks(6));
+  for (int i = 0; i < 20; i++) {
+    auto wf = dfs.Create("/f" + std::to_string(i), 0);
+    ASSERT_TRUE((*wf)->Append("data").ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+    auto blocks = dfs.name_node()->GetBlocks("/f" + std::to_string(i));
+    const std::vector<int>& replicas = (*blocks)[0].replicas;
+    ASSERT_EQ(replicas.size(), 3u);
+    auto rack = [](int node) { return node / 2; };
+    // Replica 2 is off the writer's rack; replica 3 shares replica 2's rack.
+    EXPECT_NE(rack(replicas[0]), rack(replicas[1]));
+    EXPECT_EQ(rack(replicas[1]), rack(replicas[2]));
+    EXPECT_NE(replicas[1], replicas[2]);
+  }
+}
+
+TEST(DfsTest, ReadSurvivesTwoReplicaFailures) {
+  Dfs dfs(SmallBlocks(4));
+  auto wf = dfs.Create("/hardy", 0);
+  ASSERT_TRUE((*wf)->Append("survives").ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+  auto blocks = dfs.name_node()->GetBlocks("/hardy");
+  const std::vector<int>& replicas = (*blocks)[0].replicas;
+  dfs.KillDataNode(replicas[0]);
+  dfs.KillDataNode(replicas[1]);
+  auto rf = dfs.Open("/hardy", replicas[0]);
+  EXPECT_EQ(*(*rf)->Read(0, 8), "survives");
+}
+
+TEST(DfsTest, ReadFailsWhenAllReplicasDead) {
+  Dfs dfs(SmallBlocks(3));
+  auto wf = dfs.Create("/gone", 0);
+  ASSERT_TRUE((*wf)->Append("lost").ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+  for (int i = 0; i < 3; i++) dfs.KillDataNode(i);
+  auto rf = dfs.Open("/gone", 0);
+  ASSERT_TRUE(rf.ok());  // metadata still there
+  EXPECT_TRUE((*rf)->Read(0, 4).status().IsUnavailable());
+}
+
+TEST(DfsTest, WriteContinuesWithReducedPipeline) {
+  Dfs dfs(SmallBlocks(3));
+  dfs.KillDataNode(2);
+  auto wf = dfs.Create("/reduced", 0);
+  ASSERT_TRUE((*wf)->Append("still works").ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+  auto rf = dfs.Open("/reduced", 0);
+  EXPECT_EQ(*(*rf)->Read(0, 11), "still works");
+}
+
+TEST(DfsTest, RereplicationRestoresCopies) {
+  Dfs dfs(SmallBlocks(5));
+  auto wf = dfs.Create("/heal", 0);
+  ASSERT_TRUE((*wf)->Append("heal me").ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+  auto blocks = dfs.name_node()->GetBlocks("/heal");
+  int victim = (*blocks)[0].replicas[0];
+  dfs.KillDataNode(victim);
+  auto copied = dfs.Rereplicate(victim);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_EQ(*copied, 1);
+  // Live replicas back to 3.
+  blocks = dfs.name_node()->GetBlocks("/heal");
+  int live = 0;
+  for (int r : (*blocks)[0].replicas) {
+    if (dfs.data_node(r)->alive() && dfs.data_node(r)->HasBlock((*blocks)[0].id)) {
+      live++;
+    }
+  }
+  EXPECT_GE(live, 3);
+}
+
+TEST(DfsTest, NodeRestartServesOldBlocks) {
+  Dfs dfs(SmallBlocks(3));
+  auto wf = dfs.Create("/again", 0);
+  ASSERT_TRUE((*wf)->Append("persisted").ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+  dfs.KillDataNode(0);
+  dfs.RestartDataNode(0);
+  auto rf = dfs.Open("/again", 0);
+  EXPECT_EQ(*(*rf)->Read(0, 9), "persisted");
+}
+
+TEST(DfsTest, ConcurrentReaderSeesGrowingTail) {
+  Dfs dfs(SmallBlocks(3, 100));
+  auto wf = dfs.Create("/tail", 0);
+  ASSERT_TRUE((*wf)->Append("first").ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+  auto rf = dfs.Open("/tail", 1);
+  EXPECT_EQ(*(*rf)->Read(0, 5), "first");
+  ASSERT_TRUE((*wf)->Append("second").ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+  EXPECT_EQ(*(*rf)->Read(5, 6), "second");
+}
+
+TEST(DfsTest, DeleteReclaimsBlocks) {
+  Dfs dfs(SmallBlocks(3));
+  auto wf = dfs.Create("/tmp", 0);
+  ASSERT_TRUE((*wf)->Append("bytes").ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+  auto blocks = dfs.name_node()->GetBlocks("/tmp");
+  BlockId id = (*blocks)[0].id;
+  ASSERT_TRUE(dfs.Delete("/tmp").ok());
+  EXPECT_FALSE(dfs.Exists("/tmp"));
+  for (int i = 0; i < 3; i++) {
+    EXPECT_FALSE(dfs.data_node(i)->HasBlock(id));
+  }
+}
+
+TEST(DfsTest, RenameAndList) {
+  Dfs dfs(SmallBlocks(3));
+  dfs.Create("/dir/a", 0);
+  dfs.Create("/dir/b", 0);
+  ASSERT_TRUE(dfs.Rename("/dir/a", "/dir/c").ok());
+  auto names = dfs.List("/dir/");
+  ASSERT_TRUE(names.ok());
+  std::set<std::string> set(names->begin(), names->end());
+  EXPECT_EQ(set, (std::set<std::string>{"/dir/b", "/dir/c"}));
+}
+
+TEST(DfsTest, WritesChargeDiskAndNetwork) {
+  Dfs dfs(SmallBlocks(3));
+  sim::SimContext ctx;
+  {
+    sim::SimContext::Scope scope(&ctx);
+    auto wf = dfs.Create("/cost", 0);
+    ASSERT_TRUE((*wf)->Append(std::string(1 << 20, 'c')).ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+  }
+  // Synchronous 3-way pipeline of 1 MB must cost milliseconds of virtual
+  // time (disk + two network hops).
+  EXPECT_GT(ctx.now(), 10000);
+  EXPECT_GT(dfs.data_node(0)->disk()->resource()->total_busy_us(), 0);
+}
+
+TEST(DfsTest, LocalReadSkipsNetwork) {
+  Dfs dfs(SmallBlocks(3));
+  {
+    auto wf = dfs.Create("/near", 1);
+    ASSERT_TRUE((*wf)->Append(std::string(100000, 'n')).ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+  }
+  sim::SimContext local, remote;
+  {
+    sim::SimContext::Scope scope(&local);
+    auto rf = dfs.Open("/near", 1);  // writer-local node holds replica 1
+    ASSERT_TRUE((*rf)->Read(0, 100000).ok());
+  }
+  {
+    sim::SimContext::Scope scope(&remote);
+    // Pick a node with no replica.
+    auto blocks = dfs.name_node()->GetBlocks("/near");
+    int outsider = -1;
+    for (int i = 0; i < 3; i++) {
+      const auto& reps = (*blocks)[0].replicas;
+      if (std::find(reps.begin(), reps.end(), i) == reps.end()) outsider = i;
+    }
+    if (outsider >= 0) {
+      auto rf = dfs.Open("/near", outsider);
+      ASSERT_TRUE((*rf)->Read(0, 100000).ok());
+      EXPECT_GT(remote.now(), local.now());
+    }
+  }
+}
+
+// FileSystem adapter behaves like the generic interface.
+TEST(DfsFileSystemTest, AdapterRoundTrip) {
+  Dfs dfs(SmallBlocks(3));
+  DfsFileSystem fs(&dfs, 0);
+  auto wf = fs.NewWritableFile("/adapter");
+  ASSERT_TRUE(wf.ok());
+  ASSERT_TRUE((*wf)->Append("via adapter").ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+  EXPECT_TRUE(fs.Exists("/adapter"));
+  EXPECT_EQ(*fs.FileSize("/adapter"), 11u);
+  auto rf = fs.NewRandomAccessFile("/adapter");
+  EXPECT_EQ(*(*rf)->Read(4, 7), "adapter");
+}
+
+TEST(DfsFileSystemTest, NewWritableFileTruncatesExisting) {
+  Dfs dfs(SmallBlocks(3));
+  DfsFileSystem fs(&dfs, 0);
+  {
+    auto wf = fs.NewWritableFile("/t");
+    ASSERT_TRUE((*wf)->Append("old contents").ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+  }
+  {
+    auto wf = fs.NewWritableFile("/t");
+    ASSERT_TRUE(wf.ok());
+    ASSERT_TRUE((*wf)->Append("new").ok());
+  ASSERT_TRUE((*wf)->Sync().ok());
+  }
+  EXPECT_EQ(*fs.FileSize("/t"), 3u);
+}
+
+}  // namespace
+}  // namespace logbase::dfs

@@ -1,0 +1,459 @@
+// Tests for the multiversion index: composite key codec, the B-link tree
+// (unit + randomized differential + concurrency), the LSM-backed index, and
+// index checkpoint persistence. The differential suites run against both
+// index kinds through the common interface.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "src/index/blink_tree.h"
+#include "src/index/composite_key.h"
+#include "src/index/index_checkpoint.h"
+#include "src/index/lsm_index.h"
+#include "src/util/io.h"
+#include "src/util/random.h"
+
+namespace logbase::index {
+namespace {
+
+log::LogPtr Ptr(uint32_t segment, uint64_t offset) {
+  return log::LogPtr{0, segment, offset, 100};
+}
+
+// ---------------------------------------------------------------------------
+// Composite key codec
+// ---------------------------------------------------------------------------
+
+TEST(CompositeKeyTest, RoundTrip) {
+  std::string encoded = EncodeCompositeKey("user5", 42);
+  std::string key;
+  uint64_t ts;
+  ASSERT_TRUE(DecodeCompositeKey(Slice(encoded), &key, &ts));
+  EXPECT_EQ(key, "user5");
+  EXPECT_EQ(ts, 42u);
+}
+
+TEST(CompositeKeyTest, RoundTripWithEmbeddedZeros) {
+  std::string weird("a\0b\0\0c", 6);
+  std::string encoded = EncodeCompositeKey(Slice(weird), 7);
+  std::string key;
+  uint64_t ts;
+  ASSERT_TRUE(DecodeCompositeKey(Slice(encoded), &key, &ts));
+  EXPECT_EQ(key, weird);
+  EXPECT_EQ(ts, 7u);
+}
+
+TEST(CompositeKeyTest, OrderKeyAscThenTimestampDesc) {
+  // Same key: larger timestamp encodes smaller.
+  EXPECT_LT(EncodeCompositeKey("k", 10), EncodeCompositeKey("k", 5));
+  // Key dominates.
+  EXPECT_LT(EncodeCompositeKey("a", 1), EncodeCompositeKey("b", 100));
+  // Prefix keys order correctly despite the terminator.
+  EXPECT_LT(EncodeCompositeKey("ab", 1), EncodeCompositeKey("ab0", 1));
+}
+
+TEST(CompositeKeyTest, PropertyOrderPreserved) {
+  Random rnd(55);
+  for (int i = 0; i < 300; i++) {
+    std::string k1(rnd.Uniform(8) + 1, static_cast<char>('a' + rnd.Uniform(4)));
+    std::string k2(rnd.Uniform(8) + 1, static_cast<char>('a' + rnd.Uniform(4)));
+    uint64_t t1 = rnd.Uniform(1000), t2 = rnd.Uniform(1000);
+    int want = k1 != k2 ? (k1 < k2 ? -1 : 1) : (t1 > t2 ? -1 : (t1 < t2 ? 1 : 0));
+    int got = Slice(EncodeCompositeKey(k1, t1))
+                  .compare(Slice(EncodeCompositeKey(k2, t2)));
+    got = got < 0 ? -1 : (got > 0 ? 1 : 0);
+    EXPECT_EQ(got, want) << k1 << "@" << t1 << " vs " << k2 << "@" << t2;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Index interface conformance: parameterized over both implementations.
+// ---------------------------------------------------------------------------
+
+enum class Impl { kBlink, kLsm };
+
+class IndexFixture {
+ public:
+  explicit IndexFixture(Impl impl) {
+    if (impl == Impl::kBlink) {
+      index_ = std::make_unique<BlinkTree>();
+    } else {
+      lsm::LsmOptions options;
+      options.memtable_bytes = 4096;
+      options.table.block_size = 512;
+      auto opened = LsmIndex::Open(options, &fs_, "/idx");
+      EXPECT_TRUE(opened.ok());
+      index_ = std::move(*opened);
+    }
+  }
+
+  MultiVersionIndex* index() { return index_.get(); }
+
+ private:
+  MemFileSystem fs_;
+  std::unique_ptr<MultiVersionIndex> index_;
+};
+
+class MultiVersionIndexTest : public ::testing::TestWithParam<Impl> {};
+
+INSTANTIATE_TEST_SUITE_P(Impls, MultiVersionIndexTest,
+                         ::testing::Values(Impl::kBlink, Impl::kLsm),
+                         [](const auto& info) {
+                           return info.param == Impl::kBlink ? "Blink" : "Lsm";
+                         });
+
+TEST_P(MultiVersionIndexTest, InsertAndGetLatest) {
+  IndexFixture f(GetParam());
+  ASSERT_TRUE(f.index()->Insert("k", 1, Ptr(1, 10)).ok());
+  ASSERT_TRUE(f.index()->Insert("k", 5, Ptr(1, 50)).ok());
+  ASSERT_TRUE(f.index()->Insert("k", 3, Ptr(1, 30)).ok());
+  auto latest = f.index()->GetLatest("k");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->timestamp, 5u);
+  EXPECT_EQ(latest->ptr.offset, 50u);
+}
+
+TEST_P(MultiVersionIndexTest, GetAsOfPicksNewestVisible) {
+  IndexFixture f(GetParam());
+  for (uint64_t ts : {10u, 20u, 30u}) {
+    ASSERT_TRUE(f.index()->Insert("k", ts, Ptr(1, ts)).ok());
+  }
+  EXPECT_EQ(f.index()->GetAsOf("k", 25)->timestamp, 20u);
+  EXPECT_EQ(f.index()->GetAsOf("k", 30)->timestamp, 30u);
+  EXPECT_EQ(f.index()->GetAsOf("k", 1000)->timestamp, 30u);
+  EXPECT_TRUE(f.index()->GetAsOf("k", 5).status().IsNotFound());
+}
+
+TEST_P(MultiVersionIndexTest, MissingKeyNotFound) {
+  IndexFixture f(GetParam());
+  ASSERT_TRUE(f.index()->Insert("exists", 1, Ptr(1, 1)).ok());
+  EXPECT_TRUE(f.index()->GetLatest("missing").status().IsNotFound());
+  EXPECT_TRUE(f.index()->GetLatest("exist").status().IsNotFound());
+  EXPECT_TRUE(f.index()->GetLatest("existsX").status().IsNotFound());
+}
+
+TEST_P(MultiVersionIndexTest, GetAllVersionsNewestFirst) {
+  IndexFixture f(GetParam());
+  for (uint64_t ts : {3u, 1u, 2u}) {
+    ASSERT_TRUE(f.index()->Insert("k", ts, Ptr(1, ts)).ok());
+  }
+  auto versions = f.index()->GetAllVersions("k");
+  ASSERT_EQ(versions.size(), 3u);
+  EXPECT_EQ(versions[0].timestamp, 3u);
+  EXPECT_EQ(versions[1].timestamp, 2u);
+  EXPECT_EQ(versions[2].timestamp, 1u);
+}
+
+TEST_P(MultiVersionIndexTest, RemoveAllVersions) {
+  IndexFixture f(GetParam());
+  for (uint64_t ts : {1u, 2u, 3u}) {
+    ASSERT_TRUE(f.index()->Insert("doomed", ts, Ptr(1, ts)).ok());
+    ASSERT_TRUE(f.index()->Insert("keeper", ts, Ptr(2, ts)).ok());
+  }
+  ASSERT_TRUE(f.index()->RemoveAllVersions("doomed").ok());
+  EXPECT_TRUE(f.index()->GetLatest("doomed").status().IsNotFound());
+  EXPECT_TRUE(f.index()->GetAllVersions("doomed").empty());
+  EXPECT_TRUE(f.index()->GetLatest("keeper").ok());
+}
+
+TEST_P(MultiVersionIndexTest, UpsertReplacesPointer) {
+  IndexFixture f(GetParam());
+  ASSERT_TRUE(f.index()->Insert("k", 7, Ptr(1, 100)).ok());
+  ASSERT_TRUE(f.index()->Insert("k", 7, Ptr(2, 200)).ok());
+  auto entry = f.index()->GetLatest("k");
+  EXPECT_EQ(entry->ptr.segment, 2u);
+  EXPECT_EQ(f.index()->GetAllVersions("k").size(), 1u);
+}
+
+TEST_P(MultiVersionIndexTest, UpdateIfPresentSemantics) {
+  IndexFixture f(GetParam());
+  ASSERT_TRUE(f.index()->Insert("k", 7, Ptr(1, 100)).ok());
+  ASSERT_TRUE(f.index()->UpdateIfPresent("k", 7, Ptr(9, 900)).ok());
+  EXPECT_EQ(f.index()->GetLatest("k")->ptr.segment, 9u);
+  // Absent version: must NOT create an entry.
+  EXPECT_TRUE(f.index()->UpdateIfPresent("k", 8, Ptr(9, 901)).IsNotFound());
+  EXPECT_TRUE(
+      f.index()->UpdateIfPresent("other", 7, Ptr(9, 902)).IsNotFound());
+  EXPECT_EQ(f.index()->GetAllVersions("k").size(), 1u);
+  EXPECT_TRUE(f.index()->GetLatest("other").status().IsNotFound());
+}
+
+TEST_P(MultiVersionIndexTest, ScanRangeLatestPerKey) {
+  IndexFixture f(GetParam());
+  for (int i = 0; i < 20; i++) {
+    std::string key = "key" + std::string(1, 'a' + i);
+    ASSERT_TRUE(f.index()->Insert(key, 1, Ptr(1, i)).ok());
+    ASSERT_TRUE(f.index()->Insert(key, 2, Ptr(2, i)).ok());
+  }
+  auto rows = f.index()->ScanRange("keyc", "keyh", ~0ull);
+  ASSERT_EQ(rows.size(), 5u);  // c, d, e, f, g
+  EXPECT_EQ(rows[0].key, "keyc");
+  EXPECT_EQ(rows[0].timestamp, 2u);
+  EXPECT_EQ(rows[4].key, "keyg");
+}
+
+TEST_P(MultiVersionIndexTest, ScanRangeAsOfFiltersVersions) {
+  IndexFixture f(GetParam());
+  ASSERT_TRUE(f.index()->Insert("a", 10, Ptr(1, 1)).ok());
+  ASSERT_TRUE(f.index()->Insert("b", 20, Ptr(1, 2)).ok());
+  ASSERT_TRUE(f.index()->Insert("b", 5, Ptr(1, 3)).ok());
+  auto rows = f.index()->ScanRange("", "", 15);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].key, "a");
+  EXPECT_EQ(rows[0].timestamp, 10u);
+  EXPECT_EQ(rows[1].key, "b");
+  EXPECT_EQ(rows[1].timestamp, 5u);  // 20 not visible at 15
+}
+
+TEST_P(MultiVersionIndexTest, VisitAllOrdered) {
+  IndexFixture f(GetParam());
+  Random rnd(61);
+  for (int i = 0; i < 300; i++) {
+    std::string key = "k" + std::to_string(rnd.Uniform(50));
+    f.index()->Insert(key, rnd.Uniform(100) + 1, Ptr(1, i));
+  }
+  std::string last_key;
+  uint64_t last_ts = 0;
+  bool first = true;
+  size_t visited = 0;
+  f.index()->VisitAll([&](const IndexEntry& entry) {
+    if (!first) {
+      if (entry.key == last_key) {
+        EXPECT_LT(entry.timestamp, last_ts);  // descending within a key
+      } else {
+        EXPECT_GT(entry.key, last_key);
+      }
+    }
+    first = false;
+    last_key = entry.key;
+    last_ts = entry.timestamp;
+    visited++;
+  });
+  EXPECT_EQ(visited, f.index()->num_entries());
+}
+
+TEST_P(MultiVersionIndexTest, LargeVolumeForcesStructureGrowth) {
+  IndexFixture f(GetParam());
+  const int kKeys = 3000;
+  for (int i = 0; i < kKeys; i++) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(f.index()->Insert(key, 1, Ptr(1, i)).ok());
+  }
+  EXPECT_EQ(f.index()->num_entries(), static_cast<size_t>(kKeys));
+  for (int i = 0; i < kKeys; i += 97) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    auto entry = f.index()->GetLatest(key);
+    ASSERT_TRUE(entry.ok()) << key;
+    EXPECT_EQ(entry->ptr.offset, static_cast<uint64_t>(i));
+  }
+}
+
+// Differential property test vs a std::map<(key,ts)> oracle.
+class IndexDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<Impl, uint64_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, IndexDifferentialTest,
+    ::testing::Combine(::testing::Values(Impl::kBlink, Impl::kLsm),
+                       ::testing::Values(1ull, 77ull, 4242ull)));
+
+TEST_P(IndexDifferentialTest, MatchesOracle) {
+  IndexFixture f(std::get<0>(GetParam()));
+  Random rnd(std::get<1>(GetParam()));
+  // Oracle: (key, ts) -> offset, with key-major / ts-descending queries.
+  std::map<std::string, std::map<uint64_t, uint64_t>> oracle;
+  for (int step = 0; step < 4000; step++) {
+    std::string key = "u" + std::to_string(rnd.Uniform(150));
+    uint64_t action = rnd.Uniform(10);
+    if (action < 6) {
+      uint64_t ts = rnd.Uniform(500) + 1;
+      uint64_t offset = static_cast<uint64_t>(step);
+      ASSERT_TRUE(f.index()->Insert(key, ts, Ptr(1, offset)).ok());
+      oracle[key][ts] = offset;
+    } else if (action < 7) {
+      ASSERT_TRUE(f.index()->RemoveAllVersions(key).ok());
+      oracle.erase(key);
+    } else {
+      uint64_t as_of = rnd.Uniform(600);
+      auto got = f.index()->GetAsOf(key, as_of);
+      auto key_it = oracle.find(key);
+      const std::pair<const uint64_t, uint64_t>* want = nullptr;
+      if (key_it != oracle.end()) {
+        for (auto it = key_it->second.rbegin(); it != key_it->second.rend();
+             ++it) {
+          if (it->first <= as_of) {
+            want = &*it;
+            break;
+          }
+        }
+      }
+      if (want == nullptr) {
+        EXPECT_TRUE(got.status().IsNotFound()) << key << "@" << as_of;
+      } else {
+        ASSERT_TRUE(got.ok()) << key << "@" << as_of;
+        EXPECT_EQ(got->timestamp, want->first);
+        EXPECT_EQ(got->ptr.offset, want->second);
+      }
+    }
+  }
+  // Final: full scan matches oracle contents.
+  size_t oracle_entries = 0;
+  for (const auto& [k, versions] : oracle) oracle_entries += versions.size();
+  EXPECT_EQ(f.index()->num_entries(), oracle_entries);
+}
+
+// ---------------------------------------------------------------------------
+// B-link-tree-specific: structure growth and concurrency.
+// ---------------------------------------------------------------------------
+
+TEST(BlinkTreeTest, HeightGrowsWithVolume) {
+  BlinkTree tree;
+  EXPECT_EQ(tree.Height(), 1);
+  for (int i = 0; i < 10000; i++) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%07d", i);
+    ASSERT_TRUE(tree.Insert(key, 1, Ptr(1, i)).ok());
+  }
+  EXPECT_GE(tree.Height(), 3);
+  EXPECT_EQ(tree.num_entries(), 10000u);
+}
+
+TEST(BlinkTreeTest, MemoryAccountingTracksEntries) {
+  BlinkTree tree;
+  tree.Insert("abcdefgh", 1, Ptr(1, 1));
+  size_t one = tree.ApproximateMemoryBytes();
+  EXPECT_GT(one, 8u);
+  tree.Insert("abcdefgh", 2, Ptr(1, 2));
+  EXPECT_GT(tree.ApproximateMemoryBytes(), one);
+  tree.RemoveAllVersions("abcdefgh");
+  EXPECT_EQ(tree.num_entries(), 0u);
+}
+
+TEST(BlinkTreeTest, ConcurrentInsertsAndReads) {
+  BlinkTree tree;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&tree, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        char key[24];
+        std::snprintf(key, sizeof(key), "t%d-k%06d", t, i);
+        ASSERT_TRUE(tree.Insert(key, 1, Ptr(t, i)).ok());
+        if (i % 7 == 0) {
+          auto entry = tree.GetLatest(key);
+          ASSERT_TRUE(entry.ok());
+          EXPECT_EQ(entry->ptr.offset, static_cast<uint64_t>(i));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tree.num_entries(),
+            static_cast<size_t>(kThreads * kPerThread));
+  // Every key present afterwards.
+  Random rnd(5);
+  for (int probe = 0; probe < 1000; probe++) {
+    char key[24];
+    std::snprintf(key, sizeof(key), "t%d-k%06d",
+                  static_cast<int>(rnd.Uniform(kThreads)),
+                  static_cast<int>(rnd.Uniform(kPerThread)));
+    EXPECT_TRUE(tree.GetLatest(key).ok()) << key;
+  }
+}
+
+TEST(BlinkTreeTest, ConcurrentReadersDuringSplits) {
+  BlinkTree tree;
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 30000; i++) {
+      char key[16];
+      std::snprintf(key, sizeof(key), "w%07d", i);
+      tree.Insert(key, 1, Ptr(1, i));
+    }
+    done.store(true);
+  });
+  std::thread scanner([&] {
+    while (!done.load()) {
+      auto rows = tree.ScanRange("w0001000", "w0002000", ~0ull);
+      // Whatever is seen must be sorted and in range.
+      for (size_t i = 1; i < rows.size(); i++) {
+        EXPECT_LT(rows[i - 1].key, rows[i].key);
+      }
+      if (!rows.empty()) {
+        EXPECT_GE(rows.front().key, std::string("w0001000"));
+        EXPECT_LT(rows.back().key, std::string("w0002000"));
+      }
+    }
+  });
+  writer.join();
+  scanner.join();
+  EXPECT_EQ(tree.ScanRange("w0001000", "w0002000", ~0ull).size(), 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// Index checkpoints
+// ---------------------------------------------------------------------------
+
+TEST(IndexCheckpointTest, PersistAndReload) {
+  MemFileSystem fs;
+  BlinkTree original;
+  Random rnd(88);
+  for (int i = 0; i < 2000; i++) {
+    std::string key = "ck" + std::to_string(rnd.Uniform(400));
+    original.Insert(key, rnd.Uniform(50) + 1, Ptr(3, i));
+  }
+  ASSERT_TRUE(WriteIndexCheckpoint(&fs, "/ckpt.idx", original).ok());
+
+  BlinkTree reloaded;
+  ASSERT_TRUE(LoadIndexCheckpoint(&fs, "/ckpt.idx", &reloaded).ok());
+  EXPECT_EQ(reloaded.num_entries(), original.num_entries());
+  original.VisitAll([&reloaded](const IndexEntry& entry) {
+    auto got = reloaded.GetAsOf(Slice(entry.key), entry.timestamp);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->timestamp, entry.timestamp);
+    EXPECT_EQ(got->ptr, entry.ptr);
+  });
+}
+
+TEST(IndexCheckpointTest, CrossImplementationReload) {
+  // Checkpoint written from a B-link tree loads into an LSM index.
+  MemFileSystem fs;
+  BlinkTree original;
+  for (int i = 0; i < 100; i++) {
+    original.Insert("k" + std::to_string(i), 5, Ptr(1, i));
+  }
+  ASSERT_TRUE(WriteIndexCheckpoint(&fs, "/x.idx", original).ok());
+  lsm::LsmOptions options;
+  auto lsm_index = LsmIndex::Open(options, &fs, "/lsmidx");
+  ASSERT_TRUE(lsm_index.ok());
+  ASSERT_TRUE(LoadIndexCheckpoint(&fs, "/x.idx", lsm_index->get()).ok());
+  EXPECT_EQ((*lsm_index)->GetLatest("k42")->ptr.offset, 42u);
+}
+
+TEST(IndexCheckpointTest, CorruptionRejected) {
+  MemFileSystem fs;
+  BlinkTree original;
+  original.Insert("k", 1, Ptr(1, 1));
+  ASSERT_TRUE(WriteIndexCheckpoint(&fs, "/c.idx", original).ok());
+  auto rf = fs.NewRandomAccessFile("/c.idx");
+  auto bytes = (*rf)->Read(0, (*rf)->Size());
+  (*bytes)[10] ^= 0x80;
+  auto wf = fs.NewWritableFile("/c.idx");
+  ASSERT_TRUE((*wf)->Append(*bytes).ok());
+  BlinkTree reloaded;
+  EXPECT_TRUE(LoadIndexCheckpoint(&fs, "/c.idx", &reloaded).IsCorruption());
+}
+
+TEST(IndexCheckpointTest, MissingFileIsNotFound) {
+  MemFileSystem fs;
+  BlinkTree index;
+  EXPECT_TRUE(LoadIndexCheckpoint(&fs, "/absent", &index).IsNotFound());
+}
+
+}  // namespace
+}  // namespace logbase::index

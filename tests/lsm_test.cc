@@ -1,0 +1,265 @@
+// Tests for the LSM-tree: memtable semantics, flush, leveled compaction,
+// snapshot reads, iterators, manifest recovery, and a randomized
+// differential test against a std::map oracle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/lsm/format.h"
+#include "src/lsm/lsm_tree.h"
+#include "src/lsm/memtable.h"
+#include "src/lsm/merging_iterator.h"
+#include "src/util/io.h"
+#include "src/util/random.h"
+
+namespace logbase::lsm {
+namespace {
+
+TEST(InternalKeyTest, PackAndExtract) {
+  std::string ikey = MakeInternalKey("user1", 42, ValueType::kValue);
+  EXPECT_EQ(ExtractUserKey(ikey).ToString(), "user1");
+  uint64_t tag = ExtractTag(ikey);
+  EXPECT_EQ(TagSequence(tag), 42u);
+  EXPECT_EQ(TagType(tag), ValueType::kValue);
+}
+
+TEST(InternalKeyTest, ComparatorOrdersNewestFirst) {
+  InternalKeyComparator cmp(BytewiseComparator());
+  std::string old_v = MakeInternalKey("k", 1, ValueType::kValue);
+  std::string new_v = MakeInternalKey("k", 2, ValueType::kValue);
+  std::string other = MakeInternalKey("l", 1, ValueType::kValue);
+  EXPECT_LT(cmp.Compare(new_v, old_v), 0);  // newer sorts first
+  EXPECT_LT(cmp.Compare(old_v, other), 0);  // user key dominates
+}
+
+TEST(MemTableTest, GetLatestAndSnapshot) {
+  InternalKeyComparator cmp(BytewiseComparator());
+  MemTable mem(&cmp);
+  mem.Add(1, ValueType::kValue, "k", "v1");
+  mem.Add(5, ValueType::kValue, "k", "v5");
+  std::string value;
+  EXPECT_EQ(mem.Get("k", 100, &value), LookupResult::kFound);
+  EXPECT_EQ(value, "v5");
+  EXPECT_EQ(mem.Get("k", 3, &value), LookupResult::kFound);
+  EXPECT_EQ(value, "v1");
+  EXPECT_EQ(mem.Get("absent", 100, &value), LookupResult::kNotPresent);
+}
+
+TEST(MemTableTest, TombstoneShadowsOlderValue) {
+  InternalKeyComparator cmp(BytewiseComparator());
+  MemTable mem(&cmp);
+  mem.Add(1, ValueType::kValue, "k", "v1");
+  mem.Add(2, ValueType::kDeletion, "k", "");
+  std::string value;
+  EXPECT_EQ(mem.Get("k", 100, &value), LookupResult::kDeleted);
+  EXPECT_EQ(mem.Get("k", 1, &value), LookupResult::kFound);
+}
+
+TEST(MergingIteratorTest, MergesSortedStreams) {
+  InternalKeyComparator cmp(BytewiseComparator());
+  MemTable a(&cmp), b(&cmp);
+  a.Add(1, ValueType::kValue, "apple", "A");
+  a.Add(3, ValueType::kValue, "cherry", "C");
+  b.Add(2, ValueType::kValue, "banana", "B");
+  std::vector<std::unique_ptr<KvIterator>> children;
+  children.push_back(a.NewIterator());
+  children.push_back(b.NewIterator());
+  MergingIterator merged(&cmp, std::move(children));
+  merged.SeekToFirst();
+  std::vector<std::string> keys;
+  for (; merged.Valid(); merged.Next()) {
+    keys.push_back(ExtractUserKey(merged.key()).ToString());
+  }
+  EXPECT_EQ(keys, (std::vector<std::string>{"apple", "banana", "cherry"}));
+}
+
+struct LsmFixture {
+  MemFileSystem fs;
+  std::unique_ptr<LsmTree> tree;
+
+  explicit LsmFixture(size_t memtable_bytes = 4096) {
+    LsmOptions options;
+    options.memtable_bytes = memtable_bytes;
+    options.table.block_size = 512;
+    options.max_output_file_bytes = 2048;
+    options.base_level_bytes = 8192;
+    auto opened = LsmTree::Open(options, &fs, "/lsm");
+    EXPECT_TRUE(opened.ok());
+    tree = std::move(*opened);
+  }
+};
+
+TEST(LsmTreeTest, PutGetDelete) {
+  LsmFixture f;
+  ASSERT_TRUE(f.tree->Put("a", "1").ok());
+  ASSERT_TRUE(f.tree->Put("b", "2").ok());
+  EXPECT_EQ(*f.tree->Get("a"), "1");
+  EXPECT_EQ(*f.tree->Get("b"), "2");
+  ASSERT_TRUE(f.tree->Delete("a").ok());
+  EXPECT_TRUE(f.tree->Get("a").status().IsNotFound());
+  EXPECT_EQ(*f.tree->Get("b"), "2");
+}
+
+TEST(LsmTreeTest, OverwriteKeepsNewest) {
+  LsmFixture f;
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(f.tree->Put("key", "v" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(*f.tree->Get("key"), "v9");
+}
+
+TEST(LsmTreeTest, SnapshotReadsSeeOldVersions) {
+  LsmFixture f;
+  ASSERT_TRUE(f.tree->Put("k", "old").ok());
+  uint64_t snapshot = f.tree->last_sequence();
+  ASSERT_TRUE(f.tree->Put("k", "new").ok());
+  EXPECT_EQ(*f.tree->Get("k", snapshot), "old");
+  EXPECT_EQ(*f.tree->Get("k"), "new");
+}
+
+TEST(LsmTreeTest, GetAcrossFlushedRuns) {
+  LsmFixture f;
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(
+        f.tree->Put("key" + std::to_string(i), "val" + std::to_string(i))
+            .ok());
+  }
+  ASSERT_TRUE(f.tree->FlushMemTable().ok());
+  EXPECT_GE(f.tree->LevelFileCount(0) +
+                f.tree->LevelFileCount(1),
+            1);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(*f.tree->Get("key" + std::to_string(i)),
+              "val" + std::to_string(i));
+  }
+}
+
+TEST(LsmTreeTest, DeleteShadowsAcrossLevels) {
+  LsmFixture f;
+  ASSERT_TRUE(f.tree->Put("doomed", "v").ok());
+  ASSERT_TRUE(f.tree->FlushMemTable().ok());  // value now in a run
+  ASSERT_TRUE(f.tree->Delete("doomed").ok());
+  EXPECT_TRUE(f.tree->Get("doomed").status().IsNotFound());
+  ASSERT_TRUE(f.tree->FlushMemTable().ok());  // tombstone in a newer run
+  EXPECT_TRUE(f.tree->Get("doomed").status().IsNotFound());
+  ASSERT_TRUE(f.tree->CompactUntilQuiet().ok());
+  EXPECT_TRUE(f.tree->Get("doomed").status().IsNotFound());
+}
+
+TEST(LsmTreeTest, AutomaticFlushAndCompaction) {
+  LsmFixture f(/*memtable_bytes=*/2048);
+  Random rnd(3);
+  for (int i = 0; i < 2000; i++) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%05d", static_cast<int>(rnd.Uniform(500)));
+    ASSERT_TRUE(f.tree->Put(key, std::string(30, 'v')).ok());
+  }
+  // Compaction kept L0 bounded.
+  EXPECT_LE(f.tree->LevelFileCount(0), 4);
+  EXPECT_GT(f.tree->TotalTableBytes(), 0u);
+}
+
+TEST(LsmTreeTest, IteratorHidesTombstonesAndOldVersions) {
+  LsmFixture f;
+  ASSERT_TRUE(f.tree->Put("a", "1").ok());
+  ASSERT_TRUE(f.tree->Put("b", "old").ok());
+  ASSERT_TRUE(f.tree->Put("b", "new").ok());
+  ASSERT_TRUE(f.tree->Put("c", "3").ok());
+  ASSERT_TRUE(f.tree->Delete("c").ok());
+  ASSERT_TRUE(f.tree->FlushMemTable().ok());
+  ASSERT_TRUE(f.tree->Put("d", "4").ok());
+
+  auto iter = f.tree->NewIterator();
+  std::vector<std::pair<std::string, std::string>> seen;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    seen.emplace_back(iter->key().ToString(), iter->value().ToString());
+  }
+  EXPECT_EQ(seen, (std::vector<std::pair<std::string, std::string>>{
+                      {"a", "1"}, {"b", "new"}, {"d", "4"}}));
+}
+
+TEST(LsmTreeTest, IteratorSeek) {
+  LsmFixture f;
+  for (int i = 0; i < 50; i += 5) {
+    char key[8];
+    std::snprintf(key, sizeof(key), "k%02d", i);
+    ASSERT_TRUE(f.tree->Put(key, "v").ok());
+  }
+  auto iter = f.tree->NewIterator();
+  iter->Seek("k12");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), "k15");
+}
+
+TEST(LsmTreeTest, ManifestRecovery) {
+  MemFileSystem fs;
+  LsmOptions options;
+  options.memtable_bytes = 1024;
+  options.table.block_size = 512;
+  {
+    auto tree = LsmTree::Open(options, &fs, "/db");
+    ASSERT_TRUE(tree.ok());
+    for (int i = 0; i < 200; i++) {
+      ASSERT_TRUE((*tree)->Put("key" + std::to_string(i), "v").ok());
+    }
+    ASSERT_TRUE((*tree)->FlushMemTable().ok());
+  }
+  // Reopen from the manifest: flushed data must be visible.
+  auto tree = LsmTree::Open(options, &fs, "/db");
+  ASSERT_TRUE(tree.ok());
+  for (int i = 0; i < 200; i++) {
+    EXPECT_TRUE((*tree)->Get("key" + std::to_string(i)).ok()) << i;
+  }
+}
+
+// Differential property test: random Put/Delete/Get vs a std::map oracle.
+class LsmDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LsmDifferentialTest,
+                         ::testing::Values(11ull, 222ull, 3333ull));
+
+TEST_P(LsmDifferentialTest, MatchesMapOracle) {
+  LsmFixture f(/*memtable_bytes=*/1024);
+  std::map<std::string, std::string> oracle;
+  Random rnd(GetParam());
+  for (int step = 0; step < 3000; step++) {
+    char key[8];
+    std::snprintf(key, sizeof(key), "k%03d",
+                  static_cast<int>(rnd.Uniform(200)));
+    uint64_t action = rnd.Uniform(10);
+    if (action < 6) {
+      std::string value = "v" + std::to_string(step);
+      ASSERT_TRUE(f.tree->Put(key, value).ok());
+      oracle[key] = value;
+    } else if (action < 8) {
+      ASSERT_TRUE(f.tree->Delete(key).ok());
+      oracle.erase(key);
+    } else {
+      auto got = f.tree->Get(key);
+      auto want = oracle.find(key);
+      if (want == oracle.end()) {
+        EXPECT_TRUE(got.status().IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(got.ok()) << key << ": " << got.status().ToString();
+        EXPECT_EQ(*got, want->second);
+      }
+    }
+    if (step % 500 == 499) {
+      ASSERT_TRUE(f.tree->FlushMemTable().ok());
+      ASSERT_TRUE(f.tree->CompactUntilQuiet().ok());
+    }
+  }
+  // Full iterator comparison at the end.
+  auto iter = f.tree->NewIterator();
+  auto want = oracle.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++want) {
+    ASSERT_NE(want, oracle.end());
+    EXPECT_EQ(iter->key().ToString(), want->first);
+    EXPECT_EQ(iter->value().ToString(), want->second);
+  }
+  EXPECT_EQ(want, oracle.end());
+}
+
+}  // namespace
+}  // namespace logbase::lsm

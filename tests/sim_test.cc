@@ -1,0 +1,163 @@
+// Tests for the virtual-time simulation substrate: FCFS resources, the disk
+// cost model's sequential/random classification, the network model, and
+// ambient context plumbing.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/costs.h"
+#include "src/sim/disk_model.h"
+#include "src/sim/network_model.h"
+#include "src/sim/resource.h"
+#include "src/sim/sim_context.h"
+
+namespace logbase::sim {
+namespace {
+
+TEST(SimContextTest, NoAmbientContextByDefault) {
+  EXPECT_EQ(SimContext::Current(), nullptr);
+  ChargeCpu(100);  // must be a harmless no-op
+  EXPECT_EQ(CurrentVirtualTime(), 0);
+}
+
+TEST(SimContextTest, ScopeInstallsAndRestores) {
+  SimContext ctx(5);
+  {
+    SimContext::Scope scope(&ctx);
+    EXPECT_EQ(SimContext::Current(), &ctx);
+    ChargeCpu(10);
+    EXPECT_EQ(CurrentVirtualTime(), 15);
+  }
+  EXPECT_EQ(SimContext::Current(), nullptr);
+}
+
+TEST(SimContextTest, ScopesNest) {
+  SimContext outer, inner;
+  SimContext::Scope a(&outer);
+  {
+    SimContext::Scope b(&inner);
+    EXPECT_EQ(SimContext::Current(), &inner);
+  }
+  EXPECT_EQ(SimContext::Current(), &outer);
+}
+
+TEST(SimContextTest, AdvanceToNeverMovesBackward) {
+  SimContext ctx(100);
+  ctx.AdvanceTo(50);
+  EXPECT_EQ(ctx.now(), 100);
+  ctx.AdvanceTo(150);
+  EXPECT_EQ(ctx.now(), 150);
+}
+
+TEST(ResourceTest, FcfsSerializesRequests) {
+  Resource r("disk");
+  // Two requests arriving at t=0: the second queues behind the first.
+  EXPECT_EQ(r.Acquire(0, 10), 10);
+  EXPECT_EQ(r.Acquire(0, 10), 20);
+  // A request arriving after the queue drained starts immediately.
+  EXPECT_EQ(r.Acquire(100, 5), 105);
+  EXPECT_EQ(r.total_busy_us(), 25);
+}
+
+TEST(ResourceTest, ResetClearsState) {
+  Resource r("x");
+  r.Acquire(0, 50);
+  r.Reset();
+  EXPECT_EQ(r.free_at(), 0);
+  EXPECT_EQ(r.total_busy_us(), 0);
+}
+
+TEST(DiskModelTest, SequentialAvoidsSeek) {
+  DiskParams params;
+  DiskModel disk("d", params);
+  SimContext ctx;
+  SimContext::Scope scope(&ctx);
+
+  disk.Access(/*locus=*/1, /*offset=*/0, /*n=*/1000);
+  VirtualTime first = ctx.now();
+  // Contiguous continuation: no positioning cost.
+  disk.Access(1, 1000, 1000);
+  VirtualTime second = ctx.now() - first;
+  EXPECT_GT(first, second);
+  EXPECT_GE(first, params.seek_us);
+  EXPECT_LT(second, params.seek_us);
+}
+
+TEST(DiskModelTest, RandomAccessPaysSeek) {
+  DiskParams params;
+  DiskModel disk("d", params);
+  SimContext ctx;
+  SimContext::Scope scope(&ctx);
+  disk.Access(1, 0, 100);
+  VirtualTime after_first = ctx.now();
+  disk.Access(1, 500000, 100);  // jump within the same locus
+  EXPECT_GE(ctx.now() - after_first, params.seek_us);
+}
+
+TEST(DiskModelTest, DifferentLocusPaysSeek) {
+  DiskModel disk("d");
+  SimContext ctx;
+  SimContext::Scope scope(&ctx);
+  disk.Access(1, 0, 100);
+  VirtualTime t1 = ctx.now();
+  disk.Access(2, 100, 100);  // different file
+  EXPECT_GE(ctx.now() - t1, disk.params().seek_us);
+}
+
+TEST(DiskModelTest, TransferScalesWithBytes) {
+  DiskModel disk("d");
+  VirtualTime small = disk.AccessCost(9, 0, 4 << 10);
+  DiskModel disk2("d2");
+  VirtualTime large = disk2.AccessCost(9, 0, 64 << 20);
+  EXPECT_GT(large, small);
+  // 64 MiB at 100 MB/s is ~0.67 s of transfer plus one positioning delay.
+  EXPECT_NEAR(static_cast<double>(large), 671088.0 + 12150.0, 15000.0);
+}
+
+TEST(DiskModelTest, NoContextNoCharge) {
+  DiskModel disk("d");
+  disk.Access(1, 0, 1 << 20);  // must not crash without a context
+  EXPECT_EQ(disk.resource()->total_busy_us(), 0);
+}
+
+TEST(NetworkModelTest, LoopbackIsCheap) {
+  NetworkModel net(2);
+  SimContext ctx;
+  SimContext::Scope scope(&ctx);
+  net.Transfer(0, 0, 1 << 20);
+  EXPECT_EQ(ctx.now(), net.params().loopback_us);
+}
+
+TEST(NetworkModelTest, RemoteTransferPaysOverheadAndBandwidth) {
+  NetworkModel net(2);
+  SimContext ctx;
+  SimContext::Scope scope(&ctx);
+  net.Transfer(0, 1, 117);  // ~1 us of wire time at 117 MB/s
+  EXPECT_GE(ctx.now(), net.params().rpc_overhead_us);
+  VirtualTime small = ctx.now();
+  net.Transfer(0, 1, 117 * 1000000);  // ~1 s of wire time
+  EXPECT_GT(ctx.now() - small, 1000000);
+}
+
+TEST(NetworkModelTest, NicContentionQueues) {
+  NetworkModel net(3);
+  SimContext a, b;
+  {
+    SimContext::Scope scope(&a);
+    net.Transfer(0, 1, 117 * 100000);  // ~100 ms on node 0's NIC
+  }
+  {
+    SimContext::Scope scope(&b);
+    net.Transfer(0, 2, 117);  // queues behind the big send on NIC 0
+  }
+  EXPECT_GT(b.now(), 100000);
+}
+
+TEST(CostsTest, ConstantsAreSmallRelativeToIo) {
+  EXPECT_LT(costs::kIndexLookupUs, 10);
+  EXPECT_LT(costs::kCacheProbeUs, 10);
+  DiskModel disk("d");
+  EXPECT_GT(disk.params().seek_us, 100 * costs::kIndexLookupUs);
+}
+
+}  // namespace
+}  // namespace logbase::sim

@@ -1,0 +1,305 @@
+// Tests for the sorted-table format: blocks, bloom filters, builder/reader,
+// iterators and the block cache.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/sstable/block.h"
+#include "src/sstable/block_builder.h"
+#include "src/sstable/block_cache.h"
+#include "src/sstable/bloom_filter.h"
+#include "src/sstable/table_builder.h"
+#include "src/sstable/table_reader.h"
+#include "src/util/io.h"
+#include "src/util/random.h"
+
+namespace logbase::sstable {
+namespace {
+
+TEST(BlockTest, BuildAndIterate) {
+  BlockBuilder builder(4);
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (int i = 0; i < 50; i++) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%04d", i);
+    entries.emplace_back(key, "value" + std::to_string(i));
+    builder.Add(entries.back().first, entries.back().second);
+  }
+  Block block(builder.Finish().ToString());
+  auto iter = block.NewIterator(BytewiseComparator());
+  iter->SeekToFirst();
+  for (const auto& [k, v] : entries) {
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(iter->key().ToString(), k);
+    EXPECT_EQ(iter->value().ToString(), v);
+    iter->Next();
+  }
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(BlockTest, SeekSemantics) {
+  BlockBuilder builder(3);
+  for (int i = 0; i < 100; i += 10) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%03d", i);
+    builder.Add(key, "v");
+  }
+  Block block(builder.Finish().ToString());
+  auto iter = block.NewIterator(BytewiseComparator());
+  iter->Seek("k035");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), "k040");
+  iter->Seek("k090");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), "k090");
+  iter->Seek("k999");
+  EXPECT_FALSE(iter->Valid());
+  iter->Seek("");  // before first
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), "k000");
+}
+
+TEST(BlockTest, PrefixCompressionShrinksBlock) {
+  BlockBuilder compressed(16);
+  BlockBuilder uncompressed(1);  // restart every entry = no sharing
+  for (int i = 0; i < 100; i++) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "commonprefix/%04d", i);
+    compressed.Add(key, "v");
+    uncompressed.Add(key, "v");
+  }
+  EXPECT_LT(compressed.CurrentSizeEstimate(),
+            uncompressed.CurrentSizeEstimate());
+}
+
+TEST(BlockTest, EmptyBlockIterates) {
+  BlockBuilder builder(16);
+  Block block(builder.Finish().ToString());
+  auto iter = block.NewIterator(BytewiseComparator());
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+  iter->Seek("anything");
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilterBuilder builder(10);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; i++) {
+    keys.push_back("bloomkey" + std::to_string(i));
+    builder.AddKey(keys.back());
+  }
+  std::string data = builder.Finish();
+  BloomFilterReader reader{Slice(data)};
+  for (const std::string& key : keys) {
+    EXPECT_TRUE(reader.MayContain(key));
+  }
+}
+
+TEST(BloomFilterTest, LowFalsePositiveRate) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 1000; i++) {
+    builder.AddKey("present" + std::to_string(i));
+  }
+  std::string data = builder.Finish();
+  BloomFilterReader reader{Slice(data)};
+  int false_positives = 0;
+  for (int i = 0; i < 10000; i++) {
+    if (reader.MayContain("absent" + std::to_string(i))) false_positives++;
+  }
+  // 10 bits/key targets ~1%; allow slack.
+  EXPECT_LT(false_positives, 300);
+}
+
+TEST(BloomFilterTest, MalformedFilterIsConservative) {
+  BloomFilterReader reader{Slice("")};
+  EXPECT_TRUE(reader.MayContain("anything"));
+}
+
+std::map<std::string, std::string> BuildEntries(int n) {
+  std::map<std::string, std::string> entries;
+  Random rnd(77);
+  for (int i = 0; i < n; i++) {
+    char key[24];
+    std::snprintf(key, sizeof(key), "row%08d", i * 3);
+    entries[key] = std::string(50 + rnd.Uniform(100), 'a' + (i % 26));
+  }
+  return entries;
+}
+
+struct TableFixture {
+  MemFileSystem fs;
+  std::unique_ptr<TableReader> reader;
+
+  Status Build(const std::map<std::string, std::string>& entries,
+               TableOptions options, BlockCache* cache = nullptr) {
+    auto wf = fs.NewWritableFile("/table");
+    LOGBASE_RETURN_NOT_OK(wf.status());
+    TableBuilder builder(options, wf->get());
+    for (const auto& [k, v] : entries) {
+      LOGBASE_RETURN_NOT_OK(builder.Add(k, v));
+    }
+    LOGBASE_RETURN_NOT_OK(builder.Finish());
+    auto rf = fs.NewRandomAccessFile("/table");
+    LOGBASE_RETURN_NOT_OK(rf.status());
+    auto opened = TableReader::Open(options, std::move(*rf), cache);
+    LOGBASE_RETURN_NOT_OK(opened.status());
+    reader = std::move(*opened);
+    return Status::OK();
+  }
+};
+
+TEST(TableTest, RoundTripSmall) {
+  TableFixture t;
+  auto entries = BuildEntries(100);
+  ASSERT_TRUE(t.Build(entries, TableOptions()).ok());
+  EXPECT_EQ(t.reader->num_entries(), 100u);
+  auto iter = t.reader->NewIterator();
+  iter->SeekToFirst();
+  for (const auto& [k, v] : entries) {
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(iter->key().ToString(), k);
+    EXPECT_EQ(iter->value().ToString(), v);
+    iter->Next();
+  }
+  EXPECT_FALSE(iter->Valid());
+}
+
+class TableSizeTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TableSizeTest,
+                         ::testing::Values(1, 10, 500, 5000));
+
+TEST_P(TableSizeTest, RoundTripAcrossManyBlocks) {
+  TableFixture t;
+  TableOptions options;
+  options.block_size = 512;  // force many blocks
+  auto entries = BuildEntries(GetParam());
+  ASSERT_TRUE(t.Build(entries, options).ok());
+  // Point-seek every key.
+  for (const auto& [k, v] : entries) {
+    std::string actual_key, value;
+    ASSERT_TRUE(t.reader->SeekFirstGE(k, &actual_key, &value).ok());
+    EXPECT_EQ(actual_key, k);
+    EXPECT_EQ(value, v);
+  }
+}
+
+TEST(TableTest, SeekBetweenKeysFindsSuccessor) {
+  TableFixture t;
+  auto entries = BuildEntries(1000);
+  TableOptions options;
+  options.block_size = 512;
+  ASSERT_TRUE(t.Build(entries, options).ok());
+  std::string actual_key, value;
+  // "row00000001" is between row00000000 and row00000003.
+  ASSERT_TRUE(t.reader->SeekFirstGE("row00000001", &actual_key, &value).ok());
+  EXPECT_EQ(actual_key, "row00000003");
+  // Past the last key.
+  EXPECT_TRUE(t.reader->SeekFirstGE("zzz", &actual_key, &value).IsNotFound());
+}
+
+TEST(TableTest, BloomFilterScreensAbsentKeys) {
+  TableFixture t;
+  auto entries = BuildEntries(500);
+  TableOptions options;
+  ASSERT_TRUE(t.Build(entries, options).ok());
+  for (const auto& [k, v] : entries) {
+    EXPECT_TRUE(t.reader->MayContain(k));
+  }
+  int hits = 0;
+  for (int i = 0; i < 1000; i++) {
+    if (t.reader->MayContain("nope" + std::to_string(i))) hits++;
+  }
+  EXPECT_LT(hits, 100);
+}
+
+TEST(TableTest, CorruptionDetected) {
+  MemFileSystem fs;
+  TableOptions options;
+  {
+    auto wf = fs.NewWritableFile("/t");
+    TableBuilder builder(options, wf->get());
+    for (const auto& [k, v] : BuildEntries(200)) {
+      ASSERT_TRUE(builder.Add(k, v).ok());
+    }
+    ASSERT_TRUE(builder.Finish().ok());
+  }
+  // Flip a byte in the middle of the data region.
+  {
+    auto rf = fs.NewRandomAccessFile("/t");
+    auto all = (*rf)->Read(0, (*rf)->Size());
+    (*all)[100] ^= 0xff;
+    auto wf = fs.NewWritableFile("/t");  // truncate + rewrite corrupted
+    ASSERT_TRUE((*wf)->Append(*all).ok());
+  }
+  auto rf = fs.NewRandomAccessFile("/t");
+  auto reader = TableReader::Open(options, std::move(*rf), nullptr);
+  if (reader.ok()) {
+    auto iter = (*reader)->NewIterator();
+    iter->SeekToFirst();
+    while (iter->Valid()) iter->Next();
+    EXPECT_TRUE(iter->status().IsCorruption());
+  } else {
+    EXPECT_TRUE(reader.status().IsCorruption());
+  }
+}
+
+TEST(TableTest, TruncatedFileRejected) {
+  MemFileSystem fs;
+  auto wf = fs.NewWritableFile("/short");
+  ASSERT_TRUE((*wf)->Append("tiny").ok());
+  auto rf = fs.NewRandomAccessFile("/short");
+  EXPECT_TRUE(
+      TableReader::Open(TableOptions(), std::move(*rf), nullptr)
+          .status()
+          .IsCorruption());
+}
+
+TEST(BlockCacheTest, HitAndMissAccounting) {
+  BlockCache cache(1 << 20);
+  uint64_t id = cache.NewId();
+  EXPECT_EQ(cache.Lookup(id, 0), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.Insert(id, 0, std::make_shared<Block>(std::string(100, 'x')));
+  EXPECT_NE(cache.Lookup(id, 0), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(BlockCacheTest, EvictsLeastRecentlyUsed) {
+  BlockCache cache(250);
+  uint64_t id = cache.NewId();
+  cache.Insert(id, 0, std::make_shared<Block>(std::string(100, 'a')));
+  cache.Insert(id, 1, std::make_shared<Block>(std::string(100, 'b')));
+  ASSERT_NE(cache.Lookup(id, 0), nullptr);  // touch 0: 1 becomes LRU
+  cache.Insert(id, 2, std::make_shared<Block>(std::string(100, 'c')));
+  EXPECT_EQ(cache.Lookup(id, 1), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(id, 0), nullptr);
+  EXPECT_NE(cache.Lookup(id, 2), nullptr);
+}
+
+TEST(BlockCacheTest, DistinctFileIdsDoNotCollide) {
+  BlockCache cache(1 << 20);
+  uint64_t a = cache.NewId();
+  uint64_t b = cache.NewId();
+  cache.Insert(a, 0, std::make_shared<Block>(std::string(10, 'a')));
+  EXPECT_EQ(cache.Lookup(b, 0), nullptr);
+}
+
+TEST(TableTest, CachedReadsSkipFileAccess) {
+  BlockCache cache(1 << 20);
+  TableFixture t;
+  TableOptions options;
+  options.block_size = 512;
+  ASSERT_TRUE(t.Build(BuildEntries(500), options, &cache).ok());
+  std::string k, v;
+  ASSERT_TRUE(t.reader->SeekFirstGE("row00000000", &k, &v).ok());
+  uint64_t misses_before = cache.misses();
+  ASSERT_TRUE(t.reader->SeekFirstGE("row00000000", &k, &v).ok());
+  EXPECT_EQ(cache.misses(), misses_before);  // second read hits the cache
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace logbase::sstable

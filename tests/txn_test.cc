@@ -1,0 +1,335 @@
+// Tests for MVOCC transactions (paper §3.7): snapshot isolation semantics
+// (every ANSI anomaly except write skew prevented), validation with ordered
+// write locks, read-only fast path, 2PC across servers, and crash atomicity.
+
+#include <gtest/gtest.h>
+
+#include "src/dfs/dfs.h"
+#include "src/tablet/tablet_server.h"
+#include "src/txn/lock_table.h"
+#include "src/txn/transaction_manager.h"
+
+namespace logbase::txn {
+namespace {
+
+using tablet::TabletDescriptor;
+using tablet::TabletServer;
+using tablet::TabletServerOptions;
+
+struct TxnFixture {
+  dfs::Dfs dfs{[] {
+    dfs::DfsOptions o;
+    o.num_nodes = 3;
+    return o;
+  }()};
+  coord::CoordinationService coord;
+  std::vector<std::unique_ptr<TabletServer>> servers;
+  std::unique_ptr<TransactionManager> manager;
+  std::string uid0, uid1;  // tablets on server 0 and server 1
+
+  explicit TxnFixture(int num_servers = 2) {
+    for (int i = 0; i < num_servers; i++) {
+      TabletServerOptions options;
+      options.server_id = i;
+      servers.push_back(
+          std::make_unique<TabletServer>(options, &dfs, &coord));
+      EXPECT_TRUE(servers.back()->Start().ok());
+    }
+    TabletDescriptor d0;
+    d0.table_id = 1;
+    d0.range_id = 0;
+    uid0 = d0.uid();
+    EXPECT_TRUE(servers[0]->OpenTablet(d0).ok());
+    if (num_servers > 1) {
+      TabletDescriptor d1;
+      d1.table_id = 1;
+      d1.range_id = 1;
+      uid1 = d1.uid();
+      EXPECT_TRUE(servers[1]->OpenTablet(d1).ok());
+    }
+    manager = std::make_unique<TransactionManager>(
+        &coord, /*client_node=*/0, [this](const std::string& uid) {
+          for (auto& server : servers) {
+            if (server->FindTablet(uid) != nullptr) return server.get();
+          }
+          return static_cast<TabletServer*>(nullptr);
+        });
+  }
+};
+
+TEST(TxnTest, CommitMakesWritesVisible) {
+  TxnFixture f;
+  auto txn = f.manager->Begin();
+  ASSERT_TRUE(f.manager->Write(txn.get(), f.uid0, "k", "committed").ok());
+  ASSERT_TRUE(f.manager->Commit(txn.get()).ok());
+  EXPECT_EQ(txn->state(), Transaction::State::kCommitted);
+  EXPECT_EQ(f.servers[0]->Get(f.uid0, "k")->value, "committed");
+}
+
+TEST(TxnTest, UncommittedWritesInvisible) {
+  TxnFixture f;
+  auto txn = f.manager->Begin();
+  ASSERT_TRUE(f.manager->Write(txn.get(), f.uid0, "k", "pending").ok());
+  // Before commit: not visible to direct reads.
+  EXPECT_TRUE(f.servers[0]->Get(f.uid0, "k").status().IsNotFound());
+  f.manager->Abort(txn.get());
+  EXPECT_TRUE(f.servers[0]->Get(f.uid0, "k").status().IsNotFound());
+  EXPECT_EQ(txn->state(), Transaction::State::kAborted);
+}
+
+TEST(TxnTest, ReadYourOwnWrites) {
+  TxnFixture f;
+  auto txn = f.manager->Begin();
+  ASSERT_TRUE(f.manager->Write(txn.get(), f.uid0, "k", "mine").ok());
+  auto read = f.manager->Read(txn.get(), f.uid0, "k");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "mine");
+  f.manager->Abort(txn.get());
+}
+
+TEST(TxnTest, ReadOnlyAlwaysCommits) {
+  TxnFixture f;
+  ASSERT_TRUE(f.servers[0]->Put(f.uid0, "k", "v").ok());
+  // Even with a concurrent writer on the same key.
+  auto reader = f.manager->Begin();
+  auto writer = f.manager->Begin();
+  ASSERT_TRUE(f.manager->Write(writer.get(), f.uid0, "k", "v2").ok());
+  ASSERT_TRUE(f.manager->Commit(writer.get()).ok());
+  ASSERT_TRUE(f.manager->Read(reader.get(), f.uid0, "k").ok());
+  EXPECT_TRUE(f.manager->Commit(reader.get()).ok());
+  EXPECT_EQ(f.manager->stats().committed.load(), 2u);
+}
+
+TEST(TxnTest, SnapshotReadsIgnoreLaterCommits) {
+  TxnFixture f;
+  ASSERT_TRUE(f.servers[0]->Put(f.uid0, "k", "original").ok());
+  auto old_txn = f.manager->Begin();  // snapshot fixed here
+
+  auto writer = f.manager->Begin();
+  ASSERT_TRUE(f.manager->Write(writer.get(), f.uid0, "k", "newer").ok());
+  ASSERT_TRUE(f.manager->Commit(writer.get()).ok());
+
+  // Fuzzy read prevented: old_txn still sees the original.
+  auto read = f.manager->Read(old_txn.get(), f.uid0, "k");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "original");
+  EXPECT_TRUE(f.manager->Commit(old_txn.get()).ok());
+}
+
+TEST(TxnTest, LostUpdatePrevented) {
+  TxnFixture f;
+  ASSERT_TRUE(f.servers[0]->Put(f.uid0, "counter", "10").ok());
+  auto t1 = f.manager->Begin();
+  auto t2 = f.manager->Begin();
+  // Both read-modify-write the same record concurrently.
+  ASSERT_TRUE(f.manager->Read(t1.get(), f.uid0, "counter").ok());
+  ASSERT_TRUE(f.manager->Read(t2.get(), f.uid0, "counter").ok());
+  ASSERT_TRUE(f.manager->Write(t1.get(), f.uid0, "counter", "11").ok());
+  ASSERT_TRUE(f.manager->Write(t2.get(), f.uid0, "counter", "11").ok());
+  ASSERT_TRUE(f.manager->Commit(t1.get()).ok());
+  // First committer wins; the second must abort on validation.
+  Status second = f.manager->Commit(t2.get());
+  EXPECT_TRUE(second.IsAborted());
+  EXPECT_EQ(f.manager->stats().validation_failures.load(), 1u);
+}
+
+TEST(TxnTest, WriteSkewPermitted) {
+  // SI's known anomaly (paper Figure 5): disjoint write sets with crossed
+  // reads both commit.
+  TxnFixture f;
+  ASSERT_TRUE(f.servers[0]->Put(f.uid0, "x", "1").ok());
+  ASSERT_TRUE(f.servers[0]->Put(f.uid0, "y", "1").ok());
+  auto t1 = f.manager->Begin();
+  auto t2 = f.manager->Begin();
+  ASSERT_TRUE(f.manager->Read(t1.get(), f.uid0, "x").ok());
+  ASSERT_TRUE(f.manager->Read(t2.get(), f.uid0, "y").ok());
+  ASSERT_TRUE(f.manager->Write(t1.get(), f.uid0, "y", "0").ok());
+  ASSERT_TRUE(f.manager->Write(t2.get(), f.uid0, "x", "0").ok());
+  EXPECT_TRUE(f.manager->Commit(t1.get()).ok());
+  EXPECT_TRUE(f.manager->Commit(t2.get()).ok());  // write skew: allowed
+}
+
+TEST(TxnTest, DirtyWritePrevented) {
+  TxnFixture f;
+  ASSERT_TRUE(f.servers[0]->Put(f.uid0, "k", "base").ok());
+  auto t1 = f.manager->Begin();
+  auto t2 = f.manager->Begin();
+  ASSERT_TRUE(f.manager->Write(t1.get(), f.uid0, "k", "one").ok());
+  ASSERT_TRUE(f.manager->Write(t2.get(), f.uid0, "k", "two").ok());
+  ASSERT_TRUE(f.manager->Commit(t1.get()).ok());
+  EXPECT_TRUE(f.manager->Commit(t2.get()).IsAborted());
+  EXPECT_EQ(f.servers[0]->Get(f.uid0, "k")->value, "one");
+}
+
+TEST(TxnTest, TransactionalDelete) {
+  TxnFixture f;
+  ASSERT_TRUE(f.servers[0]->Put(f.uid0, "k", "v").ok());
+  auto txn = f.manager->Begin();
+  ASSERT_TRUE(f.manager->Delete(txn.get(), f.uid0, "k").ok());
+  // Own delete visible inside the transaction.
+  EXPECT_TRUE(f.manager->Read(txn.get(), f.uid0, "k").status().IsNotFound());
+  // Still visible outside until commit.
+  EXPECT_TRUE(f.servers[0]->Get(f.uid0, "k").ok());
+  ASSERT_TRUE(f.manager->Commit(txn.get()).ok());
+  EXPECT_TRUE(f.servers[0]->Get(f.uid0, "k").status().IsNotFound());
+}
+
+TEST(TxnTest, MultiServerTransactionCommitsAtomically) {
+  TxnFixture f;
+  auto txn = f.manager->Begin();
+  ASSERT_TRUE(f.manager->Write(txn.get(), f.uid0, "left", "L").ok());
+  ASSERT_TRUE(f.manager->Write(txn.get(), f.uid1, "right", "R").ok());
+  ASSERT_TRUE(f.manager->Commit(txn.get()).ok());
+  EXPECT_EQ(f.servers[0]->Get(f.uid0, "left")->value, "L");
+  EXPECT_EQ(f.servers[1]->Get(f.uid1, "right")->value, "R");
+  // Same commit timestamp on both participants (global order, §3.7.1).
+  EXPECT_EQ(f.servers[0]->Get(f.uid0, "left")->timestamp,
+            f.servers[1]->Get(f.uid1, "right")->timestamp);
+}
+
+TEST(TxnTest, MultiServerAbortLeavesNothingVisible) {
+  TxnFixture f;
+  ASSERT_TRUE(f.servers[0]->Put(f.uid0, "contended", "v0").ok());
+  auto t1 = f.manager->Begin();
+  ASSERT_TRUE(f.manager->Read(t1.get(), f.uid0, "contended").ok());
+  ASSERT_TRUE(f.manager->Write(t1.get(), f.uid0, "contended", "t1").ok());
+  ASSERT_TRUE(f.manager->Write(t1.get(), f.uid1, "other", "t1").ok());
+  // A conflicting single-server commit invalidates t1.
+  auto t2 = f.manager->Begin();
+  ASSERT_TRUE(f.manager->Write(t2.get(), f.uid0, "contended", "t2").ok());
+  ASSERT_TRUE(f.manager->Commit(t2.get()).ok());
+  EXPECT_TRUE(f.manager->Commit(t1.get()).IsAborted());
+  // Neither of t1's writes landed.
+  EXPECT_EQ(f.servers[0]->Get(f.uid0, "contended")->value, "t2");
+  EXPECT_TRUE(f.servers[1]->Get(f.uid1, "other").status().IsNotFound());
+}
+
+TEST(TxnTest, CommittedTransactionSurvivesCrashRecovery) {
+  TxnFixture f;
+  auto txn = f.manager->Begin();
+  ASSERT_TRUE(f.manager->Write(txn.get(), f.uid0, "durable", "yes").ok());
+  ASSERT_TRUE(f.manager->Commit(txn.get()).ok());
+  f.servers[0]->Crash();
+  ASSERT_TRUE(f.servers[0]->Start().ok());
+  EXPECT_EQ(f.servers[0]->Get(f.uid0, "durable")->value, "yes");
+}
+
+TEST(TxnTest, CompactionDropsUncommittedTxnData) {
+  // Simulate a transaction that persisted data records but crashed before
+  // its COMMIT record: compaction must reclaim them.
+  TxnFixture f(1);
+  log::LogRecord orphan;
+  orphan.type = log::LogRecordType::kData;
+  orphan.key.table_id = 1;
+  orphan.key.tablet_id = 0;
+  orphan.txn_id = 999;  // no commit record will ever exist
+  orphan.row.primary_key = "orphan";
+  orphan.row.timestamp = 12345;
+  orphan.value = "ghost";
+  std::vector<log::LogRecord> batch{orphan};
+  ASSERT_TRUE(f.servers[0]->AppendBatch(&batch).ok());
+  ASSERT_TRUE(f.servers[0]->Put(f.uid0, "real", "v").ok());
+
+  tablet::CompactionStats stats;
+  ASSERT_TRUE(f.servers[0]->CompactLog({}, &stats).ok());
+  EXPECT_EQ(stats.dropped_uncommitted, 1u);
+  EXPECT_TRUE(f.servers[0]->Get(f.uid0, "orphan").status().IsNotFound());
+  EXPECT_TRUE(f.servers[0]->Get(f.uid0, "real").ok());
+}
+
+TEST(TxnTest, UncommittedTxnDataIgnoredByRecovery) {
+  TxnFixture f(1);
+  log::LogRecord orphan;
+  orphan.type = log::LogRecordType::kData;
+  orphan.key.table_id = 1;
+  orphan.key.tablet_id = 0;
+  orphan.txn_id = 777;
+  orphan.row.primary_key = "phantom";
+  orphan.row.timestamp = 1;
+  orphan.value = "boo";
+  std::vector<log::LogRecord> batch{orphan};
+  ASSERT_TRUE(f.servers[0]->AppendBatch(&batch).ok());
+  f.servers[0]->Crash();
+  ASSERT_TRUE(f.servers[0]->Start().ok());
+  EXPECT_TRUE(f.servers[0]->Get(f.uid0, "phantom").status().IsNotFound());
+}
+
+TEST(TxnTest, SerializableModeAbortsWriteSkew) {
+  TxnFixture f(1);
+  txn::TransactionManagerOptions serializable;
+  serializable.serializable = true;
+  TransactionManager strict(
+      &f.coord, 0,
+      [&f](const std::string& uid) {
+        return f.servers[0]->FindTablet(uid) != nullptr ? f.servers[0].get()
+                                                        : nullptr;
+      },
+      serializable);
+  ASSERT_TRUE(f.servers[0]->Put(f.uid0, "x", "1").ok());
+  ASSERT_TRUE(f.servers[0]->Put(f.uid0, "y", "1").ok());
+  auto t1 = strict.Begin();
+  auto t2 = strict.Begin();
+  ASSERT_TRUE(strict.Read(t1.get(), f.uid0, "x").ok());
+  ASSERT_TRUE(strict.Read(t2.get(), f.uid0, "y").ok());
+  ASSERT_TRUE(strict.Write(t1.get(), f.uid0, "y", "0").ok());
+  ASSERT_TRUE(strict.Write(t2.get(), f.uid0, "x", "0").ok());
+  EXPECT_TRUE(strict.Commit(t1.get()).ok());
+  // Under the §3.7.1 serializable option the rw-antidependency is caught:
+  // t2's read of y was invalidated by t1's committed write.
+  EXPECT_TRUE(strict.Commit(t2.get()).IsAborted());
+}
+
+TEST(TxnTest, SerializableReadOnlyStillCommitsWithoutLocks) {
+  TxnFixture f(1);
+  txn::TransactionManagerOptions serializable;
+  serializable.serializable = true;
+  TransactionManager strict(
+      &f.coord, 0,
+      [&f](const std::string& uid) {
+        return f.servers[0]->FindTablet(uid) != nullptr ? f.servers[0].get()
+                                                        : nullptr;
+      },
+      serializable);
+  ASSERT_TRUE(f.servers[0]->Put(f.uid0, "k", "v").ok());
+  auto reader = strict.Begin();
+  ASSERT_TRUE(strict.Read(reader.get(), f.uid0, "k").ok());
+  // A concurrent writer does not abort the read-only transaction.
+  ASSERT_TRUE(f.servers[0]->Put(f.uid0, "k", "v2").ok());
+  EXPECT_TRUE(strict.Commit(reader.get()).ok());
+}
+
+TEST(OrderedLockSetTest, AcquiresAndReleases) {
+  coord::CoordinationService coord;
+  coord::LockManager locks(&coord);
+  coord::SessionId s = coord.CreateSession(0);
+  {
+    OrderedLockSet set(&locks, s, "txn-1", 0);
+    ASSERT_TRUE(set.AcquireAll({{"t", "b"}, {"t", "a"}, {"t", "b"}}).ok());
+    EXPECT_TRUE(set.holds_all());
+    // Another owner cannot take them meanwhile.
+    OrderedLockSet other(&locks, s, "txn-2", 0);
+    EXPECT_FALSE(other.AcquireAll({{"t", "a"}}, /*max_attempts=*/3).ok());
+  }
+  // RAII released: now acquirable.
+  OrderedLockSet after(&locks, s, "txn-3", 0);
+  EXPECT_TRUE(after.AcquireAll({{"t", "a"}, {"t", "b"}}).ok());
+}
+
+TEST(OrderedLockSetTest, StatsCountLockFailures) {
+  TxnFixture f(1);
+  // Hold a lock out-of-band so the transaction cannot acquire it.
+  coord::LockManager locks(&f.coord);
+  coord::SessionId s = f.coord.CreateSession(0);
+  std::string lock_name = f.uid0;
+  lock_name.push_back('\0');
+  lock_name += "blocked";
+  ASSERT_TRUE(locks.TryLock(s, Slice(lock_name), "outsider", 0));
+
+  auto txn = f.manager->Begin();
+  ASSERT_TRUE(f.manager->Write(txn.get(), f.uid0, "blocked", "v").ok());
+  EXPECT_TRUE(f.manager->Commit(txn.get()).IsAborted());
+  EXPECT_EQ(f.manager->stats().lock_failures.load(), 1u);
+}
+
+}  // namespace
+}  // namespace logbase::txn
