@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_random_read_nocache.dir/bench_fig07_random_read_nocache.cc.o"
+  "CMakeFiles/bench_fig07_random_read_nocache.dir/bench_fig07_random_read_nocache.cc.o.d"
+  "bench_fig07_random_read_nocache"
+  "bench_fig07_random_read_nocache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_random_read_nocache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_range_scan.dir/bench_fig10_range_scan.cc.o"
+  "CMakeFiles/bench_fig10_range_scan.dir/bench_fig10_range_scan.cc.o.d"
+  "bench_fig10_range_scan"
+  "bench_fig10_range_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_range_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

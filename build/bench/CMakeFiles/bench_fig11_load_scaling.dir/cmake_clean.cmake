@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_load_scaling.dir/bench_fig11_load_scaling.cc.o"
+  "CMakeFiles/bench_fig11_load_scaling.dir/bench_fig11_load_scaling.cc.o.d"
+  "bench_fig11_load_scaling"
+  "bench_fig11_load_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_load_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_checkpoint.dir/bench_fig17_checkpoint.cc.o"
+  "CMakeFiles/bench_fig17_checkpoint.dir/bench_fig17_checkpoint.cc.o.d"
+  "bench_fig17_checkpoint"
+  "bench_fig17_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

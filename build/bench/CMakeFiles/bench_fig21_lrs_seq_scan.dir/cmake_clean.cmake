@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_lrs_seq_scan.dir/bench_fig21_lrs_seq_scan.cc.o"
+  "CMakeFiles/bench_fig21_lrs_seq_scan.dir/bench_fig21_lrs_seq_scan.cc.o.d"
+  "bench_fig21_lrs_seq_scan"
+  "bench_fig21_lrs_seq_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_lrs_seq_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_cache.dir/bench_micro_cache.cc.o"
+  "CMakeFiles/bench_micro_cache.dir/bench_micro_cache.cc.o.d"
+  "bench_micro_cache"
+  "bench_micro_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_compaction.dir/bench_micro_compaction.cc.o"
+  "CMakeFiles/bench_micro_compaction.dir/bench_micro_compaction.cc.o.d"
+  "bench_micro_compaction"
+  "bench_micro_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

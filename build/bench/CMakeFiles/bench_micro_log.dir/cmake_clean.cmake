@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_log.dir/bench_micro_log.cc.o"
+  "CMakeFiles/bench_micro_log.dir/bench_micro_log.cc.o.d"
+  "bench_micro_log"
+  "bench_micro_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secondary_index_demo.dir/secondary_index_demo.cpp.o"
+  "CMakeFiles/secondary_index_demo.dir/secondary_index_demo.cpp.o.d"
+  "secondary_index_demo"
+  "secondary_index_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secondary_index_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

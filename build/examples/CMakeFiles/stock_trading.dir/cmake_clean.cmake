@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_trading.dir/stock_trading.cpp.o"
+  "CMakeFiles/stock_trading.dir/stock_trading.cpp.o.d"
+  "stock_trading"
+  "stock_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

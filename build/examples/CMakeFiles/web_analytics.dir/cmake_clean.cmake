@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_analytics.dir/web_analytics.cpp.o"
+  "CMakeFiles/web_analytics.dir/web_analytics.cpp.o.d"
+  "web_analytics"
+  "web_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/hbase/hbase_memtable.cc" "src/CMakeFiles/logbase.dir/baselines/hbase/hbase_memtable.cc.o" "gcc" "src/CMakeFiles/logbase.dir/baselines/hbase/hbase_memtable.cc.o.d"
+  "/root/repo/src/baselines/hbase/hbase_server.cc" "src/CMakeFiles/logbase.dir/baselines/hbase/hbase_server.cc.o" "gcc" "src/CMakeFiles/logbase.dir/baselines/hbase/hbase_server.cc.o.d"
+  "/root/repo/src/baselines/hbase/hbase_tablet.cc" "src/CMakeFiles/logbase.dir/baselines/hbase/hbase_tablet.cc.o" "gcc" "src/CMakeFiles/logbase.dir/baselines/hbase/hbase_tablet.cc.o.d"
+  "/root/repo/src/baselines/lrs/lrs_server.cc" "src/CMakeFiles/logbase.dir/baselines/lrs/lrs_server.cc.o" "gcc" "src/CMakeFiles/logbase.dir/baselines/lrs/lrs_server.cc.o.d"
+  "/root/repo/src/client/client.cc" "src/CMakeFiles/logbase.dir/client/client.cc.o" "gcc" "src/CMakeFiles/logbase.dir/client/client.cc.o.d"
+  "/root/repo/src/cluster/mini_cluster.cc" "src/CMakeFiles/logbase.dir/cluster/mini_cluster.cc.o" "gcc" "src/CMakeFiles/logbase.dir/cluster/mini_cluster.cc.o.d"
+  "/root/repo/src/coord/coordination_service.cc" "src/CMakeFiles/logbase.dir/coord/coordination_service.cc.o" "gcc" "src/CMakeFiles/logbase.dir/coord/coordination_service.cc.o.d"
+  "/root/repo/src/coord/lock_manager.cc" "src/CMakeFiles/logbase.dir/coord/lock_manager.cc.o" "gcc" "src/CMakeFiles/logbase.dir/coord/lock_manager.cc.o.d"
+  "/root/repo/src/coord/master_election.cc" "src/CMakeFiles/logbase.dir/coord/master_election.cc.o" "gcc" "src/CMakeFiles/logbase.dir/coord/master_election.cc.o.d"
+  "/root/repo/src/coord/znode_tree.cc" "src/CMakeFiles/logbase.dir/coord/znode_tree.cc.o" "gcc" "src/CMakeFiles/logbase.dir/coord/znode_tree.cc.o.d"
+  "/root/repo/src/dfs/data_node.cc" "src/CMakeFiles/logbase.dir/dfs/data_node.cc.o" "gcc" "src/CMakeFiles/logbase.dir/dfs/data_node.cc.o.d"
+  "/root/repo/src/dfs/dfs.cc" "src/CMakeFiles/logbase.dir/dfs/dfs.cc.o" "gcc" "src/CMakeFiles/logbase.dir/dfs/dfs.cc.o.d"
+  "/root/repo/src/dfs/name_node.cc" "src/CMakeFiles/logbase.dir/dfs/name_node.cc.o" "gcc" "src/CMakeFiles/logbase.dir/dfs/name_node.cc.o.d"
+  "/root/repo/src/index/blink_tree.cc" "src/CMakeFiles/logbase.dir/index/blink_tree.cc.o" "gcc" "src/CMakeFiles/logbase.dir/index/blink_tree.cc.o.d"
+  "/root/repo/src/index/index_checkpoint.cc" "src/CMakeFiles/logbase.dir/index/index_checkpoint.cc.o" "gcc" "src/CMakeFiles/logbase.dir/index/index_checkpoint.cc.o.d"
+  "/root/repo/src/index/lsm_index.cc" "src/CMakeFiles/logbase.dir/index/lsm_index.cc.o" "gcc" "src/CMakeFiles/logbase.dir/index/lsm_index.cc.o.d"
+  "/root/repo/src/log/log_reader.cc" "src/CMakeFiles/logbase.dir/log/log_reader.cc.o" "gcc" "src/CMakeFiles/logbase.dir/log/log_reader.cc.o.d"
+  "/root/repo/src/log/log_record.cc" "src/CMakeFiles/logbase.dir/log/log_record.cc.o" "gcc" "src/CMakeFiles/logbase.dir/log/log_record.cc.o.d"
+  "/root/repo/src/log/log_writer.cc" "src/CMakeFiles/logbase.dir/log/log_writer.cc.o" "gcc" "src/CMakeFiles/logbase.dir/log/log_writer.cc.o.d"
+  "/root/repo/src/lsm/lsm_tree.cc" "src/CMakeFiles/logbase.dir/lsm/lsm_tree.cc.o" "gcc" "src/CMakeFiles/logbase.dir/lsm/lsm_tree.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/CMakeFiles/logbase.dir/lsm/memtable.cc.o" "gcc" "src/CMakeFiles/logbase.dir/lsm/memtable.cc.o.d"
+  "/root/repo/src/lsm/version_set.cc" "src/CMakeFiles/logbase.dir/lsm/version_set.cc.o" "gcc" "src/CMakeFiles/logbase.dir/lsm/version_set.cc.o.d"
+  "/root/repo/src/master/master.cc" "src/CMakeFiles/logbase.dir/master/master.cc.o" "gcc" "src/CMakeFiles/logbase.dir/master/master.cc.o.d"
+  "/root/repo/src/partition/graph_partitioner.cc" "src/CMakeFiles/logbase.dir/partition/graph_partitioner.cc.o" "gcc" "src/CMakeFiles/logbase.dir/partition/graph_partitioner.cc.o.d"
+  "/root/repo/src/partition/range_partitioner.cc" "src/CMakeFiles/logbase.dir/partition/range_partitioner.cc.o" "gcc" "src/CMakeFiles/logbase.dir/partition/range_partitioner.cc.o.d"
+  "/root/repo/src/partition/vertical_partitioner.cc" "src/CMakeFiles/logbase.dir/partition/vertical_partitioner.cc.o" "gcc" "src/CMakeFiles/logbase.dir/partition/vertical_partitioner.cc.o.d"
+  "/root/repo/src/secondary/secondary_index.cc" "src/CMakeFiles/logbase.dir/secondary/secondary_index.cc.o" "gcc" "src/CMakeFiles/logbase.dir/secondary/secondary_index.cc.o.d"
+  "/root/repo/src/sim/disk_model.cc" "src/CMakeFiles/logbase.dir/sim/disk_model.cc.o" "gcc" "src/CMakeFiles/logbase.dir/sim/disk_model.cc.o.d"
+  "/root/repo/src/sim/network_model.cc" "src/CMakeFiles/logbase.dir/sim/network_model.cc.o" "gcc" "src/CMakeFiles/logbase.dir/sim/network_model.cc.o.d"
+  "/root/repo/src/sim/resource.cc" "src/CMakeFiles/logbase.dir/sim/resource.cc.o" "gcc" "src/CMakeFiles/logbase.dir/sim/resource.cc.o.d"
+  "/root/repo/src/sim/sim_context.cc" "src/CMakeFiles/logbase.dir/sim/sim_context.cc.o" "gcc" "src/CMakeFiles/logbase.dir/sim/sim_context.cc.o.d"
+  "/root/repo/src/sstable/block.cc" "src/CMakeFiles/logbase.dir/sstable/block.cc.o" "gcc" "src/CMakeFiles/logbase.dir/sstable/block.cc.o.d"
+  "/root/repo/src/sstable/block_builder.cc" "src/CMakeFiles/logbase.dir/sstable/block_builder.cc.o" "gcc" "src/CMakeFiles/logbase.dir/sstable/block_builder.cc.o.d"
+  "/root/repo/src/sstable/block_cache.cc" "src/CMakeFiles/logbase.dir/sstable/block_cache.cc.o" "gcc" "src/CMakeFiles/logbase.dir/sstable/block_cache.cc.o.d"
+  "/root/repo/src/sstable/bloom_filter.cc" "src/CMakeFiles/logbase.dir/sstable/bloom_filter.cc.o" "gcc" "src/CMakeFiles/logbase.dir/sstable/bloom_filter.cc.o.d"
+  "/root/repo/src/sstable/table_builder.cc" "src/CMakeFiles/logbase.dir/sstable/table_builder.cc.o" "gcc" "src/CMakeFiles/logbase.dir/sstable/table_builder.cc.o.d"
+  "/root/repo/src/sstable/table_reader.cc" "src/CMakeFiles/logbase.dir/sstable/table_reader.cc.o" "gcc" "src/CMakeFiles/logbase.dir/sstable/table_reader.cc.o.d"
+  "/root/repo/src/tablet/checkpoint.cc" "src/CMakeFiles/logbase.dir/tablet/checkpoint.cc.o" "gcc" "src/CMakeFiles/logbase.dir/tablet/checkpoint.cc.o.d"
+  "/root/repo/src/tablet/compaction.cc" "src/CMakeFiles/logbase.dir/tablet/compaction.cc.o" "gcc" "src/CMakeFiles/logbase.dir/tablet/compaction.cc.o.d"
+  "/root/repo/src/tablet/read_buffer.cc" "src/CMakeFiles/logbase.dir/tablet/read_buffer.cc.o" "gcc" "src/CMakeFiles/logbase.dir/tablet/read_buffer.cc.o.d"
+  "/root/repo/src/tablet/recovery.cc" "src/CMakeFiles/logbase.dir/tablet/recovery.cc.o" "gcc" "src/CMakeFiles/logbase.dir/tablet/recovery.cc.o.d"
+  "/root/repo/src/tablet/tablet_server.cc" "src/CMakeFiles/logbase.dir/tablet/tablet_server.cc.o" "gcc" "src/CMakeFiles/logbase.dir/tablet/tablet_server.cc.o.d"
+  "/root/repo/src/txn/lock_table.cc" "src/CMakeFiles/logbase.dir/txn/lock_table.cc.o" "gcc" "src/CMakeFiles/logbase.dir/txn/lock_table.cc.o.d"
+  "/root/repo/src/txn/transaction_manager.cc" "src/CMakeFiles/logbase.dir/txn/transaction_manager.cc.o" "gcc" "src/CMakeFiles/logbase.dir/txn/transaction_manager.cc.o.d"
+  "/root/repo/src/util/coding.cc" "src/CMakeFiles/logbase.dir/util/coding.cc.o" "gcc" "src/CMakeFiles/logbase.dir/util/coding.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/CMakeFiles/logbase.dir/util/crc32c.cc.o" "gcc" "src/CMakeFiles/logbase.dir/util/crc32c.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/logbase.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/logbase.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/io.cc" "src/CMakeFiles/logbase.dir/util/io.cc.o" "gcc" "src/CMakeFiles/logbase.dir/util/io.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/logbase.dir/util/status.cc.o" "gcc" "src/CMakeFiles/logbase.dir/util/status.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/logbase.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/logbase.dir/util/thread_pool.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/logbase.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/logbase.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/tpcw.cc" "src/CMakeFiles/logbase.dir/workload/tpcw.cc.o" "gcc" "src/CMakeFiles/logbase.dir/workload/tpcw.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/logbase.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/logbase.dir/workload/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

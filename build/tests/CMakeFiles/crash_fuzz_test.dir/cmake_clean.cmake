@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_fuzz_test.dir/crash_fuzz_test.cc.o"
+  "CMakeFiles/crash_fuzz_test.dir/crash_fuzz_test.cc.o.d"
+  "crash_fuzz_test"
+  "crash_fuzz_test.pdb"
+  "crash_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

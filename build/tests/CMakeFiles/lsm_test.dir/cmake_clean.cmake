@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_test.dir/lsm_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm_test.cc.o.d"
+  "lsm_test"
+  "lsm_test.pdb"
+  "lsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

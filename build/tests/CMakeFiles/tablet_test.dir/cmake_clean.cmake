@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tablet_test.dir/tablet_test.cc.o"
+  "CMakeFiles/tablet_test.dir/tablet_test.cc.o.d"
+  "tablet_test"
+  "tablet_test.pdb"
+  "tablet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tablet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

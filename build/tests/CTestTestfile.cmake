@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/dfs_test[1]_include.cmake")
+include("/root/repo/build/tests/coord_test[1]_include.cmake")
+include("/root/repo/build/tests/sstable_test[1]_include.cmake")
+include("/root/repo/build/tests/lsm_test[1]_include.cmake")
+include("/root/repo/build/tests/log_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/tablet_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/secondary_test[1]_include.cmake")
+include("/root/repo/build/tests/extra_coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_fuzz_test[1]_include.cmake")
