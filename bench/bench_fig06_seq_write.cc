@@ -46,6 +46,7 @@ int main() {
                 static_cast<unsigned long long>(n), logbase_s, hbase_s,
                 hbase_s / logbase_s);
   }
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "LogBase outperforms HBase by ~50% on sequential writes (it writes "
       "data to the DFS once; HBase writes the WAL now and flushes memtables "

@@ -60,6 +60,7 @@ int main() {
                 static_cast<unsigned long long>(reads), logbase_s, hbase_s,
                 hbase_s / logbase_s);
   }
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "LogBase is superior without cache: its dense in-memory index seeks "
       "directly to the record (one disk seek); HBase loads and scans a 64KB "

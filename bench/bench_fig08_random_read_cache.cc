@@ -69,6 +69,7 @@ int main() {
                 static_cast<unsigned long long>(reads), logbase_s, hbase_s,
                 hbase_s / logbase_s);
   }
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "the performance gap reduces when the block cache is adopted: cached "
       "blocks spare HBase the seek+block read; LogBase still leads via the "

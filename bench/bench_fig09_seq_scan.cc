@@ -48,6 +48,7 @@ int main() {
                 static_cast<unsigned long long>(n), logbase_s, hbase_s,
                 logbase_s / hbase_s);
   }
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "LogBase is slightly slower on full scans: log entries carry extra "
       "log metadata so the log is larger than HBase's data files, and each "

@@ -102,6 +102,7 @@ int main() {
                 static_cast<unsigned long long>(kCounts[i]), before_ms[i],
                 after_ms[i], hbase_ms[i]);
   }
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "before compaction LogBase pays one random access per tuple and loses "
       "badly; after compaction the log is clustered by key and LogBase "

@@ -24,6 +24,7 @@ int main() {
                 logbase.load.virtual_seconds, hbase.load.virtual_seconds,
                 hbase.load.virtual_seconds / logbase.load.virtual_seconds);
   }
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "LogBase spends about half the time of HBase on parallel loading — "
       "sustained write throughput from the log-only design (Fig. 11); load "

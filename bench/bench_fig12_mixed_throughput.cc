@@ -27,6 +27,7 @@ int main() {
                       hbase.run.throughput_ops_per_sec);
     }
   }
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "throughput scales with nodes for both systems; higher update "
       "fraction gives higher throughput (writes are cheaper than reads); "

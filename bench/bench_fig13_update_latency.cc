@@ -25,6 +25,7 @@ int main() {
                   hbase.run.update_latency_us.Average() / 1000.0);
     }
   }
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "update latency stays flat as nodes are added (elastic scaling); "
       "HBase pays more because a write can stall behind a memtable flush "

@@ -25,6 +25,7 @@ int main() {
                   hbase.run.read_latency_us.Average() / 1000.0);
     }
   }
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "LogBase provides better read latency thanks to the dense in-memory "
       "index (one seek per miss); the block cache helps HBase less at "

@@ -21,6 +21,7 @@ int main() {
     }
     std::printf("%6d %12.3f %12.3f %12.3f\n", nodes, ms[0], ms[1], ms[2]);
   }
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "under browsing and shopping mixes LogBase scales with nearly flat "
       "transaction latency — most transactions are read-only and commit "

@@ -21,6 +21,7 @@ int main() {
     }
     std::printf("%6d %12.0f %12.0f %12.0f\n", nodes, tps[0], tps[1], tps[2]);
   }
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "transaction throughput scales (near linearly for browsing/shopping) "
       "as nodes are added: read-only transactions always commit under "

@@ -41,6 +41,7 @@ int main() {
                 static_cast<unsigned long long>(records >> 10), write_s,
                 reload_s);
   }
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "writing a checkpoint is cheaper than reloading one (HDFS is "
       "optimized for write throughput; reload also rebuilds the in-memory "

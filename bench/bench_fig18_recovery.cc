@@ -70,6 +70,7 @@ int main() {
                 static_cast<unsigned long long>(total >> 10), with_s,
                 without_s);
   }
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "recovery with a checkpoint is significantly faster: reload the "
       "persisted index files and scan only the log segments after the "

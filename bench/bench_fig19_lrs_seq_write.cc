@@ -35,6 +35,7 @@ int main() {
                 static_cast<unsigned long long>(n), logbase_s, lrs_s,
                 lrs_s / logbase_s);
   }
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "LRS sequential write performance is only slightly lower than "
       "LogBase: LevelDB-style buffering keeps LSM index maintenance cheap "

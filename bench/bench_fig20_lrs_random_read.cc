@@ -49,6 +49,7 @@ int main() {
                 static_cast<unsigned long long>(reads), logbase_s, lrs_s,
                 lrs_s / logbase_s);
   }
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "LRS random access is only slightly slower: bloom filters and the "
       "LSM read buffer keep most index probes off the disk (Fig. 20) — "

@@ -45,6 +45,7 @@ int main() {
                 static_cast<unsigned long long>(n), logbase_s, lrs_s,
                 lrs_s / logbase_s);
   }
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "LogBase scans faster than LRS: the per-record version check against "
       "the index costs a memory probe for the B-link tree but may touch "

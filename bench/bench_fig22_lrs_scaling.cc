@@ -30,6 +30,7 @@ int main() {
                 logbase_r.run.throughput_ops_per_sec,
                 lrs_r.run.throughput_ops_per_sec);
   }
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "LRS write and read throughput are only slightly below LogBase and "
       "both scale with the system size (Fig. 22): LogBase could adopt "

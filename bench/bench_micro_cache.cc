@@ -49,6 +49,7 @@ int main() {
   std::printf("%-10s %17.1f%% %19.1f%%\n", "fifo",
               RunTrace(tablet::MakeFifoPolicy(), false) * 100,
               RunTrace(tablet::MakeFifoPolicy(), true) * 100);
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "the read buffer's replacement strategy is an abstracted interface "
       "(LRU by default) so applications can plug in policies fitting their "

@@ -96,6 +96,7 @@ int main() {
               single_write_s, single_recover_s);
   std::printf("%-24s %14.2f %20.3f\n", "log per column group",
               multi_write_s, multi_recover_s);
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "a per-column-group log speeds up recovery of one group (no need to "
       "scan unrelated data) but costs more connections/seeks on the write "

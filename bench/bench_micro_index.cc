@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
+
 #include <map>
 
 #include "src/index/blink_tree.h"
@@ -134,4 +136,11 @@ BENCHMARK(BM_LsmIndexGet);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  logbase::bench::PrintComponentBreakdown();
+  ::benchmark::Shutdown();
+  return 0;
+}

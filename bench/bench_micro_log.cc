@@ -45,6 +45,7 @@ int main() {
     std::printf("%10zu %16.1f %18.0f\n", batch_size,
                 seconds * 1e6 / kRecords, kRecords / seconds);
   }
+  PrintComponentBreakdown();
   PrintPaperClaim(
       "processing commit and log records in batches instead of individual "
       "log writes reduces the log persistence cost and improves write "

@@ -21,6 +21,7 @@
 #include "src/baselines/lrs/lrs_server.h"
 #include "src/cluster/mini_cluster.h"
 #include "src/core/kv_engine.h"
+#include "src/obs/metrics.h"
 #include "src/sim/sim_context.h"
 #include "src/workload/driver.h"
 #include "src/workload/ycsb.h"
@@ -60,6 +61,119 @@ inline void PrintPaperClaim(const char* claim) {
   std::printf("--------------------------------------------------------------\n");
   std::printf("paper: %s\n", claim);
   std::printf("--------------------------------------------------------------\n");
+}
+
+/// Prints the per-component virtual-time breakdown accumulated in `m`
+/// (normally the whole run: pass `DumpMetrics()` / a registry snapshot, or a
+/// `Delta()` to scope a phase). The four headline components — log append,
+/// index probe, DFS read, cache hit rate — always print; other components
+/// print when they saw traffic.
+inline void PrintComponentBreakdown(
+    const obs::MetricsSnapshot& m,
+    const char* phase = "whole run, all engines") {
+  auto hist_line = [&](const char* label, const char* name) {
+    const obs::MetricPoint* p = m.Find(name);
+    uint64_t n = p != nullptr ? p->count : 0;
+    double total_ms = p != nullptr ? p->sum / 1e3 : 0.0;
+    double avg_us = p != nullptr ? p->avg : 0.0;
+    std::printf("  %-12s n=%-10llu total=%10.2fms  avg=%8.1fus", label,
+                static_cast<unsigned long long>(n), total_ms, avg_us);
+  };
+  auto rate = [](uint64_t hits, uint64_t misses) {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  };
+
+  std::printf("-- component breakdown (%s; virtual time) --\n", phase);
+
+  hist_line("log.append", "log.append.us");
+  const obs::MetricPoint* batch = m.Find("log.append.batch_records");
+  std::printf("  batch_avg=%.1f  bytes=%llu\n",
+              batch != nullptr ? batch->avg : 0.0,
+              static_cast<unsigned long long>(
+                  m.CounterValue("log.append.bytes")));
+
+  hist_line("index.probe", "index.probe.us");
+  const obs::MetricPoint* depth = m.Find("index.probe.depth");
+  std::printf("  depth_avg=%.1f  latch_retries=%llu\n",
+              depth != nullptr ? depth->avg : 0.0,
+              static_cast<unsigned long long>(
+                  m.CounterValue("index.latch.retries")));
+
+  hist_line("dfs.pread", "dfs.pread.us");
+  std::printf("  bytes=%llu\n", static_cast<unsigned long long>(
+                                    m.CounterValue("dfs.pread.bytes")));
+
+  uint64_t rb_hits = m.CounterValue("tablet.read_buffer.hits");
+  uint64_t rb_misses = m.CounterValue("tablet.read_buffer.misses");
+  uint64_t bc_hits = m.CounterValue("sstable.block_cache.hits");
+  uint64_t bc_misses = m.CounterValue("sstable.block_cache.misses");
+  std::printf("  %-12s read_buffer=%5.1f%% (%llu/%llu)  block_cache=%5.1f%% "
+              "(%llu/%llu)\n",
+              "cache.hits", rate(rb_hits, rb_misses),
+              static_cast<unsigned long long>(rb_hits),
+              static_cast<unsigned long long>(rb_hits + rb_misses),
+              rate(bc_hits, bc_misses),
+              static_cast<unsigned long long>(bc_hits),
+              static_cast<unsigned long long>(bc_hits + bc_misses));
+
+  if (m.CounterValue("dfs.write.bytes") > 0) {
+    hist_line("dfs.write", "dfs.write.us");
+    std::printf("  bytes=%llu  replicated=%llu\n",
+                static_cast<unsigned long long>(
+                    m.CounterValue("dfs.write.bytes")),
+                static_cast<unsigned long long>(
+                    m.CounterValue("dfs.replication.bytes")));
+  }
+  if (const obs::MetricPoint* read = m.Find("log.read.us");
+      read != nullptr && read->count > 0) {
+    hist_line("log.read", "log.read.us");
+    std::printf("\n");
+  }
+  if (m.CounterValue("txn.begun") > 0) {
+    hist_line("txn.commit", "txn.commit.us");
+    std::printf("  begun=%llu committed=%llu aborted=%llu "
+                "validation_failures=%llu lock_failures=%llu\n",
+                static_cast<unsigned long long>(m.CounterValue("txn.begun")),
+                static_cast<unsigned long long>(
+                    m.CounterValue("txn.committed")),
+                static_cast<unsigned long long>(m.CounterValue("txn.aborted")),
+                static_cast<unsigned long long>(
+                    m.CounterValue("txn.validation_failures")),
+                static_cast<unsigned long long>(
+                    m.CounterValue("txn.lock_failures")));
+  }
+  if (const obs::MetricPoint* cp = m.Find("tablet.checkpoint.us");
+      cp != nullptr && cp->count > 0) {
+    hist_line("checkpoint", "tablet.checkpoint.us");
+    std::printf("  count=%llu\n", static_cast<unsigned long long>(
+                                      m.CounterValue("tablet.checkpoint.count")));
+  }
+  if (const obs::MetricPoint* comp = m.Find("tablet.compaction.us");
+      comp != nullptr && comp->count > 0) {
+    hist_line("compaction", "tablet.compaction.us");
+    std::printf("  in=%llu out=%llu\n",
+                static_cast<unsigned long long>(
+                    m.CounterValue("tablet.compaction.input_records")),
+                static_cast<unsigned long long>(
+                    m.CounterValue("tablet.compaction.output_records")));
+  }
+  if (const obs::MetricPoint* rec = m.Find("tablet.recovery.us");
+      rec != nullptr && rec->count > 0) {
+    hist_line("recovery", "tablet.recovery.us");
+    std::printf("  redo_records=%llu redo_bytes=%llu\n",
+                static_cast<unsigned long long>(
+                    m.CounterValue("tablet.recovery.redo_records")),
+                static_cast<unsigned long long>(
+                    m.CounterValue("tablet.recovery.redo_bytes")));
+  }
+}
+
+/// Convenience for bench mains: prints the breakdown of everything the
+/// process has recorded so far.
+inline void PrintComponentBreakdown() {
+  PrintComponentBreakdown(obs::MetricsRegistry::Global().Snapshot());
 }
 
 /// Runs `fn` as one simulated actor and returns the virtual seconds it took.

@@ -61,18 +61,19 @@ int main() {
   auto rows = client->Scan("users", 0, "user2", "user6");
   std::printf("scan [user2, user6): %zu rows\n", rows->size());
 
-  // 6. A read-modify-write transaction under snapshot isolation.
-  auto txn = client->Begin();
-  auto current = client->TxnRead(txn.get(), "users", 0, "user1");
-  client->TxnWrite(txn.get(), "users", 0, "user1",
-                   *current + " [updated in txn]");
-  Status committed = client->Commit(txn.get());
+  // 6. A read-modify-write transaction under snapshot isolation. The Txn
+  //    handle auto-aborts if it goes out of scope uncommitted.
+  client::Txn txn = client->BeginTxn();
+  auto current = txn.Read("users", 0, "user1");
+  txn.Write("users", 0, "user1", *current + " [updated in txn]");
+  Status committed = txn.Commit();
   std::printf("transaction: %s\n", committed.ToString().c_str());
 
   // 7. Multiversion access: the pre-transaction version is still readable.
-  auto versions = client->GetVersions("users", 0, "user1");
+  auto versions =
+      client->Get("users", 0, "user1", client::ReadOptions{.all_versions = true});
   std::printf("user1 cg0 has %zu versions; oldest payload %zu bytes\n",
-              versions->size(), versions->back().value.size());
+              versions->rows.size(), versions->rows.back().value.size());
 
   std::printf("quickstart done\n");
   return 0;

@@ -50,10 +50,11 @@ int main() {
               static_cast<unsigned long long>(stats.redo_records));
 
   client->InvalidateCache();
-  auto check = client->Get("kv", 0, "key320");
+  auto check = client->Get("kv", 0, "key320", client::ReadOptions{});
   std::printf("key320 after restart -> %s\n",
-              check.ok() ? check->c_str() : check.status().ToString().c_str());
-  if (!check.ok() || *check != "post-checkpoint") return 1;
+              check.ok() ? check->value().c_str()
+                         : check.status().ToString().c_str());
+  if (!check.ok() || check->value() != "post-checkpoint") return 1;
 
   // --- Permanent failure: master reassigns tablets -------------------------
   cluster.CrashServer(2);
@@ -68,7 +69,7 @@ int main() {
   for (int i = 600; i < 900; i++) {  // range 2 keys lived on server 2
     char key[16];
     std::snprintf(key, sizeof(key), "key%03d", i);
-    if (client->Get("kv", 0, key).ok()) recovered++;
+    if (client->Get("kv", 0, key, client::ReadOptions{}).ok()) recovered++;
   }
   std::printf("%d/300 of the dead server's records served by adopters\n",
               recovered);

@@ -55,21 +55,24 @@ int main() {
       fills++;
     }
     if (round == 49 || round == 99) {
-      auto versioned = client->GetVersioned("market", 0, TickerKey("AAAA"));
-      checkpoints.push_back(versioned->timestamp);
+      auto versioned =
+          client->Get("market", 0, TickerKey("AAAA"), client::ReadOptions{});
+      checkpoints.push_back(versioned->timestamp());
     }
   }
   std::printf("ingested %d fills across %zu symbols (log-only writes)\n",
               fills, std::size(symbols));
 
   // --- Phase 2: historical trend query (multiversion reads) --------------
-  auto history = client->GetVersions("market", 0, TickerKey("AAAA"));
+  auto history = client->Get("market", 0, TickerKey("AAAA"),
+                             client::ReadOptions{.all_versions = true});
   std::printf("AAAA has %zu persisted versions; latest=%s cents\n",
-              history->size(), (*history)[0].value.c_str());
+              history->rows.size(), history->value().c_str());
   for (uint64_t at : checkpoints) {
-    auto then = client->GetAsOf("market", 0, TickerKey("AAAA"), at);
+    auto then = client->Get("market", 0, TickerKey("AAAA"),
+                            client::ReadOptions{.as_of = at});
     std::printf("  AAAA as of version %llu -> %s cents\n",
-                static_cast<unsigned long long>(at), then->c_str());
+                static_cast<unsigned long long>(at), then->value().c_str());
   }
 
   // --- Phase 3: transactional settlement ----------------------------------
@@ -82,20 +85,18 @@ int main() {
     int to = static_cast<int>(rnd.Uniform(10));
     if (from == to) continue;
     for (int attempt = 0; attempt < 3; attempt++) {
-      auto txn = client->Begin();
-      auto from_balance =
-          client->TxnRead(txn.get(), "accounts", 0, AccountKey(from));
-      auto to_balance =
-          client->TxnRead(txn.get(), "accounts", 0, AccountKey(to));
+      // The handle auto-aborts on the early-exit paths below.
+      client::Txn txn = client->BeginTxn();
+      auto from_balance = txn.Read("accounts", 0, AccountKey(from));
+      auto to_balance = txn.Read("accounts", 0, AccountKey(to));
       if (!from_balance.ok() || !to_balance.ok()) break;
       int amount = 10;
       int fb = std::atoi(from_balance->c_str());
       if (fb < amount) break;  // insufficient funds
-      client->TxnWrite(txn.get(), "accounts", 0, AccountKey(from),
-                       std::to_string(fb - amount));
-      client->TxnWrite(txn.get(), "accounts", 0, AccountKey(to),
-                       std::to_string(std::atoi(to_balance->c_str()) + amount));
-      Status s = client->Commit(txn.get());
+      txn.Write("accounts", 0, AccountKey(from), std::to_string(fb - amount));
+      txn.Write("accounts", 0, AccountKey(to),
+                std::to_string(std::atoi(to_balance->c_str()) + amount));
+      Status s = txn.Commit();
       if (s.ok()) {
         settled++;
         break;
@@ -109,7 +110,10 @@ int main() {
   // Conservation check: total balance must still be 10 * 1000.
   long total = 0;
   for (int account = 0; account < 10; account++) {
-    total += std::atol(client->Get("accounts", 0, AccountKey(account))->c_str());
+    total += std::atol(client->Get("accounts", 0, AccountKey(account),
+                                   client::ReadOptions{})
+                           ->value()
+                           .c_str());
   }
   std::printf("sum of balances = %ld (expected 10000)\n", total);
   if (total != 10000) return 1;

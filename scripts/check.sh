@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds and runs the full test suite under the default preset and again
+# under AddressSanitizer+UBSan. Usage:
+#
+#   scripts/check.sh            # default + asan
+#   scripts/check.sh default    # one preset only
+#   scripts/check.sh tsan       # ThreadSanitizer pass
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==== preset: ${preset} ===="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "$(nproc)"
+  ctest --preset "${preset}"
+done
+
+echo "==== all presets passed: ${presets[*]} ===="

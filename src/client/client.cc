@@ -1,5 +1,7 @@
 #include "src/client/client.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/coding.h"
 
 namespace logbase::client {
@@ -32,6 +34,67 @@ Result<std::map<std::string, std::string>> DecodeColumns(const Slice& value) {
   return columns;
 }
 
+// ---------------------------------------------------------------------------
+// Txn handle.
+// ---------------------------------------------------------------------------
+
+Txn::Txn(Txn&& other) noexcept
+    : client_(other.client_), txn_(std::move(other.txn_)) {
+  other.client_ = nullptr;
+}
+
+Txn& Txn::operator=(Txn&& other) noexcept {
+  if (this != &other) {
+    if (active()) client_->AbortImpl(txn_.get());
+    client_ = other.client_;
+    txn_ = std::move(other.txn_);
+    other.client_ = nullptr;
+  }
+  return *this;
+}
+
+Txn::~Txn() {
+  if (active()) client_->AbortImpl(txn_.get());
+}
+
+bool Txn::active() const {
+  return client_ != nullptr && txn_ != nullptr &&
+         txn_->state() == txn::Transaction::State::kActive;
+}
+
+uint64_t Txn::id() const { return txn_ != nullptr ? txn_->id() : 0; }
+
+Result<std::string> Txn::Read(const std::string& table, uint32_t column_group,
+                              const Slice& key) {
+  if (!active()) return Status::InvalidArgument("transaction not active");
+  return client_->TxnReadImpl(txn_.get(), table, column_group, key);
+}
+
+Status Txn::Write(const std::string& table, uint32_t column_group,
+                  const Slice& key, const Slice& value) {
+  if (!active()) return Status::InvalidArgument("transaction not active");
+  return client_->TxnWriteImpl(txn_.get(), table, column_group, key, value);
+}
+
+Status Txn::Delete(const std::string& table, uint32_t column_group,
+                   const Slice& key) {
+  if (!active()) return Status::InvalidArgument("transaction not active");
+  return client_->TxnDeleteImpl(txn_.get(), table, column_group, key);
+}
+
+Status Txn::Commit() {
+  if (!active()) return Status::InvalidArgument("transaction not active");
+  return client_->CommitImpl(txn_.get());
+}
+
+void Txn::Abort() {
+  if (active()) client_->AbortImpl(txn_.get());
+}
+
+// ---------------------------------------------------------------------------
+// Client plumbing.
+// ---------------------------------------------------------------------------
+
 LogBaseClient::LogBaseClient(
     master::Master* master,
     std::function<tablet::TabletServer*(int)> server_resolver,
@@ -55,6 +118,7 @@ void LogBaseClient::ChargeRpc(int server_id, uint64_t request_bytes,
 Result<LogBaseClient::Route> LogBaseClient::Resolve(const std::string& table,
                                                     uint32_t column_group,
                                                     const Slice& key) {
+  obs::Span span("client.route");
   // Locating through the master only happens on cache misses (§3.3); we
   // model that by keeping the cached copy of the whole table's layout.
   {
@@ -71,6 +135,9 @@ Result<LogBaseClient::Route> LogBaseClient::Resolve(const std::string& table,
     }
   }
   // Miss: ask the master and fill the cache.
+  static obs::Counter* misses =
+      obs::MetricsRegistry::Global().counter("client.route.cache_misses");
+  misses->Add();
   auto schema = master_->GetTable(table);
   if (!schema.ok()) return schema.status();
   auto location = master_->Locate(table, column_group, key);
@@ -117,6 +184,7 @@ void LogBaseClient::InvalidateCache() {
 
 Status LogBaseClient::Put(const std::string& table, uint32_t column_group,
                           const Slice& key, const Slice& value) {
+  obs::Span span("client.put");
   for (int attempt = 0; attempt < 2; attempt++) {
     auto route = Resolve(table, column_group, key);
     if (!route.ok()) return route.status();
@@ -128,50 +196,72 @@ Status LogBaseClient::Put(const std::string& table, uint32_t column_group,
   return Status::Unavailable("no live server for tablet");
 }
 
-Result<tablet::ReadValue> LogBaseClient::GetVersioned(
-    const std::string& table, uint32_t column_group, const Slice& key) {
+Result<ReadResult> LogBaseClient::Get(const std::string& table,
+                                      uint32_t column_group, const Slice& key,
+                                      const ReadOptions& options) {
+  obs::Span span("client.get");
   for (int attempt = 0; attempt < 2; attempt++) {
     auto route = Resolve(table, column_group, key);
     if (!route.ok()) return route.status();
     auto server = ServerFor(*route);
-    if (!server.ok()) continue;
-    auto read = (*server)->Get(route->tablet_uid, key);
-    if (read.ok()) {
-      ChargeRpc(route->server_id, key.size() + 64, read->value.size() + 32);
+    if (!server.ok()) continue;  // refreshed cache; retry
+
+    ReadResult result;
+    if (options.all_versions) {
+      auto rows = (*server)->GetVersions(route->tablet_uid, key);
+      if (!rows.ok()) return rows.status();
+      uint64_t bytes = 0;
+      for (const auto& row : *rows) bytes += row.key.size() + row.value.size();
+      ChargeRpc(route->server_id, key.size() + 64, bytes + 32);
+      result.rows = std::move(*rows);
+      return result;
     }
-    return read;
+
+    auto read = options.as_of == 0
+                    ? (*server)->Get(route->tablet_uid, key)
+                    : (*server)->GetAsOf(route->tablet_uid, key,
+                                         options.as_of);
+    if (!read.ok()) return read.status();
+    ChargeRpc(route->server_id, key.size() + 64, read->value.size() + 32);
+    result.rows.push_back(tablet::ReadRow{
+        key.ToString(), options.with_timestamp ? read->timestamp : 0,
+        std::move(read->value)});
+    return result;
   }
   return Status::Unavailable("no live server for tablet");
 }
 
+// -- Deprecated read flavors: thin shims over the unified Get. -------------
+
 Result<std::string> LogBaseClient::Get(const std::string& table,
                                        uint32_t column_group,
                                        const Slice& key) {
-  auto read = GetVersioned(table, column_group, key);
+  auto read = Get(table, column_group, key, ReadOptions{});
   if (!read.ok()) return read.status();
-  return std::move(read->value);
+  return std::move(read->rows.front().value);
+}
+
+Result<tablet::ReadValue> LogBaseClient::GetVersioned(
+    const std::string& table, uint32_t column_group, const Slice& key) {
+  auto read = Get(table, column_group, key, ReadOptions{});
+  if (!read.ok()) return read.status();
+  return tablet::ReadValue{read->timestamp(),
+                           std::move(read->rows.front().value)};
 }
 
 Result<std::string> LogBaseClient::GetAsOf(const std::string& table,
                                            uint32_t column_group,
                                            const Slice& key, uint64_t as_of) {
-  auto route = Resolve(table, column_group, key);
-  if (!route.ok()) return route.status();
-  auto server = ServerFor(*route);
-  if (!server.ok()) return server.status();
-  auto read = (*server)->GetAsOf(route->tablet_uid, key, as_of);
+  auto read = Get(table, column_group, key, ReadOptions{.as_of = as_of});
   if (!read.ok()) return read.status();
-  ChargeRpc(route->server_id, key.size() + 64, read->value.size() + 32);
-  return std::move(read->value);
+  return std::move(read->rows.front().value);
 }
 
 Result<std::vector<tablet::ReadRow>> LogBaseClient::GetVersions(
     const std::string& table, uint32_t column_group, const Slice& key) {
-  auto route = Resolve(table, column_group, key);
-  if (!route.ok()) return route.status();
-  auto server = ServerFor(*route);
-  if (!server.ok()) return server.status();
-  return (*server)->GetVersions(route->tablet_uid, key);
+  auto read = Get(table, column_group, key, ReadOptions{.all_versions = true});
+  if (!read.ok()) return read.status();
+  return std::move(read->rows);
 }
 
 Status LogBaseClient::Delete(const std::string& table, uint32_t column_group,
@@ -187,6 +277,7 @@ Status LogBaseClient::Delete(const std::string& table, uint32_t column_group,
 Result<std::vector<tablet::ReadRow>> LogBaseClient::Scan(
     const std::string& table, uint32_t column_group, const Slice& start_key,
     const Slice& end_key) {
+  obs::Span span("client.scan");
   auto locations = master_->LocateAll(table, column_group);
   if (!locations.ok()) return locations.status();
   std::vector<tablet::ReadRow> rows;
@@ -245,13 +336,13 @@ Result<std::map<std::string, std::string>> LogBaseClient::GetRow(
   std::map<std::string, std::string> row;
   bool found_any = false;
   for (const tablet::ColumnGroup& group : schema->groups) {
-    auto value = Get(table, group.id, key);
+    auto value = Get(table, group.id, key, ReadOptions{});
     if (!value.ok()) {
       if (value.status().IsNotFound()) continue;
       return value.status();
     }
     found_any = true;
-    auto columns = DecodeColumns(Slice(*value));
+    auto columns = DecodeColumns(Slice(value->value()));
     if (!columns.ok()) return columns.status();
     for (auto& [name, val] : *columns) {
       row[name] = std::move(val);
@@ -265,6 +356,42 @@ Result<std::map<std::string, std::string>> LogBaseClient::GetRow(
 // Transactions.
 // ---------------------------------------------------------------------------
 
+Txn LogBaseClient::BeginTxn() { return Txn(this, txn_->Begin()); }
+
+Result<std::string> LogBaseClient::TxnReadImpl(txn::Transaction* txn,
+                                               const std::string& table,
+                                               uint32_t column_group,
+                                               const Slice& key) {
+  auto route = Resolve(table, column_group, key);
+  if (!route.ok()) return route.status();
+  return txn_->Read(txn, route->tablet_uid, key);
+}
+
+Status LogBaseClient::TxnWriteImpl(txn::Transaction* txn,
+                                   const std::string& table,
+                                   uint32_t column_group, const Slice& key,
+                                   const Slice& value) {
+  auto route = Resolve(table, column_group, key);
+  if (!route.ok()) return route.status();
+  return txn_->Write(txn, route->tablet_uid, key, value);
+}
+
+Status LogBaseClient::TxnDeleteImpl(txn::Transaction* txn,
+                                    const std::string& table,
+                                    uint32_t column_group, const Slice& key) {
+  auto route = Resolve(table, column_group, key);
+  if (!route.ok()) return route.status();
+  return txn_->Delete(txn, route->tablet_uid, key);
+}
+
+Status LogBaseClient::CommitImpl(txn::Transaction* txn) {
+  return txn_->Commit(txn);
+}
+
+void LogBaseClient::AbortImpl(txn::Transaction* txn) { txn_->Abort(txn); }
+
+// -- Deprecated raw-pointer protocol: shims over the internals. ------------
+
 std::unique_ptr<txn::Transaction> LogBaseClient::Begin() {
   return txn_->Begin();
 }
@@ -273,32 +400,26 @@ Result<std::string> LogBaseClient::TxnRead(txn::Transaction* txn,
                                            const std::string& table,
                                            uint32_t column_group,
                                            const Slice& key) {
-  auto route = Resolve(table, column_group, key);
-  if (!route.ok()) return route.status();
-  return txn_->Read(txn, route->tablet_uid, key);
+  return TxnReadImpl(txn, table, column_group, key);
 }
 
 Status LogBaseClient::TxnWrite(txn::Transaction* txn,
                                const std::string& table,
                                uint32_t column_group, const Slice& key,
                                const Slice& value) {
-  auto route = Resolve(table, column_group, key);
-  if (!route.ok()) return route.status();
-  return txn_->Write(txn, route->tablet_uid, key, value);
+  return TxnWriteImpl(txn, table, column_group, key, value);
 }
 
 Status LogBaseClient::TxnDelete(txn::Transaction* txn,
                                 const std::string& table,
                                 uint32_t column_group, const Slice& key) {
-  auto route = Resolve(table, column_group, key);
-  if (!route.ok()) return route.status();
-  return txn_->Delete(txn, route->tablet_uid, key);
+  return TxnDeleteImpl(txn, table, column_group, key);
 }
 
 Status LogBaseClient::Commit(txn::Transaction* txn) {
-  return txn_->Commit(txn);
+  return CommitImpl(txn);
 }
 
-void LogBaseClient::Abort(txn::Transaction* txn) { txn_->Abort(txn); }
+void LogBaseClient::Abort(txn::Transaction* txn) { AbortImpl(txn); }
 
 }  // namespace logbase::client

@@ -2,6 +2,12 @@
 // coordination service, caches tablet locations so the master stays off the
 // data path, routes operations to tablet servers, reconstructs tuples across
 // column groups, and exposes MVOCC transactions.
+//
+// Reads go through one entry point, `Get(table, group, key, ReadOptions)`,
+// covering latest/as-of/all-versions reads; transactions are handled through
+// the RAII `Txn` handle returned by `BeginTxn()`. The older per-flavor
+// methods (`GetVersioned`, `GetAsOf`, `GetVersions`) and the raw
+// `Transaction*` protocol remain as deprecated thin wrappers.
 
 #ifndef LOGBASE_CLIENT_CLIENT_H_
 #define LOGBASE_CLIENT_CLIENT_H_
@@ -23,6 +29,70 @@ namespace logbase::client {
 std::string EncodeColumns(const std::map<std::string, std::string>& columns);
 Result<std::map<std::string, std::string>> DecodeColumns(const Slice& value);
 
+/// How a `Get` reads. Default-constructed options read the latest version.
+struct ReadOptions {
+  /// Historical read when non-zero: the newest version with write timestamp
+  /// <= as_of. Zero means "latest".
+  uint64_t as_of = 0;
+  /// Return every version of the key, newest first. An unknown key yields an
+  /// OK result with zero rows (check `found()`), not NotFound.
+  bool all_versions = false;
+  /// Populate `ReadRow::timestamp` in the result rows. Version reads always
+  /// carry timestamps; plain reads may skip them when this is false.
+  bool with_timestamp = true;
+};
+
+/// What a `Get` returns: one row per version, newest first. Latest/as-of
+/// reads yield exactly one row.
+struct ReadResult {
+  std::vector<tablet::ReadRow> rows;
+
+  bool found() const { return !rows.empty(); }
+  /// Value/timestamp of the newest returned version. Callers must check
+  /// `found()` first on all-versions reads.
+  const std::string& value() const { return rows.front().value; }
+  uint64_t timestamp() const { return rows.front().timestamp; }
+};
+
+class LogBaseClient;
+
+/// An RAII transaction handle (§3.7): buffered writes, snapshot reads,
+/// optimistic validation at `Commit()`. Destroying a handle that was neither
+/// committed nor aborted aborts the transaction, so early returns can never
+/// leak an active transaction.
+class Txn {
+ public:
+  Txn() = default;
+  Txn(Txn&& other) noexcept;
+  Txn& operator=(Txn&& other) noexcept;
+  Txn(const Txn&) = delete;
+  Txn& operator=(const Txn&) = delete;
+  ~Txn();
+
+  Result<std::string> Read(const std::string& table, uint32_t column_group,
+                           const Slice& key);
+  Status Write(const std::string& table, uint32_t column_group,
+               const Slice& key, const Slice& value);
+  Status Delete(const std::string& table, uint32_t column_group,
+                const Slice& key);
+  Status Commit();
+  void Abort();
+
+  /// True until Commit/Abort (or a moved-from/default-constructed handle).
+  bool active() const;
+  uint64_t id() const;
+  /// Escape hatch for code layered on the raw protocol.
+  txn::Transaction* raw() { return txn_.get(); }
+
+ private:
+  friend class LogBaseClient;
+  Txn(LogBaseClient* client, std::unique_ptr<txn::Transaction> txn)
+      : client_(client), txn_(std::move(txn)) {}
+
+  LogBaseClient* client_ = nullptr;
+  std::unique_ptr<txn::Transaction> txn_;
+};
+
 class LogBaseClient {
  public:
   /// `node` is the machine this client runs on (for network charging);
@@ -36,19 +106,10 @@ class LogBaseClient {
 
   Status Put(const std::string& table, uint32_t column_group,
              const Slice& key, const Slice& value);
-  Result<std::string> Get(const std::string& table, uint32_t column_group,
-                          const Slice& key);
-  Result<tablet::ReadValue> GetVersioned(const std::string& table,
-                                         uint32_t column_group,
-                                         const Slice& key);
-  /// Historical read: the newest version with write timestamp <= as_of.
-  Result<std::string> GetAsOf(const std::string& table,
-                              uint32_t column_group, const Slice& key,
-                              uint64_t as_of);
-  /// All versions, newest first.
-  Result<std::vector<tablet::ReadRow>> GetVersions(const std::string& table,
-                                                   uint32_t column_group,
-                                                   const Slice& key);
+  /// The unified read: latest by default, historical via `options.as_of`,
+  /// full version history via `options.all_versions`.
+  Result<ReadResult> Get(const std::string& table, uint32_t column_group,
+                         const Slice& key, const ReadOptions& options);
   Status Delete(const std::string& table, uint32_t column_group,
                 const Slice& key);
   /// Range scan across tablets (fans out to every overlapping tablet).
@@ -56,6 +117,24 @@ class LogBaseClient {
                                             uint32_t column_group,
                                             const Slice& start_key,
                                             const Slice& end_key);
+
+  // -- Deprecated read flavors (use Get with ReadOptions) ------------------
+
+  [[deprecated("use Get(table, group, key, ReadOptions{})")]]
+  Result<std::string> Get(const std::string& table, uint32_t column_group,
+                          const Slice& key);
+  [[deprecated("use Get with ReadOptions{} and ReadResult::timestamp()")]]
+  Result<tablet::ReadValue> GetVersioned(const std::string& table,
+                                         uint32_t column_group,
+                                         const Slice& key);
+  [[deprecated("use Get with ReadOptions{.as_of = ts}")]]
+  Result<std::string> GetAsOf(const std::string& table,
+                              uint32_t column_group, const Slice& key,
+                              uint64_t as_of);
+  [[deprecated("use Get with ReadOptions{.all_versions = true}")]]
+  Result<std::vector<tablet::ReadRow>> GetVersions(const std::string& table,
+                                                   uint32_t column_group,
+                                                   const Slice& key);
 
   // -- Row operations across column groups --------------------------------
 
@@ -70,15 +149,26 @@ class LogBaseClient {
 
   // -- Transactions (§3.7) -------------------------------------------------
 
+  /// Starts a transaction owned by the returned RAII handle.
+  Txn BeginTxn();
+
+  // -- Deprecated raw-pointer transaction protocol (use BeginTxn) ----------
+
+  [[deprecated("use BeginTxn() and the Txn handle")]]
   std::unique_ptr<txn::Transaction> Begin();
+  [[deprecated("use Txn::Read")]]
   Result<std::string> TxnRead(txn::Transaction* txn, const std::string& table,
                               uint32_t column_group, const Slice& key);
+  [[deprecated("use Txn::Write")]]
   Status TxnWrite(txn::Transaction* txn, const std::string& table,
                   uint32_t column_group, const Slice& key,
                   const Slice& value);
+  [[deprecated("use Txn::Delete")]]
   Status TxnDelete(txn::Transaction* txn, const std::string& table,
                    uint32_t column_group, const Slice& key);
+  [[deprecated("use Txn::Commit")]]
   Status Commit(txn::Transaction* txn);
+  [[deprecated("use Txn::Abort (or let the handle go out of scope)")]]
   void Abort(txn::Transaction* txn);
 
   const txn::TxnStats& txn_stats() const { return txn_->stats(); }
@@ -87,6 +177,8 @@ class LogBaseClient {
   void InvalidateCache();
 
  private:
+  friend class Txn;
+
   struct Route {
     std::string tablet_uid;
     int server_id = -1;
@@ -97,6 +189,18 @@ class LogBaseClient {
   Result<tablet::TabletServer*> ServerFor(const Route& route);
   void ChargeRpc(int server_id, uint64_t request_bytes,
                  uint64_t response_bytes);
+
+  // Non-deprecated internals shared by Txn and the deprecated wrappers.
+  Result<std::string> TxnReadImpl(txn::Transaction* txn,
+                                  const std::string& table,
+                                  uint32_t column_group, const Slice& key);
+  Status TxnWriteImpl(txn::Transaction* txn, const std::string& table,
+                      uint32_t column_group, const Slice& key,
+                      const Slice& value);
+  Status TxnDeleteImpl(txn::Transaction* txn, const std::string& table,
+                       uint32_t column_group, const Slice& key);
+  Status CommitImpl(txn::Transaction* txn);
+  void AbortImpl(txn::Transaction* txn);
 
   master::Master* const master_;
   std::function<tablet::TabletServer*(int)> server_resolver_;

@@ -72,4 +72,10 @@ Status MiniCluster::KillNode(int node) {
   return Status::OK();
 }
 
+obs::MetricsSnapshot MiniCluster::DumpMetrics() const {
+  return obs::MetricsRegistry::Global().Snapshot();
+}
+
+void MiniCluster::ResetMetrics() { obs::MetricsRegistry::Global().Reset(); }
+
 }  // namespace logbase::cluster

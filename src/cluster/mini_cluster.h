@@ -14,6 +14,7 @@
 #include "src/coord/coordination_service.h"
 #include "src/dfs/dfs.h"
 #include "src/master/master.h"
+#include "src/obs/metrics.h"
 #include "src/sim/network_model.h"
 #include "src/tablet/tablet_server.h"
 
@@ -55,6 +56,13 @@ class MiniCluster {
   /// Kills the whole machine: tablet server + data node. The DFS
   /// re-replicates the lost blocks.
   Status KillNode(int node);
+
+  /// A structured snapshot of every metric the cluster's components have
+  /// reported (counters, gauges, virtual-time histograms). Pair with
+  /// `Delta()` on the snapshot to scope to a phase, or `ResetMetrics()` to
+  /// zero between phases.
+  obs::MetricsSnapshot DumpMetrics() const;
+  void ResetMetrics();
 
  private:
   MiniClusterOptions options_;

@@ -1,6 +1,25 @@
 #include "src/dfs/data_node.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace logbase::dfs {
+
+namespace {
+
+obs::Counter* PreadBytes() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("dfs.pread.bytes");
+  return c;
+}
+
+obs::Counter* WriteBytes() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("dfs.write.bytes");
+  return c;
+}
+
+}  // namespace
 
 DataNode::DataNode(int id, sim::DiskParams disk_params)
     : id_(id), disk_("disk-" + std::to_string(id), disk_params) {}
@@ -19,13 +38,16 @@ Status DataNode::StoreBlockData(BlockId block, uint64_t offset,
 
 Status DataNode::WriteBlock(BlockId block, uint64_t offset,
                             const Slice& data) {
+  obs::Span span("dfs.write");
   LOGBASE_RETURN_NOT_OK(StoreBlockData(block, offset, data));
+  WriteBytes()->Add(data.size());
   disk_.Access(block, offset, data.size(), /*is_write=*/true);
   return Status::OK();
 }
 
 Result<std::string> DataNode::ReadBlock(BlockId block, uint64_t offset,
                                         uint64_t n) const {
+  obs::Span span("dfs.pread");
   if (!alive()) return Status::Unavailable("data node is down");
   std::string out;
   {
@@ -38,6 +60,7 @@ Result<std::string> DataNode::ReadBlock(BlockId block, uint64_t offset,
     }
   }
   disk_.Access(block, offset, out.size());
+  PreadBytes()->Add(out.size());
   return out;
 }
 

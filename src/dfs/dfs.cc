@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 
 namespace logbase::dfs {
@@ -9,6 +11,19 @@ namespace logbase::dfs {
 namespace {
 constexpr uint64_t kMetadataRpcBytes = 128;
 constexpr int kNameNodeHost = 0;
+
+obs::Counter* MetaRpcs() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("dfs.meta.rpcs");
+  return c;
+}
+
+obs::Counter* ReplicationBytes() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("dfs.replication.bytes");
+  return c;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -83,6 +98,7 @@ class DfsWritableFile : public WritableFile {
   /// utilization and contention stay honest). Dead replicas are dropped
   /// from the pipeline (HDFS behaviour); at least one must survive.
   Status PipelineWrite(const Slice& chunk) {
+    obs::Span span("dfs.write");
     sim::SimContext* ctx = sim::SimContext::Current();
     sim::VirtualTime stream_begin = ctx != nullptr ? ctx->now() : 0;
     sim::VirtualTime completion = stream_begin;
@@ -112,6 +128,7 @@ class DfsWritableFile : public WritableFile {
     if (successes == 0) {
       return Status::IOError("all replicas failed for block append");
     }
+    ReplicationBytes()->Add(chunk.size() * successes);
     if (ctx != nullptr) ctx->AdvanceTo(completion);
     block_fill_ += chunk.size();
     size_ += chunk.size();
@@ -237,6 +254,7 @@ Dfs::Dfs(DfsOptions options, sim::NetworkModel* network)
 }
 
 void Dfs::MetadataRpc(int client_node) const {
+  MetaRpcs()->Add();
   if (network_ != nullptr) {
     network_->Transfer(client_node, kNameNodeHost, kMetadataRpcBytes);
   }
@@ -319,6 +337,9 @@ Result<int> Dfs::Rereplicate(int dead_node) {
   }
   LOGBASE_LOG(kInfo, "re-replicated %d blocks after node %d failure", copied,
               dead_node);
+  obs::MetricsRegistry::Global()
+      .counter("dfs.replication.recovered_blocks")
+      ->Add(copied);
   return copied;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+
 namespace logbase::dfs {
 
 NameNode::NameNode(std::vector<int> racks, int replication)
@@ -81,6 +83,9 @@ Result<BlockInfo> NameNode::AllocateBlock(const std::string& path,
     return Status::Unavailable("no live data nodes for block placement");
   }
   it->second.blocks.push_back(info);
+  static obs::Counter* allocs =
+      obs::MetricsRegistry::Global().counter("dfs.meta.block_allocs");
+  allocs->Add();
   return info;
 }
 

@@ -3,9 +3,26 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/metrics.h"
 #include "src/sim/costs.h"
 
 namespace logbase::index {
+
+namespace {
+
+obs::HistogramMetric* ProbeDepth() {
+  static obs::HistogramMetric* h =
+      obs::MetricsRegistry::Global().histogram("index.probe.depth");
+  return h;
+}
+
+obs::Counter* LatchRetries() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("index.latch.retries");
+  return c;
+}
+
+}  // namespace
 
 namespace {
 /// Max entries per node before splitting.
@@ -81,16 +98,22 @@ int BlinkTree::Height() const { return root_.load()->level + 1; }
 BlinkTree::Node* BlinkTree::DescendToLeaf(const CompositeKey& target,
                                           std::vector<Node*>* path) const {
   Node* n = root_.load(std::memory_order_acquire);
+  int depth = 0;
+  uint64_t chases = 0;
   while (true) {
+    depth++;
     n->mu.lock();
     while (n->has_high_key && CompareCK(target, n->high_key) > 0) {
       Node* r = n->right;
       n->mu.unlock();
       n = r;
       n->mu.lock();
+      chases++;
     }
     if (n->is_leaf) {
       n->mu.unlock();
+      ProbeDepth()->Observe(depth);
+      if (chases != 0) LatchRetries()->Add(chases);
       return n;
     }
     if (path != nullptr) path->push_back(n);

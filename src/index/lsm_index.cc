@@ -1,6 +1,7 @@
 #include "src/index/lsm_index.h"
 
 #include "src/index/composite_key.h"
+#include "src/obs/metrics.h"
 
 namespace logbase::index {
 
@@ -52,6 +53,9 @@ Status LsmIndex::UpdateIfPresent(const Slice& key, uint64_t timestamp,
 }
 
 Result<IndexEntry> LsmIndex::GetAsOf(const Slice& key, uint64_t as_of) const {
+  static obs::Counter* probes =
+      obs::MetricsRegistry::Global().counter("index.lsm.probes");
+  probes->Add();
   auto iter = tree_->NewIterator();
   iter->Seek(Slice(EncodeCompositeKey(key, as_of)));
   if (!iter->Valid()) return Status::NotFound("key not in index");

@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace logbase::log {
 
 std::string SegmentFileName(const std::string& dir, uint32_t segment) {
@@ -82,10 +85,14 @@ Result<LogPtr> LogWriter::Append(LogRecord record) {
 
 Status LogWriter::AppendBatch(std::vector<LogRecord>* records,
                               std::vector<LogPtr>* ptrs) {
+  obs::Span span("log.append");
   std::lock_guard<std::mutex> l(mu_);
   if (file_ == nullptr) return Status::InvalidArgument("log writer not open");
   ptrs->clear();
   if (records->empty()) return Status::OK();
+  static obs::HistogramMetric* batch_records =
+      obs::MetricsRegistry::Global().histogram("log.append.batch_records");
+  batch_records->Observe(static_cast<double>(records->size()));
 
   if (segment_offset_ >= segment_bytes_) {
     LOGBASE_RETURN_NOT_OK(RollSegmentLocked());
@@ -109,6 +116,9 @@ Status LogWriter::AppendBatch(std::vector<LogRecord>* records,
   LOGBASE_RETURN_NOT_OK(file_->Sync());
   segment_offset_ += buffer.size();
   bytes_written_ += buffer.size();
+  static obs::Counter* append_bytes =
+      obs::MetricsRegistry::Global().counter("log.append.bytes");
+  append_bytes->Add(buffer.size());
   return Status::OK();
 }
 

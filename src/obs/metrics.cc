@@ -1,0 +1,211 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace logbase::obs {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked intentionally: handles cached by hot paths must outlive every
+  // component's destructor.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::MetricsRegistry() = default;
+
+MetricsRegistry::Shard* MetricsRegistry::ShardFor(
+    const std::string& name) const {
+  return &shards_[std::hash<std::string>()(name) % kShards];
+}
+
+MetricsRegistry::Metric* MetricsRegistry::FindOrCreate(
+    const std::string& name, MetricPoint::Kind kind) {
+  Shard* shard = ShardFor(name);
+  std::lock_guard<std::mutex> l(shard->mu);
+  auto it = shard->metrics.find(name);
+  if (it != shard->metrics.end()) {
+    if (it->second.kind != kind) {
+      std::fprintf(stderr, "metric kind mismatch for '%s'\n", name.c_str());
+      std::abort();
+    }
+    return &it->second;
+  }
+  Metric metric;
+  metric.kind = kind;
+  switch (kind) {
+    case MetricPoint::Kind::kCounter:
+      metric.counter = std::make_unique<Counter>();
+      break;
+    case MetricPoint::Kind::kGauge:
+      metric.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricPoint::Kind::kHistogram:
+      metric.histogram = std::make_unique<HistogramMetric>();
+      break;
+  }
+  return &shard->metrics.emplace(name, std::move(metric)).first->second;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  return FindOrCreate(name, MetricPoint::Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  return FindOrCreate(name, MetricPoint::Kind::kGauge)->gauge.get();
+}
+
+HistogramMetric* MetricsRegistry::histogram(const std::string& name) {
+  return FindOrCreate(name, MetricPoint::Kind::kHistogram)->histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> l(shard.mu);
+    for (const auto& [name, metric] : shard.metrics) {
+      MetricPoint point;
+      point.kind = metric.kind;
+      switch (metric.kind) {
+        case MetricPoint::Kind::kCounter:
+          point.count = metric.counter->value();
+          break;
+        case MetricPoint::Kind::kGauge:
+          point.gauge = metric.gauge->value();
+          break;
+        case MetricPoint::Kind::kHistogram: {
+          Histogram h = metric.histogram->Snapshot();
+          point.count = h.num();
+          point.sum = h.Average() * static_cast<double>(h.num());
+          point.avg = h.Average();
+          point.p50 = h.Percentile(50);
+          point.p99 = h.Percentile(99);
+          point.max = h.max();
+          break;
+        }
+      }
+      snapshot.points[name] = point;
+    }
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> l(shard.mu);
+    for (auto& [name, metric] : shard.metrics) {
+      switch (metric.kind) {
+        case MetricPoint::Kind::kCounter:
+          metric.counter->Reset();
+          break;
+        case MetricPoint::Kind::kGauge:
+          metric.gauge->Reset();
+          break;
+        case MetricPoint::Kind::kHistogram:
+          metric.histogram->Reset();
+          break;
+      }
+    }
+  }
+}
+
+const MetricPoint* MetricsSnapshot::Find(const std::string& name) const {
+  auto it = points.find(name);
+  return it == points.end() ? nullptr : &it->second;
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  const MetricPoint* point = Find(name);
+  return point != nullptr ? point->count : 0;
+}
+
+double MetricsSnapshot::HistogramSum(const std::string& name) const {
+  const MetricPoint* point = Find(name);
+  return point != nullptr ? point->sum : 0;
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& before) const {
+  MetricsSnapshot delta = *this;
+  for (auto& [name, point] : delta.points) {
+    const MetricPoint* prev = before.Find(name);
+    if (prev == nullptr) continue;
+    switch (point.kind) {
+      case MetricPoint::Kind::kCounter:
+        point.count -= std::min(point.count, prev->count);
+        break;
+      case MetricPoint::Kind::kGauge:
+        break;  // levels don't subtract
+      case MetricPoint::Kind::kHistogram:
+        point.count -= std::min(point.count, prev->count);
+        point.sum -= std::min(point.sum, prev->sum);
+        point.avg = point.count > 0
+                        ? point.sum / static_cast<double>(point.count)
+                        : 0;
+        point.p50 = point.p99 = point.max = 0;  // not delta-able
+        break;
+    }
+  }
+  return delta;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, point] : points) {
+    switch (point.kind) {
+      case MetricPoint::Kind::kCounter:
+        std::snprintf(line, sizeof(line), "%-40s counter %llu\n",
+                      name.c_str(),
+                      static_cast<unsigned long long>(point.count));
+        break;
+      case MetricPoint::Kind::kGauge:
+        std::snprintf(line, sizeof(line), "%-40s gauge   %lld\n",
+                      name.c_str(), static_cast<long long>(point.gauge));
+        break;
+      case MetricPoint::Kind::kHistogram:
+        std::snprintf(line, sizeof(line),
+                      "%-40s hist    count=%llu sum=%.0f avg=%.2f p50=%.2f "
+                      "p99=%.2f max=%.2f\n",
+                      name.c_str(),
+                      static_cast<unsigned long long>(point.count), point.sum,
+                      point.avg, point.p50, point.p99, point.max);
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  char buf[256];
+  bool first = true;
+  for (const auto& [name, point] : points) {
+    if (!first) out += ",";
+    first = false;
+    switch (point.kind) {
+      case MetricPoint::Kind::kCounter:
+        std::snprintf(buf, sizeof(buf), "\"%s\":%llu", name.c_str(),
+                      static_cast<unsigned long long>(point.count));
+        break;
+      case MetricPoint::Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "\"%s\":%lld", name.c_str(),
+                      static_cast<long long>(point.gauge));
+        break;
+      case MetricPoint::Kind::kHistogram:
+        std::snprintf(buf, sizeof(buf),
+                      "\"%s\":{\"count\":%llu,\"sum\":%.2f,\"avg\":%.2f,"
+                      "\"p50\":%.2f,\"p99\":%.2f,\"max\":%.2f}",
+                      name.c_str(),
+                      static_cast<unsigned long long>(point.count), point.sum,
+                      point.avg, point.p50, point.p99, point.max);
+        break;
+    }
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace logbase::obs

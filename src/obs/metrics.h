@@ -1,0 +1,150 @@
+// The cluster-wide metrics registry: named counters, gauges and virtual-time
+// histograms that every layer (DFS, log, index, tablet server, block cache,
+// transactions, client) reports into. Names follow `component.op.stat`
+// (e.g. `dfs.pread.us`, `index.probe.depth`, `tablet.read_buffer.hits`).
+//
+// The registry is process-global (one simulated cluster per process) and
+// lock-striped: metric creation/lookup takes one shard mutex, while updates
+// on the returned handles are lock-free (counters/gauges) or take only the
+// metric's own mutex (histograms). Handles are stable for the process
+// lifetime, so hot paths cache them in function-local statics.
+
+#ifndef LOGBASE_OBS_METRICS_H_
+#define LOGBASE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/util/histogram.h"
+
+namespace logbase::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (can go down: bytes resident, open sessions, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Thread-safe distribution; wraps util Histogram under a mutex (samples by
+/// convention virtual-time microseconds, but any unit works).
+class HistogramMetric {
+ public:
+  void Observe(double value) {
+    std::lock_guard<std::mutex> l(mu_);
+    histogram_.Add(value);
+  }
+  /// A consistent copy for reporting/merging.
+  Histogram Snapshot() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return histogram_;
+  }
+  void Reset() {
+    std::lock_guard<std::mutex> l(mu_);
+    histogram_.Clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram histogram_;
+};
+
+/// One metric's value at snapshot time. Counter: `count`. Gauge: `gauge`.
+/// Histogram: `count`/`sum` (delta-able) plus percentiles (not delta-able).
+struct MetricPoint {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  uint64_t count = 0;
+  int64_t gauge = 0;
+  double sum = 0;
+  double avg = 0;
+  double p50 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// A structured, self-describing dump of the whole registry.
+struct MetricsSnapshot {
+  std::map<std::string, MetricPoint> points;
+
+  const MetricPoint* Find(const std::string& name) const;
+  /// Counter value, or 0 when absent.
+  uint64_t CounterValue(const std::string& name) const;
+  /// Histogram sum in its native unit (virtual us for `.us` metrics), 0 when
+  /// absent.
+  double HistogramSum(const std::string& name) const;
+
+  /// The change since `before`: counters and histogram count/sum subtract;
+  /// histogram percentiles are recomputed as the delta average only.
+  MetricsSnapshot Delta(const MetricsSnapshot& before) const;
+
+  /// Human-readable `name kind value` lines, sorted by name.
+  std::string ToString() const;
+  /// One JSON object keyed by metric name.
+  std::string ToJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry all components report into.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates; the returned handle is valid for the registry's
+  /// lifetime. Aborts if `name` already names a metric of another kind
+  /// (a naming bug, not a runtime condition).
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  HistogramMetric* histogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every registered metric (bench phase boundaries, test setup).
+  void Reset();
+
+ private:
+  struct Metric {
+    MetricPoint::Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Metric> metrics;
+  };
+  static constexpr size_t kShards = 16;
+
+  Shard* ShardFor(const std::string& name) const;
+  Metric* FindOrCreate(const std::string& name, MetricPoint::Kind kind);
+
+  mutable std::array<Shard, kShards> shards_;
+};
+
+}  // namespace logbase::obs
+
+#endif  // LOGBASE_OBS_METRICS_H_

@@ -1,5 +1,6 @@
 #include "src/sstable/block_cache.h"
 
+#include "src/obs/metrics.h"
 #include "src/sim/costs.h"
 
 namespace logbase::sstable {
@@ -9,12 +10,18 @@ BlockCache::BlockCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
 std::shared_ptr<Block> BlockCache::Lookup(uint64_t file_id, uint64_t offset) {
   sim::ChargeCpu(sim::costs::kCacheProbeUs);
   std::lock_guard<std::mutex> l(mu_);
+  static obs::Counter* hit_count =
+      obs::MetricsRegistry::Global().counter("sstable.block_cache.hits");
+  static obs::Counter* miss_count =
+      obs::MetricsRegistry::Global().counter("sstable.block_cache.misses");
   auto it = map_.find(Key{file_id, offset});
   if (it == map_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    miss_count->Add();
     return nullptr;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  hit_count->Add();
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->block;
 }

@@ -1,5 +1,6 @@
 #include "src/tablet/read_buffer.h"
 
+#include "src/obs/metrics.h"
 #include "src/sim/costs.h"
 
 namespace logbase::tablet {
@@ -90,12 +91,18 @@ bool ReadBuffer::Get(const std::string& key, CachedRecord* record) {
   if (!enabled()) return false;
   sim::ChargeCpu(sim::costs::kCacheProbeUs);
   std::lock_guard<std::mutex> l(mu_);
+  static obs::Counter* hit_count =
+      obs::MetricsRegistry::Global().counter("tablet.read_buffer.hits");
+  static obs::Counter* miss_count =
+      obs::MetricsRegistry::Global().counter("tablet.read_buffer.misses");
   auto it = map_.find(key);
   if (it == map_.end()) {
     misses_++;
+    miss_count->Add();
     return false;
   }
   hits_++;
+  hit_count->Add();
   policy_->OnAccess(key);
   *record = it->second;
   return true;

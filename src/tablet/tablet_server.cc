@@ -6,6 +6,8 @@
 #include "src/coord/znode_tree.h"
 #include "src/index/blink_tree.h"
 #include "src/index/lsm_index.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/costs.h"
 #include "src/util/logging.h"
 
@@ -14,6 +16,10 @@ namespace logbase::tablet {
 namespace {
 constexpr uint32_t kTimestampBatch = 4096;
 constexpr const char* kServersRoot = "/servers";
+
+obs::Counter* TabletCounter(const char* name) {
+  return obs::MetricsRegistry::Global().counter(name);
+}
 }  // namespace
 
 // Defined in recovery.cc / checkpoint.cc / compaction.cc.
@@ -71,7 +77,18 @@ Status TabletServer::Start(RecoveryStats* recovery_stats) {
 
   // Recovery reloads checkpointed indexes and redoes the log tail, then the
   // writer continues in a fresh segment.
-  LOGBASE_RETURN_NOT_OK(RunRecovery(this, recovery_stats));
+  RecoveryStats local_stats;
+  RecoveryStats* stats = recovery_stats != nullptr ? recovery_stats
+                                                   : &local_stats;
+  {
+    obs::Span span("tablet.recovery");
+    LOGBASE_RETURN_NOT_OK(RunRecovery(this, stats));
+  }
+  TabletCounter("tablet.recovery.runs")->Add();
+  TabletCounter("tablet.recovery.checkpoint_entries")
+      ->Add(stats->checkpoint_entries);
+  TabletCounter("tablet.recovery.redo_records")->Add(stats->redo_records);
+  TabletCounter("tablet.recovery.redo_bytes")->Add(stats->redo_bytes);
   running_.store(true, std::memory_order_release);
   return Status::OK();
 }
@@ -187,6 +204,7 @@ Status TabletServer::MaybeAutoCheckpoint(Tablet* tablet) {
 
 Status TabletServer::Put(const std::string& tablet_uid, const Slice& key,
                          const Slice& value) {
+  obs::Span span("tablet.put");
   if (!running()) return Status::Unavailable("tablet server is down");
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
@@ -254,6 +272,7 @@ Status TabletServer::PutBatch(
 
 Result<std::string> TabletServer::FetchRecordValue(const log::LogPtr& ptr,
                                                    uint64_t expect_ts) {
+  obs::Span span("log.read");
   auto reader = ReaderFor(ptr.instance);
   if (!reader.ok()) return reader.status();
   auto record = (*reader)->Read(ptr);
@@ -267,6 +286,7 @@ Result<std::string> TabletServer::FetchRecordValue(const log::LogPtr& ptr,
 
 Result<ReadValue> TabletServer::Get(const std::string& tablet_uid,
                                     const Slice& key) {
+  obs::Span span("tablet.get");
   if (!running()) return Status::Unavailable("tablet server is down");
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
@@ -275,7 +295,10 @@ Result<ReadValue> TabletServer::Get(const std::string& tablet_uid,
   if (buffer_.Get(BufferKey(tablet_uid, key), &cached)) {
     return ReadValue{cached.timestamp, std::move(cached.value)};
   }
-  auto entry = tablet->index()->GetLatest(key);
+  Result<index::IndexEntry> entry = [&] {
+    obs::Span probe("index.probe");
+    return tablet->index()->GetLatest(key);
+  }();
   if (!entry.ok()) return entry.status();
   auto value = FetchRecordValue(entry->ptr, entry->timestamp);
   if (!value.ok()) return value.status();
@@ -286,6 +309,7 @@ Result<ReadValue> TabletServer::Get(const std::string& tablet_uid,
 
 Result<ReadValue> TabletServer::GetAsOf(const std::string& tablet_uid,
                                         const Slice& key, uint64_t as_of) {
+  obs::Span span("tablet.get");
   if (!running()) return Status::Unavailable("tablet server is down");
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
@@ -297,7 +321,10 @@ Result<ReadValue> TabletServer::GetAsOf(const std::string& tablet_uid,
       cached.timestamp <= as_of) {
     return ReadValue{cached.timestamp, std::move(cached.value)};
   }
-  auto entry = tablet->index()->GetAsOf(key, as_of);
+  Result<index::IndexEntry> entry = [&] {
+    obs::Span probe("index.probe");
+    return tablet->index()->GetAsOf(key, as_of);
+  }();
   if (!entry.ok()) return entry.status();
   auto value = FetchRecordValue(entry->ptr, entry->timestamp);
   if (!value.ok()) return value.status();
@@ -349,6 +376,7 @@ Result<std::vector<ReadRow>> TabletServer::Scan(const std::string& tablet_uid,
                                                 const Slice& start_key,
                                                 const Slice& end_key,
                                                 uint64_t as_of) {
+  obs::Span span("tablet.scan");
   if (!running()) return Status::Unavailable("tablet server is down");
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
@@ -511,8 +539,10 @@ Result<std::vector<ReadRow>> TabletServer::LookupBySecondary(
 // ---------------------------------------------------------------------------
 
 Status TabletServer::Checkpoint() {
+  obs::Span span("tablet.checkpoint");
   Status s = WriteServerCheckpoint(this);
   if (s.ok()) {
+    TabletCounter("tablet.checkpoint.count")->Add();
     std::lock_guard<std::mutex> l(tablets_mu_);
     for (auto& [uid, tablet] : tablets_) {
       tablet->ResetUpdateCounter();
@@ -524,7 +554,26 @@ Status TabletServer::Checkpoint() {
 Status TabletServer::CompactLog(const CompactionOptions& options,
                                 CompactionStats* stats) {
   CompactionStats local;
-  Status s = RunCompaction(this, options, stats != nullptr ? stats : &local);
+  CompactionStats* out = stats != nullptr ? stats : &local;
+  Status s;
+  {
+    obs::Span span("tablet.compaction");
+    s = RunCompaction(this, options, out);
+  }
+  if (s.ok()) {
+    TabletCounter("tablet.compaction.runs")->Add();
+    TabletCounter("tablet.compaction.input_records")->Add(out->input_records);
+    TabletCounter("tablet.compaction.output_records")
+        ->Add(out->output_records);
+    TabletCounter("tablet.compaction.dropped_invalidated")
+        ->Add(out->dropped_invalidated);
+    TabletCounter("tablet.compaction.dropped_uncommitted")
+        ->Add(out->dropped_uncommitted);
+    TabletCounter("tablet.compaction.dropped_obsolete")
+        ->Add(out->dropped_obsolete);
+    TabletCounter("tablet.compaction.output_segments")
+        ->Add(out->output_segments);
+  }
   return s;
 }
 

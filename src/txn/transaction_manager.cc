@@ -3,11 +3,21 @@
 #include <map>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/costs.h"
 #include "src/txn/lock_table.h"
 #include "src/util/logging.h"
 
 namespace logbase::txn {
+
+namespace {
+
+obs::Counter* TxnCounter(const char* name) {
+  return obs::MetricsRegistry::Global().counter(name);
+}
+
+}  // namespace
 
 TransactionManager::TransactionManager(coord::CoordinationService* coord,
                                        int client_node,
@@ -23,6 +33,8 @@ TransactionManager::TransactionManager(coord::CoordinationService* coord,
 
 std::unique_ptr<Transaction> TransactionManager::Begin() {
   stats_.begun.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter* begun = TxnCounter("txn.begun");
+  begun->Add();
   // The snapshot is the latest issued timestamp: every transaction that
   // committed before Begin is visible.
   return std::make_unique<Transaction>(
@@ -198,11 +210,14 @@ Status TransactionManager::Commit(Transaction* txn) {
   if (txn->state() != Transaction::State::kActive) {
     return Status::InvalidArgument("transaction not active");
   }
+  obs::Span span("txn.commit");
+  static obs::Counter* committed = TxnCounter("txn.committed");
   // Read-only transactions saw a consistent snapshot: always commit
   // (§3.7.1 — the separation MVOCC buys).
   if (txn->read_only()) {
     txn->set_state(Transaction::State::kCommitted);
     stats_.committed.fetch_add(1, std::memory_order_relaxed);
+    committed->Add();
     return Status::OK();
   }
 
@@ -218,9 +233,15 @@ Status TransactionManager::Commit(Transaction* txn) {
 
   OrderedLockSet lock_set(&locks_, session_,
                           "txn-" + std::to_string(txn->id()), client_node_);
-  Status lock_status = lock_set.AcquireAll(cells);
+  Status lock_status;
+  {
+    obs::Span lock_span("txn.lock.wait");
+    lock_status = lock_set.AcquireAll(cells);
+  }
   if (!lock_status.ok()) {
     stats_.lock_failures.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* lock_failures = TxnCounter("txn.lock_failures");
+    lock_failures->Add();
     Abort(txn);
     return Status::Aborted(lock_status.message());
   }
@@ -229,6 +250,9 @@ Status TransactionManager::Commit(Transaction* txn) {
   if (!valid.ok()) {
     if (valid.IsAborted()) {
       stats_.validation_failures.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter* validation_failures =
+          TxnCounter("txn.validation_failures");
+      validation_failures->Add();
     }
     Abort(txn);
     return valid;
@@ -242,6 +266,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   }
   txn->set_state(Transaction::State::kCommitted);
   stats_.committed.fetch_add(1, std::memory_order_relaxed);
+  committed->Add();
   return Status::OK();
 }
 
@@ -249,6 +274,8 @@ void TransactionManager::Abort(Transaction* txn) {
   if (txn->state() == Transaction::State::kActive) {
     txn->set_state(Transaction::State::kAborted);
     stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* aborted = TxnCounter("txn.aborted");
+    aborted->Add();
   }
 }
 

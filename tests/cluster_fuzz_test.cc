@@ -43,13 +43,13 @@ TEST_P(ClusterFuzzTest, ClientViewMatchesOracleAcrossCrashes) {
       ASSERT_TRUE(s.ok() || s.IsNotFound()) << s.ToString();
       oracle.erase(key);
     } else if (action < 90) {
-      auto got = client->Get("t", 0, key);
+      auto got = client->Get("t", 0, key, client::ReadOptions{});
       auto want = oracle.find(key);
       if (want == oracle.end()) {
         EXPECT_TRUE(got.status().IsNotFound()) << key;
       } else {
         ASSERT_TRUE(got.ok()) << key << " " << got.status().ToString();
-        EXPECT_EQ(*got, want->second);
+        EXPECT_EQ(got->value(), want->second);
       }
     } else if (action < 96) {
       // Crash + restart one server; the master re-registers its tablets.
@@ -81,9 +81,9 @@ TEST_P(ClusterFuzzTest, ClientViewMatchesOracleAcrossCrashes) {
   }
   // Final full agreement.
   for (const auto& [key, value] : oracle) {
-    auto got = client->Get("t", 0, key);
+    auto got = client->Get("t", 0, key, client::ReadOptions{});
     ASSERT_TRUE(got.ok()) << key;
-    EXPECT_EQ(*got, value);
+    EXPECT_EQ(got->value(), value);
   }
 }
 

@@ -117,9 +117,9 @@ TEST(ClientTest, PutGetThroughRouting) {
   }
   for (int i = 0; i < 10; i++) {
     std::string key = "user" + std::to_string(i);
-    auto value = f.client->Get("users", 0, key);
+    auto value = f.client->Get("users", 0, key, client::ReadOptions{});
     ASSERT_TRUE(value.ok()) << key;
-    EXPECT_EQ(*value, "value" + std::to_string(i));
+    EXPECT_EQ(value->value(), "value" + std::to_string(i));
   }
 }
 
@@ -128,7 +128,9 @@ TEST(ClientTest, DeleteThroughClient) {
   ASSERT_TRUE(f.CreateUsersTable().ok());
   ASSERT_TRUE(f.client->Put("users", 0, "user5", "v").ok());
   ASSERT_TRUE(f.client->Delete("users", 0, "user5").ok());
-  EXPECT_TRUE(f.client->Get("users", 0, "user5").status().IsNotFound());
+  EXPECT_TRUE(f.client->Get("users", 0, "user5", client::ReadOptions{})
+                  .status()
+                  .IsNotFound());
 }
 
 TEST(ClientTest, ScanSpansTablets) {
@@ -149,12 +151,17 @@ TEST(ClientTest, HistoricalReads) {
   ClusterFixture f;
   ASSERT_TRUE(f.CreateUsersTable().ok());
   ASSERT_TRUE(f.client->Put("users", 0, "user1", "v1").ok());
-  auto v1 = f.client->GetVersioned("users", 0, "user1");
+  auto v1 = f.client->Get("users", 0, "user1", client::ReadOptions{});
+  ASSERT_TRUE(v1.ok());
   ASSERT_TRUE(f.client->Put("users", 0, "user1", "v2").ok());
-  EXPECT_EQ(*f.client->GetAsOf("users", 0, "user1", v1->timestamp), "v1");
-  auto versions = f.client->GetVersions("users", 0, "user1");
+  auto historical = f.client->Get("users", 0, "user1",
+                                  client::ReadOptions{.as_of = v1->timestamp()});
+  ASSERT_TRUE(historical.ok());
+  EXPECT_EQ(historical->value(), "v1");
+  auto versions = f.client->Get("users", 0, "user1",
+                                client::ReadOptions{.all_versions = true});
   ASSERT_TRUE(versions.ok());
-  EXPECT_EQ(versions->size(), 2u);
+  EXPECT_EQ(versions->rows.size(), 2u);
 }
 
 TEST(ClientTest, RowOperationsAcrossColumnGroups) {
@@ -173,16 +180,19 @@ TEST(ClientTest, TransactionsThroughClient) {
   ClusterFixture f;
   ASSERT_TRUE(f.CreateUsersTable().ok());
   ASSERT_TRUE(f.client->Put("users", 0, "user1", "balance:100").ok());
-  auto txn = f.client->Begin();
-  auto balance = f.client->TxnRead(txn.get(), "users", 0, "user1");
+  client::Txn txn = f.client->BeginTxn();
+  auto balance = txn.Read("users", 0, "user1");
   ASSERT_TRUE(balance.ok());
-  ASSERT_TRUE(
-      f.client->TxnWrite(txn.get(), "users", 0, "user1", "balance:50").ok());
-  ASSERT_TRUE(
-      f.client->TxnWrite(txn.get(), "users", 0, "user2", "balance:50").ok());
-  ASSERT_TRUE(f.client->Commit(txn.get()).ok());
-  EXPECT_EQ(*f.client->Get("users", 0, "user1"), "balance:50");
-  EXPECT_EQ(*f.client->Get("users", 0, "user2"), "balance:50");
+  ASSERT_TRUE(txn.Write("users", 0, "user1", "balance:50").ok());
+  ASSERT_TRUE(txn.Write("users", 0, "user2", "balance:50").ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_FALSE(txn.active());
+  EXPECT_EQ(
+      f.client->Get("users", 0, "user1", client::ReadOptions{})->value(),
+      "balance:50");
+  EXPECT_EQ(
+      f.client->Get("users", 0, "user2", client::ReadOptions{})->value(),
+      "balance:50");
 }
 
 TEST(ClusterTest, ServerCrashRecoveryEndToEnd) {
@@ -200,7 +210,10 @@ TEST(ClusterTest, ServerCrashRecoveryEndToEnd) {
   }
   f.client->InvalidateCache();
   for (int i = 0; i < 9; i++) {
-    EXPECT_TRUE(f.client->Get("users", 0, "user" + std::to_string(i)).ok())
+    EXPECT_TRUE(f.client
+                    ->Get("users", 0, "user" + std::to_string(i),
+                          client::ReadOptions{})
+                    .ok())
         << i;
   }
 }
@@ -222,13 +235,16 @@ TEST(ClusterTest, PermanentFailureReassignsTablets) {
   // All rows stay readable through the reassigned tablets.
   f.client->InvalidateCache();
   for (int i = 0; i < 9; i++) {
-    auto value = f.client->Get("users", 0, "user" + std::to_string(i));
+    auto value = f.client->Get("users", 0, "user" + std::to_string(i),
+                               client::ReadOptions{});
     EXPECT_TRUE(value.ok()) << "user" << i << ": "
                             << value.status().ToString();
   }
   // And new writes land on the new owners.
   EXPECT_TRUE(f.client->Put("users", 0, "user1", "after failover").ok());
-  EXPECT_EQ(*f.client->Get("users", 0, "user1"), "after failover");
+  EXPECT_EQ(
+      f.client->Get("users", 0, "user1", client::ReadOptions{})->value(),
+      "after failover");
 }
 
 TEST(ClusterTest, DataNodeLossToleratedByReplication) {
@@ -243,7 +259,10 @@ TEST(ClusterTest, DataNodeLossToleratedByReplication) {
   ASSERT_TRUE(f.cluster->master()->DetectAndHandleFailures().ok());
   f.client->InvalidateCache();
   for (int i = 0; i < 9; i++) {
-    EXPECT_TRUE(f.client->Get("users", 0, "user" + std::to_string(i)).ok())
+    EXPECT_TRUE(f.client
+                    ->Get("users", 0, "user" + std::to_string(i),
+                          client::ReadOptions{})
+                    .ok())
         << i;
   }
 }
@@ -264,7 +283,7 @@ TEST(ClusterTest, ScalesToMoreNodes) {
   for (int i = 0; i < 30; i++) {
     std::string key = "k" + std::to_string(i % 6) + "-" + std::to_string(i);
     ASSERT_TRUE(f.client->Put("wide", 0, key, "v").ok());
-    EXPECT_TRUE(f.client->Get("wide", 0, key).ok());
+    EXPECT_TRUE(f.client->Get("wide", 0, key, client::ReadOptions{}).ok());
   }
 }
 

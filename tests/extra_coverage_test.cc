@@ -300,9 +300,10 @@ TEST(ClientCacheTest, CachedRoutingAvoidsMasterAfterFirstOp) {
   auto client = cluster.NewClient(1);
   ASSERT_TRUE(client->Put("t", 0, "a", "1").ok());
   ASSERT_TRUE(client->Put("t", 0, "a", "2").ok());  // served from cache
-  EXPECT_EQ(*client->Get("t", 0, "a"), "2");
+  EXPECT_EQ(client->Get("t", 0, "a", client::ReadOptions{})->value(), "2");
   client->InvalidateCache();
-  EXPECT_EQ(*client->Get("t", 0, "a"), "2");  // refetches routing
+  // Refetches routing.
+  EXPECT_EQ(client->Get("t", 0, "a", client::ReadOptions{})->value(), "2");
 }
 
 TEST(MiniClusterTest, TwoTablesCoexist) {
@@ -315,8 +316,10 @@ TEST(MiniClusterTest, TwoTablesCoexist) {
   auto client = cluster.NewClient(0);
   ASSERT_TRUE(client->Put("t1", 0, "k", "table1").ok());
   ASSERT_TRUE(client->Put("t2", 0, "k", "table2").ok());
-  EXPECT_EQ(*client->Get("t1", 0, "k"), "table1");
-  EXPECT_EQ(*client->Get("t2", 0, "k"), "table2");
+  EXPECT_EQ(client->Get("t1", 0, "k", client::ReadOptions{})->value(),
+            "table1");
+  EXPECT_EQ(client->Get("t2", 0, "k", client::ReadOptions{})->value(),
+            "table2");
 }
 
 }  // namespace

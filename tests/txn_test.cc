@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/cluster/mini_cluster.h"
 #include "src/dfs/dfs.h"
 #include "src/tablet/tablet_server.h"
 #include "src/txn/lock_table.h"
@@ -329,6 +330,71 @@ TEST(OrderedLockSetTest, StatsCountLockFailures) {
   ASSERT_TRUE(f.manager->Write(txn.get(), f.uid0, "blocked", "v").ok());
   EXPECT_TRUE(f.manager->Commit(txn.get()).IsAborted());
   EXPECT_EQ(f.manager->stats().lock_failures.load(), 1u);
+}
+
+// The RAII client::Txn handle: dropping it without Commit must abort the
+// transaction and leave no trace — writes invisible, no locks or validation
+// state held that would block a later transaction on the same keys.
+TEST(ClientTxnTest, DroppedHandleAutoAborts) {
+  cluster::MiniClusterOptions options;
+  cluster::MiniCluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(
+      cluster.master()->CreateTable("t", {"c"}, {{"c"}}, {"key5"}).ok());
+  auto client = cluster.NewClient(0);
+  ASSERT_TRUE(client->Put("t", 0, "key1", "committed").ok());
+
+  uint64_t aborted_before =
+      obs::MetricsRegistry::Global().counter("txn.aborted")->value();
+  {
+    client::Txn txn = client->BeginTxn();
+    EXPECT_TRUE(txn.active());
+    ASSERT_TRUE(txn.Write("t", 0, "key1", "abandoned").ok());
+    ASSERT_TRUE(txn.Write("t", 0, "key2", "abandoned").ok());
+    ASSERT_EQ(txn.raw()->state(), Transaction::State::kActive);
+    // No Commit/Abort: the handle goes out of scope holding buffered writes.
+  }
+  EXPECT_EQ(obs::MetricsRegistry::Global().counter("txn.aborted")->value(),
+            aborted_before + 1);
+
+  // Nothing leaked into the committed state.
+  auto v1 = client->Get("t", 0, "key1", client::ReadOptions{});
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->value(), "committed");
+  EXPECT_TRUE(
+      client->Get("t", 0, "key2", client::ReadOptions{}).status().IsNotFound());
+
+  // The same keys are free for the next transaction: no stale locks.
+  client::Txn next = client->BeginTxn();
+  ASSERT_TRUE(next.Write("t", 0, "key1", "second").ok());
+  ASSERT_TRUE(next.Write("t", 0, "key2", "second").ok());
+  ASSERT_TRUE(next.Commit().ok());
+  EXPECT_FALSE(next.active());
+  EXPECT_EQ(client->Get("t", 0, "key1", client::ReadOptions{})->value(),
+            "second");
+}
+
+// Moving a Txn transfers abort responsibility: the moved-from handle is
+// inert and only the destination aborts on drop.
+TEST(ClientTxnTest, MoveTransfersOwnership) {
+  cluster::MiniClusterOptions options;
+  cluster::MiniCluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(
+      cluster.master()->CreateTable("t", {"c"}, {{"c"}}, {"key5"}).ok());
+  auto client = cluster.NewClient(0);
+
+  client::Txn outer = client->BeginTxn();
+  {
+    client::Txn inner = client->BeginTxn();
+    ASSERT_TRUE(inner.Write("t", 0, "moved", "v").ok());
+    outer = std::move(inner);
+    EXPECT_FALSE(inner.active());  // NOLINT(bugprone-use-after-move)
+    // `inner` dies here; the live transaction must survive in `outer`.
+  }
+  EXPECT_TRUE(outer.active());
+  ASSERT_TRUE(outer.Commit().ok());
+  EXPECT_EQ(client->Get("t", 0, "moved", client::ReadOptions{})->value(), "v");
 }
 
 }  // namespace
