@@ -43,7 +43,7 @@ BENCHMARK(BM_BlinkInsert);
 void BM_BlinkGetLatest(benchmark::State& state) {
   index::BlinkTree tree;
   const uint64_t n = state.range(0);
-  for (uint64_t i = 0; i < n; i++) tree.Insert(Key(i), 1, Ptr(i));
+  for (uint64_t i = 0; i < n; i++) (void)tree.Insert(Key(i), 1, Ptr(i));
   Random rnd(1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(tree.GetLatest(Key(rnd.Uniform(n))));
@@ -56,7 +56,7 @@ void BM_BlinkGetAsOf(benchmark::State& state) {
   index::BlinkTree tree;
   const uint64_t n = 10000;
   for (uint64_t i = 0; i < n; i++) {
-    for (uint64_t v = 1; v <= 4; v++) tree.Insert(Key(i), v * 10, Ptr(i));
+    for (uint64_t v = 1; v <= 4; v++) (void)tree.Insert(Key(i), v * 10, Ptr(i));
   }
   Random rnd(2);
   for (auto _ : state) {
@@ -70,7 +70,7 @@ BENCHMARK(BM_BlinkGetAsOf);
 void BM_BlinkScan100(benchmark::State& state) {
   index::BlinkTree tree;
   const uint64_t n = 100000;
-  for (uint64_t i = 0; i < n; i++) tree.Insert(Key(i), 1, Ptr(i));
+  for (uint64_t i = 0; i < n; i++) (void)tree.Insert(Key(i), 1, Ptr(i));
   Random rnd(3);
   for (auto _ : state) {
     uint64_t start = rnd.Uniform(n - 200);
@@ -125,7 +125,7 @@ void BM_LsmIndexGet(benchmark::State& state) {
   lsm::LsmOptions options;
   auto idx = index::LsmIndex::Open(options, &fs, "/idx");
   const uint64_t n = 10000;
-  for (uint64_t i = 0; i < n; i++) (*idx)->Insert(Key(i), 1, Ptr(i));
+  for (uint64_t i = 0; i < n; i++) (void)(*idx)->Insert(Key(i), 1, Ptr(i));
   Random rnd(5);
   for (auto _ : state) {
     benchmark::DoNotOptimize((*idx)->GetLatest(Key(rnd.Uniform(n))));

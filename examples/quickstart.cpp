@@ -65,7 +65,8 @@ int main() {
   //    handle auto-aborts if it goes out of scope uncommitted.
   client::Txn txn = client->BeginTxn();
   auto current = txn.Read("users", 0, "user1");
-  txn.Write("users", 0, "user1", *current + " [updated in txn]");
+  Status staged = txn.Write("users", 0, "user1", *current + " [updated in txn]");
+  if (!staged.ok()) std::printf("txn write failed: %s\n", staged.ToString().c_str());
   Status committed = txn.Commit();
   std::printf("transaction: %s\n", committed.ToString().c_str());
 

@@ -34,7 +34,7 @@ int main() {
   for (int i = 300; i < 350; i++) {  // range 1 keys live on server 1
     char key[16];
     std::snprintf(key, sizeof(key), "key%03d", i);
-    client->Put("kv", 0, key, "post-checkpoint");
+    if (!client->Put("kv", 0, key, "post-checkpoint").ok()) return 1;
   }
   std::printf("checkpointed server 1, then wrote 50 tail updates\n");
 

@@ -67,7 +67,8 @@ int main() {
   // An order progresses: the stale 'pending' entry is verified away.
   std::string first_pending = (*pending)[0].key;
   uint64_t before_ts = (*pending)[0].timestamp;
-  client->Put("orders", 0, first_pending, OrderValue("shipped", 7));
+  if (!client->Put("orders", 0, first_pending, OrderValue("shipped", 7)).ok())
+    return 1;
   auto still_pending = server->LookupBySecondary(uid, "by_status", "pending");
   bool gone = true;
   for (const auto& row : *still_pending) {

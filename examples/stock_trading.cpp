@@ -77,7 +77,7 @@ int main() {
 
   // --- Phase 3: transactional settlement ----------------------------------
   for (int account = 0; account < 10; account++) {
-    client->Put("accounts", 0, AccountKey(account), "1000");
+    (void)client->Put("accounts", 0, AccountKey(account), "1000");  // seed data
   }
   int settled = 0, retried = 0;
   for (int i = 0; i < 50; i++) {
@@ -93,9 +93,10 @@ int main() {
       int amount = 10;
       int fb = std::atoi(from_balance->c_str());
       if (fb < amount) break;  // insufficient funds
-      txn.Write("accounts", 0, AccountKey(from), std::to_string(fb - amount));
-      txn.Write("accounts", 0, AccountKey(to),
-                std::to_string(std::atoi(to_balance->c_str()) + amount));
+      (void)txn.Write("accounts", 0, AccountKey(from),
+                      std::to_string(fb - amount));  // surfaced by Commit()
+      (void)txn.Write("accounts", 0, AccountKey(to),
+                      std::to_string(std::atoi(to_balance->c_str()) + amount));
       Status s = txn.Commit();
       if (s.ok()) {
         settled++;
@@ -123,7 +124,7 @@ int main() {
   tablet::CompactionOptions keep_recent;
   keep_recent.max_versions_per_key = 10;  // keep a bounded price history
   for (int node = 0; node < cluster.num_nodes(); node++) {
-    cluster.server(node)->CompactLog(keep_recent, &stats);
+    (void)cluster.server(node)->CompactLog(keep_recent, &stats);  // demo
   }
   std::printf("compaction: %llu records in, %llu out\n",
               static_cast<unsigned long long>(stats.input_records),

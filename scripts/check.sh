@@ -1,18 +1,49 @@
 #!/usr/bin/env bash
-# Builds and runs the full test suite under the default preset and again
-# under AddressSanitizer+UBSan. Usage:
+# CI gate: lint, then build and test under the selected presets.
 #
-#   scripts/check.sh            # default + asan
-#   scripts/check.sh default    # one preset only
-#   scripts/check.sh tsan       # ThreadSanitizer pass
+#   scripts/check.sh                 # lint + default + asan
+#   scripts/check.sh --lint          # lint only (no build needed)
+#   scripts/check.sh --asan          # asan preset only
+#   scripts/check.sh --tsan          # tsan preset: concurrency-labeled
+#                                    # subset under ThreadSanitizer, with
+#                                    # the lock-order checker active
+#   scripts/check.sh default tsan    # explicit preset list
+#
+# The default preset runs the full suite including the `lint` and
+# `lint_selftest` ctest entries; sanitizer presets re-run the suite under
+# asan+ubsan / tsan (the tsan test preset filters to the "concurrency"
+# label).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-presets=("$@")
+run_lint() {
+  echo "==== lint ===="
+  python3 scripts/lint.py --self-test
+  python3 scripts/lint.py
+}
+
+presets=()
+lint_only=0
+for arg in "$@"; do
+  case "${arg}" in
+    --lint) lint_only=1 ;;
+    --asan) presets+=(asan) ;;
+    --tsan) presets+=(tsan) ;;
+    *) presets+=("${arg}") ;;
+  esac
+done
+
+if [ "${lint_only}" -eq 1 ] && [ ${#presets[@]} -eq 0 ]; then
+  run_lint
+  exit 0
+fi
+
 if [ ${#presets[@]} -eq 0 ]; then
   presets=(default asan)
 fi
+
+run_lint
 
 for preset in "${presets[@]}"; do
   echo "==== preset: ${preset} ===="
@@ -21,4 +52,4 @@ for preset in "${presets[@]}"; do
   ctest --preset "${preset}"
 done
 
-echo "==== all presets passed: ${presets[*]} ===="
+echo "==== all stages passed: lint ${presets[*]} ===="

@@ -1,0 +1,448 @@
+#!/usr/bin/env python3
+"""Repo-specific lint pass for LogBase (see DESIGN.md "Correctness tooling").
+
+Rules enforced over src/ (and, where noted, the whole tree):
+
+  wall-clock    No wall-clock time sources under src/. All time must flow
+                through the simulation clock (sim::SimContext) so runs are
+                deterministic and virtual-time tests stay meaningful.
+  raw-new      No raw `new` / `delete` outside the allowlist. Ownership is
+                expressed with std::unique_ptr / std::make_unique; the only
+                tolerated raw `new` is the intentionally-leaked
+                function-local static singleton idiom.
+  deprecated    No call sites of the [[deprecated]] flat client API outside
+                src/client itself. New code uses ReadOptions/BeginTxn.
+  mutex        Every mutex under src/ is an OrderedMutex /
+                OrderedSharedMutex so the ranked lock-order checker sees it.
+                Leaf-level exceptions are allowlisted explicitly.
+  nodiscard    Status and Result<T> stay [[nodiscard]] so ignored error
+                returns fail the build (-Werror=unused-result).
+
+Usage:
+  lint.py [--root DIR]     lint the tree, exit non-zero on violations
+  lint.py --self-test      run every rule against embedded bad snippets and
+                           verify each one fires; exits non-zero otherwise
+
+If clang-tidy is on PATH and a compile_commands.json exists under build/,
+the curated .clang-tidy check set is run as an extra stage; absence of the
+binary is not an error (the container does not ship it).
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+# --------------------------------------------------------------------------
+# helpers
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line numbers.
+
+    Good enough for regex linting: handles // and /* */ comments, "..." and
+    '...' literals with escapes. Does not attempt raw strings (unused in
+    this codebase).
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == '/' and i + 1 < n and text[i + 1] == '/':
+            j = text.find('\n', i)
+            if j == -1:
+                j = n
+            out.append(' ' * (j - i))
+            i = j
+        elif c == '/' and i + 1 < n and text[i + 1] == '*':
+            j = text.find('*/', i + 2)
+            j = n if j == -1 else j + 2
+            out.append(''.join(ch if ch == '\n' else ' '
+                               for ch in text[i:j]))
+            i = j
+        elif c in ('"', "'"):
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == '\\':
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == '\n':
+                    j += 1
+                    break
+                j += 1
+            out.append(quote + ' ' * (j - i - 2) + (quote if j <= n else ''))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return ''.join(out)
+
+
+class Violation:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return '%s:%d: [%s] %s' % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+def iter_lines(stripped):
+    for lineno, line in enumerate(stripped.split('\n'), start=1):
+        yield lineno, line
+
+
+# --------------------------------------------------------------------------
+# rule: wall-clock
+
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r'std::chrono::system_clock'), 'std::chrono::system_clock'),
+    (re.compile(r'std::chrono::steady_clock'), 'std::chrono::steady_clock'),
+    (re.compile(r'std::chrono::high_resolution_clock'),
+     'std::chrono::high_resolution_clock'),
+    (re.compile(r'\bgettimeofday\s*\('), 'gettimeofday()'),
+    (re.compile(r'\bclock_gettime\s*\('), 'clock_gettime()'),
+    (re.compile(r'(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)\s*\)'),
+     'time(NULL)'),
+]
+
+# thread_pool blocks real OS threads; sleeping/waiting there is about the
+# host scheduler, not simulated time, so chrono *durations* stay allowed
+# everywhere -- only clock *sources* are banned.
+WALL_CLOCK_ALLOWLIST = set()
+
+
+def check_wall_clock(path, rel, stripped):
+    if rel in WALL_CLOCK_ALLOWLIST:
+        return []
+    found = []
+    for lineno, line in iter_lines(stripped):
+        for pattern, what in WALL_CLOCK_PATTERNS:
+            if pattern.search(line):
+                found.append(Violation(
+                    'wall-clock', rel, lineno,
+                    '%s is a wall-clock source; use the simulation clock '
+                    '(sim::SimContext::Now) so runs stay deterministic'
+                    % what))
+    return found
+
+
+# --------------------------------------------------------------------------
+# rule: raw-new
+
+RAW_NEW = re.compile(r'(?<![\w_])new\s+[A-Za-z_][\w:]*\s*[({[]?')
+RAW_DELETE = re.compile(r'(?<![\w_])delete(\s*\[\s*\])?\s+[A-Za-z_]')
+# `static Foo* x = new Foo;` (also `*new` for reference singletons) -- the
+# deliberate leaked-singleton idiom.
+STATIC_SINGLETON = re.compile(r'\bstatic\b[^;]*=\s*\*?\s*new\b')
+SMART_WRAP = re.compile(
+    r'(?:unique_ptr|shared_ptr)\s*<[^;]*>\s*[\w(){ ]*\(\s*new\b|'
+    r'\.reset\s*\(\s*new\b')
+
+RAW_NEW_ALLOWLIST = set()
+
+
+def check_raw_new(path, rel, stripped):
+    if rel in RAW_NEW_ALLOWLIST:
+        return []
+    found = []
+    lines = stripped.split('\n')
+    for lineno, line in iter_lines(stripped):
+        if RAW_NEW.search(line):
+            # Factories with private constructors wrap `new T(...)` in a
+            # unique_ptr on the line above; join a two-line window so the
+            # wrap is visible to the regex.
+            window = (lines[lineno - 2] + ' ' + line) if lineno >= 2 else line
+            if STATIC_SINGLETON.search(window) or SMART_WRAP.search(window):
+                continue
+            found.append(Violation(
+                'raw-new', rel, lineno,
+                'raw `new`; use std::make_unique / std::make_shared (or '
+                'the `static X* = new X` leaked-singleton idiom)'))
+        if RAW_DELETE.search(line):
+            found.append(Violation(
+                'raw-new', rel, lineno,
+                'raw `delete`; ownership must be expressed with smart '
+                'pointers'))
+    return found
+
+
+# --------------------------------------------------------------------------
+# rule: deprecated client API
+
+# The flat versioned/txn client methods deprecated by the PR 2 API
+# redesign; ReadOptions/Txn handles are the supported surface. The names
+# GetVersioned/TxnRead/TxnWrite/TxnDelete exist only on the client, so any
+# call site is a violation. GetAsOf/GetVersions also legitimately exist on
+# TabletServer and the index layer, so those are only flagged on a
+# client-shaped receiver; -Werror=deprecated-declarations remains the
+# authoritative compile-time backstop for every spelling.
+DEPRECATED_CALLS = re.compile(
+    r'(?:[.>]\s*(GetVersioned|TxnRead|TxnWrite|TxnDelete)\s*\(|'
+    r'\bclient\w*(?:\.|->)\s*(GetAsOf|GetVersions)\s*\()')
+
+DEPRECATED_ALLOWLIST = {
+    'src/client/client.h',   # declarations carry the [[deprecated]] tags
+    'src/client/client.cc',  # implementations of the shims themselves
+}
+
+
+def check_deprecated(path, rel, stripped):
+    if rel in DEPRECATED_ALLOWLIST:
+        return []
+    found = []
+    for lineno, line in iter_lines(stripped):
+        m = DEPRECATED_CALLS.search(line)
+        if m:
+            name = m.group(1) or m.group(2)
+            found.append(Violation(
+                'deprecated', rel, lineno,
+                'call to deprecated client API %s(); use '
+                'ReadOptions-based Get/Scan or the Txn handle' % name))
+    return found
+
+
+# --------------------------------------------------------------------------
+# rule: mutex
+
+STD_MUTEX = re.compile(r'\bstd::(mutex|shared_mutex|recursive_mutex|'
+                       r'timed_mutex|recursive_timed_mutex)\b')
+
+MUTEX_ALLOWLIST = {
+    # The wrapper itself.
+    'src/util/ordered_mutex.h',
+    'src/util/ordered_mutex.cc',
+    # B-link node latches: per-node, strictly hand-over-hand (the B-link
+    # protocol never holds two latches except parent->child during descent,
+    # which is inherently ordered by tree level, not by a static rank).
+    'src/index/blink_tree.h',
+    'src/index/blink_tree.cc',
+}
+
+
+def check_mutex(path, rel, stripped):
+    if rel in MUTEX_ALLOWLIST:
+        return []
+    found = []
+    for lineno, line in iter_lines(stripped):
+        m = STD_MUTEX.search(line)
+        if m:
+            found.append(Violation(
+                'mutex', rel, lineno,
+                'std::%s bypasses the lock-order checker; use '
+                'OrderedMutex / OrderedSharedMutex with a lockrank::Rank '
+                '(or add a justified allowlist entry in scripts/lint.py)'
+                % m.group(1)))
+    return found
+
+
+# --------------------------------------------------------------------------
+# rule: nodiscard
+
+def check_nodiscard(root):
+    """Status and Result<T> must stay [[nodiscard]]."""
+    found = []
+    for rel, marker in (('src/util/status.h', re.compile(
+            r'class\s+\[\[nodiscard\]\]\s+Status\b')),
+                        ('src/util/result.h', re.compile(
+            r'class\s+\[\[nodiscard\]\]\s+Result\b'))):
+        path = os.path.join(root, rel)
+        try:
+            with open(path, encoding='utf-8') as f:
+                text = f.read()
+        except OSError:
+            found.append(Violation('nodiscard', rel, 1, 'file missing'))
+            continue
+        if not marker.search(text):
+            found.append(Violation(
+                'nodiscard', rel, 1,
+                'missing [[nodiscard]] on the class declaration; ignored '
+                'error returns would compile again'))
+    return found
+
+
+# --------------------------------------------------------------------------
+# driver
+
+PER_FILE_RULES = [check_wall_clock, check_raw_new, check_deprecated,
+                  check_mutex]
+
+
+def lint_tree(root):
+    violations = []
+    src_root = os.path.join(root, 'src')
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for name in sorted(filenames):
+            if not name.endswith(('.h', '.cc', '.cpp', '.hpp')):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root).replace(os.sep, '/')
+            with open(path, encoding='utf-8') as f:
+                stripped = strip_comments_and_strings(f.read())
+            for rule in PER_FILE_RULES:
+                violations.extend(rule(path, rel, stripped))
+    # The deprecated-API rule also covers tests, examples and benches:
+    # lint must stay clean there so the shims can eventually be removed.
+    for extra in ('tests', 'examples', 'bench'):
+        extra_root = os.path.join(root, extra)
+        if not os.path.isdir(extra_root):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(extra_root):
+            for name in sorted(filenames):
+                if not name.endswith(('.h', '.cc', '.cpp', '.hpp')):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root).replace(os.sep, '/')
+                with open(path, encoding='utf-8') as f:
+                    stripped = strip_comments_and_strings(f.read())
+                violations.extend(check_deprecated(path, rel, stripped))
+    violations.extend(check_nodiscard(root))
+    return violations
+
+
+def run_clang_tidy(root):
+    """Optional stage: run clang-tidy if available. Missing binary is OK."""
+    tidy = shutil.which('clang-tidy')
+    compdb = os.path.join(root, 'build', 'compile_commands.json')
+    if tidy is None:
+        print('lint: clang-tidy not on PATH; skipping tidy stage')
+        return 0
+    if not os.path.exists(compdb):
+        print('lint: no build/compile_commands.json; skipping tidy stage')
+        return 0
+    files = []
+    for dirpath, _d, filenames in os.walk(os.path.join(root, 'src')):
+        files.extend(os.path.join(dirpath, n) for n in sorted(filenames)
+                     if n.endswith('.cc'))
+    proc = subprocess.run(
+        [tidy, '-p', os.path.join(root, 'build'), '--quiet'] + files,
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+    return proc.returncode
+
+
+# --------------------------------------------------------------------------
+# self-test: every rule must fire on a seeded violation and stay quiet on
+# the matching clean snippet.
+
+SELF_TEST_CASES = [
+    # (rule fn, relpath it pretends to be, bad snippet, clean snippet)
+    (check_wall_clock, 'src/x/x.cc',
+     'auto t = std::chrono::system_clock::now();',
+     'auto t = ctx->Now();'),
+    (check_wall_clock, 'src/x/x.cc',
+     'gettimeofday(&tv, nullptr);',
+     'std::chrono::milliseconds timeout(5);'),
+    (check_wall_clock, 'src/x/x.cc',
+     'time_t now = time(NULL);',
+     'uint64_t now = sim->NowMicros();'),
+    (check_raw_new, 'src/x/x.cc',
+     'Foo* f = new Foo();',
+     'auto f = std::make_unique<Foo>();'),
+    (check_raw_new, 'src/x/x.cc',
+     'delete f;',
+     'f.reset();'),
+    (check_raw_new, 'src/x/x.cc',
+     'int* buf = new int[16];',
+     'static Registry* r = new Registry();  // leaked singleton'),
+    (check_deprecated, 'src/x/x.cc',
+     'auto v = client->GetVersioned("t", 0, "k", 3);',
+     'auto v = client->Get("t", 0, "k", opts);'),
+    (check_deprecated, 'tests/x_test.cc',
+     'ASSERT_TRUE(c.TxnWrite(txn, "t", 0, "k", "v").ok());',
+     'ASSERT_TRUE(txn.Write("t", 0, "k", "v").ok());'),
+    (check_deprecated, 'src/x/x.cc',
+     'auto v = client->GetAsOf("t", 0, "k", 9);',
+     'auto v = server->GetAsOf(uid, key, 9);  // internal API, not client'),
+    (check_mutex, 'src/x/x.h',
+     'mutable std::mutex mu_;',
+     'mutable OrderedMutex mu_{lockrank::kMasterState, "x.mu"};'),
+    (check_mutex, 'src/x/x.h',
+     'std::shared_mutex table_mu_;',
+     'OrderedSharedMutex table_mu_{lockrank::kTabletServerTablets, "t"};'),
+]
+
+
+def self_test():
+    failures = 0
+    for rule, rel, bad, good in SELF_TEST_CASES:
+        bad_hits = rule(rel, rel, strip_comments_and_strings(bad))
+        good_hits = rule(rel, rel, strip_comments_and_strings(good))
+        tag = '%s on %r' % (rule.__name__, bad)
+        if not bad_hits:
+            print('SELF-TEST FAIL: %s did not fire' % tag)
+            failures += 1
+        elif good_hits:
+            print('SELF-TEST FAIL: %s false-positives on %r'
+                  % (rule.__name__, good))
+            failures += 1
+        else:
+            print('self-test ok: %s' % tag)
+    # Comment/string stripping must suppress matches.
+    stripped = strip_comments_and_strings(
+        '// std::chrono::system_clock in a comment\n'
+        'const char* s = "new Foo";\n')
+    if check_wall_clock('x', 'src/x/x.cc', stripped) or \
+            check_raw_new('x', 'src/x/x.cc', stripped):
+        print('SELF-TEST FAIL: comment/string stripping')
+        failures += 1
+    else:
+        print('self-test ok: comments and strings are ignored')
+    # nodiscard rule fires when the attribute is absent.
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        os.makedirs(os.path.join(tmp, 'src', 'util'))
+        with open(os.path.join(tmp, 'src', 'util', 'status.h'), 'w') as f:
+            f.write('class Status {};\n')
+        with open(os.path.join(tmp, 'src', 'util', 'result.h'), 'w') as f:
+            f.write('template <typename T>\nclass Result {};\n')
+        hits = check_nodiscard(tmp)
+        if len(hits) != 2:
+            print('SELF-TEST FAIL: nodiscard rule (%d hits)' % len(hits))
+            failures += 1
+        else:
+            print('self-test ok: check_nodiscard fires when stripped')
+    if failures:
+        print('%d self-test failure(s)' % failures)
+        return 1
+    print('all lint self-tests passed')
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument('--root', default=None,
+                        help='repo root (default: parent of this script)')
+    parser.add_argument('--self-test', action='store_true',
+                        help='verify every rule fires on seeded violations')
+    parser.add_argument('--no-tidy', action='store_true',
+                        help='skip the optional clang-tidy stage')
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    violations = lint_tree(root)
+    for v in violations:
+        print(v)
+    rc = 0
+    if violations:
+        print('lint: %d violation(s)' % len(violations))
+        rc = 1
+    else:
+        print('lint: clean')
+    if not args.no_tidy:
+        rc = rc or run_clang_tidy(root)
+    return rc
+
+
+if __name__ == '__main__':
+    sys.exit(main())

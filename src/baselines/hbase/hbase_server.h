@@ -16,6 +16,8 @@
 #include "src/coord/coordination_service.h"
 #include "src/dfs/dfs.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::baselines::hbase {
 
 struct HBaseServerOptions {
@@ -81,14 +83,16 @@ class HBaseServer {
   std::unique_ptr<log::LogWriter> wal_;
 
   bool running_ = false;
-  std::mutex tablets_mu_;
+  OrderedMutex tablets_mu_{lockrank::kHBaseServerTablets,
+                         "hbase.server.tablets"};
   std::map<std::string, std::unique_ptr<HTablet>> tablets_;
   std::map<uint32_t, HTablet*> by_numeric_id_;
   std::map<std::string, uint32_t> registry_;  // persisted uid -> id
   bool registry_loaded_ = false;
   uint32_t next_numeric_id_ = 1;
 
-  std::mutex ts_mu_;
+  OrderedMutex ts_mu_{lockrank::kHBaseServerTimestamps,
+                    "hbase.server.timestamps"};
   uint64_t ts_next_ = 0;
   uint64_t ts_limit_ = 0;
 };

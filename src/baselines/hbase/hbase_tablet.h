@@ -19,6 +19,8 @@
 #include "src/sstable/table_reader.h"
 #include "src/tablet/tablet_server.h"  // ReadValue / ReadRow
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::baselines::hbase {
 
 struct HTabletOptions {
@@ -94,7 +96,7 @@ class HTablet {
   log::LogWriter* const wal_;
   const std::string dir_;
 
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{lockrank::kHBaseTablet, "hbase.tablet"};
   std::unique_ptr<HMemTable> mem_;
   std::vector<StoreFile> stores_;  // newest first
   uint64_t next_file_number_ = 1;

@@ -122,7 +122,7 @@ Result<LogBaseClient::Route> LogBaseClient::Resolve(const std::string& table,
   // Locating through the master only happens on cache misses (§3.3); we
   // model that by keeping the cached copy of the whole table's layout.
   {
-    std::lock_guard<std::mutex> l(cache_mu_);
+    std::lock_guard<OrderedMutex> l(cache_mu_);
     auto schema_it = schema_cache_.find(table);
     if (schema_it != schema_cache_.end()) {
       for (const auto& [uid, location] : location_cache_) {
@@ -143,7 +143,7 @@ Result<LogBaseClient::Route> LogBaseClient::Resolve(const std::string& table,
   auto location = master_->Locate(table, column_group, key);
   if (!location.ok()) return location.status();
   {
-    std::lock_guard<std::mutex> l(cache_mu_);
+    std::lock_guard<OrderedMutex> l(cache_mu_);
     schema_cache_[table] = *schema;
     location_cache_[location->descriptor.uid()] = *location;
   }
@@ -152,7 +152,7 @@ Result<LogBaseClient::Route> LogBaseClient::Resolve(const std::string& table,
 
 tablet::TabletServer* LogBaseClient::ServerByUid(const std::string& uid) {
   {
-    std::lock_guard<std::mutex> l(cache_mu_);
+    std::lock_guard<OrderedMutex> l(cache_mu_);
     auto it = location_cache_.find(uid);
     if (it != location_cache_.end()) {
       tablet::TabletServer* server = server_resolver_(it->second.server_id);
@@ -173,7 +173,7 @@ Result<tablet::TabletServer*> LogBaseClient::ServerFor(const Route& route) {
 }
 
 void LogBaseClient::InvalidateCache() {
-  std::lock_guard<std::mutex> l(cache_mu_);
+  std::lock_guard<OrderedMutex> l(cache_mu_);
   location_cache_.clear();
   schema_cache_.clear();
 }

@@ -22,6 +22,8 @@
 #include "src/sim/network_model.h"
 #include "src/txn/transaction_manager.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::client {
 
 /// Encodes a column->value map into one column-group value (and back);
@@ -208,7 +210,7 @@ class LogBaseClient {
   sim::NetworkModel* const network_;
   std::unique_ptr<txn::TransactionManager> txn_;
 
-  std::mutex cache_mu_;
+  OrderedMutex cache_mu_{lockrank::kClientCache, "client.cache"};
   std::map<std::string, master::TabletLocation> location_cache_;  // by uid
   std::map<std::string, tablet::TableSchema> schema_cache_;
 };

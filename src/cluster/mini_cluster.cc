@@ -34,7 +34,8 @@ MiniCluster::MiniCluster(MiniClusterOptions options)
 
 MiniCluster::~MiniCluster() {
   for (auto& server : servers_) {
-    if (server->running()) server->Stop();
+    // Teardown path: a failed final checkpoint can't be reported here.
+    if (server->running()) (void)server->Stop();
   }
 }
 

@@ -21,7 +21,9 @@ std::string HexEscape(const Slice& key) {
 LockManager::LockManager(CoordinationService* coord) : coord_(coord) {
   // The lock root is shared infrastructure; create it eagerly.
   if (!coord_->znodes()->Exists(kLockRoot)) {
-    coord_->znodes()->Create(0, kLockRoot, "", CreateMode::kPersistent);
+    // Racing constructors both see "missing"; the loser's create fails
+    // on "exists", which is the state we wanted.
+    (void)coord_->znodes()->Create(0, kLockRoot, "", CreateMode::kPersistent);
   }
 }
 
@@ -47,7 +49,8 @@ void LockManager::Unlock(const Slice& key, const std::string& owner,
   std::string path = LockPath(key);
   auto holder = coord_->znodes()->Get(path);
   if (holder.ok() && *holder == owner) {
-    coord_->znodes()->Delete(path);
+    // Losing a delete race with session expiry still releases the lock.
+    (void)coord_->znodes()->Delete(path);
   }
 }
 

@@ -18,7 +18,7 @@ Status MasterElection::Campaign() {
   ZnodeTree* tree = coord_->znodes();
   if (!tree->Exists(kElectionRoot)) {
     // Racing creators are fine; "exists" errors are ignored.
-    tree->Create(session_, kElectionRoot, "", CreateMode::kPersistent);
+    (void)tree->Create(session_, kElectionRoot, "", CreateMode::kPersistent);
   }
   coord_->ChargeRoundTrip(client_node_);
   auto created =
@@ -51,7 +51,9 @@ Result<std::string> MasterElection::Leader() const {
 
 void MasterElection::Resign() {
   if (!my_node_.empty()) {
-    coord_->znodes()->Delete(my_node_);
+    // The node may already be gone if the session expired; either way we
+    // are out of the race.
+    (void)coord_->znodes()->Delete(my_node_);
     my_node_.clear();
   }
 }

@@ -18,6 +18,8 @@
 #include "src/util/result.h"
 #include "src/util/status.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::coord {
 
 using SessionId = uint64_t;
@@ -84,7 +86,7 @@ class ZnodeTree {
       const std::string& path,
       std::vector<std::pair<WatchCallback, std::string>>* fired);
 
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{lockrank::kCoordZnodes, "coord.znodes"};
   std::map<std::string, Znode> nodes_;  // sorted: children via prefix range
   std::map<std::string, std::vector<WatchCallback>> node_watches_;
   std::map<std::string, std::vector<WatchCallback>> child_watches_;

@@ -27,7 +27,7 @@ DataNode::DataNode(int id, sim::DiskParams disk_params)
 Status DataNode::StoreBlockData(BlockId block, uint64_t offset,
                                 const Slice& data) {
   if (!alive()) return Status::Unavailable("data node is down");
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   std::string& stored = blocks_[block];
   if (offset != stored.size()) {
     return Status::InvalidArgument("non-contiguous block append");
@@ -51,7 +51,7 @@ Result<std::string> DataNode::ReadBlock(BlockId block, uint64_t offset,
   if (!alive()) return Status::Unavailable("data node is down");
   std::string out;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    std::lock_guard<OrderedMutex> l(mu_);
     auto it = blocks_.find(block);
     if (it == blocks_.end()) return Status::NotFound("block not on this node");
     const std::string& stored = it->second;
@@ -65,25 +65,25 @@ Result<std::string> DataNode::ReadBlock(BlockId block, uint64_t offset,
 }
 
 Status DataNode::DeleteBlock(BlockId block) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   blocks_.erase(block);
   return Status::OK();
 }
 
 bool DataNode::HasBlock(BlockId block) const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   return blocks_.count(block) > 0;
 }
 
 Result<uint64_t> DataNode::BlockSize(BlockId block) const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   auto it = blocks_.find(block);
   if (it == blocks_.end()) return Status::NotFound("block not on this node");
   return static_cast<uint64_t>(it->second.size());
 }
 
 std::vector<BlockId> DataNode::ListBlocks() const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   std::vector<BlockId> ids;
   ids.reserve(blocks_.size());
   for (const auto& [id, data] : blocks_) ids.push_back(id);
@@ -91,7 +91,7 @@ std::vector<BlockId> DataNode::ListBlocks() const {
 }
 
 uint64_t DataNode::used_bytes() const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   uint64_t total = 0;
   for (const auto& [id, data] : blocks_) total += data.size();
   return total;

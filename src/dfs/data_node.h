@@ -17,6 +17,8 @@
 #include "src/util/slice.h"
 #include "src/util/status.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::dfs {
 
 using BlockId = uint64_t;
@@ -63,7 +65,7 @@ class DataNode {
   std::atomic<bool> alive_{true};
   // Mutable: reads charge disk costs too.
   mutable sim::DiskModel disk_;
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{lockrank::kDfsDataNode, "dfs.data"};
   std::unordered_map<BlockId, std::string> blocks_;
 };
 

@@ -35,7 +35,8 @@ class DfsWritableFile : public WritableFile {
   DfsWritableFile(Dfs* dfs, std::string path, int client_node)
       : dfs_(dfs), path_(std::move(path)), client_node_(client_node) {}
 
-  ~DfsWritableFile() override { Close(); }
+  // Destructors can't propagate errors; an explicit Close() reports them.
+  ~DfsWritableFile() override { (void)Close(); }
 
   // Appends buffer client-side (HDFS streams packets asynchronously and
   // only waits for pipeline acknowledgement at sync points); Sync() pushes
@@ -289,7 +290,9 @@ Status Dfs::Delete(const std::string& path) {
   if (!blocks.ok()) return blocks.status();
   for (const BlockInfo& b : *blocks) {
     for (int r : b.replicas) {
-      data_nodes_[r]->DeleteBlock(b.id);
+      // A replica missing its block (dead or already-cleaned node) is fine:
+      // the file's metadata is gone either way.
+      (void)data_nodes_[r]->DeleteBlock(b.id);
     }
   }
   return Status::OK();

@@ -16,6 +16,8 @@
 #include "src/util/result.h"
 #include "src/util/status.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::dfs {
 
 /// Locations and size of one block of a file.
@@ -79,7 +81,7 @@ class NameNode {
 
   const std::vector<int> racks_;
   const int replication_;
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{lockrank::kDfsNameNode, "dfs.name"};
   std::map<std::string, Inode> files_;
   BlockId next_block_id_ = 1;
   Random rnd_{12345};

@@ -20,6 +20,8 @@
 
 #include "src/index/multiversion_index.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::index {
 
 class BlinkTree : public MultiVersionIndex {
@@ -73,8 +75,10 @@ class BlinkTree : public MultiVersionIndex {
   Node* FindParentAtLevel(const CompositeKey& key, int level) const;
 
   std::atomic<Node*> root_;
-  mutable std::mutex root_change_mu_;
-  mutable std::mutex alloc_mu_;
+  mutable OrderedMutex root_change_mu_{lockrank::kBlinkRoot,
+                                     "index.blink.root"};
+  mutable OrderedMutex alloc_mu_{lockrank::kBlinkAlloc,
+                               "index.blink.alloc"};
   std::vector<std::unique_ptr<Node>> all_nodes_;
   std::atomic<size_t> num_entries_{0};
   std::atomic<size_t> memory_bytes_{0};

@@ -16,6 +16,8 @@
 #include "src/util/io.h"
 #include "src/util/result.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::log {
 
 class LogReader {
@@ -83,7 +85,7 @@ class LogReader {
   FileSystem* const fs_;
   const std::string dir_;
   const uint32_t instance_;
-  std::mutex mu_;
+  OrderedMutex mu_{lockrank::kLogReader, "log.reader"};
   std::map<uint32_t, std::unique_ptr<RandomAccessFile>> open_segments_;
 };
 

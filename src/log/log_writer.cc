@@ -33,7 +33,7 @@ LogWriter::LogWriter(FileSystem* fs, std::string dir, uint32_t instance,
       segment_bytes_(segment_bytes) {}
 
 Status LogWriter::Open(uint64_t first_lsn) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   next_lsn_ = first_lsn;
   // Find the highest existing segment and continue after it: old segments
   // are immutable history (possibly replayed by recovery).
@@ -70,7 +70,7 @@ Status LogWriter::RollSegmentLocked() {
 }
 
 Status LogWriter::Roll() {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   if (file_ == nullptr) return Status::InvalidArgument("log writer not open");
   return RollSegmentLocked();
 }
@@ -86,7 +86,7 @@ Result<LogPtr> LogWriter::Append(LogRecord record) {
 Status LogWriter::AppendBatch(std::vector<LogRecord>* records,
                               std::vector<LogPtr>* ptrs) {
   obs::Span span("log.append");
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   if (file_ == nullptr) return Status::InvalidArgument("log writer not open");
   ptrs->clear();
   if (records->empty()) return Status::OK();
@@ -123,17 +123,17 @@ Status LogWriter::AppendBatch(std::vector<LogRecord>* records,
 }
 
 LogPosition LogWriter::Position() const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   return LogPosition{segment_, segment_offset_};
 }
 
 uint64_t LogWriter::next_lsn() const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   return next_lsn_;
 }
 
 uint64_t LogWriter::bytes_written() const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   return bytes_written_;
 }
 

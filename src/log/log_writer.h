@@ -16,6 +16,8 @@
 #include "src/util/io.h"
 #include "src/util/result.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::log {
 
 /// Position in the log: everything before it is persisted.
@@ -75,7 +77,7 @@ class LogWriter {
   const uint32_t instance_;
   const uint64_t segment_bytes_;
 
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{lockrank::kLogWriter, "log.writer"};
   std::unique_ptr<WritableFile> file_;
   uint32_t segment_ = 0;
   uint64_t segment_offset_ = 0;

@@ -29,6 +29,8 @@
 #include "src/util/iterator.h"
 #include "src/util/result.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::lsm {
 
 struct LsmOptions {
@@ -105,7 +107,7 @@ class LsmTree {
   InternalKeyComparator internal_comparator_;
   sstable::TableOptions internal_table_options_;
 
-  mutable std::mutex write_mu_;  // serializes writers, flush, compaction
+  mutable OrderedMutex write_mu_{lockrank::kLsmWrite, "lsm.write"};  // serializes writers, flush, compaction
   std::shared_ptr<MemTable> mem_;
   std::unique_ptr<VersionSet> versions_;
   std::atomic<uint64_t> sequence_{0};

@@ -15,6 +15,8 @@
 #include "src/sstable/table_reader.h"
 #include "src/util/result.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::lsm {
 
 struct FileMeta {
@@ -76,7 +78,7 @@ class VersionSet {
   void SortLevel(int level);  // requires mu_ held
 
   const InternalKeyComparator* comparator_;
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{lockrank::kLsmVersions, "lsm.versions"};
   std::vector<std::vector<std::shared_ptr<FileMeta>>> levels_;
 };
 

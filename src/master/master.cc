@@ -54,7 +54,7 @@ Result<tablet::TableSchema> Master::CreateTable(
     const std::string& name, const std::vector<std::string>& columns,
     const std::vector<std::vector<std::string>>& column_groups,
     const std::vector<std::string>& split_keys) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   if (tables_.count(name) > 0) {
     return Status::InvalidArgument("table exists: " + name);
   }
@@ -97,7 +97,7 @@ Result<tablet::TableSchema> Master::CreateTable(
 
 Status Master::AddColumnGroup(const std::string& table,
                               const std::vector<std::string>& columns) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound(table);
   std::vector<int> live = LiveServers();
@@ -126,7 +126,7 @@ Status Master::AddColumnGroup(const std::string& table,
 }
 
 Result<tablet::TableSchema> Master::GetTable(const std::string& name) const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound(name);
   return it->second;
@@ -135,7 +135,7 @@ Result<tablet::TableSchema> Master::GetTable(const std::string& name) const {
 Result<TabletLocation> Master::Locate(const std::string& table,
                                       uint32_t column_group,
                                       const Slice& key) const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound(table);
   auto splits_it = split_keys_.find(table);
@@ -159,7 +159,7 @@ Result<TabletLocation> Master::Locate(const std::string& table,
 
 Result<std::vector<TabletLocation>> Master::LocateAll(
     const std::string& table, uint32_t column_group) const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound(table);
   std::vector<TabletLocation> locations;
@@ -177,7 +177,7 @@ Result<std::vector<TabletLocation>> Master::LocateAll(
 }
 
 Status Master::HandleServerFailure(int dead_server) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   std::vector<int> live = LiveServers();
   live.erase(std::remove(live.begin(), live.end(), dead_server), live.end());
   if (live.empty()) return Status::Unavailable("no live servers to adopt");
@@ -204,7 +204,7 @@ Status Master::HandleServerFailure(int dead_server) {
 Result<int> Master::DetectAndHandleFailures() {
   std::vector<int> dead;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    std::lock_guard<OrderedMutex> l(mu_);
     std::vector<int> live = LiveServers();
     for (const auto& [uid, location] : assignments_) {
       if (std::find(live.begin(), live.end(), location.server_id) ==

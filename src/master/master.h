@@ -20,6 +20,8 @@
 #include "src/tablet/schema.h"
 #include "src/tablet/tablet_server.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::master {
 
 struct TabletLocation {
@@ -91,7 +93,7 @@ class Master {
   coord::SessionId session_ = 0;
   std::unique_ptr<coord::MasterElection> election_;
 
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{lockrank::kMasterState, "master.state"};
   std::map<std::string, tablet::TableSchema> tables_;
   std::map<std::string, std::vector<std::string>> split_keys_;  // per table
   std::map<std::string, TabletLocation> assignments_;           // by uid

@@ -23,6 +23,8 @@
 
 #include "src/util/histogram.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::obs {
 
 /// Monotonic event count.
@@ -53,21 +55,21 @@ class Gauge {
 class HistogramMetric {
  public:
   void Observe(double value) {
-    std::lock_guard<std::mutex> l(mu_);
+    std::lock_guard<OrderedMutex> l(mu_);
     histogram_.Add(value);
   }
   /// A consistent copy for reporting/merging.
   Histogram Snapshot() const {
-    std::lock_guard<std::mutex> l(mu_);
+    std::lock_guard<OrderedMutex> l(mu_);
     return histogram_;
   }
   void Reset() {
-    std::lock_guard<std::mutex> l(mu_);
+    std::lock_guard<OrderedMutex> l(mu_);
     histogram_.Clear();
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{lockrank::kMetricsHistogram, "obs.histogram"};
   Histogram histogram_;
 };
 
@@ -134,7 +136,7 @@ class MetricsRegistry {
     std::unique_ptr<HistogramMetric> histogram;
   };
   struct Shard {
-    mutable std::mutex mu;
+    mutable OrderedMutex mu{lockrank::kMetricsShard, "obs.metrics.shard"};
     std::unordered_map<std::string, Metric> metrics;
   };
   static constexpr size_t kShards = 16;

@@ -25,6 +25,8 @@
 #include "src/index/blink_tree.h"
 #include "src/util/result.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::secondary {
 
 /// Extracts the secondary attribute from a record value; nullopt = record
@@ -78,7 +80,8 @@ class SecondaryIndex {
   const KeyExtractor extractor_;
   index::BlinkTree tree_;
   // Secondary keys ever indexed per primary key, so deletes can unindex.
-  mutable std::mutex history_mu_;
+  mutable OrderedMutex history_mu_{lockrank::kSecondaryHistory,
+                                 "secondary.history"};
   std::map<std::string, std::set<std::string>> history_;
 };
 

@@ -19,6 +19,8 @@
 #include "src/sim/resource.h"
 #include "src/sim/sim_context.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::sim {
 
 struct DiskParams {
@@ -74,7 +76,7 @@ class DiskModel {
 
   const DiskParams params_;
   Resource resource_;
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{lockrank::kSimDisk, "sim.disk"};
   // locus -> expected next offset, LRU-bounded to kMaxStreams.
   std::unordered_map<uint64_t, uint64_t> streams_;
   std::list<uint64_t> stream_lru_;  // front = most recent

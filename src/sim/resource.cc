@@ -5,7 +5,7 @@
 namespace logbase::sim {
 
 VirtualTime Resource::Acquire(VirtualTime now, VirtualTime service_us) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   VirtualTime begin = std::max(now, free_at_);
   free_at_ = begin + service_us;
   total_busy_ += service_us;
@@ -13,17 +13,17 @@ VirtualTime Resource::Acquire(VirtualTime now, VirtualTime service_us) {
 }
 
 VirtualTime Resource::total_busy_us() const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   return total_busy_;
 }
 
 VirtualTime Resource::free_at() const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   return free_at_;
 }
 
 void Resource::Reset() {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   free_at_ = 0;
   total_busy_ = 0;
 }

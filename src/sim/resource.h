@@ -11,6 +11,8 @@
 
 #include "src/sim/sim_context.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::sim {
 
 /// Thread-safe FCFS virtual-time server.
@@ -38,7 +40,7 @@ class Resource {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{lockrank::kSimResource, "sim.resource"};
   const std::string name_;
   VirtualTime free_at_ = 0;
   VirtualTime total_busy_ = 0;

@@ -15,6 +15,8 @@
 
 #include "src/sstable/block.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::sstable {
 
 /// Thread-safe LRU over shared_ptr<Block>; eviction is by total cached block
@@ -62,7 +64,7 @@ class BlockCache {
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{lockrank::kBlockCache, "sstable.block_cache"};
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
   size_t usage_ = 0;

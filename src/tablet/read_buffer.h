@@ -14,6 +14,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::tablet {
 
 /// A cached record: its version (write timestamp) and value. The buffer
@@ -66,7 +68,7 @@ class ReadBuffer {
   void EvictIfNeeded();  // requires mu_ held
 
   const size_t capacity_;
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{lockrank::kReadBuffer, "tablet.read_buffer"};
   std::unique_ptr<ReplacementPolicy> policy_;
   std::unordered_map<std::string, CachedRecord> map_;
   size_t usage_ = 0;

@@ -16,6 +16,8 @@
 #include "src/secondary/secondary_index.h"
 #include "src/tablet/schema.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::tablet {
 
 class Tablet {
@@ -50,11 +52,11 @@ class Tablet {
   // -- Secondary indexes (§5 future work, implemented) -------------------
 
   void AddSecondaryIndex(std::unique_ptr<secondary::SecondaryIndex> index) {
-    std::lock_guard<std::mutex> l(secondary_mu_);
+    std::lock_guard<OrderedMutex> l(secondary_mu_);
     secondary_.push_back(std::move(index));
   }
   secondary::SecondaryIndex* FindSecondaryIndex(const std::string& name) {
-    std::lock_guard<std::mutex> l(secondary_mu_);
+    std::lock_guard<OrderedMutex> l(secondary_mu_);
     for (auto& index : secondary_) {
       if (index->name() == name) return index.get();
     }
@@ -63,21 +65,21 @@ class Tablet {
   /// Notifies every secondary index of a committed write / delete.
   Status NotifySecondaryWrite(const Slice& key, uint64_t timestamp,
                               const Slice& value) {
-    std::lock_guard<std::mutex> l(secondary_mu_);
+    std::lock_guard<OrderedMutex> l(secondary_mu_);
     for (auto& index : secondary_) {
       LOGBASE_RETURN_NOT_OK(index->OnWrite(key, timestamp, value));
     }
     return Status::OK();
   }
   Status NotifySecondaryDelete(const Slice& key) {
-    std::lock_guard<std::mutex> l(secondary_mu_);
+    std::lock_guard<OrderedMutex> l(secondary_mu_);
     for (auto& index : secondary_) {
       LOGBASE_RETURN_NOT_OK(index->OnDelete(key));
     }
     return Status::OK();
   }
   bool has_secondary_indexes() const {
-    std::lock_guard<std::mutex> l(secondary_mu_);
+    std::lock_guard<OrderedMutex> l(secondary_mu_);
     return !secondary_.empty();
   }
 
@@ -86,7 +88,8 @@ class Tablet {
   std::unique_ptr<index::MultiVersionIndex> index_;
   std::atomic<uint64_t> updates_since_persist_{0};
   uint32_t source_instance_ = 0;
-  mutable std::mutex secondary_mu_;
+  mutable OrderedMutex secondary_mu_{lockrank::kTabletSecondary,
+                                   "tablet.secondary"};
   std::vector<std::unique_ptr<secondary::SecondaryIndex>> secondary_;
 };
 

@@ -57,7 +57,9 @@ TabletServer::TabletServer(TabletServerOptions options, dfs::Dfs* dfs,
 }
 
 TabletServer::~TabletServer() {
-  if (running()) Stop();
+  // Destruction can't surface errors; call Stop() explicitly to check the
+  // final checkpoint's status.
+  if (running()) (void)Stop();
 }
 
 Status TabletServer::Start(RecoveryStats* recovery_stats) {
@@ -67,7 +69,10 @@ Status TabletServer::Start(RecoveryStats* recovery_stats) {
   // notices failures.
   coord::ZnodeTree* tree = coord_->znodes();
   if (!tree->Exists(kServersRoot)) {
-    tree->Create(session_, kServersRoot, "", coord::CreateMode::kPersistent);
+    // Racing servers both create the root; the loser's "exists" error is
+    // the desired state.
+    (void)tree->Create(session_, kServersRoot, "",
+                       coord::CreateMode::kPersistent);
   }
   auto created = tree->Create(
       session_, std::string(kServersRoot) + "/" +
@@ -105,15 +110,15 @@ void TabletServer::Crash() {
   running_.store(false, std::memory_order_release);
   coord_->CloseSession(session_);
   {
-    std::lock_guard<std::mutex> l(tablets_mu_);
+    std::lock_guard<OrderedMutex> l(tablets_mu_);
     tablets_.clear();
   }
   {
-    std::lock_guard<std::mutex> l(readers_mu_);
+    std::lock_guard<OrderedMutex> l(readers_mu_);
     readers_.clear();
   }
   buffer_.Clear();
-  std::lock_guard<std::mutex> l(ts_mu_);
+  std::lock_guard<OrderedMutex> l(ts_mu_);
   ts_next_ = ts_limit_ = 0;
 }
 
@@ -133,20 +138,20 @@ Result<std::unique_ptr<index::MultiVersionIndex>> TabletServer::NewIndex(
 Status TabletServer::OpenTablet(const TabletDescriptor& descriptor) {
   {
     // Idempotent: re-registration after recovery keeps the recovered index.
-    std::lock_guard<std::mutex> l(tablets_mu_);
+    std::lock_guard<OrderedMutex> l(tablets_mu_);
     if (tablets_.count(descriptor.uid()) > 0) return Status::OK();
   }
   auto idx = NewIndex(descriptor.uid());
   if (!idx.ok()) return idx.status();
   auto tablet = std::make_unique<Tablet>(descriptor, std::move(*idx));
   tablet->set_source_instance(options_.server_id);
-  std::lock_guard<std::mutex> l(tablets_mu_);
+  std::lock_guard<OrderedMutex> l(tablets_mu_);
   tablets_[descriptor.uid()] = std::move(tablet);
   return Status::OK();
 }
 
 std::vector<TabletDescriptor> TabletServer::Tablets() const {
-  std::lock_guard<std::mutex> l(tablets_mu_);
+  std::lock_guard<OrderedMutex> l(tablets_mu_);
   std::vector<TabletDescriptor> out;
   out.reserve(tablets_.size());
   for (const auto& [uid, tablet] : tablets_) {
@@ -156,13 +161,13 @@ std::vector<TabletDescriptor> TabletServer::Tablets() const {
 }
 
 Tablet* TabletServer::FindTablet(const std::string& uid) {
-  std::lock_guard<std::mutex> l(tablets_mu_);
+  std::lock_guard<OrderedMutex> l(tablets_mu_);
   auto it = tablets_.find(uid);
   return it == tablets_.end() ? nullptr : it->second.get();
 }
 
 Result<log::LogReader*> TabletServer::ReaderFor(uint32_t instance) {
-  std::lock_guard<std::mutex> l(readers_mu_);
+  std::lock_guard<OrderedMutex> l(readers_mu_);
   auto it = readers_.find(instance);
   if (it != readers_.end()) return it->second.get();
   auto reader = std::make_unique<log::LogReader>(
@@ -173,7 +178,7 @@ Result<log::LogReader*> TabletServer::ReaderFor(uint32_t instance) {
 }
 
 uint64_t TabletServer::NextLocalTimestamp() {
-  std::lock_guard<std::mutex> l(ts_mu_);
+  std::lock_guard<OrderedMutex> l(ts_mu_);
   if (ts_next_ >= ts_limit_) {
     ts_next_ = coord_->ReserveTimestamps(options_.server_id, kTimestampBatch);
     ts_limit_ = ts_next_ + kTimestampBatch;
@@ -543,7 +548,7 @@ Status TabletServer::Checkpoint() {
   Status s = WriteServerCheckpoint(this);
   if (s.ok()) {
     TabletCounter("tablet.checkpoint.count")->Add();
-    std::lock_guard<std::mutex> l(tablets_mu_);
+    std::lock_guard<OrderedMutex> l(tablets_mu_);
     for (auto& [uid, tablet] : tablets_) {
       tablet->ResetUpdateCounter();
     }

@@ -23,6 +23,8 @@
 #include "src/tablet/read_buffer.h"
 #include "src/tablet/tablet.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase::tablet {
 
 struct TabletServerOptions {
@@ -215,15 +217,18 @@ class TabletServer {
   std::atomic<bool> running_{false};
   coord::SessionId session_ = 0;
 
-  mutable std::mutex tablets_mu_;
+  mutable OrderedMutex tablets_mu_{lockrank::kTabletServerTablets,
+                                 "tablet.server.tablets"};
   std::map<std::string, std::unique_ptr<Tablet>> tablets_;
 
   std::unique_ptr<log::LogWriter> writer_;
-  std::mutex readers_mu_;
+  OrderedMutex readers_mu_{lockrank::kTabletServerReaders,
+                         "tablet.server.readers"};
   std::map<uint32_t, std::unique_ptr<log::LogReader>> readers_;
   ReadBuffer buffer_;
 
-  std::mutex ts_mu_;
+  OrderedMutex ts_mu_{lockrank::kTabletServerTimestamps,
+                    "tablet.server.timestamps"};
   uint64_t ts_next_ = 0;
   uint64_t ts_limit_ = 0;
 };

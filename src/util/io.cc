@@ -6,11 +6,11 @@ namespace {
 
 class MemWritableFile : public WritableFile {
  public:
-  explicit MemWritableFile(std::shared_ptr<std::mutex> mu, std::string* data)
+  explicit MemWritableFile(std::shared_ptr<OrderedMutex> mu, std::string* data)
       : mu_(std::move(mu)), data_(data) {}
 
   Status Append(const Slice& slice) override {
-    std::lock_guard<std::mutex> l(*mu_);
+    std::lock_guard<OrderedMutex> l(*mu_);
     data_->append(slice.data(), slice.size());
     size_ = data_->size();
     return Status::OK();
@@ -20,29 +20,29 @@ class MemWritableFile : public WritableFile {
   uint64_t Size() const override { return size_; }
 
  private:
-  std::shared_ptr<std::mutex> mu_;
+  std::shared_ptr<OrderedMutex> mu_;
   std::string* data_;
   uint64_t size_ = 0;
 };
 
 class MemRandomAccessFile : public RandomAccessFile {
  public:
-  MemRandomAccessFile(std::shared_ptr<std::mutex> mu, const std::string* data)
+  MemRandomAccessFile(std::shared_ptr<OrderedMutex> mu, const std::string* data)
       : mu_(std::move(mu)), data_(data) {}
 
   Result<std::string> Read(uint64_t offset, size_t n) const override {
-    std::lock_guard<std::mutex> l(*mu_);
+    std::lock_guard<OrderedMutex> l(*mu_);
     if (offset >= data_->size()) return std::string();
     size_t avail = data_->size() - offset;
     return data_->substr(offset, std::min(n, avail));
   }
   uint64_t Size() const override {
-    std::lock_guard<std::mutex> l(*mu_);
+    std::lock_guard<OrderedMutex> l(*mu_);
     return data_->size();
   }
 
  private:
-  std::shared_ptr<std::mutex> mu_;
+  std::shared_ptr<OrderedMutex> mu_;
   const std::string* data_;
 };
 
@@ -50,37 +50,37 @@ class MemRandomAccessFile : public RandomAccessFile {
 
 Result<std::unique_ptr<WritableFile>> MemFileSystem::NewWritableFile(
     const std::string& path) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   auto file = std::make_shared<MemFile>();
   files_[path] = file;
   // Alias the file's mutex and data; shared_ptr keeps MemFile alive even if
   // the path is later deleted or replaced.
-  auto mu = std::shared_ptr<std::mutex>(file, &file->mu);
+  auto mu = std::shared_ptr<OrderedMutex>(file, &file->mu);
   return std::unique_ptr<WritableFile>(
       new MemWritableFile(std::move(mu), &file->data));
 }
 
 Result<std::unique_ptr<RandomAccessFile>> MemFileSystem::NewRandomAccessFile(
     const std::string& path) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) {
     return Status::NotFound(path);
   }
   auto file = it->second;
-  auto mu = std::shared_ptr<std::mutex>(file, &file->mu);
+  auto mu = std::shared_ptr<OrderedMutex>(file, &file->mu);
   return std::unique_ptr<RandomAccessFile>(
       new MemRandomAccessFile(std::move(mu), &file->data));
 }
 
 Status MemFileSystem::DeleteFile(const std::string& path) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   if (files_.erase(path) == 0) return Status::NotFound(path);
   return Status::OK();
 }
 
 Status MemFileSystem::Rename(const std::string& from, const std::string& to) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   auto it = files_.find(from);
   if (it == files_.end()) return Status::NotFound(from);
   files_[to] = it->second;
@@ -89,21 +89,21 @@ Status MemFileSystem::Rename(const std::string& from, const std::string& to) {
 }
 
 bool MemFileSystem::Exists(const std::string& path) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   return files_.count(path) > 0;
 }
 
 Result<uint64_t> MemFileSystem::FileSize(const std::string& path) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
-  std::lock_guard<std::mutex> fl(it->second->mu);
+  std::lock_guard<OrderedMutex> fl(it->second->mu);
   return static_cast<uint64_t>(it->second->data.size());
 }
 
 Result<std::vector<std::string>> MemFileSystem::List(
     const std::string& prefix) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<OrderedMutex> l(mu_);
   std::vector<std::string> names;
   for (const auto& [path, file] : files_) {
     if (Slice(path).starts_with(prefix)) names.push_back(path);

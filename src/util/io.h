@@ -17,6 +17,8 @@
 #include "src/util/slice.h"
 #include "src/util/status.h"
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase {
 
 /// An append-only output file.
@@ -78,11 +80,11 @@ class MemFileSystem : public FileSystem {
 
  private:
   struct MemFile {
-    std::mutex mu;
+    OrderedMutex mu{lockrank::kMemFile, "util.memfile"};
     std::string data;
   };
 
-  std::mutex mu_;
+  OrderedMutex mu_{lockrank::kMemFs, "util.memfs"};
   std::map<std::string, std::shared_ptr<MemFile>> files_;
 };
 

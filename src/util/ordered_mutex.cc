@@ -1,0 +1,124 @@
+#include "src/util/ordered_mutex.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+// The checker is compiled in unless the build explicitly turns it off
+// (cmake -DLOGBASE_LOCK_ORDER_CHECKS=OFF). Cost per acquisition when on: one
+// thread-local vector push/pop and a scan of the (tiny) held stack.
+#ifndef LOGBASE_LOCK_ORDER_CHECKS
+#define LOGBASE_LOCK_ORDER_CHECKS 1
+#endif
+
+namespace logbase {
+
+namespace {
+
+std::atomic<LockOrderHook> g_hook{nullptr};
+
+[[noreturn]] void DefaultViolationHandler(const LockOrderViolation& v) {
+  std::fprintf(stderr,
+               "lock-order violation: acquiring \"%s\" (rank %u) while "
+               "holding \"%s\" (rank %u); ranks must strictly increase — "
+               "see the table in src/util/ordered_mutex.h\n",
+               v.acquiring_name, v.acquiring_rank, v.held_name, v.held_rank);
+  std::abort();
+}
+
+#if LOGBASE_LOCK_ORDER_CHECKS
+
+struct HeldRank {
+  uint32_t rank;
+  const char* name;
+};
+
+// A fixed-capacity stack avoids allocator traffic on the lock path. Depth 5+
+// would already be a remarkable lock chain in this codebase.
+struct HeldStack {
+  static constexpr size_t kCapacity = 32;
+  HeldRank entries[kCapacity];
+  size_t size = 0;
+};
+
+HeldStack& Held() {
+  thread_local HeldStack stack;
+  return stack;
+}
+
+#endif  // LOGBASE_LOCK_ORDER_CHECKS
+
+}  // namespace
+
+LockOrderHook SetLockOrderHook(LockOrderHook hook) {
+  return g_hook.exchange(hook);
+}
+
+size_t HeldRankCount() {
+#if LOGBASE_LOCK_ORDER_CHECKS
+  return Held().size;
+#else
+  return 0;
+#endif
+}
+
+namespace internal {
+
+#if LOGBASE_LOCK_ORDER_CHECKS
+
+void PushRank(uint32_t rank, const char* name) {
+  HeldStack& stack = Held();
+  // Every held rank must be strictly below the new one. Scanning the whole
+  // stack (not just the top) keeps the check exact even when locks are
+  // released out of LIFO order.
+  for (size_t i = 0; i < stack.size; i++) {
+    if (stack.entries[i].rank >= rank) {
+      LockOrderViolation v;
+      v.held_rank = stack.entries[i].rank;
+      v.held_name = stack.entries[i].name;
+      v.acquiring_rank = rank;
+      v.acquiring_name = name;
+      LockOrderHook hook = g_hook.load();
+      if (hook != nullptr) {
+        hook(v);
+        break;  // hooked (test) mode: record the lock anyway and continue
+      }
+      DefaultViolationHandler(v);
+    }
+  }
+  if (stack.size < HeldStack::kCapacity) {
+    stack.entries[stack.size] = HeldRank{rank, name};
+  }
+  stack.size++;  // counts past capacity so Pop stays balanced
+}
+
+void PopRank(uint32_t rank, const char* name) {
+  HeldStack& stack = Held();
+  if (stack.size == 0) return;  // unlock of a lock taken before a hook reset
+  if (stack.size > HeldStack::kCapacity) {
+    stack.size--;
+    return;
+  }
+  // Usually the top entry; scan backward to tolerate out-of-order release.
+  for (size_t i = stack.size; i-- > 0;) {
+    if (stack.entries[i].rank == rank && stack.entries[i].name == name) {
+      for (size_t j = i; j + 1 < stack.size; j++) {
+        stack.entries[j] = stack.entries[j + 1];
+      }
+      stack.size--;
+      return;
+    }
+  }
+  stack.size--;  // unmatched (hook reset mid-test); keep the count balanced
+}
+
+#else  // !LOGBASE_LOCK_ORDER_CHECKS
+
+void PushRank(uint32_t, const char*) {}
+void PopRank(uint32_t, const char*) {}
+
+#endif  // LOGBASE_LOCK_ORDER_CHECKS
+
+}  // namespace internal
+
+}  // namespace logbase

@@ -13,9 +13,10 @@
 namespace logbase {
 
 /// Holds either an ok value of type T or a non-ok Status describing why the
-/// value could not be produced.
+/// value could not be produced. [[nodiscard]] like Status: an ignored
+/// Result is an ignored error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: `return some_t;`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT

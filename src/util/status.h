@@ -13,8 +13,10 @@
 namespace logbase {
 
 /// The outcome of a fallible operation: a code plus an optional message.
-/// Ok statuses are cheap to copy (no allocation).
-class Status {
+/// Ok statuses are cheap to copy (no allocation). [[nodiscard]]: silently
+/// dropping a Status hides failures; the build treats it as an error
+/// (-Werror=unused-result). Cast to void only where ignoring is deliberate.
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,

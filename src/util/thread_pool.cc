@@ -12,7 +12,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    std::lock_guard<OrderedMutex> l(mu_);
     shutting_down_ = true;
   }
   work_cv_.notify_all();
@@ -23,14 +23,14 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    std::lock_guard<OrderedMutex> l(mu_);
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> l(mu_);
+  std::unique_lock<OrderedMutex> l(mu_);
   idle_cv_.wait(l, [this] { return queue_.empty() && active_ == 0; });
 }
 
@@ -38,7 +38,7 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> l(mu_);
+      std::unique_lock<OrderedMutex> l(mu_);
       work_cv_.wait(l, [this] { return shutting_down_ || !queue_.empty(); });
       if (queue_.empty()) {
         if (shutting_down_) return;
@@ -50,7 +50,7 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> l(mu_);
+      std::lock_guard<OrderedMutex> l(mu_);
       active_--;
       if (queue_.empty() && active_ == 0) {
         idle_cv_.notify_all();

@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/ordered_mutex.h"
+
 namespace logbase {
 
 /// Runs submitted std::function tasks on `num_threads` workers. Destruction
@@ -34,9 +36,9 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
+  OrderedMutex mu_{lockrank::kThreadPool, "util.thread_pool"};
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any idle_cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   int active_ = 0;

@@ -46,8 +46,8 @@ TEST(ZnodeTreeTest, CreateRejectsDuplicates) {
 TEST(ZnodeTreeTest, DeleteRefusesNodeWithChildren) {
   ZnodeTree tree;
   SessionId s = tree.CreateSession();
-  tree.Create(s, "/p", "", CreateMode::kPersistent);
-  tree.Create(s, "/p/c", "", CreateMode::kPersistent);
+  ASSERT_TRUE(tree.Create(s, "/p", "", CreateMode::kPersistent).ok());
+  ASSERT_TRUE(tree.Create(s, "/p/c", "", CreateMode::kPersistent).ok());
   EXPECT_FALSE(tree.Delete("/p").ok());
   ASSERT_TRUE(tree.Delete("/p/c").ok());
   EXPECT_TRUE(tree.Delete("/p").ok());
@@ -56,7 +56,7 @@ TEST(ZnodeTreeTest, DeleteRefusesNodeWithChildren) {
 TEST(ZnodeTreeTest, SequentialNodesGetIncreasingSuffixes) {
   ZnodeTree tree;
   SessionId s = tree.CreateSession();
-  tree.Create(s, "/q", "", CreateMode::kPersistent);
+  ASSERT_TRUE(tree.Create(s, "/q", "", CreateMode::kPersistent).ok());
   auto a = tree.Create(s, "/q/n_", "", CreateMode::kPersistentSequential);
   auto b = tree.Create(s, "/q/n_", "", CreateMode::kPersistentSequential);
   ASSERT_TRUE(a.ok() && b.ok());
@@ -67,12 +67,12 @@ TEST(ZnodeTreeTest, SequentialNodesGetIncreasingSuffixes) {
 TEST(ZnodeTreeTest, GetChildrenSorted) {
   ZnodeTree tree;
   SessionId s = tree.CreateSession();
-  tree.Create(s, "/d", "", CreateMode::kPersistent);
-  tree.Create(s, "/d/c", "", CreateMode::kPersistent);
-  tree.Create(s, "/d/a", "", CreateMode::kPersistent);
-  tree.Create(s, "/d/b", "", CreateMode::kPersistent);
+  ASSERT_TRUE(tree.Create(s, "/d", "", CreateMode::kPersistent).ok());
+  ASSERT_TRUE(tree.Create(s, "/d/c", "", CreateMode::kPersistent).ok());
+  ASSERT_TRUE(tree.Create(s, "/d/a", "", CreateMode::kPersistent).ok());
+  ASSERT_TRUE(tree.Create(s, "/d/b", "", CreateMode::kPersistent).ok());
   // Grandchildren are not listed.
-  tree.Create(s, "/d/a/x", "", CreateMode::kPersistent);
+  ASSERT_TRUE(tree.Create(s, "/d/a/x", "", CreateMode::kPersistent).ok());
   auto children = tree.GetChildren("/d");
   ASSERT_TRUE(children.ok());
   EXPECT_EQ(*children, (std::vector<std::string>{"a", "b", "c"}));
@@ -82,9 +82,9 @@ TEST(ZnodeTreeTest, SessionCloseRemovesEphemerals) {
   ZnodeTree tree;
   SessionId s1 = tree.CreateSession();
   SessionId s2 = tree.CreateSession();
-  tree.Create(s1, "/e1", "", CreateMode::kEphemeral);
-  tree.Create(s2, "/e2", "", CreateMode::kEphemeral);
-  tree.Create(s1, "/p", "", CreateMode::kPersistent);
+  ASSERT_TRUE(tree.Create(s1, "/e1", "", CreateMode::kEphemeral).ok());
+  ASSERT_TRUE(tree.Create(s2, "/e2", "", CreateMode::kEphemeral).ok());
+  ASSERT_TRUE(tree.Create(s1, "/p", "", CreateMode::kPersistent).ok());
   tree.CloseSession(s1);
   EXPECT_FALSE(tree.Exists("/e1"));
   EXPECT_TRUE(tree.Exists("/e2"));
@@ -103,31 +103,31 @@ TEST(ZnodeTreeTest, EphemeralCreateWithDeadSessionFails) {
 TEST(ZnodeTreeTest, NodeWatchFiresOnceOnSet) {
   ZnodeTree tree;
   SessionId s = tree.CreateSession();
-  tree.Create(s, "/w", "", CreateMode::kPersistent);
+  ASSERT_TRUE(tree.Create(s, "/w", "", CreateMode::kPersistent).ok());
   std::atomic<int> fired{0};
   tree.WatchNode("/w", [&fired](const std::string&) { fired++; });
-  tree.Set("/w", "1");
-  tree.Set("/w", "2");  // one-shot: no second fire
+  ASSERT_TRUE(tree.Set("/w", "1").ok());
+  ASSERT_TRUE(tree.Set("/w", "2").ok());  // one-shot: no second fire
   EXPECT_EQ(fired.load(), 1);
 }
 
 TEST(ZnodeTreeTest, NodeWatchFiresOnDelete) {
   ZnodeTree tree;
   SessionId s = tree.CreateSession();
-  tree.Create(s, "/w", "", CreateMode::kPersistent);
+  ASSERT_TRUE(tree.Create(s, "/w", "", CreateMode::kPersistent).ok());
   std::atomic<int> fired{0};
   tree.WatchNode("/w", [&fired](const std::string&) { fired++; });
-  tree.Delete("/w");
+  ASSERT_TRUE(tree.Delete("/w").ok());
   EXPECT_EQ(fired.load(), 1);
 }
 
 TEST(ZnodeTreeTest, ChildWatchFiresOnCreateAndSessionExpiry) {
   ZnodeTree tree;
   SessionId s = tree.CreateSession();
-  tree.Create(s, "/parent", "", CreateMode::kPersistent);
+  ASSERT_TRUE(tree.Create(s, "/parent", "", CreateMode::kPersistent).ok());
   std::atomic<int> fired{0};
   tree.WatchChildren("/parent", [&fired](const std::string&) { fired++; });
-  tree.Create(s, "/parent/kid", "", CreateMode::kEphemeral);
+  ASSERT_TRUE(tree.Create(s, "/parent/kid", "", CreateMode::kEphemeral).ok());
   EXPECT_EQ(fired.load(), 1);
   tree.WatchChildren("/parent", [&fired](const std::string&) { fired++; });
   tree.CloseSession(s);  // ephemeral kid disappears
@@ -194,8 +194,8 @@ TEST(MasterElectionTest, ResignHandsOver) {
   SessionId s2 = coord.CreateSession(1);
   MasterElection m1(&coord, s1, "a", 0);
   MasterElection m2(&coord, s2, "b", 1);
-  m1.Campaign();
-  m2.Campaign();
+  ASSERT_TRUE(m1.Campaign().ok());
+  ASSERT_TRUE(m2.Campaign().ok());
   m1.Resign();
   EXPECT_FALSE(m1.IsLeader());
   EXPECT_TRUE(m2.IsLeader());

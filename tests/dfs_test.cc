@@ -196,8 +196,8 @@ TEST(DfsTest, DeleteReclaimsBlocks) {
 
 TEST(DfsTest, RenameAndList) {
   Dfs dfs(SmallBlocks(3));
-  dfs.Create("/dir/a", 0);
-  dfs.Create("/dir/b", 0);
+  ASSERT_TRUE(dfs.Create("/dir/a", 0).ok());
+  ASSERT_TRUE(dfs.Create("/dir/b", 0).ok());
   ASSERT_TRUE(dfs.Rename("/dir/a", "/dir/c").ok());
   auto names = dfs.List("/dir/");
   ASSERT_TRUE(names.ok());

@@ -212,7 +212,7 @@ TEST_P(MultiVersionIndexTest, VisitAllOrdered) {
   Random rnd(61);
   for (int i = 0; i < 300; i++) {
     std::string key = "k" + std::to_string(rnd.Uniform(50));
-    f.index()->Insert(key, rnd.Uniform(100) + 1, Ptr(1, i));
+    ASSERT_TRUE(f.index()->Insert(key, rnd.Uniform(100) + 1, Ptr(1, i)).ok());
   }
   std::string last_key;
   uint64_t last_ts = 0;
@@ -324,12 +324,12 @@ TEST(BlinkTreeTest, HeightGrowsWithVolume) {
 
 TEST(BlinkTreeTest, MemoryAccountingTracksEntries) {
   BlinkTree tree;
-  tree.Insert("abcdefgh", 1, Ptr(1, 1));
+  ASSERT_TRUE(tree.Insert("abcdefgh", 1, Ptr(1, 1)).ok());
   size_t one = tree.ApproximateMemoryBytes();
   EXPECT_GT(one, 8u);
-  tree.Insert("abcdefgh", 2, Ptr(1, 2));
+  ASSERT_TRUE(tree.Insert("abcdefgh", 2, Ptr(1, 2)).ok());
   EXPECT_GT(tree.ApproximateMemoryBytes(), one);
-  tree.RemoveAllVersions("abcdefgh");
+  ASSERT_TRUE(tree.RemoveAllVersions("abcdefgh").ok());
   EXPECT_EQ(tree.num_entries(), 0u);
 }
 
@@ -373,7 +373,7 @@ TEST(BlinkTreeTest, ConcurrentReadersDuringSplits) {
     for (int i = 0; i < 30000; i++) {
       char key[16];
       std::snprintf(key, sizeof(key), "w%07d", i);
-      tree.Insert(key, 1, Ptr(1, i));
+      (void)tree.Insert(key, 1, Ptr(1, i));  // failure surfaces via scanner checks
     }
     done.store(true);
   });
@@ -405,7 +405,7 @@ TEST(IndexCheckpointTest, PersistAndReload) {
   Random rnd(88);
   for (int i = 0; i < 2000; i++) {
     std::string key = "ck" + std::to_string(rnd.Uniform(400));
-    original.Insert(key, rnd.Uniform(50) + 1, Ptr(3, i));
+    ASSERT_TRUE(original.Insert(key, rnd.Uniform(50) + 1, Ptr(3, i)).ok());
   }
   ASSERT_TRUE(WriteIndexCheckpoint(&fs, "/ckpt.idx", original).ok());
 
@@ -425,7 +425,7 @@ TEST(IndexCheckpointTest, CrossImplementationReload) {
   MemFileSystem fs;
   BlinkTree original;
   for (int i = 0; i < 100; i++) {
-    original.Insert("k" + std::to_string(i), 5, Ptr(1, i));
+    ASSERT_TRUE(original.Insert("k" + std::to_string(i), 5, Ptr(1, i)).ok());
   }
   ASSERT_TRUE(WriteIndexCheckpoint(&fs, "/x.idx", original).ok());
   lsm::LsmOptions options;
@@ -438,7 +438,7 @@ TEST(IndexCheckpointTest, CrossImplementationReload) {
 TEST(IndexCheckpointTest, CorruptionRejected) {
   MemFileSystem fs;
   BlinkTree original;
-  original.Insert("k", 1, Ptr(1, 1));
+  ASSERT_TRUE(original.Insert("k", 1, Ptr(1, 1)).ok());
   ASSERT_TRUE(WriteIndexCheckpoint(&fs, "/c.idx", original).ok());
   auto rf = fs.NewRandomAccessFile("/c.idx");
   auto bytes = (*rf)->Read(0, (*rf)->Size());

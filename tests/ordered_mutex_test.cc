@@ -1,0 +1,225 @@
+// Tests for the ranked-mutex lock-order checker (src/util/ordered_mutex.h).
+// The default violation handler aborts; these tests install a capturing hook
+// so inversions are observable without dying.
+
+#include "src/util/ordered_mutex.h"
+
+#include <atomic>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/util/thread_pool.h"
+
+namespace logbase {
+namespace {
+
+// The hook is a plain function pointer, so captures go through a static.
+std::vector<LockOrderViolation>* g_captured = nullptr;
+
+void CaptureViolation(const LockOrderViolation& v) {
+  if (g_captured != nullptr) g_captured->push_back(v);
+}
+
+class HookGuard {
+ public:
+  explicit HookGuard(std::vector<LockOrderViolation>* sink) {
+    g_captured = sink;
+    previous_ = SetLockOrderHook(&CaptureViolation);
+  }
+  ~HookGuard() {
+    (void)SetLockOrderHook(previous_);
+    g_captured = nullptr;
+  }
+
+ private:
+  LockOrderHook previous_;
+};
+
+TEST(OrderedMutexTest, OrderedAcquisitionPasses) {
+  std::vector<LockOrderViolation> violations;
+  HookGuard guard(&violations);
+  OrderedMutex low(100, "test.low");
+  OrderedMutex high(200, "test.high");
+  {
+    std::lock_guard<OrderedMutex> l1(low);
+    EXPECT_EQ(HeldRankCount(), 1u);
+    std::lock_guard<OrderedMutex> l2(high);
+    EXPECT_EQ(HeldRankCount(), 2u);
+  }
+  EXPECT_EQ(HeldRankCount(), 0u);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(OrderedMutexTest, InvertedAcquisitionIsDetected) {
+  std::vector<LockOrderViolation> violations;
+  HookGuard guard(&violations);
+  OrderedMutex low(100, "test.low");
+  OrderedMutex high(200, "test.high");
+  {
+    std::lock_guard<OrderedMutex> l1(high);
+    std::lock_guard<OrderedMutex> l2(low);  // inversion: 100 while holding 200
+  }
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].held_rank, 200u);
+  EXPECT_STREQ(violations[0].held_name, "test.high");
+  EXPECT_EQ(violations[0].acquiring_rank, 100u);
+  EXPECT_STREQ(violations[0].acquiring_name, "test.low");
+}
+
+TEST(OrderedMutexTest, EqualRankReacquisitionIsDetected) {
+  // Equal ranks are an inversion too: two locks of the same rank can be
+  // taken in either order by different threads, so same-rank nesting is
+  // banned outright (the rule is strictly-greater).
+  std::vector<LockOrderViolation> violations;
+  HookGuard guard(&violations);
+  OrderedMutex a(300, "test.a");
+  OrderedMutex b(300, "test.b");
+  {
+    std::lock_guard<OrderedMutex> l1(a);
+    std::lock_guard<OrderedMutex> l2(b);
+  }
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].acquiring_rank, 300u);
+}
+
+TEST(OrderedMutexTest, OutOfLifoUnlockKeepsStackBalanced) {
+  std::vector<LockOrderViolation> violations;
+  HookGuard guard(&violations);
+  OrderedMutex a(100, "test.a");
+  OrderedMutex b(200, "test.b");
+  OrderedMutex c(300, "test.c");
+  a.lock();
+  b.lock();
+  c.lock();
+  b.unlock();  // release the middle lock first
+  EXPECT_EQ(HeldRankCount(), 2u);
+  c.unlock();
+  a.unlock();
+  EXPECT_EQ(HeldRankCount(), 0u);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(OrderedMutexTest, FailedTryLockDoesNotRecordARank) {
+  std::vector<LockOrderViolation> violations;
+  HookGuard guard(&violations);
+  OrderedMutex mu(100, "test.mu");
+  mu.lock();
+  std::thread other([&] {
+    EXPECT_FALSE(mu.try_lock());
+    EXPECT_EQ(HeldRankCount(), 0u);  // the failed attempt left no residue
+  });
+  other.join();
+  mu.unlock();
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(OrderedMutexTest, SuccessfulTryLockParticipatesInChecking) {
+  std::vector<LockOrderViolation> violations;
+  HookGuard guard(&violations);
+  OrderedMutex low(100, "test.low");
+  OrderedMutex high(200, "test.high");
+  std::lock_guard<OrderedMutex> l(high);
+  ASSERT_TRUE(low.try_lock());  // still an inversion even via try_lock
+  low.unlock();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].acquiring_rank, 100u);
+}
+
+TEST(OrderedMutexTest, HeldRanksAreThreadLocal) {
+  std::vector<LockOrderViolation> violations;
+  HookGuard guard(&violations);
+  OrderedMutex mu(500, "test.mu");
+  std::lock_guard<OrderedMutex> l(mu);
+  std::thread other([] { EXPECT_EQ(HeldRankCount(), 0u); });
+  other.join();
+  EXPECT_EQ(HeldRankCount(), 1u);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(OrderedSharedMutexTest, SharedAcquisitionsObeyRankOrder) {
+  std::vector<LockOrderViolation> violations;
+  HookGuard guard(&violations);
+  OrderedSharedMutex low(100, "test.shared.low");
+  OrderedSharedMutex high(200, "test.shared.high");
+  {
+    std::shared_lock<OrderedSharedMutex> r1(low);
+    std::shared_lock<OrderedSharedMutex> r2(high);
+    EXPECT_EQ(HeldRankCount(), 2u);
+  }
+  EXPECT_TRUE(violations.empty());
+  // Fresh objects for the inversion half: reusing `low`/`high` in the
+  // opposite order would form a cycle in ThreadSanitizer's own lock graph
+  // and fail the tsan preset; our checker is rank-based, not object-based.
+  OrderedSharedMutex low2(100, "test.shared.low2");
+  OrderedSharedMutex high2(200, "test.shared.high2");
+  {
+    std::shared_lock<OrderedSharedMutex> r1(high2);
+    std::shared_lock<OrderedSharedMutex> r2(low2);  // reader-side inversion
+  }
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].held_rank, 200u);
+  EXPECT_EQ(violations[0].acquiring_rank, 100u);
+}
+
+TEST(OrderedSharedMutexTest, WriterAfterReaderInversionDetected) {
+  std::vector<LockOrderViolation> violations;
+  HookGuard guard(&violations);
+  OrderedSharedMutex low(100, "test.shared.low");
+  OrderedSharedMutex high(200, "test.shared.high");
+  std::shared_lock<OrderedSharedMutex> r(high);
+  {
+    std::lock_guard<OrderedSharedMutex> w(low);
+  }
+  ASSERT_EQ(violations.size(), 1u);
+}
+
+TEST(OrderedMutexTest, RealRankTableNestingsPass) {
+  // Spot-check representative real nestings from the rank table: each pair
+  // below is actually taken in this order somewhere in the system.
+  std::vector<LockOrderViolation> violations;
+  HookGuard guard(&violations);
+  OrderedMutex master(lockrank::kMasterState, "master.state");
+  OrderedMutex znodes(lockrank::kCoordZnodes, "coord.znodes");
+  OrderedMutex tablets(lockrank::kTabletServerTablets, "tablet.tablets");
+  OrderedMutex namenode(lockrank::kDfsNameNode, "dfs.namenode");
+  OrderedMutex writer(lockrank::kLogWriter, "log.writer");
+  OrderedMutex shard(lockrank::kMetricsShard, "obs.shard");
+  {
+    // Master queries the coordination service under its own lock.
+    std::lock_guard<OrderedMutex> l1(master);
+    std::lock_guard<OrderedMutex> l2(znodes);
+  }
+  {
+    // Checkpoint: tablets_mu_ held across DFS metadata and a metrics bump.
+    std::lock_guard<OrderedMutex> l1(tablets);
+    std::lock_guard<OrderedMutex> l2(namenode);
+    std::lock_guard<OrderedMutex> l3(shard);
+  }
+  {
+    // Appends: log-writer lock held across the DFS write path.
+    std::lock_guard<OrderedMutex> l1(writer);
+    std::lock_guard<OrderedMutex> l2(namenode);
+  }
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(OrderedMutexTest, ThreadPoolWaitCyclesCleanly) {
+  // condition_variable_any::wait releases and reacquires the OrderedMutex;
+  // the held-rank stack must stay balanced through those cycles.
+  std::vector<LockOrderViolation> violations;
+  HookGuard guard(&violations);
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; i++) {
+    pool.Submit([&ran] { ran++; });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_EQ(HeldRankCount(), 0u);
+  EXPECT_TRUE(violations.empty());
+}
+
+}  // namespace
+}  // namespace logbase

@@ -468,7 +468,7 @@ TEST(MemFileSystemTest, ReadPastEofIsShort) {
 
 TEST(MemFileSystemTest, DeleteAndExists) {
   MemFileSystem fs;
-  fs.NewWritableFile("/x");
+  ASSERT_TRUE(fs.NewWritableFile("/x").ok());
   EXPECT_TRUE(fs.Exists("/x"));
   EXPECT_TRUE(fs.DeleteFile("/x").ok());
   EXPECT_FALSE(fs.Exists("/x"));
@@ -496,9 +496,9 @@ TEST(MemFileSystemTest, RenameMovesContents) {
 
 TEST(MemFileSystemTest, ListByPrefix) {
   MemFileSystem fs;
-  fs.NewWritableFile("/dir/a");
-  fs.NewWritableFile("/dir/b");
-  fs.NewWritableFile("/other/c");
+  ASSERT_TRUE(fs.NewWritableFile("/dir/a").ok());
+  ASSERT_TRUE(fs.NewWritableFile("/dir/b").ok());
+  ASSERT_TRUE(fs.NewWritableFile("/other/c").ok());
   auto names = fs.List("/dir/");
   ASSERT_TRUE(names.ok());
   EXPECT_EQ(names->size(), 2u);
