@@ -5,6 +5,8 @@
 
 #include "bench/common.h"
 
+#include "src/fault/fault_injector.h"
+
 using namespace logbase;
 using namespace logbase::bench;
 
@@ -38,9 +40,19 @@ double RecoverAfterLoading(uint64_t checkpoint_at_records,
         std::abort();
       }
     }
-  }
 
-  fixture.server->Crash();
+    // Deliver the crash through the fault engine — the same injection point
+    // the chaos suite drives — rather than poking the server directly.
+    fault::FaultTargets targets;
+    targets.num_nodes = 1;
+    targets.crash_server = [&](int) { fixture.server->Crash(); };
+    fault::FaultPlan plan;
+    plan.Crash(load_ctx.now() + 1, 0);
+    fault::FaultInjector injector(targets, plan);
+    load_ctx.Advance(2);
+    if (!injector.AdvanceTo(load_ctx.now()).ok()) std::abort();
+  }
+  if (fixture.server->running()) std::abort();
   ResetCosts(fixture.dfs.get());
   return TimedRun([&] {
     if (!fixture.server->Start(stats).ok()) std::abort();

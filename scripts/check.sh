@@ -7,6 +7,9 @@
 #   scripts/check.sh --tsan          # tsan preset: concurrency-labeled
 #                                    # subset under ThreadSanitizer, with
 #                                    # the lock-order checker active
+#   scripts/check.sh --chaos         # chaos-labeled suite (fault injection
+#                                    # + nemesis) under the default AND
+#                                    # tsan presets
 #   scripts/check.sh default tsan    # explicit preset list
 #
 # The default preset runs the full suite including the `lint` and
@@ -25,21 +28,24 @@ run_lint() {
 
 presets=()
 lint_only=0
+chaos=0
 for arg in "$@"; do
   case "${arg}" in
     --lint) lint_only=1 ;;
     --asan) presets+=(asan) ;;
     --tsan) presets+=(tsan) ;;
+    --chaos) chaos=1 ;;
     *) presets+=("${arg}") ;;
   esac
 done
 
-if [ "${lint_only}" -eq 1 ] && [ ${#presets[@]} -eq 0 ]; then
+if [ "${lint_only}" -eq 1 ] && [ ${#presets[@]} -eq 0 ] \
+    && [ "${chaos}" -eq 0 ]; then
   run_lint
   exit 0
 fi
 
-if [ ${#presets[@]} -eq 0 ]; then
+if [ ${#presets[@]} -eq 0 ] && [ "${chaos}" -eq 0 ]; then
   presets=(default asan)
 fi
 
@@ -51,5 +57,24 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "${preset}" -j "$(nproc)"
   ctest --preset "${preset}"
 done
+
+if [ "${chaos}" -eq 1 ]; then
+  # The chaos suite must be clean both plain and under ThreadSanitizer
+  # (fault delivery races client threads against the injector). The tsan
+  # test preset filters to the "concurrency" label, so the chaos label is
+  # driven directly against each build tree.
+  for preset in default tsan; do
+    echo "==== chaos: ${preset} ===="
+    cmake --preset "${preset}"
+    cmake --build --preset "${preset}" -j "$(nproc)"
+    if [ "${preset}" = "tsan" ]; then
+      (cd "build-tsan" && TSAN_OPTIONS=halt_on_error=1 \
+        ctest -L chaos --output-on-failure)
+    else
+      (cd "build" && ctest -L chaos --output-on-failure)
+    fi
+  done
+  presets+=(chaos)
+fi
 
 echo "==== all stages passed: lint ${presets[*]} ===="

@@ -5,7 +5,13 @@ Rules enforced over src/ (and, where noted, the whole tree):
 
   wall-clock    No wall-clock time sources under src/. All time must flow
                 through the simulation clock (sim::SimContext) so runs are
-                deterministic and virtual-time tests stay meaningful.
+                deterministic and virtual-time tests stay meaningful. This
+                explicitly covers src/fault/: fault schedules, backoff and
+                nemesis runs operate on virtual time only.
+  nondet        No nondeterministic randomness under src/
+                (std::random_device, rand(), srand()). Jitter, fault plans
+                and workloads draw from logbase::Random with an explicit
+                seed so every chaos run replays bit-identically.
   raw-new      No raw `new` / `delete` outside the allowlist. Ownership is
                 expressed with std::unique_ptr / std::make_unique; the only
                 tolerated raw `new` is the intentionally-leaked
@@ -13,8 +19,10 @@ Rules enforced over src/ (and, where noted, the whole tree):
   deprecated    No call sites of the [[deprecated]] flat client API outside
                 src/client itself. New code uses ReadOptions/BeginTxn.
   mutex        Every mutex under src/ is an OrderedMutex /
-                OrderedSharedMutex so the ranked lock-order checker sees it.
-                Leaf-level exceptions are allowlisted explicitly.
+                OrderedSharedMutex so the ranked lock-order checker sees it
+                (src/fault/ included: the injector's state lock carries
+                lockrank::kFaultState). Leaf-level exceptions are
+                allowlisted explicitly.
   nodiscard    Status and Result<T> stay [[nodiscard]] so ignored error
                 returns fail the build (-Werror=unused-result).
 
@@ -130,6 +138,33 @@ def check_wall_clock(path, rel, stripped):
                     '%s is a wall-clock source; use the simulation clock '
                     '(sim::SimContext::Now) so runs stay deterministic'
                     % what))
+    return found
+
+
+# --------------------------------------------------------------------------
+# rule: nondet
+
+NONDET_PATTERNS = [
+    (re.compile(r'\bstd::random_device\b'), 'std::random_device'),
+    (re.compile(r'(?<![\w:.])rand\s*\(\s*\)'), 'rand()'),
+    (re.compile(r'(?<![\w:.])srand\s*\('), 'srand()'),
+]
+
+NONDET_ALLOWLIST = set()
+
+
+def check_nondet(path, rel, stripped):
+    if rel in NONDET_ALLOWLIST:
+        return []
+    found = []
+    for lineno, line in iter_lines(stripped):
+        for pattern, what in NONDET_PATTERNS:
+            if pattern.search(line):
+                found.append(Violation(
+                    'nondet', rel, lineno,
+                    '%s is nondeterministic; draw from logbase::Random '
+                    'with an explicit seed so runs (and fault schedules) '
+                    'replay identically' % what))
     return found
 
 
@@ -270,8 +305,8 @@ def check_nodiscard(root):
 # --------------------------------------------------------------------------
 # driver
 
-PER_FILE_RULES = [check_wall_clock, check_raw_new, check_deprecated,
-                  check_mutex]
+PER_FILE_RULES = [check_wall_clock, check_nondet, check_raw_new,
+                  check_deprecated, check_mutex]
 
 
 def lint_tree(root):
@@ -344,6 +379,15 @@ SELF_TEST_CASES = [
     (check_wall_clock, 'src/x/x.cc',
      'time_t now = time(NULL);',
      'uint64_t now = sim->NowMicros();'),
+    (check_nondet, 'src/fault/x.cc',
+     'std::random_device rd;',
+     'logbase::Random rnd(options.seed);'),
+    (check_nondet, 'src/x/x.cc',
+     'int r = rand() % 6;',
+     'uint64_t r = rnd.Uniform(6);'),
+    (check_nondet, 'src/x/x.cc',
+     'srand(42);',
+     'logbase::Random rnd(42);  // operand() and Random(...) are fine'),
     (check_raw_new, 'src/x/x.cc',
      'Foo* f = new Foo();',
      'auto f = std::make_unique<Foo>();'),

@@ -96,16 +96,34 @@ void Txn::Abort() {
 // ---------------------------------------------------------------------------
 
 LogBaseClient::LogBaseClient(
-    master::Master* master,
+    std::function<master::Master*()> master_resolver,
     std::function<tablet::TabletServer*(int)> server_resolver,
     coord::CoordinationService* coord, int node, sim::NetworkModel* network)
-    : master_(master),
+    : master_resolver_(std::move(master_resolver)),
       server_resolver_(std::move(server_resolver)),
       node_(node),
-      network_(network) {
+      network_(network),
+      retry_(fault::RetryOptions{.seed = static_cast<uint64_t>(node)}) {
   txn_ = std::make_unique<txn::TransactionManager>(
       coord, node,
       [this](const std::string& uid) { return ServerByUid(uid); });
+}
+
+LogBaseClient::LogBaseClient(
+    master::Master* master,
+    std::function<tablet::TabletServer*(int)> server_resolver,
+    coord::CoordinationService* coord, int node, sim::NetworkModel* network)
+    : LogBaseClient([master]() { return master; }, std::move(server_resolver),
+                    coord, node, network) {}
+
+Result<master::Master*> LogBaseClient::ActiveMaster() const {
+  master::Master* master = master_resolver_();
+  if (master == nullptr) return Status::Unavailable("no active master");
+  return master;
+}
+
+bool LogBaseClient::ServerReachable(int server_id) const {
+  return network_ == nullptr || network_->Reachable(node_, server_id);
 }
 
 void LogBaseClient::ChargeRpc(int server_id, uint64_t request_bytes,
@@ -138,9 +156,11 @@ Result<LogBaseClient::Route> LogBaseClient::Resolve(const std::string& table,
   static obs::Counter* misses =
       obs::MetricsRegistry::Global().counter("client.route.cache_misses");
   misses->Add();
-  auto schema = master_->GetTable(table);
+  auto master = ActiveMaster();
+  if (!master.ok()) return master.status();
+  auto schema = (*master)->GetTable(table);
   if (!schema.ok()) return schema.status();
-  auto location = master_->Locate(table, column_group, key);
+  auto location = (*master)->Locate(table, column_group, key);
   if (!location.ok()) return location.status();
   {
     std::lock_guard<OrderedMutex> l(cache_mu_);
@@ -155,6 +175,7 @@ tablet::TabletServer* LogBaseClient::ServerByUid(const std::string& uid) {
     std::lock_guard<OrderedMutex> l(cache_mu_);
     auto it = location_cache_.find(uid);
     if (it != location_cache_.end()) {
+      if (!ServerReachable(it->second.server_id)) return nullptr;
       tablet::TabletServer* server = server_resolver_(it->second.server_id);
       if (server != nullptr && server->running()) return server;
     }
@@ -163,6 +184,9 @@ tablet::TabletServer* LogBaseClient::ServerByUid(const std::string& uid) {
 }
 
 Result<tablet::TabletServer*> LogBaseClient::ServerFor(const Route& route) {
+  if (!ServerReachable(route.server_id)) {
+    return Status::Unavailable("tablet server unreachable (partition)");
+  }
   tablet::TabletServer* server = server_resolver_(route.server_id);
   if (server == nullptr || !server->running()) {
     // Stale cache (e.g. server died, tablets reassigned): refresh once.
@@ -178,6 +202,18 @@ void LogBaseClient::InvalidateCache() {
   schema_cache_.clear();
 }
 
+Status LogBaseClient::NormalizeServerStatus(const Status& s) {
+  // "Unknown tablet" from a running server means our route is stale: the
+  // tablet moved (adopted after a crash) and a restarted server fenced it
+  // off. Re-resolve through the master and retry.
+  if (s.IsNotFound() && s.ToString().find("unknown tablet") !=
+                            std::string::npos) {
+    InvalidateCache();
+    return Status::Unavailable("stale tablet route; cache invalidated");
+  }
+  return s;
+}
+
 // ---------------------------------------------------------------------------
 // Single-record operations.
 // ---------------------------------------------------------------------------
@@ -185,31 +221,33 @@ void LogBaseClient::InvalidateCache() {
 Status LogBaseClient::Put(const std::string& table, uint32_t column_group,
                           const Slice& key, const Slice& value) {
   obs::Span span("client.put");
-  for (int attempt = 0; attempt < 2; attempt++) {
+  // A down server invalidates the cache (ServerFor), so the next attempt
+  // re-resolves through the master; backoff gives failover time to land.
+  return retry_.Run("client.put", [&]() -> Status {
     auto route = Resolve(table, column_group, key);
     if (!route.ok()) return route.status();
     auto server = ServerFor(*route);
-    if (!server.ok()) continue;  // refreshed cache; retry
+    if (!server.ok()) return server.status();
     ChargeRpc(route->server_id, key.size() + value.size() + 64, 32);
-    return (*server)->Put(route->tablet_uid, key, value);
-  }
-  return Status::Unavailable("no live server for tablet");
+    return NormalizeServerStatus((*server)->Put(route->tablet_uid, key,
+                                                value));
+  });
 }
 
 Result<ReadResult> LogBaseClient::Get(const std::string& table,
                                       uint32_t column_group, const Slice& key,
                                       const ReadOptions& options) {
   obs::Span span("client.get");
-  for (int attempt = 0; attempt < 2; attempt++) {
+  return retry_.Run<ReadResult>("client.get", [&]() -> Result<ReadResult> {
     auto route = Resolve(table, column_group, key);
     if (!route.ok()) return route.status();
     auto server = ServerFor(*route);
-    if (!server.ok()) continue;  // refreshed cache; retry
+    if (!server.ok()) return server.status();
 
     ReadResult result;
     if (options.all_versions) {
       auto rows = (*server)->GetVersions(route->tablet_uid, key);
-      if (!rows.ok()) return rows.status();
+      if (!rows.ok()) return NormalizeServerStatus(rows.status());
       uint64_t bytes = 0;
       for (const auto& row : *rows) bytes += row.key.size() + row.value.size();
       ChargeRpc(route->server_id, key.size() + 64, bytes + 32);
@@ -221,14 +259,13 @@ Result<ReadResult> LogBaseClient::Get(const std::string& table,
                     ? (*server)->Get(route->tablet_uid, key)
                     : (*server)->GetAsOf(route->tablet_uid, key,
                                          options.as_of);
-    if (!read.ok()) return read.status();
+    if (!read.ok()) return NormalizeServerStatus(read.status());
     ChargeRpc(route->server_id, key.size() + 64, read->value.size() + 32);
     result.rows.push_back(tablet::ReadRow{
         key.ToString(), options.with_timestamp ? read->timestamp : 0,
         std::move(read->value)});
     return result;
-  }
-  return Status::Unavailable("no live server for tablet");
+  });
 }
 
 // -- Deprecated read flavors: thin shims over the unified Get. -------------
@@ -266,45 +303,57 @@ Result<std::vector<tablet::ReadRow>> LogBaseClient::GetVersions(
 
 Status LogBaseClient::Delete(const std::string& table, uint32_t column_group,
                              const Slice& key) {
-  auto route = Resolve(table, column_group, key);
-  if (!route.ok()) return route.status();
-  auto server = ServerFor(*route);
-  if (!server.ok()) return server.status();
-  ChargeRpc(route->server_id, key.size() + 64, 32);
-  return (*server)->Delete(route->tablet_uid, key);
+  return retry_.Run("client.delete", [&]() -> Status {
+    auto route = Resolve(table, column_group, key);
+    if (!route.ok()) return route.status();
+    auto server = ServerFor(*route);
+    if (!server.ok()) return server.status();
+    ChargeRpc(route->server_id, key.size() + 64, 32);
+    return NormalizeServerStatus((*server)->Delete(route->tablet_uid, key));
+  });
 }
 
 Result<std::vector<tablet::ReadRow>> LogBaseClient::Scan(
     const std::string& table, uint32_t column_group, const Slice& start_key,
     const Slice& end_key) {
   obs::Span span("client.scan");
-  auto locations = master_->LocateAll(table, column_group);
-  if (!locations.ok()) return locations.status();
-  std::vector<tablet::ReadRow> rows;
-  for (const master::TabletLocation& location : *locations) {
-    const tablet::TabletDescriptor& d = location.descriptor;
-    // Skip tablets entirely outside the range.
-    if (!end_key.empty() && !d.start_key.empty() &&
-        Slice(d.start_key).compare(end_key) >= 0) {
-      continue;
+  // Retried as a unit: a failed tablet mid-scan restarts the whole scan
+  // against the (possibly reassigned) current layout.
+  using Rows = std::vector<tablet::ReadRow>;
+  return retry_.Run<Rows>("client.scan", [&]() -> Result<Rows> {
+    auto master = ActiveMaster();
+    if (!master.ok()) return master.status();
+    auto locations = (*master)->LocateAll(table, column_group);
+    if (!locations.ok()) return locations.status();
+    Rows rows;
+    for (const master::TabletLocation& location : *locations) {
+      const tablet::TabletDescriptor& d = location.descriptor;
+      // Skip tablets entirely outside the range.
+      if (!end_key.empty() && !d.start_key.empty() &&
+          Slice(d.start_key).compare(end_key) >= 0) {
+        continue;
+      }
+      if (!start_key.empty() && !d.end_key.empty() &&
+          Slice(d.end_key).compare(start_key) <= 0) {
+        continue;
+      }
+      if (!ServerReachable(location.server_id)) {
+        return Status::Unavailable("tablet server unreachable during scan");
+      }
+      tablet::TabletServer* server = server_resolver_(location.server_id);
+      if (server == nullptr || !server->running()) {
+        return Status::Unavailable("tablet server down during scan");
+      }
+      auto part = server->Scan(d.uid(), start_key, end_key, ~0ull);
+      if (!part.ok()) return NormalizeServerStatus(part.status());
+      uint64_t bytes = 0;
+      for (const auto& row : *part) bytes += row.key.size() + row.value.size();
+      ChargeRpc(location.server_id, 64, bytes + 32);
+      rows.insert(rows.end(), std::make_move_iterator(part->begin()),
+                  std::make_move_iterator(part->end()));
     }
-    if (!start_key.empty() && !d.end_key.empty() &&
-        Slice(d.end_key).compare(start_key) <= 0) {
-      continue;
-    }
-    tablet::TabletServer* server = server_resolver_(location.server_id);
-    if (server == nullptr || !server->running()) {
-      return Status::Unavailable("tablet server down during scan");
-    }
-    auto part = server->Scan(d.uid(), start_key, end_key, ~0ull);
-    if (!part.ok()) return part.status();
-    uint64_t bytes = 0;
-    for (const auto& row : *part) bytes += row.key.size() + row.value.size();
-    ChargeRpc(location.server_id, 64, bytes + 32);
-    rows.insert(rows.end(), std::make_move_iterator(part->begin()),
-                std::make_move_iterator(part->end()));
-  }
-  return rows;
+    return rows;
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -314,7 +363,9 @@ Result<std::vector<tablet::ReadRow>> LogBaseClient::Scan(
 Status LogBaseClient::PutRow(
     const std::string& table, const Slice& key,
     const std::map<std::string, std::string>& columns) {
-  auto schema = master_->GetTable(table);
+  auto master = ActiveMaster();
+  if (!master.ok()) return master.status();
+  auto schema = (*master)->GetTable(table);
   if (!schema.ok()) return schema.status();
   for (const tablet::ColumnGroup& group : schema->groups) {
     std::map<std::string, std::string> group_columns;
@@ -331,7 +382,9 @@ Status LogBaseClient::PutRow(
 
 Result<std::map<std::string, std::string>> LogBaseClient::GetRow(
     const std::string& table, const Slice& key) {
-  auto schema = master_->GetTable(table);
+  auto master = ActiveMaster();
+  if (!master.ok()) return master.status();
+  auto schema = (*master)->GetTable(table);
   if (!schema.ok()) return schema.status();
   std::map<std::string, std::string> row;
   bool found_any = false;

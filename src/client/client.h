@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/retry_policy.h"
 #include "src/master/master.h"
 #include "src/sim/network_model.h"
 #include "src/txn/transaction_manager.h"
@@ -98,11 +99,27 @@ class Txn {
 class LogBaseClient {
  public:
   /// `node` is the machine this client runs on (for network charging);
-  /// `network` may be null.
+  /// `network` may be null. `master_resolver` returns the currently active
+  /// master (nullptr when none is reachable) so clients follow failovers.
+  LogBaseClient(std::function<master::Master*()> master_resolver,
+                std::function<tablet::TabletServer*(int)> server_resolver,
+                coord::CoordinationService* coord, int node,
+                sim::NetworkModel* network = nullptr);
+  /// Single fixed master (no failover).
   LogBaseClient(master::Master* master,
                 std::function<tablet::TabletServer*(int)> server_resolver,
                 coord::CoordinationService* coord, int node,
                 sim::NetworkModel* network = nullptr);
+
+  /// Retry/backoff behavior for Put/Get/Delete/Scan when a tablet server is
+  /// unreachable or down (default: 5 attempts, exponential backoff with
+  /// jitter over virtual time).
+  void set_retry_options(const fault::RetryOptions& options) {
+    retry_ = fault::RetryPolicy(options);
+  }
+  const fault::RetryOptions& retry_options() const {
+    return retry_.options();
+  }
 
   // -- Single-record operations (auto-commit, §3.6) ----------------------
 
@@ -189,6 +206,13 @@ class LogBaseClient {
                         const Slice& key);
   tablet::TabletServer* ServerByUid(const std::string& uid);
   Result<tablet::TabletServer*> ServerFor(const Route& route);
+  /// The active master, or Unavailable when none is elected/reachable.
+  Result<master::Master*> ActiveMaster() const;
+  /// Maps "unknown tablet" (a stale route to a fenced/restarted server)
+  /// to a retryable Unavailable after invalidating the location cache.
+  Status NormalizeServerStatus(const Status& s);
+  /// False when a fault policy says this client can't reach `server_id`.
+  bool ServerReachable(int server_id) const;
   void ChargeRpc(int server_id, uint64_t request_bytes,
                  uint64_t response_bytes);
 
@@ -204,10 +228,11 @@ class LogBaseClient {
   Status CommitImpl(txn::Transaction* txn);
   void AbortImpl(txn::Transaction* txn);
 
-  master::Master* const master_;
+  std::function<master::Master*()> master_resolver_;
   std::function<tablet::TabletServer*(int)> server_resolver_;
   const int node_;
   sim::NetworkModel* const network_;
+  fault::RetryPolicy retry_;
   std::unique_ptr<txn::TransactionManager> txn_;
 
   OrderedMutex cache_mu_{lockrank::kClientCache, "client.cache"};

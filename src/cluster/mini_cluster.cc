@@ -1,5 +1,7 @@
 #include "src/cluster/mini_cluster.h"
 
+#include <algorithm>
+
 #include "src/util/logging.h"
 
 namespace logbase::cluster {
@@ -22,14 +24,17 @@ MiniCluster::MiniCluster(MiniClusterOptions options)
   for (int node = 0; node < options_.num_nodes; node++) {
     server_ids.push_back(node);
   }
-  master_ = std::make_unique<master::Master>(
-      coord_.get(), /*node=*/0,
-      [this](int id) {
-        return (id >= 0 && id < static_cast<int>(servers_.size()))
-                   ? servers_[id].get()
-                   : nullptr;
-      },
-      server_ids);
+  int num_masters = std::max(1, options_.num_masters);
+  for (int i = 0; i < num_masters; i++) {
+    masters_.push_back(std::make_unique<master::Master>(
+        coord_.get(), /*node=*/i % options_.num_nodes,
+        [this](int id) {
+          return (id >= 0 && id < static_cast<int>(servers_.size()))
+                     ? servers_[id].get()
+                     : nullptr;
+        },
+        server_ids));
+  }
 }
 
 MiniCluster::~MiniCluster() {
@@ -43,14 +48,26 @@ Status MiniCluster::Start() {
   for (auto& server : servers_) {
     LOGBASE_RETURN_NOT_OK(server->Start());
   }
-  LOGBASE_RETURN_NOT_OK(master_->Start());
-  LOGBASE_LOG(kInfo, "mini cluster started: %d nodes", options_.num_nodes);
+  for (auto& master : masters_) {
+    LOGBASE_RETURN_NOT_OK(master->Start());
+  }
+  LOGBASE_LOG(kInfo, "mini cluster started: %d nodes, %d masters",
+              options_.num_nodes, static_cast<int>(masters_.size()));
   return Status::OK();
+}
+
+master::Master* MiniCluster::active_master() {
+  for (auto& master : masters_) {
+    if (!master->running()) continue;
+    auto promoted = master->TryPromote();
+    if (promoted.ok() && *promoted) return master.get();
+  }
+  return nullptr;
 }
 
 std::unique_ptr<client::LogBaseClient> MiniCluster::NewClient(int node) {
   return std::make_unique<client::LogBaseClient>(
-      master_.get(),
+      [this]() { return active_master(); },
       [this](int id) {
         return (id >= 0 && id < static_cast<int>(servers_.size()))
                    ? servers_[id].get()
@@ -72,6 +89,10 @@ Status MiniCluster::KillNode(int node) {
   if (!copied.ok()) return copied.status();
   return Status::OK();
 }
+
+void MiniCluster::CrashMaster(int i) { masters_[i]->Crash(); }
+
+Status MiniCluster::RestartMaster(int i) { return masters_[i]->Start(); }
 
 obs::MetricsSnapshot MiniCluster::DumpMetrics() const {
   return obs::MetricsRegistry::Global().Snapshot();

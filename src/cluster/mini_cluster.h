@@ -22,6 +22,9 @@ namespace logbase::cluster {
 
 struct MiniClusterOptions {
   int num_nodes = 3;
+  /// Master instances (instance i homed on node i). One active at a time;
+  /// standbys take over through the coordination-service election.
+  int num_masters = 1;
   dfs::DfsOptions dfs;  // num_nodes is overridden by the cluster's
   sim::NetworkParams network;
   tablet::TabletServerOptions server_template;
@@ -39,9 +42,15 @@ class MiniCluster {
   Status Start();
 
   int num_nodes() const { return options_.num_nodes; }
+  int num_masters() const { return static_cast<int>(masters_.size()); }
   coord::CoordinationService* coord() { return coord_.get(); }
   dfs::Dfs* dfs() { return dfs_.get(); }
-  master::Master* master() { return master_.get(); }
+  /// The first master instance (the only one in single-master clusters).
+  master::Master* master() { return masters_[0].get(); }
+  master::Master* masters(int i) { return masters_[i].get(); }
+  /// The currently elected master, promoting the election winner on demand;
+  /// nullptr when no running instance holds the leadership.
+  master::Master* active_master();
   sim::NetworkModel* network() { return network_.get(); }
   tablet::TabletServer* server(int node) { return servers_[node].get(); }
 
@@ -57,6 +66,11 @@ class MiniCluster {
   /// re-replicates the lost blocks.
   Status KillNode(int node);
 
+  /// Crashes master instance `i` (drops its coordination session without
+  /// resigning, as a real process death would).
+  void CrashMaster(int i);
+  Status RestartMaster(int i);
+
   /// A structured snapshot of every metric the cluster's components have
   /// reported (counters, gauges, virtual-time histograms). Pair with
   /// `Delta()` on the snapshot to scope to a phase, or `ResetMetrics()` to
@@ -70,7 +84,7 @@ class MiniCluster {
   std::unique_ptr<dfs::Dfs> dfs_;
   std::unique_ptr<coord::CoordinationService> coord_;
   std::vector<std::unique_ptr<tablet::TabletServer>> servers_;
-  std::unique_ptr<master::Master> master_;
+  std::vector<std::unique_ptr<master::Master>> masters_;
 };
 
 }  // namespace logbase::cluster

@@ -19,7 +19,25 @@ obs::Counter* WriteBytes() {
   return c;
 }
 
+obs::Counter* InjectedIoErrors() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("fault.injected.disk_errors");
+  return c;
+}
+
 }  // namespace
+
+bool DataNode::ConsumeInjectedError() const {
+  int pending = injected_io_errors_.load(std::memory_order_relaxed);
+  while (pending > 0) {
+    if (injected_io_errors_.compare_exchange_weak(pending, pending - 1,
+                                                  std::memory_order_relaxed)) {
+      InjectedIoErrors()->Add();
+      return true;
+    }
+  }
+  return false;
+}
 
 DataNode::DataNode(int id, sim::DiskParams disk_params)
     : id_(id), disk_("disk-" + std::to_string(id), disk_params) {}
@@ -27,6 +45,7 @@ DataNode::DataNode(int id, sim::DiskParams disk_params)
 Status DataNode::StoreBlockData(BlockId block, uint64_t offset,
                                 const Slice& data) {
   if (!alive()) return Status::Unavailable("data node is down");
+  if (ConsumeInjectedError()) return Status::IOError("injected disk fault");
   std::lock_guard<OrderedMutex> l(mu_);
   std::string& stored = blocks_[block];
   if (offset != stored.size()) {
@@ -49,6 +68,7 @@ Result<std::string> DataNode::ReadBlock(BlockId block, uint64_t offset,
                                         uint64_t n) const {
   obs::Span span("dfs.pread");
   if (!alive()) return Status::Unavailable("data node is down");
+  if (ConsumeInjectedError()) return Status::IOError("injected disk fault");
   std::string out;
   {
     std::lock_guard<OrderedMutex> l(mu_);

@@ -36,6 +36,16 @@ class DataNode {
   void Kill() { alive_.store(false, std::memory_order_release); }
   void Restart() { alive_.store(true, std::memory_order_release); }
 
+  /// Fault injection: the next `count` block reads/writes on this node fail
+  /// with IOError (a flaky disk/controller). Each failure consumes one
+  /// injected error; 0 clears any that remain.
+  void InjectIoErrors(int count) {
+    injected_io_errors_.store(count, std::memory_order_relaxed);
+  }
+  int injected_io_errors() const {
+    return injected_io_errors_.load(std::memory_order_relaxed);
+  }
+
   /// Appends `data` at `offset` within the block (creating it on first
   /// write). Charges a disk access. Fails when dead or on non-contiguous
   /// append.
@@ -61,8 +71,13 @@ class DataNode {
   sim::DiskModel* disk() { return &disk_; }
 
  private:
+  /// Consumes one injected error when any are pending; returns true when
+  /// this access should fail.
+  bool ConsumeInjectedError() const;
+
   const int id_;
   std::atomic<bool> alive_{true};
+  mutable std::atomic<int> injected_io_errors_{0};
   // Mutable: reads charge disk costs too.
   mutable sim::DiskModel disk_;
   mutable OrderedMutex mu_{lockrank::kDfsDataNode, "dfs.data"};

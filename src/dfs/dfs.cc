@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/fault/retry_policy.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/logging.h"
@@ -74,21 +75,33 @@ class DfsWritableFile : public WritableFile {
       size_t chunk_len =
           static_cast<size_t>(std::min<uint64_t>(room, remaining.size()));
       Slice chunk(remaining.data(), chunk_len);
-      LOGBASE_RETURN_NOT_OK(PipelineWrite(chunk));
+      // A chunk that reached zero replicas stored nothing anywhere, so the
+      // retry re-appends at the same offset; partial successes return OK
+      // (under-replication is healed by the name node's sweep).
+      LOGBASE_RETURN_NOT_OK(retry_.Run(
+          "dfs.pipeline_write", [&]() { return PipelineWrite(chunk); }));
       remaining.remove_prefix(chunk_len);
     }
     buffer_.clear();
     return Status::OK();
   }
   Status StartNewBlock() {
-    dfs_->MetadataRpc(client_node_);
-    auto block = dfs_->name_node_.AllocateBlock(path_, client_node_,
-                                                dfs_->AliveNodes());
-    if (!block.ok()) return block.status();
-    current_ = *block;
-    block_fill_ = 0;
-    block_open_ = true;
-    return Status::OK();
+    // Allocation failures (name-node overload, injected faults, transient
+    // partition) are retried with backoff before the write gives up.
+    return retry_.Run("dfs.allocate_block", [&]() -> Status {
+      if (dfs_->network_ != nullptr &&
+          !dfs_->network_->Reachable(client_node_, kNameNodeHost)) {
+        return Status::Unavailable("name node unreachable");
+      }
+      dfs_->MetadataRpc(client_node_);
+      auto block = dfs_->name_node_.AllocateBlock(path_, client_node_,
+                                                  dfs_->AliveNodes());
+      if (!block.ok()) return block.status();
+      current_ = *block;
+      block_fill_ = 0;
+      block_open_ = true;
+      return Status::OK();
+    });
   }
 
   /// Streams the chunk through the replica pipeline: client → r0 → r1 → r2.
@@ -108,6 +121,12 @@ class DfsWritableFile : public WritableFile {
     for (int replica : current_.replicas) {
       DataNode* dn = dfs_->data_nodes_[replica].get();
       if (!dn->alive()) continue;
+      // A replica the upstream hop can't reach drops out of the pipeline
+      // exactly like a dead one (HDFS excludes it and continues).
+      if (dfs_->network_ != nullptr &&
+          !dfs_->network_->Reachable(prev, replica)) {
+        continue;
+      }
       Status s = dn->StoreBlockData(current_.id, block_fill_, chunk);
       if (!s.ok()) continue;
       if (ctx != nullptr && dfs_->network_ != nullptr) {
@@ -140,6 +159,8 @@ class DfsWritableFile : public WritableFile {
   Dfs* dfs_;
   const std::string path_;
   const int client_node_;
+  fault::RetryPolicy retry_{
+      fault::RetryOptions{.seed = 0x0df5u}};  // shared per-writer policy
   std::string buffer_;  // appended but not yet pipelined
   BlockInfo current_;
   bool block_open_ = false;
@@ -207,6 +228,11 @@ class DfsRandomAccessFile : public RandomAccessFile {
     for (int r : order) {
       DataNode* dn = dfs_->data_nodes_[r].get();
       if (!dn->alive()) continue;
+      if (dfs_->network_ != nullptr &&
+          !dfs_->network_->Reachable(client_node_, r)) {
+        last = Status::Unavailable("replica unreachable");
+        continue;
+      }
       auto data = dn->ReadBlock(b.id, offset, n);
       if (data.ok()) {
         if (dfs_->network_ != nullptr) {
@@ -318,8 +344,8 @@ void Dfs::KillDataNode(int node) { data_nodes_[node]->Kill(); }
 
 void Dfs::RestartDataNode(int node) { data_nodes_[node]->Restart(); }
 
-Result<int> Dfs::Rereplicate(int dead_node) {
-  auto tasks = name_node_.PlanRereplication(dead_node, AliveNodes());
+int Dfs::ExecuteRereplication(
+    const std::vector<NameNode::RereplicationTask>& tasks) {
   int copied = 0;
   for (const auto& task : tasks) {
     DataNode* src = data_nodes_[task.source_node].get();
@@ -334,16 +360,39 @@ Result<int> Dfs::Rereplicate(int dead_node) {
     if (dst->HasBlock(task.block)) continue;
     Status s = dst->WriteBlock(task.block, 0, *data);
     if (!s.ok()) continue;
-    LOGBASE_RETURN_NOT_OK(name_node_.AddReplica(task.path, task.block,
-                                                task.target_node));
+    s = name_node_.AddReplica(task.path, task.block, task.target_node);
+    if (!s.ok()) continue;  // file deleted mid-copy
     copied++;
   }
-  LOGBASE_LOG(kInfo, "re-replicated %d blocks after node %d failure", copied,
-              dead_node);
   obs::MetricsRegistry::Global()
       .counter("dfs.replication.recovered_blocks")
       ->Add(copied);
   return copied;
+}
+
+Result<int> Dfs::Rereplicate(int dead_node) {
+  auto tasks = name_node_.PlanRereplication(dead_node, AliveNodes());
+  int copied = ExecuteRereplication(tasks);
+  LOGBASE_LOG(kInfo, "re-replicated %d blocks after node %d failure", copied,
+              dead_node);
+  return copied;
+}
+
+Result<int> Dfs::HealUnderReplicated() {
+  // Iterate: a sweep can itself be partially blocked (sources unreachable),
+  // and each completed copy may enable another; stop at a fixpoint.
+  int total = 0;
+  for (int round = 0; round < options_.replication; round++) {
+    auto tasks = name_node_.PlanUnderReplicated(AliveNodes());
+    if (tasks.empty()) break;
+    int copied = ExecuteRereplication(tasks);
+    total += copied;
+    if (copied == 0) break;
+  }
+  if (total > 0) {
+    LOGBASE_LOG(kInfo, "under-replication sweep copied %d blocks", total);
+  }
+  return total;
 }
 
 // ---------------------------------------------------------------------------

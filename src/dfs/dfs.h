@@ -58,6 +58,11 @@ class Dfs {
   /// Restores full replication for blocks that lost a replica on
   /// `dead_node`; returns the number of block copies made.
   Result<int> Rereplicate(int dead_node);
+  /// The periodic under-replication sweep: re-replicates every block whose
+  /// live replica count is below the replication factor, whatever the cause
+  /// (multiple node deaths, failed pipeline replicas, earlier partial
+  /// re-replication). Returns the number of block copies made.
+  Result<int> HealUnderReplicated();
 
   int num_nodes() const { return static_cast<int>(data_nodes_.size()); }
   DataNode* data_node(int i) { return data_nodes_[i].get(); }
@@ -74,6 +79,10 @@ class Dfs {
   /// Charges a small metadata RPC from `client_node` to the name-node host
   /// (node 0 by convention).
   void MetadataRpc(int client_node) const;
+
+  /// Executes re-replication copy tasks; returns the number completed.
+  int ExecuteRereplication(
+      const std::vector<NameNode::RereplicationTask>& tasks);
 
   const DfsOptions options_;
   std::unique_ptr<sim::NetworkModel> owned_network_;

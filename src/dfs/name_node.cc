@@ -73,6 +73,16 @@ std::vector<int> NameNode::PlaceReplicas(int writer_node,
 Result<BlockInfo> NameNode::AllocateBlock(const std::string& path,
                                           int writer_node,
                                           const std::vector<bool>& alive) {
+  int pending = injected_allocate_failures_.load(std::memory_order_relaxed);
+  while (pending > 0) {
+    if (injected_allocate_failures_.compare_exchange_weak(
+            pending, pending - 1, std::memory_order_relaxed)) {
+      static obs::Counter* injected =
+          obs::MetricsRegistry::Global().counter("fault.injected.meta_errors");
+      injected->Add();
+      return Status::Unavailable("injected allocate failure");
+    }
+  }
   std::lock_guard<OrderedMutex> l(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
@@ -185,6 +195,47 @@ std::vector<NameNode::RereplicationTask> NameNode::PlanRereplication(
       int target =
           static_cast<int>(candidates[rnd_.Uniform(candidates.size())]);
       tasks.push_back(RereplicationTask{path, b.id, source, target});
+    }
+  }
+  return tasks;
+}
+
+std::vector<NameNode::RereplicationTask> NameNode::PlanUnderReplicated(
+    const std::vector<bool>& alive) {
+  std::lock_guard<OrderedMutex> l(mu_);
+  std::vector<RereplicationTask> tasks;
+  const int n = static_cast<int>(racks_.size());
+  int alive_nodes = 0;
+  for (int i = 0; i < n; i++) {
+    if (alive[i]) alive_nodes++;
+  }
+  // With fewer live nodes than the replication factor, full replication is
+  // unreachable; aim for one replica per live node instead.
+  const int want = std::min(replication_, alive_nodes);
+  for (auto& [path, inode] : files_) {
+    for (BlockInfo& b : inode.blocks) {
+      std::vector<int> live;
+      for (int r : b.replicas) {
+        if (r >= 0 && r < n && alive[r]) live.push_back(r);
+      }
+      if (live.empty()) continue;  // no live source; block is lost for now
+      if (static_cast<int>(live.size()) >= want) continue;
+
+      std::vector<int> candidates;
+      for (int i = 0; i < n; i++) {
+        if (alive[i] &&
+            std::find(b.replicas.begin(), b.replicas.end(), i) ==
+                b.replicas.end()) {
+          candidates.push_back(i);
+        }
+      }
+      int missing = want - static_cast<int>(live.size());
+      for (int k = 0; k < missing && !candidates.empty(); k++) {
+        size_t pick = rnd_.Uniform(candidates.size());
+        int target = candidates[pick];
+        candidates.erase(candidates.begin() + static_cast<long>(pick));
+        tasks.push_back(RereplicationTask{path, b.id, live[0], target});
+      }
     }
   }
   return tasks;

@@ -5,6 +5,7 @@
 #ifndef LOGBASE_DFS_NAME_NODE_H_
 #define LOGBASE_DFS_NAME_NODE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -65,8 +66,21 @@ class NameNode {
   std::vector<RereplicationTask> PlanRereplication(
       int dead_node, const std::vector<bool>& alive);
 
+  /// Like PlanRereplication, but scans for any block whose live replica
+  /// count is below the replication factor regardless of which node(s)
+  /// died — the periodic under-replication sweep a real NameNode runs.
+  /// Emits one task per missing replica (distinct targets).
+  std::vector<RereplicationTask> PlanUnderReplicated(
+      const std::vector<bool>& alive);
+
   /// Registers the extra replica created by a completed re-replication.
   Status AddReplica(const std::string& path, BlockId block, int node);
+
+  /// Fault injection: the next `count` AllocateBlock calls fail with
+  /// Unavailable (NameNode overload / safe mode). 0 clears.
+  void InjectAllocateFailures(int count) {
+    injected_allocate_failures_.store(count, std::memory_order_relaxed);
+  }
 
   int replication() const { return replication_; }
 
@@ -85,6 +99,7 @@ class NameNode {
   std::map<std::string, Inode> files_;
   BlockId next_block_id_ = 1;
   Random rnd_{12345};
+  std::atomic<int> injected_allocate_failures_{0};
 };
 
 }  // namespace logbase::dfs

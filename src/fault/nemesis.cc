@@ -1,0 +1,362 @@
+#include "src/fault/nemesis.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "src/client/client.h"
+#include "src/cluster/mini_cluster.h"
+#include "src/sim/sim_context.h"
+#include "src/util/crc32c.h"
+#include "src/util/logging.h"
+#include "src/util/random.h"
+
+namespace logbase::fault {
+
+namespace {
+
+constexpr const char* kTable = "chaos";
+// The transaction pair: two keys in the same tablet range (between key0000
+// and key0001), always written together with the same sequence number, so a
+// partial commit is observable as a mismatch.
+constexpr const char* kPairA = "key0000-txa";
+constexpr const char* kPairB = "key0000-txb";
+
+std::string KeyName(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "key%04d", i);
+  return buf;
+}
+
+std::string EncodeSeq(uint64_t seq) { return "v" + std::to_string(seq); }
+
+bool DecodeSeq(const std::string& value, uint64_t* seq) {
+  if (value.size() < 2 || value[0] != 'v') return false;
+  uint64_t out = 0;
+  for (size_t i = 1; i < value.size(); i++) {
+    if (value[i] < '0' || value[i] > '9') return false;
+    out = out * 10 + static_cast<uint64_t>(value[i] - '0');
+  }
+  *seq = out;
+  return true;
+}
+
+struct SnapshotSample {
+  std::string key;
+  uint64_t timestamp = 0;
+  std::string value;
+};
+
+uint32_t FoldDigest(uint32_t crc, const std::string& s) {
+  return crc32c::Extend(crc, s.data(), s.size());
+}
+
+}  // namespace
+
+std::string NemesisReport::ToString() const {
+  std::string out;
+  out += "nemesis: " + std::to_string(faults_fired) + " faults, " +
+         std::to_string(ops_acked) + "/" + std::to_string(ops_attempted) +
+         " ops acked, digest=" + std::to_string(table_digest) + "\n";
+  for (const std::string& e : schedule) out += "  fault " + e + "\n";
+  for (const std::string& v : violations) out += "  VIOLATION " + v + "\n";
+  return out;
+}
+
+Result<NemesisReport> RunNemesis(const NemesisOptions& options,
+                                 const FaultPlan& plan) {
+  sim::SimContext ctx;
+  sim::SimContext::Scope scope(&ctx);
+
+  cluster::MiniClusterOptions copts;
+  copts.num_nodes = options.num_nodes;
+  copts.num_masters = options.num_masters;
+  cluster::MiniCluster cluster(copts);
+  LOGBASE_RETURN_NOT_OK(cluster.Start());
+
+  master::Master* boot_master = cluster.active_master();
+  if (boot_master == nullptr) {
+    return Status::Unavailable("nemesis: no active master at boot");
+  }
+  std::vector<std::string> splits = {KeyName(options.keys / 3),
+                                     KeyName(2 * options.keys / 3)};
+  auto schema = boot_master->CreateTable(kTable, {"v"}, {{"v"}}, splits);
+  if (!schema.ok()) return schema.status();
+
+  FaultInjector injector(ClusterTargets(&cluster), plan, options.seed);
+
+  auto client = cluster.NewClient(1 % options.num_nodes);
+  RetryOptions retry = options.retry;
+  if (retry.seed == 0) retry.seed = options.seed;
+  client->set_retry_options(retry);
+
+  NemesisReport report;
+  Random rnd(options.seed);
+  uint64_t seq = 0;
+  std::map<std::string, uint64_t> max_acked;
+  std::map<std::string, std::set<uint64_t>> attempted;
+  std::set<uint64_t> pair_acked;
+  std::vector<SnapshotSample> samples;
+
+  // -- Workload, with the fault schedule firing as virtual time passes ----
+  for (int round = 0; round < options.rounds; round++) {
+    ctx.Advance(options.round_advance_us);
+    auto fired = injector.AdvanceTo(ctx.now());
+    if (!fired.ok()) return fired.status();
+    report.faults_fired += *fired;
+
+    master::Master* active = cluster.active_master();
+    if (active != nullptr) {
+      // Failure handling races the fault schedule; failures here (say, the
+      // adoption target just crashed too) are retried next round.
+      (void)active->DetectAndHandleFailures();
+      if (options.ddl_every > 0 && round > 0 &&
+          round % options.ddl_every == 0) {
+        (void)active->AddColumnGroup(kTable,
+                                     {"x" + std::to_string(round)});
+      }
+    }
+
+    uint64_t dice = rnd.Uniform(100);
+    if (dice < 50) {  // blind write
+      seq++;
+      std::string key = KeyName(static_cast<int>(
+          rnd.Uniform(static_cast<uint64_t>(options.keys))));
+      attempted[key].insert(seq);
+      report.ops_attempted++;
+      Status s = client->Put(kTable, 0, key, EncodeSeq(seq));
+      if (s.ok()) {
+        report.ops_acked++;
+        max_acked[key] = std::max(max_acked[key], seq);
+      }
+    } else if (dice < 80) {  // read (and maybe keep a snapshot sample)
+      std::string key = KeyName(static_cast<int>(
+          rnd.Uniform(static_cast<uint64_t>(options.keys))));
+      report.ops_attempted++;
+      auto r = client->Get(kTable, 0, key, client::ReadOptions{});
+      if (r.ok()) {
+        report.ops_acked++;
+        if (r->found()) {
+          uint64_t got = 0;
+          if (!DecodeSeq(r->value(), &got) ||
+              attempted[key].count(got) == 0) {
+            report.violations.push_back("I1: read returned value '" +
+                                        r->value() + "' never written to " +
+                                        key);
+          }
+          if (r->timestamp() != 0 &&
+              samples.size() <
+                  static_cast<size_t>(options.snapshot_samples) &&
+              rnd.Bernoulli(0.4)) {
+            samples.push_back({key, r->timestamp(), r->value()});
+          }
+        }
+      }
+    } else {  // transaction writing the pair atomically
+      seq++;
+      attempted[kPairA].insert(seq);
+      attempted[kPairB].insert(seq);
+      report.ops_attempted++;
+      client::Txn txn = client->BeginTxn();
+      Status s = txn.Write(kTable, 0, kPairA, EncodeSeq(seq));
+      if (s.ok()) s = txn.Write(kTable, 0, kPairB, EncodeSeq(seq));
+      if (s.ok()) {
+        s = txn.Commit();
+      } else {
+        txn.Abort();
+      }
+      if (s.ok()) {
+        report.ops_acked++;
+        pair_acked.insert(seq);
+        max_acked[kPairA] = std::max(max_acked[kPairA], seq);
+        max_acked[kPairB] = std::max(max_acked[kPairB], seq);
+      }
+    }
+  }
+
+  // -- Quiescence: deliver the rest of the plan, then heal ----------------
+  auto fired = injector.FireAll();
+  if (!fired.ok()) return fired.status();
+  report.faults_fired += *fired;
+  injector.HealNetwork();
+  injector.ClearDiskFaults();
+
+  for (int i : injector.CrashedMasters()) {
+    LOGBASE_RETURN_NOT_OK(cluster.RestartMaster(i));
+  }
+  // Crashed (process-level) servers come back; killed machines stay dead —
+  // their tablets are adopted below and their blocks re-replicated.
+  for (int node : injector.CrashedServers()) {
+    if (!injector.IsNodeDead(node)) {
+      LOGBASE_RETURN_NOT_OK(cluster.RestartServer(node));
+    }
+  }
+
+  master::Master* active = cluster.active_master();
+  if (active == nullptr) {
+    report.violations.push_back("I4: no master became active after heal");
+  } else {
+    for (int i = 0; i < 4; i++) {
+      auto handled = active->DetectAndHandleFailures();
+      if (!handled.ok()) {
+        report.violations.push_back("I4: failure handling failed: " +
+                                    handled.status().ToString());
+        break;
+      }
+      if (*handled == 0) break;
+    }
+  }
+
+  auto healed = cluster.dfs()->HealUnderReplicated();
+  if (!healed.ok()) {
+    report.violations.push_back("I3: under-replication sweep failed: " +
+                                healed.status().ToString());
+  }
+
+  report.schedule = injector.DeliveredLog();
+
+  // -- I4: exactly one active master, and it serves metadata --------------
+  int active_masters = 0;
+  for (int i = 0; i < cluster.num_masters(); i++) {
+    if (cluster.masters(i)->IsActiveMaster()) active_masters++;
+  }
+  if (active_masters != 1) {
+    report.violations.push_back(
+        "I4: " + std::to_string(active_masters) +
+        " active masters after heal (want exactly 1)");
+  }
+  if (active != nullptr && !active->GetTable(kTable).ok()) {
+    report.violations.push_back(
+        "I4: active master lost the table metadata");
+  }
+
+  // -- I1: no acknowledged write lost -------------------------------------
+  auto checker = cluster.NewClient(0);
+  std::vector<std::string> all_keys;
+  for (int i = 0; i < options.keys; i++) all_keys.push_back(KeyName(i));
+  all_keys.push_back(kPairA);
+  all_keys.push_back(kPairB);
+
+  std::map<std::string, uint64_t> final_seq;
+  for (const std::string& key : all_keys) {
+    bool ever_acked = max_acked.count(key) > 0;
+    auto r = checker->Get(kTable, 0, key, client::ReadOptions{});
+    if (!r.ok()) {
+      if (ever_acked || !attempted[key].empty()) {
+        report.violations.push_back("I1: " + key + " unreadable after heal: " +
+                                    r.status().ToString());
+      }
+      continue;
+    }
+    if (!r->found()) {
+      if (ever_acked) {
+        report.violations.push_back("I1: acked write to " + key +
+                                    " lost (no value survives)");
+      }
+      continue;
+    }
+    uint64_t got = 0;
+    if (!DecodeSeq(r->value(), &got)) {
+      report.violations.push_back("I1: " + key + " holds corrupt value '" +
+                                  r->value() + "'");
+      continue;
+    }
+    final_seq[key] = got;
+    if (attempted[key].count(got) == 0) {
+      report.violations.push_back("I1: " + key + " holds seq " +
+                                  std::to_string(got) + " never written");
+    }
+    if (ever_acked && got < max_acked[key]) {
+      report.violations.push_back(
+          "I1: " + key + " regressed to seq " + std::to_string(got) +
+          " below acked seq " + std::to_string(max_acked[key]));
+    }
+  }
+  // Atomic pair: a mismatch is only legal when one side is an in-doubt
+  // (unacknowledged) commit attempt.
+  if (final_seq.count(kPairA) > 0 && final_seq.count(kPairB) > 0) {
+    uint64_t a = final_seq[kPairA];
+    uint64_t b = final_seq[kPairB];
+    if (a != b && pair_acked.count(a) > 0 && pair_acked.count(b) > 0) {
+      report.violations.push_back(
+          "I1: txn pair split between acked commits " + std::to_string(a) +
+          " and " + std::to_string(b));
+    }
+  }
+
+  // -- I2: snapshot reads are stable --------------------------------------
+  for (const SnapshotSample& sample : samples) {
+    client::ReadOptions ro;
+    ro.as_of = sample.timestamp;
+    auto r = checker->Get(kTable, 0, sample.key, ro);
+    if (!r.ok() || !r->found() || r->value() != sample.value) {
+      report.violations.push_back(
+          "I2: as-of read of " + sample.key + "@" +
+          std::to_string(sample.timestamp) + " changed: saw '" +
+          sample.value + "', now " +
+          (r.ok() ? (r->found() ? "'" + r->value() + "'" : "<missing>")
+                  : r.status().ToString()));
+    }
+  }
+
+  // -- I3: replication factor restored ------------------------------------
+  {
+    dfs::Dfs* d = cluster.dfs();
+    std::vector<bool> alive = d->AliveNodes();
+    int live = static_cast<int>(std::count(alive.begin(), alive.end(), true));
+    int want = std::min(d->options().replication, live);
+    auto files = d->name_node()->List("");
+    if (!files.ok()) {
+      report.violations.push_back("I3: cannot list DFS files: " +
+                                  files.status().ToString());
+    } else {
+      for (const std::string& path : *files) {
+        auto blocks = d->name_node()->GetBlocks(path);
+        if (!blocks.ok()) continue;
+        for (const dfs::BlockInfo& block : *blocks) {
+          int holding = 0;
+          int anywhere = 0;
+          for (int node = 0; node < d->num_nodes(); node++) {
+            if (!d->data_node(node)->HasBlock(block.id)) continue;
+            anywhere++;
+            if (alive[node]) holding++;
+          }
+          // Allocated-but-never-written tail blocks hold no bytes yet.
+          if (block.size == 0 && anywhere == 0) continue;
+          if (holding < want) {
+            report.violations.push_back(
+                "I3: block " + std::to_string(block.id) + " of " + path +
+                " has " + std::to_string(holding) + " live replicas (want " +
+                std::to_string(want) + ")");
+          }
+        }
+      }
+    }
+  }
+
+  // -- Replay digest over the final table contents ------------------------
+  uint32_t crc = 0;
+  for (const std::string& key : all_keys) {
+    client::ReadOptions ro;
+    ro.all_versions = true;
+    auto r = checker->Get(kTable, 0, key, ro);
+    if (!r.ok()) {
+      crc = FoldDigest(crc, key + "=<" + r.status().ToString() + ">");
+      continue;
+    }
+    for (const tablet::ReadRow& row : r->rows) {
+      crc = FoldDigest(crc, key);
+      crc = FoldDigest(crc, "@" + std::to_string(row.timestamp) + "=");
+      crc = FoldDigest(crc, row.value);
+    }
+  }
+  report.table_digest = crc;
+
+  LOGBASE_LOG(kInfo, "nemesis done: %d faults, %d/%d ops, %zu violations",
+              report.faults_fired, report.ops_acked, report.ops_attempted,
+              report.violations.size());
+  return report;
+}
+
+}  // namespace logbase::fault

@@ -1,0 +1,75 @@
+// The nemesis: runs a client workload against a MiniCluster while a
+// FaultInjector fires a deterministic FaultPlan, then heals the cluster and
+// checks safety invariants over the survivors:
+//
+//   I1 (durability)   — no acknowledged write is lost: every key's final
+//                       value carries a sequence number >= the highest
+//                       acknowledged one, and was actually attempted.
+//   I2 (snapshots)    — historical reads are stable: samples taken during
+//                       the run re-read identically via as-of reads.
+//   I3 (replication)  — after the under-replication sweep every DFS block
+//                       has min(replication, live nodes) live replicas, each
+//                       actually holding the bytes.
+//   I4 (election)     — exactly one running master is active, and it serves
+//                       metadata (the failover actually completed).
+//
+// Everything runs single-threaded on the virtual clock, so the same
+// (plan, seed) pair replays bit-identically — the report carries a digest
+// of the final table contents to prove it.
+
+#ifndef LOGBASE_FAULT_NEMESIS_H_
+#define LOGBASE_FAULT_NEMESIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+#include "src/fault/retry_policy.h"
+#include "src/util/result.h"
+
+namespace logbase::fault {
+
+struct NemesisOptions {
+  int num_nodes = 5;
+  int num_masters = 2;
+  /// Seeds the workload's key/op choices and the client's retry jitter.
+  uint64_t seed = 1;
+  /// Workload rounds; each runs one client operation.
+  int rounds = 300;
+  /// Virtual time added per round (drives the fault schedule forward).
+  sim::VirtualTime round_advance_us = 2500;
+  /// Distinct keys in the workload (small so keys collide across faults).
+  int keys = 48;
+  /// Snapshot samples to take for the I2 check.
+  int snapshot_samples = 24;
+  /// Attempt an AddColumnGroup every this many rounds (0 disables DDL).
+  int ddl_every = 97;
+  RetryOptions retry;
+};
+
+struct NemesisReport {
+  /// Fired fault events in delivery order — equal across replays.
+  std::vector<std::string> schedule;
+  /// crc32c over the final table contents (all keys, all versions) —
+  /// equal across replays of the same (plan, seed).
+  uint32_t table_digest = 0;
+  std::vector<std::string> violations;
+  int ops_attempted = 0;
+  int ops_acked = 0;
+  int faults_fired = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+/// Builds a cluster, runs the workload with `plan` injected, heals, checks
+/// the four invariants. An error Result means the harness itself failed
+/// (could not boot or heal the cluster) — invariant failures are reported
+/// in NemesisReport::violations, not as errors.
+Result<NemesisReport> RunNemesis(const NemesisOptions& options,
+                                 const FaultPlan& plan);
+
+}  // namespace logbase::fault
+
+#endif  // LOGBASE_FAULT_NEMESIS_H_

@@ -2,9 +2,18 @@
 
 #include <algorithm>
 
+#include "src/master/meta_codec.h"
 #include "src/util/logging.h"
 
 namespace logbase::master {
+
+namespace {
+
+using meta::kMetaAssign;
+using meta::kMetaRoot;
+using meta::kMetaTables;
+
+}  // namespace
 
 Master::Master(coord::CoordinationService* coord, int node,
                std::function<tablet::TabletServer*(int)> server_resolver,
@@ -18,7 +27,129 @@ Status Master::Start() {
   session_ = coord_->CreateSession(node_);
   election_ = std::make_unique<coord::MasterElection>(
       coord_, session_, "master-" + std::to_string(node_), node_);
-  return election_->Campaign();
+  LOGBASE_RETURN_NOT_OK(election_->Campaign());
+  running_.store(true, std::memory_order_release);
+  // The election winner recovers persisted metadata right away; standbys
+  // stay passive until TryPromote() finds them leading.
+  auto promoted = TryPromote();
+  if (!promoted.ok()) return promoted.status();
+  return Status::OK();
+}
+
+Status Master::Stop() {
+  if (!running()) return Status::OK();
+  running_.store(false, std::memory_order_release);
+  if (election_ != nullptr) election_->Resign();
+  coord_->CloseSession(session_);
+  std::lock_guard<OrderedMutex> l(mu_);
+  promoted_ = false;
+  return Status::OK();
+}
+
+void Master::Crash() {
+  if (!running()) return;
+  running_.store(false, std::memory_order_release);
+  // No graceful resign: the session dies and its ephemerals (the election
+  // node) vanish, which is what lets a standby take over.
+  coord_->CloseSession(session_);
+  election_.reset();
+  std::lock_guard<OrderedMutex> l(mu_);
+  promoted_ = false;
+  tables_.clear();
+  split_keys_.clear();
+  assignments_.clear();
+  next_table_id_ = 1;
+}
+
+Result<bool> Master::TryPromote() {
+  if (!running() || election_ == nullptr || !election_->IsLeader()) {
+    return false;
+  }
+  std::lock_guard<OrderedMutex> l(mu_);
+  if (promoted_) return true;
+  LOGBASE_RETURN_NOT_OK(RecoverMetadataLocked());
+  promoted_ = true;
+  LOGBASE_LOG(kInfo, "master %d promoted to active: %zu tables, %zu tablets",
+              node_, tables_.size(), assignments_.size());
+  return true;
+}
+
+Status Master::PersistTableLocked(const std::string& name) {
+  coord::ZnodeTree* znodes = coord_->znodes();
+  for (const char* path : {kMetaRoot, kMetaTables, kMetaAssign}) {
+    if (!znodes->Exists(path)) {
+      auto created = znodes->Create(session_, path, "",
+                                    coord::CreateMode::kPersistent);
+      if (!created.ok() && !znodes->Exists(path)) return created.status();
+    }
+  }
+  std::string data = meta::EncodeTableMeta(tables_[name], split_keys_[name]);
+  std::string path = std::string(kMetaTables) + "/" + name;
+  coord_->ChargeRoundTrip(node_, data.size());
+  if (znodes->Exists(path)) return znodes->Set(path, data);
+  auto created =
+      znodes->Create(session_, path, data, coord::CreateMode::kPersistent);
+  return created.ok() ? Status::OK() : created.status();
+}
+
+Status Master::PersistAssignmentLocked(const TabletLocation& location) {
+  coord::ZnodeTree* znodes = coord_->znodes();
+  for (const char* path : {kMetaRoot, kMetaAssign}) {
+    if (!znodes->Exists(path)) {
+      auto created = znodes->Create(session_, path, "",
+                                    coord::CreateMode::kPersistent);
+      if (!created.ok() && !znodes->Exists(path)) return created.status();
+    }
+  }
+  std::string data =
+      meta::EncodeAssignment(location.server_id, location.descriptor);
+  std::string path =
+      std::string(kMetaAssign) + "/" + location.descriptor.uid();
+  coord_->ChargeRoundTrip(node_, data.size());
+  if (znodes->Exists(path)) return znodes->Set(path, data);
+  auto created =
+      znodes->Create(session_, path, data, coord::CreateMode::kPersistent);
+  return created.ok() ? Status::OK() : created.status();
+}
+
+Status Master::RecoverMetadataLocked() {
+  tables_.clear();
+  split_keys_.clear();
+  assignments_.clear();
+  next_table_id_ = 1;
+  coord::ZnodeTree* znodes = coord_->znodes();
+  coord_->ChargeRoundTrip(node_);
+  if (znodes->Exists(kMetaTables)) {
+    auto names = znodes->GetChildren(kMetaTables);
+    if (!names.ok()) return names.status();
+    for (const std::string& name : *names) {
+      auto data = znodes->Get(std::string(kMetaTables) + "/" + name);
+      if (!data.ok()) return data.status();
+      tablet::TableSchema schema;
+      std::vector<std::string> splits;
+      if (!meta::DecodeTableMeta(Slice(*data), &schema, &splits)) {
+        return Status::Corruption("bad table metadata for " + name);
+      }
+      next_table_id_ = std::max(next_table_id_, schema.id + 1);
+      tables_[name] = std::move(schema);
+      split_keys_[name] = std::move(splits);
+    }
+  }
+  if (znodes->Exists(kMetaAssign)) {
+    auto uids = znodes->GetChildren(kMetaAssign);
+    if (!uids.ok()) return uids.status();
+    for (const std::string& uid : *uids) {
+      auto data = znodes->Get(std::string(kMetaAssign) + "/" + uid);
+      if (!data.ok()) return data.status();
+      TabletLocation location;
+      if (!meta::DecodeAssignment(Slice(*data), &location.server_id,
+                                  &location.descriptor)) {
+        return Status::Corruption("bad assignment metadata for " + uid);
+      }
+      assignments_[uid] = std::move(location);
+    }
+  }
+  return Status::OK();
 }
 
 std::vector<int> Master::LiveServers() const {
@@ -47,7 +178,7 @@ Status Master::AssignTablet(const tablet::TabletDescriptor& descriptor,
   }
   LOGBASE_RETURN_NOT_OK(server->OpenTablet(descriptor));
   assignments_[descriptor.uid()] = TabletLocation{descriptor, server_id};
-  return Status::OK();
+  return PersistAssignmentLocked(assignments_[descriptor.uid()]);
 }
 
 Result<tablet::TableSchema> Master::CreateTable(
@@ -90,6 +221,7 @@ Result<tablet::TableSchema> Master::CreateTable(
 
   tables_[name] = schema;
   split_keys_[name] = split_keys;
+  LOGBASE_RETURN_NOT_OK(PersistTableLocked(name));
   LOGBASE_LOG(kInfo, "created table %s: %zu groups x %zu ranges",
               name.c_str(), schema.groups.size(), split_keys.size() + 1);
   return schema;
@@ -122,7 +254,7 @@ Status Master::AddColumnGroup(const std::string& table,
   }
   schema.groups.push_back(std::move(group));
   schema.columns.insert(schema.columns.end(), columns.begin(), columns.end());
-  return Status::OK();
+  return PersistTableLocked(table);
 }
 
 Result<tablet::TableSchema> Master::GetTable(const std::string& name) const {
@@ -194,6 +326,7 @@ Status Master::HandleServerFailure(int dead_server) {
     LOGBASE_RETURN_NOT_OK(
         target->AdoptTablet(location.descriptor, dead_server));
     location.server_id = target_id;
+    LOGBASE_RETURN_NOT_OK(PersistAssignmentLocked(location));
     adopted++;
   }
   LOGBASE_LOG(kInfo, "master reassigned %d tablets from dead server %d",

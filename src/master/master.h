@@ -8,6 +8,7 @@
 #ifndef LOGBASE_MASTER_MASTER_H_
 #define LOGBASE_MASTER_MASTER_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -37,9 +38,25 @@ class Master {
          std::function<tablet::TabletServer*(int)> server_resolver,
          std::vector<int> server_ids);
 
-  /// Joins the master election.
+  /// Joins the master election; the winner recovers persisted metadata from
+  /// the coordination service.
   Status Start();
-  bool IsActiveMaster() const { return election_->IsLeader(); }
+  /// Graceful shutdown: resigns the election and closes the session.
+  Status Stop();
+  /// Simulated process crash: the session dies (ephemerals vanish) and all
+  /// in-memory metadata is lost. Persisted metadata survives in znodes; a
+  /// standby (or this master after Start()) recovers it via TryPromote().
+  void Crash();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool IsActiveMaster() const {
+    return running() && election_ != nullptr && election_->IsLeader();
+  }
+
+  /// Called on a standby after the active master's session dies: when this
+  /// master now leads the election, it reloads table schemas and tablet
+  /// assignments persisted in znodes and becomes the active master. Returns
+  /// whether this master is (now) the active, recovered master. Idempotent.
+  Result<bool> TryPromote();
 
   // -- DDL ---------------------------------------------------------------
 
@@ -86,14 +103,23 @@ class Master {
   int PickServerForRange(uint32_t range_id,
                          const std::vector<int>& live) const;
 
+  // Metadata persistence (znodes under /meta): schemas + split keys under
+  // /meta/tables/<name>, assignments under /meta/assign/<uid>. All require
+  // mu_ held.
+  Status PersistTableLocked(const std::string& name);
+  Status PersistAssignmentLocked(const TabletLocation& location);
+  Status RecoverMetadataLocked();
+
   coord::CoordinationService* const coord_;
   const int node_;
   std::function<tablet::TabletServer*(int)> server_resolver_;
   const std::vector<int> server_ids_;
   coord::SessionId session_ = 0;
   std::unique_ptr<coord::MasterElection> election_;
+  std::atomic<bool> running_{false};
 
   mutable OrderedMutex mu_{lockrank::kMasterState, "master.state"};
+  bool promoted_ = false;  // leader that has recovered persisted metadata
   std::map<std::string, tablet::TableSchema> tables_;
   std::map<std::string, std::vector<std::string>> split_keys_;  // per table
   std::map<std::string, TabletLocation> assignments_;           // by uid

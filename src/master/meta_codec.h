@@ -1,0 +1,41 @@
+// Wire format for the master metadata persisted in coordination-service
+// znodes: table schemas + split keys under /meta/tables/<name>, tablet
+// assignments under /meta/assign/<uid>. Shared between the master (writes
+// and recovers it) and the tablet server (reads assignments on restart to
+// fence itself off tablets that were adopted elsewhere while it was down).
+
+#ifndef LOGBASE_MASTER_META_CODEC_H_
+#define LOGBASE_MASTER_META_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tablet/schema.h"
+#include "src/util/slice.h"
+
+namespace logbase::master::meta {
+
+inline constexpr const char* kMetaRoot = "/meta";
+inline constexpr const char* kMetaTables = "/meta/tables";
+inline constexpr const char* kMetaAssign = "/meta/assign";
+
+inline std::string TablePath(const std::string& name) {
+  return std::string(kMetaTables) + "/" + name;
+}
+inline std::string AssignPath(const std::string& uid) {
+  return std::string(kMetaAssign) + "/" + uid;
+}
+
+std::string EncodeTableMeta(const tablet::TableSchema& schema,
+                            const std::vector<std::string>& splits);
+bool DecodeTableMeta(Slice in, tablet::TableSchema* schema,
+                     std::vector<std::string>* splits);
+
+std::string EncodeAssignment(int server_id,
+                             const tablet::TabletDescriptor& descriptor);
+bool DecodeAssignment(Slice in, int* server_id,
+                      tablet::TabletDescriptor* descriptor);
+
+}  // namespace logbase::master::meta
+
+#endif  // LOGBASE_MASTER_META_CODEC_H_

@@ -41,7 +41,7 @@ VirtualTime DiskModel::AccessCost(uint64_t locus, uint64_t offset,
   bool sequential = it != streams_.end() && it->second == offset;
   VirtualTime positioning =
       sequential ? 0 : params_.seek_us + params_.rotational_us;
-  return positioning + TransferUs(n);
+  return positioning + TransferUs(n) + stall_us();
 }
 
 VirtualTime DiskModel::AccessFrom(VirtualTime start, uint64_t locus,
@@ -54,7 +54,7 @@ VirtualTime DiskModel::AccessFrom(VirtualTime start, uint64_t locus,
     bool sequential = MatchStreamLocked(stream_key, offset, n);
     VirtualTime positioning =
         sequential ? 0 : params_.seek_us + params_.rotational_us;
-    cost = positioning + TransferUs(n);
+    cost = positioning + TransferUs(n) + stall_us();
   }
   return resource_.Acquire(start, cost);
 }

@@ -10,6 +10,7 @@
 #ifndef LOGBASE_SIM_DISK_MODEL_H_
 #define LOGBASE_SIM_DISK_MODEL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -68,6 +69,15 @@ class DiskModel {
   Resource* resource() { return &resource_; }
   const DiskParams& params() const { return params_; }
 
+  /// Fault injection: adds `us` of latency to every subsequent access
+  /// (a stalling spindle / overloaded controller). 0 clears the stall.
+  void set_stall_us(VirtualTime us) {
+    stall_us_.store(us, std::memory_order_relaxed);
+  }
+  VirtualTime stall_us() const {
+    return stall_us_.load(std::memory_order_relaxed);
+  }
+
  private:
   VirtualTime TransferUs(uint64_t n) const;
   /// True when (locus, offset) continues a tracked stream; updates the
@@ -76,6 +86,7 @@ class DiskModel {
 
   const DiskParams params_;
   Resource resource_;
+  std::atomic<VirtualTime> stall_us_{0};
   mutable OrderedMutex mu_{lockrank::kSimDisk, "sim.disk"};
   // locus -> expected next offset, LRU-bounded to kMaxStreams.
   std::unordered_map<uint64_t, uint64_t> streams_;

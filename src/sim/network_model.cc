@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+
 namespace logbase::sim {
+
+namespace {
+
+obs::Counter* UnreachableTransfers() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("sim.net.unreachable_transfers");
+  return c;
+}
+
+}  // namespace
 
 NetworkModel::NetworkModel(int num_nodes, NetworkParams params)
     : params_(params) {
@@ -18,16 +30,27 @@ VirtualTime NetworkModel::TransferUs(uint64_t bytes) const {
          1;
 }
 
+bool NetworkModel::Reachable(int src, int dst) {
+  if (src == dst) return true;
+  NetworkFaultPolicy* policy = fault_policy();
+  if (policy == nullptr) return true;
+  if (policy->Reachable(src, dst)) return true;
+  UnreachableTransfers()->Add();
+  return false;
+}
+
 VirtualTime NetworkModel::TransferFrom(VirtualTime start, int src, int dst,
                                        uint64_t bytes) {
   if (src == dst) return start + params_.loopback_us;
+  VirtualTime overhead = params_.rpc_overhead_us;
+  NetworkFaultPolicy* policy = fault_policy();
+  if (policy != nullptr) overhead += policy->ExtraDelayUs(src, dst);
   VirtualTime wire = TransferUs(bytes);
   // Both NICs stream the payload concurrently; the receiver finishes one
   // fixed overhead after the sender starts.
   VirtualTime sent = nics_[src]->Acquire(start, wire);
-  VirtualTime received =
-      nics_[dst]->Acquire(start + params_.rpc_overhead_us, wire);
-  return std::max(sent, received) + params_.rpc_overhead_us;
+  VirtualTime received = nics_[dst]->Acquire(start + overhead, wire);
+  return std::max(sent, received) + overhead;
 }
 
 void NetworkModel::Transfer(int src, int dst, uint64_t bytes) {

@@ -6,6 +6,7 @@
 #ifndef LOGBASE_SIM_NETWORK_MODEL_H_
 #define LOGBASE_SIM_NETWORK_MODEL_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +15,21 @@
 #include "src/sim/sim_context.h"
 
 namespace logbase::sim {
+
+/// Hook consulted on every transfer; a fault injector implements this to
+/// model partitions (Reachable == false) and slow links (extra per-RPC
+/// latency). Implementations must be thread-safe and must not call back
+/// into NetworkModel.
+class NetworkFaultPolicy {
+ public:
+  virtual ~NetworkFaultPolicy() = default;
+  /// False when src and dst are partitioned from each other (or the RPC is
+  /// dropped). A false result may consume a per-RPC drop decision, so call
+  /// once per attempted RPC, not speculatively.
+  virtual bool Reachable(int src, int dst) = 0;
+  /// Extra one-way latency injected on the src->dst link, in microseconds.
+  virtual VirtualTime ExtraDelayUs(int src, int dst) = 0;
+};
 
 struct NetworkParams {
   /// Per-RPC fixed overhead (kernel + switch + stack).
@@ -42,11 +58,25 @@ class NetworkModel {
   Resource* nic(int node) { return nics_[node].get(); }
   const NetworkParams& params() const { return params_; }
 
+  /// Installs (or clears, with nullptr) the fault policy. The policy must
+  /// outlive the model or be cleared before destruction.
+  void set_fault_policy(NetworkFaultPolicy* policy) {
+    fault_policy_.store(policy, std::memory_order_release);
+  }
+  NetworkFaultPolicy* fault_policy() const {
+    return fault_policy_.load(std::memory_order_acquire);
+  }
+
+  /// True when an RPC from src to dst would currently go through. With no
+  /// fault policy installed every pair is reachable.
+  bool Reachable(int src, int dst);
+
  private:
   VirtualTime TransferUs(uint64_t bytes) const;
 
   const NetworkParams params_;
   std::vector<std::unique_ptr<Resource>> nics_;
+  std::atomic<NetworkFaultPolicy*> fault_policy_{nullptr};
 };
 
 }  // namespace logbase::sim

@@ -202,6 +202,16 @@ Status TabletServer::AdoptTablet(const TabletDescriptor& descriptor,
   };
   LOGBASE_RETURN_NOT_OK(
       RedoLog(this, dead_instance, start, route, nullptr, &max_lsn));
+
+  // The dead owner drew timestamp blocks this server has not seen; writes
+  // issued from a stale local block would sort below the adopted versions
+  // and be invisible to latest-reads (a lost acknowledged write).
+  uint64_t max_ts = 0;
+  tablet->index()->VisitAll([&max_ts](const index::IndexEntry& entry) {
+    if (entry.timestamp > max_ts) max_ts = entry.timestamp;
+  });
+  AdvanceTimestampsBeyond(max_ts);
+
   LOGBASE_LOG(kInfo, "server %d adopted tablet %s from dead instance %u",
               server_id(), descriptor.uid().c_str(), dead_instance);
   return Status::OK();

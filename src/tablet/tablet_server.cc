@@ -6,6 +6,7 @@
 #include "src/coord/znode_tree.h"
 #include "src/index/blink_tree.h"
 #include "src/index/lsm_index.h"
+#include "src/master/meta_codec.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/costs.h"
@@ -89,6 +90,7 @@ Status TabletServer::Start(RecoveryStats* recovery_stats) {
     obs::Span span("tablet.recovery");
     LOGBASE_RETURN_NOT_OK(RunRecovery(this, stats));
   }
+  DropUnownedTablets();
   TabletCounter("tablet.recovery.runs")->Add();
   TabletCounter("tablet.recovery.checkpoint_entries")
       ->Add(stats->checkpoint_entries);
@@ -120,6 +122,30 @@ void TabletServer::Crash() {
   buffer_.Clear();
   std::lock_guard<OrderedMutex> l(ts_mu_);
   ts_next_ = ts_limit_ = 0;
+}
+
+void TabletServer::DropUnownedTablets() {
+  coord::ZnodeTree* tree = coord_->znodes();
+  int dropped = 0;
+  for (const TabletDescriptor& d : Tablets()) {
+    std::string path = master::meta::AssignPath(d.uid());
+    if (!tree->Exists(path)) continue;  // never assigned by a master
+    auto data = tree->Get(path);
+    if (!data.ok()) continue;
+    int owner = -1;
+    TabletDescriptor decoded;
+    if (!master::meta::DecodeAssignment(Slice(*data), &owner, &decoded)) {
+      continue;
+    }
+    if (owner == options_.server_id) continue;
+    std::lock_guard<OrderedMutex> l(tablets_mu_);
+    tablets_.erase(d.uid());
+    dropped++;
+  }
+  if (dropped > 0) {
+    LOGBASE_LOG(kInfo, "server %d fenced off %d adopted tablets on restart",
+                options_.server_id, dropped);
+  }
 }
 
 Result<std::unique_ptr<index::MultiVersionIndex>> TabletServer::NewIndex(
@@ -184,6 +210,18 @@ uint64_t TabletServer::NextLocalTimestamp() {
     ts_limit_ = ts_next_ + kTimestampBatch;
   }
   return ts_next_++;
+}
+
+void TabletServer::AdvanceTimestampsBeyond(uint64_t ts) {
+  std::lock_guard<OrderedMutex> l(ts_mu_);
+  if (ts < ts_next_) return;
+  if (ts < ts_limit_) {
+    ts_next_ = ts + 1;
+    return;
+  }
+  // Force a fresh reservation: the authority's clock is >= every timestamp
+  // it ever issued, so the next block starts above `ts`.
+  ts_next_ = ts_limit_ = 0;
 }
 
 std::string TabletServer::BufferKey(const std::string& tablet_uid,

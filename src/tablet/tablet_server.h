@@ -205,9 +205,19 @@ class TabletServer {
                                        uint64_t expect_ts);
   std::string BufferKey(const std::string& tablet_uid, const Slice& key) const;
   Status MaybeAutoCheckpoint(Tablet* tablet);
+  /// Restart fencing: drops recovered tablets whose persisted assignment
+  /// names another server (they were adopted while this process was down;
+  /// serving the stale copies would fork history).
+  void DropUnownedTablets();
   /// Write timestamp for auto-commit operations, drawn from a locally cached
   /// block reserved at the timestamp authority.
   uint64_t NextLocalTimestamp();
+  /// Discards the cached timestamp block if it does not extend past `ts`.
+  /// Tablet adoption must call this with the adopted history's newest write
+  /// timestamp: the dead owner may have drawn later blocks than the block
+  /// this server is still consuming, and issuing a smaller timestamp would
+  /// make new writes invisible behind the adopted versions.
+  void AdvanceTimestampsBeyond(uint64_t ts);
 
   TabletServerOptions options_;
   dfs::Dfs* const dfs_;

@@ -75,6 +75,7 @@ enum Rank : uint32_t {
   // In-memory test filesystem: map lock, then per-file lock.
   kMemFs = 750,                 // MemFileSystem::mu_
   kMemFile = 760,               // MemFileSystem::MemFile::mu
+  kFaultState = 780,            // fault::FaultInjector::mu_
 
   // Simulation substrate: charged from within most higher-level locks.
   kSimDisk = 800,               // sim::DiskModel::mu_

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "src/dfs/dfs.h"
+#include "src/obs/metrics.h"
 #include "src/sim/sim_context.h"
 #include "src/util/random.h"
 
@@ -155,6 +156,42 @@ TEST(DfsTest, RereplicationRestoresCopies) {
     }
   }
   EXPECT_GE(live, 3);
+}
+
+TEST(DfsTest, KillNodeRestoresReplicationOfEveryAffectedBlock) {
+  Dfs dfs(SmallBlocks(6, 512));
+  // Several multi-block files so the victim holds replicas of many blocks.
+  for (int f = 0; f < 3; f++) {
+    auto wf = dfs.Create("/kill" + std::to_string(f), f);
+    ASSERT_TRUE((*wf)->Append(std::string(1800, 'a' + f)).ok());
+    ASSERT_TRUE((*wf)->Sync().ok());
+  }
+  obs::Counter* recovered = obs::MetricsRegistry::Global().counter(
+      "dfs.replication.recovered_blocks");
+  uint64_t before = recovered->value();
+
+  int victim = (*dfs.name_node()->GetBlocks("/kill0"))[0].replicas[0];
+  dfs.KillDataNode(victim);
+  auto copied = dfs.Rereplicate(victim);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_GT(*copied, 0);
+
+  // Every block of every file is back at full replication on live nodes.
+  auto files = dfs.name_node()->List("");
+  ASSERT_TRUE(files.ok());
+  std::vector<bool> alive = dfs.AliveNodes();
+  for (const std::string& path : *files) {
+    auto blocks = dfs.name_node()->GetBlocks(path);
+    ASSERT_TRUE(blocks.ok());
+    for (const BlockInfo& block : *blocks) {
+      int live = 0;
+      for (int node = 0; node < dfs.num_nodes(); node++) {
+        if (alive[node] && dfs.data_node(node)->HasBlock(block.id)) live++;
+      }
+      EXPECT_GE(live, 3) << path << " block " << block.id;
+    }
+  }
+  EXPECT_EQ(recovered->value() - before, static_cast<uint64_t>(*copied));
 }
 
 TEST(DfsTest, NodeRestartServesOldBlocks) {
