@@ -56,6 +56,19 @@ for preset in "${presets[@]}"; do
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "$(nproc)"
   ctest --preset "${preset}"
+  # The balance suite (live migration / split protocol safety) gates the
+  # default and tsan trees explicitly by label, mirroring the chaos stage.
+  case "${preset}" in
+    default)
+      echo "==== balance: ${preset} ===="
+      (cd "build" && ctest -L balance --output-on-failure)
+      ;;
+    tsan)
+      echo "==== balance: ${preset} ===="
+      (cd "build-tsan" && TSAN_OPTIONS=halt_on_error=1 \
+        ctest -L balance --output-on-failure)
+      ;;
+  esac
 done
 
 if [ "${chaos}" -eq 1 ]; then

@@ -412,6 +412,17 @@ SELF_TEST_CASES = [
     (check_mutex, 'src/x/x.h',
      'std::shared_mutex table_mu_;',
      'OrderedSharedMutex table_mu_{lockrank::kTabletServerTablets, "t"};'),
+    # The balancer subsystem is covered by the same rules: its decisions
+    # must be seeded (replayable nemesis runs) and its state lock ranked.
+    (check_nondet, 'src/balance/balancer.cc',
+     'std::random_device seed_source;',
+     'uint64_t pick = rnd_.Uniform(n);  // seeded via BalancerOptions'),
+    (check_wall_clock, 'src/balance/load_report.h',
+     'uint64_t generated_at_us = time(nullptr);',
+     'uint64_t generated_at_us = sim::CurrentVirtualTime();'),
+    (check_mutex, 'src/balance/balancer.h',
+     'mutable std::mutex mu_;',
+     'mutable OrderedMutex mu_{lockrank::kBalancerState, "balancer.state"};'),
 ]
 
 

@@ -1,0 +1,84 @@
+// Live tablet migration and hot-tablet splitting over the shared DFS log
+// (paper §3.8 applied to elasticity): moving a tablet never copies data —
+// the source seals writes and flushes an index checkpoint, the destination
+// reloads that checkpoint and redoes only the log tail past it, and the
+// master flips the persisted assignment. A split is the same handover with
+// the checkpoint and tail filtered by key range: two child descriptors
+// replace the parent, sharing its log history.
+//
+// Crash safety: every protocol writes a durable intent znode before its
+// first side effect and deletes it after the last. The persisted assignment
+// flip is the single commit point; a master promoted mid-protocol rolls the
+// surviving intent forward iff the flip landed (Master::ReconcileIntents).
+
+#ifndef LOGBASE_BALANCE_MIGRATION_H_
+#define LOGBASE_BALANCE_MIGRATION_H_
+
+#include <functional>
+#include <string>
+
+#include "src/master/master.h"
+#include "src/util/status.h"
+
+namespace logbase::balance {
+
+/// Protocol steps, in execution order, for fault-injection hooks: a test
+/// crashes the master after a named step and asserts the reconcile outcome.
+enum class MigrationStep {
+  // MigrateTablet
+  kIntentPersisted,
+  kSourceSealed,
+  kCheckpointFlushed,
+  kDestAdopted,
+  kAssignmentFlipped,  // commit point
+  kSourceClosed,
+  kIntentCleared,
+  // SplitTablet
+  kSplitIntentPersisted,
+  kParentSealed,
+  kParentCheckpointed,
+  kChildrenBuilt,
+  kSplitCommitted,  // commit point
+  kParentClosed,
+  kSplitIntentCleared,
+};
+
+const char* MigrationStepName(MigrationStep step);
+
+/// Drives one migration or split on behalf of the active master. Not a
+/// long-lived object: construct against the current active master per
+/// operation (the balancer does this every tick).
+class MigrationCoordinator {
+ public:
+  explicit MigrationCoordinator(master::Master* master) : master_(master) {}
+
+  /// Fires after each completed step; leadership is re-checked after the
+  /// hook returns, so a hook that crashes the master aborts the protocol
+  /// exactly there (the intent znode stays behind for reconcile).
+  void set_step_hook(std::function<void(MigrationStep)> hook) {
+    hook_ = std::move(hook);
+  }
+
+  /// Moves `uid` to server `to` with no acked-write loss. Errors before the
+  /// assignment flip roll back inline (source unsealed, destination copy
+  /// dropped, intent cleared) while this master still leads.
+  Status MigrateTablet(const std::string& uid, int to);
+
+  /// Splits `uid` at `split_key` (strictly interior): the left child stays
+  /// on the owner, the right child lands on `right_server`. Children get
+  /// fresh range ids and rebuild their indexes from the parent's checkpoint
+  /// + log tail, filtered by range — no data is copied or rewritten.
+  Status SplitTablet(const std::string& uid, const std::string& split_key,
+                     int right_server);
+
+ private:
+  /// Fires the hook, then verifies this master still leads.
+  Status AfterStep(MigrationStep step);
+
+  master::Master* const master_;
+  std::function<void(MigrationStep)> hook_;
+};
+
+}  // namespace logbase::balance
+
+#endif  // LOGBASE_BALANCE_MIGRATION_H_

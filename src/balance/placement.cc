@@ -1,0 +1,43 @@
+#include "src/balance/placement.h"
+
+namespace logbase::balance {
+
+int PickLeastLoaded(const std::vector<ServerLoad>& candidates) {
+  int best = -1;
+  int best_count = 0;
+  double best_score = 0.0;
+  for (const ServerLoad& c : candidates) {
+    bool better;
+    if (best < 0) {
+      better = true;
+    } else if (c.tablet_count != best_count) {
+      better = c.tablet_count < best_count;
+    } else if (c.load_score != best_score) {
+      better = c.load_score < best_score;
+    } else {
+      better = c.server_id < best;
+    }
+    if (better) {
+      best = c.server_id;
+      best_count = c.tablet_count;
+      best_score = c.load_score;
+    }
+  }
+  return best;
+}
+
+double CountImbalance(const std::vector<ServerLoad>& candidates) {
+  if (candidates.empty()) return 0.0;
+  int total = 0;
+  int max = 0;
+  for (const ServerLoad& c : candidates) {
+    total += c.tablet_count;
+    if (c.tablet_count > max) max = c.tablet_count;
+  }
+  if (total == 0) return 0.0;
+  double mean = static_cast<double>(total) /
+                static_cast<double>(candidates.size());
+  return static_cast<double>(max) / mean;
+}
+
+}  // namespace logbase::balance

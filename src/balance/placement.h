@@ -1,0 +1,34 @@
+// Placement scoring shared by the master (initial CreateTable placement,
+// dead-server scatter) and the balancer (migration / split targets). Pure
+// functions over explicit inputs so the same scoring is testable in
+// isolation and deterministic everywhere it runs.
+
+#ifndef LOGBASE_BALANCE_PLACEMENT_H_
+#define LOGBASE_BALANCE_PLACEMENT_H_
+
+#include <vector>
+
+namespace logbase::balance {
+
+/// A candidate server as the placement policy sees it.
+struct ServerLoad {
+  int server_id = -1;
+  /// Tablets currently assigned (plus any planned-but-uncommitted ones the
+  /// caller is about to place — callers bump this as they plan).
+  int tablet_count = 0;
+  /// Smoothed load score from reports; 0 when no reports exist yet.
+  double load_score = 0.0;
+};
+
+/// The server that should receive the next tablet: fewest tablets first,
+/// then lowest reported load, then lowest id (a total, deterministic
+/// order). Returns -1 when `candidates` is empty.
+int PickLeastLoaded(const std::vector<ServerLoad>& candidates);
+
+/// max/mean tablet-count ratio across candidates (1.0 = perfectly even);
+/// 0 when there are no candidates or no tablets.
+double CountImbalance(const std::vector<ServerLoad>& candidates);
+
+}  // namespace logbase::balance
+
+#endif  // LOGBASE_BALANCE_PLACEMENT_H_

@@ -211,6 +211,14 @@ Status LogBaseClient::NormalizeServerStatus(const Status& s) {
     InvalidateCache();
     return Status::Unavailable("stale tablet route; cache invalidated");
   }
+  // A sealed tablet is mid-migration: the write will succeed at the new
+  // owner once the assignment flips, so drop the route and let the retry
+  // policy's backoff cover the handover window.
+  if (s.IsUnavailable() && s.ToString().find("tablet sealed") !=
+                               std::string::npos) {
+    InvalidateCache();
+    return Status::Unavailable("tablet migrating; cache invalidated");
+  }
   return s;
 }
 

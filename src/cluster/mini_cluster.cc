@@ -35,6 +35,8 @@ MiniCluster::MiniCluster(MiniClusterOptions options)
         },
         server_ids));
   }
+  balancer_ = std::make_unique<balance::Balancer>(
+      [this]() { return active_master(); }, options_.balancer);
 }
 
 MiniCluster::~MiniCluster() {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/balance/balancer.h"
 #include "src/client/client.h"
 #include "src/coord/coordination_service.h"
 #include "src/dfs/dfs.h"
@@ -28,6 +29,9 @@ struct MiniClusterOptions {
   dfs::DfsOptions dfs;  // num_nodes is overridden by the cluster's
   sim::NetworkParams network;
   tablet::TabletServerOptions server_template;
+  /// Policy knobs for the cluster's balancer. The loop only runs when the
+  /// driver (test, benchmark, nemesis) calls balancer()->Tick().
+  balance::BalancerOptions balancer;
 };
 
 class MiniCluster {
@@ -53,6 +57,8 @@ class MiniCluster {
   master::Master* active_master();
   sim::NetworkModel* network() { return network_.get(); }
   tablet::TabletServer* server(int node) { return servers_[node].get(); }
+  /// The cluster's elastic load balancer, already bound to active_master().
+  balance::Balancer* balancer() { return balancer_.get(); }
 
   /// A client homed on `node` (benchmark clients run one per node).
   std::unique_ptr<client::LogBaseClient> NewClient(int node);
@@ -85,6 +91,7 @@ class MiniCluster {
   std::unique_ptr<coord::CoordinationService> coord_;
   std::vector<std::unique_ptr<tablet::TabletServer>> servers_;
   std::vector<std::unique_ptr<master::Master>> masters_;
+  std::unique_ptr<balance::Balancer> balancer_;
 };
 
 }  // namespace logbase::cluster

@@ -72,6 +72,10 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
   cluster::MiniClusterOptions copts;
   copts.num_nodes = options.num_nodes;
   copts.num_masters = options.num_masters;
+  copts.balancer.seed = options.seed;
+  // The chaos workload is light (one op per round); a low activation floor
+  // lets the balancer actually act during the run.
+  copts.balancer.min_total_score = 4.0;
   cluster::MiniCluster cluster(copts);
   LOGBASE_RETURN_NOT_OK(cluster.Start());
 
@@ -116,6 +120,13 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
         (void)active->AddColumnGroup(kTable,
                                      {"x" + std::to_string(round)});
       }
+    }
+    if (options.enable_balancer && options.balance_every > 0 && round > 0 &&
+        round % options.balance_every == 0) {
+      // Balancer actions race the fault schedule by design; a tick that
+      // fails (target crashed mid-migration, leadership lost) rolls back or
+      // is reconciled at the next promotion, which I5 verifies after heal.
+      (void)cluster.balancer()->Tick();
     }
 
     uint64_t dice = rnd.Uniform(100);
@@ -175,6 +186,12 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
     }
   }
 
+  if (options.enable_balancer) {
+    const balance::BalancerStats bstats = cluster.balancer()->stats();
+    report.balancer_migrations = static_cast<int>(bstats.migrations);
+    report.balancer_splits = static_cast<int>(bstats.splits);
+  }
+
   // -- Quiescence: deliver the rest of the plan, then heal ----------------
   auto fired = injector.FireAll();
   if (!fired.ok()) return fired.status();
@@ -229,6 +246,59 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
   if (active != nullptr && !active->GetTable(kTable).ok()) {
     report.violations.push_back(
         "I4: active master lost the table metadata");
+  }
+
+  // -- I5: ownership integrity after migrations/splits raced the faults ---
+  if (active != nullptr) {
+    auto assignments = active->AssignmentsSnapshot();
+    std::vector<int> live = active->LiveServers();
+    for (const auto& [uid, location] : assignments) {
+      if (std::find(live.begin(), live.end(), location.server_id) ==
+          live.end()) {
+        report.violations.push_back(
+            "I5: tablet " + uid + " assigned to dead server " +
+            std::to_string(location.server_id));
+        continue;
+      }
+      tablet::TabletServer* owner = cluster.server(location.server_id);
+      if (owner == nullptr || !owner->running()) {
+        report.violations.push_back(
+            "I5: tablet " + uid + " assigned to non-running server " +
+            std::to_string(location.server_id));
+        continue;
+      }
+      tablet::Tablet* hosted = owner->FindTablet(uid);
+      if (hosted == nullptr) {
+        report.violations.push_back("I5: tablet " + uid +
+                                    " not hosted by its owner " +
+                                    std::to_string(location.server_id));
+      } else if (hosted->sealed()) {
+        report.violations.push_back("I5: tablet " + uid +
+                                    " still sealed after heal");
+      }
+      for (int node = 0; node < cluster.num_nodes(); node++) {
+        if (node == location.server_id) continue;
+        tablet::TabletServer* other = cluster.server(node);
+        if (other == nullptr || !other->running()) continue;
+        if (other->FindTablet(uid) != nullptr) {
+          report.violations.push_back(
+              "I5: tablet " + uid + " hosted by both server " +
+              std::to_string(location.server_id) + " and server " +
+              std::to_string(node));
+        }
+      }
+    }
+    for (int node = 0; node < cluster.num_nodes(); node++) {
+      tablet::TabletServer* server = cluster.server(node);
+      if (server == nullptr || !server->running()) continue;
+      for (const tablet::TabletDescriptor& d : server->Tablets()) {
+        if (assignments.count(d.uid()) == 0) {
+          report.violations.push_back(
+              "I5: server " + std::to_string(node) +
+              " hosts unassigned tablet " + d.uid());
+        }
+      }
+    }
   }
 
   // -- I1: no acknowledged write lost -------------------------------------

@@ -12,6 +12,10 @@
 //                       actually holding the bytes.
 //   I4 (election)     — exactly one running master is active, and it serves
 //                       metadata (the failover actually completed).
+//   I5 (ownership)    — every assigned tablet has exactly one live owner
+//                       that hosts it unsealed, and no running server hosts
+//                       a tablet it is not assigned (no orphans or dual
+//                       owners after migrations/splits race the faults).
 //
 // Everything runs single-threaded on the virtual clock, so the same
 // (plan, seed) pair replays bit-identically — the report carries a digest
@@ -45,6 +49,12 @@ struct NemesisOptions {
   int snapshot_samples = 24;
   /// Attempt an AddColumnGroup every this many rounds (0 disables DDL).
   int ddl_every = 97;
+  /// Run the elastic balancer (migrations + splits) during the chaos run.
+  /// Its operations race the fault schedule, exercising crash recovery of
+  /// the migration/split protocols; I5 then checks ownership integrity.
+  bool enable_balancer = false;
+  /// Balancer tick cadence in rounds (when enabled).
+  int balance_every = 20;
   RetryOptions retry;
 };
 
@@ -58,6 +68,10 @@ struct NemesisReport {
   int ops_attempted = 0;
   int ops_acked = 0;
   int faults_fired = 0;
+  /// Successful balancer operations during the run (0 unless
+  /// `enable_balancer` was set). Deterministic per (plan, seed).
+  int balancer_migrations = 0;
+  int balancer_splits = 0;
 
   bool ok() const { return violations.empty(); }
   std::string ToString() const;

@@ -36,6 +36,12 @@ Status WriteIndexCheckpoint(FileSystem* fs, const std::string& path,
 
 Status LoadIndexCheckpoint(FileSystem* fs, const std::string& path,
                            MultiVersionIndex* index) {
+  return LoadIndexCheckpointFiltered(fs, path, index, nullptr);
+}
+
+Status LoadIndexCheckpointFiltered(
+    FileSystem* fs, const std::string& path, MultiVersionIndex* index,
+    const std::function<bool(const Slice& key)>& filter) {
   auto file = fs->NewRandomAccessFile(path);
   if (!file.ok()) return file.status();
   auto contents = (*file)->Read(0, (*file)->Size());
@@ -68,6 +74,7 @@ Status LoadIndexCheckpoint(FileSystem* fs, const std::string& path,
         !GetFixed64(&input, &timestamp) || !log::DecodeLogPtr(&input, &ptr)) {
       return Status::Corruption("bad index checkpoint entry");
     }
+    if (filter != nullptr && !filter(key)) continue;
     LOGBASE_RETURN_NOT_OK(index->Insert(key, timestamp, ptr));
   }
   return Status::OK();

@@ -10,6 +10,7 @@
 #ifndef LOGBASE_INDEX_INDEX_CHECKPOINT_H_
 #define LOGBASE_INDEX_INDEX_CHECKPOINT_H_
 
+#include <functional>
 #include <string>
 
 #include "src/index/multiversion_index.h"
@@ -24,6 +25,13 @@ Status WriteIndexCheckpoint(FileSystem* fs, const std::string& path,
 /// Loads a checkpoint file, inserting every entry into `index`.
 Status LoadIndexCheckpoint(FileSystem* fs, const std::string& path,
                            MultiVersionIndex* index);
+
+/// Loads a checkpoint file, inserting only the entries whose key passes
+/// `filter`. Tablet splits rebuild each child from the parent's checkpoint
+/// restricted to the child's key range (the log itself is never copied).
+Status LoadIndexCheckpointFiltered(
+    FileSystem* fs, const std::string& path, MultiVersionIndex* index,
+    const std::function<bool(const Slice& key)>& filter);
 
 }  // namespace logbase::index
 

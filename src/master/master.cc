@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/balance/placement.h"
 #include "src/master/meta_codec.h"
 #include "src/util/logging.h"
 
@@ -68,6 +69,7 @@ Result<bool> Master::TryPromote() {
   std::lock_guard<OrderedMutex> l(mu_);
   if (promoted_) return true;
   LOGBASE_RETURN_NOT_OK(RecoverMetadataLocked());
+  LOGBASE_RETURN_NOT_OK(ReconcileIntentsLocked());
   promoted_ = true;
   LOGBASE_LOG(kInfo, "master %d promoted to active: %zu tables, %zu tablets",
               node_, tables_.size(), assignments_.size());
@@ -163,11 +165,22 @@ std::vector<int> Master::LiveServers() const {
   return live;
 }
 
-int Master::PickServerForRange(uint32_t range_id,
-                               const std::vector<int>& live) const {
-  // Same range of every column group lands on the same server: the column
-  // groups of one row co-locate, keeping most transactions single-server.
-  return live[range_id % live.size()];
+int Master::PickServerForRange(const std::vector<int>& live,
+                               const std::map<int, int>& planned) const {
+  std::vector<balance::ServerLoad> candidates;
+  candidates.reserve(live.size());
+  for (int id : live) {
+    balance::ServerLoad c;
+    c.server_id = id;
+    for (const auto& [uid, location] : assignments_) {
+      if (location.server_id == id) c.tablet_count++;
+    }
+    auto it = planned.find(id);
+    if (it != planned.end()) c.tablet_count += it->second;
+    if (load_hint_) c.load_score = load_hint_(id);
+    candidates.push_back(c);
+  }
+  return balance::PickLeastLoaded(candidates);
 }
 
 Status Master::AssignTablet(const tablet::TabletDescriptor& descriptor,
@@ -205,6 +218,19 @@ Result<tablet::TableSchema> Master::CreateTable(
     schema.groups.push_back(std::move(group));
   }
 
+  // Plan every range's server first — all column groups of one range
+  // co-locate, so a placement consumes one slot per group. Planning against
+  // current assignments plus planned placements spreads a new table across
+  // the emptiest servers instead of round-robining.
+  std::map<int, int> planned;
+  std::vector<int> targets;
+  for (uint32_t range = 0; range <= split_keys.size(); range++) {
+    int target = PickServerForRange(live, planned);
+    if (target < 0) return Status::Unavailable("no live tablet servers");
+    targets.push_back(target);
+    planned[target] += static_cast<int>(schema.groups.size());
+  }
+
   // Range-partition each column group at the split keys.
   for (const tablet::ColumnGroup& group : schema.groups) {
     for (uint32_t range = 0; range <= split_keys.size(); range++) {
@@ -215,7 +241,7 @@ Result<tablet::TableSchema> Master::CreateTable(
       d.range_id = range;
       d.start_key = range == 0 ? "" : split_keys[range - 1];
       d.end_key = range == split_keys.size() ? "" : split_keys[range];
-      LOGBASE_RETURN_NOT_OK(AssignTablet(d, PickServerForRange(range, live)));
+      LOGBASE_RETURN_NOT_OK(AssignTablet(d, targets[range]));
     }
   }
 
@@ -242,6 +268,7 @@ Status Master::AddColumnGroup(const std::string& table,
   group.columns = columns;
 
   const std::vector<std::string>& splits = split_keys_[table];
+  std::map<int, int> planned;
   for (uint32_t range = 0; range <= splits.size(); range++) {
     tablet::TabletDescriptor d;
     d.table_id = schema.id;
@@ -250,7 +277,23 @@ Status Master::AddColumnGroup(const std::string& table,
     d.range_id = range;
     d.start_key = range == 0 ? "" : splits[range - 1];
     d.end_key = range == splits.size() ? "" : splits[range];
-    LOGBASE_RETURN_NOT_OK(AssignTablet(d, PickServerForRange(range, live)));
+    // Co-locate with the range's existing groups when any still live there
+    // (entity-group clustering, §3.2); otherwise score a fresh placement.
+    int target = -1;
+    for (const auto& [uid, location] : assignments_) {
+      const tablet::TabletDescriptor& ad = location.descriptor;
+      if (ad.table_id == schema.id && ad.range_id == range &&
+          ad.column_group != group.id &&
+          std::find(live.begin(), live.end(), location.server_id) !=
+              live.end()) {
+        target = location.server_id;
+        break;
+      }
+    }
+    if (target < 0) target = PickServerForRange(live, planned);
+    if (target < 0) return Status::Unavailable("no live tablet servers");
+    planned[target]++;
+    LOGBASE_RETURN_NOT_OK(AssignTablet(d, target));
   }
   schema.groups.push_back(std::move(group));
   schema.columns.insert(schema.columns.end(), columns.begin(), columns.end());
@@ -270,23 +313,20 @@ Result<TabletLocation> Master::Locate(const std::string& table,
   std::lock_guard<OrderedMutex> l(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound(table);
-  auto splits_it = split_keys_.find(table);
-  const std::vector<std::string>& splits = splits_it->second;
-
-  // Binary search the range containing the key.
-  uint32_t range = 0;
-  while (range < splits.size() && key.compare(Slice(splits[range])) >= 0) {
-    range++;
+  // Containment scan, not split-key arithmetic: after a tablet split the
+  // live ranges no longer correspond to the table's creation-time split
+  // keys, so routing walks the assignment table for the covering range.
+  const uint32_t table_id = it->second.id;
+  for (const auto& [uid, location] : assignments_) {
+    const tablet::TabletDescriptor& d = location.descriptor;
+    if (d.table_id == table_id && d.column_group == column_group &&
+        d.Contains(key)) {
+      return location;
+    }
   }
-  tablet::TabletDescriptor probe;
-  probe.table_id = it->second.id;
-  probe.column_group = column_group;
-  probe.range_id = range;
-  auto assignment = assignments_.find(probe.uid());
-  if (assignment == assignments_.end()) {
-    return Status::NotFound("tablet not assigned: " + probe.uid());
-  }
-  return assignment->second;
+  return Status::NotFound("tablet not assigned: " + table + "/cg" +
+                          std::to_string(column_group) + " for key " +
+                          key.ToString());
 }
 
 Result<std::vector<TabletLocation>> Master::LocateAll(
@@ -301,9 +341,12 @@ Result<std::vector<TabletLocation>> Master::LocateAll(
       locations.push_back(location);
     }
   }
+  // Key order, not range-id order: split children carry fresh range ids but
+  // must still come back in scan order ("" sorts first, so the unbounded
+  // head range leads).
   std::sort(locations.begin(), locations.end(),
             [](const TabletLocation& a, const TabletLocation& b) {
-              return a.descriptor.range_id < b.descriptor.range_id;
+              return a.descriptor.start_key < b.descriptor.start_key;
             });
   return locations;
 }
@@ -314,11 +357,15 @@ Status Master::HandleServerFailure(int dead_server) {
   live.erase(std::remove(live.begin(), live.end(), dead_server), live.end());
   if (live.empty()) return Status::Unavailable("no live servers to adopt");
 
-  int next = 0;
+  // Scatter by load, not round-robin: each pick recounts assignments (the
+  // previous adoptions already flipped server_id in place), so the dead
+  // server's tablets spread across the least-loaded survivors.
   int adopted = 0;
+  std::vector<int> targets;
   for (auto& [uid, location] : assignments_) {
     if (location.server_id != dead_server) continue;
-    int target_id = live[next++ % live.size()];
+    int target_id = PickServerForRange(live, {});
+    if (target_id < 0) return Status::Unavailable("no live servers to adopt");
     tablet::TabletServer* target = server_resolver_(target_id);
     if (target == nullptr || !target->running()) {
       return Status::Unavailable("adoption target is down");
@@ -327,7 +374,20 @@ Status Master::HandleServerFailure(int dead_server) {
         target->AdoptTablet(location.descriptor, dead_server));
     location.server_id = target_id;
     LOGBASE_RETURN_NOT_OK(PersistAssignmentLocked(location));
+    if (std::find(targets.begin(), targets.end(), target_id) ==
+        targets.end()) {
+      targets.push_back(target_id);
+    }
     adopted++;
+  }
+  // Adopters checkpoint right away: their recovery metadata must name the
+  // adopted tablets (whose history lives in the dead server's log) or a
+  // second failure on the adopter would lose them.
+  for (int target_id : targets) {
+    tablet::TabletServer* target = server_resolver_(target_id);
+    if (target != nullptr && target->running()) {
+      LOGBASE_RETURN_NOT_OK(target->Checkpoint());
+    }
   }
   LOGBASE_LOG(kInfo, "master reassigned %d tablets from dead server %d",
               adopted, dead_server);
@@ -352,6 +412,186 @@ Result<int> Master::DetectAndHandleFailures() {
     LOGBASE_RETURN_NOT_OK(HandleServerFailure(server));
   }
   return static_cast<int>(dead.size());
+}
+
+std::map<std::string, TabletLocation> Master::AssignmentsSnapshot() const {
+  std::lock_guard<OrderedMutex> l(mu_);
+  return assignments_;
+}
+
+Result<TabletLocation> Master::GetAssignment(const std::string& uid) const {
+  std::lock_guard<OrderedMutex> l(mu_);
+  auto it = assignments_.find(uid);
+  if (it == assignments_.end()) {
+    return Status::NotFound("tablet not assigned: " + uid);
+  }
+  return it->second;
+}
+
+void Master::set_load_hint(std::function<double(int)> hint) {
+  std::lock_guard<OrderedMutex> l(mu_);
+  load_hint_ = std::move(hint);
+}
+
+Status Master::CommitMigration(const std::string& uid, int to) {
+  std::lock_guard<OrderedMutex> l(mu_);
+  if (!promoted_) return Status::Unavailable("not the active master");
+  auto it = assignments_.find(uid);
+  if (it == assignments_.end()) {
+    return Status::NotFound("tablet not assigned: " + uid);
+  }
+  it->second.server_id = to;
+  return PersistAssignmentLocked(it->second);
+}
+
+Status Master::CommitSplit(const std::string& parent_uid,
+                           const TabletLocation& left,
+                           const TabletLocation& right) {
+  std::lock_guard<OrderedMutex> l(mu_);
+  if (!promoted_) return Status::Unavailable("not the active master");
+  if (assignments_.count(parent_uid) == 0) {
+    return Status::NotFound("tablet not assigned: " + parent_uid);
+  }
+  assignments_[left.descriptor.uid()] = left;
+  LOGBASE_RETURN_NOT_OK(PersistAssignmentLocked(left));
+  assignments_[right.descriptor.uid()] = right;
+  LOGBASE_RETURN_NOT_OK(PersistAssignmentLocked(right));
+  assignments_.erase(parent_uid);
+  coord_->ChargeRoundTrip(node_);
+  return coord_->znodes()->Delete(meta::AssignPath(parent_uid));
+}
+
+Result<std::vector<uint32_t>> Master::AllocateRangeIds(uint32_t table_id,
+                                                       uint32_t column_group,
+                                                       int count) {
+  std::lock_guard<OrderedMutex> l(mu_);
+  uint32_t next = 0;
+  for (const auto& [uid, location] : assignments_) {
+    const tablet::TabletDescriptor& d = location.descriptor;
+    if (d.table_id == table_id && d.column_group == column_group &&
+        d.range_id >= next) {
+      next = d.range_id + 1;
+    }
+  }
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < count; i++) {
+    if (next >= (1u << 20)) {
+      return Status::InvalidArgument("range id space exhausted");
+    }
+    ids.push_back(next++);
+  }
+  return ids;
+}
+
+Status Master::ReconcileIntentsLocked() {
+  coord::ZnodeTree* znodes = coord_->znodes();
+
+  // Migrations: the flip of the persisted assignment is the commit point.
+  // Flipped -> roll forward (destination serves); not flipped -> roll back
+  // (source resumes). Dead endpoints are left to DetectAndHandleFailures.
+  if (znodes->Exists(meta::kMetaMigrate)) {
+    auto uids = znodes->GetChildren(meta::kMetaMigrate);
+    if (!uids.ok()) return uids.status();
+    for (const std::string& uid : *uids) {
+      auto data = znodes->Get(meta::MigratePath(uid));
+      if (!data.ok()) continue;
+      int from = -1;
+      int to = -1;
+      tablet::TabletDescriptor d;
+      if (!meta::DecodeMigrationIntent(Slice(*data), &from, &to, &d)) {
+        (void)znodes->Delete(meta::MigratePath(uid));
+        continue;
+      }
+      auto it = assignments_.find(uid);
+      bool flipped = it != assignments_.end() && it->second.server_id == to;
+      tablet::TabletServer* src = server_resolver_(from);
+      tablet::TabletServer* dst = server_resolver_(to);
+      if (flipped) {
+        if (dst != nullptr && dst->running() &&
+            dst->FindTablet(uid) == nullptr) {
+          LOGBASE_RETURN_NOT_OK(
+              dst->AdoptTablet(d, static_cast<uint32_t>(from)));
+          LOGBASE_RETURN_NOT_OK(dst->Checkpoint());
+        }
+        if (src != nullptr && src->running()) (void)src->CloseTablet(uid);
+      } else {
+        if (dst != nullptr && dst->running()) (void)dst->CloseTablet(uid);
+        if (src != nullptr && src->running()) (void)src->UnsealTablet(uid);
+      }
+      (void)znodes->Delete(meta::MigratePath(uid));
+      LOGBASE_LOG(kInfo, "master %d rolled migration of %s %s", node_,
+                  uid.c_str(), flipped ? "forward" : "back");
+    }
+  }
+
+  // Splits: committed iff any child assignment was persisted (CommitSplit
+  // persists both children before deleting the parent).
+  if (znodes->Exists(meta::kMetaSplit)) {
+    auto uids = znodes->GetChildren(meta::kMetaSplit);
+    if (!uids.ok()) return uids.status();
+    for (const std::string& uid : *uids) {
+      auto data = znodes->Get(meta::SplitPath(uid));
+      if (!data.ok()) continue;
+      int owner = -1;
+      int right_server = -1;
+      tablet::TabletDescriptor parent, left, right;
+      if (!meta::DecodeSplitIntent(Slice(*data), &owner, &parent, &left,
+                                   &right_server, &right)) {
+        (void)znodes->Delete(meta::SplitPath(uid));
+        continue;
+      }
+      bool committed = assignments_.count(left.uid()) > 0 ||
+                       assignments_.count(right.uid()) > 0;
+      tablet::TabletServer* owner_srv = server_resolver_(owner);
+      tablet::TabletServer* right_srv = server_resolver_(right_server);
+      if (committed) {
+        if (assignments_.count(left.uid()) == 0) {
+          assignments_[left.uid()] = TabletLocation{left, owner};
+          LOGBASE_RETURN_NOT_OK(
+              PersistAssignmentLocked(assignments_[left.uid()]));
+        }
+        if (assignments_.count(right.uid()) == 0) {
+          assignments_[right.uid()] = TabletLocation{right, right_server};
+          LOGBASE_RETURN_NOT_OK(
+              PersistAssignmentLocked(assignments_[right.uid()]));
+        }
+        if (owner_srv != nullptr && owner_srv->running() &&
+            owner_srv->FindTablet(left.uid()) == nullptr) {
+          LOGBASE_RETURN_NOT_OK(
+              owner_srv->AdoptTablet(left, static_cast<uint32_t>(owner)));
+        }
+        if (right_srv != nullptr && right_srv->running() &&
+            right_srv->FindTablet(right.uid()) == nullptr) {
+          LOGBASE_RETURN_NOT_OK(
+              right_srv->AdoptTablet(right, static_cast<uint32_t>(owner)));
+        }
+        if (assignments_.count(uid) > 0) {
+          assignments_.erase(uid);
+          (void)znodes->Delete(meta::AssignPath(uid));
+        }
+        if (owner_srv != nullptr && owner_srv->running()) {
+          (void)owner_srv->CloseTablet(uid);
+          LOGBASE_RETURN_NOT_OK(owner_srv->Checkpoint());
+        }
+        if (right_srv != nullptr && right_srv != owner_srv &&
+            right_srv->running()) {
+          LOGBASE_RETURN_NOT_OK(right_srv->Checkpoint());
+        }
+      } else {
+        if (owner_srv != nullptr && owner_srv->running()) {
+          (void)owner_srv->CloseTablet(left.uid());
+          (void)owner_srv->UnsealTablet(uid);
+        }
+        if (right_srv != nullptr && right_srv->running()) {
+          (void)right_srv->CloseTablet(right.uid());
+        }
+      }
+      (void)znodes->Delete(meta::SplitPath(uid));
+      LOGBASE_LOG(kInfo, "master %d rolled split of %s %s", node_,
+                  uid.c_str(), committed ? "forward" : "back");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace logbase::master

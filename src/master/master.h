@@ -84,6 +84,36 @@ class Master {
   Result<std::vector<TabletLocation>> LocateAll(const std::string& table,
                                                 uint32_t column_group) const;
 
+  // -- Balancer support (src/balance/) -------------------------------------
+
+  /// Copy of the current assignment table (uid -> location).
+  std::map<std::string, TabletLocation> AssignmentsSnapshot() const;
+  Result<TabletLocation> GetAssignment(const std::string& uid) const;
+  tablet::TabletServer* ResolveServer(int server_id) const {
+    return server_resolver_(server_id);
+  }
+  coord::CoordinationService* coord() const { return coord_; }
+  coord::SessionId session() const { return session_; }
+  int node() const { return node_; }
+  /// Per-server load scores from the balancer's smoothed reports; consulted
+  /// as a tie-break by placement decisions. May be empty (returns 0).
+  void set_load_hint(std::function<double(int)> hint);
+
+  /// Flips the persisted assignment of `uid` to `to` — the commit point of a
+  /// live migration. Active master only.
+  Status CommitMigration(const std::string& uid, int to);
+  /// Replaces the parent assignment with the two children: persists both
+  /// child assignments, then removes the parent's (map entry + znode) — the
+  /// commit point of a split. Active master only.
+  Status CommitSplit(const std::string& parent_uid, const TabletLocation& left,
+                     const TabletLocation& right);
+  /// Fresh range ids for split children (max over current assignments of the
+  /// (table, group) + 1). Fails when the 20-bit range-id space would
+  /// overflow the packed tablet id.
+  Result<std::vector<uint32_t>> AllocateRangeIds(uint32_t table_id,
+                                                 uint32_t column_group,
+                                                 int count);
+
   // -- Failure handling ----------------------------------------------------
 
   /// Servers whose liveness znode is present.
@@ -100,8 +130,15 @@ class Master {
  private:
   Status AssignTablet(const tablet::TabletDescriptor& descriptor,
                       int server_id);  // requires mu_ held
-  int PickServerForRange(uint32_t range_id,
-                         const std::vector<int>& live) const;
+  /// Placement-aware target choice: fewest assigned tablets (counting the
+  /// caller's `planned` but-not-yet-persisted placements), load-hint
+  /// tie-break. Requires mu_ held. -1 when `live` is empty.
+  int PickServerForRange(const std::vector<int>& live,
+                         const std::map<int, int>& planned) const;
+  /// Rolls surviving migration/split intents forward or back after this
+  /// master recovers metadata (the previous active master died mid-
+  /// protocol). Requires mu_ held.
+  Status ReconcileIntentsLocked();
 
   // Metadata persistence (znodes under /meta): schemas + split keys under
   // /meta/tables/<name>, assignments under /meta/assign/<uid>. All require
@@ -124,6 +161,7 @@ class Master {
   std::map<std::string, std::vector<std::string>> split_keys_;  // per table
   std::map<std::string, TabletLocation> assignments_;           // by uid
   uint32_t next_table_id_ = 1;
+  std::function<double(int)> load_hint_;  // balancer-fed, may be empty
 };
 
 }  // namespace logbase::master

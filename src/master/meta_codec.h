@@ -18,12 +18,24 @@ namespace logbase::master::meta {
 inline constexpr const char* kMetaRoot = "/meta";
 inline constexpr const char* kMetaTables = "/meta/tables";
 inline constexpr const char* kMetaAssign = "/meta/assign";
+/// In-flight migration / split intents (src/balance/). Written before any
+/// step mutates server or assignment state; deleted after the protocol
+/// completes. A freshly promoted master rolls each surviving intent forward
+/// or back depending on whether the assignment flip was persisted.
+inline constexpr const char* kMetaMigrate = "/meta/migrate";
+inline constexpr const char* kMetaSplit = "/meta/split";
 
 inline std::string TablePath(const std::string& name) {
   return std::string(kMetaTables) + "/" + name;
 }
 inline std::string AssignPath(const std::string& uid) {
   return std::string(kMetaAssign) + "/" + uid;
+}
+inline std::string MigratePath(const std::string& uid) {
+  return std::string(kMetaMigrate) + "/" + uid;
+}
+inline std::string SplitPath(const std::string& uid) {
+  return std::string(kMetaSplit) + "/" + uid;
 }
 
 std::string EncodeTableMeta(const tablet::TableSchema& schema,
@@ -35,6 +47,23 @@ std::string EncodeAssignment(int server_id,
                              const tablet::TabletDescriptor& descriptor);
 bool DecodeAssignment(Slice in, int* server_id,
                       tablet::TabletDescriptor* descriptor);
+
+/// A live-migration intent: tablet `descriptor` moving `from` -> `to`.
+std::string EncodeMigrationIntent(int from, int to,
+                                  const tablet::TabletDescriptor& descriptor);
+bool DecodeMigrationIntent(Slice in, int* from, int* to,
+                           tablet::TabletDescriptor* descriptor);
+
+/// A split intent: `parent` (hosted by `owner`) splitting into `left`
+/// (stays on `owner`) and `right` (placed on `right_server`).
+std::string EncodeSplitIntent(int owner,
+                              const tablet::TabletDescriptor& parent,
+                              const tablet::TabletDescriptor& left,
+                              int right_server,
+                              const tablet::TabletDescriptor& right);
+bool DecodeSplitIntent(Slice in, int* owner, tablet::TabletDescriptor* parent,
+                       tablet::TabletDescriptor* left, int* right_server,
+                       tablet::TabletDescriptor* right);
 
 }  // namespace logbase::master::meta
 

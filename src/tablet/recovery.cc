@@ -151,11 +151,14 @@ Status RunRecovery(TabletServer* server, RecoveryStats* stats) {
   auto route = [server](const log::LogRecord& record) -> Tablet* {
     TabletDescriptor d = DescriptorFromRecord(record);
     Tablet* tablet = server->FindTablet(d.uid());
-    if (tablet == nullptr) {
-      if (!server->OpenTablet(d).ok()) return nullptr;
-      tablet = server->FindTablet(d.uid());
-    }
-    return tablet;
+    if (tablet != nullptr) return tablet;
+    // After a split the parent's uid routes nowhere, but a hosted child's
+    // range covers the key: its records belong to that child.
+    tablet = server->FindTabletCovering(d.table_id, d.column_group,
+                                        Slice(record.row.primary_key));
+    if (tablet != nullptr) return tablet;
+    if (!server->OpenTablet(d).ok()) return nullptr;
+    return server->FindTablet(d.uid());
   };
   LOGBASE_RETURN_NOT_OK(
       RedoLog(server, server->server_id(), start, route, stats, &max_lsn));
@@ -166,42 +169,55 @@ Status RunRecovery(TabletServer* server, RecoveryStats* stats) {
 }
 
 Status TabletServer::AdoptTablet(const TabletDescriptor& descriptor,
-                                 uint32_t dead_instance) {
+                                 uint32_t source_instance,
+                                 RecoveryStats* stats) {
   namespace ci = checkpoint_internal;
   LOGBASE_RETURN_NOT_OK(OpenTablet(descriptor));
   Tablet* tablet = FindTablet(descriptor.uid());
-  tablet->set_source_instance(dead_instance);
+  tablet->set_source_instance(source_instance);
 
-  const std::string dead_ckpt = CheckpointDirFor(dead_instance);
+  // Checkpoint entries are matched by *range overlap*, not uid: a split
+  // child adopts its half of the parent's checkpointed index under the
+  // parent's uid, filtered to the child's key range.
+  const std::string src_ckpt = CheckpointDirFor(source_instance);
   log::LogPosition start{0, 0};
-  if (fs_->Exists(ci::MetaPath(dead_ckpt))) {
+  if (fs_->Exists(ci::MetaPath(src_ckpt))) {
     ci::CheckpointMeta meta;
-    LOGBASE_RETURN_NOT_OK(ci::LoadMeta(fs_.get(), dead_ckpt, &meta));
+    LOGBASE_RETURN_NOT_OK(ci::LoadMeta(fs_.get(), src_ckpt, &meta));
     for (const auto& [d, source] : meta.tablets) {
-      if (d.uid() != descriptor.uid()) continue;
-      std::string idx_path = ci::IndexFilePath(dead_ckpt, d.uid());
-      if (fs_->Exists(idx_path)) {
-        LOGBASE_RETURN_NOT_OK(index::LoadIndexCheckpoint(fs_.get(), idx_path,
-                                                         tablet->index()));
-        start = meta.position;
+      if (!d.Overlaps(descriptor)) continue;
+      std::string idx_path = ci::IndexFilePath(src_ckpt, d.uid());
+      if (!fs_->Exists(idx_path)) continue;
+      uint64_t before = tablet->index()->num_entries();
+      LOGBASE_RETURN_NOT_OK(index::LoadIndexCheckpointFiltered(
+          fs_.get(), idx_path, tablet->index(),
+          [&descriptor](const Slice& key) {
+            return descriptor.Contains(key);
+          }));
+      start = meta.position;
+      if (stats != nullptr) {
+        stats->loaded_checkpoint = true;
+        stats->checkpoint_entries += tablet->index()->num_entries() - before;
       }
-      break;
     }
   }
 
-  // Redo the dead server's log tail, filtered to the adopted tablet (the
-  // paper's log split: one shared log, per-tablet extraction).
+  // Redo the source's log tail, filtered to the adopted range (the paper's
+  // log split: one shared log, per-tablet extraction). Filtering is by key
+  // containment so records logged under a pre-split parent's packed id
+  // still reach the child that now covers them.
   uint64_t max_lsn = 0;
   auto route = [tablet, &descriptor](const log::LogRecord& record)
       -> Tablet* {
     if (record.key.table_id != descriptor.table_id ||
-        record.key.tablet_id != descriptor.packed_id()) {
+        (record.key.tablet_id >> 20) != descriptor.column_group) {
       return nullptr;
     }
+    if (!descriptor.Contains(Slice(record.row.primary_key))) return nullptr;
     return tablet;
   };
   LOGBASE_RETURN_NOT_OK(
-      RedoLog(this, dead_instance, start, route, nullptr, &max_lsn));
+      RedoLog(this, source_instance, start, route, stats, &max_lsn));
 
   // The dead owner drew timestamp blocks this server has not seen; writes
   // issued from a stale local block would sort below the adopted versions
@@ -212,8 +228,8 @@ Status TabletServer::AdoptTablet(const TabletDescriptor& descriptor,
   });
   AdvanceTimestampsBeyond(max_ts);
 
-  LOGBASE_LOG(kInfo, "server %d adopted tablet %s from dead instance %u",
-              server_id(), descriptor.uid().c_str(), dead_instance);
+  LOGBASE_LOG(kInfo, "server %d adopted tablet %s from instance %u",
+              server_id(), descriptor.uid().c_str(), source_instance);
   return Status::OK();
 }
 

@@ -69,6 +69,19 @@ struct TabletDescriptor {
     if (!end_key.empty() && key.compare(Slice(end_key)) >= 0) return false;
     return true;
   }
+
+  /// Whether two tablets of the same column group cover intersecting key
+  /// ranges (a split child overlaps its parent; siblings never overlap).
+  bool Overlaps(const TabletDescriptor& other) const {
+    if (table_id != other.table_id || column_group != other.column_group) {
+      return false;
+    }
+    bool below = end_key.empty() || other.start_key.empty() ||
+                 other.start_key < end_key;
+    bool above = other.end_key.empty() || start_key.empty() ||
+                 start_key < other.end_key;
+    return below && above;
+  }
 };
 
 }  // namespace logbase::tablet

@@ -49,6 +49,42 @@ class Tablet {
   uint32_t source_instance() const { return source_instance_; }
   void set_source_instance(uint32_t instance) { source_instance_ = instance; }
 
+  // -- Migration fencing --------------------------------------------------
+
+  /// A sealed tablet rejects writes: migration seals the source before
+  /// flushing the bounding checkpoint so no acked write can slip past the
+  /// replay horizon. Reads keep working until the tablet is closed.
+  bool sealed() const { return sealed_.load(std::memory_order_acquire); }
+  void Seal() { sealed_.store(true, std::memory_order_release); }
+  void Unseal() { sealed_.store(false, std::memory_order_release); }
+
+  // -- Load accounting (balance::LoadReport source) -----------------------
+
+  struct LoadWindow {
+    uint64_t read_ops = 0;
+    uint64_t write_ops = 0;
+    uint64_t read_bytes = 0;
+    uint64_t write_bytes = 0;
+  };
+  void RecordRead(uint64_t bytes) {
+    read_ops_.fetch_add(1, std::memory_order_relaxed);
+    read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void RecordWrite(uint64_t bytes) {
+    write_ops_.fetch_add(1, std::memory_order_relaxed);
+    write_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  /// Drains the per-tablet counters: each load report carries the window
+  /// since the previous collection, so the balancer sees deltas.
+  LoadWindow TakeLoadWindow() {
+    LoadWindow w;
+    w.read_ops = read_ops_.exchange(0, std::memory_order_relaxed);
+    w.write_ops = write_ops_.exchange(0, std::memory_order_relaxed);
+    w.read_bytes = read_bytes_.exchange(0, std::memory_order_relaxed);
+    w.write_bytes = write_bytes_.exchange(0, std::memory_order_relaxed);
+    return w;
+  }
+
   // -- Secondary indexes (§5 future work, implemented) -------------------
 
   void AddSecondaryIndex(std::unique_ptr<secondary::SecondaryIndex> index) {
@@ -88,6 +124,11 @@ class Tablet {
   std::unique_ptr<index::MultiVersionIndex> index_;
   std::atomic<uint64_t> updates_since_persist_{0};
   uint32_t source_instance_ = 0;
+  std::atomic<bool> sealed_{false};
+  std::atomic<uint64_t> read_ops_{0};
+  std::atomic<uint64_t> write_ops_{0};
+  std::atomic<uint64_t> read_bytes_{0};
+  std::atomic<uint64_t> write_bytes_{0};
   mutable OrderedMutex secondary_mu_{lockrank::kTabletSecondary,
                                    "tablet.secondary"};
   std::vector<std::unique_ptr<secondary::SecondaryIndex>> secondary_;

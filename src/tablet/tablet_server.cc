@@ -10,6 +10,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/costs.h"
+#include "src/sim/sim_context.h"
 #include "src/util/logging.h"
 
 namespace logbase::tablet {
@@ -126,18 +127,49 @@ void TabletServer::Crash() {
 
 void TabletServer::DropUnownedTablets() {
   coord::ZnodeTree* tree = coord_->znodes();
+  // Every persisted assignment, for the split-parent check below: a tablet
+  // whose own znode vanished but whose range another assignment now covers
+  // was replaced by split children while this process was down.
+  std::vector<std::pair<TabletDescriptor, int>> all_assignments;
+  if (tree->Exists(master::meta::kMetaAssign)) {
+    auto uids = tree->GetChildren(master::meta::kMetaAssign);
+    if (uids.ok()) {
+      for (const std::string& uid : *uids) {
+        auto data = tree->Get(master::meta::AssignPath(uid));
+        if (!data.ok()) continue;
+        int owner = -1;
+        TabletDescriptor decoded;
+        if (master::meta::DecodeAssignment(Slice(*data), &owner, &decoded)) {
+          all_assignments.emplace_back(std::move(decoded), owner);
+        }
+      }
+    }
+  }
   int dropped = 0;
   for (const TabletDescriptor& d : Tablets()) {
     std::string path = master::meta::AssignPath(d.uid());
-    if (!tree->Exists(path)) continue;  // never assigned by a master
-    auto data = tree->Get(path);
-    if (!data.ok()) continue;
-    int owner = -1;
-    TabletDescriptor decoded;
-    if (!master::meta::DecodeAssignment(Slice(*data), &owner, &decoded)) {
-      continue;
+    bool unowned = false;
+    if (!tree->Exists(path)) {
+      // Never assigned by a master (tests drive OpenTablet directly) —
+      // unless a *different* assigned tablet overlaps this one's range, in
+      // which case this is a stale pre-split parent.
+      for (const auto& [assigned, owner] : all_assignments) {
+        if (assigned.uid() != d.uid() && assigned.Overlaps(d)) {
+          unowned = true;
+          break;
+        }
+      }
+    } else {
+      auto data = tree->Get(path);
+      if (!data.ok()) continue;
+      int owner = -1;
+      TabletDescriptor decoded;
+      if (!master::meta::DecodeAssignment(Slice(*data), &owner, &decoded)) {
+        continue;
+      }
+      unowned = owner != options_.server_id;
     }
-    if (owner == options_.server_id) continue;
+    if (!unowned) continue;
     std::lock_guard<OrderedMutex> l(tablets_mu_);
     tablets_.erase(d.uid());
     dropped++;
@@ -190,6 +222,94 @@ Tablet* TabletServer::FindTablet(const std::string& uid) {
   std::lock_guard<OrderedMutex> l(tablets_mu_);
   auto it = tablets_.find(uid);
   return it == tablets_.end() ? nullptr : it->second.get();
+}
+
+Tablet* TabletServer::FindTabletCovering(uint32_t table_id,
+                                         uint32_t column_group,
+                                         const Slice& key) {
+  std::lock_guard<OrderedMutex> l(tablets_mu_);
+  for (auto& [uid, tablet] : tablets_) {
+    const TabletDescriptor& d = tablet->descriptor();
+    if (d.table_id != table_id || d.column_group != column_group) continue;
+    // A fully unbounded range is either a single-range tablet (whose uid a
+    // direct probe already matched) or a recovery placeholder; letting it
+    // absorb foreign ranges' records would merge tablets.
+    if (d.start_key.empty() && d.end_key.empty()) continue;
+    if (d.Contains(key)) return tablet.get();
+  }
+  return nullptr;
+}
+
+Status TabletServer::SealTablet(const std::string& uid) {
+  Tablet* tablet = FindTablet(uid);
+  if (tablet == nullptr) return Status::NotFound("unknown tablet");
+  tablet->Seal();
+  return Status::OK();
+}
+
+Status TabletServer::UnsealTablet(const std::string& uid) {
+  Tablet* tablet = FindTablet(uid);
+  if (tablet == nullptr) return Status::NotFound("unknown tablet");
+  tablet->Unseal();
+  return Status::OK();
+}
+
+Status TabletServer::CloseTablet(const std::string& uid) {
+  {
+    std::lock_guard<OrderedMutex> l(tablets_mu_);
+    if (tablets_.erase(uid) == 0) return Status::OK();  // idempotent
+  }
+  // The read buffer may cache values of the closed tablet; if this server
+  // re-adopts it later, serving them would resurrect pre-migration state.
+  // Correctness over cache warmth: drop everything.
+  buffer_.Clear();
+  LOGBASE_LOG(kInfo, "server %d closed tablet %s", options_.server_id,
+              uid.c_str());
+  return Status::OK();
+}
+
+balance::LoadReport TabletServer::CollectLoadReport() {
+  balance::LoadReport report;
+  report.server_id = options_.server_id;
+  report.generated_at_us = sim::CurrentVirtualTime();
+  {
+    std::lock_guard<OrderedMutex> l(tablets_mu_);
+    report.tablets.reserve(tablets_.size());
+    for (auto& [uid, tablet] : tablets_) {
+      Tablet::LoadWindow w = tablet->TakeLoadWindow();
+      balance::TabletLoad load;
+      load.uid = uid;
+      load.read_ops = w.read_ops;
+      load.write_ops = w.write_ops;
+      load.read_bytes = w.read_bytes;
+      load.write_bytes = w.write_bytes;
+      report.tablets.push_back(std::move(load));
+    }
+  }
+  TabletCounter("balance.report.collected")->Add();
+  return report;
+}
+
+Result<std::string> TabletServer::SuggestSplitKey(const std::string& uid) {
+  Tablet* tablet = FindTablet(uid);
+  if (tablet == nullptr) return Status::NotFound("unknown tablet");
+  const TabletDescriptor& d = tablet->descriptor();
+  std::vector<std::string> keys;
+  for (const index::IndexEntry& entry :
+       tablet->index()->ScanRange("", "", ~0ull)) {
+    if (keys.empty() || keys.back() != entry.key) keys.push_back(entry.key);
+  }
+  if (keys.size() < 2) {
+    return Status::NotFound("tablet too small to split: " + uid);
+  }
+  // The median distinct key halves the live keyset; it must fall strictly
+  // inside the range so both children are non-degenerate.
+  const std::string& candidate = keys[keys.size() / 2];
+  if (!d.Contains(Slice(candidate)) || candidate == d.start_key ||
+      candidate <= keys.front()) {
+    return Status::NotFound("no interior split key for " + uid);
+  }
+  return candidate;
 }
 
 Result<log::LogReader*> TabletServer::ReaderFor(uint32_t instance) {
@@ -251,6 +371,10 @@ Status TabletServer::Put(const std::string& tablet_uid, const Slice& key,
   if (!running()) return Status::Unavailable("tablet server is down");
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
+  if (tablet->sealed()) {
+    return Status::Unavailable("tablet sealed for migration: " + tablet_uid);
+  }
+  tablet->RecordWrite(key.size() + value.size());
 
   uint64_t ts = NextLocalTimestamp();
   log::LogRecord record;
@@ -281,6 +405,12 @@ Status TabletServer::PutBatch(
   if (!running()) return Status::Unavailable("tablet server is down");
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
+  if (tablet->sealed()) {
+    return Status::Unavailable("tablet sealed for migration: " + tablet_uid);
+  }
+  for (const auto& [key, value] : kvs) {
+    tablet->RecordWrite(key.size() + value.size());
+  }
 
   std::vector<log::LogRecord> records;
   std::vector<uint64_t> timestamps;
@@ -336,6 +466,7 @@ Result<ReadValue> TabletServer::Get(const std::string& tablet_uid,
 
   CachedRecord cached;
   if (buffer_.Get(BufferKey(tablet_uid, key), &cached)) {
+    tablet->RecordRead(key.size() + cached.value.size());
     return ReadValue{cached.timestamp, std::move(cached.value)};
   }
   Result<index::IndexEntry> entry = [&] {
@@ -345,6 +476,7 @@ Result<ReadValue> TabletServer::Get(const std::string& tablet_uid,
   if (!entry.ok()) return entry.status();
   auto value = FetchRecordValue(entry->ptr, entry->timestamp);
   if (!value.ok()) return value.status();
+  tablet->RecordRead(key.size() + value->size());
   buffer_.Put(BufferKey(tablet_uid, key),
               CachedRecord{entry->timestamp, *value});
   return ReadValue{entry->timestamp, std::move(*value)};
@@ -371,6 +503,7 @@ Result<ReadValue> TabletServer::GetAsOf(const std::string& tablet_uid,
   if (!entry.ok()) return entry.status();
   auto value = FetchRecordValue(entry->ptr, entry->timestamp);
   if (!value.ok()) return value.status();
+  tablet->RecordRead(key.size() + value->size());
   return ReadValue{entry->timestamp, std::move(*value)};
 }
 
@@ -387,6 +520,9 @@ Result<std::vector<ReadRow>> TabletServer::GetVersions(
     if (!value.ok()) return value.status();
     rows.push_back(ReadRow{entry.key, entry.timestamp, std::move(*value)});
   }
+  uint64_t bytes = 0;
+  for (const ReadRow& row : rows) bytes += row.key.size() + row.value.size();
+  tablet->RecordRead(bytes);
   return rows;
 }
 
@@ -394,6 +530,10 @@ Status TabletServer::Delete(const std::string& tablet_uid, const Slice& key) {
   if (!running()) return Status::Unavailable("tablet server is down");
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
+  if (tablet->sealed()) {
+    return Status::Unavailable("tablet sealed for migration: " + tablet_uid);
+  }
+  tablet->RecordWrite(key.size());
 
   // Step 1: drop index entries so no query can reach the record. Step 2:
   // persist an invalidated entry so restarts re-apply the deletion (§3.6.3).
@@ -431,6 +571,9 @@ Result<std::vector<ReadRow>> TabletServer::Scan(const std::string& tablet_uid,
     if (!value.ok()) return value.status();
     rows.push_back(ReadRow{entry.key, entry.timestamp, std::move(*value)});
   }
+  uint64_t bytes = 0;
+  for (const ReadRow& row : rows) bytes += row.key.size() + row.value.size();
+  tablet->RecordRead(bytes);
   return rows;
 }
 
@@ -486,6 +629,10 @@ Status TabletServer::PublishWrite(const std::string& tablet_uid,
                                   const Slice& value) {
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
+  if (tablet->sealed()) {
+    return Status::Unavailable("tablet sealed for migration: " + tablet_uid);
+  }
+  tablet->RecordWrite(key.size() + value.size());
   LOGBASE_RETURN_NOT_OK(tablet->index()->Insert(key, timestamp, ptr));
   tablet->RecordUpdate();
   buffer_.Put(BufferKey(tablet_uid, key),
@@ -501,6 +648,10 @@ Status TabletServer::PublishDelete(const std::string& tablet_uid,
                                    const Slice& key) {
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
+  if (tablet->sealed()) {
+    return Status::Unavailable("tablet sealed for migration: " + tablet_uid);
+  }
+  tablet->RecordWrite(key.size());
   LOGBASE_RETURN_NOT_OK(tablet->index()->RemoveAllVersions(key));
   tablet->RecordUpdate();
   buffer_.Invalidate(BufferKey(tablet_uid, key));

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/balance/load_report.h"
 #include "src/coord/coordination_service.h"
 #include "src/dfs/dfs.h"
 #include "src/index/multiversion_index.h"
@@ -101,12 +102,38 @@ class TabletServer {
   // -- Tablet management -----------------------------------------------
 
   Status OpenTablet(const TabletDescriptor& descriptor);
-  /// Takes over a tablet from a permanently failed server: loads the dead
-  /// server's checkpointed index for it and redoes the tail of the dead
-  /// server's log, filtered to this tablet (§3.8).
+  /// Takes over a tablet from another log instance: loads that instance's
+  /// checkpointed index entries overlapping the descriptor's key range
+  /// (filtered to it — a split child loads just its half of the parent's
+  /// checkpoint) and redoes the instance's log tail past the checkpoint,
+  /// filtered by key containment (§3.8). Serves permanent-failure adoption,
+  /// live migration and split-child rebuild — all are "hand over the log
+  /// tail and rebuild the index". `stats` (optional) reports how much was
+  /// reloaded vs. replayed.
   Status AdoptTablet(const TabletDescriptor& descriptor,
-                     uint32_t dead_instance);
+                     uint32_t source_instance,
+                     RecoveryStats* stats = nullptr);
+  /// Migration fencing: a sealed tablet rejects writes with a retryable
+  /// error until unsealed or closed. NotFound when the tablet is unknown.
+  Status SealTablet(const std::string& uid);
+  Status UnsealTablet(const std::string& uid);
+  /// Drops a tablet this server no longer owns (migrated away or replaced
+  /// by split children). Idempotent; the log and checkpoint files stay in
+  /// the DFS — only the in-memory index is released.
+  Status CloseTablet(const std::string& uid);
   std::vector<TabletDescriptor> Tablets() const;
+
+  // -- Load reporting (src/balance/) ------------------------------------
+
+  /// Drains every tablet's op/byte counters into a report stamped with the
+  /// current virtual time. Each call returns the window since the previous
+  /// one.
+  balance::LoadReport CollectLoadReport();
+
+  /// A key that splits the tablet's live keyset roughly in half (strictly
+  /// inside its range). NotFound when the tablet holds fewer than two
+  /// distinct keys or no interior key exists.
+  Result<std::string> SuggestSplitKey(const std::string& uid);
 
   // -- Auto-committed data operations (§3.6) ----------------------------
 
@@ -185,6 +212,13 @@ class TabletServer {
   uint64_t log_bytes_written() const { return writer_->bytes_written(); }
   ReadBuffer* read_buffer() { return &buffer_; }
   Tablet* FindTablet(const std::string& uid);
+  /// The hosted tablet of (table, column group) whose key range contains
+  /// `key`, or nullptr. After a split the parent's uid routes nowhere; log
+  /// records written under the parent's packed id reach the covering child
+  /// through this lookup. Tablets with a fully unbounded range are skipped
+  /// unless their uid was probed directly (they are recovery placeholders).
+  Tablet* FindTabletCovering(uint32_t table_id, uint32_t column_group,
+                             const Slice& key);
   /// Reader over a log instance's segments (own or adopted), created
   /// lazily; exposed for recovery, compaction and diagnostics.
   Result<log::LogReader*> ReaderFor(uint32_t instance);

@@ -33,6 +33,7 @@ namespace logbase {
 namespace lockrank {
 enum Rank : uint32_t {
   // Control plane: held across calls into almost everything below.
+  kBalancerState = 90,          // balance::Balancer::mu_
   kMasterState = 100,           // master::Master::mu_
   kClientCache = 110,           // client::LogBaseClient::cache_mu_
 

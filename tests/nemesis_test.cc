@@ -102,6 +102,41 @@ TEST(NemesisTest, MasterKillDuringDdl) {
   RunTwiceAndCheck(options, plan);
 }
 
+TEST(NemesisTest, BalancerRacesFaultsDeterministically) {
+  // The elastic balancer migrates and splits tablets while servers and the
+  // active master crash around it. I5 (ownership integrity) must hold after
+  // heal — every assigned tablet exactly one live unsealed owner, no
+  // orphans — and the whole run, balancer decisions included, must replay
+  // bit-identically for the same (plan, seed).
+  NemesisOptions options = BaseOptions(707);
+  options.enable_balancer = true;
+  options.balance_every = 15;
+  FaultPlan plan;
+  plan.Crash(90 * 1000, 2)
+      .CrashMaster(180 * 1000, 0)
+      .Restart(260 * 1000, 2)
+      .Crash(400 * 1000, 3)
+      .RestartMaster(480 * 1000, 0)
+      .Restart(560 * 1000, 3);
+
+  auto first = RunNemesis(options, plan);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->violations.empty()) << first->ToString();
+  EXPECT_GT(first->faults_fired, 0);
+  EXPECT_GT(first->ops_acked, 0);
+  // The balancer must have actually acted for this to test anything.
+  EXPECT_GT(first->balancer_migrations + first->balancer_splits, 0);
+
+  auto second = RunNemesis(options, plan);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->violations.empty()) << second->ToString();
+  EXPECT_EQ(first->schedule, second->schedule);
+  EXPECT_EQ(first->table_digest, second->table_digest) << first->ToString();
+  EXPECT_EQ(first->ops_acked, second->ops_acked);
+  EXPECT_EQ(first->balancer_migrations, second->balancer_migrations);
+  EXPECT_EQ(first->balancer_splits, second->balancer_splits);
+}
+
 TEST(NemesisTest, SeededRandomPlanHoldsInvariants) {
   // A generated schedule (the fuzz entry point for future chaos tests).
   FaultPlan::RandomOptions ropts;
