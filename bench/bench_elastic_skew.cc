@@ -197,6 +197,24 @@ int main() {
               before.latency_us.Percentile(99), after.latency_us.Percentile(99),
               before.imbalance, after.imbalance);
   PrintComponentBreakdown();
+
+  BenchResult result("elastic_skew");
+  result.Set("records", static_cast<double>(records));
+  result.Set("clients", kNodes);
+  auto add_phase = [&result](const char* label, const Phase& phase) {
+    result.AddRow("phases", label,
+                  {{"throughput_ops", phase.throughput},
+                   {"p50_us", phase.latency_us.Percentile(50)},
+                   {"p99_us", phase.latency_us.Percentile(99)},
+                   {"failed", static_cast<double>(phase.failed)},
+                   {"imbalance", phase.imbalance}});
+  };
+  add_phase("before", before);
+  add_phase("after", after);
+  result.Set("migrations", static_cast<double>(stats.migrations));
+  result.Set("splits", static_cast<double>(stats.splits));
+  result.Set("throughput_gain", after.throughput / before.throughput);
+  result.WriteFile();
   PrintPaperClaim(
       "LogBase migrates tablets by handing over log access and rebuilding "
       "in-memory indexes (§3.5/§3.8) — no data files move, so the system "

@@ -11,10 +11,12 @@
 #ifndef LOGBASE_BENCH_COMMON_H_
 #define LOGBASE_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/baselines/hbase/hbase_server.h"
@@ -176,6 +178,95 @@ inline void PrintComponentBreakdown() {
   PrintComponentBreakdown(obs::MetricsRegistry::Global().Snapshot());
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable results: a bench builds one BenchResult alongside its
+// stdout report and calls WriteFile() before exiting, producing
+// BENCH_<name>.json in the working directory so drivers and CI can diff
+// headline numbers without scraping stdout. Keys keep insertion order;
+// numbers print with %.6g.
+// ---------------------------------------------------------------------------
+
+class BenchResult {
+ public:
+  explicit BenchResult(std::string name) : name_(std::move(name)) {
+    Set("bench", name_);
+    Set("scale", Scale());
+  }
+
+  void Set(const std::string& key, double value) {
+    scalars_.emplace_back(key, Number(value));
+  }
+  void Set(const std::string& key, const std::string& value) {
+    scalars_.emplace_back(key, Quoted(value));
+  }
+
+  /// Appends one labeled row to the `array_key` array (created on first
+  /// use): {"label": <label>, <field>: <value>, ...}.
+  void AddRow(const std::string& array_key, const std::string& label,
+              const std::vector<std::pair<std::string, double>>& fields) {
+    std::string row = "{\"label\": " + Quoted(label);
+    for (const auto& [key, value] : fields) {
+      row += ", " + Quoted(key) + ": " + Number(value);
+    }
+    row += "}";
+    auto it = std::find_if(arrays_.begin(), arrays_.end(),
+                           [&](const auto& a) { return a.first == array_key; });
+    if (it == arrays_.end()) {
+      arrays_.emplace_back(array_key, std::vector<std::string>{row});
+    } else {
+      it->second.push_back(row);
+    }
+  }
+
+  /// Writes BENCH_<name>.json; prints the path (or the failure) to stdout.
+  void WriteFile() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("results: could not write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n");
+    bool first = true;
+    for (const auto& [key, value] : scalars_) {
+      std::fprintf(f, "%s  %s: %s", first ? "" : ",\n", Quoted(key).c_str(),
+                   value.c_str());
+      first = false;
+    }
+    for (const auto& [key, rows] : arrays_) {
+      std::fprintf(f, "%s  %s: [\n", first ? "" : ",\n", Quoted(key).c_str());
+      for (size_t i = 0; i < rows.size(); i++) {
+        std::fprintf(f, "    %s%s\n", rows[i].c_str(),
+                     i + 1 < rows.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]");
+      first = false;
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("results: %s\n", path.c_str());
+  }
+
+ private:
+  static std::string Number(double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return buf;
+  }
+  static std::string Quoted(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> scalars_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> arrays_;
+};
+
 /// Runs `fn` as one simulated actor and returns the virtual seconds it took.
 template <typename Fn>
 double TimedRun(Fn&& fn) {
@@ -197,7 +288,8 @@ inline void ResetCosts(dfs::Dfs* dfs, sim::NetworkModel* network = nullptr) {
   if (network == nullptr) network = dfs->network();  // DFS-owned NICs
   if (network != nullptr) {
     for (int i = 0; i < network->num_nodes(); i++) {
-      network->nic(i)->Reset();
+      network->nic_tx(i)->Reset();
+      network->nic_rx(i)->Reset();
     }
   }
 }

@@ -56,17 +56,18 @@ for preset in "${presets[@]}"; do
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "$(nproc)"
   ctest --preset "${preset}"
-  # The balance suite (live migration / split protocol safety) gates the
+  # The balance suite (live migration / split protocol safety) and the
+  # replica suite (snapshot-serving read replicas, I6 nemesis) gate the
   # default and tsan trees explicitly by label, mirroring the chaos stage.
   case "${preset}" in
     default)
-      echo "==== balance: ${preset} ===="
-      (cd "build" && ctest -L balance --output-on-failure)
+      echo "==== balance+replica: ${preset} ===="
+      (cd "build" && ctest -L 'balance|replica' --output-on-failure)
       ;;
     tsan)
-      echo "==== balance: ${preset} ===="
+      echo "==== balance+replica: ${preset} ===="
       (cd "build-tsan" && TSAN_OPTIONS=halt_on_error=1 \
-        ctest -L balance --output-on-failure)
+        ctest -L 'balance|replica' --output-on-failure)
       ;;
   esac
 done

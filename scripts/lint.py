@@ -16,8 +16,10 @@ Rules enforced over src/ (and, where noted, the whole tree):
                 expressed with std::unique_ptr / std::make_unique; the only
                 tolerated raw `new` is the intentionally-leaked
                 function-local static singleton idiom.
-  deprecated    No call sites of the [[deprecated]] flat client API outside
-                src/client itself. New code uses ReadOptions/BeginTxn.
+  deprecated    No call sites of the removed flat client API
+                (GetVersioned/TxnRead/...). ReadOptions-based reads and the
+                Txn handle are the only client surface; the rule keeps the
+                old spellings from creeping back in.
   mutex        Every mutex under src/ is an OrderedMutex /
                 OrderedSharedMutex so the ranked lock-order checker sees it
                 (src/fault/ included: the injector's state lock carries
@@ -212,20 +214,21 @@ def check_raw_new(path, rel, stripped):
 # rule: deprecated client API
 
 # The flat versioned/txn client methods deprecated by the PR 2 API
-# redesign; ReadOptions/Txn handles are the supported surface. The names
-# GetVersioned/TxnRead/TxnWrite/TxnDelete exist only on the client, so any
-# call site is a violation. GetAsOf/GetVersions also legitimately exist on
-# TabletServer and the index layer, so those are only flagged on a
-# client-shaped receiver; -Werror=deprecated-declarations remains the
-# authoritative compile-time backstop for every spelling.
+# redesign and removed outright once the last call sites migrated;
+# ReadOptions/Txn handles are the supported surface. The names
+# GetVersioned/TxnRead/TxnWrite/TxnDelete existed only on the client, so
+# any call site is a violation. GetAsOf/GetVersions also legitimately exist
+# on TabletServer and the index layer, so those are only flagged on a
+# client-shaped receiver. With the wrappers gone the compiler catches most
+# spellings as plain unknown-member errors; the lint keeps them from being
+# reintroduced wholesale.
 DEPRECATED_CALLS = re.compile(
     r'(?:[.>]\s*(GetVersioned|TxnRead|TxnWrite|TxnDelete)\s*\(|'
     r'\bclient\w*(?:\.|->)\s*(GetAsOf|GetVersions)\s*\()')
 
-DEPRECATED_ALLOWLIST = {
-    'src/client/client.h',   # declarations carry the [[deprecated]] tags
-    'src/client/client.cc',  # implementations of the shims themselves
-}
+# Empty since the wrappers were deleted; entries would be files that may
+# legitimately spell the removed names (e.g. migration tooling).
+DEPRECATED_ALLOWLIST = set()
 
 
 def check_deprecated(path, rel, stripped):
@@ -423,6 +426,20 @@ SELF_TEST_CASES = [
     (check_mutex, 'src/balance/balancer.h',
      'mutable std::mutex mu_;',
      'mutable OrderedMutex mu_{lockrank::kBalancerState, "balancer.state"};'),
+    # The replica subsystem serves bounded-staleness snapshots off virtual
+    # time: its staleness clock, tablet lock and tailer cadence are all
+    # subject to the same determinism rules.
+    (check_wall_clock, 'src/replica/replica_server.cc',
+     'uint64_t now = std::chrono::steady_clock::now().time_since_epoch()'
+     '.count();',
+     'sim::VirtualTime now = sim::CurrentVirtualTime();'),
+    (check_mutex, 'src/replica/replica_server.h',
+     'mutable std::shared_mutex tablets_mu_;',
+     'mutable OrderedMutex mu_{lockrank::kReplicaServerTablets, '
+     '"replica.server.tablets"};'),
+    (check_nondet, 'src/replica/log_tailer.cc',
+     'if (rand() % 100 < jitter) return Status::OK();',
+     'if (rnd.Uniform(100) < jitter) return Status::OK();'),
 ]
 
 

@@ -147,7 +147,7 @@ Result<LogBaseClient::Route> LogBaseClient::Resolve(const std::string& table,
         if (location.descriptor.table_id == schema_it->second.id &&
             location.descriptor.column_group == column_group &&
             location.descriptor.Contains(key)) {
-          return Route{uid, location.server_id};
+          return Route{uid, location.server_id, location.replicas};
         }
       }
     }
@@ -167,7 +167,8 @@ Result<LogBaseClient::Route> LogBaseClient::Resolve(const std::string& table,
     schema_cache_[table] = *schema;
     location_cache_[location->descriptor.uid()] = *location;
   }
-  return Route{location->descriptor.uid(), location->server_id};
+  return Route{location->descriptor.uid(), location->server_id,
+               location->replicas};
 }
 
 tablet::TabletServer* LogBaseClient::ServerByUid(const std::string& uid) {
@@ -242,6 +243,73 @@ Status LogBaseClient::Put(const std::string& table, uint32_t column_group,
   });
 }
 
+namespace {
+
+bool IsNoReplicaServed(const Status& s) {
+  return s.IsNotFound() &&
+         s.ToString().find("no replica served") != std::string::npos;
+}
+
+}  // namespace
+
+Result<tablet::ReadValue> LogBaseClient::ReplicaGet(const Route& route,
+                                                    const Slice& key,
+                                                    const ReadOptions& options,
+                                                    uint64_t* snapshot_ts) {
+  if (!replica_resolver_ || route.replicas.empty()) {
+    return Status::NotFound("no replica served");
+  }
+  // Deterministic rotation by (key, client node) spreads one tablet's reads
+  // across its replicas without coordination or randomness. The hash needs
+  // real avalanche: `start % replicas` keeps only the low bits, and a plain
+  // polynomial hash of short keys leaves those correlated with the key's
+  // last digits (all reads pile onto one replica).
+  uint64_t h = static_cast<uint64_t>(node_) ^ 0x9E3779B97F4A7C15ull;
+  for (size_t i = 0; i < key.size(); i++) {
+    h = (h ^ static_cast<unsigned char>(key.data()[i])) * 0x100000001B3ull;
+  }
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  size_t start = static_cast<size_t>(h);
+  static obs::Counter* redirects =
+      obs::MetricsRegistry::Global().counter("client.replica.redirects");
+  for (size_t i = 0; i < route.replicas.size(); i++) {
+    int replica_id = route.replicas[(start + i) % route.replicas.size()];
+    replica::ReplicaServer* rep = replica_resolver_(replica_id);
+    if (rep == nullptr || !rep->running()) continue;
+    if (!ServerReachable(rep->node())) continue;
+    auto read = rep->Get(route.tablet_uid, key, options.as_of,
+                         options.max_staleness_us, snapshot_ts);
+    if (read.ok()) {
+      ChargeRpc(rep->node(), key.size() + 64, read->value.size() + 32);
+      redirects->Add();
+      return read;
+    }
+    if (read.status().IsNotFound()) {
+      if (read.status().ToString().find("unknown replica tablet") !=
+          std::string::npos) {
+        // The attachment was torn down under us (the tablet migrated or
+        // split): the route is stale — invalidate exactly like an
+        // unknown-tablet primary response and try the next candidate.
+        InvalidateCache();
+        continue;
+      }
+      // The key is absent at the replica's snapshot. Authoritative under
+      // allow_stale: the snapshot is prefix-consistent by construction.
+      ChargeRpc(rep->node(), key.size() + 64, 32);
+      redirects->Add();
+      return read.status();
+    }
+    // Unavailable (staleness exceeded, re-seeding, crashed mid-flight):
+    // try the next replica, then the primary.
+  }
+  static obs::Counter* fallbacks =
+      obs::MetricsRegistry::Global().counter("client.replica.fallbacks");
+  fallbacks->Add();
+  return Status::NotFound("no replica served");
+}
+
 Result<ReadResult> LogBaseClient::Get(const std::string& table,
                                       uint32_t column_group, const Slice& key,
                                       const ReadOptions& options) {
@@ -249,10 +317,24 @@ Result<ReadResult> LogBaseClient::Get(const std::string& table,
   return retry_.Run<ReadResult>("client.get", [&]() -> Result<ReadResult> {
     auto route = Resolve(table, column_group, key);
     if (!route.ok()) return route.status();
-    auto server = ServerFor(*route);
-    if (!server.ok()) return server.status();
 
     ReadResult result;
+    if (options.allow_stale && !options.all_versions) {
+      uint64_t snap = 0;
+      auto read = ReplicaGet(*route, key, options, &snap);
+      if (read.ok()) {
+        result.snapshot_ts = snap;
+        result.rows.push_back(tablet::ReadRow{
+            key.ToString(), options.with_timestamp ? read->timestamp : 0,
+            std::move(read->value)});
+        return result;
+      }
+      if (!IsNoReplicaServed(read.status())) return read.status();
+      // Every candidate declined — same attempt continues on the primary.
+    }
+
+    auto server = ServerFor(*route);
+    if (!server.ok()) return server.status();
     if (options.all_versions) {
       auto rows = (*server)->GetVersions(route->tablet_uid, key);
       if (!rows.ok()) return NormalizeServerStatus(rows.status());
@@ -276,39 +358,6 @@ Result<ReadResult> LogBaseClient::Get(const std::string& table,
   });
 }
 
-// -- Deprecated read flavors: thin shims over the unified Get. -------------
-
-Result<std::string> LogBaseClient::Get(const std::string& table,
-                                       uint32_t column_group,
-                                       const Slice& key) {
-  auto read = Get(table, column_group, key, ReadOptions{});
-  if (!read.ok()) return read.status();
-  return std::move(read->rows.front().value);
-}
-
-Result<tablet::ReadValue> LogBaseClient::GetVersioned(
-    const std::string& table, uint32_t column_group, const Slice& key) {
-  auto read = Get(table, column_group, key, ReadOptions{});
-  if (!read.ok()) return read.status();
-  return tablet::ReadValue{read->timestamp(),
-                           std::move(read->rows.front().value)};
-}
-
-Result<std::string> LogBaseClient::GetAsOf(const std::string& table,
-                                           uint32_t column_group,
-                                           const Slice& key, uint64_t as_of) {
-  auto read = Get(table, column_group, key, ReadOptions{.as_of = as_of});
-  if (!read.ok()) return read.status();
-  return std::move(read->rows.front().value);
-}
-
-Result<std::vector<tablet::ReadRow>> LogBaseClient::GetVersions(
-    const std::string& table, uint32_t column_group, const Slice& key) {
-  auto read = Get(table, column_group, key, ReadOptions{.all_versions = true});
-  if (!read.ok()) return read.status();
-  return std::move(read->rows);
-}
-
 Status LogBaseClient::Delete(const std::string& table, uint32_t column_group,
                              const Slice& key) {
   return retry_.Run("client.delete", [&]() -> Status {
@@ -323,7 +372,7 @@ Status LogBaseClient::Delete(const std::string& table, uint32_t column_group,
 
 Result<std::vector<tablet::ReadRow>> LogBaseClient::Scan(
     const std::string& table, uint32_t column_group, const Slice& start_key,
-    const Slice& end_key) {
+    const Slice& end_key, const ReadOptions& options) {
   obs::Span span("client.scan");
   // Retried as a unit: a failed tablet mid-scan restarts the whole scan
   // against the (possibly reassigned) current layout.
@@ -333,6 +382,7 @@ Result<std::vector<tablet::ReadRow>> LogBaseClient::Scan(
     if (!master.ok()) return master.status();
     auto locations = (*master)->LocateAll(table, column_group);
     if (!locations.ok()) return locations.status();
+    const uint64_t as_of = options.as_of == 0 ? ~0ull : options.as_of;
     Rows rows;
     for (const master::TabletLocation& location : *locations) {
       const tablet::TabletDescriptor& d = location.descriptor;
@@ -345,6 +395,37 @@ Result<std::vector<tablet::ReadRow>> LogBaseClient::Scan(
           Slice(d.end_key).compare(start_key) <= 0) {
         continue;
       }
+      // Each tablet's slice prefers a replica under allow_stale; any
+      // replica-side failure (staleness, teardown, crash) falls back to
+      // this tablet's primary within the same attempt.
+      if (options.allow_stale && replica_resolver_ &&
+          !location.replicas.empty()) {
+        bool served = false;
+        for (int replica_id : location.replicas) {
+          replica::ReplicaServer* rep = replica_resolver_(replica_id);
+          if (rep == nullptr || !rep->running()) continue;
+          if (!ServerReachable(rep->node())) continue;
+          auto part = rep->Scan(d.uid(), start_key, end_key, options.as_of,
+                                options.max_staleness_us);
+          if (!part.ok()) continue;
+          uint64_t bytes = 0;
+          for (const auto& row : *part) {
+            bytes += row.key.size() + row.value.size();
+          }
+          ChargeRpc(rep->node(), 64, bytes + 32);
+          static obs::Counter* redirects = obs::MetricsRegistry::Global()
+              .counter("client.replica.redirects");
+          redirects->Add();
+          rows.insert(rows.end(), std::make_move_iterator(part->begin()),
+                      std::make_move_iterator(part->end()));
+          served = true;
+          break;
+        }
+        if (served) continue;
+        static obs::Counter* fallbacks = obs::MetricsRegistry::Global()
+            .counter("client.replica.fallbacks");
+        fallbacks->Add();
+      }
       if (!ServerReachable(location.server_id)) {
         return Status::Unavailable("tablet server unreachable during scan");
       }
@@ -352,7 +433,7 @@ Result<std::vector<tablet::ReadRow>> LogBaseClient::Scan(
       if (server == nullptr || !server->running()) {
         return Status::Unavailable("tablet server down during scan");
       }
-      auto part = server->Scan(d.uid(), start_key, end_key, ~0ull);
+      auto part = server->Scan(d.uid(), start_key, end_key, as_of);
       if (!part.ok()) return NormalizeServerStatus(part.status());
       uint64_t bytes = 0;
       for (const auto& row : *part) bytes += row.key.size() + row.value.size();
@@ -450,37 +531,5 @@ Status LogBaseClient::CommitImpl(txn::Transaction* txn) {
 }
 
 void LogBaseClient::AbortImpl(txn::Transaction* txn) { txn_->Abort(txn); }
-
-// -- Deprecated raw-pointer protocol: shims over the internals. ------------
-
-std::unique_ptr<txn::Transaction> LogBaseClient::Begin() {
-  return txn_->Begin();
-}
-
-Result<std::string> LogBaseClient::TxnRead(txn::Transaction* txn,
-                                           const std::string& table,
-                                           uint32_t column_group,
-                                           const Slice& key) {
-  return TxnReadImpl(txn, table, column_group, key);
-}
-
-Status LogBaseClient::TxnWrite(txn::Transaction* txn,
-                               const std::string& table,
-                               uint32_t column_group, const Slice& key,
-                               const Slice& value) {
-  return TxnWriteImpl(txn, table, column_group, key, value);
-}
-
-Status LogBaseClient::TxnDelete(txn::Transaction* txn,
-                                const std::string& table,
-                                uint32_t column_group, const Slice& key) {
-  return TxnDeleteImpl(txn, table, column_group, key);
-}
-
-Status LogBaseClient::Commit(txn::Transaction* txn) {
-  return CommitImpl(txn);
-}
-
-void LogBaseClient::Abort(txn::Transaction* txn) { AbortImpl(txn); }
 
 }  // namespace logbase::client

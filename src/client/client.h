@@ -5,9 +5,10 @@
 //
 // Reads go through one entry point, `Get(table, group, key, ReadOptions)`,
 // covering latest/as-of/all-versions reads; transactions are handled through
-// the RAII `Txn` handle returned by `BeginTxn()`. The older per-flavor
-// methods (`GetVersioned`, `GetAsOf`, `GetVersions`) and the raw
-// `Transaction*` protocol remain as deprecated thin wrappers.
+// the RAII `Txn` handle returned by `BeginTxn()`. Stale-tolerant reads
+// (`ReadOptions::allow_stale`) route to read replicas when the tablet has
+// any, falling back to the primary through the normal retry policy when
+// every replica is down, lagging past `max_staleness_us`, or torn down.
 
 #ifndef LOGBASE_CLIENT_CLIENT_H_
 #define LOGBASE_CLIENT_CLIENT_H_
@@ -43,12 +44,23 @@ struct ReadOptions {
   /// Populate `ReadRow::timestamp` in the result rows. Version reads always
   /// carry timestamps; plain reads may skip them when this is false.
   bool with_timestamp = true;
+  /// Allow serving from a read replica at a possibly-stale snapshot (the
+  /// replica's applied watermark). Ignored for all-versions reads, which
+  /// always go to the primary.
+  bool allow_stale = false;
+  /// With `allow_stale`: reject a replica whose last log sync is older than
+  /// this many virtual microseconds (0 = any staleness is acceptable). The
+  /// read then falls back to the primary.
+  int64_t max_staleness_us = 0;
 };
 
 /// What a `Get` returns: one row per version, newest first. Latest/as-of
 /// reads yield exactly one row.
 struct ReadResult {
   std::vector<tablet::ReadRow> rows;
+  /// Non-zero iff a replica served the read: the snapshot timestamp it was
+  /// answered at (the replica's watermark clamped to `as_of`).
+  uint64_t snapshot_ts = 0;
 
   bool found() const { return !rows.empty(); }
   /// Value/timestamp of the newest returned version. Callers must check
@@ -132,28 +144,20 @@ class LogBaseClient {
   Status Delete(const std::string& table, uint32_t column_group,
                 const Slice& key);
   /// Range scan across tablets (fans out to every overlapping tablet).
+  /// `options.allow_stale` serves each tablet's slice from a replica when it
+  /// has one (per-tablet primary fallback otherwise); `options.as_of` bounds
+  /// the snapshot.
   Result<std::vector<tablet::ReadRow>> Scan(const std::string& table,
                                             uint32_t column_group,
                                             const Slice& start_key,
-                                            const Slice& end_key);
-
-  // -- Deprecated read flavors (use Get with ReadOptions) ------------------
-
-  [[deprecated("use Get(table, group, key, ReadOptions{})")]]
-  Result<std::string> Get(const std::string& table, uint32_t column_group,
-                          const Slice& key);
-  [[deprecated("use Get with ReadOptions{} and ReadResult::timestamp()")]]
-  Result<tablet::ReadValue> GetVersioned(const std::string& table,
-                                         uint32_t column_group,
-                                         const Slice& key);
-  [[deprecated("use Get with ReadOptions{.as_of = ts}")]]
-  Result<std::string> GetAsOf(const std::string& table,
-                              uint32_t column_group, const Slice& key,
-                              uint64_t as_of);
-  [[deprecated("use Get with ReadOptions{.all_versions = true}")]]
-  Result<std::vector<tablet::ReadRow>> GetVersions(const std::string& table,
-                                                   uint32_t column_group,
-                                                   const Slice& key);
+                                            const Slice& end_key,
+                                            const ReadOptions& options);
+  Result<std::vector<tablet::ReadRow>> Scan(const std::string& table,
+                                            uint32_t column_group,
+                                            const Slice& start_key,
+                                            const Slice& end_key) {
+    return Scan(table, column_group, start_key, end_key, ReadOptions{});
+  }
 
   // -- Row operations across column groups --------------------------------
 
@@ -171,26 +175,15 @@ class LogBaseClient {
   /// Starts a transaction owned by the returned RAII handle.
   Txn BeginTxn();
 
-  // -- Deprecated raw-pointer transaction protocol (use BeginTxn) ----------
-
-  [[deprecated("use BeginTxn() and the Txn handle")]]
-  std::unique_ptr<txn::Transaction> Begin();
-  [[deprecated("use Txn::Read")]]
-  Result<std::string> TxnRead(txn::Transaction* txn, const std::string& table,
-                              uint32_t column_group, const Slice& key);
-  [[deprecated("use Txn::Write")]]
-  Status TxnWrite(txn::Transaction* txn, const std::string& table,
-                  uint32_t column_group, const Slice& key,
-                  const Slice& value);
-  [[deprecated("use Txn::Delete")]]
-  Status TxnDelete(txn::Transaction* txn, const std::string& table,
-                   uint32_t column_group, const Slice& key);
-  [[deprecated("use Txn::Commit")]]
-  Status Commit(txn::Transaction* txn);
-  [[deprecated("use Txn::Abort (or let the handle go out of scope)")]]
-  void Abort(txn::Transaction* txn);
-
   const txn::TxnStats& txn_stats() const { return txn_->stats(); }
+
+  /// Routes stale-tolerant reads to read replicas: maps a replica id to its
+  /// live ReplicaServer (nullptr when down). Unset, `allow_stale` reads go
+  /// to the primary like any other read.
+  void set_replica_resolver(
+      std::function<replica::ReplicaServer*(int)> resolver) {
+    replica_resolver_ = std::move(resolver);
+  }
 
   /// Drops cached locations (picked up again from the master lazily).
   void InvalidateCache();
@@ -201,9 +194,17 @@ class LogBaseClient {
   struct Route {
     std::string tablet_uid;
     int server_id = -1;
+    std::vector<int> replicas;  // read replicas of this tablet, if any
   };
   Result<Route> Resolve(const std::string& table, uint32_t column_group,
                         const Slice& key);
+  /// Replica-side Get for one resolved route. Returns the served row (and
+  /// snapshot) on success; NotFound("no replica served") when every
+  /// candidate declined so the caller falls through to the primary (a
+  /// torn-down replica also invalidates the route cache on the way).
+  Result<tablet::ReadValue> ReplicaGet(const Route& route, const Slice& key,
+                                       const ReadOptions& options,
+                                       uint64_t* snapshot_ts);
   tablet::TabletServer* ServerByUid(const std::string& uid);
   Result<tablet::TabletServer*> ServerFor(const Route& route);
   /// The active master, or Unavailable when none is elected/reachable.
@@ -230,6 +231,7 @@ class LogBaseClient {
 
   std::function<master::Master*()> master_resolver_;
   std::function<tablet::TabletServer*(int)> server_resolver_;
+  std::function<replica::ReplicaServer*(int)> replica_resolver_;
   const int node_;
   sim::NetworkModel* const network_;
   fault::RetryPolicy retry_;

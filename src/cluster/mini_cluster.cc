@@ -24,6 +24,16 @@ MiniCluster::MiniCluster(MiniClusterOptions options)
   for (int node = 0; node < options_.num_nodes; node++) {
     server_ids.push_back(node);
   }
+  for (int i = 0; i < options_.num_replicas; i++) {
+    replica::ReplicaServerOptions replica_options;
+    replica_options.replica_id = i;
+    replica_options.node = (i + 1) % options_.num_nodes;
+    replica_options.read_buffer_bytes = options_.replica_read_buffer_bytes;
+    replicas_.push_back(std::make_unique<replica::ReplicaServer>(
+        replica_options, dfs_.get()));
+  }
+  std::vector<int> replica_ids;
+  for (int i = 0; i < options_.num_replicas; i++) replica_ids.push_back(i);
   int num_masters = std::max(1, options_.num_masters);
   for (int i = 0; i < num_masters; i++) {
     masters_.push_back(std::make_unique<master::Master>(
@@ -34,6 +44,11 @@ MiniCluster::MiniCluster(MiniClusterOptions options)
                      : nullptr;
         },
         server_ids));
+    masters_.back()->SetReplicaFleet(replica_ids, [this](int id) {
+      return (id >= 0 && id < static_cast<int>(replicas_.size()))
+                 ? replicas_[id].get()
+                 : nullptr;
+    });
   }
   balancer_ = std::make_unique<balance::Balancer>(
       [this]() { return active_master(); }, options_.balancer);
@@ -50,11 +65,15 @@ Status MiniCluster::Start() {
   for (auto& server : servers_) {
     LOGBASE_RETURN_NOT_OK(server->Start());
   }
+  for (auto& replica : replicas_) {
+    LOGBASE_RETURN_NOT_OK(replica->Start());
+  }
   for (auto& master : masters_) {
     LOGBASE_RETURN_NOT_OK(master->Start());
   }
-  LOGBASE_LOG(kInfo, "mini cluster started: %d nodes, %d masters",
-              options_.num_nodes, static_cast<int>(masters_.size()));
+  LOGBASE_LOG(kInfo, "mini cluster started: %d nodes, %d masters, %d replicas",
+              options_.num_nodes, static_cast<int>(masters_.size()),
+              static_cast<int>(replicas_.size()));
   return Status::OK();
 }
 
@@ -68,7 +87,7 @@ master::Master* MiniCluster::active_master() {
 }
 
 std::unique_ptr<client::LogBaseClient> MiniCluster::NewClient(int node) {
-  return std::make_unique<client::LogBaseClient>(
+  auto client = std::make_unique<client::LogBaseClient>(
       [this]() { return active_master(); },
       [this](int id) {
         return (id >= 0 && id < static_cast<int>(servers_.size()))
@@ -76,6 +95,29 @@ std::unique_ptr<client::LogBaseClient> MiniCluster::NewClient(int node) {
                    : nullptr;
       },
       coord_.get(), node, network_.get());
+  client->set_replica_resolver([this](int id) {
+    return (id >= 0 && id < static_cast<int>(replicas_.size()))
+               ? replicas_[id].get()
+               : nullptr;
+  });
+  return client;
+}
+
+Status MiniCluster::TickReplicas() {
+  for (auto& replica : replicas_) {
+    if (!replica->running()) continue;
+    LOGBASE_RETURN_NOT_OK(replica->TickTailers());
+  }
+  return Status::OK();
+}
+
+void MiniCluster::CrashReplica(int i) { replicas_[i]->Crash(); }
+
+Status MiniCluster::RestartReplica(int i) {
+  LOGBASE_RETURN_NOT_OK(replicas_[i]->Start());
+  master::Master* master = active_master();
+  if (master == nullptr) return Status::Unavailable("no active master");
+  return master->ReseedReplica(i);
 }
 
 void MiniCluster::CrashServer(int node) { servers_[node]->Crash(); }

@@ -16,6 +16,7 @@
 #include "src/dfs/dfs.h"
 #include "src/master/master.h"
 #include "src/obs/metrics.h"
+#include "src/replica/replica_server.h"
 #include "src/sim/network_model.h"
 #include "src/tablet/tablet_server.h"
 
@@ -32,6 +33,12 @@ struct MiniClusterOptions {
   /// Policy knobs for the cluster's balancer. The loop only runs when the
   /// driver (test, benchmark, nemesis) calls balancer()->Tick().
   balance::BalancerOptions balancer;
+  /// Read-replica servers (compute-only; replica i homes on node
+  /// (i + 1) % num_nodes so replicas spread off the coordination host).
+  /// Tablets are attached via active_master()->AddReplica(uid); tailing
+  /// advances when the driver calls TickReplicas().
+  int num_replicas = 0;
+  size_t replica_read_buffer_bytes = 32ull << 20;
 };
 
 class MiniCluster {
@@ -59,6 +66,18 @@ class MiniCluster {
   tablet::TabletServer* server(int node) { return servers_[node].get(); }
   /// The cluster's elastic load balancer, already bound to active_master().
   balance::Balancer* balancer() { return balancer_.get(); }
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
+  replica::ReplicaServer* replica(int i) { return replicas_[i].get(); }
+
+  /// Advances every running replica's log tailers (best-effort; a down
+  /// replica is skipped). Drivers call this at their own cadence.
+  Status TickReplicas();
+  /// Crashes replica `i` (all its soft state — indexes, tail cursors — is
+  /// lost).
+  void CrashReplica(int i);
+  /// Restarts replica `i` and re-seeds its attached tablets through the
+  /// active master.
+  Status RestartReplica(int i);
 
   /// A client homed on `node` (benchmark clients run one per node).
   std::unique_ptr<client::LogBaseClient> NewClient(int node);
@@ -91,6 +110,7 @@ class MiniCluster {
   std::unique_ptr<coord::CoordinationService> coord_;
   std::vector<std::unique_ptr<tablet::TabletServer>> servers_;
   std::vector<std::unique_ptr<master::Master>> masters_;
+  std::vector<std::unique_ptr<replica::ReplicaServer>> replicas_;
   std::unique_ptr<balance::Balancer> balancer_;
 };
 

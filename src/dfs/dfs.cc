@@ -218,12 +218,27 @@ class DfsRandomAccessFile : public RandomAccessFile {
 
   Result<std::string> ReadFromReplica(const BlockInfo& b, uint64_t offset,
                                       uint64_t n) const {
-    // Prefer the local replica (HDFS short-circuit read), then any live one.
+    // Prefer the local replica (HDFS short-circuit read). Remote order is
+    // sticky per reader node — sorted, then rotated by the reader's id — so
+    // concurrent readers of a hot file spread across replicas while each
+    // reader keeps hitting the same disk. Stickiness matters: a reader that
+    // tails a file sequentially (replica catch-up, re-replication) only gets
+    // the disk's sequential-stream rate if consecutive reads land on the
+    // same replica; chasing the least-busy disk per call breaks the stream
+    // and pays full positioning every time.
     std::vector<int> order;
+    std::vector<int> remote;
     for (int r : b.replicas) {
-      if (r == client_node_) order.insert(order.begin(), r);
-      else order.push_back(r);
+      if (r == client_node_) order.push_back(r);
+      else remote.push_back(r);
     }
+    std::sort(remote.begin(), remote.end());
+    if (!remote.empty()) {
+      std::rotate(remote.begin(),
+                  remote.begin() + client_node_ % remote.size(),
+                  remote.end());
+    }
+    order.insert(order.end(), remote.begin(), remote.end());
     Status last = Status::Unavailable("no replicas");
     for (int r : order) {
       DataNode* dn = dfs_->data_nodes_[r].get();

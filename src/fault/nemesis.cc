@@ -59,6 +59,11 @@ std::string NemesisReport::ToString() const {
   out += "nemesis: " + std::to_string(faults_fired) + " faults, " +
          std::to_string(ops_acked) + "/" + std::to_string(ops_attempted) +
          " ops acked, digest=" + std::to_string(table_digest) + "\n";
+  if (stale_reads_served > 0 || stale_read_fallbacks > 0) {
+    out += "  stale reads: " + std::to_string(stale_reads_served) +
+           " replica-served, " + std::to_string(stale_read_fallbacks) +
+           " fell back to primary\n";
+  }
   for (const std::string& e : schedule) out += "  fault " + e + "\n";
   for (const std::string& v : violations) out += "  VIOLATION " + v + "\n";
   return out;
@@ -76,6 +81,7 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
   // The chaos workload is light (one op per round); a low activation floor
   // lets the balancer actually act during the run.
   copts.balancer.min_total_score = 4.0;
+  copts.num_replicas = options.num_replicas;
   cluster::MiniCluster cluster(copts);
   LOGBASE_RETURN_NOT_OK(cluster.Start());
 
@@ -87,6 +93,18 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
                                      KeyName(2 * options.keys / 3)};
   auto schema = boot_master->CreateTable(kTable, {"v"}, {{"v"}}, splits);
   if (!schema.ok()) return schema.status();
+
+  // Attach every group-0 tablet to every replica (AddReplica skips replicas
+  // already serving the tablet, so R calls saturate a fleet of R).
+  if (options.num_replicas > 0) {
+    for (const auto& [uid, location] : boot_master->AssignmentsSnapshot()) {
+      if (location.descriptor.column_group != 0) continue;
+      for (int r = 0; r < options.num_replicas; r++) {
+        auto added = boot_master->AddReplica(uid);
+        if (!added.ok()) return added.status();
+      }
+    }
+  }
 
   FaultInjector injector(ClusterTargets(&cluster), plan, options.seed);
 
@@ -102,6 +120,7 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
   std::map<std::string, std::set<uint64_t>> attempted;
   std::set<uint64_t> pair_acked;
   std::vector<SnapshotSample> samples;
+  std::vector<SnapshotSample> stale_samples;  // replica-served reads (I6)
 
   // -- Workload, with the fault schedule firing as virtual time passes ----
   for (int round = 0; round < options.rounds; round++) {
@@ -128,6 +147,31 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
       // is reconciled at the next promotion, which I5 verifies after heal.
       (void)cluster.balancer()->Tick();
     }
+    if (options.num_replicas > 0) {
+      // Deterministic replica chaos: crash replica 0 mid-run, restart it a
+      // tenth of the run later (rebuild from checkpoint + log tail).
+      if (round == options.rounds / 2) {
+        cluster.CrashReplica(0);
+      } else if (round == options.rounds / 2 + options.rounds / 10) {
+        (void)cluster.RestartReplica(0);  // needs an active master; retried
+                                          // implicitly via the top-up below
+      }
+      // Best-effort: a tailer whose source is mid-crash errors this round
+      // and catches up on a later one.
+      (void)cluster.TickReplicas();
+      // Top-up: re-attach tablets whose replica sets were torn down by
+      // migrations/splits/failures racing the schedule.
+      if (round > 0 && round % 25 == 0 && active != nullptr) {
+        for (const auto& [uid, location] : active->AssignmentsSnapshot()) {
+          if (location.descriptor.column_group != 0) continue;
+          int missing = options.num_replicas -
+                        static_cast<int>(location.replicas.size());
+          for (int r = 0; r < missing; r++) {
+            if (!active->AddReplica(uid).ok()) break;
+          }
+        }
+      }
+    }
 
     uint64_t dice = rnd.Uniform(100);
     if (dice < 50) {  // blind write
@@ -145,9 +189,25 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
       std::string key = KeyName(static_cast<int>(
           rnd.Uniform(static_cast<uint64_t>(options.keys))));
       report.ops_attempted++;
-      auto r = client->Get(kTable, 0, key, client::ReadOptions{});
+      client::ReadOptions ro;
+      if (options.num_replicas > 0 &&
+          rnd.Uniform(100) <
+              static_cast<uint64_t>(options.stale_read_percent)) {
+        ro.allow_stale = true;
+        // Generous bound: replicas tick every round, so only a crashed or
+        // badly lagging replica trips it (and the read falls back).
+        ro.max_staleness_us = 20 * options.round_advance_us;
+      }
+      auto r = client->Get(kTable, 0, key, ro);
       if (r.ok()) {
         report.ops_acked++;
+        if (ro.allow_stale) {
+          if (r->snapshot_ts != 0) {
+            report.stale_reads_served++;
+          } else {
+            report.stale_read_fallbacks++;
+          }
+        }
         if (r->found()) {
           uint64_t got = 0;
           if (!DecodeSeq(r->value(), &got) ||
@@ -156,7 +216,21 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
                                         r->value() + "' never written to " +
                                         key);
           }
-          if (r->timestamp() != 0 &&
+          if (r->snapshot_ts != 0) {
+            // A replica answered. The version it served can't be newer than
+            // the snapshot it claims, and the (key, version, value) triple
+            // is re-checked against the primary's history after heal (I6).
+            if (r->timestamp() > r->snapshot_ts) {
+              report.violations.push_back(
+                  "I6: replica served " + key + " version " +
+                  std::to_string(r->timestamp()) + " above its snapshot " +
+                  std::to_string(r->snapshot_ts));
+            }
+            if (stale_samples.size() < 64) {
+              stale_samples.push_back({key, r->timestamp(), r->value()});
+            }
+          }
+          if (r->timestamp() != 0 && r->snapshot_ts == 0 &&
               samples.size() <
                   static_cast<size_t>(options.snapshot_samples) &&
               rnd.Bernoulli(0.4)) {
@@ -229,6 +303,18 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
   if (!healed.ok()) {
     report.violations.push_back("I3: under-replication sweep failed: " +
                                 healed.status().ToString());
+  }
+
+  // Replicas are soft state: bring any stopped one back (re-seeding through
+  // the active master) and let every tailer catch up to the log end, so the
+  // I6 re-reads below run against fully synced replicas too.
+  if (options.num_replicas > 0) {
+    for (int i = 0; i < cluster.num_replicas(); i++) {
+      if (!cluster.replica(i)->running()) {
+        LOGBASE_RETURN_NOT_OK(cluster.RestartReplica(i));
+      }
+    }
+    LOGBASE_RETURN_NOT_OK(cluster.TickReplicas());
   }
 
   report.schedule = injector.DeliveredLog();
@@ -365,6 +451,25 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
           "I2: as-of read of " + sample.key + "@" +
           std::to_string(sample.timestamp) + " changed: saw '" +
           sample.value + "', now " +
+          (r.ok() ? (r->found() ? "'" + r->value() + "'" : "<missing>")
+                  : r.status().ToString()));
+    }
+  }
+
+  // -- I6: replica-served reads were prefix-consistent snapshots ----------
+  // Every (key, version, value) a replica served during the run must match
+  // the primary's as-of read at that version — the replica's snapshot was a
+  // prefix of the primary's history, and surviving history never diverges
+  // from what was served (including across the replica-0 crash/rebuild).
+  for (const SnapshotSample& sample : stale_samples) {
+    client::ReadOptions ro;
+    ro.as_of = sample.timestamp;
+    auto r = checker->Get(kTable, 0, sample.key, ro);
+    if (!r.ok() || !r->found() || r->value() != sample.value) {
+      report.violations.push_back(
+          "I6: replica-served read of " + sample.key + "@" +
+          std::to_string(sample.timestamp) + " diverges from primary: saw '" +
+          sample.value + "', primary has " +
           (r.ok() ? (r->found() ? "'" + r->value() + "'" : "<missing>")
                   : r.status().ToString()));
     }

@@ -16,6 +16,12 @@
 //                       that hosts it unsealed, and no running server hosts
 //                       a tablet it is not assigned (no orphans or dual
 //                       owners after migrations/splits race the faults).
+//   I6 (replica reads) — every replica-served read is a prefix-consistent
+//                       snapshot of the primary's history: re-reading the
+//                       key as-of the served version on the primary yields
+//                       the same value, even after replica crashes — a
+//                       replica never serves above its watermark and never
+//                       invents or loses an acknowledged write.
 //
 // Everything runs single-threaded on the virtual clock, so the same
 // (plan, seed) pair replays bit-identically — the report carries a digest
@@ -55,6 +61,14 @@ struct NemesisOptions {
   bool enable_balancer = false;
   /// Balancer tick cadence in rounds (when enabled).
   int balance_every = 20;
+  /// Read-replica servers to run (0 disables the I6 machinery). Every
+  /// group-0 tablet is attached to every replica; replica 0 is crashed at
+  /// rounds/2 and restarted a tenth of the run later, exercising soft-state
+  /// rebuild under the fault schedule.
+  int num_replicas = 0;
+  /// With replicas: percentage of workload reads issued stale-tolerant
+  /// (allow_stale, routed to replicas with primary fallback).
+  int stale_read_percent = 40;
   RetryOptions retry;
 };
 
@@ -72,6 +86,11 @@ struct NemesisReport {
   /// `enable_balancer` was set). Deterministic per (plan, seed).
   int balancer_migrations = 0;
   int balancer_splits = 0;
+  /// Stale-tolerant reads a replica actually served / that fell back to the
+  /// primary (0 unless `num_replicas` was set). Deterministic per
+  /// (plan, seed).
+  int stale_reads_served = 0;
+  int stale_read_fallbacks = 0;
 
   bool ok() const { return violations.empty(); }
   std::string ToString() const;

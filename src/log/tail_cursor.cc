@@ -1,0 +1,22 @@
+#include "src/log/tail_cursor.h"
+
+namespace logbase::log {
+
+Result<uint64_t> TailCursor::Poll(const RecordVisitor& visitor) {
+  auto scanner = reader_->NewScanner(pos_, limit_);
+  if (!scanner.ok()) return scanner.status();
+
+  uint64_t delivered = 0;
+  for (; (*scanner)->Valid(); (*scanner)->Next()) {
+    const LogPtr& ptr = (*scanner)->ptr();
+    LOGBASE_RETURN_NOT_OK(visitor((*scanner)->record(), ptr));
+    pos_ = LogPosition{ptr.segment, ptr.offset + ptr.size};
+    delivered++;
+  }
+  // A clean end of log leaves the scanner status OK; corruption/I/O errors
+  // surface here without moving past the bad frame.
+  LOGBASE_RETURN_NOT_OK((*scanner)->status());
+  return delivered;
+}
+
+}  // namespace logbase::log

@@ -1,0 +1,53 @@
+// Incremental tail reading over a log instance: a TailCursor remembers the
+// position after the last record it delivered and, on each Poll, scans every
+// record appended since then. Re-listing segments per poll picks up rolled
+// segments; a reclaimed start segment (compaction) resumes at the next
+// existing segment. Read replicas (src/replica/) poll one cursor per source
+// log to apply the primary's writes; the same primitive suits any
+// change-data-capture consumer of the shared log.
+
+#ifndef LOGBASE_LOG_TAIL_CURSOR_H_
+#define LOGBASE_LOG_TAIL_CURSOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/log/log_reader.h"
+#include "src/log/log_record.h"
+#include "src/util/result.h"
+
+namespace logbase::log {
+
+class TailCursor {
+ public:
+  /// Visits one record; a non-OK status aborts the poll (the cursor stays
+  /// positioned after the last successfully visited record).
+  using RecordVisitor =
+      std::function<Status(const LogRecord& record, const LogPtr& ptr)>;
+
+  /// Segments numbered >= `limit_segment_exclusive` are skipped — tailers
+  /// follow the low write lane only (compaction outputs are covered by the
+  /// checkpoint the compaction wrote), mirroring recovery redo.
+  explicit TailCursor(LogReader* reader,
+                      uint32_t limit_segment_exclusive = 1u << 24)
+      : reader_(reader), limit_(limit_segment_exclusive) {}
+
+  /// Scans from the current position to the end of the log, calling
+  /// `visitor` per record, and advances the position past each visited
+  /// record. Returns the number of records delivered. A clean end of log
+  /// (including a partially flushed trailing frame, retried next poll) is
+  /// not an error.
+  Result<uint64_t> Poll(const RecordVisitor& visitor);
+
+  LogPosition position() const { return pos_; }
+  void Reset(LogPosition pos) { pos_ = pos; }
+
+ private:
+  LogReader* const reader_;
+  const uint32_t limit_;
+  LogPosition pos_{0, 0};
+};
+
+}  // namespace logbase::log
+
+#endif  // LOGBASE_LOG_TAIL_CURSOR_H_

@@ -114,6 +114,43 @@ Status Master::PersistAssignmentLocked(const TabletLocation& location) {
   return created.ok() ? Status::OK() : created.status();
 }
 
+Status Master::PersistReplicaSetLocked(const std::string& uid) {
+  coord::ZnodeTree* znodes = coord_->znodes();
+  for (const char* path : {kMetaRoot, meta::kMetaReplica}) {
+    if (!znodes->Exists(path)) {
+      auto created = znodes->Create(session_, path, "",
+                                    coord::CreateMode::kPersistent);
+      if (!created.ok() && !znodes->Exists(path)) return created.status();
+    }
+  }
+  auto it = assignments_.find(uid);
+  if (it == assignments_.end()) {
+    return Status::NotFound("tablet not assigned: " + uid);
+  }
+  std::string data = meta::EncodeReplicaSet(it->second.replicas);
+  std::string path = meta::ReplicaPath(uid);
+  coord_->ChargeRoundTrip(node_, data.size());
+  if (znodes->Exists(path)) return znodes->Set(path, data);
+  auto created =
+      znodes->Create(session_, path, data, coord::CreateMode::kPersistent);
+  return created.ok() ? Status::OK() : created.status();
+}
+
+void Master::DropReplicasLocked(const std::string& uid) {
+  auto it = assignments_.find(uid);
+  if (it == assignments_.end() || it->second.replicas.empty()) return;
+  for (int replica_id : it->second.replicas) {
+    replica::ReplicaServer* rep = ResolveReplica(replica_id);
+    // Best-effort: a down replica already lost the attachment with the rest
+    // of its soft state.
+    if (rep != nullptr && rep->running()) (void)rep->RemoveTablet(uid);
+  }
+  it->second.replicas.clear();
+  coord_->ChargeRoundTrip(node_);
+  (void)coord_->znodes()->Delete(meta::ReplicaPath(uid));
+  LOGBASE_LOG(kInfo, "master %d dropped replicas of %s", node_, uid.c_str());
+}
+
 Status Master::RecoverMetadataLocked() {
   tables_.clear();
   split_keys_.clear();
@@ -149,6 +186,24 @@ Status Master::RecoverMetadataLocked() {
         return Status::Corruption("bad assignment metadata for " + uid);
       }
       assignments_[uid] = std::move(location);
+    }
+  }
+  if (znodes->Exists(meta::kMetaReplica)) {
+    auto uids = znodes->GetChildren(meta::kMetaReplica);
+    if (!uids.ok()) return uids.status();
+    for (const std::string& uid : *uids) {
+      auto data = znodes->Get(meta::ReplicaPath(uid));
+      if (!data.ok()) return data.status();
+      auto it = assignments_.find(uid);
+      if (it == assignments_.end()) {
+        // Replica set for a tablet that no longer exists (stale commit-point
+        // race); garbage-collect the znode.
+        (void)znodes->Delete(meta::ReplicaPath(uid));
+        continue;
+      }
+      if (!meta::DecodeReplicaSet(Slice(*data), &it->second.replicas)) {
+        return Status::Corruption("bad replica set metadata for " + uid);
+      }
     }
   }
   return Status::OK();
@@ -364,6 +419,10 @@ Status Master::HandleServerFailure(int dead_server) {
   std::vector<int> targets;
   for (auto& [uid, location] : assignments_) {
     if (location.server_id != dead_server) continue;
+    // The adopter starts appending the tablet's history to its own log, so
+    // every replica's tail cursor (pinned to the dead server's log) is
+    // stale. Detach them; callers re-attach against the new owner.
+    DropReplicasLocked(uid);
     int target_id = PickServerForRange(live, {});
     if (target_id < 0) return Status::Unavailable("no live servers to adopt");
     tablet::TabletServer* target = server_resolver_(target_id);
@@ -440,6 +499,9 @@ Status Master::CommitMigration(const std::string& uid, int to) {
   if (it == assignments_.end()) {
     return Status::NotFound("tablet not assigned: " + uid);
   }
+  // The destination appends to its own log from here on; replicas tailing
+  // the source's log stream would silently stop seeing writes.
+  DropReplicasLocked(uid);
   it->second.server_id = to;
   return PersistAssignmentLocked(it->second);
 }
@@ -452,6 +514,9 @@ Status Master::CommitSplit(const std::string& parent_uid,
   if (assignments_.count(parent_uid) == 0) {
     return Status::NotFound("tablet not assigned: " + parent_uid);
   }
+  // The parent tablet stops existing; its replicas' cursors and ranges are
+  // both wrong for the children.
+  DropReplicasLocked(parent_uid);
   assignments_[left.descriptor.uid()] = left;
   LOGBASE_RETURN_NOT_OK(PersistAssignmentLocked(left));
   assignments_[right.descriptor.uid()] = right;
@@ -483,6 +548,89 @@ Result<std::vector<uint32_t>> Master::AllocateRangeIds(uint32_t table_id,
   return ids;
 }
 
+void Master::SetReplicaFleet(
+    std::vector<int> replica_ids,
+    std::function<replica::ReplicaServer*(int)> resolver) {
+  std::lock_guard<OrderedMutex> l(mu_);
+  replica_ids_ = std::move(replica_ids);
+  replica_resolver_ = std::move(resolver);
+}
+
+Result<int> Master::AddReplica(const std::string& uid) {
+  std::lock_guard<OrderedMutex> l(mu_);
+  if (!promoted_) return Status::Unavailable("not the active master");
+  auto it = assignments_.find(uid);
+  if (it == assignments_.end()) {
+    return Status::NotFound("tablet not assigned: " + uid);
+  }
+  TabletLocation& location = it->second;
+  tablet::TabletServer* owner = server_resolver_(location.server_id);
+  if (owner == nullptr || !owner->running()) {
+    return Status::Unavailable("tablet owner is down");
+  }
+
+  // Least-loaded placement over running replicas not already serving this
+  // tablet — the same scoring tablet placement uses, over the replica fleet.
+  std::vector<balance::ServerLoad> candidates;
+  for (int replica_id : replica_ids_) {
+    if (std::find(location.replicas.begin(), location.replicas.end(),
+                  replica_id) != location.replicas.end()) {
+      continue;
+    }
+    replica::ReplicaServer* rep = ResolveReplica(replica_id);
+    if (rep == nullptr || !rep->running()) continue;
+    balance::ServerLoad c;
+    c.server_id = replica_id;
+    c.tablet_count = rep->NumTablets();
+    candidates.push_back(c);
+  }
+  int chosen = balance::PickLeastLoaded(candidates);
+  if (chosen < 0) return Status::Unavailable("no replica available for " + uid);
+
+  replica::ReplicaServer* rep = ResolveReplica(chosen);
+  LOGBASE_RETURN_NOT_OK(rep->AddTablet(
+      location.descriptor, static_cast<uint32_t>(location.server_id)));
+  location.replicas.push_back(chosen);
+  LOGBASE_RETURN_NOT_OK(PersistReplicaSetLocked(uid));
+  LOGBASE_LOG(kInfo, "master %d attached replica %d to %s", node_, chosen,
+              uid.c_str());
+  return chosen;
+}
+
+Status Master::DropReplicas(const std::string& uid) {
+  std::lock_guard<OrderedMutex> l(mu_);
+  if (!promoted_) return Status::Unavailable("not the active master");
+  if (assignments_.count(uid) == 0) {
+    return Status::NotFound("tablet not assigned: " + uid);
+  }
+  DropReplicasLocked(uid);
+  return Status::OK();
+}
+
+Status Master::ReseedReplica(int replica_id) {
+  std::lock_guard<OrderedMutex> l(mu_);
+  if (!promoted_) return Status::Unavailable("not the active master");
+  replica::ReplicaServer* rep = ResolveReplica(replica_id);
+  if (rep == nullptr || !rep->running()) {
+    return Status::Unavailable("replica is down");
+  }
+  int reseeded = 0;
+  for (const auto& [uid, location] : assignments_) {
+    if (std::find(location.replicas.begin(), location.replicas.end(),
+                  replica_id) == location.replicas.end()) {
+      continue;
+    }
+    tablet::TabletServer* owner = server_resolver_(location.server_id);
+    if (owner == nullptr || !owner->running()) continue;
+    LOGBASE_RETURN_NOT_OK(rep->AddTablet(
+        location.descriptor, static_cast<uint32_t>(location.server_id)));
+    reseeded++;
+  }
+  LOGBASE_LOG(kInfo, "master %d reseeded %d tablets on replica %d", node_,
+              reseeded, replica_id);
+  return Status::OK();
+}
+
 Status Master::ReconcileIntentsLocked() {
   coord::ZnodeTree* znodes = coord_->znodes();
 
@@ -507,6 +655,7 @@ Status Master::ReconcileIntentsLocked() {
       tablet::TabletServer* src = server_resolver_(from);
       tablet::TabletServer* dst = server_resolver_(to);
       if (flipped) {
+        DropReplicasLocked(uid);  // cursors pinned to the source's log
         if (dst != nullptr && dst->running() &&
             dst->FindTablet(uid) == nullptr) {
           LOGBASE_RETURN_NOT_OK(
@@ -545,6 +694,7 @@ Status Master::ReconcileIntentsLocked() {
       tablet::TabletServer* owner_srv = server_resolver_(owner);
       tablet::TabletServer* right_srv = server_resolver_(right_server);
       if (committed) {
+        DropReplicasLocked(uid);  // the parent tablet is gone
         if (assignments_.count(left.uid()) == 0) {
           assignments_[left.uid()] = TabletLocation{left, owner};
           LOGBASE_RETURN_NOT_OK(

@@ -18,6 +18,7 @@
 
 #include "src/coord/coordination_service.h"
 #include "src/coord/master_election.h"
+#include "src/replica/replica_server.h"
 #include "src/tablet/schema.h"
 #include "src/tablet/tablet_server.h"
 
@@ -28,6 +29,10 @@ namespace logbase::master {
 struct TabletLocation {
   tablet::TabletDescriptor descriptor;
   int server_id = -1;
+  /// Read replicas serving bounded-staleness snapshot reads of this tablet
+  /// (replica ids, not server ids). Torn down on migration/split/failure —
+  /// the replicas' log cursors point at the old owner's log.
+  std::vector<int> replicas;
 };
 
 class Master {
@@ -114,6 +119,30 @@ class Master {
                                                  uint32_t column_group,
                                                  int count);
 
+  // -- Read replicas (src/replica/) ----------------------------------------
+
+  /// Registers the read-replica fleet: `resolver` maps a replica id to its
+  /// live ReplicaServer (nullptr when down). Replicas are compute-only and
+  /// never appear in /servers; the master drives attach/detach/reseed.
+  void SetReplicaFleet(std::vector<int> replica_ids,
+                       std::function<replica::ReplicaServer*(int)> resolver);
+  replica::ReplicaServer* ResolveReplica(int replica_id) const {
+    return replica_resolver_ ? replica_resolver_(replica_id) : nullptr;
+  }
+  const std::vector<int>& ReplicaFleet() const { return replica_ids_; }
+
+  /// Attaches one more read replica to `uid`, picked least-loaded among
+  /// running replicas not already serving it. Seeds it from the owner's
+  /// checkpoint + log tail and persists the replica set. Returns the chosen
+  /// replica id.
+  Result<int> AddReplica(const std::string& uid);
+  /// Detaches every replica of `uid` (best-effort on down replicas) and
+  /// deletes its persisted replica set.
+  Status DropReplicas(const std::string& uid);
+  /// Re-seeds every tablet assigned to `replica_id` after it restarted (a
+  /// replica loses all soft state on crash/stop).
+  Status ReseedReplica(int replica_id);
+
   // -- Failure handling ----------------------------------------------------
 
   /// Servers whose liveness znode is present.
@@ -145,6 +174,11 @@ class Master {
   // mu_ held.
   Status PersistTableLocked(const std::string& name);
   Status PersistAssignmentLocked(const TabletLocation& location);
+  Status PersistReplicaSetLocked(const std::string& uid);
+  /// Detaches `uid`'s replicas and drops the persisted set. Used when the
+  /// tablet's log stream changes owner (migration/split/failure), which
+  /// invalidates every replica's tail cursor. Requires mu_ held.
+  void DropReplicasLocked(const std::string& uid);
   Status RecoverMetadataLocked();
 
   coord::CoordinationService* const coord_;
@@ -162,6 +196,8 @@ class Master {
   std::map<std::string, TabletLocation> assignments_;           // by uid
   uint32_t next_table_id_ = 1;
   std::function<double(int)> load_hint_;  // balancer-fed, may be empty
+  std::vector<int> replica_ids_;          // read-replica fleet (may be empty)
+  std::function<replica::ReplicaServer*(int)> replica_resolver_;
 };
 
 }  // namespace logbase::master

@@ -166,4 +166,23 @@ bool DecodeSplitIntent(Slice in, int* owner, tablet::TabletDescriptor* parent,
   return DecodeDescriptor(&in, right);
 }
 
+std::string EncodeReplicaSet(const std::vector<int>& replica_ids) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(replica_ids.size()));
+  for (int id : replica_ids) PutVarint32(&out, static_cast<uint32_t>(id));
+  return out;
+}
+
+bool DecodeReplicaSet(Slice in, std::vector<int>* replica_ids) {
+  uint32_t n;
+  if (!GetVarint32(&in, &n)) return false;
+  replica_ids->clear();
+  for (uint32_t i = 0; i < n; i++) {
+    uint32_t id;
+    if (!GetVarint32(&in, &id)) return false;
+    replica_ids->push_back(static_cast<int>(id));
+  }
+  return true;
+}
+
 }  // namespace logbase::master::meta

@@ -24,6 +24,11 @@ inline constexpr const char* kMetaAssign = "/meta/assign";
 /// or back depending on whether the assignment flip was persisted.
 inline constexpr const char* kMetaMigrate = "/meta/migrate";
 inline constexpr const char* kMetaSplit = "/meta/split";
+/// Read-replica attachments per tablet: the set of replica ids serving
+/// snapshot reads for /meta/replica/<uid>. Soft-state hint only — a replica
+/// that lost its in-memory index is simply re-seeded — but persisted so a
+/// failed-over master keeps routing stale reads without a fleet rebuild.
+inline constexpr const char* kMetaReplica = "/meta/replica";
 
 inline std::string TablePath(const std::string& name) {
   return std::string(kMetaTables) + "/" + name;
@@ -36,6 +41,9 @@ inline std::string MigratePath(const std::string& uid) {
 }
 inline std::string SplitPath(const std::string& uid) {
   return std::string(kMetaSplit) + "/" + uid;
+}
+inline std::string ReplicaPath(const std::string& uid) {
+  return std::string(kMetaReplica) + "/" + uid;
 }
 
 std::string EncodeTableMeta(const tablet::TableSchema& schema,
@@ -64,6 +72,10 @@ std::string EncodeSplitIntent(int owner,
 bool DecodeSplitIntent(Slice in, int* owner, tablet::TabletDescriptor* parent,
                        tablet::TabletDescriptor* left, int* right_server,
                        tablet::TabletDescriptor* right);
+
+/// The replica ids attached to one tablet.
+std::string EncodeReplicaSet(const std::vector<int>& replica_ids);
+bool DecodeReplicaSet(Slice in, std::vector<int>* replica_ids);
 
 }  // namespace logbase::master::meta
 

@@ -1,0 +1,97 @@
+#include "src/replica/log_tailer.h"
+
+#include <algorithm>
+
+#include "src/obs/metrics.h"
+
+namespace logbase::replica {
+
+LogTailer::LogTailer(const tablet::TabletDescriptor& descriptor,
+                     uint32_t source_instance,
+                     index::MultiVersionIndex* index, log::LogReader* reader,
+                     log::LogPosition start, uint64_t seeded_max_ts)
+    : descriptor_(descriptor),
+      source_instance_(source_instance),
+      index_(index),
+      cursor_(reader),
+      max_applied_ts_(seeded_max_ts) {
+  cursor_.Reset(start);
+}
+
+Status LogTailer::ApplyOp(const PendingOp& op, tablet::ReadBuffer* buffer,
+                          const std::string& buffer_prefix) {
+  if (op.is_delete) {
+    LOGBASE_RETURN_NOT_OK(index_->RemoveAllVersions(Slice(op.key)));
+    if (buffer != nullptr) buffer->Invalidate(buffer_prefix + op.key);
+  } else {
+    LOGBASE_RETURN_NOT_OK(index_->Insert(Slice(op.key), op.timestamp,
+                                         op.ptr));
+    if (buffer != nullptr) {
+      buffer->Put(buffer_prefix + op.key,
+                  tablet::CachedRecord{op.timestamp, op.value});
+    }
+  }
+  max_applied_ts_ = std::max(max_applied_ts_, op.timestamp);
+  applied_records_++;
+  return Status::OK();
+}
+
+Status LogTailer::Poll(tablet::ReadBuffer* buffer,
+                       const std::string& buffer_prefix) {
+  auto delivered = cursor_.Poll([&](const log::LogRecord& record,
+                                    const log::LogPtr& ptr) -> Status {
+    switch (record.type) {
+      case log::LogRecordType::kData:
+      case log::LogRecordType::kInvalidate: {
+        if (record.key.table_id != descriptor_.table_id ||
+            (record.key.tablet_id >> 20) != descriptor_.column_group) {
+          return Status::OK();
+        }
+        if (!descriptor_.Contains(Slice(record.row.primary_key))) {
+          return Status::OK();
+        }
+        PendingOp op{record.type == log::LogRecordType::kInvalidate,
+                     record.row.primary_key, record.row.timestamp, ptr,
+                     record.value};
+        if (record.txn_id == 0) {
+          return ApplyOp(op, buffer, buffer_prefix);
+        }
+        pending_[record.txn_id].push_back(std::move(op));
+        return Status::OK();
+      }
+      case log::LogRecordType::kCommit: {
+        auto it = pending_.find(record.txn_id);
+        if (it != pending_.end()) {
+          for (const PendingOp& op : it->second) {
+            LOGBASE_RETURN_NOT_OK(ApplyOp(op, buffer, buffer_prefix));
+          }
+          pending_.erase(it);
+        }
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  });
+  if (!delivered.ok()) return delivered.status();
+  static obs::Counter* applied =
+      obs::MetricsRegistry::Global().counter("replica.tail.records");
+  applied->Add(*delivered);
+  // Reaching the end of the log makes this tablet current as of "now" — the
+  // staleness clock restarts even when nothing new was appended.
+  last_sync_us_ = sim::CurrentVirtualTime();
+  return Status::OK();
+}
+
+uint64_t LogTailer::Watermark() const {
+  if (pending_.empty()) return max_applied_ts_;
+  uint64_t min_pending = ~0ull;
+  for (const auto& [txn_id, ops] : pending_) {
+    for (const PendingOp& op : ops) {
+      min_pending = std::min(min_pending, op.timestamp);
+    }
+  }
+  if (min_pending == 0) return 0;
+  return std::min(max_applied_ts_, min_pending - 1);
+}
+
+}  // namespace logbase::replica

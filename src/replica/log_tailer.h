@@ -1,0 +1,91 @@
+// One tablet's log tail applier on a read replica: consumes the source
+// instance's log through a TailCursor, applies committed records to the
+// replica's index, and maintains the tablet's applied watermark — the
+// highest timestamp at which a snapshot read is prefix-consistent with the
+// primary's history.
+//
+// Watermark rule: transactional data records carry their commit timestamp
+// but only become visible once the COMMIT record is tailed, so while any
+// transaction is buffered the watermark holds back to just below the
+// smallest pending write timestamp. Reads at or below the watermark see
+// exactly what the primary's as-of reads see; reads above it could
+// retroactively grow as buffered commits land, so the replica never answers
+// them.
+
+#ifndef LOGBASE_REPLICA_LOG_TAILER_H_
+#define LOGBASE_REPLICA_LOG_TAILER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/index/multiversion_index.h"
+#include "src/log/tail_cursor.h"
+#include "src/sim/sim_context.h"
+#include "src/tablet/read_buffer.h"
+#include "src/tablet/schema.h"
+
+namespace logbase::replica {
+
+class LogTailer {
+ public:
+  /// `start` is the log position the seeded index is complete up to (the
+  /// source checkpoint's position, or the log start when no checkpoint
+  /// exists); `seeded_max_ts` the newest timestamp in the seeded index.
+  LogTailer(const tablet::TabletDescriptor& descriptor,
+            uint32_t source_instance, index::MultiVersionIndex* index,
+            log::LogReader* reader, log::LogPosition start,
+            uint64_t seeded_max_ts);
+
+  LogTailer(const LogTailer&) = delete;
+  LogTailer& operator=(const LogTailer&) = delete;
+
+  /// Applies every record appended since the last poll. `buffer` (optional)
+  /// absorbs applied values keyed by `buffer_prefix` + key so replica reads
+  /// skip the log fetch for recently written rows. Not thread-safe; the
+  /// owning ReplicaServer serializes polls under its tablet lock.
+  Status Poll(tablet::ReadBuffer* buffer, const std::string& buffer_prefix);
+
+  /// The snapshot bound: reads at timestamps <= Watermark() are
+  /// prefix-consistent with the primary.
+  uint64_t Watermark() const;
+
+  /// Virtual time of the last poll that reached the end of the log (the
+  /// staleness reference point).
+  sim::VirtualTime last_sync_us() const { return last_sync_us_; }
+
+  uint64_t applied_records() const { return applied_records_; }
+  log::LogPosition position() const { return cursor_.position(); }
+  const tablet::TabletDescriptor& descriptor() const { return descriptor_; }
+  uint32_t source_instance() const { return source_instance_; }
+
+ private:
+  struct PendingOp {
+    bool is_delete = false;
+    std::string key;
+    uint64_t timestamp = 0;
+    log::LogPtr ptr;
+    std::string value;
+  };
+
+  Status ApplyOp(const PendingOp& op, tablet::ReadBuffer* buffer,
+                 const std::string& buffer_prefix);
+
+  const tablet::TabletDescriptor descriptor_;
+  const uint32_t source_instance_;
+  index::MultiVersionIndex* const index_;
+  log::TailCursor cursor_;
+
+  // Transactional records awaiting their COMMIT, by txn id. Ops that never
+  // commit stay invisible (and stall the watermark until the primary's
+  // compaction reclaims them — clients fall back to the primary meanwhile).
+  std::map<uint64_t, std::vector<PendingOp>> pending_;
+  uint64_t max_applied_ts_ = 0;
+  uint64_t applied_records_ = 0;
+  sim::VirtualTime last_sync_us_ = 0;
+};
+
+}  // namespace logbase::replica
+
+#endif  // LOGBASE_REPLICA_LOG_TAILER_H_

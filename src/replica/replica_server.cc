@@ -1,0 +1,294 @@
+#include "src/replica/replica_server.h"
+
+#include <algorithm>
+
+#include "src/index/blink_tree.h"
+#include "src/index/index_checkpoint.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/costs.h"
+#include "src/sim/sim_context.h"
+#include "src/tablet/checkpoint_internal.h"
+#include "src/util/logging.h"
+
+namespace logbase::replica {
+
+namespace {
+
+obs::Counter* ReplicaCounter(const char* name) {
+  return obs::MetricsRegistry::Global().counter(name);
+}
+
+}  // namespace
+
+ReplicaServer::ReplicaServer(ReplicaServerOptions options, dfs::Dfs* dfs)
+    : options_(options),
+      dfs_(dfs),
+      fs_(std::make_unique<dfs::DfsFileSystem>(dfs, options_.node)),
+      buffer_(options_.read_buffer_bytes,
+              tablet::MakePolicy(options_.replacement_policy)) {}
+
+Status ReplicaServer::Start() {
+  running_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status ReplicaServer::Stop() {
+  running_.store(false, std::memory_order_release);
+  std::lock_guard<OrderedMutex> l(mu_);
+  tablets_.clear();
+  readers_.clear();
+  buffer_.Clear();
+  return Status::OK();
+}
+
+void ReplicaServer::Crash() {
+  // Same teardown as Stop: a replica is pure soft state, so a crash and a
+  // graceful shutdown lose exactly the same thing (nothing durable).
+  (void)Stop();
+}
+
+std::string ReplicaServer::BufferPrefix(const std::string& uid) const {
+  std::string prefix = uid;
+  prefix.push_back('\0');
+  return prefix;
+}
+
+Result<log::LogReader*> ReplicaServer::ReaderForLocked(uint32_t instance) {
+  auto it = readers_.find(instance);
+  if (it != readers_.end()) return it->second.get();
+  auto reader = std::make_unique<log::LogReader>(
+      fs_.get(), tablet::TabletServer::LogDirFor(instance), instance);
+  log::LogReader* raw = reader.get();
+  readers_[instance] = std::move(reader);
+  return raw;
+}
+
+Status ReplicaServer::SeedTabletLocked(
+    const tablet::TabletDescriptor& descriptor, uint32_t source_instance) {
+  namespace ci = tablet::checkpoint_internal;
+  obs::Span span("replica.seed");
+
+  auto reader = ReaderForLocked(source_instance);
+  if (!reader.ok()) return reader.status();
+
+  ReplicatedTablet t;
+  t.descriptor = descriptor;
+  t.source_instance = source_instance;
+  t.index = std::unique_ptr<index::MultiVersionIndex>(new index::BlinkTree());
+
+  // Checkpoint seeding mirrors tablet adoption: entries are matched by
+  // range overlap (a replica of a split child seeds from the parent's
+  // checkpoint filtered to the child's range), never by uid.
+  const std::string src_ckpt =
+      tablet::TabletServer::CheckpointDirFor(static_cast<int>(source_instance));
+  log::LogPosition start{0, 0};
+  if (fs_->Exists(ci::MetaPath(src_ckpt))) {
+    ci::CheckpointMeta meta;
+    LOGBASE_RETURN_NOT_OK(ci::LoadMeta(fs_.get(), src_ckpt, &meta));
+    for (const auto& [d, source] : meta.tablets) {
+      if (!d.Overlaps(descriptor)) continue;
+      std::string idx_path = ci::IndexFilePath(src_ckpt, d.uid());
+      if (!fs_->Exists(idx_path)) continue;
+      LOGBASE_RETURN_NOT_OK(index::LoadIndexCheckpointFiltered(
+          fs_.get(), idx_path, t.index.get(),
+          [&descriptor](const Slice& key) {
+            return descriptor.Contains(key);
+          }));
+      start = meta.position;
+    }
+  }
+
+  uint64_t seeded_max_ts = 0;
+  t.index->VisitAll([&seeded_max_ts](const index::IndexEntry& entry) {
+    seeded_max_ts = std::max(seeded_max_ts, entry.timestamp);
+  });
+
+  t.tailer = std::make_unique<LogTailer>(descriptor, source_instance,
+                                         t.index.get(), *reader, start,
+                                         seeded_max_ts);
+  const std::string uid = descriptor.uid();
+  // Re-seeding replaces any previous attachment; drop its cached rows so no
+  // value from the torn-down index outlives it.
+  if (tablets_.count(uid) > 0) buffer_.Clear();
+  tablets_[uid] = std::move(t);
+  // Catch up to the log end right away so the tablet is serveable (and its
+  // staleness clock starts) without waiting for the first tick.
+  return tablets_[uid].tailer->Poll(&buffer_, BufferPrefix(uid));
+}
+
+Status ReplicaServer::AddTablet(const tablet::TabletDescriptor& descriptor,
+                                uint32_t source_instance) {
+  if (!running()) return Status::Unavailable("replica server is down");
+  std::lock_guard<OrderedMutex> l(mu_);
+  LOGBASE_RETURN_NOT_OK(SeedTabletLocked(descriptor, source_instance));
+  LOGBASE_LOG(kInfo, "replica %d seeded tablet %s from instance %u",
+              options_.replica_id, descriptor.uid().c_str(), source_instance);
+  return Status::OK();
+}
+
+Status ReplicaServer::RemoveTablet(const std::string& uid) {
+  std::lock_guard<OrderedMutex> l(mu_);
+  if (tablets_.erase(uid) > 0) buffer_.Clear();
+  return Status::OK();
+}
+
+std::vector<tablet::TabletDescriptor> ReplicaServer::Tablets() const {
+  std::lock_guard<OrderedMutex> l(mu_);
+  std::vector<tablet::TabletDescriptor> out;
+  out.reserve(tablets_.size());
+  for (const auto& [uid, t] : tablets_) out.push_back(t.descriptor);
+  return out;
+}
+
+int ReplicaServer::NumTablets() const {
+  std::lock_guard<OrderedMutex> l(mu_);
+  return static_cast<int>(tablets_.size());
+}
+
+Status ReplicaServer::TickTailers() {
+  if (!running()) return Status::Unavailable("replica server is down");
+  std::lock_guard<OrderedMutex> l(mu_);
+  for (auto& [uid, t] : tablets_) {
+    if (t.needs_reseed) {
+      LOGBASE_RETURN_NOT_OK(
+          SeedTabletLocked(t.descriptor, t.source_instance));
+      continue;  // the re-seed already caught up to the log end
+    }
+    LOGBASE_RETURN_NOT_OK(t.tailer->Poll(&buffer_, BufferPrefix(uid)));
+  }
+  return Status::OK();
+}
+
+Status ReplicaServer::SnapshotBoundLocked(const ReplicatedTablet& t,
+                                          uint64_t as_of,
+                                          int64_t max_staleness_us,
+                                          uint64_t* effective_ts) const {
+  if (max_staleness_us > 0) {
+    int64_t staleness = sim::CurrentVirtualTime() - t.tailer->last_sync_us();
+    if (staleness > max_staleness_us) {
+      static obs::Counter* rejected =
+          ReplicaCounter("replica.read.staleness_rejected");
+      rejected->Add();
+      return Status::Unavailable("replica staleness exceeded");
+    }
+  }
+  uint64_t requested = as_of == 0 ? ~0ull : as_of;
+  *effective_ts = std::min(requested, t.tailer->Watermark());
+  return Status::OK();
+}
+
+Result<std::string> ReplicaServer::FetchValueLocked(
+    ReplicatedTablet* t, const index::IndexEntry& entry) {
+  obs::Span span("log.read");
+  auto reader = ReaderForLocked(entry.ptr.instance);
+  if (!reader.ok()) return reader.status();
+  auto record = (*reader)->Read(entry.ptr);
+  if (!record.ok()) {
+    // The pointer no longer resolves: the source compacted the segment away
+    // since we indexed it. Rebuild from the compaction's checkpoint on the
+    // next tick; the caller retries (and falls back to the primary).
+    t->needs_reseed = true;
+    return Status::Unavailable("replica log pointer stale; reseeding");
+  }
+  sim::ChargeCpu(sim::costs::kRecordCodecUs);
+  if (record->row.timestamp != entry.timestamp) {
+    return Status::Corruption("replica index points at wrong record version");
+  }
+  return std::move(record->value);
+}
+
+Result<tablet::ReadValue> ReplicaServer::Get(const std::string& uid,
+                                             const Slice& key, uint64_t as_of,
+                                             int64_t max_staleness_us,
+                                             uint64_t* snapshot_ts) {
+  obs::Span span("replica.get");
+  if (!running()) return Status::Unavailable("replica server is down");
+  std::lock_guard<OrderedMutex> l(mu_);
+  auto it = tablets_.find(uid);
+  if (it == tablets_.end()) {
+    return Status::NotFound("unknown replica tablet: " + uid);
+  }
+  ReplicatedTablet& t = it->second;
+
+  uint64_t effective_ts = 0;
+  LOGBASE_RETURN_NOT_OK(
+      SnapshotBoundLocked(t, as_of, max_staleness_us, &effective_ts));
+  if (snapshot_ts != nullptr) *snapshot_ts = effective_ts;
+
+  static obs::Counter* served = ReplicaCounter("replica.read.served");
+  static obs::HistogramMetric* staleness =
+      obs::MetricsRegistry::Global().histogram("replica.read.staleness_us");
+  staleness->Observe(static_cast<double>(
+      sim::CurrentVirtualTime() - t.tailer->last_sync_us()));
+
+  // The buffer holds the latest applied version; it answers only when that
+  // version is already visible at the snapshot.
+  tablet::CachedRecord cached;
+  if (buffer_.Get(BufferPrefix(uid) + key.ToString(), &cached) &&
+      cached.timestamp <= effective_ts) {
+    served->Add();
+    return tablet::ReadValue{cached.timestamp, std::move(cached.value)};
+  }
+  Result<index::IndexEntry> entry = [&] {
+    obs::Span probe("index.probe");
+    return t.index->GetAsOf(key, effective_ts);
+  }();
+  if (!entry.ok()) return entry.status();
+  auto value = FetchValueLocked(&t, *entry);
+  if (!value.ok()) return value.status();
+  buffer_.Put(BufferPrefix(uid) + key.ToString(),
+              tablet::CachedRecord{entry->timestamp, *value});
+  served->Add();
+  return tablet::ReadValue{entry->timestamp, std::move(*value)};
+}
+
+Result<std::vector<tablet::ReadRow>> ReplicaServer::Scan(
+    const std::string& uid, const Slice& start_key, const Slice& end_key,
+    uint64_t as_of, int64_t max_staleness_us, uint64_t* snapshot_ts) {
+  obs::Span span("replica.scan");
+  if (!running()) return Status::Unavailable("replica server is down");
+  std::lock_guard<OrderedMutex> l(mu_);
+  auto it = tablets_.find(uid);
+  if (it == tablets_.end()) {
+    return Status::NotFound("unknown replica tablet: " + uid);
+  }
+  ReplicatedTablet& t = it->second;
+
+  uint64_t effective_ts = 0;
+  LOGBASE_RETURN_NOT_OK(
+      SnapshotBoundLocked(t, as_of, max_staleness_us, &effective_ts));
+  if (snapshot_ts != nullptr) *snapshot_ts = effective_ts;
+
+  std::vector<tablet::ReadRow> rows;
+  for (const index::IndexEntry& entry :
+       t.index->ScanRange(start_key, end_key, effective_ts)) {
+    auto value = FetchValueLocked(&t, entry);
+    if (!value.ok()) return value.status();
+    rows.push_back(
+        tablet::ReadRow{entry.key, entry.timestamp, std::move(*value)});
+  }
+  static obs::Counter* served = ReplicaCounter("replica.read.served");
+  served->Add();
+  return rows;
+}
+
+Result<uint64_t> ReplicaServer::Watermark(const std::string& uid) const {
+  std::lock_guard<OrderedMutex> l(mu_);
+  auto it = tablets_.find(uid);
+  if (it == tablets_.end()) {
+    return Status::NotFound("unknown replica tablet: " + uid);
+  }
+  return it->second.tailer->Watermark();
+}
+
+Result<int64_t> ReplicaServer::StalenessUs(const std::string& uid) const {
+  std::lock_guard<OrderedMutex> l(mu_);
+  auto it = tablets_.find(uid);
+  if (it == tablets_.end()) {
+    return Status::NotFound("unknown replica tablet: " + uid);
+  }
+  return sim::CurrentVirtualTime() - it->second.tailer->last_sync_us();
+}
+
+}  // namespace logbase::replica

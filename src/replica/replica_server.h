@@ -1,0 +1,145 @@
+// Read-replica tablet servers (compute/storage disaggregation over the
+// shared log): a ReplicaServer owns no tablets and writes nothing. It seeds
+// each replicated tablet from the owner's checkpoint (the same filtered
+// reload tablet adoption uses, without taking ownership or sealing
+// anything), then tails the owner's log through a per-tablet LogTailer and
+// serves MVCC snapshot reads at min(requested timestamp, applied
+// watermark). Reads are rejected with a retryable Unavailable when the
+// replica's last sync is older than the caller's staleness bound, so
+// clients fall back to the primary through their normal retry policy.
+//
+// Because the log *is* the database, replicas are soft state end to end: a
+// crashed replica rebuilds from the DFS (checkpoint + log tail) and
+// converges to the same index the primary serves — no replica-side
+// durability, no write-path changes, no quorum.
+
+#ifndef LOGBASE_REPLICA_REPLICA_SERVER_H_
+#define LOGBASE_REPLICA_REPLICA_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dfs/dfs.h"
+#include "src/index/multiversion_index.h"
+#include "src/log/log_reader.h"
+#include "src/replica/log_tailer.h"
+#include "src/tablet/read_buffer.h"
+#include "src/tablet/schema.h"
+#include "src/tablet/tablet_server.h"
+
+#include "src/util/ordered_mutex.h"
+
+namespace logbase::replica {
+
+struct ReplicaServerOptions {
+  /// Fleet-wide replica id (not a tablet-server id; the two id spaces are
+  /// disjoint — replicas never appear in /servers).
+  int replica_id = 0;
+  /// The machine this replica runs on (network/DFS charging).
+  int node = 0;
+  size_t read_buffer_bytes = 32ull << 20;
+  std::string replacement_policy = "lru";
+};
+
+class ReplicaServer {
+ public:
+  ReplicaServer(ReplicaServerOptions options, dfs::Dfs* dfs);
+
+  ReplicaServer(const ReplicaServer&) = delete;
+  ReplicaServer& operator=(const ReplicaServer&) = delete;
+
+  Status Start();
+  /// Graceful shutdown. Replicas hold no durable state, so stopping and
+  /// crashing both just drop the in-memory indexes; a restarted replica is
+  /// reseeded by the master (ReseedReplica).
+  Status Stop();
+  void Crash();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // -- Replication management (driven by the master) ---------------------
+
+  /// Attaches (or re-seeds) a replicated tablet: loads the owner's
+  /// checkpointed index entries filtered to the descriptor's range, then
+  /// positions a tailer at the checkpoint and catches up to the log end.
+  Status AddTablet(const tablet::TabletDescriptor& descriptor,
+                   uint32_t source_instance);
+  /// Detaches a replicated tablet (source migrated/split/reassigned).
+  /// Idempotent.
+  Status RemoveTablet(const std::string& uid);
+  std::vector<tablet::TabletDescriptor> Tablets() const;
+  int NumTablets() const;
+
+  /// Polls every tablet's tailer once, applying all records appended since
+  /// the previous tick (re-seeding any tablet whose log pointers went stale
+  /// under it). The driver (cluster harness, bench, nemesis) decides the
+  /// cadence.
+  Status TickTailers();
+
+  // -- Snapshot reads ----------------------------------------------------
+
+  /// MVCC read at min(`as_of` (0 = latest), applied watermark). Unavailable
+  /// (retryable) when virtual time since the last log sync exceeds
+  /// `max_staleness_us` (0 = unbounded). `snapshot_ts` (optional) reports
+  /// the snapshot actually served.
+  Result<tablet::ReadValue> Get(const std::string& uid, const Slice& key,
+                                uint64_t as_of, int64_t max_staleness_us,
+                                uint64_t* snapshot_ts = nullptr);
+  Result<std::vector<tablet::ReadRow>> Scan(const std::string& uid,
+                                            const Slice& start_key,
+                                            const Slice& end_key,
+                                            uint64_t as_of,
+                                            int64_t max_staleness_us,
+                                            uint64_t* snapshot_ts = nullptr);
+
+  // -- Introspection -----------------------------------------------------
+
+  /// The tablet's applied watermark; NotFound when not replicated here.
+  Result<uint64_t> Watermark(const std::string& uid) const;
+  /// Virtual microseconds since the tablet's last completed log sync.
+  Result<int64_t> StalenessUs(const std::string& uid) const;
+  int replica_id() const { return options_.replica_id; }
+  int node() const { return options_.node; }
+
+ private:
+  struct ReplicatedTablet {
+    tablet::TabletDescriptor descriptor;
+    uint32_t source_instance = 0;
+    std::unique_ptr<index::MultiVersionIndex> index;
+    std::unique_ptr<LogTailer> tailer;
+    /// Set when a log pointer no longer resolves (the source compacted the
+    /// segment away); the next tick rebuilds from the fresh checkpoint.
+    bool needs_reseed = false;
+  };
+
+  Status SeedTabletLocked(const tablet::TabletDescriptor& descriptor,
+                          uint32_t source_instance);  // requires mu_ held
+  Result<log::LogReader*> ReaderForLocked(uint32_t instance);
+  std::string BufferPrefix(const std::string& uid) const;
+  /// Staleness gate + snapshot clamp shared by Get and Scan; fills
+  /// `effective_ts`.
+  Status SnapshotBoundLocked(const ReplicatedTablet& t, uint64_t as_of,
+                             int64_t max_staleness_us,
+                             uint64_t* effective_ts) const;
+  Result<std::string> FetchValueLocked(ReplicatedTablet* t,
+                                       const index::IndexEntry& entry);
+
+  ReplicaServerOptions options_;
+  dfs::Dfs* const dfs_;
+  std::unique_ptr<FileSystem> fs_;  // DFS adapter bound to this node
+
+  std::atomic<bool> running_{false};
+
+  mutable OrderedMutex mu_{lockrank::kReplicaServerTablets,
+                           "replica.server.tablets"};
+  std::map<std::string, ReplicatedTablet> tablets_;
+  std::map<uint32_t, std::unique_ptr<log::LogReader>> readers_;
+  tablet::ReadBuffer buffer_;
+};
+
+}  // namespace logbase::replica
+
+#endif  // LOGBASE_REPLICA_REPLICA_SERVER_H_

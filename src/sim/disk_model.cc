@@ -15,16 +15,28 @@ VirtualTime DiskModel::TransferUs(uint64_t n) const {
 
 bool DiskModel::MatchStreamLocked(uint64_t locus, uint64_t offset,
                                   uint64_t n) {
-  // `locus` arrives pre-tagged with the read/write bit by the callers.
-  auto it = streams_.find(locus);
-  bool sequential = it != streams_.end() && it->second == offset;
-  if (it != streams_.end()) {
-    it->second = offset + n;
-    stream_lru_.remove(locus);
-    stream_lru_.push_front(locus);
+  // `locus` arrives pre-tagged with the read/write bit by the callers. An
+  // access is sequential when it continues any tracked stream on the file
+  // (same locus, expected offset); the matched stream — or a fresh one —
+  // then expects `offset + n` next. The matched entry stays in the table
+  // rather than being consumed: a just-read region sits in the page cache,
+  // so a second reader arriving at the same offset (co-tailing readers of
+  // a shared log) is cheap too, not a 12ms seek. The LRU ages cold entries
+  // out.
+  auto it = streams_.find(StreamKey{locus, offset});
+  bool sequential = it != streams_.end();
+  if (sequential) {
+    stream_lru_.splice(stream_lru_.begin(), stream_lru_, it->second);
+  }
+  StreamKey advanced{locus, offset + n};
+  auto existing = streams_.find(advanced);
+  if (existing != streams_.end()) {
+    // Another stream already expects this offset (a reader caught up to a
+    // sibling); just refresh its recency.
+    stream_lru_.splice(stream_lru_.begin(), stream_lru_, existing->second);
   } else {
-    streams_[locus] = offset + n;
-    stream_lru_.push_front(locus);
+    stream_lru_.push_front(advanced);
+    streams_[advanced] = stream_lru_.begin();
     if (stream_lru_.size() > kMaxStreams) {
       streams_.erase(stream_lru_.back());
       stream_lru_.pop_back();
@@ -37,8 +49,7 @@ VirtualTime DiskModel::AccessCost(uint64_t locus, uint64_t offset,
                                   uint64_t n, bool is_write) const {
   std::lock_guard<OrderedMutex> l(mu_);
   uint64_t stream_key = (locus << 1) | (is_write ? 1 : 0);
-  auto it = streams_.find(stream_key);
-  bool sequential = it != streams_.end() && it->second == offset;
+  bool sequential = streams_.count(StreamKey{stream_key, offset}) > 0;
   VirtualTime positioning =
       sequential ? 0 : params_.seek_us + params_.rotational_us;
   return positioning + TransferUs(n) + stall_us();

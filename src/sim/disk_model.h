@@ -57,9 +57,12 @@ class DiskModel {
                          uint64_t n, bool is_write = false);
 
   /// Max concurrent sequential streams tracked. Linux keeps readahead state
-  /// per open file, so many interleaved sequential streams each stay
-  /// effectively sequential (the inter-stream head movement is amortized by
-  /// the readahead window); the cap only bounds the model's memory.
+  /// per open file description — not per file — so several readers tailing
+  /// the same file at different offsets each stay effectively sequential
+  /// (the inter-stream head movement is amortized by the readahead window);
+  /// the cap only bounds the model's memory. Streams are therefore keyed by
+  /// (locus, next expected offset): an access that continues any tracked
+  /// stream is sequential, no matter how many other streams share the file.
   static constexpr size_t kMaxStreams = 64;
 
   /// Cost of the access without charging it (for planners/tests).
@@ -88,9 +91,26 @@ class DiskModel {
   Resource resource_;
   std::atomic<VirtualTime> stall_us_{0};
   mutable OrderedMutex mu_{lockrank::kSimDisk, "sim.disk"};
-  // locus -> expected next offset, LRU-bounded to kMaxStreams.
-  std::unordered_map<uint64_t, uint64_t> streams_;
-  std::list<uint64_t> stream_lru_;  // front = most recent
+  // One entry per live sequential stream: (locus, expected next offset),
+  // LRU-bounded to kMaxStreams. The map key packs both so matching an
+  // access against every stream on the file is one hash probe.
+  struct StreamKey {
+    uint64_t locus = 0;
+    uint64_t next = 0;
+    bool operator==(const StreamKey& o) const {
+      return locus == o.locus && next == o.next;
+    }
+  };
+  struct StreamKeyHash {
+    size_t operator()(const StreamKey& k) const {
+      uint64_t h = k.locus * 0x9E3779B97F4A7C15ull;
+      h ^= k.next + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+  std::unordered_map<StreamKey, std::list<StreamKey>::iterator, StreamKeyHash>
+      streams_;
+  std::list<StreamKey> stream_lru_;  // front = most recent
 };
 
 }  // namespace logbase::sim

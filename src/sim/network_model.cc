@@ -18,9 +18,13 @@ obs::Counter* UnreachableTransfers() {
 
 NetworkModel::NetworkModel(int num_nodes, NetworkParams params)
     : params_(params) {
-  nics_.reserve(num_nodes);
+  tx_.reserve(num_nodes);
+  rx_.reserve(num_nodes);
   for (int i = 0; i < num_nodes; i++) {
-    nics_.push_back(std::make_unique<Resource>("nic-" + std::to_string(i)));
+    tx_.push_back(
+        std::make_unique<Resource>("nic-" + std::to_string(i) + "-tx"));
+    rx_.push_back(
+        std::make_unique<Resource>("nic-" + std::to_string(i) + "-rx"));
   }
 }
 
@@ -46,10 +50,15 @@ VirtualTime NetworkModel::TransferFrom(VirtualTime start, int src, int dst,
   NetworkFaultPolicy* policy = fault_policy();
   if (policy != nullptr) overhead += policy->ExtraDelayUs(src, dst);
   VirtualTime wire = TransferUs(bytes);
-  // Both NICs stream the payload concurrently; the receiver finishes one
-  // fixed overhead after the sender starts.
-  VirtualTime sent = nics_[src]->Acquire(start, wire);
-  VirtualTime received = nics_[dst]->Acquire(start + overhead, wire);
+  // The sender's egress and the receiver's ingress stream the payload
+  // concurrently and are occupied for the wire time only; the fixed
+  // overhead is software/stack latency added to the transfer's completion,
+  // not NIC occupancy. (Folding the overhead into the Acquire start would
+  // reserve the NIC across the software window — under FCFS that serializes
+  // stack time on the wire and caps a node at ~1/overhead RPCs per second
+  // regardless of payload size.)
+  VirtualTime sent = tx_[src]->Acquire(start, wire);
+  VirtualTime received = rx_[dst]->Acquire(start, wire);
   return std::max(sent, received) + overhead;
 }
 

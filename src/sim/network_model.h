@@ -54,8 +54,13 @@ class NetworkModel {
   VirtualTime TransferFrom(VirtualTime start, int src, int dst,
                            uint64_t bytes);
 
-  int num_nodes() const { return static_cast<int>(nics_.size()); }
-  Resource* nic(int node) { return nics_[node].get(); }
+  int num_nodes() const { return static_cast<int>(tx_.size()); }
+  /// Egress (transmit) side of a node's NIC. The link is full duplex — a
+  /// node streaming data out does not delay data streaming in — so each
+  /// direction is its own FCFS resource.
+  Resource* nic_tx(int node) { return tx_[node].get(); }
+  /// Ingress (receive) side of a node's NIC.
+  Resource* nic_rx(int node) { return rx_[node].get(); }
   const NetworkParams& params() const { return params_; }
 
   /// Installs (or clears, with nullptr) the fault policy. The policy must
@@ -75,7 +80,8 @@ class NetworkModel {
   VirtualTime TransferUs(uint64_t bytes) const;
 
   const NetworkParams params_;
-  std::vector<std::unique_ptr<Resource>> nics_;
+  std::vector<std::unique_ptr<Resource>> tx_;
+  std::vector<std::unique_ptr<Resource>> rx_;
   std::atomic<NetworkFaultPolicy*> fault_policy_{nullptr};
 };
 

@@ -1,11 +1,17 @@
-// A FCFS single server in virtual time: the building block for disks and
-// NICs. A request arriving at `now` with service time `s` completes at
-// max(now, free_at) + s. Serializing all actors' requests through the same
-// Resource is what produces queueing delay under contention.
+// A single server in virtual time: the building block for disks and NICs.
+// A request arriving at `now` with service time `s` is served in the
+// earliest idle interval that fits, no earlier than `now` — usually
+// max(now, free_at) + s, but a request with an earlier start time arriving
+// after a future-start reservation slips into the idle gap before it (the
+// server is genuinely idle there; without gap reuse, one multi-hop chain
+// parking work downstream would serialize every later-issued short op
+// behind it). Serializing all actors' requests through the same Resource
+// is what produces queueing delay under contention.
 
 #ifndef LOGBASE_SIM_RESOURCE_H_
 #define LOGBASE_SIM_RESOURCE_H_
 
+#include <map>
 #include <mutex>
 #include <string>
 
@@ -15,7 +21,7 @@
 
 namespace logbase::sim {
 
-/// Thread-safe FCFS virtual-time server.
+/// Thread-safe virtual-time single server with idle-gap reuse.
 class Resource {
  public:
   explicit Resource(std::string name) : name_(std::move(name)) {}
@@ -23,15 +29,18 @@ class Resource {
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
 
-  /// Serves a request of `service_us` starting no earlier than `now`;
-  /// returns the completion time.
+  /// Serves a request of `service_us` in the earliest idle interval
+  /// starting no earlier than `now`; returns the completion time. May
+  /// complete before a previously issued request whose start time was
+  /// later (service order follows virtual arrival time, not call order).
   VirtualTime Acquire(VirtualTime now, VirtualTime service_us);
 
   /// Total time this resource has spent serving requests (utilization
   /// accounting for bottleneck analysis).
   VirtualTime total_busy_us() const;
 
-  /// The earliest time a new request could start service.
+  /// The time past every reservation made so far (the queue tail; idle
+  /// gaps before it may still accept earlier-starting requests).
   VirtualTime free_at() const;
 
   const std::string& name() const { return name_; }
@@ -44,6 +53,8 @@ class Resource {
   const std::string name_;
   VirtualTime free_at_ = 0;
   VirtualTime total_busy_ = 0;
+  /// Idle intervals [start, end) before free_at_, ordered by start.
+  std::map<VirtualTime, VirtualTime> gaps_;
 };
 
 }  // namespace logbase::sim

@@ -37,6 +37,10 @@ enum Rank : uint32_t {
   kMasterState = 100,           // master::Master::mu_
   kClientCache = 110,           // client::LogBaseClient::cache_mu_
 
+  // Read replicas: tablets_mu_ is held across checkpoint seeding and log
+  // tail polls (both call down into the DFS and log-reader locks).
+  kReplicaServerTablets = 130,  // replica::ReplicaServer::mu_
+
   // HBase baseline engine (WAL+Data): holds its locks across DFS writes.
   kHBaseServerTablets = 150,    // baselines::HBaseServer::tablets_mu_
   kHBaseServerTimestamps = 160, // baselines::HBaseServer::ts_mu_

@@ -1,0 +1,362 @@
+// Read replicas (src/replica/): checkpoint-seeded log tailing, watermark
+// snapshot reads that match the primary, transactional holdback, bounded
+// staleness with primary fallback, crash/reseed convergence, replica
+// teardown on migration, and the I6 nemesis invariant (replica-served reads
+// are prefix-consistent snapshots, deterministically under faults).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/balance/migration.h"
+#include "src/cluster/mini_cluster.h"
+#include "src/fault/nemesis.h"
+#include "src/log/log_record.h"
+#include "src/sim/sim_context.h"
+
+namespace logbase::replica {
+namespace {
+
+cluster::MiniClusterOptions SmallCluster(int nodes = 3, int replicas = 1) {
+  cluster::MiniClusterOptions options;
+  options.num_nodes = nodes;
+  options.num_replicas = replicas;
+  options.server_template.segment_bytes = 1 << 20;
+  return options;
+}
+
+std::string Key(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "key%04d", i);
+  return buf;
+}
+
+/// Attaches every assigned tablet to `count` distinct replicas; returns the
+/// tablet uids.
+std::vector<std::string> AttachAll(master::Master* m, int count) {
+  std::vector<std::string> uids;
+  for (const auto& [uid, location] : m->AssignmentsSnapshot()) {
+    uids.push_back(uid);
+    for (int i = 0; i < count; i++) {
+      auto added = m->AddReplica(uid);
+      EXPECT_TRUE(added.ok()) << added.status().ToString();
+    }
+  }
+  return uids;
+}
+
+TEST(ReplicaTest, WatermarkReadsMatchPrimary) {
+  cluster::MiniCluster cluster(SmallCluster());
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster.master()->CreateTable("t", {"v"}, {{"v"}}, {}).ok());
+  auto client = cluster.NewClient(0);
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(client->Put("t", 0, Key(i), "v" + std::to_string(i)).ok());
+  }
+
+  // Attach after the writes: the replica seeds from the checkpoint (if any)
+  // and catches up through the log tail. The client's routes were cached
+  // before the attach, so drop them to pick up the replica set.
+  AttachAll(cluster.active_master(), 1);
+  ASSERT_TRUE(cluster.TickReplicas().ok());
+  client->InvalidateCache();
+
+  for (int i = 0; i < 50; i++) {
+    client::ReadOptions primary_opts;
+    auto primary = client->Get("t", 0, Key(i), primary_opts);
+    ASSERT_TRUE(primary.ok()) << primary.status().ToString();
+    EXPECT_EQ(primary->snapshot_ts, 0u);
+
+    client::ReadOptions stale_opts;
+    stale_opts.allow_stale = true;
+    auto stale = client->Get("t", 0, Key(i), stale_opts);
+    ASSERT_TRUE(stale.ok()) << stale.status().ToString();
+    EXPECT_NE(stale->snapshot_ts, 0u);  // actually replica-served
+    EXPECT_EQ(stale->value(), primary->value());
+    EXPECT_EQ(stale->timestamp(), primary->timestamp());
+    EXPECT_LE(stale->timestamp(), stale->snapshot_ts);
+  }
+
+  // New writes become visible on the next tick.
+  ASSERT_TRUE(client->Put("t", 0, Key(7), "updated").ok());
+  ASSERT_TRUE(cluster.TickReplicas().ok());
+  client::ReadOptions stale_opts;
+  stale_opts.allow_stale = true;
+  auto updated = client->Get("t", 0, Key(7), stale_opts);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_NE(updated->snapshot_ts, 0u);
+  EXPECT_EQ(updated->value(), "updated");
+}
+
+TEST(ReplicaTest, TxnHoldbackAdvancesOnCommit) {
+  cluster::MiniCluster cluster(SmallCluster());
+  ASSERT_TRUE(cluster.Start().ok());
+  master::Master* m = cluster.master();
+  ASSERT_TRUE(m->CreateTable("t", {"v"}, {{"v"}}, {}).ok());
+  auto client = cluster.NewClient(0);
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(client->Put("t", 0, Key(i), "base").ok());
+  }
+  std::vector<std::string> uids = AttachAll(m, 1);
+  ASSERT_EQ(uids.size(), 1u);
+  const std::string& uid = uids[0];
+  ASSERT_TRUE(cluster.TickReplicas().ok());
+  ReplicaServer* rep = cluster.replica(0);
+  auto before = rep->Watermark(uid);
+  ASSERT_TRUE(before.ok());
+
+  // Craft an uncommitted transaction directly in the owner's log. Client
+  // transactions buffer writes until Commit, so data-without-COMMIT state —
+  // what the tailer must hold the watermark under — needs a raw AppendBatch.
+  auto location = m->GetAssignment(uid);
+  ASSERT_TRUE(location.ok());
+  tablet::TabletServer* server = cluster.server(location->server_id);
+  tablet::Tablet* tablet = server->FindTablet(uid);
+  ASSERT_NE(tablet, nullptr);
+  // A commit timestamp above every issued one, straight from the authority.
+  const uint64_t txn_ts = cluster.coord()->NextTimestamp(0);
+  log::LogRecord rec;
+  rec.type = log::LogRecordType::kData;
+  rec.key.table_id = tablet->descriptor().table_id;
+  rec.key.tablet_id = tablet->descriptor().packed_id();
+  rec.txn_id = 777;
+  rec.row.primary_key = Key(3);
+  rec.row.column_group = 0;
+  rec.row.timestamp = txn_ts;
+  rec.value = "txn-value";
+  rec.commit_ts = txn_ts;
+  std::vector<log::LogRecord> batch{rec};
+  ASSERT_TRUE(server->AppendBatch(&batch).ok());
+
+  // Auto-commit writes land above the pending transaction (the server may
+  // first drain a cached timestamp block below txn_ts; write until one
+  // lands above it)...
+  uint64_t late_ts = 0;
+  for (int i = 0; i < 10000 && late_ts <= txn_ts; i++) {
+    ASSERT_TRUE(client->Put("t", 0, Key(100 + i), "late").ok());
+    auto landed = client->Get("t", 0, Key(100 + i), client::ReadOptions{});
+    ASSERT_TRUE(landed.ok());
+    late_ts = landed->timestamp();
+  }
+  ASSERT_GT(late_ts, txn_ts);
+  ASSERT_TRUE(cluster.TickReplicas().ok());
+  // ...but the watermark holds just below it: a snapshot that included the
+  // late writes would have to decide the undecided transaction.
+  auto held = rep->Watermark(uid);
+  ASSERT_TRUE(held.ok());
+  EXPECT_EQ(*held, txn_ts - 1);
+  EXPECT_GE(*held, *before);
+
+  // COMMIT decides it; the watermark catches up past the late writes and
+  // the transactional value becomes readable at the replica.
+  log::LogRecord commit;
+  commit.type = log::LogRecordType::kCommit;
+  commit.txn_id = 777;
+  commit.commit_ts = txn_ts;
+  std::vector<log::LogRecord> commit_batch{commit};
+  ASSERT_TRUE(server->AppendBatch(&commit_batch).ok());
+  ASSERT_TRUE(cluster.TickReplicas().ok());
+  auto advanced = rep->Watermark(uid);
+  ASSERT_TRUE(advanced.ok());
+  EXPECT_GE(*advanced, late_ts);
+
+  uint64_t snapshot_ts = 0;
+  auto got = rep->Get(uid, Slice(Key(3)), /*as_of=*/0, /*max_staleness_us=*/0,
+                      &snapshot_ts);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->value, "txn-value");
+  EXPECT_EQ(got->timestamp, txn_ts);
+  EXPECT_EQ(snapshot_ts, *advanced);
+}
+
+TEST(ReplicaTest, StalenessRejectionIsRetryableAndFallsBack) {
+  sim::SimContext ctx;
+  sim::SimContext::Scope scope(&ctx);
+  cluster::MiniCluster cluster(SmallCluster());
+  ASSERT_TRUE(cluster.Start().ok());
+  master::Master* m = cluster.master();
+  ASSERT_TRUE(m->CreateTable("t", {"v"}, {{"v"}}, {}).ok());
+  auto client = cluster.NewClient(0);
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(client->Put("t", 0, Key(i), "fresh").ok());
+  }
+  std::vector<std::string> uids = AttachAll(m, 1);
+  const std::string& uid = uids[0];
+  ASSERT_TRUE(cluster.TickReplicas().ok());
+  client->InvalidateCache();  // routes were cached before the attach
+  ReplicaServer* rep = cluster.replica(0);
+
+  // Just synced: any bound is satisfied.
+  uint64_t snapshot_ts = 0;
+  auto fresh = rep->Get(uid, Slice(Key(1)), 0, /*max_staleness_us=*/1000,
+                        &snapshot_ts);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_NE(snapshot_ts, 0u);
+
+  // The replica falls behind the caller's bound: the read is rejected with
+  // a *retryable* Unavailable, never silently served.
+  ctx.Advance(5000);
+  auto rejected = rep->Get(uid, Slice(Key(1)), 0, /*max_staleness_us=*/1000);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsUnavailable())
+      << rejected.status().ToString();
+  auto staleness = rep->StalenessUs(uid);
+  ASSERT_TRUE(staleness.ok());
+  EXPECT_GE(*staleness, 5000);
+
+  // The client rides the rejection to the primary: the read succeeds and is
+  // marked primary-served (snapshot_ts == 0).
+  client::ReadOptions bounded;
+  bounded.allow_stale = true;
+  bounded.max_staleness_us = 1000;
+  auto fallback = client->Get("t", 0, Key(1), bounded);
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_EQ(fallback->snapshot_ts, 0u);
+  EXPECT_EQ(fallback->value(), "fresh");
+
+  // A tick re-syncs the tailer; the same bounded read is replica-served.
+  ASSERT_TRUE(cluster.TickReplicas().ok());
+  auto resynced = client->Get("t", 0, Key(1), bounded);
+  ASSERT_TRUE(resynced.ok());
+  EXPECT_NE(resynced->snapshot_ts, 0u);
+}
+
+TEST(ReplicaTest, CrashedReplicaRebuildsAndConverges) {
+  cluster::MiniCluster cluster(SmallCluster());
+  ASSERT_TRUE(cluster.Start().ok());
+  master::Master* m = cluster.master();
+  ASSERT_TRUE(m->CreateTable("t", {"v"}, {{"v"}}, {}).ok());
+  auto client = cluster.NewClient(0);
+  for (int i = 0; i < 60; i++) {
+    ASSERT_TRUE(client->Put("t", 0, Key(i), "v" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(client->Delete("t", 0, Key(i * 6)).ok());
+  }
+  std::vector<std::string> uids = AttachAll(m, 1);
+  const std::string& uid = uids[0];
+  ASSERT_TRUE(cluster.TickReplicas().ok());
+
+  // Crash drops all replica soft state; writes keep flowing meanwhile.
+  cluster.CrashReplica(0);
+  EXPECT_FALSE(cluster.replica(0)->running());
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(client->Put("t", 0, Key(200 + i), "post-crash").ok());
+  }
+
+  // Restart reseeds from the DFS (checkpoint + log tail) and converges: the
+  // replica's snapshot at its watermark is byte-identical to the primary's
+  // as-of read at the same timestamp.
+  ASSERT_TRUE(cluster.RestartReplica(0).ok());
+  ASSERT_TRUE(cluster.TickReplicas().ok());
+  ReplicaServer* rep = cluster.replica(0);
+  uint64_t snapshot_ts = 0;
+  auto replica_rows = rep->Scan(uid, Slice(""), Slice(""), /*as_of=*/0,
+                                /*max_staleness_us=*/0, &snapshot_ts);
+  ASSERT_TRUE(replica_rows.ok()) << replica_rows.status().ToString();
+  ASSERT_NE(snapshot_ts, 0u);
+
+  auto location = m->GetAssignment(uid);
+  ASSERT_TRUE(location.ok());
+  auto primary_rows = cluster.server(location->server_id)
+                          ->Scan(uid, Slice(""), Slice(""), snapshot_ts);
+  ASSERT_TRUE(primary_rows.ok()) << primary_rows.status().ToString();
+
+  ASSERT_EQ(replica_rows->size(), primary_rows->size());
+  EXPECT_FALSE(replica_rows->empty());
+  for (size_t i = 0; i < replica_rows->size(); i++) {
+    EXPECT_EQ((*replica_rows)[i].key, (*primary_rows)[i].key);
+    EXPECT_EQ((*replica_rows)[i].timestamp, (*primary_rows)[i].timestamp);
+    EXPECT_EQ((*replica_rows)[i].value, (*primary_rows)[i].value);
+  }
+}
+
+TEST(ReplicaTest, MigrationTearsDownReplicasAndClientsFallBack) {
+  cluster::MiniCluster cluster(SmallCluster());
+  ASSERT_TRUE(cluster.Start().ok());
+  master::Master* m = cluster.active_master();
+  ASSERT_TRUE(m->CreateTable("t", {"v"}, {{"v"}}, {}).ok());
+  auto client = cluster.NewClient(0);
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(client->Put("t", 0, Key(i), "v" + std::to_string(i)).ok());
+  }
+  std::vector<std::string> uids = AttachAll(m, 1);
+  const std::string& uid = uids[0];
+  ASSERT_TRUE(cluster.TickReplicas().ok());
+  client->InvalidateCache();  // routes were cached before the attach
+
+  // Warm the client's route cache with the replica route.
+  client::ReadOptions stale_opts;
+  stale_opts.allow_stale = true;
+  auto warmed = client->Get("t", 0, Key(2), stale_opts);
+  ASSERT_TRUE(warmed.ok());
+  EXPECT_NE(warmed->snapshot_ts, 0u);
+
+  // Migrate the tablet: its replicas tail the *source's* log, so the master
+  // tears them down rather than serve a frozen cursor.
+  auto location = m->GetAssignment(uid);
+  ASSERT_TRUE(location.ok());
+  int to = (location->server_id + 1) % cluster.num_nodes();
+  balance::MigrationCoordinator coordinator(m);
+  ASSERT_TRUE(coordinator.MigrateTablet(uid, to).ok());
+
+  auto after = m->GetAssignment(uid);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->server_id, to);
+  EXPECT_TRUE(after->replicas.empty());
+  EXPECT_EQ(cluster.replica(0)->NumTablets(), 0);
+
+  // The client still holds the old route: the torn-down replica answers
+  // "unknown replica tablet", which invalidates the cache and the read
+  // completes on the (new) primary in the same call.
+  auto fallback = client->Get("t", 0, Key(2), stale_opts);
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_EQ(fallback->snapshot_ts, 0u);
+  EXPECT_EQ(fallback->value(), "v2");
+
+  // Re-attached replicas on the new owner serve again.
+  ASSERT_TRUE(m->AddReplica(uid).ok());
+  ASSERT_TRUE(cluster.TickReplicas().ok());
+  client->InvalidateCache();
+  auto reattached = client->Get("t", 0, Key(2), stale_opts);
+  ASSERT_TRUE(reattached.ok());
+  EXPECT_NE(reattached->snapshot_ts, 0u);
+  EXPECT_EQ(reattached->value(), "v2");
+}
+
+// I6 under chaos: replica crashes/restarts race server and master faults
+// while 40% of reads are stale-tolerant. Every replica-served read must be a
+// prefix-consistent snapshot of the primary's history, and the whole run —
+// replica routing decisions included — must replay bit-identically.
+TEST(ReplicaNemesisTest, StaleReadsHoldI6Deterministically) {
+  fault::NemesisOptions options;
+  options.num_nodes = 5;
+  options.num_masters = 2;
+  options.seed = 909;
+  options.rounds = 250;
+  options.num_replicas = 2;
+  fault::FaultPlan plan;
+  plan.Crash(90 * 1000, 2)
+      .CrashMaster(180 * 1000, 0)
+      .Restart(260 * 1000, 2)
+      .RestartMaster(420 * 1000, 0);
+
+  auto first = fault::RunNemesis(options, plan);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->violations.empty()) << first->ToString();
+  EXPECT_GT(first->ops_acked, 0);
+  EXPECT_GT(first->stale_reads_served, 0) << first->ToString();
+
+  auto second = fault::RunNemesis(options, plan);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->violations.empty()) << second->ToString();
+  EXPECT_EQ(first->schedule, second->schedule);
+  EXPECT_EQ(first->table_digest, second->table_digest) << first->ToString();
+  EXPECT_EQ(first->ops_acked, second->ops_acked);
+  EXPECT_EQ(first->stale_reads_served, second->stale_reads_served);
+  EXPECT_EQ(first->stale_read_fallbacks, second->stale_read_fallbacks);
+}
+
+}  // namespace
+}  // namespace logbase::replica

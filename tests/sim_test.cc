@@ -58,6 +58,21 @@ TEST(ResourceTest, FcfsSerializesRequests) {
   EXPECT_EQ(r.total_busy_us(), 25);
 }
 
+TEST(ResourceTest, FillsIdleGapsBeforeFutureReservations) {
+  Resource r("nic");
+  // A multi-hop chain parks work in the resource's future; the idle gap
+  // before it stays usable.
+  EXPECT_EQ(r.Acquire(1000, 10), 1010);
+  // An earlier-time request arriving later slips into the idle gap instead
+  // of queueing behind the future reservation.
+  EXPECT_EQ(r.Acquire(0, 100), 100);
+  // A request too big for the remaining gap queues at the tail.
+  EXPECT_EQ(r.Acquire(0, 901), 1911);
+  // The rest of the gap still serves fitting requests.
+  EXPECT_EQ(r.Acquire(200, 300), 500);
+  EXPECT_EQ(r.total_busy_us(), 1311);
+}
+
 TEST(ResourceTest, ResetClearsState) {
   Resource r("x");
   r.Acquire(0, 50);
