@@ -75,7 +75,7 @@ Phase RunOps(std::vector<std::unique_ptr<client::LogBaseClient>>* clients,
       sim::VirtualTime start = ctxs[c].now();
       Status s;
       if (rnd->Bernoulli(0.5)) {
-        s = (*clients)[c]->Put(kTable, 0, key, value);
+        s = (*clients)[c]->Put(kTable, 0, key, value, {});
       } else {
         s = (*clients)[c]->Get(kTable, 0, key, client::ReadOptions{}).status();
       }
@@ -147,7 +147,7 @@ int main() {
     sim::SimContext load_ctx;
     sim::SimContext::Scope scope(&load_ctx);
     for (uint64_t i = 0; i < records; i++) {
-      if (!clients[i % kNodes]->Put(kTable, 0, KeyAt(i), value).ok()) {
+      if (!clients[i % kNodes]->Put(kTable, 0, KeyAt(i), value, {}).ok()) {
         std::abort();
       }
     }

@@ -1,5 +1,9 @@
 // Figure 12 — Mixed YCSB throughput (ops/sec) at 3/6/12/24 nodes for the
 // 95%- and 75%-update mixes, LogBase vs HBase.
+//
+// Updates run through the group-commit write path (append queue + quorum
+// ack replication); the component breakdown's group_commit line shows the
+// per-batch coalescing this mix achieved.
 
 #include "bench/common.h"
 #include "bench/mixed_common.h"

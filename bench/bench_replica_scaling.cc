@@ -84,7 +84,7 @@ ConfigResult RunConfig(int num_replicas, uint64_t records,
     sim::SimContext load_ctx;
     sim::SimContext::Scope scope(&load_ctx);
     for (uint64_t i = 0; i < records; i++) {
-      if (!writers[i % kWriteClients]->Put(kTable, 0, KeyAt(i), value).ok()) {
+      if (!writers[i % kWriteClients]->Put(kTable, 0, KeyAt(i), value, {}).ok()) {
         std::abort();
       }
     }
@@ -144,7 +144,7 @@ ConfigResult RunConfig(int num_replicas, uint64_t records,
       sim::SimContext::Scope scope(&write_ctxs[w]);
       Random* rnd = &rngs[kReadClients + w];
       sim::VirtualTime start = write_ctxs[w].now();
-      if (writers[w]->Put(kTable, 0, KeyAt(rnd->Uniform(records)), value)
+      if (writers[w]->Put(kTable, 0, KeyAt(rnd->Uniform(records)), value, {})
               .ok()) {
         write_latency.Add(static_cast<double>(write_ctxs[w].now() - start));
       }

@@ -96,6 +96,22 @@ inline void PrintComponentBreakdown(
               static_cast<unsigned long long>(
                   m.CounterValue("log.append.bytes")));
 
+  // Group-commit health: records per flushed batch, append-queue depth at
+  // snapshot time, and how long acked writes waited for their quorum.
+  const obs::MetricPoint* batch_size = m.Find("log.append.batch_size");
+  const obs::MetricPoint* queue_depth = m.Find("log.append.queue_depth");
+  const obs::MetricPoint* quorum = m.Find("log.append.quorum_wait_us");
+  std::printf("  %-12s batches=%-8llu size_avg=%.1f  queue_depth=%lld  "
+              "quorum_wait avg=%.1fus p99=%.1fus\n",
+              "group_commit",
+              static_cast<unsigned long long>(
+                  batch_size != nullptr ? batch_size->count : 0),
+              batch_size != nullptr ? batch_size->avg : 0.0,
+              static_cast<long long>(
+                  queue_depth != nullptr ? queue_depth->gauge : 0),
+              quorum != nullptr ? quorum->avg : 0.0,
+              quorum != nullptr ? quorum->p99 : 0.0);
+
   hist_line("index.probe", "index.probe.us");
   const obs::MetricPoint* depth = m.Find("index.probe.depth");
   std::printf("  depth_avg=%.1f  latch_retries=%llu\n",

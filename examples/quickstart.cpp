@@ -51,6 +51,16 @@ int main() {
   }
   std::printf("loaded 9 rows\n");
 
+  // 3b. Batched writes: a WriteBatch rides one group-committed log append
+  //     per tablet run; quorum ack returns as soon as 2/3 replicas are
+  //     durable (the straggler completes in the background).
+  client::WriteBatch batch;
+  batch.Put(0, "user9", "User 9").Put(0, "user10", "User 10");
+  Status batched = client->PutBatch(
+      "users", batch, client::WriteOptions{.ack = client::AckMode::kQuorum});
+  std::printf("batched write of %zu records: %s\n", batch.size(),
+              batched.ToString().c_str());
+
   // 4. Read one row back (tuple reconstruction across column groups).
   auto row = client->GetRow("users", "user4");
   std::printf("user4 -> name=%s email=%s bio=%s\n",

@@ -23,7 +23,7 @@ int main() {
   for (int i = 0; i < 900; i++) {
     char key[16];
     std::snprintf(key, sizeof(key), "key%03d", i);
-    if (!client->Put("kv", 0, key, "value" + std::to_string(i)).ok()) {
+    if (!client->Put("kv", 0, key, "value" + std::to_string(i), {}).ok()) {
       return 1;
     }
   }
@@ -34,7 +34,7 @@ int main() {
   for (int i = 300; i < 350; i++) {  // range 1 keys live on server 1
     char key[16];
     std::snprintf(key, sizeof(key), "key%03d", i);
-    if (!client->Put("kv", 0, key, "post-checkpoint").ok()) return 1;
+    if (!client->Put("kv", 0, key, "post-checkpoint", {}).ok()) return 1;
   }
   std::printf("checkpointed server 1, then wrote 50 tail updates\n");
 
@@ -76,7 +76,7 @@ int main() {
   if (recovered != 300) return 1;
 
   // New writes flow to the adopters' own logs.
-  if (!client->Put("kv", 0, "key700", "written after failover").ok()) return 1;
+  if (!client->Put("kv", 0, "key700", "written after failover", {}).ok()) return 1;
   std::printf("write to a reassigned range succeeded\n");
   std::printf("recovery_demo done\n");
   return 0;

@@ -52,7 +52,7 @@ int main() {
     std::snprintf(key, sizeof(key), "order%06d", i);
     const char* status = states[rnd.Uniform(3)];
     if (!client->Put("orders", 0, key,
-                     OrderValue(status, static_cast<int>(rnd.Uniform(100))))
+                     OrderValue(status, static_cast<int>(rnd.Uniform(100))), {})
              .ok()) {
       return 1;
     }
@@ -67,7 +67,7 @@ int main() {
   // An order progresses: the stale 'pending' entry is verified away.
   std::string first_pending = (*pending)[0].key;
   uint64_t before_ts = (*pending)[0].timestamp;
-  if (!client->Put("orders", 0, first_pending, OrderValue("shipped", 7)).ok())
+  if (!client->Put("orders", 0, first_pending, OrderValue("shipped", 7), {}).ok())
     return 1;
   auto still_pending = server->LookupBySecondary(uid, "by_status", "pending");
   bool gone = true;

@@ -47,7 +47,7 @@ int main() {
     for (const char* symbol : symbols) {
       int price_cents = 10000 + static_cast<int>(rnd.Uniform(2000)) - 1000;
       Status s = client->Put("market", 0, TickerKey(symbol),
-                             std::to_string(price_cents));
+                             std::to_string(price_cents), {});
       if (!s.ok()) {
         std::fprintf(stderr, "ingest failed: %s\n", s.ToString().c_str());
         return 1;
@@ -77,7 +77,7 @@ int main() {
 
   // --- Phase 3: transactional settlement ----------------------------------
   for (int account = 0; account < 10; account++) {
-    (void)client->Put("accounts", 0, AccountKey(account), "1000");  // seed data
+    (void)client->Put("accounts", 0, AccountKey(account), "1000", {});  // seed data
   }
   int settled = 0, retried = 0;
   for (int i = 0; i < 50; i++) {

@@ -56,18 +56,19 @@ for preset in "${presets[@]}"; do
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "$(nproc)"
   ctest --preset "${preset}"
-  # The balance suite (live migration / split protocol safety) and the
-  # replica suite (snapshot-serving read replicas, I6 nemesis) gate the
+  # The balance suite (live migration / split protocol safety), the
+  # replica suite (snapshot-serving read replicas, I6 nemesis) and the log
+  # suite (group commit, quorum appends, quorum-tail recovery) gate the
   # default and tsan trees explicitly by label, mirroring the chaos stage.
   case "${preset}" in
     default)
-      echo "==== balance+replica: ${preset} ===="
-      (cd "build" && ctest -L 'balance|replica' --output-on-failure)
+      echo "==== balance+replica+log: ${preset} ===="
+      (cd "build" && ctest -L 'balance|replica|log' --output-on-failure)
       ;;
     tsan)
-      echo "==== balance+replica: ${preset} ===="
+      echo "==== balance+replica+log: ${preset} ===="
       (cd "build-tsan" && TSAN_OPTIONS=halt_on_error=1 \
-        ctest -L 'balance|replica' --output-on-failure)
+        ctest -L 'balance|replica|log' --output-on-failure)
       ;;
   esac
 done

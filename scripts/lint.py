@@ -226,9 +226,39 @@ DEPRECATED_CALLS = re.compile(
     r'(?:[.>]\s*(GetVersioned|TxnRead|TxnWrite|TxnDelete)\s*\(|'
     r'\bclient\w*(?:\.|->)\s*(GetAsOf|GetVersions)\s*\()')
 
+# Legacy client write overloads (pre group-commit API redesign): Put with
+# four arguments and Delete with three, i.e. without a WriteOptions. The
+# canonical write surface threads WriteOptions{ack, deadline_us} through
+# every write ([[deprecated]] + -Werror blocks C++ call sites at compile
+# time; the lint counts arguments so the old spellings cannot creep back
+# in via snippets or generated code).
+CLIENT_WRITE_CALL = re.compile(
+    r'\bclient\w*(?:\[[^\]]*\])?\s*(?:\.|->)\s*(Put|Delete)\s*\(')
+
 # Empty since the wrappers were deleted; entries would be files that may
 # legitimately spell the removed names (e.g. migration tooling).
 DEPRECATED_ALLOWLIST = set()
+
+
+def count_call_args(text, open_paren):
+    """Returns the argument count of the call whose '(' is at open_paren,
+    balancing nested parens/brackets/braces, or None if unbalanced."""
+    depth = 0
+    args = 1
+    i, n = open_paren, len(text)
+    while i < n:
+        c = text[i]
+        if c in '([{':
+            depth += 1
+        elif c in ')]}':
+            depth -= 1
+            if depth == 0:
+                inner = text[open_paren + 1:i].strip()
+                return 0 if not inner else args
+        elif c == ',' and depth == 1:
+            args += 1
+        i += 1
+    return None
 
 
 def check_deprecated(path, rel, stripped):
@@ -243,6 +273,21 @@ def check_deprecated(path, rel, stripped):
                 'deprecated', rel, lineno,
                 'call to deprecated client API %s(); use '
                 'ReadOptions-based Get/Scan or the Txn handle' % name))
+    # The legacy write overloads need argument counting (calls may span
+    # lines), so they scan the whole stripped text.
+    for m in CLIENT_WRITE_CALL.finditer(stripped):
+        name = m.group(1)
+        argc = count_call_args(stripped, m.end() - 1)
+        if argc is None:
+            continue
+        required = 5 if name == 'Put' else 4
+        if argc == required - 1:
+            lineno = stripped.count('\n', 0, m.start()) + 1
+            found.append(Violation(
+                'deprecated', rel, lineno,
+                'legacy client %s() overload without WriteOptions; pass '
+                'WriteOptions{} (ack mode + deadline) or batch through '
+                'PutBatch' % name))
     return found
 
 
@@ -440,6 +485,28 @@ SELF_TEST_CASES = [
     (check_nondet, 'src/replica/log_tailer.cc',
      'if (rand() % 100 < jitter) return Status::OK();',
      'if (rnd.Uniform(100) < jitter) return Status::OK();'),
+    # The group-commit write path: the append queue's batch window is a
+    # virtual-time deadline and its synchronization rides the ranked
+    # LogWriter mutex; the client write surface must carry WriteOptions.
+    (check_wall_clock, 'src/log/append_queue.cc',
+     'auto deadline = std::chrono::steady_clock::now() + window;',
+     'sim::VirtualTime deadline = opened_at + options_.window_us;'),
+    (check_mutex, 'src/log/append_queue.h',
+     'mutable std::mutex flush_mu_;',
+     '// externally synchronized by LogWriter::mu_ (lockrank::kLogWriter)'),
+    (check_nondet, 'src/log/append_queue.cc',
+     'uint64_t batch_seq = rand();',
+     'uint64_t batch_seq = next_batch_seq_++;'),
+    (check_deprecated, 'tests/x_test.cc',
+     'ASSERT_TRUE(client->Put("t", 0, "k", "v").ok());',
+     'ASSERT_TRUE(client->Put("t", 0, "k", "v", {}).ok());'),
+    (check_deprecated, 'bench/x.cc',
+     'Status s = client.Delete("t", 0, key);',
+     'Status s = client.Delete("t", 0, key, WriteOptions{});'),
+    (check_deprecated, 'src/x/x.cc',
+     'auto s = client->Put(kTable, 0, key,\n'
+     '                     EncodeSeq(seq));',
+     'auto s = client->PutBatch("t", batch, WriteOptions{});'),
 ]
 
 

@@ -1,5 +1,7 @@
 #include "src/client/client.h"
 
+#include <algorithm>
+
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/coding.h"
@@ -82,9 +84,11 @@ Status Txn::Delete(const std::string& table, uint32_t column_group,
   return client_->TxnDeleteImpl(txn_.get(), table, column_group, key);
 }
 
-Status Txn::Commit() {
+Status Txn::Commit() { return Commit(WriteOptions{}); }
+
+Status Txn::Commit(const WriteOptions& options) {
   if (!active()) return Status::InvalidArgument("transaction not active");
-  return client_->CommitImpl(txn_.get());
+  return client_->CommitImpl(txn_.get(), options.ack);
 }
 
 void Txn::Abort() {
@@ -224,23 +228,99 @@ Status LogBaseClient::NormalizeServerStatus(const Status& s) {
 }
 
 // ---------------------------------------------------------------------------
-// Single-record operations.
+// Writes.
 // ---------------------------------------------------------------------------
 
-Status LogBaseClient::Put(const std::string& table, uint32_t column_group,
-                          const Slice& key, const Slice& value) {
-  obs::Span span("client.put");
-  // A down server invalidates the cache (ServerFor), so the next attempt
-  // re-resolves through the master; backoff gives failover time to land.
-  return retry_.Run("client.put", [&]() -> Status {
-    auto route = Resolve(table, column_group, key);
-    if (!route.ok()) return route.status();
-    auto server = ServerFor(*route);
+Status LogBaseClient::PutBatchAttempt(const std::string& table,
+                                      const WriteBatch& batch,
+                                      log::AckMode ack) {
+  // Coalesce consecutive same-tablet puts into one server-side batch so the
+  // group-commit queue sees multi-record submissions. A delete or a tablet
+  // switch flushes the run first, preserving insertion order.
+  Route run_route;
+  std::vector<std::pair<std::string, std::string>> run_kvs;
+  auto flush_run = [&]() -> Status {
+    if (run_kvs.empty()) return Status::OK();
+    auto server = ServerFor(run_route);
     if (!server.ok()) return server.status();
-    ChargeRpc(route->server_id, key.size() + value.size() + 64, 32);
-    return NormalizeServerStatus((*server)->Put(route->tablet_uid, key,
-                                                value));
+    uint64_t bytes = 0;
+    for (const auto& [k, v] : run_kvs) bytes += k.size() + v.size();
+    ChargeRpc(run_route.server_id, bytes + 64, 32);
+    Status s = NormalizeServerStatus(
+        (*server)->PutBatch(run_route.tablet_uid, run_kvs, ack));
+    run_kvs.clear();
+    return s;
+  };
+  for (const WriteBatch::Op& op : batch.ops()) {
+    auto route = Resolve(table, op.column_group, Slice(op.key));
+    if (!route.ok()) return route.status();
+    if (op.is_delete) {
+      LOGBASE_RETURN_NOT_OK(flush_run());
+      auto server = ServerFor(*route);
+      if (!server.ok()) return server.status();
+      ChargeRpc(route->server_id, op.key.size() + 64, 32);
+      LOGBASE_RETURN_NOT_OK(NormalizeServerStatus(
+          (*server)->Delete(route->tablet_uid, Slice(op.key), ack)));
+      continue;
+    }
+    if (!run_kvs.empty() && route->tablet_uid != run_route.tablet_uid) {
+      LOGBASE_RETURN_NOT_OK(flush_run());
+    }
+    run_route = *route;
+    run_kvs.emplace_back(op.key, op.value);
+  }
+  return flush_run();
+}
+
+Status LogBaseClient::PutBatch(const std::string& table,
+                               const WriteBatch& batch,
+                               const WriteOptions& options) {
+  obs::Span span("client.put_batch");
+  if (batch.empty()) return Status::OK();
+  sim::SimContext* ctx = sim::SimContext::Current();
+  const sim::VirtualTime start = ctx != nullptr ? ctx->now() : 0;
+
+  // The deadline caps the retry policy's cumulative backoff budget; the
+  // attempt itself also checks it so a slow server (not just backoff)
+  // trips the budget. Retried writes re-apply idempotently (timestamped
+  // upserts), so partial application of an earlier attempt is harmless.
+  fault::RetryOptions retry_options = retry_.options();
+  if (options.deadline_us > 0) {
+    retry_options.deadline_us =
+        retry_options.deadline_us == 0
+            ? options.deadline_us
+            : std::min(retry_options.deadline_us, options.deadline_us);
+  }
+  fault::RetryPolicy policy(retry_options);
+  Status s = policy.Run("client.put_batch", [&]() -> Status {
+    if (ctx != nullptr && options.deadline_us > 0 &&
+        ctx->now() - start >= options.deadline_us) {
+      return Status::TimedOut("write deadline exceeded");
+    }
+    return PutBatchAttempt(table, batch, options.ack);
   });
+  if (!s.ok() && ctx != nullptr && options.deadline_us > 0 &&
+      ctx->now() - start >= options.deadline_us && !s.IsTimedOut()) {
+    return Status::TimedOut("write deadline exceeded: " + s.ToString());
+  }
+  return s;
+}
+
+Status LogBaseClient::Put(const std::string& table, uint32_t column_group,
+                          const Slice& key, const Slice& value,
+                          const WriteOptions& options) {
+  obs::Span span("client.put");
+  WriteBatch batch;
+  batch.Put(column_group, key, value);
+  return PutBatch(table, batch, options);
+}
+
+Status LogBaseClient::Delete(const std::string& table, uint32_t column_group,
+                             const Slice& key, const WriteOptions& options) {
+  obs::Span span("client.delete");
+  WriteBatch batch;
+  batch.Delete(column_group, key);
+  return PutBatch(table, batch, options);
 }
 
 namespace {
@@ -358,18 +438,6 @@ Result<ReadResult> LogBaseClient::Get(const std::string& table,
   });
 }
 
-Status LogBaseClient::Delete(const std::string& table, uint32_t column_group,
-                             const Slice& key) {
-  return retry_.Run("client.delete", [&]() -> Status {
-    auto route = Resolve(table, column_group, key);
-    if (!route.ok()) return route.status();
-    auto server = ServerFor(*route);
-    if (!server.ok()) return server.status();
-    ChargeRpc(route->server_id, key.size() + 64, 32);
-    return NormalizeServerStatus((*server)->Delete(route->tablet_uid, key));
-  });
-}
-
 Result<std::vector<tablet::ReadRow>> LogBaseClient::Scan(
     const std::string& table, uint32_t column_group, const Slice& start_key,
     const Slice& end_key, const ReadOptions& options) {
@@ -451,11 +519,13 @@ Result<std::vector<tablet::ReadRow>> LogBaseClient::Scan(
 
 Status LogBaseClient::PutRow(
     const std::string& table, const Slice& key,
-    const std::map<std::string, std::string>& columns) {
+    const std::map<std::string, std::string>& columns,
+    const WriteOptions& options) {
   auto master = ActiveMaster();
   if (!master.ok()) return master.status();
   auto schema = (*master)->GetTable(table);
   if (!schema.ok()) return schema.status();
+  WriteBatch batch;
   for (const tablet::ColumnGroup& group : schema->groups) {
     std::map<std::string, std::string> group_columns;
     for (const std::string& column : group.columns) {
@@ -463,10 +533,9 @@ Status LogBaseClient::PutRow(
       if (it != columns.end()) group_columns[column] = it->second;
     }
     if (group_columns.empty()) continue;
-    LOGBASE_RETURN_NOT_OK(
-        Put(table, group.id, key, Slice(EncodeColumns(group_columns))));
+    batch.Put(group.id, key, Slice(EncodeColumns(group_columns)));
   }
-  return Status::OK();
+  return PutBatch(table, batch, options);
 }
 
 Result<std::map<std::string, std::string>> LogBaseClient::GetRow(
@@ -526,8 +595,8 @@ Status LogBaseClient::TxnDeleteImpl(txn::Transaction* txn,
   return txn_->Delete(txn, route->tablet_uid, key);
 }
 
-Status LogBaseClient::CommitImpl(txn::Transaction* txn) {
-  return txn_->Commit(txn);
+Status LogBaseClient::CommitImpl(txn::Transaction* txn, log::AckMode ack) {
+  return txn_->Commit(txn, ack);
 }
 
 void LogBaseClient::AbortImpl(txn::Transaction* txn) { txn_->Abort(txn); }

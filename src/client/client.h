@@ -33,6 +33,53 @@ namespace logbase::client {
 std::string EncodeColumns(const std::map<std::string, std::string>& columns);
 Result<std::map<std::string, std::string>> DecodeColumns(const Slice& value);
 
+/// Replication acknowledgement level for writes: kQuorum acks once a
+/// majority of log replicas are durable (stragglers complete in the
+/// background); kAll waits for the full replica set.
+using AckMode = log::AckMode;
+
+/// How a write commits. Default-constructed options quorum-ack with no
+/// deadline.
+struct WriteOptions {
+  AckMode ack = AckMode::kQuorum;
+  /// Virtual-time budget for the whole call, including retry backoff;
+  /// 0 = no deadline. A write that cannot complete within the budget
+  /// returns Status::TimedOut (it may still land later server-side — the
+  /// usual ambiguity of a timed-out write).
+  sim::VirtualTime deadline_us = 0;
+};
+
+/// An ordered list of row mutations submitted together through `PutBatch`.
+/// Consecutive puts that land on the same tablet are shipped as one
+/// server-side batch, so they share a single group-committed log append.
+class WriteBatch {
+ public:
+  struct Op {
+    bool is_delete = false;
+    uint32_t column_group = 0;
+    std::string key;
+    std::string value;
+  };
+
+  WriteBatch& Put(uint32_t column_group, const Slice& key,
+                  const Slice& value) {
+    ops_.push_back(Op{false, column_group, key.ToString(), value.ToString()});
+    return *this;
+  }
+  WriteBatch& Delete(uint32_t column_group, const Slice& key) {
+    ops_.push_back(Op{true, column_group, key.ToString(), std::string()});
+    return *this;
+  }
+  void Clear() { ops_.clear(); }
+
+  const std::vector<Op>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+ private:
+  std::vector<Op> ops_;
+};
+
 /// How a `Get` reads. Default-constructed options read the latest version.
 struct ReadOptions {
   /// Historical read when non-zero: the newest version with write timestamp
@@ -91,6 +138,10 @@ class Txn {
   Status Delete(const std::string& table, uint32_t column_group,
                 const Slice& key);
   Status Commit();
+  /// Commit with an explicit replication ack level for the commit's log
+  /// appends (`options.deadline_us` is ignored: a transaction either
+  /// commits or aborts, never "timed out after committing").
+  Status Commit(const WriteOptions& options);
   void Abort();
 
   /// True until Commit/Abort (or a moved-from/default-constructed handle).
@@ -133,16 +184,44 @@ class LogBaseClient {
     return retry_.options();
   }
 
-  // -- Single-record operations (auto-commit, §3.6) ----------------------
+  // -- Writes (auto-commit, §3.6) ------------------------------------------
 
+  /// The unified write entry point: applies the batch's mutations in
+  /// insertion order, coalescing consecutive same-tablet puts into one
+  /// group-committed log append. `options.ack` picks the replication
+  /// acknowledgement level, `options.deadline_us` bounds the whole call.
+  Status PutBatch(const std::string& table, const WriteBatch& batch,
+                  const WriteOptions& options);
+  Status PutBatch(const std::string& table, const WriteBatch& batch) {
+    return PutBatch(table, batch, WriteOptions{});
+  }
+
+  /// Single-record write: a one-row batch through the same path.
   Status Put(const std::string& table, uint32_t column_group,
-             const Slice& key, const Slice& value);
+             const Slice& key, const Slice& value,
+             const WriteOptions& options);
+  [[deprecated(
+      "use Put(table, group, key, value, WriteOptions{}) or PutBatch")]]
+  Status Put(const std::string& table, uint32_t column_group,
+             const Slice& key, const Slice& value) {
+    return Put(table, column_group, key, value, WriteOptions{});
+  }
+
+  Status Delete(const std::string& table, uint32_t column_group,
+                const Slice& key, const WriteOptions& options);
+  [[deprecated(
+      "use Delete(table, group, key, WriteOptions{}) or PutBatch")]]
+  Status Delete(const std::string& table, uint32_t column_group,
+                const Slice& key) {
+    return Delete(table, column_group, key, WriteOptions{});
+  }
+
+  // -- Reads ----------------------------------------------------------------
+
   /// The unified read: latest by default, historical via `options.as_of`,
   /// full version history via `options.all_versions`.
   Result<ReadResult> Get(const std::string& table, uint32_t column_group,
                          const Slice& key, const ReadOptions& options);
-  Status Delete(const std::string& table, uint32_t column_group,
-                const Slice& key);
   /// Range scan across tablets (fans out to every overlapping tablet).
   /// `options.allow_stale` serves each tablet's slice from a replica when it
   /// has one (per-tablet primary fallback otherwise); `options.as_of` bounds
@@ -162,9 +241,10 @@ class LogBaseClient {
   // -- Row operations across column groups --------------------------------
 
   /// Writes each column into its group (per the table's vertical
-  /// partitioning).
+  /// partitioning), all groups in one WriteBatch.
   Status PutRow(const std::string& table, const Slice& key,
-                const std::map<std::string, std::string>& columns);
+                const std::map<std::string, std::string>& columns,
+                const WriteOptions& options = WriteOptions{});
   /// Tuple reconstruction (§3.2): collects the row's data from every column
   /// group by primary key.
   Result<std::map<std::string, std::string>> GetRow(const std::string& table,
@@ -226,8 +306,11 @@ class LogBaseClient {
                       const Slice& value);
   Status TxnDeleteImpl(txn::Transaction* txn, const std::string& table,
                        uint32_t column_group, const Slice& key);
-  Status CommitImpl(txn::Transaction* txn);
+  Status CommitImpl(txn::Transaction* txn, log::AckMode ack);
   void AbortImpl(txn::Transaction* txn);
+  /// One attempt of PutBatch against the current routes.
+  Status PutBatchAttempt(const std::string& table, const WriteBatch& batch,
+                         log::AckMode ack);
 
   std::function<master::Master*()> master_resolver_;
   std::function<tablet::TabletServer*(int)> server_resolver_;

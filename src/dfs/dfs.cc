@@ -1,6 +1,7 @@
 #include "src/dfs/dfs.h"
 
 #include <algorithm>
+#include <deque>
 
 #include "src/fault/retry_policy.h"
 #include "src/obs/metrics.h"
@@ -28,7 +29,7 @@ obs::Counter* ReplicationBytes() {
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Writer: synchronous replication pipeline.
+// Writer: replication pipeline with policy-controlled acks.
 // ---------------------------------------------------------------------------
 
 class DfsWritableFile : public WritableFile {
@@ -47,15 +48,35 @@ class DfsWritableFile : public WritableFile {
     buffer_.append(data.data(), data.size());
     size_ += data.size();
     if (buffer_.size() >= kStreamChunk) {
-      return FlushBuffer();
+      return FlushBuffer(policy_, nullptr);
     }
     return Status::OK();
   }
 
-  Status Sync() override { return FlushBuffer(); }
+  Status Sync() override { return FlushBuffer(policy_, nullptr); }
+
+  // Quorum / pipelined durability: remembers the policy (so streaming
+  // flushes triggered by Append() keep using it) and reports when the ack
+  // landed on the virtual clock. With max_inflight > 1 the caller's clock
+  // only advances to the point its NIC finished streaming the chunk; the
+  // replication pipeline's completion is tracked as an outstanding ack.
+  Status SyncWith(const SyncPolicy& policy, SyncReceipt* receipt) override {
+    policy_ = policy;
+    return FlushBuffer(policy, receipt);
+  }
+
+  Status WaitForAcks() override {
+    sim::SimContext* ctx = sim::SimContext::Current();
+    if (ctx != nullptr) {
+      for (sim::VirtualTime ack : inflight_acks_) ctx->AdvanceTo(ack);
+    }
+    inflight_acks_.clear();
+    return Status::OK();
+  }
 
   Status Close() override {
-    LOGBASE_RETURN_NOT_OK(FlushBuffer());
+    LOGBASE_RETURN_NOT_OK(FlushBuffer(policy_, nullptr));
+    LOGBASE_RETURN_NOT_OK(WaitForAcks());
     block_open_ = false;
     return Status::OK();
   }
@@ -65,8 +86,10 @@ class DfsWritableFile : public WritableFile {
  private:
   static constexpr size_t kStreamChunk = 1 << 20;
 
-  Status FlushBuffer() {
+  Status FlushBuffer(const SyncPolicy& policy, SyncReceipt* receipt) {
     Slice remaining(buffer_);
+    sim::VirtualTime ack_us = 0;
+    sim::VirtualTime full_us = 0;
     while (!remaining.empty()) {
       if (!block_open_ || block_fill_ >= dfs_->options_.block_size) {
         LOGBASE_RETURN_NOT_OK(StartNewBlock());
@@ -78,11 +101,16 @@ class DfsWritableFile : public WritableFile {
       // A chunk that reached zero replicas stored nothing anywhere, so the
       // retry re-appends at the same offset; partial successes return OK
       // (under-replication is healed by the name node's sweep).
-      LOGBASE_RETURN_NOT_OK(retry_.Run(
-          "dfs.pipeline_write", [&]() { return PipelineWrite(chunk); }));
+      LOGBASE_RETURN_NOT_OK(retry_.Run("dfs.pipeline_write", [&]() {
+        return PipelineWrite(chunk, policy, &ack_us, &full_us);
+      }));
       remaining.remove_prefix(chunk_len);
     }
     buffer_.clear();
+    if (receipt != nullptr) {
+      receipt->ack_us = static_cast<uint64_t>(ack_us);
+      receipt->full_us = static_cast<uint64_t>(full_us);
+    }
     return Status::OK();
   }
   Status StartNewBlock() {
@@ -111,11 +139,23 @@ class DfsWritableFile : public WritableFile {
   /// while every NIC/disk is still charged its full service time (so
   /// utilization and contention stay honest). Dead replicas are dropped
   /// from the pipeline (HDFS behaviour); at least one must survive.
-  Status PipelineWrite(const Slice& chunk) {
+  ///
+  /// The ack point depends on the policy: kAll waits for every surviving
+  /// replica (the strict chain ack), kQuorum acks at the majority-th
+  /// fastest replica — a disk-stalled straggler still gets the data and is
+  /// still charged its full disk/NIC time, it just completes in the
+  /// background. With max_inflight > 1 the caller's clock only advances to
+  /// the point its own NIC finished streaming; the ack is tracked as
+  /// outstanding and collected by WaitForAcks()/a later sync (bounded
+  /// in-flight depth).
+  Status PipelineWrite(const Slice& chunk, const SyncPolicy& policy,
+                       sim::VirtualTime* ack_out,
+                       sim::VirtualTime* full_out) {
     obs::Span span("dfs.write");
     sim::SimContext* ctx = sim::SimContext::Current();
     sim::VirtualTime stream_begin = ctx != nullptr ? ctx->now() : 0;
-    sim::VirtualTime completion = stream_begin;
+    sim::VirtualTime push_done = stream_begin;
+    std::vector<sim::VirtualTime> completions;
     int prev = client_node_;
     int successes = 0;
     for (int replica : current_.replicas) {
@@ -135,7 +175,8 @@ class DfsWritableFile : public WritableFile {
         sim::VirtualTime disk_done = dn->disk()->AccessFrom(
             stream_begin, current_.id, block_fill_, chunk.size(),
             /*is_write=*/true);
-        completion = std::max({completion, net_done, disk_done});
+        completions.push_back(std::max(net_done, disk_done));
+        if (prev == client_node_) push_done = net_done;
         stream_begin += dfs_->network_->params().rpc_overhead_us;
       } else {
         // No actor: keep the disk's stream state warm, charge nothing.
@@ -149,7 +190,35 @@ class DfsWritableFile : public WritableFile {
       return Status::IOError("all replicas failed for block append");
     }
     ReplicationBytes()->Add(chunk.size() * successes);
-    if (ctx != nullptr) ctx->AdvanceTo(completion);
+    if (ctx != nullptr && !completions.empty()) {
+      sim::VirtualTime full =
+          *std::max_element(completions.begin(), completions.end());
+      sim::VirtualTime ack = full;
+      int quorum = dfs_->options_.replication / 2 + 1;
+      if (policy.ack == SyncPolicy::Ack::kQuorum &&
+          static_cast<int>(completions.size()) >= quorum) {
+        // The quorum-th fastest completion acks the write; if the pipeline
+        // already degraded below quorum width, every survivor must ack
+        // (the heal sweep restores full width afterwards, invariant I3).
+        std::nth_element(completions.begin(),
+                         completions.begin() + (quorum - 1),
+                         completions.end());
+        ack = completions[quorum - 1];
+      }
+      if (ack_out != nullptr) *ack_out = std::max(*ack_out, ack);
+      if (full_out != nullptr) *full_out = std::max(*full_out, full);
+      if (policy.max_inflight > 1) {
+        ctx->AdvanceTo(push_done);
+        inflight_acks_.push_back(ack);
+        while (static_cast<int>(inflight_acks_.size()) >=
+               policy.max_inflight) {
+          ctx->AdvanceTo(inflight_acks_.front());
+          inflight_acks_.pop_front();
+        }
+      } else {
+        ctx->AdvanceTo(ack);
+      }
+    }
     block_fill_ += chunk.size();
     size_ += chunk.size();
     // Publish the new length so concurrent readers can see the tail.
@@ -162,6 +231,8 @@ class DfsWritableFile : public WritableFile {
   fault::RetryPolicy retry_{
       fault::RetryOptions{.seed = 0x0df5u}};  // shared per-writer policy
   std::string buffer_;  // appended but not yet pipelined
+  SyncPolicy policy_;   // sticky: the last policy a SyncWith() installed
+  std::deque<sim::VirtualTime> inflight_acks_;  // pipelined, not yet waited
   BlockInfo current_;
   bool block_open_ = false;
   uint64_t block_fill_ = 0;
@@ -240,6 +311,8 @@ class DfsRandomAccessFile : public RandomAccessFile {
     }
     order.insert(order.end(), remote.begin(), remote.end());
     Status last = Status::Unavailable("no replicas");
+    std::string best;
+    bool have_best = false;
     for (int r : order) {
       DataNode* dn = dfs_->data_nodes_[r].get();
       if (!dn->alive()) continue;
@@ -253,10 +326,20 @@ class DfsRandomAccessFile : public RandomAccessFile {
         if (dfs_->network_ != nullptr) {
           dfs_->network_->Transfer(r, client_node_, data->size());
         }
-        return data;
+        if (data->size() >= n) return data;
+        // Short read: this replica is missing bytes the name node sealed —
+        // it fell out of a quorum-acked pipeline append and has not been
+        // healed yet. Its bytes are a clean prefix (appends are
+        // contiguous), so keep the longest prefix across replicas.
+        if (!have_best || data->size() > best.size()) {
+          best = std::move(*data);
+          have_best = true;
+        }
+        continue;
       }
       last = data.status();
     }
+    if (have_best) return best;
     return last;
   }
 
@@ -367,13 +450,20 @@ int Dfs::ExecuteRereplication(
     DataNode* dst = data_nodes_[task.target_node].get();
     auto size = src->BlockSize(task.block);
     if (!size.ok()) continue;
-    auto data = src->ReadBlock(task.block, 0, *size);
+    // A stale target (restarted after missing tail appends) already holds a
+    // prefix of the block; copy only the missing tail, contiguously.
+    uint64_t dst_have = 0;
+    if (dst->HasBlock(task.block)) {
+      auto have = dst->BlockSize(task.block);
+      if (have.ok()) dst_have = *have;
+      if (dst_have >= *size) continue;  // already complete
+    }
+    auto data = src->ReadBlock(task.block, dst_have, *size - dst_have);
     if (!data.ok()) continue;
     if (network_ != nullptr) {
       network_->Transfer(task.source_node, task.target_node, data->size());
     }
-    if (dst->HasBlock(task.block)) continue;
-    Status s = dst->WriteBlock(task.block, 0, *data);
+    Status s = dst->WriteBlock(task.block, dst_have, *data);
     if (!s.ok()) continue;
     s = name_node_.AddReplica(task.path, task.block, task.target_node);
     if (!s.ok()) continue;  // file deleted mid-copy
@@ -396,9 +486,16 @@ Result<int> Dfs::Rereplicate(int dead_node) {
 Result<int> Dfs::HealUnderReplicated() {
   // Iterate: a sweep can itself be partially blocked (sources unreachable),
   // and each completed copy may enable another; stop at a fixpoint.
+  // A replica is intact only if its stored copy covers the block's
+  // committed length — a node that restarted after missing quorum-acked
+  // tail appends holds a stale prefix and must be caught up.
+  auto replica_complete = [this](const BlockInfo& b, int node) {
+    auto stored = data_nodes_[node]->BlockSize(b.id);
+    return stored.ok() && *stored >= b.size;
+  };
   int total = 0;
   for (int round = 0; round < options_.replication; round++) {
-    auto tasks = name_node_.PlanUnderReplicated(AliveNodes());
+    auto tasks = name_node_.PlanUnderReplicated(AliveNodes(), replica_complete);
     if (tasks.empty()) break;
     int copied = ExecuteRereplication(tasks);
     total += copied;

@@ -201,7 +201,8 @@ std::vector<NameNode::RereplicationTask> NameNode::PlanRereplication(
 }
 
 std::vector<NameNode::RereplicationTask> NameNode::PlanUnderReplicated(
-    const std::vector<bool>& alive) {
+    const std::vector<bool>& alive,
+    const std::function<bool(const BlockInfo&, int)>& replica_complete) {
   std::lock_guard<OrderedMutex> l(mu_);
   std::vector<RereplicationTask> tasks;
   const int n = static_cast<int>(racks_.size());
@@ -214,14 +215,26 @@ std::vector<NameNode::RereplicationTask> NameNode::PlanUnderReplicated(
   const int want = std::min(replication_, alive_nodes);
   for (auto& [path, inode] : files_) {
     for (BlockInfo& b : inode.blocks) {
-      std::vector<int> live;
+      // Only intact replicas (live, copy covers the committed length) count
+      // toward the replication target or can serve as copy sources. A stale
+      // replica — a node that restarted after missing quorum-acked tail
+      // appends — needs its missing tail re-copied in place.
+      std::vector<int> intact;
+      std::vector<int> stale;
       for (int r : b.replicas) {
-        if (r >= 0 && r < n && alive[r]) live.push_back(r);
+        if (r < 0 || r >= n || !alive[r]) continue;
+        if (!replica_complete || replica_complete(b, r)) {
+          intact.push_back(r);
+        } else {
+          stale.push_back(r);
+        }
       }
-      if (live.empty()) continue;  // no live source; block is lost for now
-      if (static_cast<int>(live.size()) >= want) continue;
+      if (intact.empty()) continue;  // no intact source; block lost for now
+      if (static_cast<int>(intact.size()) >= want) continue;
 
-      std::vector<int> candidates;
+      // Repair targets: stale replicas first (catch-up in place keeps the
+      // placement), then live nodes not yet hosting the block.
+      std::vector<int> candidates = stale;
       for (int i = 0; i < n; i++) {
         if (alive[i] &&
             std::find(b.replicas.begin(), b.replicas.end(), i) ==
@@ -229,12 +242,17 @@ std::vector<NameNode::RereplicationTask> NameNode::PlanUnderReplicated(
           candidates.push_back(i);
         }
       }
-      int missing = want - static_cast<int>(live.size());
+      int missing = want - static_cast<int>(intact.size());
       for (int k = 0; k < missing && !candidates.empty(); k++) {
-        size_t pick = rnd_.Uniform(candidates.size());
+        size_t pick = candidates.size();
+        if (static_cast<size_t>(k) < stale.size()) {
+          pick = 0;  // deterministic: stale replicas repair first
+        } else {
+          pick = rnd_.Uniform(candidates.size());
+        }
         int target = candidates[pick];
         candidates.erase(candidates.begin() + static_cast<long>(pick));
-        tasks.push_back(RereplicationTask{path, b.id, live[0], target});
+        tasks.push_back(RereplicationTask{path, b.id, intact[0], target});
       }
     }
   }

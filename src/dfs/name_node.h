@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -70,8 +71,16 @@ class NameNode {
   /// count is below the replication factor regardless of which node(s)
   /// died — the periodic under-replication sweep a real NameNode runs.
   /// Emits one task per missing replica (distinct targets).
+  ///
+  /// `replica_complete(block, node)` reports whether the node's stored copy
+  /// covers the block's committed length. A live-but-stale replica (a node
+  /// that restarted after missing quorum-acked tail appends) counts as
+  /// missing AND becomes a repair target, so the sweep restores full width
+  /// (invariant I3). When the callback is empty, liveness alone decides.
   std::vector<RereplicationTask> PlanUnderReplicated(
-      const std::vector<bool>& alive);
+      const std::vector<bool>& alive,
+      const std::function<bool(const BlockInfo&, int)>& replica_complete =
+          {});
 
   /// Registers the extra replica created by a completed re-replication.
   Status AddReplica(const std::string& path, BlockId block, int node);

@@ -180,7 +180,7 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
           rnd.Uniform(static_cast<uint64_t>(options.keys))));
       attempted[key].insert(seq);
       report.ops_attempted++;
-      Status s = client->Put(kTable, 0, key, EncodeSeq(seq));
+      Status s = client->Put(kTable, 0, key, EncodeSeq(seq), {});
       if (s.ok()) {
         report.ops_acked++;
         max_acked[key] = std::max(max_acked[key], seq);

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "src/util/coding.h"
+#include "src/util/crc32c.h"
 
 namespace logbase::log {
 
@@ -144,22 +145,59 @@ bool LogReader::Scanner::Ensure(size_t want) {
 void LogReader::Scanner::Next() {
   valid_ = false;
   if (!status_.ok()) return;
-  if (!Ensure(kLogFrameHeaderSize)) return;
-  uint32_t len = DecodeFixed32(buffer_.data() + buffer_pos_ + 4);
-  if (!Ensure(kLogFrameHeaderSize + len)) return;
+  for (;;) {
+    if (!Ensure(kLogFrameHeaderSize)) return;
+    // Ensure() skips a torn tail when it crosses into the next segment;
+    // anything read before the switch (frame length, batch header) then
+    // described discarded bytes — detect the switch and reparse fresh.
+    size_t seg_before = segment_index_;
+    uint32_t len = DecodeFixed32(buffer_.data() + buffer_pos_ + 4);
+    if (!Ensure(kLogFrameHeaderSize + len)) return;
+    if (segment_index_ != seg_before) continue;
 
-  Slice frame(buffer_.data() + buffer_pos_, kLogFrameHeaderSize + len);
-  Status s = LogRecord::DecodeFrom(&frame, &record_);
-  if (!s.ok()) {
-    status_ = s;
+    Slice frame(buffer_.data() + buffer_pos_, kLogFrameHeaderSize + len);
+    Slice payload(frame.data() + kLogFrameHeaderSize, len);
+    if (IsBatchHeaderPayload(payload)) {
+      // A group-commit batch header: validate the whole batch, then consume
+      // the header and surface its records one by one.
+      BatchHeader header;
+      Status hs = DecodeBatchHeaderFrame(frame, &header);
+      if (!hs.ok()) {
+        status_ = hs;
+        return;
+      }
+      // Batch atomicity: the batch must be fully present or it is dropped
+      // whole. A short tail here is a quorum-durable batch this replica has
+      // not fully received yet — the scan stops cleanly *before* the
+      // header, so a later poll retries once the straggler catches up.
+      size_t whole = kLogFrameHeaderSize + len +
+                     static_cast<size_t>(header.batch_bytes);
+      if (!Ensure(whole)) return;
+      if (segment_index_ != seg_before) continue;
+      Slice body(buffer_.data() + buffer_pos_ + kLogFrameHeaderSize + len,
+                 static_cast<size_t>(header.batch_bytes));
+      if (crc32c::Unmask(header.batch_crc) !=
+          crc32c::Value(body.data(), body.size())) {
+        status_ = Status::Corruption("log batch checksum mismatch");
+        return;
+      }
+      buffer_pos_ += kLogFrameHeaderSize + len;
+      continue;
+    }
+
+    Status s = LogRecord::DecodeFrom(&frame, &record_);
+    if (!s.ok()) {
+      status_ = s;
+      return;
+    }
+    ptr_.instance = reader_->instance_;
+    ptr_.segment = segments_[segment_index_];
+    ptr_.offset = file_offset_ + buffer_pos_;
+    ptr_.size = kLogFrameHeaderSize + len;
+    buffer_pos_ += ptr_.size;
+    valid_ = true;
     return;
   }
-  ptr_.instance = reader_->instance_;
-  ptr_.segment = segments_[segment_index_];
-  ptr_.offset = file_offset_ + buffer_pos_;
-  ptr_.size = kLogFrameHeaderSize + len;
-  buffer_pos_ += ptr_.size;
-  valid_ = true;
 }
 
 }  // namespace logbase::log

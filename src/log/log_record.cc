@@ -78,6 +78,47 @@ Status LogRecord::DecodeFrom(Slice* input, LogRecord* record) {
   return Status::OK();
 }
 
+void EncodeBatchHeaderFrame(std::string* dst, const BatchHeader& header) {
+  std::string payload;
+  payload.push_back(static_cast<char>(LogRecordType::kBatchHeader));
+  PutVarint32(&payload, header.record_count);
+  PutVarint64(&payload, header.batch_bytes);
+  PutFixed32(&payload, header.batch_crc);
+  PutFixed32(dst, crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  dst->append(payload);
+}
+
+bool IsBatchHeaderPayload(const Slice& payload) {
+  return !payload.empty() &&
+         static_cast<LogRecordType>(payload[0]) == LogRecordType::kBatchHeader;
+}
+
+Status DecodeBatchHeaderFrame(Slice frame, BatchHeader* header) {
+  uint32_t masked_crc, len;
+  if (!GetFixed32(&frame, &masked_crc) || !GetFixed32(&frame, &len) ||
+      frame.size() < len) {
+    return Status::Corruption("truncated batch header frame");
+  }
+  Slice payload(frame.data(), len);
+  if (crc32c::Unmask(masked_crc) !=
+      crc32c::Value(payload.data(), payload.size())) {
+    return Status::Corruption("batch header checksum mismatch");
+  }
+  if (!IsBatchHeaderPayload(payload)) {
+    return Status::InvalidArgument("not a batch header frame");
+  }
+  payload.remove_prefix(1);
+  uint64_t batch_bytes = 0;
+  if (!GetVarint32(&payload, &header->record_count) ||
+      !GetVarint64(&payload, &batch_bytes) ||
+      !GetFixed32(&payload, &header->batch_crc)) {
+    return Status::Corruption("malformed batch header payload");
+  }
+  header->batch_bytes = batch_bytes;
+  return Status::OK();
+}
+
 void EncodeLogPtr(std::string* dst, const LogPtr& ptr) {
   PutFixed32(dst, ptr.instance);
   PutFixed32(dst, ptr.segment);

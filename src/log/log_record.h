@@ -23,6 +23,7 @@ enum class LogRecordType : uint8_t {
   kData = 1,        // an insert/update
   kInvalidate = 2,  // a delete (null value)
   kCommit = 3,      // a transaction commit record
+  kBatchHeader = 4,  // group-commit batch header (not a data record)
 };
 
 /// Write-identifying metadata.
@@ -65,6 +66,33 @@ struct LogRecord {
 
 /// Frame header size: crc + length.
 inline constexpr uint32_t kLogFrameHeaderSize = 8;
+
+/// Group-commit batch header (BtrLog-style continuous layout): every batch
+/// the dispatcher flushes is written as one header frame followed by
+/// `record_count` back-to-back record frames covering `batch_bytes` bytes,
+/// protected as a unit by `batch_crc`. The header is a regular CRC'd frame
+/// whose payload leads with LogRecordType::kBatchHeader, so scanners that
+/// stop on a torn header frame behave exactly as for a torn record. A batch
+/// is atomic to readers: a tail cut mid-batch (a replica that missed part
+/// of a quorum-acked pipeline append) drops the whole batch cleanly.
+struct BatchHeader {
+  uint32_t record_count = 0;
+  /// Bytes of record frames following the header frame.
+  uint64_t batch_bytes = 0;
+  /// Masked crc32c over those bytes.
+  uint32_t batch_crc = 0;
+};
+
+/// Appends the full header frame (frame header + payload) to dst.
+void EncodeBatchHeaderFrame(std::string* dst, const BatchHeader& header);
+
+/// True when `payload` (the bytes after a frame header) is a batch header.
+bool IsBatchHeaderPayload(const Slice& payload);
+
+/// Decodes a whole batch-header frame (verifying the frame CRC).
+/// Corruption on CRC mismatch / malformed payload; InvalidArgument when the
+/// frame is not a batch header.
+Status DecodeBatchHeaderFrame(Slice frame, BatchHeader* header);
 
 /// Location of a record in the log repository: the index's Ptr component
 /// (paper §3.5 — file number, offset in the file, record size). `instance`

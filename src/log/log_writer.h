@@ -1,8 +1,14 @@
 // The single log instance of a tablet server (paper §3.4 design choice: one
 // log per server for all its tablets, to keep writes sequential). The log is
 // an infinite sequence of 64 MB segments, each an append-only DFS file.
-// AppendBatch implements the paper's group-commit optimization (§3.7.2):
-// records of a batch are persisted with one replication round-trip.
+//
+// Writes flow through the group-commit AppendQueue (§3.7.2 + the BtrLog
+// playbook): Submit() enqueues records and returns a ticket, Wait() blocks
+// until the record's batch is durable under its ack mode. Each flushed batch
+// is one continuous on-disk unit — a BatchHeader frame followed by the
+// batch's record frames, CRC'd as a whole — and batches are pipelined to the
+// DFS with quorum acks (see SyncPolicy in src/util/io.h). AppendBatch/Append
+// are the synchronous wrappers (Submit + Wait).
 
 #ifndef LOGBASE_LOG_LOG_WRITER_H_
 #define LOGBASE_LOG_LOG_WRITER_H_
@@ -12,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/log/append_queue.h"
 #include "src/log/log_record.h"
 #include "src/util/io.h"
 #include "src/util/result.h"
@@ -42,7 +49,8 @@ class LogWriter {
   /// `dir` is the server's log directory in the DFS; `instance` is the log
   /// instance id stamped into every LogPtr (the owning server's stable id).
   LogWriter(FileSystem* fs, std::string dir, uint32_t instance = 0,
-            uint64_t segment_bytes = 64ull << 20);
+            uint64_t segment_bytes = 64ull << 20,
+            AppendQueueOptions queue_options = {});
 
   /// Prepares for appending: scans existing segments and starts a fresh one
   /// after the highest (used both at first start and after recovery).
@@ -50,35 +58,58 @@ class LogWriter {
   /// checkpointed LSN).
   Status Open(uint64_t first_lsn = 1);
 
-  /// Appends one record (assigning its LSN) and synchronously persists it.
-  Result<LogPtr> Append(LogRecord record);
+  /// Appends one record (assigning its LSN) and waits for durability.
+  Result<LogPtr> Append(LogRecord record, AckMode ack = AckMode::kQuorum);
 
-  /// Group commit: assigns LSNs, encodes all records into one buffer and
-  /// persists them with a single replicated append. ptrs[i] locates
-  /// records[i].
+  /// Group commit: assigns LSNs, coalesces the records with any other
+  /// pending submissions and waits for the batch's durability ack. ptrs[i]
+  /// locates records[i].
   Status AppendBatch(std::vector<LogRecord>* records,
-                     std::vector<LogPtr>* ptrs);
+                     std::vector<LogPtr>* ptrs,
+                     AckMode ack = AckMode::kQuorum);
+
+  /// Async half of group commit: stamps LSNs, encodes the records into the
+  /// open batch and returns without waiting for durability. The records'
+  /// pointers (and the durability ack) arrive at Wait().
+  Result<AppendTicket> Submit(std::vector<LogRecord>* records,
+                              AckMode ack = AckMode::kQuorum);
+
+  /// Completes a Submit: flushes the ticket's batch if it is still open
+  /// (group-commit leader), advances the caller's virtual clock to the
+  /// batch's durability ack and fills `ptrs` (one per submitted record).
+  Status Wait(const AppendTicket& ticket, std::vector<LogPtr>* ptrs);
+
+  /// Seals + flushes the open batch (durability barrier before checkpoints
+  /// and rolls). Pending waiters still collect their tickets afterwards.
+  Status Flush();
 
   /// Closes the current segment and starts a new one (compaction freezes the
-  /// input set this way).
+  /// input set this way). Flushes the open batch first.
   Status Roll();
 
-  /// The tail position (next record lands here).
+  /// The tail position (next batch lands here); excludes unflushed
+  /// submissions — call Flush() first for a durable-tail barrier.
   LogPosition Position() const;
 
   uint64_t next_lsn() const;
   uint64_t bytes_written() const;
+  /// Records waiting in the open (unflushed) batch.
+  size_t pending_records() const;
 
  private:
   Status RollSegmentLocked();
+  AppendQueue::FlushOutcome FlushSealedBatchLocked(
+      const AppendQueue::SealedBatch& batch);
 
   FileSystem* const fs_;
   const std::string dir_;
   const uint32_t instance_;
   const uint64_t segment_bytes_;
+  const AppendQueueOptions queue_options_;
 
   mutable OrderedMutex mu_{lockrank::kLogWriter, "log.writer"};
   std::unique_ptr<WritableFile> file_;
+  std::unique_ptr<AppendQueue> queue_;
   uint32_t segment_ = 0;
   uint64_t segment_offset_ = 0;
   uint64_t next_lsn_ = 1;

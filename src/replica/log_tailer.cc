@@ -69,6 +69,9 @@ Status LogTailer::Poll(tablet::ReadBuffer* buffer,
         }
         return Status::OK();
       }
+      case log::LogRecordType::kBatchHeader:
+        // Consumed inside the scanner; never surfaced as a record.
+        return Status::OK();
     }
     return Status::OK();
   });

@@ -88,7 +88,9 @@ Status WriteServerCheckpoint(TabletServer* server) {
   const std::string dir = server->checkpoint_dir();
 
   // Capture the position FIRST: index entries created after it will simply
-  // be redone on recovery (redo is an idempotent upsert).
+  // be redone on recovery (redo is an idempotent upsert). Flush drains any
+  // open group-commit batch so the position covers every acked write.
+  LOGBASE_RETURN_NOT_OK(server->writer_->Flush());
   log::LogPosition position = server->writer_->Position();
   uint64_t next_lsn = server->writer_->next_lsn();
 

@@ -104,6 +104,9 @@ Status RunCompaction(TabletServer* server, const CompactionOptions& options,
           upto = std::max(upto, record.row.timestamp);
           break;
         }
+        case log::LogRecordType::kBatchHeader:
+          // Consumed inside the scanner; never surfaced as a record.
+          break;
       }
     }
     if (!(*scanner)->status().ok()) return (*scanner)->status();

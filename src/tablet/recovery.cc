@@ -97,6 +97,9 @@ Status RedoLog(TabletServer* server, uint32_t instance, log::LogPosition from,
         }
         break;
       }
+      case log::LogRecordType::kBatchHeader:
+        // Consumed inside the scanner; never surfaced as a record.
+        break;
     }
   }
   // Entries still pending lack a COMMIT record: the transaction never

@@ -55,7 +55,8 @@ TabletServer::TabletServer(TabletServerOptions options, dfs::Dfs* dfs,
       buffer_(options_.read_buffer_bytes,
               MakePolicy(options_.replacement_policy)) {
   writer_ = std::make_unique<log::LogWriter>(
-      fs_.get(), log_dir(), options_.server_id, options_.segment_bytes);
+      fs_.get(), log_dir(), options_.server_id, options_.segment_bytes,
+      options_.group_commit);
 }
 
 TabletServer::~TabletServer() {
@@ -366,42 +367,27 @@ Status TabletServer::MaybeAutoCheckpoint(Tablet* tablet) {
 // ---------------------------------------------------------------------------
 
 Status TabletServer::Put(const std::string& tablet_uid, const Slice& key,
-                         const Slice& value) {
+                         const Slice& value, log::AckMode ack) {
   obs::Span span("tablet.put");
-  if (!running()) return Status::Unavailable("tablet server is down");
-  Tablet* tablet = FindTablet(tablet_uid);
-  if (tablet == nullptr) return Status::NotFound("unknown tablet");
-  if (tablet->sealed()) {
-    return Status::Unavailable("tablet sealed for migration: " + tablet_uid);
-  }
-  tablet->RecordWrite(key.size() + value.size());
-
-  uint64_t ts = NextLocalTimestamp();
-  log::LogRecord record;
-  record.type = log::LogRecordType::kData;
-  record.key.table_id = tablet->descriptor().table_id;
-  record.key.tablet_id = tablet->descriptor().packed_id();
-  record.row.primary_key = key.ToString();
-  record.row.column_group = tablet->descriptor().column_group;
-  record.row.timestamp = ts;
-  record.value = value.ToString();
-  record.commit_ts = ts;
-
-  // Log first (the log IS the data repository), then index, then cache.
-  auto ptr = writer_->Append(std::move(record));
-  if (!ptr.ok()) return ptr.status();
-  LOGBASE_RETURN_NOT_OK(tablet->index()->Insert(key, ts, *ptr));
-  tablet->RecordUpdate();
-  buffer_.Put(BufferKey(tablet_uid, key), CachedRecord{ts, value.ToString()});
-  if (tablet->has_secondary_indexes()) {
-    LOGBASE_RETURN_NOT_OK(tablet->NotifySecondaryWrite(key, ts, value));
-  }
-  return MaybeAutoCheckpoint(tablet);
+  auto pending = SubmitPut(
+      tablet_uid, {{key.ToString(), value.ToString()}}, ack);
+  if (!pending.ok()) return pending.status();
+  return CompleteWrite(&*pending);
 }
 
 Status TabletServer::PutBatch(
     const std::string& tablet_uid,
-    const std::vector<std::pair<std::string, std::string>>& kvs) {
+    const std::vector<std::pair<std::string, std::string>>& kvs,
+    log::AckMode ack) {
+  auto pending = SubmitPut(tablet_uid, kvs, ack);
+  if (!pending.ok()) return pending.status();
+  return CompleteWrite(&*pending);
+}
+
+Result<PendingWrite> TabletServer::SubmitPut(
+    const std::string& tablet_uid,
+    const std::vector<std::pair<std::string, std::string>>& kvs,
+    log::AckMode ack) {
   if (!running()) return Status::Unavailable("tablet server is down");
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
@@ -412,12 +398,14 @@ Status TabletServer::PutBatch(
     tablet->RecordWrite(key.size() + value.size());
   }
 
+  PendingWrite pending;
+  pending.tablet_uid = tablet_uid;
+  pending.kvs = kvs;
   std::vector<log::LogRecord> records;
-  std::vector<uint64_t> timestamps;
   records.reserve(kvs.size());
   for (const auto& [key, value] : kvs) {
     uint64_t ts = NextLocalTimestamp();
-    timestamps.push_back(ts);
+    pending.timestamps.push_back(ts);
     log::LogRecord record;
     record.type = log::LogRecordType::kData;
     record.key.table_id = tablet->descriptor().table_id;
@@ -429,15 +417,31 @@ Status TabletServer::PutBatch(
     record.commit_ts = ts;
     records.push_back(std::move(record));
   }
+  // Log first (the log IS the data repository): enqueue into the
+  // group-commit batch. Nothing is indexed or acked yet.
+  auto ticket = writer_->Submit(&records, ack);
+  if (!ticket.ok()) return ticket.status();
+  pending.ticket = *ticket;
+  return pending;
+}
+
+Status TabletServer::CompleteWrite(PendingWrite* pending) {
+  if (!running()) return Status::Unavailable("tablet server is down");
   std::vector<log::LogPtr> ptrs;
-  LOGBASE_RETURN_NOT_OK(writer_->AppendBatch(&records, &ptrs));
-  for (size_t i = 0; i < kvs.size(); i++) {
-    LOGBASE_RETURN_NOT_OK(tablet->index()->Insert(Slice(kvs[i].first),
-                                                  timestamps[i], ptrs[i]));
+  LOGBASE_RETURN_NOT_OK(writer_->Wait(pending->ticket, &ptrs));
+  // The batch is durable; publish index entries, then cache.
+  Tablet* tablet = FindTablet(pending->tablet_uid);
+  if (tablet == nullptr) return Status::NotFound("unknown tablet");
+  for (size_t i = 0; i < pending->kvs.size(); i++) {
+    LOGBASE_RETURN_NOT_OK(tablet->index()->Insert(
+        Slice(pending->kvs[i].first), pending->timestamps[i], ptrs[i]));
     tablet->RecordUpdate();
+    buffer_.Put(BufferKey(pending->tablet_uid, Slice(pending->kvs[i].first)),
+                CachedRecord{pending->timestamps[i], pending->kvs[i].second});
     if (tablet->has_secondary_indexes()) {
       LOGBASE_RETURN_NOT_OK(tablet->NotifySecondaryWrite(
-          Slice(kvs[i].first), timestamps[i], Slice(kvs[i].second)));
+          Slice(pending->kvs[i].first), pending->timestamps[i],
+          Slice(pending->kvs[i].second)));
     }
   }
   return MaybeAutoCheckpoint(tablet);
@@ -526,7 +530,8 @@ Result<std::vector<ReadRow>> TabletServer::GetVersions(
   return rows;
 }
 
-Status TabletServer::Delete(const std::string& tablet_uid, const Slice& key) {
+Status TabletServer::Delete(const std::string& tablet_uid, const Slice& key,
+                            log::AckMode ack) {
   if (!running()) return Status::Unavailable("tablet server is down");
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
@@ -545,7 +550,7 @@ Status TabletServer::Delete(const std::string& tablet_uid, const Slice& key) {
   record.row.primary_key = key.ToString();
   record.row.column_group = tablet->descriptor().column_group;
   record.row.timestamp = NextLocalTimestamp();
-  auto ptr = writer_->Append(std::move(record));
+  auto ptr = writer_->Append(std::move(record), ack);
   if (!ptr.ok()) return ptr.status();
   tablet->RecordUpdate();
   buffer_.Invalidate(BufferKey(tablet_uid, key));
@@ -616,10 +621,10 @@ Result<uint64_t> TabletServer::FullScanCount(const std::string& tablet_uid) {
 // ---------------------------------------------------------------------------
 
 Result<std::vector<log::LogPtr>> TabletServer::AppendBatch(
-    std::vector<log::LogRecord>* records) {
+    std::vector<log::LogRecord>* records, log::AckMode ack) {
   if (!running()) return Status::Unavailable("tablet server is down");
   std::vector<log::LogPtr> ptrs;
-  LOGBASE_RETURN_NOT_OK(writer_->AppendBatch(records, &ptrs));
+  LOGBASE_RETURN_NOT_OK(writer_->AppendBatch(records, &ptrs, ack));
   return ptrs;
 }
 

@@ -39,6 +39,9 @@ struct TabletServerOptions {
   /// Persist indexes after this many updates (0 = only explicit
   /// checkpoints), §3.6.1.
   uint64_t checkpoint_update_threshold = 0;
+  /// Group-commit dispatcher settings for the server's log writer (batch
+  /// window, size caps, pipeline depth).
+  log::AppendQueueOptions group_commit;
   /// Settings for IndexKind::kLsm.
   lsm::LsmOptions lsm;
 };
@@ -75,6 +78,16 @@ struct RecoveryStats {
   uint64_t checkpoint_entries = 0;
   uint64_t redo_records = 0;
   uint64_t redo_bytes = 0;
+};
+
+/// An in-flight asynchronous write: the log ticket plus everything needed
+/// to publish the write once its group-commit batch is durable. Obtained
+/// from TabletServer::SubmitPut, completed by TabletServer::CompleteWrite.
+struct PendingWrite {
+  log::AppendTicket ticket;
+  std::string tablet_uid;
+  std::vector<std::pair<std::string, std::string>> kvs;
+  std::vector<uint64_t> timestamps;
 };
 
 class TabletServer {
@@ -138,17 +151,31 @@ class TabletServer {
   // -- Auto-committed data operations (§3.6) ----------------------------
 
   Status Put(const std::string& tablet_uid, const Slice& key,
-             const Slice& value);
+             const Slice& value, log::AckMode ack = log::AckMode::kQuorum);
   /// Bulk write: one group-committed log append for the whole batch.
   Status PutBatch(const std::string& tablet_uid,
-                  const std::vector<std::pair<std::string, std::string>>& kvs);
+                  const std::vector<std::pair<std::string, std::string>>& kvs,
+                  log::AckMode ack = log::AckMode::kQuorum);
+  /// Async half of a write: stamps timestamps and enqueues the records into
+  /// the log's group-commit queue without waiting for durability. The write
+  /// is NOT visible (not indexed, not acked) until CompleteWrite.
+  Result<PendingWrite> SubmitPut(
+      const std::string& tablet_uid,
+      const std::vector<std::pair<std::string, std::string>>& kvs,
+      log::AckMode ack = log::AckMode::kQuorum);
+  /// Completes a SubmitPut: waits for the batch's durability ack, then
+  /// publishes the write into the index + read buffer. Only after this
+  /// returns OK may the write be acknowledged to a client (invariant I1:
+  /// acked writes survive crashes).
+  Status CompleteWrite(PendingWrite* pending);
   Result<ReadValue> Get(const std::string& tablet_uid, const Slice& key);
   Result<ReadValue> GetAsOf(const std::string& tablet_uid, const Slice& key,
                             uint64_t as_of);
   /// All versions of a key, newest first (multiversion access).
   Result<std::vector<ReadRow>> GetVersions(const std::string& tablet_uid,
                                            const Slice& key);
-  Status Delete(const std::string& tablet_uid, const Slice& key);
+  Status Delete(const std::string& tablet_uid, const Slice& key,
+                log::AckMode ack = log::AckMode::kQuorum);
   Result<std::vector<ReadRow>> Scan(const std::string& tablet_uid,
                                     const Slice& start_key,
                                     const Slice& end_key,
@@ -161,7 +188,8 @@ class TabletServer {
 
   /// Group-commits a batch of prepared records into the log.
   Result<std::vector<log::LogPtr>> AppendBatch(
-      std::vector<log::LogRecord>* records);
+      std::vector<log::LogRecord>* records,
+      log::AckMode ack = log::AckMode::kQuorum);
   /// Publishes a committed write into the index + read buffer.
   Status PublishWrite(const std::string& tablet_uid, const Slice& key,
                       uint64_t timestamp, const log::LogPtr& ptr,

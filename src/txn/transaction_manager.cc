@@ -119,7 +119,8 @@ Status TransactionManager::ValidateLocked(Transaction* txn) {
   return Status::OK();
 }
 
-Status TransactionManager::PersistAndPublish(Transaction* txn) {
+Status TransactionManager::PersistAndPublish(Transaction* txn,
+                                             log::AckMode ack) {
   // Group writes per participant server.
   struct Participant {
     tablet::TabletServer* server;
@@ -164,7 +165,7 @@ Status TransactionManager::PersistAndPublish(Transaction* txn) {
     // Fast path: data + COMMIT in one group-committed append (§3.7.2).
     Participant& p = participants.begin()->second;
     p.records.push_back(make_commit_record());
-    auto appended = p.server->AppendBatch(&p.records);
+    auto appended = p.server->AppendBatch(&p.records, ack);
     if (!appended.ok()) return appended.status();
     appended->pop_back();  // drop the commit record's ptr
     p.records.pop_back();
@@ -172,7 +173,7 @@ Status TransactionManager::PersistAndPublish(Transaction* txn) {
   } else {
     // 2PC: phase one writes the data records everywhere...
     for (auto& [server, p] : participants) {
-      auto appended = server->AppendBatch(&p.records);
+      auto appended = server->AppendBatch(&p.records, ack);
       if (!appended.ok()) return appended.status();  // invisible: no COMMIT
       ptrs[server] = std::move(*appended);
     }
@@ -181,7 +182,7 @@ Status TransactionManager::PersistAndPublish(Transaction* txn) {
       std::vector<log::LogRecord> commit_batch;
       commit_batch.push_back(make_commit_record());
       std::vector<log::LogPtr> commit_ptrs;
-      auto appended = server->AppendBatch(&commit_batch);
+      auto appended = server->AppendBatch(&commit_batch, ack);
       if (!appended.ok()) return appended.status();
       (void)commit_ptrs;
     }
@@ -206,7 +207,7 @@ Status TransactionManager::PersistAndPublish(Transaction* txn) {
   return Status::OK();
 }
 
-Status TransactionManager::Commit(Transaction* txn) {
+Status TransactionManager::Commit(Transaction* txn, log::AckMode ack) {
   if (txn->state() != Transaction::State::kActive) {
     return Status::InvalidArgument("transaction not active");
   }
@@ -259,7 +260,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   }
 
   txn->set_commit_ts(coord_->NextTimestamp(client_node_));
-  Status persisted = PersistAndPublish(txn);
+  Status persisted = PersistAndPublish(txn, ack);
   if (!persisted.ok()) {
     Abort(txn);
     return persisted;

@@ -69,8 +69,11 @@ class TransactionManager {
                 const Slice& key);
 
   /// Validates and commits. Returns Status::Aborted on conflict (the
-  /// transaction should be retried by the application).
-  Status Commit(Transaction* txn);
+  /// transaction should be retried by the application). `ack` picks the
+  /// replication acknowledgement level for the commit's log appends:
+  /// kQuorum returns once a majority of log replicas are durable.
+  Status Commit(Transaction* txn,
+                log::AckMode ack = log::AckMode::kQuorum);
 
   void Abort(Transaction* txn);
 
@@ -78,7 +81,7 @@ class TransactionManager {
 
  private:
   Status ValidateLocked(Transaction* txn);
-  Status PersistAndPublish(Transaction* txn);
+  Status PersistAndPublish(Transaction* txn, log::AckMode ack);
 
   coord::CoordinationService* const coord_;
   const int client_node_;

@@ -1,6 +1,19 @@
 #include "src/util/io.h"
 
+#include "src/sim/sim_context.h"
+
 namespace logbase {
+
+Status WritableFile::SyncWith(const SyncPolicy& policy, SyncReceipt* receipt) {
+  (void)policy;
+  LOGBASE_RETURN_NOT_OK(Sync());
+  if (receipt != nullptr) {
+    sim::SimContext* ctx = sim::SimContext::Current();
+    receipt->ack_us = ctx != nullptr ? ctx->now() : 0;
+    receipt->full_us = receipt->ack_us;
+  }
+  return Status::OK();
+}
 
 namespace {
 

@@ -64,10 +64,10 @@ TEST(LoadReportTest, CollectDrainsPerTabletWindows) {
   ASSERT_TRUE(schema.ok());
   auto client = cluster.NewClient(0);
   for (int i = 0; i < 20; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(i), "x").ok());  // left range
+    ASSERT_TRUE(client->Put("t", 0, Key(i), "x", {}).ok());  // left range
   }
   for (int i = 0; i < 5; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(60 + i), "x").ok());  // right range
+    ASSERT_TRUE(client->Put("t", 0, Key(60 + i), "x", {}).ok());  // right range
   }
 
   uint64_t writes = 0;
@@ -99,7 +99,7 @@ TEST(MigrationTest, MoveTabletKeepsDataAndRoutes) {
   ASSERT_TRUE(cluster.master()->CreateTable("t", {"v"}, {{"v"}}, {}).ok());
   auto client = cluster.NewClient(0);
   for (int i = 0; i < 30; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(i), "v" + std::to_string(i)).ok());
+    ASSERT_TRUE(client->Put("t", 0, Key(i), "v" + std::to_string(i), {}).ok());
   }
 
   auto loc = cluster.master()->Locate("t", 0, Slice(Key(0)));
@@ -131,7 +131,7 @@ TEST(MigrationTest, MoveTabletKeepsDataAndRoutes) {
     ASSERT_TRUE(r->found());
     EXPECT_EQ(r->value(), "v" + std::to_string(i));
   }
-  EXPECT_TRUE(client->Put("t", 0, Key(1), "after-move").ok());
+  EXPECT_TRUE(client->Put("t", 0, Key(1), "after-move", {}).ok());
 }
 
 TEST(MigrationTest, ReplayIsCheckpointBounded) {
@@ -140,13 +140,13 @@ TEST(MigrationTest, ReplayIsCheckpointBounded) {
   ASSERT_TRUE(cluster.master()->CreateTable("t", {"v"}, {{"v"}}, {}).ok());
   auto client = cluster.NewClient(0);
   for (int i = 0; i < 100; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(i), "x").ok());
+    ASSERT_TRUE(client->Put("t", 0, Key(i), "x", {}).ok());
   }
   auto loc = cluster.master()->Locate("t", 0, Slice(Key(0)));
   ASSERT_TRUE(loc.ok());
   ASSERT_TRUE(cluster.server(loc->server_id)->Checkpoint().ok());
   for (int i = 100; i < 115; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(i), "x").ok());
+    ASSERT_TRUE(client->Put("t", 0, Key(i), "x", {}).ok());
   }
 
   // Adopt on another server directly: replay must cover only the log tail
@@ -192,7 +192,7 @@ TEST(SplitTest, SplitPreservesDataAndScans) {
   ASSERT_TRUE(cluster.master()->CreateTable("t", {"v"}, {{"v"}}, {}).ok());
   auto client = cluster.NewClient(0);
   for (int i = 0; i < 60; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(i), "v" + std::to_string(i)).ok());
+    ASSERT_TRUE(client->Put("t", 0, Key(i), "v" + std::to_string(i), {}).ok());
   }
   auto loc = cluster.master()->Locate("t", 0, Slice(Key(0)));
   ASSERT_TRUE(loc.ok());
@@ -225,8 +225,8 @@ TEST(SplitTest, SplitPreservesDataAndScans) {
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 60u);
   // Writes land on the correct child and survive.
-  ASSERT_TRUE(client->Put("t", 0, Key(5), "post-split").ok());
-  ASSERT_TRUE(client->Put("t", 0, Key(55), "post-split").ok());
+  ASSERT_TRUE(client->Put("t", 0, Key(5), "post-split", {}).ok());
+  ASSERT_TRUE(client->Put("t", 0, Key(55), "post-split", {}).ok());
 }
 
 TEST(SplitTest, SplitSurvivesServerRestart) {
@@ -235,7 +235,7 @@ TEST(SplitTest, SplitSurvivesServerRestart) {
   ASSERT_TRUE(cluster.master()->CreateTable("t", {"v"}, {{"v"}}, {}).ok());
   auto client = cluster.NewClient(0);
   for (int i = 0; i < 40; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(i), "v" + std::to_string(i)).ok());
+    ASSERT_TRUE(client->Put("t", 0, Key(i), "v" + std::to_string(i), {}).ok());
   }
   auto loc = cluster.master()->Locate("t", 0, Slice(Key(0)));
   ASSERT_TRUE(loc.ok());
@@ -248,8 +248,8 @@ TEST(SplitTest, SplitSurvivesServerRestart) {
   ASSERT_TRUE(
       coordinator.SplitTablet(parent_uid, *split_key, right_target).ok());
   // Post-split writes that only the children's recovery can replay.
-  ASSERT_TRUE(client->Put("t", 0, Key(2), "post-split").ok());
-  ASSERT_TRUE(client->Put("t", 0, Key(38), "post-split").ok());
+  ASSERT_TRUE(client->Put("t", 0, Key(2), "post-split", {}).ok());
+  ASSERT_TRUE(client->Put("t", 0, Key(38), "post-split", {}).ok());
 
   cluster.CrashServer(owner);
   cluster.CrashServer(right_target);
@@ -283,7 +283,7 @@ TEST(BalancerTest, MigratesLoadOffHotServer) {
   auto client = cluster.NewClient(0);
   // All traffic on the left range: its server becomes the hot spot.
   for (int i = 0; i < 200; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(i % 50), "x").ok());
+    ASSERT_TRUE(client->Put("t", 0, Key(i % 50), "x", {}).ok());
   }
   auto hot_loc = cluster.master()->Locate("t", 0, Slice(Key(0)));
   ASSERT_TRUE(hot_loc.ok());
@@ -306,7 +306,7 @@ TEST(BalancerTest, SplitsDominantTablet) {
   ASSERT_TRUE(cluster.master()->CreateTable("t", {"v"}, {{"v"}}, {}).ok());
   auto client = cluster.NewClient(0);
   for (int i = 0; i < 200; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(i % 80), "x").ok());
+    ASSERT_TRUE(client->Put("t", 0, Key(i % 80), "x", {}).ok());
   }
   ASSERT_TRUE(cluster.balancer()->Tick().ok());
   EXPECT_EQ(cluster.balancer()->stats().splits, 1u);
@@ -336,7 +336,7 @@ TEST(BalancerTest, NoopWhenBalancedOrCold) {
   // Evenly loaded: still no action.
   auto client = cluster.NewClient(0);
   for (int i = 0; i < 300; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(i % 100), "x").ok());
+    ASSERT_TRUE(client->Put("t", 0, Key(i % 100), "x", {}).ok());
   }
   ASSERT_TRUE(cluster.balancer()->Tick().ok());
   EXPECT_EQ(cluster.balancer()->stats().migrations, 0u);
@@ -357,7 +357,7 @@ TEST_P(FailoverMidMigrationTest, StandbyReconcilesToOneOwner) {
   ASSERT_TRUE(first->CreateTable("t", {"v"}, {{"v"}}, {}).ok());
   auto client = cluster.NewClient(0);
   for (int i = 0; i < 25; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(i), "v" + std::to_string(i)).ok());
+    ASSERT_TRUE(client->Put("t", 0, Key(i), "v" + std::to_string(i), {}).ok());
   }
   auto loc = first->Locate("t", 0, Slice(Key(0)));
   ASSERT_TRUE(loc.ok());
@@ -397,7 +397,7 @@ TEST_P(FailoverMidMigrationTest, StandbyReconcilesToOneOwner) {
     ASSERT_TRUE(r->found());
     EXPECT_EQ(r->value(), "v" + std::to_string(i));
   }
-  EXPECT_TRUE(client->Put("t", 0, Key(0), "post-failover").ok());
+  EXPECT_TRUE(client->Put("t", 0, Key(0), "post-failover", {}).ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -430,7 +430,7 @@ TEST(FailoverScatterTest, DeadServersTabletsSpreadAcrossSurvivors) {
 
   auto client = cluster.NewClient(0);
   for (int i = 0; i < 100; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(i), "x").ok());
+    ASSERT_TRUE(client->Put("t", 0, Key(i), "x", {}).ok());
   }
 
   cluster.CrashServer(4);

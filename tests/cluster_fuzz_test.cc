@@ -36,10 +36,10 @@ TEST_P(ClusterFuzzTest, ClientViewMatchesOracleAcrossCrashes) {
     uint64_t action = rnd.Uniform(100);
     if (action < 50) {
       std::string value = "v" + std::to_string(step);
-      ASSERT_TRUE(client->Put("t", 0, key, value).ok()) << step;
+      ASSERT_TRUE(client->Put("t", 0, key, value, {}).ok()) << step;
       oracle[key] = value;
     } else if (action < 65) {
-      Status s = client->Delete("t", 0, key);
+      Status s = client->Delete("t", 0, key, {});
       ASSERT_TRUE(s.ok() || s.IsNotFound()) << s.ToString();
       oracle.erase(key);
     } else if (action < 90) {

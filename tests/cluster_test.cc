@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <initializer_list>
 #include <set>
+#include <utility>
 
 #include "src/cluster/mini_cluster.h"
+#include "src/sim/sim_context.h"
 
 namespace logbase::cluster {
 namespace {
@@ -112,7 +115,7 @@ TEST(ClientTest, PutGetThroughRouting) {
   ASSERT_TRUE(f.CreateUsersTable().ok());
   for (int i = 0; i < 10; i++) {
     std::string key = "user" + std::to_string(i);
-    ASSERT_TRUE(f.client->Put("users", 0, key, "value" + std::to_string(i))
+    ASSERT_TRUE(f.client->Put("users", 0, key, "value" + std::to_string(i), {})
                     .ok());
   }
   for (int i = 0; i < 10; i++) {
@@ -126,11 +129,74 @@ TEST(ClientTest, PutGetThroughRouting) {
 TEST(ClientTest, DeleteThroughClient) {
   ClusterFixture f;
   ASSERT_TRUE(f.CreateUsersTable().ok());
-  ASSERT_TRUE(f.client->Put("users", 0, "user5", "v").ok());
-  ASSERT_TRUE(f.client->Delete("users", 0, "user5").ok());
+  ASSERT_TRUE(f.client->Put("users", 0, "user5", "v", {}).ok());
+  ASSERT_TRUE(f.client->Delete("users", 0, "user5", {}).ok());
   EXPECT_TRUE(f.client->Get("users", 0, "user5", client::ReadOptions{})
                   .status()
                   .IsNotFound());
+}
+
+TEST(ClientTest, PutBatchSpansTabletsAndDeletes) {
+  // One WriteBatch mixing puts across tablet boundaries (splits at user3 and
+  // user6), column groups, an interleaved delete, and a same-key overwrite.
+  // The client coalesces same-tablet runs into server-side batches; insertion
+  // order must still be what the reader observes.
+  ClusterFixture f;
+  ASSERT_TRUE(f.CreateUsersTable().ok());
+  ASSERT_TRUE(f.client->Put("users", 0, "user5", "stale", {}).ok());
+
+  client::WriteBatch batch;
+  batch.Put(0, "user1", "v1")
+      .Put(0, "user2", "v2")     // same tablet as user1: coalesced run
+      .Put(0, "user4", "v4")     // crosses the user3 split
+      .Delete(0, "user5")        // delete flushes the run, then applies
+      .Put(0, "user7", "v7")     // crosses the user6 split
+      .Put(1, "user1", "bio1")   // different column group
+      .Put(0, "user9", "early")
+      .Put(0, "user9", "late");  // same key twice: later op wins
+  ASSERT_TRUE(f.client->PutBatch("users", batch, {}).ok());
+
+  for (auto [key, want] : std::initializer_list<
+           std::pair<const char*, const char*>>{
+           {"user1", "v1"}, {"user2", "v2"}, {"user4", "v4"},
+           {"user7", "v7"}, {"user9", "late"}}) {
+    auto value = f.client->Get("users", 0, key, client::ReadOptions{});
+    ASSERT_TRUE(value.ok()) << key;
+    EXPECT_EQ(value->value(), want) << key;
+  }
+  EXPECT_EQ(f.client->Get("users", 1, "user1", client::ReadOptions{})->value(),
+            "bio1");
+  EXPECT_TRUE(f.client->Get("users", 0, "user5", client::ReadOptions{})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(ClientTest, WriteDeadlineCapsRetries) {
+  // WriteOptions::deadline_us caps the retry policy's backoff budget: against
+  // a crashed server, a deadline-bounded write gives up within the deadline
+  // while an unbounded one burns the full exponential-backoff schedule.
+  sim::SimContext ctx;
+  sim::SimContext::Scope scope(&ctx);
+  ClusterFixture f;
+  ASSERT_TRUE(f.CreateUsersTable().ok());
+  ASSERT_TRUE(f.client->Put("users", 0, "user1", "v", {}).ok());
+  int victim = f.cluster->master()->Locate("users", 0, "user1")->server_id;
+  f.cluster->CrashServer(victim);
+
+  sim::VirtualTime t0 = ctx.now();
+  Status unbounded = f.client->Put("users", 0, "user1", "w", {});
+  sim::VirtualTime unbounded_elapsed = ctx.now() - t0;
+  EXPECT_TRUE(unbounded.IsUnavailable()) << unbounded.ToString();
+
+  constexpr sim::VirtualTime kDeadlineUs = 800;
+  t0 = ctx.now();
+  Status bounded = f.client->Put("users", 0, "user1", "w",
+                                 client::WriteOptions{.deadline_us = kDeadlineUs});
+  sim::VirtualTime bounded_elapsed = ctx.now() - t0;
+  EXPECT_TRUE(bounded.IsUnavailable() || bounded.IsTimedOut())
+      << bounded.ToString();
+  EXPECT_LE(bounded_elapsed, kDeadlineUs);
+  EXPECT_LT(bounded_elapsed, unbounded_elapsed);
 }
 
 TEST(ClientTest, ScanSpansTablets) {
@@ -138,7 +204,7 @@ TEST(ClientTest, ScanSpansTablets) {
   ASSERT_TRUE(f.CreateUsersTable().ok());
   for (int i = 0; i < 10; i++) {
     ASSERT_TRUE(
-        f.client->Put("users", 0, "user" + std::to_string(i), "v").ok());
+        f.client->Put("users", 0, "user" + std::to_string(i), "v", {}).ok());
   }
   auto rows = f.client->Scan("users", 0, "user2", "user8");
   ASSERT_TRUE(rows.ok());
@@ -150,10 +216,10 @@ TEST(ClientTest, ScanSpansTablets) {
 TEST(ClientTest, HistoricalReads) {
   ClusterFixture f;
   ASSERT_TRUE(f.CreateUsersTable().ok());
-  ASSERT_TRUE(f.client->Put("users", 0, "user1", "v1").ok());
+  ASSERT_TRUE(f.client->Put("users", 0, "user1", "v1", {}).ok());
   auto v1 = f.client->Get("users", 0, "user1", client::ReadOptions{});
   ASSERT_TRUE(v1.ok());
-  ASSERT_TRUE(f.client->Put("users", 0, "user1", "v2").ok());
+  ASSERT_TRUE(f.client->Put("users", 0, "user1", "v2", {}).ok());
   auto historical = f.client->Get("users", 0, "user1",
                                   client::ReadOptions{.as_of = v1->timestamp()});
   ASSERT_TRUE(historical.ok());
@@ -179,7 +245,7 @@ TEST(ClientTest, RowOperationsAcrossColumnGroups) {
 TEST(ClientTest, TransactionsThroughClient) {
   ClusterFixture f;
   ASSERT_TRUE(f.CreateUsersTable().ok());
-  ASSERT_TRUE(f.client->Put("users", 0, "user1", "balance:100").ok());
+  ASSERT_TRUE(f.client->Put("users", 0, "user1", "balance:100", {}).ok());
   client::Txn txn = f.client->BeginTxn();
   auto balance = txn.Read("users", 0, "user1");
   ASSERT_TRUE(balance.ok());
@@ -200,7 +266,7 @@ TEST(ClusterTest, ServerCrashRecoveryEndToEnd) {
   ASSERT_TRUE(f.CreateUsersTable().ok());
   for (int i = 0; i < 9; i++) {
     ASSERT_TRUE(
-        f.client->Put("users", 0, "user" + std::to_string(i), "v").ok());
+        f.client->Put("users", 0, "user" + std::to_string(i), "v", {}).ok());
   }
   // Crash and restart every server; data must survive via log recovery.
   for (int node = 0; node < 3; node++) {
@@ -223,7 +289,7 @@ TEST(ClusterTest, PermanentFailureReassignsTablets) {
   ASSERT_TRUE(f.CreateUsersTable().ok());
   for (int i = 0; i < 9; i++) {
     ASSERT_TRUE(
-        f.client->Put("users", 0, "user" + std::to_string(i), "v").ok());
+        f.client->Put("users", 0, "user" + std::to_string(i), "v", {}).ok());
   }
   // Find a server hosting at least one tablet and kill it for good.
   auto location = f.cluster->master()->Locate("users", 0, "user1");
@@ -241,7 +307,7 @@ TEST(ClusterTest, PermanentFailureReassignsTablets) {
                             << value.status().ToString();
   }
   // And new writes land on the new owners.
-  EXPECT_TRUE(f.client->Put("users", 0, "user1", "after failover").ok());
+  EXPECT_TRUE(f.client->Put("users", 0, "user1", "after failover", {}).ok());
   EXPECT_EQ(
       f.client->Get("users", 0, "user1", client::ReadOptions{})->value(),
       "after failover");
@@ -252,7 +318,7 @@ TEST(ClusterTest, DataNodeLossToleratedByReplication) {
   ASSERT_TRUE(f.CreateUsersTable().ok());
   for (int i = 0; i < 9; i++) {
     ASSERT_TRUE(
-        f.client->Put("users", 0, "user" + std::to_string(i), "v").ok());
+        f.client->Put("users", 0, "user" + std::to_string(i), "v", {}).ok());
   }
   // Kill machine 2 entirely (tablet server + data node).
   ASSERT_TRUE(f.cluster->KillNode(2).ok());
@@ -282,7 +348,7 @@ TEST(ClusterTest, ScalesToMoreNodes) {
   EXPECT_EQ(used_servers.size(), 6u);  // one range per node
   for (int i = 0; i < 30; i++) {
     std::string key = "k" + std::to_string(i % 6) + "-" + std::to_string(i);
-    ASSERT_TRUE(f.client->Put("wide", 0, key, "v").ok());
+    ASSERT_TRUE(f.client->Put("wide", 0, key, "v", {}).ok());
     EXPECT_TRUE(f.client->Get("wide", 0, key, client::ReadOptions{}).ok());
   }
 }

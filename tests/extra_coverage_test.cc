@@ -298,8 +298,8 @@ TEST(ClientCacheTest, CachedRoutingAvoidsMasterAfterFirstOp) {
                   ->CreateTable("t", {"c"}, {{"c"}}, {"m"})
                   .ok());
   auto client = cluster.NewClient(1);
-  ASSERT_TRUE(client->Put("t", 0, "a", "1").ok());
-  ASSERT_TRUE(client->Put("t", 0, "a", "2").ok());  // served from cache
+  ASSERT_TRUE(client->Put("t", 0, "a", "1", {}).ok());
+  ASSERT_TRUE(client->Put("t", 0, "a", "2", {}).ok());  // served from cache
   EXPECT_EQ(client->Get("t", 0, "a", client::ReadOptions{})->value(), "2");
   client->InvalidateCache();
   // Refetches routing.
@@ -314,8 +314,8 @@ TEST(MiniClusterTest, TwoTablesCoexist) {
   ASSERT_TRUE(cluster.master()->CreateTable("t1", {"c"}, {{"c"}}, {}).ok());
   ASSERT_TRUE(cluster.master()->CreateTable("t2", {"c"}, {{"c"}}, {}).ok());
   auto client = cluster.NewClient(0);
-  ASSERT_TRUE(client->Put("t1", 0, "k", "table1").ok());
-  ASSERT_TRUE(client->Put("t2", 0, "k", "table2").ok());
+  ASSERT_TRUE(client->Put("t1", 0, "k", "table1", {}).ok());
+  ASSERT_TRUE(client->Put("t2", 0, "k", "table2", {}).ok());
   EXPECT_EQ(client->Get("t1", 0, "k", client::ReadOptions{})->value(),
             "table1");
   EXPECT_EQ(client->Get("t2", 0, "k", client::ReadOptions{})->value(),

@@ -357,7 +357,7 @@ ReplayResult RunSeededCrashReplay(uint64_t seed) {
     ctx.Advance(300);
     EXPECT_TRUE(injector.AdvanceTo(ctx.now()).ok());
     (void)cluster.master()->DetectAndHandleFailures();
-    (void)client->Put("t", 0, "k", "v" + std::to_string(i));
+    (void)client->Put("t", 0, "k", "v" + std::to_string(i), {});
   }
   EXPECT_TRUE(injector.FireAll().ok());
   (void)cluster.master()->DetectAndHandleFailures();

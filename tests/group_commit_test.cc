@@ -1,0 +1,424 @@
+// Tests for the group-commit write path: append-queue coalescing
+// boundaries (window, caps, tickets), pipelined quorum-ack replication at
+// the DFS sync layer, and recovery of a quorum-durable-but-not-fully-
+// replicated log tail.
+
+#include <gtest/gtest.h>
+
+#include "src/dfs/dfs.h"
+#include "src/log/log_reader.h"
+#include "src/log/log_writer.h"
+#include "src/sim/sim_context.h"
+#include "src/util/io.h"
+
+namespace logbase::log {
+namespace {
+
+LogRecord MakeData(const std::string& key, const std::string& value,
+                   uint64_t ts) {
+  LogRecord record;
+  record.type = LogRecordType::kData;
+  record.key.table_id = 1;
+  record.key.tablet_id = 7;
+  record.row.primary_key = key;
+  record.row.timestamp = ts;
+  record.value = value;
+  record.commit_ts = ts;
+  return record;
+}
+
+std::vector<LogRecord> One(const std::string& key, uint64_t ts) {
+  std::vector<LogRecord> v;
+  v.push_back(MakeData(key, "v" + key, ts));
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing boundaries.
+// ---------------------------------------------------------------------------
+
+TEST(AppendQueueTest, WaitCoalescesPendingSubmissions) {
+  MemFileSystem fs;
+  LogWriter writer(&fs, "/log", /*instance=*/5);
+  ASSERT_TRUE(writer.Open().ok());
+
+  // Three writers submit before anyone waits: one open batch.
+  std::vector<LogRecord> a = One("a", 1);
+  std::vector<LogRecord> b;
+  b.push_back(MakeData("b", "2", 2));
+  b.push_back(MakeData("c", "3", 3));
+  std::vector<LogRecord> c = One("d", 4);
+  auto ta = writer.Submit(&a);
+  auto tb = writer.Submit(&b);
+  auto tc = writer.Submit(&c);
+  ASSERT_TRUE(ta.ok() && tb.ok() && tc.ok());
+  EXPECT_EQ(writer.pending_records(), 4u);
+  EXPECT_EQ(ta->batch_seq, tb->batch_seq);
+  EXPECT_EQ(tb->batch_seq, tc->batch_seq);
+
+  // The first waiter is the group-commit leader: it flushes for everyone.
+  std::vector<LogPtr> pa, pb, pc;
+  ASSERT_TRUE(writer.Wait(*tb, &pb).ok());
+  EXPECT_EQ(writer.pending_records(), 0u);
+  ASSERT_TRUE(writer.Wait(*ta, &pa).ok());
+  ASSERT_TRUE(writer.Wait(*tc, &pc).ok());
+  ASSERT_EQ(pa.size(), 1u);
+  ASSERT_EQ(pb.size(), 2u);
+  ASSERT_EQ(pc.size(), 1u);
+
+  // One continuous batch: record frames back to back, in submit order.
+  EXPECT_EQ(pb[0].offset, pa[0].offset + pa[0].size);
+  EXPECT_EQ(pb[1].offset, pb[0].offset + pb[0].size);
+  EXPECT_EQ(pc[0].offset, pb[1].offset + pb[1].size);
+
+  // Ticket pointers locate exactly the submitter's own records, and LSNs
+  // run in submit order.
+  LogReader reader(&fs, "/log", 5);
+  auto ra = reader.Read(pa[0]);
+  auto rb = reader.Read(pb[1]);
+  auto rc = reader.Read(pc[0]);
+  ASSERT_TRUE(ra.ok() && rb.ok() && rc.ok());
+  EXPECT_EQ(ra->row.primary_key, "a");
+  EXPECT_EQ(rb->row.primary_key, "c");
+  EXPECT_EQ(rc->row.primary_key, "d");
+  EXPECT_EQ(ra->key.lsn, 1u);
+  EXPECT_EQ(rb->key.lsn, 3u);
+  EXPECT_EQ(rc->key.lsn, 4u);
+}
+
+TEST(AppendQueueTest, RecordCapSealsTheBatch) {
+  MemFileSystem fs;
+  AppendQueueOptions qo;
+  qo.max_batch_records = 3;
+  LogWriter writer(&fs, "/log", 0, 64ull << 20, qo);
+  ASSERT_TRUE(writer.Open().ok());
+
+  std::vector<Result<AppendTicket>> tickets;
+  for (int i = 0; i < 7; i++) {
+    std::vector<LogRecord> r = One("k" + std::to_string(i), i + 1);
+    tickets.push_back(writer.Submit(&r));
+    ASSERT_TRUE(tickets.back().ok());
+  }
+  // Seals at 3 and 6; the 7th record sits in the open batch.
+  EXPECT_EQ(writer.pending_records(), 1u);
+  EXPECT_EQ(tickets[0]->batch_seq, tickets[2]->batch_seq);
+  EXPECT_NE(tickets[2]->batch_seq, tickets[3]->batch_seq);
+
+  // Tickets of already-flushed batches still collect their pointers.
+  for (int i = 0; i < 7; i++) {
+    std::vector<LogPtr> ptrs;
+    ASSERT_TRUE(writer.Wait(*tickets[i], &ptrs).ok());
+    ASSERT_EQ(ptrs.size(), 1u);
+    LogReader reader(&fs, "/log", 0);
+    auto r = reader.Read(ptrs[0]);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->row.primary_key, "k" + std::to_string(i));
+    EXPECT_EQ(r->key.lsn, static_cast<uint64_t>(i + 1));
+  }
+}
+
+TEST(AppendQueueTest, ByteCapSealsTheBatch) {
+  MemFileSystem fs;
+  AppendQueueOptions qo;
+  qo.max_batch_bytes = 256;
+  LogWriter writer(&fs, "/log", 0, 64ull << 20, qo);
+  ASSERT_TRUE(writer.Open().ok());
+
+  std::vector<LogRecord> big;
+  big.push_back(MakeData("a", std::string(200, 'x'), 1));
+  auto t1 = writer.Submit(&big);
+  std::vector<LogRecord> big2;
+  big2.push_back(MakeData("b", std::string(200, 'y'), 2));
+  auto t2 = writer.Submit(&big2);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  // The second submission would exceed 256 bytes: the first batch sealed.
+  EXPECT_NE(t1->batch_seq, t2->batch_seq);
+  EXPECT_EQ(writer.pending_records(), 1u);
+}
+
+TEST(AppendQueueTest, WindowExpirySealsOnNextSubmit) {
+  sim::SimContext ctx;
+  sim::SimContext::Scope scope(&ctx);
+  MemFileSystem fs;
+  AppendQueueOptions qo;
+  qo.window_us = 200;
+  LogWriter writer(&fs, "/log", 0, 64ull << 20, qo);
+  ASSERT_TRUE(writer.Open().ok());
+
+  std::vector<LogRecord> r1 = One("a", 1);
+  auto t1 = writer.Submit(&r1);
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(writer.pending_records(), 1u);
+
+  ctx.AdvanceTo(300);  // past the window
+  std::vector<LogRecord> r2 = One("b", 2);
+  auto t2 = writer.Submit(&r2);
+  ASSERT_TRUE(t2.ok());
+  // r1's batch flushed on arrival of r2; only r2 is pending.
+  EXPECT_EQ(writer.pending_records(), 1u);
+  EXPECT_NE(t1->batch_seq, t2->batch_seq);
+
+  std::vector<LogPtr> p1, p2;
+  ASSERT_TRUE(writer.Wait(*t1, &p1).ok());
+  ASSERT_TRUE(writer.Wait(*t2, &p2).ok());
+  ASSERT_EQ(p1.size(), 1u);
+  ASSERT_EQ(p2.size(), 1u);
+}
+
+TEST(AppendQueueTest, WindowZeroDisablesCoalescing) {
+  MemFileSystem fs;
+  AppendQueueOptions qo;
+  qo.window_us = 0;
+  LogWriter writer(&fs, "/log", 0, 64ull << 20, qo);
+  ASSERT_TRUE(writer.Open().ok());
+
+  std::vector<LogRecord> r1 = One("a", 1);
+  auto t1 = writer.Submit(&r1);
+  std::vector<LogRecord> r2 = One("b", 2);
+  auto t2 = writer.Submit(&r2);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  EXPECT_NE(t1->batch_seq, t2->batch_seq);
+}
+
+TEST(AppendQueueTest, TicketsAreSingleUse) {
+  MemFileSystem fs;
+  LogWriter writer(&fs, "/log");
+  ASSERT_TRUE(writer.Open().ok());
+
+  std::vector<LogRecord> r = One("a", 1);
+  auto t = writer.Submit(&r);
+  ASSERT_TRUE(t.ok());
+  std::vector<LogPtr> ptrs;
+  ASSERT_TRUE(writer.Wait(*t, &ptrs).ok());
+  EXPECT_TRUE(writer.Wait(*t, &ptrs).IsInvalidArgument());
+
+  // An empty submission yields an invalid ticket; waiting on it is a no-op.
+  std::vector<LogRecord> empty;
+  auto te = writer.Submit(&empty);
+  ASSERT_TRUE(te.ok());
+  EXPECT_FALSE(te->valid());
+  std::vector<LogPtr> none;
+  EXPECT_TRUE(writer.Wait(*te, &none).ok());
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(AppendQueueTest, ScannerSeesSubmitOrderAcrossBatches) {
+  MemFileSystem fs;
+  AppendQueueOptions qo;
+  qo.max_batch_records = 2;
+  LogWriter writer(&fs, "/log", 0, 64ull << 20, qo);
+  ASSERT_TRUE(writer.Open().ok());
+
+  for (int i = 0; i < 7; i++) {
+    ASSERT_TRUE(writer.Append(MakeData("k" + std::to_string(i), "v", i + 1))
+                    .ok());
+  }
+  ASSERT_TRUE(writer.Flush().ok());
+
+  LogReader reader(&fs, "/log", 0);
+  auto scanner = reader.NewScanner();
+  ASSERT_TRUE(scanner.ok());
+  uint64_t expected_lsn = 1;
+  for (; (*scanner)->Valid(); (*scanner)->Next()) {
+    EXPECT_EQ((*scanner)->record().key.lsn, expected_lsn);
+    EXPECT_EQ((*scanner)->record().row.primary_key,
+              "k" + std::to_string(expected_lsn - 1));
+    expected_lsn++;
+  }
+  EXPECT_TRUE((*scanner)->status().ok());
+  EXPECT_EQ(expected_lsn, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined quorum-ack replication (DFS sync layer).
+// ---------------------------------------------------------------------------
+
+TEST(PipelinedSyncTest, PipelineDoesNotBlockOnAcks) {
+  sim::SimContext ctx;
+  sim::SimContext::Scope scope(&ctx);
+  dfs::DfsOptions options;
+  options.num_nodes = 3;
+  dfs::Dfs dfs(options);
+
+  auto file = dfs.Create("/pipelined", 0);
+  ASSERT_TRUE(file.ok());
+  SyncPolicy policy{SyncPolicy::Ack::kQuorum, /*max_inflight=*/4};
+  uint64_t last_ack = 0;
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE((*file)->Append(Slice(std::string(64 << 10, 'x'))).ok());
+    SyncReceipt receipt;
+    ASSERT_TRUE((*file)->SyncWith(policy, &receipt).ok());
+    // Pipelining: the caller's clock stops at its own NIC push; the
+    // replication ack is still outstanding (in the future).
+    EXPECT_LT(static_cast<uint64_t>(ctx.now()), receipt.ack_us);
+    last_ack = std::max(last_ack, receipt.ack_us);
+  }
+  // The barrier collects every outstanding ack.
+  ASSERT_TRUE((*file)->WaitForAcks().ok());
+  EXPECT_GE(static_cast<uint64_t>(ctx.now()), last_ack);
+  ASSERT_TRUE((*file)->Close().ok());
+}
+
+TEST(PipelinedSyncTest, QuorumAckExcludesStalledStraggler) {
+  sim::SimContext ctx;
+  sim::SimContext::Scope scope(&ctx);
+  dfs::DfsOptions options;
+  options.num_nodes = 3;
+  dfs::Dfs dfs(options);
+  constexpr sim::VirtualTime kStallUs = 50000;
+  dfs.data_node(2)->disk()->set_stall_us(kStallUs);
+
+  // Quorum ack: the stalled replica is off the critical path — the ack
+  // lands a full stall earlier than the slowest replica's completion.
+  {
+    auto file = dfs.Create("/quorum", 0);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(Slice(std::string(1024, 'x'))).ok());
+    SyncReceipt receipt;
+    ASSERT_TRUE((*file)
+                    ->SyncWith(SyncPolicy{SyncPolicy::Ack::kQuorum, 1},
+                               &receipt)
+                    .ok());
+    EXPECT_GE(receipt.full_us, receipt.ack_us + kStallUs / 2);
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  // Full ack: the straggler gates the ack.
+  {
+    auto file = dfs.Create("/all", 0);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(Slice(std::string(1024, 'x'))).ok());
+    SyncReceipt receipt;
+    ASSERT_TRUE(
+        (*file)
+            ->SyncWith(SyncPolicy{SyncPolicy::Ack::kAll, 1}, &receipt)
+            .ok());
+    EXPECT_EQ(receipt.full_us, receipt.ack_us);
+    EXPECT_GE(receipt.ack_us, static_cast<uint64_t>(kStallUs));
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quorum-durable tail recovery.
+// ---------------------------------------------------------------------------
+
+TEST(QuorumTailTest, TailSurvivesReplicaLossAndHealsToFullWidth) {
+  dfs::DfsOptions options;
+  options.num_nodes = 3;
+  dfs::Dfs dfs(options);
+  dfs::DfsFileSystem fs(&dfs, /*client_node=*/0);
+
+  LogWriter writer(&fs, "/log", 0);
+  ASSERT_TRUE(writer.Open().ok());
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(writer.Append(MakeData("a" + std::to_string(i), "v", i + 1))
+                    .ok());
+  }
+
+  // One log replica dies: the pipeline degrades, survivors keep acking
+  // (quorum of the remaining width), and the tail keeps growing.
+  dfs.KillDataNode(2);
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(
+        writer.Append(MakeData("b" + std::to_string(i), "v", 11 + i)).ok());
+  }
+  ASSERT_TRUE(writer.Flush().ok());
+
+  // The scanner reads the whole tail from the surviving replicas —
+  // including the records the dead replica never saw.
+  auto count_records = [&]() -> int {
+    LogReader reader(&fs, "/log", 0);
+    auto scanner = reader.NewScanner();
+    if (!scanner.ok()) return -1;
+    int n = 0;
+    uint64_t expected_lsn = 1;
+    for (; (*scanner)->Valid(); (*scanner)->Next()) {
+      if ((*scanner)->record().key.lsn != expected_lsn) return -1;
+      expected_lsn++;
+      n++;
+    }
+    if (!(*scanner)->status().ok()) return -1;
+    return n;
+  };
+  EXPECT_EQ(count_records(), 20);
+
+  // The stale replica comes back (missing the tail); the heal sweep
+  // re-replicates to full width (invariant I3) and reaches a fixpoint.
+  dfs.RestartDataNode(2);
+  auto healed = dfs.HealUnderReplicated();
+  ASSERT_TRUE(healed.ok());
+  EXPECT_GT(*healed, 0);
+  auto again = dfs.HealUnderReplicated();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0);
+
+  // With width restored, losing a *different* replica must not lose the
+  // tail: the healed copy serves it.
+  dfs.KillDataNode(1);
+  EXPECT_EQ(count_records(), 20);
+}
+
+TEST(QuorumTailTest, TornBatchTailStopsCleanly) {
+  MemFileSystem fs;
+  LogWriter writer(&fs, "/log", 0);
+  ASSERT_TRUE(writer.Open().ok());
+  ASSERT_TRUE(writer.Append(MakeData("a", "1", 1)).ok());
+  std::vector<LogRecord> batch;
+  batch.push_back(MakeData("b", "2", 2));
+  batch.push_back(MakeData("c", "3", 3));
+  std::vector<LogPtr> ptrs;
+  ASSERT_TRUE(writer.AppendBatch(&batch, &ptrs).ok());
+
+  // Truncate inside the second batch's record frames: the batch is torn
+  // (e.g. a replica missing the end of a quorum-acked append). The scanner
+  // must stop cleanly BEFORE the batch header — a torn batch is invisible
+  // as a unit, never half-delivered.
+  const std::string segment = SegmentFileName("/log", 1);
+  auto raf = fs.NewRandomAccessFile(segment);
+  ASSERT_TRUE(raf.ok());
+  auto data = (*raf)->Read(0, (*raf)->Size());
+  ASSERT_TRUE(data.ok());
+  std::string truncated = data->substr(0, ptrs[1].offset + 3);
+  auto wf = fs.NewWritableFile(segment);  // truncates the existing file
+  ASSERT_TRUE(wf.ok());
+  ASSERT_TRUE((*wf)->Append(Slice(truncated)).ok());
+
+  LogReader reader(&fs, "/log", 0);
+  auto scanner = reader.NewScanner();
+  ASSERT_TRUE(scanner.ok());
+  int n = 0;
+  for (; (*scanner)->Valid(); (*scanner)->Next()) n++;
+  EXPECT_TRUE((*scanner)->status().ok());
+  EXPECT_EQ(n, 1);  // only the first (complete) batch
+}
+
+TEST(QuorumTailTest, BatchCrcCatchesCorruption) {
+  MemFileSystem fs;
+  LogWriter writer(&fs, "/log", 0);
+  ASSERT_TRUE(writer.Open().ok());
+  std::vector<LogRecord> batch;
+  batch.push_back(MakeData("a", "1", 1));
+  batch.push_back(MakeData("b", "2", 2));
+  std::vector<LogPtr> ptrs;
+  ASSERT_TRUE(writer.AppendBatch(&batch, &ptrs).ok());
+
+  const std::string segment = SegmentFileName("/log", 1);
+  auto raf = fs.NewRandomAccessFile(segment);
+  ASSERT_TRUE(raf.ok());
+  auto data = (*raf)->Read(0, (*raf)->Size());
+  ASSERT_TRUE(data.ok());
+  std::string corrupted = *data;
+  corrupted[ptrs[1].offset + ptrs[1].size - 1] ^= 0x1;
+  auto wf = fs.NewWritableFile(segment);  // truncates the existing file
+  ASSERT_TRUE(wf.ok());
+  ASSERT_TRUE((*wf)->Append(Slice(corrupted)).ok());
+
+  LogReader reader(&fs, "/log", 0);
+  auto scanner = reader.NewScanner();
+  ASSERT_TRUE(scanner.ok());
+  while ((*scanner)->Valid()) (*scanner)->Next();
+  EXPECT_TRUE((*scanner)->status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace logbase::log

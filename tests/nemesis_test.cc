@@ -137,6 +137,20 @@ TEST(NemesisTest, BalancerRacesFaultsDeterministically) {
   EXPECT_EQ(first->balancer_splits, second->balancer_splits);
 }
 
+TEST(NemesisTest, StragglerReplicaDuringGroupCommit) {
+  // A log replica's disk stalls mid-group-commit (quorum acks keep commits
+  // flowing past the straggler), then the same machine crashes outright —
+  // the log tail is quorum-durable but missing on one replica. After
+  // restart the heal sweep must catch the stale copy up; no acked write
+  // may be lost (I1) and the whole run must replay bit-identically.
+  FaultPlan plan;
+  plan.DiskStall(60 * 1000, 4, 20000)
+      .Crash(150 * 1000, 4)
+      .Restart(320 * 1000, 4)
+      .DiskClear(330 * 1000, 4);
+  RunTwiceAndCheck(BaseOptions(808), plan);
+}
+
 TEST(NemesisTest, SeededRandomPlanHoldsInvariants) {
   // A generated schedule (the fuzz entry point for future chaos tests).
   FaultPlan::RandomOptions ropts;

@@ -176,7 +176,7 @@ TEST(ObsEndToEndTest, MiniClusterRoundTripReportsComponentBreakdown) {
   sim::SimContext::Scope sim_scope(&ctx);
   for (int i = 0; i < 9; i++) {
     std::string key = "key" + std::to_string(i);
-    ASSERT_TRUE(client->Put("t", 0, key, "value" + std::to_string(i)).ok());
+    ASSERT_TRUE(client->Put("t", 0, key, "value" + std::to_string(i), {}).ok());
   }
   client::Txn txn = client->BeginTxn();
   ASSERT_TRUE(txn.Write("t", 0, "key1", "txn-value").ok());

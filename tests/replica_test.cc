@@ -52,7 +52,7 @@ TEST(ReplicaTest, WatermarkReadsMatchPrimary) {
   ASSERT_TRUE(cluster.master()->CreateTable("t", {"v"}, {{"v"}}, {}).ok());
   auto client = cluster.NewClient(0);
   for (int i = 0; i < 50; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(i), "v" + std::to_string(i)).ok());
+    ASSERT_TRUE(client->Put("t", 0, Key(i), "v" + std::to_string(i), {}).ok());
   }
 
   // Attach after the writes: the replica seeds from the checkpoint (if any)
@@ -79,7 +79,7 @@ TEST(ReplicaTest, WatermarkReadsMatchPrimary) {
   }
 
   // New writes become visible on the next tick.
-  ASSERT_TRUE(client->Put("t", 0, Key(7), "updated").ok());
+  ASSERT_TRUE(client->Put("t", 0, Key(7), "updated", {}).ok());
   ASSERT_TRUE(cluster.TickReplicas().ok());
   client::ReadOptions stale_opts;
   stale_opts.allow_stale = true;
@@ -96,7 +96,7 @@ TEST(ReplicaTest, TxnHoldbackAdvancesOnCommit) {
   ASSERT_TRUE(m->CreateTable("t", {"v"}, {{"v"}}, {}).ok());
   auto client = cluster.NewClient(0);
   for (int i = 0; i < 10; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(i), "base").ok());
+    ASSERT_TRUE(client->Put("t", 0, Key(i), "base", {}).ok());
   }
   std::vector<std::string> uids = AttachAll(m, 1);
   ASSERT_EQ(uids.size(), 1u);
@@ -134,7 +134,7 @@ TEST(ReplicaTest, TxnHoldbackAdvancesOnCommit) {
   // lands above it)...
   uint64_t late_ts = 0;
   for (int i = 0; i < 10000 && late_ts <= txn_ts; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(100 + i), "late").ok());
+    ASSERT_TRUE(client->Put("t", 0, Key(100 + i), "late", {}).ok());
     auto landed = client->Get("t", 0, Key(100 + i), client::ReadOptions{});
     ASSERT_TRUE(landed.ok());
     late_ts = landed->timestamp();
@@ -179,7 +179,7 @@ TEST(ReplicaTest, StalenessRejectionIsRetryableAndFallsBack) {
   ASSERT_TRUE(m->CreateTable("t", {"v"}, {{"v"}}, {}).ok());
   auto client = cluster.NewClient(0);
   for (int i = 0; i < 10; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(i), "fresh").ok());
+    ASSERT_TRUE(client->Put("t", 0, Key(i), "fresh", {}).ok());
   }
   std::vector<std::string> uids = AttachAll(m, 1);
   const std::string& uid = uids[0];
@@ -229,10 +229,10 @@ TEST(ReplicaTest, CrashedReplicaRebuildsAndConverges) {
   ASSERT_TRUE(m->CreateTable("t", {"v"}, {{"v"}}, {}).ok());
   auto client = cluster.NewClient(0);
   for (int i = 0; i < 60; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(i), "v" + std::to_string(i)).ok());
+    ASSERT_TRUE(client->Put("t", 0, Key(i), "v" + std::to_string(i), {}).ok());
   }
   for (int i = 0; i < 10; i++) {
-    ASSERT_TRUE(client->Delete("t", 0, Key(i * 6)).ok());
+    ASSERT_TRUE(client->Delete("t", 0, Key(i * 6), {}).ok());
   }
   std::vector<std::string> uids = AttachAll(m, 1);
   const std::string& uid = uids[0];
@@ -242,7 +242,7 @@ TEST(ReplicaTest, CrashedReplicaRebuildsAndConverges) {
   cluster.CrashReplica(0);
   EXPECT_FALSE(cluster.replica(0)->running());
   for (int i = 0; i < 20; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(200 + i), "post-crash").ok());
+    ASSERT_TRUE(client->Put("t", 0, Key(200 + i), "post-crash", {}).ok());
   }
 
   // Restart reseeds from the DFS (checkpoint + log tail) and converges: the
@@ -279,7 +279,7 @@ TEST(ReplicaTest, MigrationTearsDownReplicasAndClientsFallBack) {
   ASSERT_TRUE(m->CreateTable("t", {"v"}, {{"v"}}, {}).ok());
   auto client = cluster.NewClient(0);
   for (int i = 0; i < 20; i++) {
-    ASSERT_TRUE(client->Put("t", 0, Key(i), "v" + std::to_string(i)).ok());
+    ASSERT_TRUE(client->Put("t", 0, Key(i), "v" + std::to_string(i), {}).ok());
   }
   std::vector<std::string> uids = AttachAll(m, 1);
   const std::string& uid = uids[0];

@@ -342,7 +342,7 @@ TEST(ClientTxnTest, DroppedHandleAutoAborts) {
   ASSERT_TRUE(
       cluster.master()->CreateTable("t", {"c"}, {{"c"}}, {"key5"}).ok());
   auto client = cluster.NewClient(0);
-  ASSERT_TRUE(client->Put("t", 0, "key1", "committed").ok());
+  ASSERT_TRUE(client->Put("t", 0, "key1", "committed", {}).ok());
 
   uint64_t aborted_before =
       obs::MetricsRegistry::Global().counter("txn.aborted")->value();
