@@ -10,6 +10,10 @@
 #   scripts/check.sh --chaos         # chaos-labeled suite (fault injection
 #                                    # + nemesis) under the default AND
 #                                    # tsan presets
+#   scripts/check.sh --tsa           # clang-tsa preset: full build with
+#                                    # -Wthread-safety as errors plus the
+#                                    # tsa_negative harness (skips with a
+#                                    # notice when clang is not installed)
 #   scripts/check.sh default tsan    # explicit preset list
 #
 # The default preset runs the full suite including the `lint` and
@@ -29,23 +33,25 @@ run_lint() {
 presets=()
 lint_only=0
 chaos=0
+tsa=0
 for arg in "$@"; do
   case "${arg}" in
     --lint) lint_only=1 ;;
     --asan) presets+=(asan) ;;
     --tsan) presets+=(tsan) ;;
     --chaos) chaos=1 ;;
+    --tsa) tsa=1 ;;
     *) presets+=("${arg}") ;;
   esac
 done
 
 if [ "${lint_only}" -eq 1 ] && [ ${#presets[@]} -eq 0 ] \
-    && [ "${chaos}" -eq 0 ]; then
+    && [ "${chaos}" -eq 0 ] && [ "${tsa}" -eq 0 ]; then
   run_lint
   exit 0
 fi
 
-if [ ${#presets[@]} -eq 0 ] && [ "${chaos}" -eq 0 ]; then
+if [ ${#presets[@]} -eq 0 ] && [ "${chaos}" -eq 0 ] && [ "${tsa}" -eq 0 ]; then
   presets=(default asan)
 fi
 
@@ -72,6 +78,24 @@ for preset in "${presets[@]}"; do
       ;;
   esac
 done
+
+if [ "${tsa}" -eq 1 ]; then
+  # Compile-time thread-safety analysis: the whole tree must build with
+  # clang's -Wthread-safety promoted to errors, and the tsa_negative
+  # harness ("static" label) must show the seeded violations are rejected.
+  # The container ships GCC only, so a missing clang is a skip, not a
+  # failure — CI runners with clang get the full stage.
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "==== preset: clang-tsa ===="
+    cmake --preset clang-tsa
+    cmake --build --preset clang-tsa -j "$(nproc)"
+    ctest --preset clang-tsa
+    presets+=(clang-tsa)
+  else
+    echo "==== clang-tsa: clang++ not on PATH; skipping (GCC compiles the"
+    echo "==== annotations away — install clang to run the analysis) ===="
+  fi
+fi
 
 if [ "${chaos}" -eq 1 ]; then
   # The chaos suite must be clean both plain and under ThreadSanitizer

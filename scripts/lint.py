@@ -25,6 +25,11 @@ Rules enforced over src/ (and, where noted, the whole tree):
                 (src/fault/ included: the injector's state lock carries
                 lockrank::kFaultState). Leaf-level exceptions are
                 allowlisted explicitly.
+  guarded-by   In any class owning an OrderedMutex, mutable data members
+                must carry GUARDED_BY so clang's -Wthread-safety actually
+                polices them; deliberate escapes live in an explicit
+                file#member allowlist, each with a justifying comment at
+                the declaration site.
   nodiscard    Status and Result<T> stay [[nodiscard]] so ignored error
                 returns fail the build (-Werror=unused-result).
 
@@ -226,39 +231,13 @@ DEPRECATED_CALLS = re.compile(
     r'(?:[.>]\s*(GetVersioned|TxnRead|TxnWrite|TxnDelete)\s*\(|'
     r'\bclient\w*(?:\.|->)\s*(GetAsOf|GetVersions)\s*\()')
 
-# Legacy client write overloads (pre group-commit API redesign): Put with
-# four arguments and Delete with three, i.e. without a WriteOptions. The
-# canonical write surface threads WriteOptions{ack, deadline_us} through
-# every write ([[deprecated]] + -Werror blocks C++ call sites at compile
-# time; the lint counts arguments so the old spellings cannot creep back
-# in via snippets or generated code).
-CLIENT_WRITE_CALL = re.compile(
-    r'\bclient\w*(?:\[[^\]]*\])?\s*(?:\.|->)\s*(Put|Delete)\s*\(')
-
 # Empty since the wrappers were deleted; entries would be files that may
 # legitimately spell the removed names (e.g. migration tooling).
+# (The legacy no-WriteOptions Put/Delete overloads needed a dedicated
+# argument-counting branch here while their [[deprecated]] shims existed;
+# the shims are gone now, so any old-arity call is a plain compile error
+# and the branch was retired with them.)
 DEPRECATED_ALLOWLIST = set()
-
-
-def count_call_args(text, open_paren):
-    """Returns the argument count of the call whose '(' is at open_paren,
-    balancing nested parens/brackets/braces, or None if unbalanced."""
-    depth = 0
-    args = 1
-    i, n = open_paren, len(text)
-    while i < n:
-        c = text[i]
-        if c in '([{':
-            depth += 1
-        elif c in ')]}':
-            depth -= 1
-            if depth == 0:
-                inner = text[open_paren + 1:i].strip()
-                return 0 if not inner else args
-        elif c == ',' and depth == 1:
-            args += 1
-        i += 1
-    return None
 
 
 def check_deprecated(path, rel, stripped):
@@ -273,21 +252,6 @@ def check_deprecated(path, rel, stripped):
                 'deprecated', rel, lineno,
                 'call to deprecated client API %s(); use '
                 'ReadOptions-based Get/Scan or the Txn handle' % name))
-    # The legacy write overloads need argument counting (calls may span
-    # lines), so they scan the whole stripped text.
-    for m in CLIENT_WRITE_CALL.finditer(stripped):
-        name = m.group(1)
-        argc = count_call_args(stripped, m.end() - 1)
-        if argc is None:
-            continue
-        required = 5 if name == 'Put' else 4
-        if argc == required - 1:
-            lineno = stripped.count('\n', 0, m.start()) + 1
-            found.append(Violation(
-                'deprecated', rel, lineno,
-                'legacy client %s() overload without WriteOptions; pass '
-                'WriteOptions{} (ack mode + deadline) or batch through '
-                'PutBatch' % name))
     return found
 
 
@@ -326,6 +290,121 @@ def check_mutex(path, rel, stripped):
 
 
 # --------------------------------------------------------------------------
+# rule: guarded-by
+
+# Applies to any file declaring an OrderedMutex / OrderedSharedMutex member:
+# mutable data members in that file must carry a GUARDED_BY annotation so
+# clang's -Wthread-safety actually polices them (an unannotated member is
+# invisible to the analysis — silent coverage loss, not an error). Exempt by
+# construction: const / static / atomic members, condition variables, and
+# the mutexes themselves. Everything else that is deliberately unguarded
+# (set-before-threads fields, internally-synchronized pointees, externally-
+# synchronized state) needs a `file#member` allowlist entry below, which is
+# the reviewable registry of every annotation escape.
+ORDERED_MUTEX_MEMBER = re.compile(r'\bOrdered(?:Shared)?Mutex\s+\w+_\s*[{;]')
+
+# A member-declaration statement starts at exactly two-space indent (class
+# member depth in this codebase's style) and runs to its terminating ';'.
+MEMBER_STMT_START = re.compile(r'^  [A-Za-z_]')
+
+# The declared name: trailing-underscore identifier directly before the
+# initializer / terminator (Google style; locals and parameters never match
+# because statements inside function bodies are filtered out first).
+MEMBER_NAME = re.compile(r'\b([A-Za-z]\w*_)\s*(?:=[^;]*|\{[^;{}]*\})?\s*;')
+
+GUARDED_BY_EXEMPT = re.compile(
+    r'\bconst\b|\bstatic\b|\bconstexpr\b|\bstd::atomic\b|'
+    r'\bstd::condition_variable(?:_any)?\b|\bOrdered(?:Shared)?Mutex\b')
+
+# file#member pairs that are deliberately not GUARDED_BY; every entry
+# corresponds to a justifying comment at the declaration site.
+GUARDED_BY_ALLOWLIST = {
+    # Set in the ctor / Start() before any data-path thread exists, or only
+    # touched on the single-threaded lifecycle (Start/Stop/Crash) path.
+    'src/master/master.h#session_',
+    'src/master/master.h#election_',
+    'src/tablet/tablet.h#index_',
+    'src/tablet/tablet.h#source_instance_',
+    'src/tablet/tablet_server.h#session_',
+    'src/tablet/tablet_server.h#writer_',
+    'src/tablet/tablet_server.h#options_',
+    'src/tablet/tablet_server.h#fs_',
+    'src/replica/replica_server.h#options_',
+    'src/replica/replica_server.h#fs_',
+    'src/baselines/hbase/hbase_server.h#options_',
+    'src/baselines/hbase/hbase_server.h#running_',
+    'src/baselines/hbase/hbase_server.h#fs_',
+    'src/baselines/hbase/hbase_server.h#block_cache_',
+    'src/baselines/hbase/hbase_server.h#wal_',
+    'src/util/thread_pool.h#workers_',  # written only before workers start
+    'src/lsm/lsm_tree.h#versions_',  # internally synchronized VersionSet
+    'src/lsm/lsm_tree.h#internal_comparator_',
+    'src/lsm/lsm_tree.h#internal_table_options_',
+    # Wired once during cluster setup / construction, then read-only; the
+    # client Txn handle and WriteBatch are confined to one thread by
+    # contract.
+    'src/client/client.h#replica_resolver_',
+    'src/client/client.h#retry_',
+    'src/client/client.h#txn_',
+    'src/client/client.h#ops_',
+    'src/client/client.h#client_',
+    'src/fault/fault_injector.h#targets_',
+    # Both FaultPlan::events_ (a single-threaded builder) and
+    # FaultInjector::events_ (the schedule, fixed after the ctor).
+    'src/fault/fault_injector.h#events_',
+    # Internally synchronized members (their own ranked locks or latch
+    # protocol); the owning class's mutex does not cover them.
+    'src/tablet/tablet_server.h#buffer_',
+    'src/replica/replica_server.h#buffer_',
+    'src/obs/metrics.h#shards_',
+    'src/sim/disk_model.h#resource_',
+    'src/dfs/data_node.h#disk_',
+    'src/secondary/secondary_index.h#tree_',
+}
+
+
+def check_guarded_by(path, rel, stripped):
+    if not ORDERED_MUTEX_MEMBER.search(stripped):
+        return []
+    found = []
+    lines = stripped.split('\n')
+    for i, line in enumerate(lines):
+        if not MEMBER_STMT_START.match(line):
+            continue
+        # Join continuation lines (wrapped declarations put GUARDED_BY or
+        # long template arguments on the next line) up to the ';'.
+        stmt = line
+        j = i
+        while ';' not in stmt and j + 1 < len(lines) and j - i < 5:
+            j += 1
+            stmt += ' ' + lines[j].strip()
+        if ';' not in stmt:
+            continue
+        stmt = stmt[:stmt.index(';') + 1].strip()
+        # Function bodies and declarations, not data members: anything with
+        # a parameter list directly followed by a body / qualifier, or a
+        # return statement swallowed from an inline accessor.
+        if re.search(r'\)\s*(?:const\s*)?(?:override\s*)?[{;=]', stmt) or \
+                re.search(r'\breturn\b|\busing\b|\btypedef\b', stmt):
+            continue
+        if 'GUARDED_BY' in stmt or GUARDED_BY_EXEMPT.search(stmt):
+            continue
+        m = MEMBER_NAME.search(stmt)
+        if not m:
+            continue
+        name = m.group(1)
+        if '%s#%s' % (rel, name) in GUARDED_BY_ALLOWLIST:
+            continue
+        found.append(Violation(
+            'guarded-by', rel, i + 1,
+            'member %s in a class owning an OrderedMutex has no GUARDED_BY '
+            'annotation; annotate it (clang -Wthread-safety cannot police '
+            'unannotated state) or add a justified file#member entry to '
+            'GUARDED_BY_ALLOWLIST in scripts/lint.py' % name))
+    return found
+
+
+# --------------------------------------------------------------------------
 # rule: nodiscard
 
 def check_nodiscard(root):
@@ -354,7 +433,7 @@ def check_nodiscard(root):
 # driver
 
 PER_FILE_RULES = [check_wall_clock, check_nondet, check_raw_new,
-                  check_deprecated, check_mutex]
+                  check_deprecated, check_mutex, check_guarded_by]
 
 
 def lint_tree(root):
@@ -497,16 +576,26 @@ SELF_TEST_CASES = [
     (check_nondet, 'src/log/append_queue.cc',
      'uint64_t batch_seq = rand();',
      'uint64_t batch_seq = next_batch_seq_++;'),
-    (check_deprecated, 'tests/x_test.cc',
-     'ASSERT_TRUE(client->Put("t", 0, "k", "v").ok());',
-     'ASSERT_TRUE(client->Put("t", 0, "k", "v", {}).ok());'),
-    (check_deprecated, 'bench/x.cc',
-     'Status s = client.Delete("t", 0, key);',
-     'Status s = client.Delete("t", 0, key, WriteOptions{});'),
-    (check_deprecated, 'src/x/x.cc',
-     'auto s = client->Put(kTable, 0, key,\n'
-     '                     EncodeSeq(seq));',
-     'auto s = client->PutBatch("t", batch, WriteOptions{});'),
+    # Thread-safety annotation coverage, pinned to the real subsystem
+    # headers the rule polices: a class owning an OrderedMutex must carry
+    # GUARDED_BY on its mutable members (or an explicit allowlist entry).
+    (check_guarded_by, 'src/master/master.h',
+     'mutable OrderedMutex mu_{lockrank::kMasterState, "m"};\n'
+     '  std::map<std::string, TabletLocation> assignments_;',
+     'mutable OrderedMutex mu_{lockrank::kMasterState, "m"};\n'
+     '  std::map<std::string, TabletLocation> assignments_ GUARDED_BY(mu_);'),
+    (check_guarded_by, 'src/replica/replica_server.h',
+     'mutable OrderedMutex mu_{lockrank::kReplicaServerTablets, "r"};\n'
+     '  std::map<std::string, TabletState> tablets_;',
+     'mutable OrderedMutex mu_{lockrank::kReplicaServerTablets, "r"};\n'
+     '  std::map<std::string, TabletState> tablets_\n'
+     '      GUARDED_BY(mu_);'),
+    (check_guarded_by, 'src/log/log_writer.h',
+     'OrderedMutex mu_{lockrank::kLogWriter, "log.writer"};\n'
+     '  uint64_t next_sequence_ = 1;',
+     'OrderedMutex mu_{lockrank::kLogWriter, "log.writer"};\n'
+     '  uint64_t next_sequence_ GUARDED_BY(mu_) = 1;\n'
+     '  std::atomic<uint64_t> durable_{0};  // atomics need no guard'),
 ]
 
 

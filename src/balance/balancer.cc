@@ -20,22 +20,22 @@ Balancer::Balancer(std::function<master::Master*()> master_resolver,
       rnd_(options.seed) {}
 
 void Balancer::set_step_hook(std::function<void(MigrationStep)> hook) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   hook_ = std::move(hook);
 }
 
 BalancerStats Balancer::stats() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return stats_;
 }
 
 std::map<std::string, double> Balancer::TabletScores() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return tablet_score_;
 }
 
 Status Balancer::Tick() {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   master::Master* m = master_resolver_();
   if (m == nullptr || !m->IsActiveMaster()) return Status::OK();
   stats_.ticks++;

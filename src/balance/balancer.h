@@ -65,14 +65,15 @@ class Balancer {
   std::map<std::string, double> TabletScores() const;
 
  private:
-  std::function<master::Master*()> master_resolver_;
+  const std::function<master::Master*()> master_resolver_;
   const BalancerOptions options_;
 
   mutable OrderedMutex mu_{lockrank::kBalancerState, "balancer.state"};
-  std::map<std::string, double> tablet_score_;  // by uid, EWMA-smoothed
-  BalancerStats stats_;
-  Random rnd_;
-  std::function<void(MigrationStep)> hook_;
+  // By uid, EWMA-smoothed.
+  std::map<std::string, double> tablet_score_ GUARDED_BY(mu_);
+  BalancerStats stats_ GUARDED_BY(mu_);
+  Random rnd_ GUARDED_BY(mu_);
+  std::function<void(MigrationStep)> hook_ GUARDED_BY(mu_);
 };
 
 }  // namespace logbase::balance

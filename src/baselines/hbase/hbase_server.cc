@@ -29,7 +29,7 @@ HBaseServer::HBaseServer(HBaseServerOptions options, dfs::Dfs* dfs,
 HBaseServer::~HBaseServer() = default;
 
 uint64_t HBaseServer::NextTimestamp() {
-  std::lock_guard<OrderedMutex> l(ts_mu_);
+  MutexLock l(ts_mu_);
   if (ts_next_ >= ts_limit_) {
     ts_next_ = coord_->ReserveTimestamps(options_.server_id, kTimestampBatch);
     ts_limit_ = ts_next_ + kTimestampBatch;
@@ -79,7 +79,7 @@ Status HBaseServer::SaveRegistryLocked() {
 }
 
 Status HBaseServer::OpenTablet(const std::string& uid) {
-  std::lock_guard<OrderedMutex> l(tablets_mu_);
+  MutexLock l(tablets_mu_);
   if (tablets_.count(uid) > 0) return Status::OK();
   LOGBASE_RETURN_NOT_OK(LoadRegistryLocked());
   HTabletOptions tablet_options;
@@ -109,7 +109,7 @@ Status HBaseServer::ReplayWal() {
   // Replay from the oldest unflushed position across tablets.
   log::LogPosition start{~0u, ~0ull};
   {
-    std::lock_guard<OrderedMutex> l(tablets_mu_);
+    MutexLock l(tablets_mu_);
     if (tablets_.empty()) return Status::OK();
     for (const auto& [uid, tablet] : tablets_) {
       log::LogPosition flushed = tablet->flushed_position();
@@ -124,7 +124,7 @@ Status HBaseServer::ReplayWal() {
     const log::LogRecord& record = (*scanner)->record();
     HTablet* tablet = nullptr;
     {
-      std::lock_guard<OrderedMutex> l(tablets_mu_);
+      MutexLock l(tablets_mu_);
       auto it = by_numeric_id_.find(record.key.table_id);
       if (it != by_numeric_id_.end()) tablet = it->second;
     }
@@ -164,7 +164,7 @@ Status HBaseServer::Stop() {
 
 void HBaseServer::Crash() {
   running_ = false;
-  std::lock_guard<OrderedMutex> l(tablets_mu_);
+  MutexLock l(tablets_mu_);
   // Memtables are lost; store files, META, the tablet registry and the WAL
   // survive in the DFS. OpenTablet + Start (which replays the WAL) restores
   // service.
@@ -176,7 +176,7 @@ void HBaseServer::Crash() {
 }
 
 HTablet* HBaseServer::FindTablet(const std::string& uid) {
-  std::lock_guard<OrderedMutex> l(tablets_mu_);
+  MutexLock l(tablets_mu_);
   auto it = tablets_.find(uid);
   return it == tablets_.end() ? nullptr : it->second.get();
 }
@@ -236,7 +236,7 @@ Result<std::vector<tablet::ReadRow>> HBaseServer::Scan(
 Status HBaseServer::FlushAll() {
   std::vector<HTablet*> tablets;
   {
-    std::lock_guard<OrderedMutex> l(tablets_mu_);
+    MutexLock l(tablets_mu_);
     for (auto& [uid, tablet] : tablets_) tablets.push_back(tablet.get());
   }
   for (HTablet* tablet : tablets) {
@@ -248,7 +248,7 @@ Status HBaseServer::FlushAll() {
 Status HBaseServer::CompactAll() {
   std::vector<HTablet*> tablets;
   {
-    std::lock_guard<OrderedMutex> l(tablets_mu_);
+    MutexLock l(tablets_mu_);
     for (auto& [uid, tablet] : tablets_) tablets.push_back(tablet.get());
   }
   for (HTablet* tablet : tablets) {

@@ -68,33 +68,39 @@ class HBaseServer {
   std::string root() const {
     return "/hbase/" + std::to_string(options_.server_id);
   }
-  uint64_t NextTimestamp();
-  Status ReplayWal();
+  uint64_t NextTimestamp() EXCLUDES(ts_mu_);
+  Status ReplayWal() EXCLUDES(tablets_mu_);
   /// uid -> numeric id mapping, persisted so WAL records stay routable
-  /// across restarts. Require tablets_mu_ held.
-  Status LoadRegistryLocked();
-  Status SaveRegistryLocked();
+  /// across restarts.
+  Status LoadRegistryLocked() REQUIRES(tablets_mu_);
+  Status SaveRegistryLocked() REQUIRES(tablets_mu_);
 
-  HBaseServerOptions options_;
+  HBaseServerOptions options_;  // fixed after construction
   dfs::Dfs* const dfs_;
   coord::CoordinationService* const coord_;
   std::unique_ptr<FileSystem> fs_;
   std::unique_ptr<sstable::BlockCache> block_cache_;
   std::unique_ptr<log::LogWriter> wal_;
 
+  // Written by Start/Stop/Crash only (single-threaded lifecycle, matching
+  // the baseline harness's usage).
   bool running_ = false;
   OrderedMutex tablets_mu_{lockrank::kHBaseServerTablets,
                          "hbase.server.tablets"};
-  std::map<std::string, std::unique_ptr<HTablet>> tablets_;
-  std::map<uint32_t, HTablet*> by_numeric_id_;
-  std::map<std::string, uint32_t> registry_;  // persisted uid -> id
-  bool registry_loaded_ = false;
-  uint32_t next_numeric_id_ = 1;
+  // HTablet values are stable until Crash and internally synchronized, so
+  // FindTablet hands out raw pointers for use off-lock.
+  std::map<std::string, std::unique_ptr<HTablet>> tablets_
+      GUARDED_BY(tablets_mu_);
+  std::map<uint32_t, HTablet*> by_numeric_id_ GUARDED_BY(tablets_mu_);
+  // Persisted uid -> id.
+  std::map<std::string, uint32_t> registry_ GUARDED_BY(tablets_mu_);
+  bool registry_loaded_ GUARDED_BY(tablets_mu_) = false;
+  uint32_t next_numeric_id_ GUARDED_BY(tablets_mu_) = 1;
 
   OrderedMutex ts_mu_{lockrank::kHBaseServerTimestamps,
                     "hbase.server.timestamps"};
-  uint64_t ts_next_ = 0;
-  uint64_t ts_limit_ = 0;
+  uint64_t ts_next_ GUARDED_BY(ts_mu_) = 0;
+  uint64_t ts_limit_ GUARDED_BY(ts_mu_) = 0;
 };
 
 }  // namespace logbase::baselines::hbase

@@ -55,7 +55,7 @@ Status HTablet::SaveMeta() {
 }
 
 Status HTablet::Open() {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   if (!fs_->Exists(MetaPath())) return Status::OK();  // fresh tablet
   auto file = fs_->NewRandomAccessFile(MetaPath());
   if (!file.ok()) return file.status();
@@ -108,7 +108,7 @@ Status HTablet::Put(const Slice& key, uint64_t timestamp,
   auto ptr = wal_->Append(std::move(record));
   if (!ptr.ok()) return ptr.status();
 
-  std::unique_lock<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   mem_->Add(key, timestamp, /*is_delete=*/false, value);
   if (mem_->ApproximateMemoryUsage() >= options_.memtable_flush_bytes) {
     l.unlock();
@@ -138,7 +138,7 @@ Status HTablet::PutBatch(
   std::vector<log::LogPtr> ptrs;
   LOGBASE_RETURN_NOT_OK(wal_->AppendBatch(&records, &ptrs));
 
-  std::unique_lock<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   for (size_t i = 0; i < kvs.size(); i++) {
     mem_->Add(Slice(kvs[i].first), timestamps[i], /*is_delete=*/false,
               Slice(kvs[i].second));
@@ -158,20 +158,20 @@ Status HTablet::Delete(const Slice& key, uint64_t timestamp) {
   record.row.timestamp = timestamp;
   auto ptr = wal_->Append(std::move(record));
   if (!ptr.ok()) return ptr.status();
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   mem_->Add(key, timestamp, /*is_delete=*/true, Slice());
   return Status::OK();
 }
 
 void HTablet::ApplyRecovered(const Slice& key, uint64_t timestamp,
                              bool is_delete, const Slice& value) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   mem_->Add(key, timestamp, is_delete, value);
 }
 
 Result<tablet::ReadValue> HTablet::Get(const Slice& key, uint64_t as_of) {
   {
-    std::lock_guard<OrderedMutex> l(mu_);
+    MutexLock l(mu_);
     bool is_delete;
     uint64_t ts;
     std::string value;
@@ -184,7 +184,7 @@ Result<tablet::ReadValue> HTablet::Get(const Slice& key, uint64_t as_of) {
   // index and reads one data block (unless cached).
   std::vector<StoreFile> stores;
   {
-    std::lock_guard<OrderedMutex> l(mu_);
+    MutexLock l(mu_);
     stores = stores_;
   }
   std::string target = index::EncodeCompositeKey(key, as_of);
@@ -216,7 +216,7 @@ Result<std::vector<tablet::ReadRow>> HTablet::Scan(const Slice& start_key,
                                                    uint64_t as_of) {
   std::vector<std::unique_ptr<KvIterator>> children;
   {
-    std::lock_guard<OrderedMutex> l(mu_);
+    MutexLock l(mu_);
     children.push_back(mem_->NewIterator());
     for (const StoreFile& sf : stores_) {
       children.push_back(sf.table->NewIterator());
@@ -312,7 +312,7 @@ Status HTablet::WriteStoreFile(KvIterator* iter, bool drop_tombstones,
 }
 
 Status HTablet::Flush() {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   if (mem_->num_entries() == 0) return Status::OK();
   // Record the WAL high-water mark covered by this flush *before* writing.
   log::LogPosition flushed_to = wal_->Position();
@@ -403,27 +403,27 @@ Status HTablet::CompactStoresLockedAlreadyHeld_() {
 }
 
 Status HTablet::CompactStores() {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return CompactStoresLockedAlreadyHeld_();
 }
 
 log::LogPosition HTablet::flushed_position() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return flushed_position_;
 }
 
 size_t HTablet::memtable_bytes() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return mem_->ApproximateMemoryUsage();
 }
 
 int HTablet::num_store_files() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return static_cast<int>(stores_.size());
 }
 
 uint64_t HTablet::store_file_bytes() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   uint64_t total = 0;
   for (const StoreFile& sf : stores_) total += sf.size;
   return total;

@@ -82,10 +82,10 @@ class HTablet {
   };
 
   Status WriteStoreFile(KvIterator* iter, bool drop_tombstones,
-                        StoreFile* out);
-  Status CompactStoresLockedAlreadyHeld_();  // requires mu_ held
-  Status MinorCompactLocked_();              // requires mu_ held
-  Status SaveMeta();   // requires mu_ held
+                        StoreFile* out) REQUIRES(mu_);
+  Status CompactStoresLockedAlreadyHeld_() REQUIRES(mu_);
+  Status MinorCompactLocked_() REQUIRES(mu_);
+  Status SaveMeta() REQUIRES(mu_);
   std::string StoreFileName(uint64_t number) const;
   std::string MetaPath() const { return dir_ + "/META"; }
 
@@ -97,10 +97,10 @@ class HTablet {
   const std::string dir_;
 
   mutable OrderedMutex mu_{lockrank::kHBaseTablet, "hbase.tablet"};
-  std::unique_ptr<HMemTable> mem_;
-  std::vector<StoreFile> stores_;  // newest first
-  uint64_t next_file_number_ = 1;
-  log::LogPosition flushed_position_{};
+  std::unique_ptr<HMemTable> mem_ GUARDED_BY(mu_);
+  std::vector<StoreFile> stores_ GUARDED_BY(mu_);  // newest first
+  uint64_t next_file_number_ GUARDED_BY(mu_) = 1;
+  log::LogPosition flushed_position_ GUARDED_BY(mu_){};
 };
 
 }  // namespace logbase::baselines::hbase

@@ -144,7 +144,7 @@ Result<LogBaseClient::Route> LogBaseClient::Resolve(const std::string& table,
   // Locating through the master only happens on cache misses (§3.3); we
   // model that by keeping the cached copy of the whole table's layout.
   {
-    std::lock_guard<OrderedMutex> l(cache_mu_);
+    MutexLock l(cache_mu_);
     auto schema_it = schema_cache_.find(table);
     if (schema_it != schema_cache_.end()) {
       for (const auto& [uid, location] : location_cache_) {
@@ -167,7 +167,7 @@ Result<LogBaseClient::Route> LogBaseClient::Resolve(const std::string& table,
   auto location = (*master)->Locate(table, column_group, key);
   if (!location.ok()) return location.status();
   {
-    std::lock_guard<OrderedMutex> l(cache_mu_);
+    MutexLock l(cache_mu_);
     schema_cache_[table] = *schema;
     location_cache_[location->descriptor.uid()] = *location;
   }
@@ -177,7 +177,7 @@ Result<LogBaseClient::Route> LogBaseClient::Resolve(const std::string& table,
 
 tablet::TabletServer* LogBaseClient::ServerByUid(const std::string& uid) {
   {
-    std::lock_guard<OrderedMutex> l(cache_mu_);
+    MutexLock l(cache_mu_);
     auto it = location_cache_.find(uid);
     if (it != location_cache_.end()) {
       if (!ServerReachable(it->second.server_id)) return nullptr;
@@ -202,7 +202,7 @@ Result<tablet::TabletServer*> LogBaseClient::ServerFor(const Route& route) {
 }
 
 void LogBaseClient::InvalidateCache() {
-  std::lock_guard<OrderedMutex> l(cache_mu_);
+  MutexLock l(cache_mu_);
   location_cache_.clear();
   schema_cache_.clear();
 }

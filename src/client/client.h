@@ -77,7 +77,7 @@ class WriteBatch {
   bool empty() const { return ops_.empty(); }
 
  private:
-  std::vector<Op> ops_;
+  std::vector<Op> ops_;  // single-threaded client-side builder
 };
 
 /// How a `Get` reads. Default-constructed options read the latest version.
@@ -155,6 +155,7 @@ class Txn {
   Txn(LogBaseClient* client, std::unique_ptr<txn::Transaction> txn)
       : client_(client), txn_(std::move(txn)) {}
 
+  // A Txn handle is confined to one application thread by contract.
   LogBaseClient* client_ = nullptr;
   std::unique_ptr<txn::Transaction> txn_;
 };
@@ -200,21 +201,9 @@ class LogBaseClient {
   Status Put(const std::string& table, uint32_t column_group,
              const Slice& key, const Slice& value,
              const WriteOptions& options);
-  [[deprecated(
-      "use Put(table, group, key, value, WriteOptions{}) or PutBatch")]]
-  Status Put(const std::string& table, uint32_t column_group,
-             const Slice& key, const Slice& value) {
-    return Put(table, column_group, key, value, WriteOptions{});
-  }
 
   Status Delete(const std::string& table, uint32_t column_group,
                 const Slice& key, const WriteOptions& options);
-  [[deprecated(
-      "use Delete(table, group, key, WriteOptions{}) or PutBatch")]]
-  Status Delete(const std::string& table, uint32_t column_group,
-                const Slice& key) {
-    return Delete(table, column_group, key, WriteOptions{});
-  }
 
   // -- Reads ----------------------------------------------------------------
 
@@ -297,7 +286,7 @@ class LogBaseClient {
   void ChargeRpc(int server_id, uint64_t request_bytes,
                  uint64_t response_bytes);
 
-  // Non-deprecated internals shared by Txn and the deprecated wrappers.
+  // Transaction internals shared with the Txn handle.
   Result<std::string> TxnReadImpl(txn::Transaction* txn,
                                   const std::string& table,
                                   uint32_t column_group, const Slice& key);
@@ -312,17 +301,24 @@ class LogBaseClient {
   Status PutBatchAttempt(const std::string& table, const WriteBatch& batch,
                          log::AckMode ack);
 
-  std::function<master::Master*()> master_resolver_;
-  std::function<tablet::TabletServer*(int)> server_resolver_;
+  const std::function<master::Master*()> master_resolver_;
+  const std::function<tablet::TabletServer*(int)> server_resolver_;
+  // Wired once by set_replica_resolver during cluster setup, before any
+  // read traffic; never reassigned afterwards.
   std::function<replica::ReplicaServer*(int)> replica_resolver_;
   const int node_;
   sim::NetworkModel* const network_;
+  // Fixed after construction (per-call policies are copies of options()).
   fault::RetryPolicy retry_;
+  // Set in the constructor; TransactionManager is internally synchronized.
   std::unique_ptr<txn::TransactionManager> txn_;
 
   OrderedMutex cache_mu_{lockrank::kClientCache, "client.cache"};
-  std::map<std::string, master::TabletLocation> location_cache_;  // by uid
-  std::map<std::string, tablet::TableSchema> schema_cache_;
+  // By uid.
+  std::map<std::string, master::TabletLocation> location_cache_
+      GUARDED_BY(cache_mu_);
+  std::map<std::string, tablet::TableSchema> schema_cache_
+      GUARDED_BY(cache_mu_);
 };
 
 }  // namespace logbase::client

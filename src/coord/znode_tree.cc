@@ -11,21 +11,21 @@ std::string ZnodeTree::ParentOf(const std::string& path) {
 }
 
 SessionId ZnodeTree::CreateSession() {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   SessionId id = next_session_++;
   sessions_.insert(id);
   return id;
 }
 
 bool ZnodeTree::SessionAlive(SessionId session) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return sessions_.count(session) > 0;
 }
 
 void ZnodeTree::CloseSession(SessionId session) {
   std::vector<std::pair<WatchCallback, std::string>> fired;
   {
-    std::lock_guard<OrderedMutex> l(mu_);
+    MutexLock l(mu_);
     if (sessions_.erase(session) == 0) return;
     // Collect this session's ephemerals, then delete them.
     std::vector<std::string> to_delete;
@@ -75,7 +75,7 @@ Result<std::string> ZnodeTree::Create(SessionId session,
   std::vector<std::pair<WatchCallback, std::string>> fired;
   std::string actual;
   {
-    std::lock_guard<OrderedMutex> l(mu_);
+    MutexLock l(mu_);
     if (path.empty() || path[0] != '/' ||
         (path.size() > 1 && path.back() == '/')) {
       return Status::InvalidArgument("bad znode path: " + path);
@@ -120,7 +120,7 @@ Result<std::string> ZnodeTree::Create(SessionId session,
 }
 
 Result<std::string> ZnodeTree::Get(const std::string& path) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = nodes_.find(path);
   if (it == nodes_.end()) return Status::NotFound(path);
   return it->second.data;
@@ -129,7 +129,7 @@ Result<std::string> ZnodeTree::Get(const std::string& path) const {
 Status ZnodeTree::Set(const std::string& path, const std::string& data) {
   std::vector<std::pair<WatchCallback, std::string>> fired;
   {
-    std::lock_guard<OrderedMutex> l(mu_);
+    MutexLock l(mu_);
     auto it = nodes_.find(path);
     if (it == nodes_.end()) return Status::NotFound(path);
     it->second.data = data;
@@ -165,7 +165,7 @@ Status ZnodeTree::Delete(const std::string& path) {
   std::vector<std::pair<WatchCallback, std::string>> fired;
   Status s;
   {
-    std::lock_guard<OrderedMutex> l(mu_);
+    MutexLock l(mu_);
     s = DeleteLocked(path, &fired);
   }
   for (auto& [cb, p] : fired) cb(p);
@@ -173,13 +173,13 @@ Status ZnodeTree::Delete(const std::string& path) {
 }
 
 bool ZnodeTree::Exists(const std::string& path) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return nodes_.count(path) > 0;
 }
 
 Result<std::vector<std::string>> ZnodeTree::GetChildren(
     const std::string& path) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   if (path != "/" && nodes_.count(path) == 0) return Status::NotFound(path);
   std::string prefix = path == "/" ? "/" : path + "/";
   std::vector<std::string> children;
@@ -194,13 +194,13 @@ Result<std::vector<std::string>> ZnodeTree::GetChildren(
 }
 
 void ZnodeTree::WatchNode(const std::string& path, WatchCallback callback) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   node_watches_[path].push_back(std::move(callback));
 }
 
 void ZnodeTree::WatchChildren(const std::string& path,
                               WatchCallback callback) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   child_watches_[path].push_back(std::move(callback));
 }
 

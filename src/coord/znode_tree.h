@@ -75,24 +75,29 @@ class ZnodeTree {
     uint64_t next_sequence = 0;
   };
 
-  /// Requires mu_ held. Returns fired callbacks to run outside the lock.
+  /// Returns fired callbacks to run outside the lock.
   std::vector<std::pair<WatchCallback, std::string>> CollectNodeWatches(
-      const std::string& path);
+      const std::string& path) REQUIRES(mu_);
   std::vector<std::pair<WatchCallback, std::string>> CollectChildWatches(
-      const std::string& parent);
+      const std::string& parent) REQUIRES(mu_);
   static std::string ParentOf(const std::string& path);
-  bool HasChildrenLocked(const std::string& path) const;
+  bool HasChildrenLocked(const std::string& path) const REQUIRES(mu_);
   Status DeleteLocked(
       const std::string& path,
-      std::vector<std::pair<WatchCallback, std::string>>* fired);
+      std::vector<std::pair<WatchCallback, std::string>>* fired)
+      REQUIRES(mu_);
 
   mutable OrderedMutex mu_{lockrank::kCoordZnodes, "coord.znodes"};
-  std::map<std::string, Znode> nodes_;  // sorted: children via prefix range
-  std::map<std::string, std::vector<WatchCallback>> node_watches_;
-  std::map<std::string, std::vector<WatchCallback>> child_watches_;
-  std::set<SessionId> sessions_;
-  SessionId next_session_ = 1;
-  uint64_t root_sequence_counter_ = 0;  // sequence numbers for "/" children
+  std::map<std::string, Znode> nodes_
+      GUARDED_BY(mu_);  // sorted: children via prefix range
+  std::map<std::string, std::vector<WatchCallback>> node_watches_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::vector<WatchCallback>> child_watches_
+      GUARDED_BY(mu_);
+  std::set<SessionId> sessions_ GUARDED_BY(mu_);
+  SessionId next_session_ GUARDED_BY(mu_) = 1;
+  uint64_t root_sequence_counter_ GUARDED_BY(mu_) =
+      0;  // sequence numbers for "/" children
 };
 
 }  // namespace logbase::coord

@@ -46,7 +46,7 @@ Status DataNode::StoreBlockData(BlockId block, uint64_t offset,
                                 const Slice& data) {
   if (!alive()) return Status::Unavailable("data node is down");
   if (ConsumeInjectedError()) return Status::IOError("injected disk fault");
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   std::string& stored = blocks_[block];
   if (offset != stored.size()) {
     return Status::InvalidArgument("non-contiguous block append");
@@ -71,7 +71,7 @@ Result<std::string> DataNode::ReadBlock(BlockId block, uint64_t offset,
   if (ConsumeInjectedError()) return Status::IOError("injected disk fault");
   std::string out;
   {
-    std::lock_guard<OrderedMutex> l(mu_);
+    MutexLock l(mu_);
     auto it = blocks_.find(block);
     if (it == blocks_.end()) return Status::NotFound("block not on this node");
     const std::string& stored = it->second;
@@ -85,25 +85,25 @@ Result<std::string> DataNode::ReadBlock(BlockId block, uint64_t offset,
 }
 
 Status DataNode::DeleteBlock(BlockId block) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   blocks_.erase(block);
   return Status::OK();
 }
 
 bool DataNode::HasBlock(BlockId block) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return blocks_.count(block) > 0;
 }
 
 Result<uint64_t> DataNode::BlockSize(BlockId block) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = blocks_.find(block);
   if (it == blocks_.end()) return Status::NotFound("block not on this node");
   return static_cast<uint64_t>(it->second.size());
 }
 
 std::vector<BlockId> DataNode::ListBlocks() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   std::vector<BlockId> ids;
   ids.reserve(blocks_.size());
   for (const auto& [id, data] : blocks_) ids.push_back(id);
@@ -111,7 +111,7 @@ std::vector<BlockId> DataNode::ListBlocks() const {
 }
 
 uint64_t DataNode::used_bytes() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   uint64_t total = 0;
   for (const auto& [id, data] : blocks_) total += data.size();
   return total;

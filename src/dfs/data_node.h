@@ -81,7 +81,7 @@ class DataNode {
   // Mutable: reads charge disk costs too.
   mutable sim::DiskModel disk_;
   mutable OrderedMutex mu_{lockrank::kDfsDataNode, "dfs.data"};
-  std::unordered_map<BlockId, std::string> blocks_;
+  std::unordered_map<BlockId, std::string> blocks_ GUARDED_BY(mu_);
 };
 
 }  // namespace logbase::dfs

@@ -10,7 +10,7 @@ NameNode::NameNode(std::vector<int> racks, int replication)
     : racks_(std::move(racks)), replication_(replication) {}
 
 Status NameNode::CreateFile(const std::string& path) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto [it, inserted] = files_.try_emplace(path);
   if (!inserted) return Status::InvalidArgument("file exists: " + path);
   return Status::OK();
@@ -83,7 +83,7 @@ Result<BlockInfo> NameNode::AllocateBlock(const std::string& path,
       return Status::Unavailable("injected allocate failure");
     }
   }
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   BlockInfo info;
@@ -101,7 +101,7 @@ Result<BlockInfo> NameNode::AllocateBlock(const std::string& path,
 
 Status NameNode::SealBlock(const std::string& path, BlockId block,
                            uint64_t size) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   for (BlockInfo& b : it->second.blocks) {
@@ -115,14 +115,14 @@ Status NameNode::SealBlock(const std::string& path, BlockId block,
 
 Result<std::vector<BlockInfo>> NameNode::GetBlocks(
     const std::string& path) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   return it->second.blocks;
 }
 
 Result<uint64_t> NameNode::FileSize(const std::string& path) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   uint64_t total = 0;
@@ -131,12 +131,12 @@ Result<uint64_t> NameNode::FileSize(const std::string& path) const {
 }
 
 bool NameNode::Exists(const std::string& path) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return files_.count(path) > 0;
 }
 
 Status NameNode::Rename(const std::string& from, const std::string& to) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = files_.find(from);
   if (it == files_.end()) return Status::NotFound(from);
   files_[to] = std::move(it->second);
@@ -145,7 +145,7 @@ Status NameNode::Rename(const std::string& from, const std::string& to) {
 }
 
 Result<std::vector<BlockInfo>> NameNode::DeleteFile(const std::string& path) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   std::vector<BlockInfo> blocks = std::move(it->second.blocks);
@@ -155,7 +155,7 @@ Result<std::vector<BlockInfo>> NameNode::DeleteFile(const std::string& path) {
 
 Result<std::vector<std::string>> NameNode::List(
     const std::string& prefix) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   std::vector<std::string> names;
   for (const auto& [path, inode] : files_) {
     if (Slice(path).starts_with(prefix)) names.push_back(path);
@@ -165,7 +165,7 @@ Result<std::vector<std::string>> NameNode::List(
 
 std::vector<NameNode::RereplicationTask> NameNode::PlanRereplication(
     int dead_node, const std::vector<bool>& alive) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   std::vector<RereplicationTask> tasks;
   const int n = static_cast<int>(racks_.size());
   for (auto& [path, inode] : files_) {
@@ -203,7 +203,7 @@ std::vector<NameNode::RereplicationTask> NameNode::PlanRereplication(
 std::vector<NameNode::RereplicationTask> NameNode::PlanUnderReplicated(
     const std::vector<bool>& alive,
     const std::function<bool(const BlockInfo&, int)>& replica_complete) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   std::vector<RereplicationTask> tasks;
   const int n = static_cast<int>(racks_.size());
   int alive_nodes = 0;
@@ -260,7 +260,7 @@ std::vector<NameNode::RereplicationTask> NameNode::PlanUnderReplicated(
 }
 
 Status NameNode::AddReplica(const std::string& path, BlockId block, int node) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   for (BlockInfo& b : it->second.blocks) {

@@ -98,16 +98,17 @@ class NameNode {
     std::vector<BlockInfo> blocks;
   };
 
-  /// Picks replica nodes per the rack-aware policy. Requires mu_ held.
+  /// Picks replica nodes per the rack-aware policy.
   std::vector<int> PlaceReplicas(int writer_node,
-                                 const std::vector<bool>& alive);
+                                 const std::vector<bool>& alive)
+      REQUIRES(mu_);
 
   const std::vector<int> racks_;
   const int replication_;
   mutable OrderedMutex mu_{lockrank::kDfsNameNode, "dfs.name"};
-  std::map<std::string, Inode> files_;
-  BlockId next_block_id_ = 1;
-  Random rnd_{12345};
+  std::map<std::string, Inode> files_ GUARDED_BY(mu_);
+  BlockId next_block_id_ GUARDED_BY(mu_) = 1;
+  Random rnd_ GUARDED_BY(mu_){12345};
   std::atomic<int> injected_allocate_failures_{0};
 };
 

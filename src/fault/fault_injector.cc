@@ -249,7 +249,7 @@ Result<int> FaultInjector::AdvanceTo(sim::VirtualTime now) {
   for (;;) {
     FaultEvent event;
     {
-      std::lock_guard<OrderedMutex> l(mu_);
+      MutexLock l(mu_);
       if (next_ >= events_.size() || events_[next_].at > now) break;
       event = events_[next_++];
     }
@@ -257,7 +257,7 @@ Result<int> FaultInjector::AdvanceTo(sim::VirtualTime now) {
     // themselves run transfers that consult Reachable().
     Status s = Apply(event);
     {
-      std::lock_guard<OrderedMutex> l(mu_);
+      MutexLock l(mu_);
       delivered_.push_back(event.ToString());
     }
     InjectedEvents()->Add();
@@ -273,7 +273,7 @@ Result<int> FaultInjector::FireAll() {
 }
 
 size_t FaultInjector::pending() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return events_.size() - next_;
 }
 
@@ -288,21 +288,21 @@ Status FaultInjector::Apply(const FaultEvent& event) {
       LOGBASE_RETURN_NOT_OK(need(targets_.crash_server != nullptr));
       targets_.crash_server(event.node);
       {
-        std::lock_guard<OrderedMutex> l(mu_);
+        MutexLock l(mu_);
         crashed_servers_.insert(event.node);
       }
       return Status::OK();
     case FaultKind::kRestartServer: {
       LOGBASE_RETURN_NOT_OK(need(targets_.restart_server != nullptr));
       LOGBASE_RETURN_NOT_OK(targets_.restart_server(event.node));
-      std::lock_guard<OrderedMutex> l(mu_);
+      MutexLock l(mu_);
       crashed_servers_.erase(event.node);
       return Status::OK();
     }
     case FaultKind::kKillNode: {
       LOGBASE_RETURN_NOT_OK(need(targets_.kill_node != nullptr));
       LOGBASE_RETURN_NOT_OK(targets_.kill_node(event.node));
-      std::lock_guard<OrderedMutex> l(mu_);
+      MutexLock l(mu_);
       dead_nodes_.insert(event.node);
       crashed_servers_.erase(event.node);
       return Status::OK();
@@ -310,7 +310,7 @@ Status FaultInjector::Apply(const FaultEvent& event) {
     case FaultKind::kRestartDataNode: {
       LOGBASE_RETURN_NOT_OK(need(targets_.restart_data_node != nullptr));
       targets_.restart_data_node(event.node);
-      std::lock_guard<OrderedMutex> l(mu_);
+      MutexLock l(mu_);
       dead_nodes_.erase(event.node);
       return Status::OK();
     }
@@ -332,14 +332,14 @@ Status FaultInjector::Apply(const FaultEvent& event) {
       targets_.inject_meta_errors(static_cast<int>(event.param));
       return Status::OK();
     case FaultKind::kPartitionNodes: {
-      std::lock_guard<OrderedMutex> l(mu_);
+      MutexLock l(mu_);
       BlockPairLocked(event.node, event.other);
       InjectedPartitions()->Add();
       return Status::OK();
     }
     case FaultKind::kPartitionRacks: {
       LOGBASE_RETURN_NOT_OK(need(targets_.rack_of != nullptr));
-      std::lock_guard<OrderedMutex> l(mu_);
+      MutexLock l(mu_);
       for (int i = 0; i < targets_.num_nodes; i++) {
         for (int j = 0; j < targets_.num_nodes; j++) {
           if (targets_.rack_of(i) == event.node &&
@@ -352,7 +352,7 @@ Status FaultInjector::Apply(const FaultEvent& event) {
       return Status::OK();
     }
     case FaultKind::kHealPartition: {
-      std::lock_guard<OrderedMutex> l(mu_);
+      MutexLock l(mu_);
       blocked_.clear();
       return Status::OK();
     }
@@ -370,14 +370,14 @@ Status FaultInjector::Apply(const FaultEvent& event) {
     case FaultKind::kCrashMaster: {
       LOGBASE_RETURN_NOT_OK(need(targets_.crash_master != nullptr));
       targets_.crash_master(event.node);
-      std::lock_guard<OrderedMutex> l(mu_);
+      MutexLock l(mu_);
       crashed_masters_.insert(event.node);
       return Status::OK();
     }
     case FaultKind::kRestartMaster: {
       LOGBASE_RETURN_NOT_OK(need(targets_.restart_master != nullptr));
       LOGBASE_RETURN_NOT_OK(targets_.restart_master(event.node));
-      std::lock_guard<OrderedMutex> l(mu_);
+      MutexLock l(mu_);
       crashed_masters_.erase(event.node);
       return Status::OK();
     }
@@ -395,7 +395,7 @@ bool FaultInjector::Reachable(int src, int dst) {
       return false;
     }
   }
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return blocked_.count(PairKey(src, dst)) == 0;
 }
 
@@ -406,7 +406,7 @@ sim::VirtualTime FaultInjector::ExtraDelayUs(int src, int dst) {
 }
 
 void FaultInjector::HealNetwork() {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   blocked_.clear();
   extra_delay_us_.store(0, std::memory_order_relaxed);
   drop_ppm_.store(0, std::memory_order_relaxed);
@@ -429,27 +429,27 @@ void FaultInjector::ClearDiskFaults() {
 }
 
 bool FaultInjector::IsNodeDead(int node) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return dead_nodes_.count(node) > 0;
 }
 
 std::vector<int> FaultInjector::DeadNodes() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return {dead_nodes_.begin(), dead_nodes_.end()};
 }
 
 std::vector<int> FaultInjector::CrashedServers() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return {crashed_servers_.begin(), crashed_servers_.end()};
 }
 
 std::vector<int> FaultInjector::CrashedMasters() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return {crashed_masters_.begin(), crashed_masters_.end()};
 }
 
 std::vector<std::string> FaultInjector::DeliveredLog() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return delivered_;
 }
 

@@ -176,21 +176,22 @@ class FaultInjector : public sim::NetworkFaultPolicy {
   const std::vector<FaultEvent>& schedule() const { return events_; }
 
  private:
-  Status Apply(const FaultEvent& event);
+  Status Apply(const FaultEvent& event) EXCLUDES(mu_);
   static uint64_t PairKey(int a, int b);
-  void BlockPairLocked(int a, int b);
+  void BlockPairLocked(int a, int b) REQUIRES(mu_);
 
+  // Fixed after construction; target callbacks fire outside mu_ by design.
   FaultTargets targets_;
-  std::vector<FaultEvent> events_;  // sorted schedule
+  std::vector<FaultEvent> events_;  // sorted schedule, fixed after ctor
   const uint64_t seed_;
 
   mutable OrderedMutex mu_{lockrank::kFaultState, "fault.state"};
-  size_t next_ = 0;                // next event to fire; under mu_
-  std::set<uint64_t> blocked_;     // partitioned node pairs; under mu_
-  std::set<int> dead_nodes_;       // under mu_
-  std::set<int> crashed_servers_;  // under mu_
-  std::set<int> crashed_masters_;  // under mu_
-  std::vector<std::string> delivered_;  // under mu_
+  size_t next_ GUARDED_BY(mu_) = 0;            // next event to fire
+  std::set<uint64_t> blocked_ GUARDED_BY(mu_);  // partitioned node pairs
+  std::set<int> dead_nodes_ GUARDED_BY(mu_);
+  std::set<int> crashed_servers_ GUARDED_BY(mu_);
+  std::set<int> crashed_masters_ GUARDED_BY(mu_);
+  std::vector<std::string> delivered_ GUARDED_BY(mu_);
 
   std::atomic<sim::VirtualTime> extra_delay_us_{0};
   std::atomic<int> drop_ppm_{0};

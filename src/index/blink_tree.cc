@@ -88,7 +88,7 @@ BlinkTree::~BlinkTree() = default;
 BlinkTree::Node* BlinkTree::NewNode(bool is_leaf, int level) {
   auto node = std::make_unique<Node>(is_leaf, level);
   Node* raw = node.get();
-  std::lock_guard<OrderedMutex> l(alloc_mu_);
+  MutexLock l(alloc_mu_);
   all_nodes_.push_back(std::move(node));
   return raw;
 }
@@ -195,7 +195,7 @@ void BlinkTree::InsertIntoParent(std::vector<Node*>* path, int child_level,
   }
   if (parent == nullptr) {
     // The split node may have been the root: grow the tree.
-    std::lock_guard<OrderedMutex> l(root_change_mu_);
+    MutexLock l(root_change_mu_);
     Node* root = root_.load(std::memory_order_acquire);
     if (root->level == child_level) {
       // The split node is the (old) root — but under Lehman–Yao the root

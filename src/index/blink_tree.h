@@ -75,11 +75,15 @@ class BlinkTree : public MultiVersionIndex {
   Node* FindParentAtLevel(const CompositeKey& key, int level) const;
 
   std::atomic<Node*> root_;
+  // Serializes root replacement (the root_ atomic itself is lock-free to
+  // read; the mutex only prevents two concurrent root splits).
   mutable OrderedMutex root_change_mu_{lockrank::kBlinkRoot,
                                      "index.blink.root"};
   mutable OrderedMutex alloc_mu_{lockrank::kBlinkAlloc,
                                "index.blink.alloc"};
-  std::vector<std::unique_ptr<Node>> all_nodes_;
+  // Node ownership ledger (nodes are never reclaimed while the tree lives);
+  // traversals use raw Node* without this lock by design.
+  std::vector<std::unique_ptr<Node>> all_nodes_ GUARDED_BY(alloc_mu_);
   std::atomic<size_t> num_entries_{0};
   std::atomic<size_t> memory_bytes_{0};
 };

@@ -130,6 +130,10 @@ class AppendQueue {
   const BatchSink sink_;
   const AppendQueueOptions options_;
 
+  // Everything below is guarded by the owning LogWriter's mu_ (external
+  // synchronization, see the file comment). The thread-safety analysis
+  // cannot name a foreign capability here; the coverage proof lives in
+  // LogWriter, whose annotated methods hold mu_ around every queue call.
   uint64_t next_seq_ = 1;
   SealedBatch open_;
   bool open_active_ = false;

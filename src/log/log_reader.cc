@@ -18,7 +18,7 @@ LogReader::LogReader(FileSystem* fs, std::string dir, uint32_t instance)
     : fs_(fs), dir_(std::move(dir)), instance_(instance) {}
 
 Result<RandomAccessFile*> LogReader::OpenSegment(uint32_t segment) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = open_segments_.find(segment);
   if (it != open_segments_.end()) return it->second.get();
   auto file = fs_->NewRandomAccessFile(SegmentFileName(dir_, segment));

@@ -86,7 +86,11 @@ class LogReader {
   const std::string dir_;
   const uint32_t instance_;
   OrderedMutex mu_{lockrank::kLogReader, "log.reader"};
-  std::map<uint32_t, std::unique_ptr<RandomAccessFile>> open_segments_;
+  // Values are stable: an opened segment file lives for the reader's
+  // lifetime, so callers use the returned raw pointer outside the lock
+  // (RandomAccessFile is safe for concurrent readers).
+  std::map<uint32_t, std::unique_ptr<RandomAccessFile>> open_segments_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace logbase::log

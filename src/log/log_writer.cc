@@ -45,20 +45,20 @@ LogWriter::LogWriter(FileSystem* fs, std::string dir, uint32_t instance,
       queue_options_(queue_options) {
   queue_ = std::make_unique<AppendQueue>(
       [this](const AppendQueue::SealedBatch& batch) {
-        return FlushSealedBatchLocked(batch);
+        return SinkEntry(batch);
       },
       queue_options_);
 }
 
 Status LogWriter::Open(uint64_t first_lsn) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   next_lsn_ = first_lsn;
   // Drop any submissions queued before a crash/restart: they were never
   // acked, and flushing them into the fresh segment would resurrect writes
   // whose callers already saw the server die.
   queue_ = std::make_unique<AppendQueue>(
       [this](const AppendQueue::SealedBatch& batch) {
-        return FlushSealedBatchLocked(batch);
+        return SinkEntry(batch);
       },
       queue_options_);
   // Find the highest existing segment and continue after it: old segments
@@ -97,7 +97,7 @@ Status LogWriter::RollSegmentLocked() {
 }
 
 Status LogWriter::Roll() {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   if (file_ == nullptr) return Status::InvalidArgument("log writer not open");
   LOGBASE_RETURN_NOT_OK(queue_->Flush());
   return RollSegmentLocked();
@@ -123,7 +123,7 @@ Status LogWriter::AppendBatch(std::vector<LogRecord>* records,
 Result<AppendTicket> LogWriter::Submit(std::vector<LogRecord>* records,
                                        AckMode ack) {
   obs::Span span("log.append.submit");
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   if (file_ == nullptr) return Status::InvalidArgument("log writer not open");
   if (records->empty()) return AppendTicket{};
   static obs::HistogramMetric* batch_records =
@@ -147,7 +147,7 @@ Status LogWriter::Wait(const AppendTicket& ticket, std::vector<LogPtr>* ptrs) {
   obs::Span span("log.append");
   if (ptrs != nullptr) ptrs->clear();
   if (!ticket.valid()) return Status::OK();
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   sim::VirtualTime ack_us = 0;
   Status status = queue_->Wait(ticket, ptrs, &ack_us);
   QueueDepthGauge()->Set(static_cast<int64_t>(queue_->pending_records()));
@@ -158,7 +158,7 @@ Status LogWriter::Wait(const AppendTicket& ticket, std::vector<LogPtr>* ptrs) {
 }
 
 Status LogWriter::Flush() {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   Status status = queue_->Flush();
   QueueDepthGauge()->Set(static_cast<int64_t>(queue_->pending_records()));
   return status;
@@ -235,22 +235,22 @@ AppendQueue::FlushOutcome LogWriter::FlushSealedBatchLocked(
 }
 
 LogPosition LogWriter::Position() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return LogPosition{segment_, segment_offset_};
 }
 
 uint64_t LogWriter::next_lsn() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return next_lsn_;
 }
 
 uint64_t LogWriter::bytes_written() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return bytes_written_;
 }
 
 size_t LogWriter::pending_records() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return queue_->pending_records();
 }
 

@@ -56,50 +56,60 @@ class LogWriter {
   /// after the highest (used both at first start and after recovery).
   /// `first_lsn` seeds LSN assignment (paper: LSN restarts from the last
   /// checkpointed LSN).
-  Status Open(uint64_t first_lsn = 1);
+  Status Open(uint64_t first_lsn = 1) EXCLUDES(mu_);
 
   /// Appends one record (assigning its LSN) and waits for durability.
-  Result<LogPtr> Append(LogRecord record, AckMode ack = AckMode::kQuorum);
+  Result<LogPtr> Append(LogRecord record, AckMode ack = AckMode::kQuorum)
+      EXCLUDES(mu_);
 
   /// Group commit: assigns LSNs, coalesces the records with any other
   /// pending submissions and waits for the batch's durability ack. ptrs[i]
   /// locates records[i].
   Status AppendBatch(std::vector<LogRecord>* records,
                      std::vector<LogPtr>* ptrs,
-                     AckMode ack = AckMode::kQuorum);
+                     AckMode ack = AckMode::kQuorum) EXCLUDES(mu_);
 
   /// Async half of group commit: stamps LSNs, encodes the records into the
   /// open batch and returns without waiting for durability. The records'
   /// pointers (and the durability ack) arrive at Wait().
   Result<AppendTicket> Submit(std::vector<LogRecord>* records,
-                              AckMode ack = AckMode::kQuorum);
+                              AckMode ack = AckMode::kQuorum) EXCLUDES(mu_);
 
   /// Completes a Submit: flushes the ticket's batch if it is still open
   /// (group-commit leader), advances the caller's virtual clock to the
   /// batch's durability ack and fills `ptrs` (one per submitted record).
-  Status Wait(const AppendTicket& ticket, std::vector<LogPtr>* ptrs);
+  Status Wait(const AppendTicket& ticket, std::vector<LogPtr>* ptrs)
+      EXCLUDES(mu_);
 
   /// Seals + flushes the open batch (durability barrier before checkpoints
   /// and rolls). Pending waiters still collect their tickets afterwards.
-  Status Flush();
+  Status Flush() EXCLUDES(mu_);
 
   /// Closes the current segment and starts a new one (compaction freezes the
   /// input set this way). Flushes the open batch first.
-  Status Roll();
+  Status Roll() EXCLUDES(mu_);
 
   /// The tail position (next batch lands here); excludes unflushed
   /// submissions — call Flush() first for a durable-tail barrier.
-  LogPosition Position() const;
+  LogPosition Position() const EXCLUDES(mu_);
 
-  uint64_t next_lsn() const;
-  uint64_t bytes_written() const;
+  uint64_t next_lsn() const EXCLUDES(mu_);
+  uint64_t bytes_written() const EXCLUDES(mu_);
   /// Records waiting in the open (unflushed) batch.
-  size_t pending_records() const;
+  size_t pending_records() const EXCLUDES(mu_);
 
  private:
-  Status RollSegmentLocked();
+  Status RollSegmentLocked() REQUIRES(mu_);
   AppendQueue::FlushOutcome FlushSealedBatchLocked(
-      const AppendQueue::SealedBatch& batch);
+      const AppendQueue::SealedBatch& batch) REQUIRES(mu_);
+  /// Sink trampoline handed to the AppendQueue. Flushes only ever run
+  /// inside queue_->Submit/Wait/Flush, which this writer invokes solely
+  /// while holding mu_ — but that proof crosses the std::function callback
+  /// boundary, which the thread-safety analysis cannot follow.
+  AppendQueue::FlushOutcome SinkEntry(const AppendQueue::SealedBatch& batch)
+      NO_THREAD_SAFETY_ANALYSIS {
+    return FlushSealedBatchLocked(batch);
+  }
 
   FileSystem* const fs_;
   const std::string dir_;
@@ -108,12 +118,12 @@ class LogWriter {
   const AppendQueueOptions queue_options_;
 
   mutable OrderedMutex mu_{lockrank::kLogWriter, "log.writer"};
-  std::unique_ptr<WritableFile> file_;
-  std::unique_ptr<AppendQueue> queue_;
-  uint32_t segment_ = 0;
-  uint64_t segment_offset_ = 0;
-  uint64_t next_lsn_ = 1;
-  uint64_t bytes_written_ = 0;
+  std::unique_ptr<WritableFile> file_ GUARDED_BY(mu_);
+  std::unique_ptr<AppendQueue> queue_ GUARDED_BY(mu_);
+  uint32_t segment_ GUARDED_BY(mu_) = 0;
+  uint64_t segment_offset_ GUARDED_BY(mu_) = 0;
+  uint64_t next_lsn_ GUARDED_BY(mu_) = 1;
+  uint64_t bytes_written_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace logbase::log

@@ -51,7 +51,7 @@ std::string LsmTree::TableFileName(uint64_t number) const {
 }
 
 size_t LsmTree::MemtableBytes() const {
-  std::lock_guard<OrderedMutex> l(write_mu_);
+  MutexLock l(write_mu_);
   return mem_->ApproximateMemoryUsage();
 }
 
@@ -65,7 +65,7 @@ Status LsmTree::Delete(const Slice& key) {
 
 Status LsmTree::WriteEntry(ValueType type, const Slice& key,
                            const Slice& value) {
-  std::lock_guard<OrderedMutex> l(write_mu_);
+  MutexLock l(write_mu_);
   uint64_t seq = sequence_.fetch_add(1, std::memory_order_acq_rel) + 1;
   mem_->Add(seq, type, key, value);
   sim::ChargeCpu(sim::costs::kIndexInsertUs);
@@ -82,7 +82,7 @@ Status LsmTree::WriteEntry(ValueType type, const Slice& key,
 }
 
 Status LsmTree::FlushMemTable() {
-  std::lock_guard<OrderedMutex> l(write_mu_);
+  MutexLock l(write_mu_);
   return FlushMemTableLocked();
 }
 
@@ -170,7 +170,7 @@ Result<std::string> LsmTree::Get(const Slice& key, uint64_t snapshot) const {
   // Memtable first (holds the newest data).
   std::shared_ptr<MemTable> mem;
   {
-    std::lock_guard<OrderedMutex> l(write_mu_);
+    MutexLock l(write_mu_);
     mem = mem_;
   }
   switch (mem->Get(key, snapshot, &value)) {
@@ -296,7 +296,7 @@ class DbIter : public KvIterator {
 std::unique_ptr<KvIterator> LsmTree::NewIterator() const {
   std::vector<std::unique_ptr<KvIterator>> children;
   {
-    std::lock_guard<OrderedMutex> l(write_mu_);
+    MutexLock l(write_mu_);
     children.push_back(mem_->NewIterator());
   }
   for (int level = 0; level < versions_->num_levels(); level++) {
@@ -421,7 +421,7 @@ Status LsmTree::CompactOnce(bool* did_work) {
 }
 
 Status LsmTree::CompactUntilQuiet() {
-  std::lock_guard<OrderedMutex> l(write_mu_);
+  MutexLock l(write_mu_);
   bool did_work = true;
   while (did_work) {
     LOGBASE_RETURN_NOT_OK(CompactOnce(&did_work));

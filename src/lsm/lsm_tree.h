@@ -87,8 +87,9 @@ class LsmTree {
  private:
   LsmTree(LsmOptions options, FileSystem* fs, std::string dir);
 
-  Status WriteEntry(ValueType type, const Slice& key, const Slice& value);
-  Status FlushMemTableLocked();  // requires write_mu_ held
+  Status WriteEntry(ValueType type, const Slice& key, const Slice& value)
+      EXCLUDES(write_mu_);
+  Status FlushMemTableLocked() REQUIRES(write_mu_);
   Status CompactOnce(bool* did_work);
   /// Drains `iter` (internal keys, merged order) into <= max-size output
   /// tables, dropping shadowed versions and, when `drop_tombstones`,
@@ -104,11 +105,16 @@ class LsmTree {
   const LsmOptions options_;
   FileSystem* const fs_;
   const std::string dir_;
+  // Both fixed once the constructor body finishes (the table options are
+  // patched there to point at internal_comparator_).
   InternalKeyComparator internal_comparator_;
   sstable::TableOptions internal_table_options_;
 
   mutable OrderedMutex write_mu_{lockrank::kLsmWrite, "lsm.write"};  // serializes writers, flush, compaction
-  std::shared_ptr<MemTable> mem_;
+  // Readers copy the shared_ptr under write_mu_ and search the immutable
+  // snapshot outside it (MemTable is safe for concurrent readers).
+  std::shared_ptr<MemTable> mem_ GUARDED_BY(write_mu_);
+  // Set once in the constructor; VersionSet is internally synchronized.
   std::unique_ptr<VersionSet> versions_;
   std::atomic<uint64_t> sequence_{0};
   std::atomic<uint64_t> next_file_number_{1};

@@ -6,7 +6,7 @@ namespace logbase::lsm {
 
 VersionSet::VersionSet(const InternalKeyComparator* comparator,
                        int num_levels)
-    : comparator_(comparator), levels_(num_levels) {}
+    : comparator_(comparator), num_levels_(num_levels), levels_(num_levels) {}
 
 void VersionSet::SortLevel(int level) {
   if (level == 0) {
@@ -24,7 +24,7 @@ void VersionSet::SortLevel(int level) {
 }
 
 void VersionSet::AddFile(int level, std::shared_ptr<FileMeta> file) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   levels_[level].push_back(std::move(file));
   SortLevel(level);
 }
@@ -32,7 +32,7 @@ void VersionSet::AddFile(int level, std::shared_ptr<FileMeta> file) {
 void VersionSet::ApplyCompaction(
     int level, const std::vector<uint64_t>& removed_inputs,
     std::vector<std::shared_ptr<FileMeta>> outputs) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto remove_from = [&removed_inputs](
                          std::vector<std::shared_ptr<FileMeta>>* files) {
     files->erase(
@@ -58,13 +58,13 @@ void VersionSet::ApplyCompaction(
 
 std::vector<std::shared_ptr<FileMeta>> VersionSet::LevelFiles(
     int level) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return levels_[level];
 }
 
 std::vector<std::shared_ptr<FileMeta>> VersionSet::Overlapping(
     int level, const Slice& begin, const Slice& end) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   std::vector<std::shared_ptr<FileMeta>> result;
   for (const auto& f : levels_[level]) {
     bool before = !end.empty() &&
@@ -77,19 +77,19 @@ std::vector<std::shared_ptr<FileMeta>> VersionSet::Overlapping(
 }
 
 uint64_t VersionSet::LevelBytes(int level) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   uint64_t total = 0;
   for (const auto& f : levels_[level]) total += f->file_size;
   return total;
 }
 
 int VersionSet::LevelFileCount(int level) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return static_cast<int>(levels_[level].size());
 }
 
 uint64_t VersionSet::TotalBytes() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   uint64_t total = 0;
   for (const auto& level : levels_) {
     for (const auto& f : level) total += f->file_size;
@@ -99,7 +99,7 @@ uint64_t VersionSet::TotalBytes() const {
 
 VersionSet::CompactionPick VersionSet::PickCompaction(
     int l0_trigger, uint64_t base_level_bytes) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   // Score each level; pick the worst offender.
   double best_score = 1.0;
   int best_level = -1;
@@ -162,7 +162,7 @@ VersionSet::CompactionPick VersionSet::PickCompaction(
 
 bool VersionSet::IsBottomMost(int level, const Slice& begin,
                               const Slice& end) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   for (int deeper = level + 1; deeper < num_levels(); deeper++) {
     for (const auto& f : levels_[deeper]) {
       bool before = !end.empty() &&
@@ -176,7 +176,7 @@ bool VersionSet::IsBottomMost(int level, const Slice& begin,
 }
 
 std::vector<VersionSet::ManifestEntry> VersionSet::Snapshot() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   std::vector<ManifestEntry> entries;
   for (int level = 0; level < num_levels(); level++) {
     for (const auto& f : levels_[level]) {

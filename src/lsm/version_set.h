@@ -48,7 +48,7 @@ class VersionSet {
                                                      const Slice& begin,
                                                      const Slice& end) const;
 
-  int num_levels() const { return static_cast<int>(levels_.size()); }
+  int num_levels() const { return num_levels_; }
   uint64_t LevelBytes(int level) const;
   int LevelFileCount(int level) const;
   uint64_t TotalBytes() const;
@@ -75,11 +75,12 @@ class VersionSet {
   std::vector<ManifestEntry> Snapshot() const;
 
  private:
-  void SortLevel(int level);  // requires mu_ held
+  void SortLevel(int level) REQUIRES(mu_);
 
   const InternalKeyComparator* comparator_;
+  const int num_levels_;  // levels_ never grows or shrinks after construction
   mutable OrderedMutex mu_{lockrank::kLsmVersions, "lsm.versions"};
-  std::vector<std::vector<std::shared_ptr<FileMeta>>> levels_;
+  std::vector<std::vector<std::shared_ptr<FileMeta>>> levels_ GUARDED_BY(mu_);
 };
 
 }  // namespace logbase::lsm

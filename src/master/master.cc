@@ -42,7 +42,7 @@ Status Master::Stop() {
   running_.store(false, std::memory_order_release);
   if (election_ != nullptr) election_->Resign();
   coord_->CloseSession(session_);
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   promoted_ = false;
   return Status::OK();
 }
@@ -54,7 +54,7 @@ void Master::Crash() {
   // node) vanish, which is what lets a standby take over.
   coord_->CloseSession(session_);
   election_.reset();
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   promoted_ = false;
   tables_.clear();
   split_keys_.clear();
@@ -66,7 +66,7 @@ Result<bool> Master::TryPromote() {
   if (!running() || election_ == nullptr || !election_->IsLeader()) {
     return false;
   }
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   if (promoted_) return true;
   LOGBASE_RETURN_NOT_OK(RecoverMetadataLocked());
   LOGBASE_RETURN_NOT_OK(ReconcileIntentsLocked());
@@ -140,7 +140,7 @@ void Master::DropReplicasLocked(const std::string& uid) {
   auto it = assignments_.find(uid);
   if (it == assignments_.end() || it->second.replicas.empty()) return;
   for (int replica_id : it->second.replicas) {
-    replica::ReplicaServer* rep = ResolveReplica(replica_id);
+    replica::ReplicaServer* rep = ResolveReplicaLocked(replica_id);
     // Best-effort: a down replica already lost the attachment with the rest
     // of its soft state.
     if (rep != nullptr && rep->running()) (void)rep->RemoveTablet(uid);
@@ -253,7 +253,7 @@ Result<tablet::TableSchema> Master::CreateTable(
     const std::string& name, const std::vector<std::string>& columns,
     const std::vector<std::vector<std::string>>& column_groups,
     const std::vector<std::string>& split_keys) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   if (tables_.count(name) > 0) {
     return Status::InvalidArgument("table exists: " + name);
   }
@@ -310,7 +310,7 @@ Result<tablet::TableSchema> Master::CreateTable(
 
 Status Master::AddColumnGroup(const std::string& table,
                               const std::vector<std::string>& columns) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound(table);
   std::vector<int> live = LiveServers();
@@ -356,7 +356,7 @@ Status Master::AddColumnGroup(const std::string& table,
 }
 
 Result<tablet::TableSchema> Master::GetTable(const std::string& name) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound(name);
   return it->second;
@@ -365,7 +365,7 @@ Result<tablet::TableSchema> Master::GetTable(const std::string& name) const {
 Result<TabletLocation> Master::Locate(const std::string& table,
                                       uint32_t column_group,
                                       const Slice& key) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound(table);
   // Containment scan, not split-key arithmetic: after a tablet split the
@@ -386,7 +386,7 @@ Result<TabletLocation> Master::Locate(const std::string& table,
 
 Result<std::vector<TabletLocation>> Master::LocateAll(
     const std::string& table, uint32_t column_group) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound(table);
   std::vector<TabletLocation> locations;
@@ -407,7 +407,7 @@ Result<std::vector<TabletLocation>> Master::LocateAll(
 }
 
 Status Master::HandleServerFailure(int dead_server) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   std::vector<int> live = LiveServers();
   live.erase(std::remove(live.begin(), live.end(), dead_server), live.end());
   if (live.empty()) return Status::Unavailable("no live servers to adopt");
@@ -456,7 +456,7 @@ Status Master::HandleServerFailure(int dead_server) {
 Result<int> Master::DetectAndHandleFailures() {
   std::vector<int> dead;
   {
-    std::lock_guard<OrderedMutex> l(mu_);
+    MutexLock l(mu_);
     std::vector<int> live = LiveServers();
     for (const auto& [uid, location] : assignments_) {
       if (std::find(live.begin(), live.end(), location.server_id) ==
@@ -474,12 +474,12 @@ Result<int> Master::DetectAndHandleFailures() {
 }
 
 std::map<std::string, TabletLocation> Master::AssignmentsSnapshot() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return assignments_;
 }
 
 Result<TabletLocation> Master::GetAssignment(const std::string& uid) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = assignments_.find(uid);
   if (it == assignments_.end()) {
     return Status::NotFound("tablet not assigned: " + uid);
@@ -488,12 +488,12 @@ Result<TabletLocation> Master::GetAssignment(const std::string& uid) const {
 }
 
 void Master::set_load_hint(std::function<double(int)> hint) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   load_hint_ = std::move(hint);
 }
 
 Status Master::CommitMigration(const std::string& uid, int to) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   if (!promoted_) return Status::Unavailable("not the active master");
   auto it = assignments_.find(uid);
   if (it == assignments_.end()) {
@@ -509,7 +509,7 @@ Status Master::CommitMigration(const std::string& uid, int to) {
 Status Master::CommitSplit(const std::string& parent_uid,
                            const TabletLocation& left,
                            const TabletLocation& right) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   if (!promoted_) return Status::Unavailable("not the active master");
   if (assignments_.count(parent_uid) == 0) {
     return Status::NotFound("tablet not assigned: " + parent_uid);
@@ -529,7 +529,7 @@ Status Master::CommitSplit(const std::string& parent_uid,
 Result<std::vector<uint32_t>> Master::AllocateRangeIds(uint32_t table_id,
                                                        uint32_t column_group,
                                                        int count) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   uint32_t next = 0;
   for (const auto& [uid, location] : assignments_) {
     const tablet::TabletDescriptor& d = location.descriptor;
@@ -551,13 +551,13 @@ Result<std::vector<uint32_t>> Master::AllocateRangeIds(uint32_t table_id,
 void Master::SetReplicaFleet(
     std::vector<int> replica_ids,
     std::function<replica::ReplicaServer*(int)> resolver) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   replica_ids_ = std::move(replica_ids);
   replica_resolver_ = std::move(resolver);
 }
 
 Result<int> Master::AddReplica(const std::string& uid) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   if (!promoted_) return Status::Unavailable("not the active master");
   auto it = assignments_.find(uid);
   if (it == assignments_.end()) {
@@ -577,7 +577,7 @@ Result<int> Master::AddReplica(const std::string& uid) {
                   replica_id) != location.replicas.end()) {
       continue;
     }
-    replica::ReplicaServer* rep = ResolveReplica(replica_id);
+    replica::ReplicaServer* rep = ResolveReplicaLocked(replica_id);
     if (rep == nullptr || !rep->running()) continue;
     balance::ServerLoad c;
     c.server_id = replica_id;
@@ -587,7 +587,7 @@ Result<int> Master::AddReplica(const std::string& uid) {
   int chosen = balance::PickLeastLoaded(candidates);
   if (chosen < 0) return Status::Unavailable("no replica available for " + uid);
 
-  replica::ReplicaServer* rep = ResolveReplica(chosen);
+  replica::ReplicaServer* rep = ResolveReplicaLocked(chosen);
   LOGBASE_RETURN_NOT_OK(rep->AddTablet(
       location.descriptor, static_cast<uint32_t>(location.server_id)));
   location.replicas.push_back(chosen);
@@ -598,7 +598,7 @@ Result<int> Master::AddReplica(const std::string& uid) {
 }
 
 Status Master::DropReplicas(const std::string& uid) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   if (!promoted_) return Status::Unavailable("not the active master");
   if (assignments_.count(uid) == 0) {
     return Status::NotFound("tablet not assigned: " + uid);
@@ -608,9 +608,9 @@ Status Master::DropReplicas(const std::string& uid) {
 }
 
 Status Master::ReseedReplica(int replica_id) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   if (!promoted_) return Status::Unavailable("not the active master");
-  replica::ReplicaServer* rep = ResolveReplica(replica_id);
+  replica::ReplicaServer* rep = ResolveReplicaLocked(replica_id);
   if (rep == nullptr || !rep->running()) {
     return Status::Unavailable("replica is down");
   }

@@ -125,11 +125,16 @@ class Master {
   /// live ReplicaServer (nullptr when down). Replicas are compute-only and
   /// never appear in /servers; the master drives attach/detach/reseed.
   void SetReplicaFleet(std::vector<int> replica_ids,
-                       std::function<replica::ReplicaServer*(int)> resolver);
-  replica::ReplicaServer* ResolveReplica(int replica_id) const {
-    return replica_resolver_ ? replica_resolver_(replica_id) : nullptr;
+                       std::function<replica::ReplicaServer*(int)> resolver)
+      EXCLUDES(mu_);
+  replica::ReplicaServer* ResolveReplica(int replica_id) const EXCLUDES(mu_) {
+    MutexLock l(mu_);
+    return ResolveReplicaLocked(replica_id);
   }
-  const std::vector<int>& ReplicaFleet() const { return replica_ids_; }
+  std::vector<int> ReplicaFleet() const EXCLUDES(mu_) {
+    MutexLock l(mu_);
+    return replica_ids_;
+  }
 
   /// Attaches one more read replica to `uid`, picked least-loaded among
   /// running replicas not already serving it. Seeds it from the owner's
@@ -158,46 +163,59 @@ class Master {
 
  private:
   Status AssignTablet(const tablet::TabletDescriptor& descriptor,
-                      int server_id);  // requires mu_ held
+                      int server_id) REQUIRES(mu_);
   /// Placement-aware target choice: fewest assigned tablets (counting the
   /// caller's `planned` but-not-yet-persisted placements), load-hint
-  /// tie-break. Requires mu_ held. -1 when `live` is empty.
+  /// tie-break. -1 when `live` is empty.
   int PickServerForRange(const std::vector<int>& live,
-                         const std::map<int, int>& planned) const;
+                         const std::map<int, int>& planned) const
+      REQUIRES(mu_);
+  replica::ReplicaServer* ResolveReplicaLocked(int replica_id) const
+      REQUIRES(mu_) {
+    return replica_resolver_ ? replica_resolver_(replica_id) : nullptr;
+  }
   /// Rolls surviving migration/split intents forward or back after this
   /// master recovers metadata (the previous active master died mid-
-  /// protocol). Requires mu_ held.
-  Status ReconcileIntentsLocked();
+  /// protocol).
+  Status ReconcileIntentsLocked() REQUIRES(mu_);
 
   // Metadata persistence (znodes under /meta): schemas + split keys under
-  // /meta/tables/<name>, assignments under /meta/assign/<uid>. All require
-  // mu_ held.
-  Status PersistTableLocked(const std::string& name);
-  Status PersistAssignmentLocked(const TabletLocation& location);
-  Status PersistReplicaSetLocked(const std::string& uid);
+  // /meta/tables/<name>, assignments under /meta/assign/<uid>.
+  Status PersistTableLocked(const std::string& name) REQUIRES(mu_);
+  Status PersistAssignmentLocked(const TabletLocation& location)
+      REQUIRES(mu_);
+  Status PersistReplicaSetLocked(const std::string& uid) REQUIRES(mu_);
   /// Detaches `uid`'s replicas and drops the persisted set. Used when the
   /// tablet's log stream changes owner (migration/split/failure), which
-  /// invalidates every replica's tail cursor. Requires mu_ held.
-  void DropReplicasLocked(const std::string& uid);
-  Status RecoverMetadataLocked();
+  /// invalidates every replica's tail cursor.
+  void DropReplicasLocked(const std::string& uid) REQUIRES(mu_);
+  Status RecoverMetadataLocked() REQUIRES(mu_);
 
   coord::CoordinationService* const coord_;
   const int node_;
-  std::function<tablet::TabletServer*(int)> server_resolver_;
+  const std::function<tablet::TabletServer*(int)> server_resolver_;
   const std::vector<int> server_ids_;
+  // Written by Start/Stop/Crash only (the lifecycle is single-threaded);
+  // no data-path thread touches the session or the election handle.
   coord::SessionId session_ = 0;
   std::unique_ptr<coord::MasterElection> election_;
   std::atomic<bool> running_{false};
 
   mutable OrderedMutex mu_{lockrank::kMasterState, "master.state"};
-  bool promoted_ = false;  // leader that has recovered persisted metadata
-  std::map<std::string, tablet::TableSchema> tables_;
-  std::map<std::string, std::vector<std::string>> split_keys_;  // per table
-  std::map<std::string, TabletLocation> assignments_;           // by uid
-  uint32_t next_table_id_ = 1;
-  std::function<double(int)> load_hint_;  // balancer-fed, may be empty
-  std::vector<int> replica_ids_;          // read-replica fleet (may be empty)
-  std::function<replica::ReplicaServer*(int)> replica_resolver_;
+  // Leader that has recovered persisted metadata.
+  bool promoted_ GUARDED_BY(mu_) = false;
+  std::map<std::string, tablet::TableSchema> tables_ GUARDED_BY(mu_);
+  // Per table.
+  std::map<std::string, std::vector<std::string>> split_keys_ GUARDED_BY(mu_);
+  // By uid.
+  std::map<std::string, TabletLocation> assignments_ GUARDED_BY(mu_);
+  uint32_t next_table_id_ GUARDED_BY(mu_) = 1;
+  // Balancer-fed, may be empty.
+  std::function<double(int)> load_hint_ GUARDED_BY(mu_);
+  // Read-replica fleet (may be empty).
+  std::vector<int> replica_ids_ GUARDED_BY(mu_);
+  std::function<replica::ReplicaServer*(int)> replica_resolver_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace logbase::master

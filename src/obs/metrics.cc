@@ -23,7 +23,7 @@ MetricsRegistry::Shard* MetricsRegistry::ShardFor(
 MetricsRegistry::Metric* MetricsRegistry::FindOrCreate(
     const std::string& name, MetricPoint::Kind kind) {
   Shard* shard = ShardFor(name);
-  std::lock_guard<OrderedMutex> l(shard->mu);
+  MutexLock l(shard->mu);
   auto it = shard->metrics.find(name);
   if (it != shard->metrics.end()) {
     if (it->second.kind != kind) {
@@ -63,7 +63,7 @@ HistogramMetric* MetricsRegistry::histogram(const std::string& name) {
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
   for (const Shard& shard : shards_) {
-    std::lock_guard<OrderedMutex> l(shard.mu);
+    MutexLock l(shard.mu);
     for (const auto& [name, metric] : shard.metrics) {
       MetricPoint point;
       point.kind = metric.kind;
@@ -93,7 +93,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 
 void MetricsRegistry::Reset() {
   for (Shard& shard : shards_) {
-    std::lock_guard<OrderedMutex> l(shard.mu);
+    MutexLock l(shard.mu);
     for (auto& [name, metric] : shard.metrics) {
       switch (metric.kind) {
         case MetricPoint::Kind::kCounter:

@@ -55,22 +55,22 @@ class Gauge {
 class HistogramMetric {
  public:
   void Observe(double value) {
-    std::lock_guard<OrderedMutex> l(mu_);
+    MutexLock l(mu_);
     histogram_.Add(value);
   }
   /// A consistent copy for reporting/merging.
   Histogram Snapshot() const {
-    std::lock_guard<OrderedMutex> l(mu_);
+    MutexLock l(mu_);
     return histogram_;
   }
   void Reset() {
-    std::lock_guard<OrderedMutex> l(mu_);
+    MutexLock l(mu_);
     histogram_.Clear();
   }
 
  private:
   mutable OrderedMutex mu_{lockrank::kMetricsHistogram, "obs.histogram"};
-  Histogram histogram_;
+  Histogram histogram_ GUARDED_BY(mu_);
 };
 
 /// One metric's value at snapshot time. Counter: `count`. Gauge: `gauge`.
@@ -137,13 +137,17 @@ class MetricsRegistry {
   };
   struct Shard {
     mutable OrderedMutex mu{lockrank::kMetricsShard, "obs.metrics.shard"};
-    std::unordered_map<std::string, Metric> metrics;
+    // Values are stable handles: creation/lookup takes `mu`, but the
+    // Counter/Gauge/HistogramMetric a lookup returns is updated lock-free
+    // (atomics) or under its own mutex for the registry's lifetime.
+    std::unordered_map<std::string, Metric> metrics GUARDED_BY(mu);
   };
   static constexpr size_t kShards = 16;
 
   Shard* ShardFor(const std::string& name) const;
   Metric* FindOrCreate(const std::string& name, MetricPoint::Kind kind);
 
+  // The array itself is fixed; each Shard carries its own ranked mu.
   mutable std::array<Shard, kShards> shards_;
 };
 

@@ -35,7 +35,7 @@ Status ReplicaServer::Start() {
 
 Status ReplicaServer::Stop() {
   running_.store(false, std::memory_order_release);
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   tablets_.clear();
   readers_.clear();
   buffer_.Clear();
@@ -120,7 +120,7 @@ Status ReplicaServer::SeedTabletLocked(
 Status ReplicaServer::AddTablet(const tablet::TabletDescriptor& descriptor,
                                 uint32_t source_instance) {
   if (!running()) return Status::Unavailable("replica server is down");
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   LOGBASE_RETURN_NOT_OK(SeedTabletLocked(descriptor, source_instance));
   LOGBASE_LOG(kInfo, "replica %d seeded tablet %s from instance %u",
               options_.replica_id, descriptor.uid().c_str(), source_instance);
@@ -128,13 +128,13 @@ Status ReplicaServer::AddTablet(const tablet::TabletDescriptor& descriptor,
 }
 
 Status ReplicaServer::RemoveTablet(const std::string& uid) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   if (tablets_.erase(uid) > 0) buffer_.Clear();
   return Status::OK();
 }
 
 std::vector<tablet::TabletDescriptor> ReplicaServer::Tablets() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   std::vector<tablet::TabletDescriptor> out;
   out.reserve(tablets_.size());
   for (const auto& [uid, t] : tablets_) out.push_back(t.descriptor);
@@ -142,13 +142,13 @@ std::vector<tablet::TabletDescriptor> ReplicaServer::Tablets() const {
 }
 
 int ReplicaServer::NumTablets() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return static_cast<int>(tablets_.size());
 }
 
 Status ReplicaServer::TickTailers() {
   if (!running()) return Status::Unavailable("replica server is down");
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   for (auto& [uid, t] : tablets_) {
     if (t.needs_reseed) {
       LOGBASE_RETURN_NOT_OK(
@@ -204,7 +204,7 @@ Result<tablet::ReadValue> ReplicaServer::Get(const std::string& uid,
                                              uint64_t* snapshot_ts) {
   obs::Span span("replica.get");
   if (!running()) return Status::Unavailable("replica server is down");
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = tablets_.find(uid);
   if (it == tablets_.end()) {
     return Status::NotFound("unknown replica tablet: " + uid);
@@ -248,7 +248,7 @@ Result<std::vector<tablet::ReadRow>> ReplicaServer::Scan(
     uint64_t as_of, int64_t max_staleness_us, uint64_t* snapshot_ts) {
   obs::Span span("replica.scan");
   if (!running()) return Status::Unavailable("replica server is down");
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = tablets_.find(uid);
   if (it == tablets_.end()) {
     return Status::NotFound("unknown replica tablet: " + uid);
@@ -274,7 +274,7 @@ Result<std::vector<tablet::ReadRow>> ReplicaServer::Scan(
 }
 
 Result<uint64_t> ReplicaServer::Watermark(const std::string& uid) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = tablets_.find(uid);
   if (it == tablets_.end()) {
     return Status::NotFound("unknown replica tablet: " + uid);
@@ -283,7 +283,7 @@ Result<uint64_t> ReplicaServer::Watermark(const std::string& uid) const {
 }
 
 Result<int64_t> ReplicaServer::StalenessUs(const std::string& uid) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = tablets_.find(uid);
   if (it == tablets_.end()) {
     return Status::NotFound("unknown replica tablet: " + uid);

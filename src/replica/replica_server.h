@@ -116,28 +116,34 @@ class ReplicaServer {
   };
 
   Status SeedTabletLocked(const tablet::TabletDescriptor& descriptor,
-                          uint32_t source_instance);  // requires mu_ held
-  Result<log::LogReader*> ReaderForLocked(uint32_t instance);
+                          uint32_t source_instance) REQUIRES(mu_);
+  Result<log::LogReader*> ReaderForLocked(uint32_t instance) REQUIRES(mu_);
   std::string BufferPrefix(const std::string& uid) const;
   /// Staleness gate + snapshot clamp shared by Get and Scan; fills
   /// `effective_ts`.
   Status SnapshotBoundLocked(const ReplicatedTablet& t, uint64_t as_of,
                              int64_t max_staleness_us,
-                             uint64_t* effective_ts) const;
+                             uint64_t* effective_ts) const REQUIRES(mu_);
   Result<std::string> FetchValueLocked(ReplicatedTablet* t,
-                                       const index::IndexEntry& entry);
+                                       const index::IndexEntry& entry)
+      REQUIRES(mu_);
 
-  ReplicaServerOptions options_;
+  ReplicaServerOptions options_;  // fixed after construction
   dfs::Dfs* const dfs_;
+  // Set in the constructor; the DFS adapter is internally synchronized.
   std::unique_ptr<FileSystem> fs_;  // DFS adapter bound to this node
 
   std::atomic<bool> running_{false};
 
   mutable OrderedMutex mu_{lockrank::kReplicaServerTablets,
                            "replica.server.tablets"};
-  std::map<std::string, ReplicatedTablet> tablets_;
-  std::map<uint32_t, std::unique_ptr<log::LogReader>> readers_;
-  tablet::ReadBuffer buffer_;
+  // Tablet state (including each LogTailer, which is not internally
+  // synchronized) is only touched under mu_ — watermark/staleness reads
+  // included, so a mid-poll reader cannot observe a torn cursor.
+  std::map<std::string, ReplicatedTablet> tablets_ GUARDED_BY(mu_);
+  std::map<uint32_t, std::unique_ptr<log::LogReader>> readers_
+      GUARDED_BY(mu_);
+  tablet::ReadBuffer buffer_;  // internally synchronized (its own mu_)
 };
 
 }  // namespace logbase::replica

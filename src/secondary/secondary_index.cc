@@ -58,7 +58,7 @@ Status SecondaryIndex::OnWrite(const Slice& primary_key, uint64_t timestamp,
   std::optional<std::string> secondary = extractor_(value);
   if (!secondary.has_value()) return Status::OK();
   {
-    std::lock_guard<OrderedMutex> l(history_mu_);
+    MutexLock l(history_mu_);
     history_[primary_key.ToString()].insert(*secondary);
   }
   // The LogPtr payload is unused by secondary entries; the timestamp carries
@@ -70,7 +70,7 @@ Status SecondaryIndex::OnWrite(const Slice& primary_key, uint64_t timestamp,
 Status SecondaryIndex::OnDelete(const Slice& primary_key) {
   std::set<std::string> secondaries;
   {
-    std::lock_guard<OrderedMutex> l(history_mu_);
+    MutexLock l(history_mu_);
     auto it = history_.find(primary_key.ToString());
     if (it == history_.end()) return Status::OK();
     secondaries = std::move(it->second);

@@ -78,11 +78,12 @@ class SecondaryIndex {
 
   const std::string name_;
   const KeyExtractor extractor_;
-  index::BlinkTree tree_;
+  index::BlinkTree tree_;  // internally synchronized (latch protocol)
   // Secondary keys ever indexed per primary key, so deletes can unindex.
   mutable OrderedMutex history_mu_{lockrank::kSecondaryHistory,
                                  "secondary.history"};
-  std::map<std::string, std::set<std::string>> history_;
+  std::map<std::string, std::set<std::string>> history_
+      GUARDED_BY(history_mu_);
 };
 
 }  // namespace logbase::secondary

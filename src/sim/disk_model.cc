@@ -47,7 +47,7 @@ bool DiskModel::MatchStreamLocked(uint64_t locus, uint64_t offset,
 
 VirtualTime DiskModel::AccessCost(uint64_t locus, uint64_t offset,
                                   uint64_t n, bool is_write) const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   uint64_t stream_key = (locus << 1) | (is_write ? 1 : 0);
   bool sequential = streams_.count(StreamKey{stream_key, offset}) > 0;
   VirtualTime positioning =
@@ -60,7 +60,7 @@ VirtualTime DiskModel::AccessFrom(VirtualTime start, uint64_t locus,
                                   bool is_write) {
   VirtualTime cost;
   {
-    std::lock_guard<OrderedMutex> l(mu_);
+    MutexLock l(mu_);
     uint64_t stream_key = (locus << 1) | (is_write ? 1 : 0);
     bool sequential = MatchStreamLocked(stream_key, offset, n);
     VirtualTime positioning =
@@ -75,7 +75,7 @@ void DiskModel::Access(uint64_t locus, uint64_t offset, uint64_t n,
   SimContext* ctx = SimContext::Current();
   if (ctx == nullptr) {
     // No actor: still update stream state, charge nothing.
-    std::lock_guard<OrderedMutex> l(mu_);
+    MutexLock l(mu_);
     MatchStreamLocked((locus << 1) | (is_write ? 1 : 0), offset, n);
     return;
   }

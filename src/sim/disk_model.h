@@ -84,11 +84,12 @@ class DiskModel {
  private:
   VirtualTime TransferUs(uint64_t n) const;
   /// True when (locus, offset) continues a tracked stream; updates the
-  /// stream table either way. Requires mu_ held.
-  bool MatchStreamLocked(uint64_t locus, uint64_t offset, uint64_t n);
+  /// stream table either way.
+  bool MatchStreamLocked(uint64_t locus, uint64_t offset, uint64_t n)
+      REQUIRES(mu_);
 
   const DiskParams params_;
-  Resource resource_;
+  Resource resource_;  // internally synchronized (its own ranked mu_)
   std::atomic<VirtualTime> stall_us_{0};
   mutable OrderedMutex mu_{lockrank::kSimDisk, "sim.disk"};
   // One entry per live sequential stream: (locus, expected next offset),
@@ -109,8 +110,8 @@ class DiskModel {
     }
   };
   std::unordered_map<StreamKey, std::list<StreamKey>::iterator, StreamKeyHash>
-      streams_;
-  std::list<StreamKey> stream_lru_;  // front = most recent
+      streams_ GUARDED_BY(mu_);
+  std::list<StreamKey> stream_lru_ GUARDED_BY(mu_);  // front = most recent
 };
 
 }  // namespace logbase::sim

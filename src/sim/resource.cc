@@ -12,7 +12,7 @@ constexpr size_t kMaxGaps = 64;
 }  // namespace
 
 VirtualTime Resource::Acquire(VirtualTime now, VirtualTime service_us) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   total_busy_ += service_us;
   // First try to serve inside an idle gap left behind by a request whose
   // start time was already in this resource's future (a multi-hop chain
@@ -40,17 +40,17 @@ VirtualTime Resource::Acquire(VirtualTime now, VirtualTime service_us) {
 }
 
 VirtualTime Resource::total_busy_us() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return total_busy_;
 }
 
 VirtualTime Resource::free_at() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return free_at_;
 }
 
 void Resource::Reset() {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   free_at_ = 0;
   total_busy_ = 0;
   gaps_.clear();

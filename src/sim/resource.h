@@ -51,10 +51,10 @@ class Resource {
  private:
   mutable OrderedMutex mu_{lockrank::kSimResource, "sim.resource"};
   const std::string name_;
-  VirtualTime free_at_ = 0;
-  VirtualTime total_busy_ = 0;
+  VirtualTime free_at_ GUARDED_BY(mu_) = 0;
+  VirtualTime total_busy_ GUARDED_BY(mu_) = 0;
   /// Idle intervals [start, end) before free_at_, ordered by start.
-  std::map<VirtualTime, VirtualTime> gaps_;
+  std::map<VirtualTime, VirtualTime> gaps_ GUARDED_BY(mu_);
 };
 
 }  // namespace logbase::sim

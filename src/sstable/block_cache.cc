@@ -9,7 +9,7 @@ BlockCache::BlockCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
 
 std::shared_ptr<Block> BlockCache::Lookup(uint64_t file_id, uint64_t offset) {
   sim::ChargeCpu(sim::costs::kCacheProbeUs);
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   static obs::Counter* hit_count =
       obs::MetricsRegistry::Global().counter("sstable.block_cache.hits");
   static obs::Counter* miss_count =
@@ -28,7 +28,7 @@ std::shared_ptr<Block> BlockCache::Lookup(uint64_t file_id, uint64_t offset) {
 
 void BlockCache::Insert(uint64_t file_id, uint64_t offset,
                         std::shared_ptr<Block> block) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   Key key{file_id, offset};
   auto it = map_.find(key);
   if (it != map_.end()) {
@@ -54,14 +54,14 @@ void BlockCache::EvictIfNeeded() {
 }
 
 void BlockCache::Clear() {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   lru_.clear();
   map_.clear();
   usage_ = 0;
 }
 
 size_t BlockCache::usage() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return usage_;
 }
 

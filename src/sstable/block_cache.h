@@ -58,16 +58,17 @@ class BlockCache {
     std::shared_ptr<Block> block;
   };
 
-  void EvictIfNeeded();  // requires mu_ held
+  void EvictIfNeeded() REQUIRES(mu_);
 
   const size_t capacity_;
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   mutable OrderedMutex mu_{lockrank::kBlockCache, "sstable.block_cache"};
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
-  size_t usage_ = 0;
+  std::list<Entry> lru_ GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_
+      GUARDED_BY(mu_);
+  size_t usage_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace logbase::sstable

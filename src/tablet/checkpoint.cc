@@ -96,7 +96,7 @@ Status WriteServerCheckpoint(TabletServer* server) {
 
   std::vector<std::pair<TabletDescriptor, uint32_t>> descriptors;
   {
-    std::lock_guard<OrderedMutex> l(server->tablets_mu_);
+    MutexLock l(server->tablets_mu_);
     for (auto& [uid, tablet] : server->tablets_) {
       descriptors.emplace_back(tablet->descriptor(),
                                tablet->source_instance());

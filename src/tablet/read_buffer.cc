@@ -90,7 +90,7 @@ ReadBuffer::ReadBuffer(size_t capacity_bytes,
 bool ReadBuffer::Get(const std::string& key, CachedRecord* record) {
   if (!enabled()) return false;
   sim::ChargeCpu(sim::costs::kCacheProbeUs);
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   static obs::Counter* hit_count =
       obs::MetricsRegistry::Global().counter("tablet.read_buffer.hits");
   static obs::Counter* miss_count =
@@ -110,7 +110,7 @@ bool ReadBuffer::Get(const std::string& key, CachedRecord* record) {
 
 void ReadBuffer::Put(const std::string& key, CachedRecord record) {
   if (!enabled()) return;
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = map_.find(key);
   if (it != map_.end()) {
     if (it->second.timestamp > record.timestamp) return;  // keep newer
@@ -143,7 +143,7 @@ void ReadBuffer::EvictIfNeeded() {
 
 void ReadBuffer::Invalidate(const std::string& key) {
   if (!enabled()) return;
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = map_.find(key);
   if (it != map_.end()) {
     usage_ -= key.size() + it->second.value.size();
@@ -153,7 +153,7 @@ void ReadBuffer::Invalidate(const std::string& key) {
 }
 
 void ReadBuffer::Clear() {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   for (const auto& [key, rec] : map_) {
     policy_->OnRemove(key);
   }
@@ -162,17 +162,17 @@ void ReadBuffer::Clear() {
 }
 
 uint64_t ReadBuffer::hits() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return hits_;
 }
 
 uint64_t ReadBuffer::misses() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return misses_;
 }
 
 size_t ReadBuffer::usage() const {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return usage_;
 }
 

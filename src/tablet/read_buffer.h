@@ -65,15 +65,15 @@ class ReadBuffer {
   size_t usage() const;
 
  private:
-  void EvictIfNeeded();  // requires mu_ held
+  void EvictIfNeeded() REQUIRES(mu_);
 
   const size_t capacity_;
   mutable OrderedMutex mu_{lockrank::kReadBuffer, "tablet.read_buffer"};
-  std::unique_ptr<ReplacementPolicy> policy_;
-  std::unordered_map<std::string, CachedRecord> map_;
-  size_t usage_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::unique_ptr<ReplacementPolicy> policy_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, CachedRecord> map_ GUARDED_BY(mu_);
+  size_t usage_ GUARDED_BY(mu_) = 0;
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace logbase::tablet

@@ -88,11 +88,11 @@ class Tablet {
   // -- Secondary indexes (§5 future work, implemented) -------------------
 
   void AddSecondaryIndex(std::unique_ptr<secondary::SecondaryIndex> index) {
-    std::lock_guard<OrderedMutex> l(secondary_mu_);
+    MutexLock l(secondary_mu_);
     secondary_.push_back(std::move(index));
   }
   secondary::SecondaryIndex* FindSecondaryIndex(const std::string& name) {
-    std::lock_guard<OrderedMutex> l(secondary_mu_);
+    MutexLock l(secondary_mu_);
     for (auto& index : secondary_) {
       if (index->name() == name) return index.get();
     }
@@ -101,28 +101,31 @@ class Tablet {
   /// Notifies every secondary index of a committed write / delete.
   Status NotifySecondaryWrite(const Slice& key, uint64_t timestamp,
                               const Slice& value) {
-    std::lock_guard<OrderedMutex> l(secondary_mu_);
+    MutexLock l(secondary_mu_);
     for (auto& index : secondary_) {
       LOGBASE_RETURN_NOT_OK(index->OnWrite(key, timestamp, value));
     }
     return Status::OK();
   }
   Status NotifySecondaryDelete(const Slice& key) {
-    std::lock_guard<OrderedMutex> l(secondary_mu_);
+    MutexLock l(secondary_mu_);
     for (auto& index : secondary_) {
       LOGBASE_RETURN_NOT_OK(index->OnDelete(key));
     }
     return Status::OK();
   }
   bool has_secondary_indexes() const {
-    std::lock_guard<OrderedMutex> l(secondary_mu_);
+    MutexLock l(secondary_mu_);
     return !secondary_.empty();
   }
 
  private:
   const TabletDescriptor descriptor_;
+  // Set in the constructor; MultiVersionIndex is internally synchronized
+  // (B-link latch protocol underneath).
   std::unique_ptr<index::MultiVersionIndex> index_;
   std::atomic<uint64_t> updates_since_persist_{0};
+  // Written on the single-threaded open/recovery path only.
   uint32_t source_instance_ = 0;
   std::atomic<bool> sealed_{false};
   std::atomic<uint64_t> read_ops_{0};
@@ -131,7 +134,11 @@ class Tablet {
   std::atomic<uint64_t> write_bytes_{0};
   mutable OrderedMutex secondary_mu_{lockrank::kTabletSecondary,
                                    "tablet.secondary"};
-  std::vector<std::unique_ptr<secondary::SecondaryIndex>> secondary_;
+  // Values are stable: a registered index lives for the tablet's lifetime,
+  // so FindSecondaryIndex may return the raw pointer for use off-lock
+  // (SecondaryIndex is internally synchronized).
+  std::vector<std::unique_ptr<secondary::SecondaryIndex>> secondary_
+      GUARDED_BY(secondary_mu_);
 };
 
 }  // namespace logbase::tablet

@@ -114,15 +114,15 @@ void TabletServer::Crash() {
   running_.store(false, std::memory_order_release);
   coord_->CloseSession(session_);
   {
-    std::lock_guard<OrderedMutex> l(tablets_mu_);
+    MutexLock l(tablets_mu_);
     tablets_.clear();
   }
   {
-    std::lock_guard<OrderedMutex> l(readers_mu_);
+    MutexLock l(readers_mu_);
     readers_.clear();
   }
   buffer_.Clear();
-  std::lock_guard<OrderedMutex> l(ts_mu_);
+  MutexLock l(ts_mu_);
   ts_next_ = ts_limit_ = 0;
 }
 
@@ -171,7 +171,7 @@ void TabletServer::DropUnownedTablets() {
       unowned = owner != options_.server_id;
     }
     if (!unowned) continue;
-    std::lock_guard<OrderedMutex> l(tablets_mu_);
+    MutexLock l(tablets_mu_);
     tablets_.erase(d.uid());
     dropped++;
   }
@@ -197,20 +197,20 @@ Result<std::unique_ptr<index::MultiVersionIndex>> TabletServer::NewIndex(
 Status TabletServer::OpenTablet(const TabletDescriptor& descriptor) {
   {
     // Idempotent: re-registration after recovery keeps the recovered index.
-    std::lock_guard<OrderedMutex> l(tablets_mu_);
+    MutexLock l(tablets_mu_);
     if (tablets_.count(descriptor.uid()) > 0) return Status::OK();
   }
   auto idx = NewIndex(descriptor.uid());
   if (!idx.ok()) return idx.status();
   auto tablet = std::make_unique<Tablet>(descriptor, std::move(*idx));
   tablet->set_source_instance(options_.server_id);
-  std::lock_guard<OrderedMutex> l(tablets_mu_);
+  MutexLock l(tablets_mu_);
   tablets_[descriptor.uid()] = std::move(tablet);
   return Status::OK();
 }
 
 std::vector<TabletDescriptor> TabletServer::Tablets() const {
-  std::lock_guard<OrderedMutex> l(tablets_mu_);
+  MutexLock l(tablets_mu_);
   std::vector<TabletDescriptor> out;
   out.reserve(tablets_.size());
   for (const auto& [uid, tablet] : tablets_) {
@@ -220,7 +220,7 @@ std::vector<TabletDescriptor> TabletServer::Tablets() const {
 }
 
 Tablet* TabletServer::FindTablet(const std::string& uid) {
-  std::lock_guard<OrderedMutex> l(tablets_mu_);
+  MutexLock l(tablets_mu_);
   auto it = tablets_.find(uid);
   return it == tablets_.end() ? nullptr : it->second.get();
 }
@@ -228,7 +228,7 @@ Tablet* TabletServer::FindTablet(const std::string& uid) {
 Tablet* TabletServer::FindTabletCovering(uint32_t table_id,
                                          uint32_t column_group,
                                          const Slice& key) {
-  std::lock_guard<OrderedMutex> l(tablets_mu_);
+  MutexLock l(tablets_mu_);
   for (auto& [uid, tablet] : tablets_) {
     const TabletDescriptor& d = tablet->descriptor();
     if (d.table_id != table_id || d.column_group != column_group) continue;
@@ -257,7 +257,7 @@ Status TabletServer::UnsealTablet(const std::string& uid) {
 
 Status TabletServer::CloseTablet(const std::string& uid) {
   {
-    std::lock_guard<OrderedMutex> l(tablets_mu_);
+    MutexLock l(tablets_mu_);
     if (tablets_.erase(uid) == 0) return Status::OK();  // idempotent
   }
   // The read buffer may cache values of the closed tablet; if this server
@@ -274,7 +274,7 @@ balance::LoadReport TabletServer::CollectLoadReport() {
   report.server_id = options_.server_id;
   report.generated_at_us = sim::CurrentVirtualTime();
   {
-    std::lock_guard<OrderedMutex> l(tablets_mu_);
+    MutexLock l(tablets_mu_);
     report.tablets.reserve(tablets_.size());
     for (auto& [uid, tablet] : tablets_) {
       Tablet::LoadWindow w = tablet->TakeLoadWindow();
@@ -314,7 +314,7 @@ Result<std::string> TabletServer::SuggestSplitKey(const std::string& uid) {
 }
 
 Result<log::LogReader*> TabletServer::ReaderFor(uint32_t instance) {
-  std::lock_guard<OrderedMutex> l(readers_mu_);
+  MutexLock l(readers_mu_);
   auto it = readers_.find(instance);
   if (it != readers_.end()) return it->second.get();
   auto reader = std::make_unique<log::LogReader>(
@@ -325,7 +325,7 @@ Result<log::LogReader*> TabletServer::ReaderFor(uint32_t instance) {
 }
 
 uint64_t TabletServer::NextLocalTimestamp() {
-  std::lock_guard<OrderedMutex> l(ts_mu_);
+  MutexLock l(ts_mu_);
   if (ts_next_ >= ts_limit_) {
     ts_next_ = coord_->ReserveTimestamps(options_.server_id, kTimestampBatch);
     ts_limit_ = ts_next_ + kTimestampBatch;
@@ -334,7 +334,7 @@ uint64_t TabletServer::NextLocalTimestamp() {
 }
 
 void TabletServer::AdvanceTimestampsBeyond(uint64_t ts) {
-  std::lock_guard<OrderedMutex> l(ts_mu_);
+  MutexLock l(ts_mu_);
   if (ts < ts_next_) return;
   if (ts < ts_limit_) {
     ts_next_ = ts + 1;
@@ -742,7 +742,7 @@ Status TabletServer::Checkpoint() {
   Status s = WriteServerCheckpoint(this);
   if (s.ok()) {
     TabletCounter("tablet.checkpoint.count")->Add();
-    std::lock_guard<OrderedMutex> l(tablets_mu_);
+    MutexLock l(tablets_mu_);
     for (auto& [uid, tablet] : tablets_) {
       tablet->ResetUpdateCounter();
     }

@@ -281,28 +281,41 @@ class TabletServer {
   /// make new writes invisible behind the adopted versions.
   void AdvanceTimestampsBeyond(uint64_t ts);
 
-  TabletServerOptions options_;
+  TabletServerOptions options_;  // fixed after construction
   dfs::Dfs* const dfs_;
   coord::CoordinationService* const coord_;
+  // Set in the constructor; the DFS adapter is internally synchronized.
   std::unique_ptr<FileSystem> fs_;  // DFS adapter bound to this node
 
   std::atomic<bool> running_{false};
+  // Written by Start/Stop/Crash only (the lifecycle is single-threaded);
+  // data-path threads never touch the session.
   coord::SessionId session_ = 0;
 
   mutable OrderedMutex tablets_mu_{lockrank::kTabletServerTablets,
                                  "tablet.server.tablets"};
-  std::map<std::string, std::unique_ptr<Tablet>> tablets_;
+  // Values are handed out as raw Tablet* for use off-lock: a tablet object
+  // stays alive until CloseTablet/Crash, and Tablet is internally
+  // synchronized (atomics + secondary_mu_).
+  std::map<std::string, std::unique_ptr<Tablet>> tablets_
+      GUARDED_BY(tablets_mu_);
 
+  // Set in Start() before data-path threads exist; LogWriter is internally
+  // synchronized.
   std::unique_ptr<log::LogWriter> writer_;
   OrderedMutex readers_mu_{lockrank::kTabletServerReaders,
                          "tablet.server.readers"};
-  std::map<uint32_t, std::unique_ptr<log::LogReader>> readers_;
-  ReadBuffer buffer_;
+  // Values are stable: an opened reader lives until Stop/Crash, and
+  // LogReader is internally synchronized, so ReaderFor returns raw
+  // pointers for use off-lock.
+  std::map<uint32_t, std::unique_ptr<log::LogReader>> readers_
+      GUARDED_BY(readers_mu_);
+  ReadBuffer buffer_;  // internally synchronized (its own ranked mu_)
 
   OrderedMutex ts_mu_{lockrank::kTabletServerTimestamps,
                     "tablet.server.timestamps"};
-  uint64_t ts_next_ = 0;
-  uint64_t ts_limit_ = 0;
+  uint64_t ts_next_ GUARDED_BY(ts_mu_) = 0;
+  uint64_t ts_limit_ GUARDED_BY(ts_mu_) = 0;
 };
 
 }  // namespace logbase::tablet

@@ -80,6 +80,10 @@ class TransactionManager {
   const TxnStats& stats() const { return stats_; }
 
  private:
+  /// "Locked" here means the transaction's *distributed* write locks (znode
+  /// leases, §3.7.1) are held — a protocol invariant the compile-time
+  /// thread-safety analysis cannot express; it covers OrderedMutex
+  /// capabilities only.
   Status ValidateLocked(Transaction* txn);
   Status PersistAndPublish(Transaction* txn, log::AckMode ack);
 

@@ -1,5 +1,7 @@
 #include "src/util/io.h"
 
+#include <atomic>
+
 #include "src/sim/sim_context.h"
 
 namespace logbase {
@@ -23,19 +25,25 @@ class MemWritableFile : public WritableFile {
       : mu_(std::move(mu)), data_(data) {}
 
   Status Append(const Slice& slice) override {
-    std::lock_guard<OrderedMutex> l(*mu_);
+    MutexLock l(*mu_);
     data_->append(slice.data(), slice.size());
-    size_ = data_->size();
+    size_.store(data_->size(), std::memory_order_release);
     return Status::OK();
   }
   Status Sync() override { return Status::OK(); }
   Status Close() override { return Status::OK(); }
-  uint64_t Size() const override { return size_; }
+  uint64_t Size() const override {
+    return size_.load(std::memory_order_acquire);
+  }
 
  private:
+  // data_ aliases MemFile::data and is only touched under *mu_ (the owning
+  // MemFile's lock); the aliasing is invisible to the thread-safety
+  // analysis, which sees only raw-pointer dereferences here.
   std::shared_ptr<OrderedMutex> mu_;
   std::string* data_;
-  uint64_t size_ = 0;
+  // Atomic so the lock-free Size() fast path never tears against Append.
+  std::atomic<uint64_t> size_{0};
 };
 
 class MemRandomAccessFile : public RandomAccessFile {
@@ -44,13 +52,13 @@ class MemRandomAccessFile : public RandomAccessFile {
       : mu_(std::move(mu)), data_(data) {}
 
   Result<std::string> Read(uint64_t offset, size_t n) const override {
-    std::lock_guard<OrderedMutex> l(*mu_);
+    MutexLock l(*mu_);
     if (offset >= data_->size()) return std::string();
     size_t avail = data_->size() - offset;
     return data_->substr(offset, std::min(n, avail));
   }
   uint64_t Size() const override {
-    std::lock_guard<OrderedMutex> l(*mu_);
+    MutexLock l(*mu_);
     return data_->size();
   }
 
@@ -63,7 +71,7 @@ class MemRandomAccessFile : public RandomAccessFile {
 
 Result<std::unique_ptr<WritableFile>> MemFileSystem::NewWritableFile(
     const std::string& path) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto file = std::make_shared<MemFile>();
   files_[path] = file;
   // Alias the file's mutex and data; shared_ptr keeps MemFile alive even if
@@ -75,7 +83,7 @@ Result<std::unique_ptr<WritableFile>> MemFileSystem::NewWritableFile(
 
 Result<std::unique_ptr<RandomAccessFile>> MemFileSystem::NewRandomAccessFile(
     const std::string& path) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) {
     return Status::NotFound(path);
@@ -87,13 +95,13 @@ Result<std::unique_ptr<RandomAccessFile>> MemFileSystem::NewRandomAccessFile(
 }
 
 Status MemFileSystem::DeleteFile(const std::string& path) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   if (files_.erase(path) == 0) return Status::NotFound(path);
   return Status::OK();
 }
 
 Status MemFileSystem::Rename(const std::string& from, const std::string& to) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = files_.find(from);
   if (it == files_.end()) return Status::NotFound(from);
   files_[to] = it->second;
@@ -102,21 +110,21 @@ Status MemFileSystem::Rename(const std::string& from, const std::string& to) {
 }
 
 bool MemFileSystem::Exists(const std::string& path) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   return files_.count(path) > 0;
 }
 
 Result<uint64_t> MemFileSystem::FileSize(const std::string& path) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
-  std::lock_guard<OrderedMutex> fl(it->second->mu);
+  MutexLock fl(it->second->mu);
   return static_cast<uint64_t>(it->second->data.size());
 }
 
 Result<std::vector<std::string>> MemFileSystem::List(
     const std::string& prefix) {
-  std::lock_guard<OrderedMutex> l(mu_);
+  MutexLock l(mu_);
   std::vector<std::string> names;
   for (const auto& [path, file] : files_) {
     if (Slice(path).starts_with(prefix)) names.push_back(path);

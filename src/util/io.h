@@ -114,11 +114,11 @@ class MemFileSystem : public FileSystem {
  private:
   struct MemFile {
     OrderedMutex mu{lockrank::kMemFile, "util.memfile"};
-    std::string data;
+    std::string data GUARDED_BY(mu);
   };
 
   OrderedMutex mu_{lockrank::kMemFs, "util.memfs"};
-  std::map<std::string, std::shared_ptr<MemFile>> files_;
+  std::map<std::string, std::shared_ptr<MemFile>> files_ GUARDED_BY(mu_);
 };
 
 }  // namespace logbase

@@ -24,6 +24,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "src/util/thread_annotations.h"
+
 namespace logbase {
 
 // ---------------------------------------------------------------------------
@@ -120,24 +122,25 @@ void PopRank(uint32_t rank, const char* name);
 }  // namespace internal
 
 /// Drop-in std::mutex replacement carrying a static rank. Satisfies
-/// Lockable, so std::lock_guard/std::unique_lock/condition_variable_any
-/// work unchanged.
-class OrderedMutex {
+/// Lockable; hold it through the MutexLock scoped guard below so Clang's
+/// thread-safety analysis sees the acquisition (std::lock_guard over a
+/// libstdc++ mutex is opaque to the analysis).
+class CAPABILITY("mutex") OrderedMutex {
  public:
   OrderedMutex(uint32_t rank, const char* name) : rank_(rank), name_(name) {}
   OrderedMutex(const OrderedMutex&) = delete;
   OrderedMutex& operator=(const OrderedMutex&) = delete;
 
-  void lock() {
+  void lock() ACQUIRE() {
     internal::PushRank(rank_, name_);
     mu_.lock();
   }
-  bool try_lock() {
+  bool try_lock() TRY_ACQUIRE(true) {
     if (!mu_.try_lock()) return false;
     internal::PushRank(rank_, name_);
     return true;
   }
-  void unlock() {
+  void unlock() RELEASE() {
     mu_.unlock();
     internal::PopRank(rank_, name_);
   }
@@ -154,37 +157,37 @@ class OrderedMutex {
 /// Drop-in std::shared_mutex replacement. Shared (reader) acquisitions obey
 /// the same rank order as exclusive ones: reader-then-writer inversions
 /// deadlock just as surely as writer-then-writer ones.
-class OrderedSharedMutex {
+class CAPABILITY("shared_mutex") OrderedSharedMutex {
  public:
   OrderedSharedMutex(uint32_t rank, const char* name)
       : rank_(rank), name_(name) {}
   OrderedSharedMutex(const OrderedSharedMutex&) = delete;
   OrderedSharedMutex& operator=(const OrderedSharedMutex&) = delete;
 
-  void lock() {
+  void lock() ACQUIRE() {
     internal::PushRank(rank_, name_);
     mu_.lock();
   }
-  bool try_lock() {
+  bool try_lock() TRY_ACQUIRE(true) {
     if (!mu_.try_lock()) return false;
     internal::PushRank(rank_, name_);
     return true;
   }
-  void unlock() {
+  void unlock() RELEASE() {
     mu_.unlock();
     internal::PopRank(rank_, name_);
   }
 
-  void lock_shared() {
+  void lock_shared() ACQUIRE_SHARED() {
     internal::PushRank(rank_, name_);
     mu_.lock_shared();
   }
-  bool try_lock_shared() {
+  bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
     if (!mu_.try_lock_shared()) return false;
     internal::PushRank(rank_, name_);
     return true;
   }
-  void unlock_shared() {
+  void unlock_shared() RELEASE_SHARED() {
     mu_.unlock_shared();
     internal::PopRank(rank_, name_);
   }
@@ -196,6 +199,65 @@ class OrderedSharedMutex {
   std::shared_mutex mu_;
   const uint32_t rank_;
   const char* const name_;
+};
+
+/// Scoped exclusive guard over an OrderedMutex — the repo's replacement for
+/// std::lock_guard / std::unique_lock so the thread-safety analysis tracks
+/// the acquisition. Supports the two unlock idioms the codebase uses:
+/// early release (`l.unlock()` before slow work) and
+/// condition_variable_any waits (`cv.wait(l)` — BasicLockable).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(OrderedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Re-acquires after an early unlock() (condition_variable_any calls
+  /// this pair around every wait).
+  void lock() ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  void unlock() RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+
+ private:
+  OrderedMutex& mu_;
+  bool held_ = true;
+};
+
+/// Scoped shared (reader) guard over an OrderedSharedMutex.
+class SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(OrderedSharedMutex& mu) ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedMutexLock() RELEASE() {
+    if (held_) mu_.unlock_shared();
+  }
+
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+  void lock() ACQUIRE_SHARED() {
+    mu_.lock_shared();
+    held_ = true;
+  }
+  void unlock() RELEASE() {
+    mu_.unlock_shared();
+    held_ = false;
+  }
+
+ private:
+  OrderedSharedMutex& mu_;
+  bool held_ = true;
 };
 
 }  // namespace logbase

@@ -1,0 +1,101 @@
+// Clang Thread Safety Analysis annotations (-Wthread-safety): the
+// compile-time complement to the runtime lock-rank checker in
+// ordered_mutex.h. The rank table proves lock *order* (no deadlocks, at
+// runtime, on the schedules that actually run); these annotations prove
+// lock *coverage* (every access to a guarded field holds its mutex, at
+// compile time, on every path).
+//
+// Usage rules (DESIGN.md § Correctness tooling has the full policy):
+//   - Every mutex-protected field is declared GUARDED_BY(mu_).
+//   - Every helper that assumes the lock is held (the *Locked() naming
+//     convention) is declared REQUIRES(mu_) — the analyzer then proves
+//     every caller holds it.
+//   - Public methods that take the lock themselves are declared
+//     EXCLUDES(mu_) so self-deadlocking re-entry is a compile error.
+//   - Escapes are NO_THREAD_SAFETY_ANALYSIS, always with a comment that
+//     names the external synchronization replacing the proof.
+//
+// The attributes only exist on Clang; under GCC (the container default)
+// every macro expands to nothing, so annotated code compiles unchanged.
+// The clang-tsa CMake preset turns the analysis into a build gate
+// (-Wthread-safety -Werror) and tests/tsa_negative/ keeps the gate honest
+// with seeded violations that must fail to compile.
+
+#ifndef LOGBASE_UTIL_THREAD_ANNOTATIONS_H_
+#define LOGBASE_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define LOGBASE_TSA_ATTRIBUTE(x) __attribute__((x))
+#else
+#define LOGBASE_TSA_ATTRIBUTE(x)  // no-op: GCC has no thread-safety analysis
+#endif
+
+/// Marks a class as a lockable capability (OrderedMutex and friends).
+/// `x` is the capability kind shown in diagnostics ("mutex").
+#define CAPABILITY(x) LOGBASE_TSA_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (MutexLock / SharedMutexLock).
+#define SCOPED_CAPABILITY LOGBASE_TSA_ATTRIBUTE(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability:
+/// reads require the capability held (shared or exclusive), writes
+/// require it held exclusively.
+#define GUARDED_BY(x) LOGBASE_TSA_ATTRIBUTE(guarded_by(x))
+
+/// Like GUARDED_BY for pointer members: the *pointed-to* data is
+/// protected (the pointer itself is not).
+#define PT_GUARDED_BY(x) LOGBASE_TSA_ATTRIBUTE(pt_guarded_by(x))
+
+/// The calling context must hold the capability exclusively (the *Locked()
+/// helper contract). The function neither acquires nor releases it.
+#define REQUIRES(...) \
+  LOGBASE_TSA_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// The calling context must hold the capability at least shared.
+#define REQUIRES_SHARED(...) \
+  LOGBASE_TSA_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (exclusively) and holds it on
+/// return; callers must not already hold it.
+#define ACQUIRE(...) LOGBASE_TSA_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Shared-mode ACQUIRE.
+#define ACQUIRE_SHARED(...) \
+  LOGBASE_TSA_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller holds exclusively.
+#define RELEASE(...) LOGBASE_TSA_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Shared-mode RELEASE.
+#define RELEASE_SHARED(...) \
+  LOGBASE_TSA_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns the given value
+/// (try_lock-style).
+#define TRY_ACQUIRE(...) \
+  LOGBASE_TSA_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Shared-mode TRY_ACQUIRE.
+#define TRY_ACQUIRE_SHARED(...) \
+  LOGBASE_TSA_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function must be called *without* the capability held (it acquires
+/// the lock itself, so re-entry from a holding context would self-deadlock).
+#define EXCLUDES(...) LOGBASE_TSA_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trust-me for paths the
+/// analysis cannot follow; prefer REQUIRES).
+#define ASSERT_CAPABILITY(x) LOGBASE_TSA_ATTRIBUTE(assert_capability(x))
+
+/// The function returns a reference to the given capability (lock
+/// accessors).
+#define RETURN_CAPABILITY(x) LOGBASE_TSA_ATTRIBUTE(lock_returned(x))
+
+/// Opts a function out of the analysis entirely. Every use carries a
+/// comment justifying why the proof cannot be expressed (e.g. external
+/// synchronization through a callback boundary).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  LOGBASE_TSA_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // LOGBASE_UTIL_THREAD_ANNOTATIONS_H_

@@ -12,7 +12,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<OrderedMutex> l(mu_);
+    MutexLock l(mu_);
     shutting_down_ = true;
   }
   work_cv_.notify_all();
@@ -23,23 +23,26 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<OrderedMutex> l(mu_);
+    MutexLock l(mu_);
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<OrderedMutex> l(mu_);
-  idle_cv_.wait(l, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock l(mu_);
+  // Explicit wait loop (not the predicate overload): a predicate lambda is
+  // analyzed as its own function, where the thread-safety analysis cannot
+  // see that the wait holds mu_.
+  while (!(queue_.empty() && active_ == 0)) idle_cv_.wait(l);
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<OrderedMutex> l(mu_);
-      work_cv_.wait(l, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock l(mu_);
+      while (!shutting_down_ && queue_.empty()) work_cv_.wait(l);
       if (queue_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -50,7 +53,7 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<OrderedMutex> l(mu_);
+      MutexLock l(mu_);
       active_--;
       if (queue_.empty() && active_ == 0) {
         idle_cv_.notify_all();

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/balance/migration.h"
@@ -17,6 +19,39 @@
 
 namespace logbase::replica {
 namespace {
+
+// SetReplicaFleet replaces the fleet vector and the resolver std::function
+// while the balancer thread calls ResolveReplica/ReplicaFleet; all four now
+// go through mu_. Before the fix ReplicaFleet returned a reference to the
+// vector and ResolveReplica invoked the std::function with no lock — a data
+// race mid-reassignment. Hammer both sides; TSan (this suite carries the
+// "concurrency" label) and the monotonic-id assertions below catch a relapse.
+TEST(ReplicaFleetTest, ConcurrentFleetSwapAndResolve) {
+  coord::CoordinationService coord;
+  auto no_servers = [](int) -> tablet::TabletServer* { return nullptr; };
+  master::Master m(&coord, 0, no_servers, {});
+
+  std::atomic<bool> stop{false};
+  std::thread swapper([&] {
+    for (int round = 1; !stop.load(std::memory_order_relaxed); round++) {
+      // Resolver captures its round; ids and resolver swap together.
+      m.SetReplicaFleet({round, round + 1},
+                        [](int) -> replica::ReplicaServer* { return nullptr; });
+    }
+  });
+  for (int i = 0; i < 20000; i++) {
+    std::vector<int> fleet = m.ReplicaFleet();
+    if (!fleet.empty()) {
+      ASSERT_EQ(fleet.size(), 2u);
+      // Both entries come from the same SetReplicaFleet call: a torn or
+      // stale mix would break the pairing invariant.
+      ASSERT_EQ(fleet[1], fleet[0] + 1);
+      EXPECT_EQ(m.ResolveReplica(fleet[0]), nullptr);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  swapper.join();
+}
 
 cluster::MiniClusterOptions SmallCluster(int nodes = 3, int replicas = 1) {
   cluster::MiniClusterOptions options;

@@ -1,0 +1,30 @@
+// Seeded violation: acquiring a mutex that is already held (self-deadlock
+// with std::mutex; at runtime the rank checker would also abort). Must fail
+// to compile (-Werror=thread-safety-analysis: "acquiring mutex 'mu_' that
+// is already held").
+
+#include "src/util/ordered_mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    logbase::MutexLock outer(mu_);
+    logbase::MutexLock inner(mu_);  // BUG: mu_ is already held.
+    ++value_;
+  }
+
+ private:
+  mutable logbase::OrderedMutex mu_{logbase::lockrank::kMetricsShard,
+                                    "tsa.violation"};
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Seeded violation: calling a REQUIRES-annotated *Locked() helper without
+// holding the lock it demands. Must fail to compile
+// (-Werror=thread-safety-analysis: "calling function 'IncrementLocked'
+// requires holding mutex 'mu_' exclusively").
+
+#include "src/util/ordered_mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    IncrementLocked();  // BUG: caller never acquires mu_.
+  }
+
+ private:
+  void IncrementLocked() REQUIRES(mu_) { ++value_; }
+
+  mutable logbase::OrderedMutex mu_{logbase::lockrank::kMetricsShard,
+                                    "tsa.violation"};
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Positive control for the tsa_negative harness: correctly annotated code
+// that must compile cleanly under the exact flags the violation cases use.
+// If this one goes red, the harness (flags, include path, header) is
+// broken — not the seeded violations.
+
+#include "src/util/ordered_mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    logbase::MutexLock l(mu_);
+    IncrementLocked();
+  }
+
+  int Read() EXCLUDES(mu_) {
+    logbase::MutexLock l(mu_);
+    return value_;
+  }
+
+ private:
+  void IncrementLocked() REQUIRES(mu_) { ++value_; }
+
+  mutable logbase::OrderedMutex mu_{logbase::lockrank::kMetricsShard,
+                                    "tsa.control"};
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Read() == 1 ? 0 : 1;
+}

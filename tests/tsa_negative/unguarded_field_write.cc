@@ -1,0 +1,27 @@
+// Seeded violation: writing a GUARDED_BY field without holding its mutex.
+// Must fail to compile (-Werror=thread-safety-analysis: "writing variable
+// 'value_' requires holding mutex 'mu_' exclusively").
+
+#include "src/util/ordered_mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    ++value_;  // BUG: no MutexLock — the write is unguarded.
+  }
+
+ private:
+  mutable logbase::OrderedMutex mu_{logbase::lockrank::kMetricsShard,
+                                    "tsa.violation"};
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

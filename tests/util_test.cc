@@ -504,6 +504,39 @@ TEST(MemFileSystemTest, ListByPrefix) {
   EXPECT_EQ(names->size(), 2u);
 }
 
+// Size() is a lock-free fast path read concurrently with Append (the log
+// writer polls it while the flush thread appends). It must never tear or go
+// backwards: each observed value is a size some completed Append produced.
+TEST(MemFileSystemTest, ConcurrentSizeReadsDuringAppend) {
+  MemFileSystem fs;
+  auto wf = fs.NewWritableFile("/concurrent");
+  ASSERT_TRUE(wf.ok());
+  WritableFile* file = wf->get();
+
+  constexpr int kAppends = 2000;
+  constexpr size_t kChunk = 32;
+  const std::string chunk(kChunk, 'x');
+
+  std::thread writer([&] {
+    for (int i = 0; i < kAppends; i++) {
+      ASSERT_TRUE(file->Append(chunk).ok());
+    }
+  });
+  uint64_t last = 0;
+  bool monotonic = true;
+  bool aligned = true;
+  while (last < kAppends * kChunk) {
+    uint64_t now = file->Size();
+    if (now < last) monotonic = false;
+    if (now % kChunk != 0) aligned = false;
+    last = std::max(last, now);
+  }
+  writer.join();
+  EXPECT_TRUE(monotonic) << "Size() went backwards";
+  EXPECT_TRUE(aligned) << "Size() observed a torn mid-append value";
+  EXPECT_EQ(file->Size(), kAppends * kChunk);
+}
+
 // ---------------------------------------------------------------------------
 // Comparator
 // ---------------------------------------------------------------------------
