@@ -111,7 +111,8 @@ void PrintPhase(const char* label, const Phase& phase) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Elasticity", "Zipfian hot spot, before/after the elastic "
                             "balancer (5 servers)");
   const uint64_t records = Scaled(20000);

@@ -44,7 +44,8 @@ double BatchedLoad(tablet::TabletServer* server, const std::string& uid,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Figure 6", "Sequential write time (s), LogBase vs HBase");
   const uint64_t points[] = {250000, 500000, 1000000};
 

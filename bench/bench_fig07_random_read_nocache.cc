@@ -13,7 +13,8 @@
 using namespace logbase;
 using namespace logbase::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Figure 7",
               "Random read time (s) without cache, LogBase vs HBase");
   const uint64_t load_n = Scaled(1000000);

@@ -8,7 +8,8 @@
 using namespace logbase;
 using namespace logbase::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Figure 8",
               "Random read time (s) with cache, LogBase vs HBase");
   const uint64_t load_n = Scaled(1000000);

@@ -9,7 +9,8 @@
 using namespace logbase;
 using namespace logbase::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Figure 9", "Sequential scan time (s), LogBase vs HBase");
   std::printf("%12s %14s %12s %10s %8s\n", "tuples(paper)", "tuples(run)",
               "LogBase(s)", "HBase(s)", "LB/HB");

@@ -8,7 +8,8 @@
 using namespace logbase;
 using namespace logbase::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Figure 11", "Parallel data loading time (s), LogBase vs "
                            "HBase");
   std::printf("records per node: %llu (paper: 1M, memory-scaled)\n",

@@ -11,7 +11,8 @@
 using namespace logbase;
 using namespace logbase::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Figure 12", "Mixed workload throughput (ops/s), LogBase vs "
                            "HBase, 95%/75% update mixes");
   const uint64_t kOpsPerClient = 2000;

@@ -7,7 +7,8 @@
 using namespace logbase;
 using namespace logbase::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Figure 14",
               "Read latency (ms, avg), LogBase vs HBase, 95%/75% update");
   const uint64_t kOpsPerClient = 2000;

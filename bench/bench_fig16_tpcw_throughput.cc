@@ -6,7 +6,8 @@
 using namespace logbase;
 using namespace logbase::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Figure 16", "TPC-W transaction throughput (TPS) per mix");
   const uint64_t kTxnsPerClient = 1000;
   std::printf("%6s %12s %12s %12s\n", "nodes", "browsing", "shopping",

@@ -7,7 +7,8 @@
 using namespace logbase;
 using namespace logbase::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Figure 17", "Checkpoint write vs reload cost (s)");
   std::printf("%12s %12s %12s %12s\n", "data(paper)", "data(run)",
               "write(s)", "reload(s)");

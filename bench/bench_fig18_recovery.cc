@@ -61,7 +61,8 @@ double RecoverAfterLoading(uint64_t checkpoint_at_records,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Figure 18",
               "Recovery time (s): checkpoint at 500MB vs no checkpoint");
   const uint64_t checkpoint_at = Scaled(500ull << 10);  // records (1KB each)

@@ -7,7 +7,8 @@
 using namespace logbase;
 using namespace logbase::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Figure 20", "Random read time (s) no cache, LogBase vs LRS");
   const uint64_t load_n = Scaled(1000000);
   workload::YcsbOptions wopts;

@@ -7,7 +7,8 @@
 using namespace logbase;
 using namespace logbase::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Figure 21", "Sequential scan time (s), LogBase vs LRS");
   std::printf("%12s %14s %12s %10s %8s\n", "tuples(paper)", "tuples(run)",
               "LogBase(s)", "LRS(s)", "ratio");

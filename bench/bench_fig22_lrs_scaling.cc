@@ -8,7 +8,8 @@
 using namespace logbase;
 using namespace logbase::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Figure 22",
               "Throughput scaling (ops/s), LogBase vs LRS, write-only and "
               "read-only");

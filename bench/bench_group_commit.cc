@@ -103,7 +103,8 @@ RunResult RunWriters(WriteFixture* f, int writers, uint64_t n,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Write path", "Group commit + pipelined quorum appends");
   BenchResult json("group_commit");
   const uint64_t n = Scaled(100000);

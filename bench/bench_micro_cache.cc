@@ -38,7 +38,8 @@ double RunTrace(std::unique_ptr<tablet::ReplacementPolicy> policy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Micro: read buffer",
               "Replacement strategy hit rates (§3.6.2 pluggable policy)");
   std::printf("%-10s %18s %20s\n", "policy", "zipfian hit-rate",

@@ -27,7 +27,8 @@ log::LogRecord MakeRecord(uint32_t group, uint64_t i) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Micro: log layout",
               "One log per server vs one log per column group (§3.4)");
   const int kGroups = 4;

@@ -8,7 +8,8 @@
 using namespace logbase;
 using namespace logbase::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Micro: group commit",
               "Per-record log persistence cost vs batch size (§3.7.2)");
   const uint64_t kRecords = 20000;

@@ -217,7 +217,8 @@ ConfigResult RunConfig(int num_replicas, uint64_t records,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
   PrintHeader("Read scaling",
               "Stale-tolerant read throughput vs. read replicas "
               "(5 servers, write-heavy foreground)");

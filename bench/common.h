@@ -50,6 +50,30 @@ inline uint64_t ScaledBytes(uint64_t paper_bytes) {
   return std::max<uint64_t>(v, 64 << 10);
 }
 
+/// Output path override for BenchResult::WriteFile, set by `--json <path>`;
+/// empty means the default BENCH_<name>.json in the working directory.
+inline std::string& BenchJsonPath() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+/// Parses the flags every bench main shares. Currently:
+///   --json <path>   write the machine-readable BenchResult to <path>
+///                   instead of BENCH_<name>.json in the working directory
+/// Unknown arguments abort with a usage line, so a typo cannot silently run
+/// a default configuration.
+inline void ParseBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      BenchJsonPath() = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+}
+
 inline void PrintHeader(const char* figure, const char* title) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", figure, title);
@@ -186,6 +210,20 @@ inline void PrintComponentBreakdown(
                 static_cast<unsigned long long>(
                     m.CounterValue("tablet.recovery.redo_bytes")));
   }
+  if (m.CounterValue("query.scan.rows_scanned") > 0) {
+    const obs::MetricPoint* sel = m.Find("query.scan.pushdown_selectivity");
+    std::printf("  %-12s scanned=%-10llu returned=%-10llu shipped=%llu bytes"
+                "  selectivity avg=%.1f%% p99=%.1f%%\n",
+                "query.scan",
+                static_cast<unsigned long long>(
+                    m.CounterValue("query.scan.rows_scanned")),
+                static_cast<unsigned long long>(
+                    m.CounterValue("query.scan.rows_returned")),
+                static_cast<unsigned long long>(
+                    m.CounterValue("query.scan.bytes_shipped")),
+                sel != nullptr ? sel->avg : 0.0,
+                sel != nullptr ? sel->p99 : 0.0);
+  }
 }
 
 /// Convenience for bench mains: prints the breakdown of everything the
@@ -234,9 +272,12 @@ class BenchResult {
     }
   }
 
-  /// Writes BENCH_<name>.json; prints the path (or the failure) to stdout.
+  /// Writes BENCH_<name>.json (or the --json override); prints the path
+  /// (or the failure) to stdout.
   void WriteFile() const {
-    const std::string path = "BENCH_" + name_ + ".json";
+    const std::string path = BenchJsonPath().empty()
+                                 ? "BENCH_" + name_ + ".json"
+                                 : BenchJsonPath();
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::printf("results: could not write %s\n", path.c_str());

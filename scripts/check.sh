@@ -63,18 +63,19 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "${preset}" -j "$(nproc)"
   ctest --preset "${preset}"
   # The balance suite (live migration / split protocol safety), the
-  # replica suite (snapshot-serving read replicas, I6 nemesis) and the log
-  # suite (group commit, quorum appends, quorum-tail recovery) gate the
-  # default and tsan trees explicitly by label, mirroring the chaos stage.
+  # replica suite (snapshot-serving read replicas, I6 nemesis), the log
+  # suite (group commit, quorum appends, quorum-tail recovery) and the
+  # query suite (scan pushdown three-way differential) gate the default and
+  # tsan trees explicitly by label, mirroring the chaos stage.
   case "${preset}" in
     default)
-      echo "==== balance+replica+log: ${preset} ===="
-      (cd "build" && ctest -L 'balance|replica|log' --output-on-failure)
+      echo "==== balance+replica+log+query: ${preset} ===="
+      (cd "build" && ctest -L 'balance|replica|log|query' --output-on-failure)
       ;;
     tsan)
-      echo "==== balance+replica+log: ${preset} ===="
+      echo "==== balance+replica+log+query: ${preset} ===="
       (cd "build-tsan" && TSAN_OPTIONS=halt_on_error=1 \
-        ctest -L 'balance|replica|log' --output-on-failure)
+        ctest -L 'balance|replica|log|query' --output-on-failure)
       ;;
   esac
 done

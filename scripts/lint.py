@@ -596,6 +596,20 @@ SELF_TEST_CASES = [
      'OrderedMutex mu_{lockrank::kLogWriter, "log.writer"};\n'
      '  uint64_t next_sequence_ GUARDED_BY(mu_) = 1;\n'
      '  std::atomic<uint64_t> durable_{0};  // atomics need no guard'),
+    # The query subsystem (scan pushdown) is pure evaluation code, but it is
+    # policed by the same rules: plan/batch codecs and the executor charge
+    # virtual time only (no wall clocks), sampling for any future
+    # plan-choice heuristics must be seeded, and any cache it grows a lock
+    # for must be ranked.
+    (check_wall_clock, 'src/query/executor.cc',
+     'auto scan_started = std::chrono::steady_clock::now();',
+     'sim::ChargeCpu(n * sim::costs::kRecordCodecUs);'),
+    (check_nondet, 'src/query/plan.cc',
+     'uint64_t sampled_row = rand() % entries.size();',
+     'uint64_t sampled_row = rnd.Uniform(entries.size());'),
+    (check_mutex, 'src/query/executor.h',
+     'mutable std::mutex plan_cache_mu_;',
+     'mutable OrderedMutex plan_cache_mu_{lockrank::kClientCache, "q"};'),
 ]
 
 

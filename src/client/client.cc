@@ -1,37 +1,27 @@
 #include "src/client/client.h"
 
 #include <algorithm>
+#include <functional>
+#include <queue>
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
-#include "src/util/coding.h"
+#include "src/query/column_batch.h"
+#include "src/sim/sim_context.h"
 
 namespace logbase::client {
 
+// The column-group value codec lives in src/query (the pushdown executor
+// gathers evaluation cells through it); these wrappers keep the historical
+// client spelling while guaranteeing both layers speak one format.
 std::string EncodeColumns(const std::map<std::string, std::string>& columns) {
-  std::string out;
-  PutVarint32(&out, static_cast<uint32_t>(columns.size()));
-  for (const auto& [name, value] : columns) {
-    PutLengthPrefixedSlice(&out, Slice(name));
-    PutLengthPrefixedSlice(&out, Slice(value));
-  }
-  return out;
+  return query::EncodeColumnMap(columns);
 }
 
 Result<std::map<std::string, std::string>> DecodeColumns(const Slice& value) {
-  Slice in = value;
-  uint32_t count;
-  if (!GetVarint32(&in, &count)) {
-    return Status::Corruption("bad column encoding");
-  }
   std::map<std::string, std::string> columns;
-  for (uint32_t i = 0; i < count; i++) {
-    Slice name, val;
-    if (!GetLengthPrefixedSlice(&in, &name) ||
-        !GetLengthPrefixedSlice(&in, &val)) {
-      return Status::Corruption("bad column entry");
-    }
-    columns[name.ToString()] = val.ToString();
+  if (!query::DecodeColumnMap(value, &columns)) {
+    return Status::Corruption("bad column encoding");
   }
   return columns;
 }
@@ -438,79 +428,203 @@ Result<ReadResult> LogBaseClient::Get(const std::string& table,
   });
 }
 
+std::vector<tablet::ReadRow> QueryResult::ToRows() const {
+  std::vector<tablet::ReadRow> rows;
+  for (const query::ColumnBatch& batch : batches) {
+    const query::BatchColumn* raw = batch.Find(query::kRawValueColumn);
+    for (size_t i = 0; i < batch.NumRows(); i++) {
+      tablet::ReadRow row;
+      row.key = batch.keys[i];
+      row.timestamp = batch.timestamps[i];
+      if (raw != nullptr && raw->present[i] != 0) row.value = raw->cells[i];
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
 Result<std::vector<tablet::ReadRow>> LogBaseClient::Scan(
     const std::string& table, uint32_t column_group, const Slice& start_key,
     const Slice& end_key, const ReadOptions& options) {
   obs::Span span("client.scan");
-  // Retried as a unit: a failed tablet mid-scan restarts the whole scan
-  // against the (possibly reassigned) current layout.
-  using Rows = std::vector<tablet::ReadRow>;
-  return retry_.Run<Rows>("client.scan", [&]() -> Result<Rows> {
-    auto master = ActiveMaster();
-    if (!master.ok()) return master.status();
-    auto locations = (*master)->LocateAll(table, column_group);
-    if (!locations.ok()) return locations.status();
-    const uint64_t as_of = options.as_of == 0 ? ~0ull : options.as_of;
-    Rows rows;
-    for (const master::TabletLocation& location : *locations) {
-      const tablet::TabletDescriptor& d = location.descriptor;
-      // Skip tablets entirely outside the range.
-      if (!end_key.empty() && !d.start_key.empty() &&
-          Slice(d.start_key).compare(end_key) >= 0) {
-        continue;
-      }
-      if (!start_key.empty() && !d.end_key.empty() &&
-          Slice(d.end_key).compare(start_key) <= 0) {
-        continue;
-      }
-      // Each tablet's slice prefers a replica under allow_stale; any
-      // replica-side failure (staleness, teardown, crash) falls back to
-      // this tablet's primary within the same attempt.
-      if (options.allow_stale && replica_resolver_ &&
-          !location.replicas.empty()) {
-        bool served = false;
-        for (int replica_id : location.replicas) {
-          replica::ReplicaServer* rep = replica_resolver_(replica_id);
-          if (rep == nullptr || !rep->running()) continue;
-          if (!ServerReachable(rep->node())) continue;
-          auto part = rep->Scan(d.uid(), start_key, end_key, options.as_of,
-                                options.max_staleness_us);
-          if (!part.ok()) continue;
-          uint64_t bytes = 0;
-          for (const auto& row : *part) {
-            bytes += row.key.size() + row.value.size();
+  // Canonical path: a match-all plan with an empty projection ships the
+  // stored values verbatim in raw-value batches, so this is byte-identical
+  // to the historical row-shipping scan while sharing Query's routing,
+  // fan-out, retry and accounting.
+  query::QueryPlan plan;
+  plan.start_key = start_key.ToString();
+  plan.end_key = end_key.ToString();
+  QueryOptions query_options;
+  query_options.read = options;
+  auto result = Query(table, column_group, plan, query_options);
+  if (!result.ok()) return result.status();
+  return result->ToRows();
+}
+
+Result<query::TabletResult> LogBaseClient::QueryTablet(
+    const master::TabletLocation& location, const Slice& wire_plan,
+    const query::ExecOptions& exec, const QueryOptions& options,
+    bool* from_replica) {
+  const tablet::TabletDescriptor& d = location.descriptor;
+  // Transient per-tablet failures (server restarting, replica mid-reseed)
+  // retry here without restarting the whole scatter; when the budget runs
+  // out the failure bubbles up and the outer whole-query retry re-plans
+  // against the then-current layout (stale routes have already invalidated
+  // the cache through NormalizeServerStatus).
+  fault::RetryOptions per_tablet = retry_.options();
+  per_tablet.max_attempts = std::min(per_tablet.max_attempts, 3);
+  fault::RetryPolicy policy(per_tablet);
+  return policy.Run<query::TabletResult>(
+      "client.query_tablet", [&]() -> Result<query::TabletResult> {
+        // Replica-preferring routing, like ReplicaGet: rotate by (tablet,
+        // client node) so one tablet's queries spread across its replicas,
+        // fall back to the primary when every candidate declines.
+        if (options.read.allow_stale && replica_resolver_ &&
+            !location.replicas.empty()) {
+          uint64_t h = static_cast<uint64_t>(node_) ^ 0x9E3779B97F4A7C15ull;
+          const std::string uid = d.uid();
+          for (char c : uid) {
+            h = (h ^ static_cast<unsigned char>(c)) * 0x100000001B3ull;
           }
-          ChargeRpc(rep->node(), 64, bytes + 32);
+          h ^= h >> 33;
+          size_t start = static_cast<size_t>(h);
           static obs::Counter* redirects = obs::MetricsRegistry::Global()
               .counter("client.replica.redirects");
-          redirects->Add();
-          rows.insert(rows.end(), std::make_move_iterator(part->begin()),
-                      std::make_move_iterator(part->end()));
-          served = true;
-          break;
+          for (size_t i = 0; i < location.replicas.size(); i++) {
+            int replica_id =
+                location.replicas[(start + i) % location.replicas.size()];
+            replica::ReplicaServer* rep = replica_resolver_(replica_id);
+            if (rep == nullptr || !rep->running()) continue;
+            if (!ServerReachable(rep->node())) continue;
+            auto part =
+                rep->ExecuteScan(uid, wire_plan, options.read.as_of,
+                                 options.read.max_staleness_us, exec);
+            if (part.ok()) {
+              ChargeRpc(rep->node(), wire_plan.size() + 64,
+                        part->stats.bytes_shipped + 32);
+              redirects->Add();
+              *from_replica = true;
+              return part;
+            }
+            if (part.status().IsNotFound() &&
+                part.status().ToString().find("unknown replica tablet") !=
+                    std::string::npos) {
+              // Torn down under us (migration/split): stale route, same as
+              // an unknown-tablet primary response; try the next candidate.
+              InvalidateCache();
+              continue;
+            }
+            // Staleness exceeded / re-seeding / crashed mid-flight: next
+            // candidate, then the primary.
+          }
+          static obs::Counter* fallbacks = obs::MetricsRegistry::Global()
+              .counter("client.replica.fallbacks");
+          fallbacks->Add();
         }
-        if (served) continue;
-        static obs::Counter* fallbacks = obs::MetricsRegistry::Global()
-            .counter("client.replica.fallbacks");
-        fallbacks->Add();
-      }
-      if (!ServerReachable(location.server_id)) {
-        return Status::Unavailable("tablet server unreachable during scan");
-      }
-      tablet::TabletServer* server = server_resolver_(location.server_id);
-      if (server == nullptr || !server->running()) {
-        return Status::Unavailable("tablet server down during scan");
-      }
-      auto part = server->Scan(d.uid(), start_key, end_key, as_of);
-      if (!part.ok()) return NormalizeServerStatus(part.status());
-      uint64_t bytes = 0;
-      for (const auto& row : *part) bytes += row.key.size() + row.value.size();
-      ChargeRpc(location.server_id, 64, bytes + 32);
-      rows.insert(rows.end(), std::make_move_iterator(part->begin()),
-                  std::make_move_iterator(part->end()));
-    }
-    return rows;
-  });
+        if (!ServerReachable(location.server_id)) {
+          return Status::Unavailable("tablet server unreachable (partition)");
+        }
+        tablet::TabletServer* server = server_resolver_(location.server_id);
+        if (server == nullptr || !server->running()) {
+          InvalidateCache();
+          return Status::Unavailable("tablet server down; cache invalidated");
+        }
+        auto part = server->ExecuteScan(d.uid(), wire_plan, exec);
+        if (!part.ok()) return NormalizeServerStatus(part.status());
+        ChargeRpc(location.server_id, wire_plan.size() + 64,
+                  part->stats.bytes_shipped + 32);
+        return part;
+      });
+}
+
+Result<QueryResult> LogBaseClient::Query(const std::string& table,
+                                         uint32_t column_group,
+                                         const query::QueryPlan& plan,
+                                         const QueryOptions& options) {
+  obs::Span span("client.query");
+  // Encoded once; the same bytes ship to every server (and are what the
+  // network model charges for each request).
+  const std::string wire_plan = plan.Encode();
+  query::ExecOptions exec;
+  exec.as_of = options.read.as_of == 0 ? ~0ull : options.read.as_of;
+  exec.batch_rows = options.batch_rows == 0 ? 256 : options.batch_rows;
+
+  // Retried as a unit: a tablet that exhausts its per-tablet budget
+  // restarts the whole query against the (possibly reassigned) layout.
+  return retry_.Run<QueryResult>(
+      "client.query", [&]() -> Result<QueryResult> {
+        auto master = ActiveMaster();
+        if (!master.ok()) return master.status();
+        auto locations = (*master)->LocateAll(table, column_group);
+        if (!locations.ok()) return locations.status();
+
+        // Tablets overlapping the plan's range, in key order. LocateAll is
+        // key-ordered and tablet ranges are disjoint, so appending
+        // per-tablet batches in this order yields global key order.
+        std::vector<const master::TabletLocation*> targets;
+        for (const master::TabletLocation& location : *locations) {
+          const tablet::TabletDescriptor& d = location.descriptor;
+          if (!plan.end_key.empty() && !d.start_key.empty() &&
+              Slice(d.start_key).compare(Slice(plan.end_key)) >= 0) {
+            continue;
+          }
+          if (!plan.start_key.empty() && !d.end_key.empty() &&
+              Slice(d.end_key).compare(Slice(plan.start_key)) <= 0) {
+            continue;
+          }
+          targets.push_back(&location);
+        }
+
+        // Partition-parallel scatter in virtual time: up to `max_fanout`
+        // sub-queries overlap. Each runs in a child clock starting at the
+        // fan-out point while slots are free, else at the earliest running
+        // sub-query's completion; the caller advances to the last
+        // completion — elapsed time is the critical path, not the sum.
+        sim::SimContext* ctx = sim::SimContext::Current();
+        const sim::VirtualTime base = ctx != nullptr ? ctx->now() : 0;
+        const size_t fanout = std::max<size_t>(1, options.max_fanout);
+        std::priority_queue<sim::VirtualTime, std::vector<sim::VirtualTime>,
+                            std::greater<sim::VirtualTime>>
+            slots;
+        sim::VirtualTime finish = base;
+
+        QueryResult out;
+        query::TabletResult acc;
+        for (const master::TabletLocation* location : targets) {
+          sim::VirtualTime start = base;
+          if (ctx != nullptr && slots.size() >= fanout) {
+            start = slots.top();
+            slots.pop();
+          }
+          sim::SimContext child(start);
+          bool from_replica = false;
+          auto part = [&]() -> Result<query::TabletResult> {
+            sim::SimContext::Scope scope(ctx != nullptr ? &child : nullptr);
+            return QueryTablet(*location, Slice(wire_plan), exec, options,
+                               &from_replica);
+          }();
+          if (ctx != nullptr) {
+            slots.push(child.now());
+            finish = std::max(finish, child.now());
+          }
+          if (!part.ok()) {
+            // The failed sub-query's elapsed time still happened.
+            if (ctx != nullptr) ctx->AdvanceTo(finish);
+            return part.status();
+          }
+          out.tablets_queried++;
+          if (from_replica) out.tablets_from_replica++;
+          out.rows_scanned += part->stats.rows_scanned;
+          out.rows_returned += part->stats.rows_returned;
+          out.bytes_shipped += part->stats.bytes_shipped;
+          query::MergeInto(&acc, std::move(*part));
+        }
+        if (ctx != nullptr) ctx->AdvanceTo(finish);
+        out.aggregated = acc.aggregated;
+        out.batches = std::move(acc.batches);
+        out.agg = std::move(acc.agg);
+        return out;
+      });
 }
 
 // ---------------------------------------------------------------------------

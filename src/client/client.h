@@ -21,6 +21,7 @@
 
 #include "src/fault/retry_policy.h"
 #include "src/master/master.h"
+#include "src/query/executor.h"
 #include "src/sim/network_model.h"
 #include "src/txn/transaction_manager.h"
 
@@ -114,6 +115,39 @@ struct ReadResult {
   /// `found()` first on all-versions reads.
   const std::string& value() const { return rows.front().value; }
   uint64_t timestamp() const { return rows.front().timestamp; }
+};
+
+/// How a `Query` executes. `read` supplies the snapshot and replica routing
+/// (as_of, allow_stale, max_staleness_us — all_versions is ignored: queries
+/// see one version per key); the remaining knobs are query-specific.
+struct QueryOptions {
+  ReadOptions read;
+  /// Per-tablet sub-queries in flight at once: the scatter/gather fan-out
+  /// bound. In virtual time up to this many tablets overlap; the next
+  /// sub-query starts when the earliest running one finishes.
+  size_t max_fanout = 4;
+  /// Rows per shipped ColumnBatch.
+  size_t batch_rows = 256;
+};
+
+/// What a `Query` returns: filtered/projected column batches in global key
+/// order, or merged aggregation partials, plus the pushdown accounting.
+struct QueryResult {
+  bool aggregated = false;
+  std::vector<query::ColumnBatch> batches;  // row queries
+  query::AggResult agg;                     // aggregation queries
+
+  /// Totals across every per-tablet sub-query.
+  uint64_t rows_scanned = 0;   // index entries visited server-side
+  uint64_t rows_returned = 0;  // rows surviving the predicate
+  uint64_t bytes_shipped = 0;  // wire bytes shipped client-ward
+  uint64_t tablets_queried = 0;
+  uint64_t tablets_from_replica = 0;
+
+  /// Reconstructs rows from raw-value batches (plans with an empty
+  /// projection ship the stored values verbatim) — byte-exact, which is
+  /// what lets `Scan` route through the query path.
+  std::vector<tablet::ReadRow> ToRows() const;
 };
 
 class LogBaseClient;
@@ -211,21 +245,36 @@ class LogBaseClient {
   /// full version history via `options.all_versions`.
   Result<ReadResult> Get(const std::string& table, uint32_t column_group,
                          const Slice& key, const ReadOptions& options);
-  /// Range scan across tablets (fans out to every overlapping tablet).
-  /// `options.allow_stale` serves each tablet's slice from a replica when it
-  /// has one (per-tablet primary fallback otherwise); `options.as_of` bounds
-  /// the snapshot.
+  /// Range scan across tablets. Canonically implemented as a match-all
+  /// `Query` with an empty projection: the scatter/gather engine fans out to
+  /// every overlapping tablet, each tablet's slice prefers a replica under
+  /// `options.allow_stale` (per-tablet primary fallback otherwise), and the
+  /// stored values ship back verbatim in raw-value batches. There is ONE
+  /// scan path — both overloads, and Query itself, share routing, retry and
+  /// metrics, so the spellings cannot diverge.
   Result<std::vector<tablet::ReadRow>> Scan(const std::string& table,
                                             uint32_t column_group,
                                             const Slice& start_key,
                                             const Slice& end_key,
                                             const ReadOptions& options);
+  /// Convenience overload: default ReadOptions, same canonical path.
   Result<std::vector<tablet::ReadRow>> Scan(const std::string& table,
                                             uint32_t column_group,
                                             const Slice& start_key,
                                             const Slice& end_key) {
     return Scan(table, column_group, start_key, end_key, ReadOptions{});
   }
+
+  /// Pushed-down query (src/query/): fans the plan out across every tablet
+  /// overlapping the plan's key range — bounded fan-out, per-tablet retry,
+  /// replica-preferring routing under `options.read.allow_stale` — and
+  /// gathers filtered/projected batches (global key order) or merges
+  /// aggregation partials (sum-of-sums, min-of-mins, group-by map merge).
+  /// Retried as a unit on per-tablet exhaustion, against the then-current
+  /// layout.
+  Result<QueryResult> Query(const std::string& table, uint32_t column_group,
+                            const query::QueryPlan& plan,
+                            const QueryOptions& options = {});
 
   // -- Row operations across column groups --------------------------------
 
@@ -274,6 +323,15 @@ class LogBaseClient {
   Result<tablet::ReadValue> ReplicaGet(const Route& route, const Slice& key,
                                        const ReadOptions& options,
                                        uint64_t* snapshot_ts);
+  /// One tablet's slice of a Query: replica-preferring routing (mirrors
+  /// ReplicaGet's rotation + fallback) with a per-tablet retry budget.
+  /// `wire_plan` is the already-encoded plan — encoded once per Query, the
+  /// same bytes shipped to every server. Sets `*from_replica` when a replica
+  /// served the slice.
+  Result<query::TabletResult> QueryTablet(
+      const master::TabletLocation& location, const Slice& wire_plan,
+      const query::ExecOptions& exec, const QueryOptions& options,
+      bool* from_replica);
   tablet::TabletServer* ServerByUid(const std::string& uid);
   Result<tablet::TabletServer*> ServerFor(const Route& route);
   /// The active master, or Unavailable when none is elected/reachable.

@@ -1,0 +1,321 @@
+#include "src/query/plan.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "src/util/coding.h"
+
+namespace logbase::query {
+
+namespace {
+
+// Guards Decode against adversarial nesting blowing the stack; real plans
+// are a handful of levels deep.
+constexpr uint32_t kMaxPredicateDepth = 64;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Value.
+// ---------------------------------------------------------------------------
+
+int Value::Compare(const Value& other) const {
+  if (kind == Kind::kInt64) {
+    if (i64 < other.i64) return -1;
+    if (i64 > other.i64) return 1;
+    return 0;
+  }
+  return Slice(bytes).compare(Slice(other.bytes));
+}
+
+void Value::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(kind));
+  if (kind == Kind::kInt64) {
+    PutFixed64(dst, static_cast<uint64_t>(i64));
+  } else {
+    PutLengthPrefixedSlice(dst, Slice(bytes));
+  }
+}
+
+bool Value::DecodeFrom(Slice* in, Value* out) {
+  if (in->empty()) return false;
+  uint8_t kind = static_cast<uint8_t>((*in)[0]);
+  in->remove_prefix(1);
+  if (kind == static_cast<uint8_t>(Kind::kInt64)) {
+    uint64_t raw;
+    if (!GetFixed64(in, &raw)) return false;
+    *out = Value::Int64(static_cast<int64_t>(raw));
+    return true;
+  }
+  if (kind != static_cast<uint8_t>(Kind::kBytes)) return false;
+  Slice bytes;
+  if (!GetLengthPrefixedSlice(in, &bytes)) return false;
+  *out = Value::Bytes(bytes.ToString());
+  return true;
+}
+
+bool ParseInt64(const Slice& cell, int64_t* out) {
+  if (cell.empty() || cell.size() > 20) return false;
+  // strtoll skips leading whitespace ("  12" parses); a cell is only a
+  // number when its first byte already is one, so reject that up front.
+  const char first = cell[0];
+  if (first != '-' && (first < '0' || first > '9')) return false;
+  char buf[24];
+  memcpy(buf, cell.data(), cell.size());
+  buf[cell.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(buf, &end, 10);
+  if (errno == ERANGE || end != buf + cell.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Predicate.
+// ---------------------------------------------------------------------------
+
+Predicate Predicate::Cmp(Op op, std::string column, Value operand) {
+  Predicate p;
+  p.op = op;
+  p.column = std::move(column);
+  p.operand = std::move(operand);
+  return p;
+}
+
+Predicate Predicate::And(std::vector<Predicate> children) {
+  Predicate p;
+  p.op = Op::kAnd;
+  p.children = std::move(children);
+  return p;
+}
+
+Predicate Predicate::Or(std::vector<Predicate> children) {
+  Predicate p;
+  p.op = Op::kOr;
+  p.children = std::move(children);
+  return p;
+}
+
+void Predicate::CollectColumns(std::vector<std::string>* out) const {
+  switch (op) {
+    case Op::kTrue:
+      return;
+    case Op::kAnd:
+    case Op::kOr:
+      for (const Predicate& child : children) child.CollectColumns(out);
+      return;
+    default:
+      out->push_back(column);
+      for (size_t i = out->size(); i > 1; i--) {
+        // Insertion keeps the list sorted + deduped without a second pass.
+        if ((*out)[i - 1] > (*out)[i - 2]) break;
+        if ((*out)[i - 1] == (*out)[i - 2]) {
+          out->erase(out->begin() + static_cast<long>(i) - 1);
+          break;
+        }
+        std::swap((*out)[i - 1], (*out)[i - 2]);
+      }
+      return;
+  }
+}
+
+namespace {
+
+bool CompareMatches(Predicate::Op op, int cmp) {
+  switch (op) {
+    case Predicate::Op::kEq:
+      return cmp == 0;
+    case Predicate::Op::kNe:
+      return cmp != 0;
+    case Predicate::Op::kLt:
+      return cmp < 0;
+    case Predicate::Op::kLe:
+      return cmp <= 0;
+    case Predicate::Op::kGt:
+      return cmp > 0;
+    case Predicate::Op::kGe:
+      return cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+/// Shared leaf semantics: the one place a cell meets an operand, used by
+/// both the row path here and the columnar path in the executor.
+bool CellMatches(Predicate::Op op, const Slice& cell, const Value& operand) {
+  if (operand.kind == Value::Kind::kInt64) {
+    int64_t v;
+    if (!ParseInt64(cell, &v)) return false;
+    Value parsed = Value::Int64(v);
+    return CompareMatches(op, parsed.Compare(operand));
+  }
+  return CompareMatches(op, Slice(cell).compare(Slice(operand.bytes)));
+}
+
+bool Predicate::Matches(
+    const std::map<std::string, std::string>& columns) const {
+  switch (op) {
+    case Op::kTrue:
+      return true;
+    case Op::kAnd:
+      for (const Predicate& child : children) {
+        if (!child.Matches(columns)) return false;
+      }
+      return true;
+    case Op::kOr:
+      for (const Predicate& child : children) {
+        if (child.Matches(columns)) return true;
+      }
+      return false;
+    default: {
+      auto it = columns.find(column);
+      if (it == columns.end()) return false;  // NULL never matches
+      return CellMatches(op, Slice(it->second), operand);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plan encoding. Layout (all sizes varint, field order fixed):
+//   version byte | start_key | end_key | predicate | projection | aggregation
+// Predicate: op byte, then (leaf) column + value or (and/or) count+children.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr uint8_t kPlanVersion = 1;
+
+void EncodePredicate(const Predicate& p, std::string* dst) {
+  dst->push_back(static_cast<char>(p.op));
+  switch (p.op) {
+    case Predicate::Op::kTrue:
+      return;
+    case Predicate::Op::kAnd:
+    case Predicate::Op::kOr:
+      PutVarint32(dst, static_cast<uint32_t>(p.children.size()));
+      for (const Predicate& child : p.children) EncodePredicate(child, dst);
+      return;
+    default:
+      PutLengthPrefixedSlice(dst, Slice(p.column));
+      p.operand.EncodeTo(dst);
+      return;
+  }
+}
+
+bool DecodePredicate(Slice* in, Predicate* out, uint32_t depth) {
+  if (depth > kMaxPredicateDepth || in->empty()) return false;
+  uint8_t op = static_cast<uint8_t>((*in)[0]);
+  in->remove_prefix(1);
+  if (op > static_cast<uint8_t>(Predicate::Op::kOr)) return false;
+  out->op = static_cast<Predicate::Op>(op);
+  switch (out->op) {
+    case Predicate::Op::kTrue:
+      return true;
+    case Predicate::Op::kAnd:
+    case Predicate::Op::kOr: {
+      uint32_t count;
+      if (!GetVarint32(in, &count) || count > 1024) return false;
+      out->children.resize(count);
+      for (uint32_t i = 0; i < count; i++) {
+        if (!DecodePredicate(in, &out->children[i], depth + 1)) return false;
+      }
+      return true;
+    }
+    default: {
+      Slice column;
+      if (!GetLengthPrefixedSlice(in, &column)) return false;
+      out->column = column.ToString();
+      return Value::DecodeFrom(in, &out->operand);
+    }
+  }
+}
+
+}  // namespace
+
+void QueryPlan::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(kPlanVersion));
+  PutLengthPrefixedSlice(dst, Slice(start_key));
+  PutLengthPrefixedSlice(dst, Slice(end_key));
+  EncodePredicate(predicate, dst);
+  PutVarint32(dst, static_cast<uint32_t>(projection.columns.size()));
+  for (const std::string& column : projection.columns) {
+    PutLengthPrefixedSlice(dst, Slice(column));
+  }
+  dst->push_back(static_cast<char>(aggregation.kind));
+  PutLengthPrefixedSlice(dst, Slice(aggregation.column));
+  dst->push_back(static_cast<char>(aggregation.value_kind));
+  PutVarint32(dst, aggregation.group_by_prefix_len);
+}
+
+Result<QueryPlan> QueryPlan::Decode(const Slice& encoded) {
+  Slice in = encoded;
+  if (in.empty() || in[0] != static_cast<char>(kPlanVersion)) {
+    return Status::Corruption("bad query plan version");
+  }
+  in.remove_prefix(1);
+  QueryPlan plan;
+  Slice start, end;
+  if (!GetLengthPrefixedSlice(&in, &start) ||
+      !GetLengthPrefixedSlice(&in, &end)) {
+    return Status::Corruption("bad query plan key range");
+  }
+  plan.start_key = start.ToString();
+  plan.end_key = end.ToString();
+  if (!DecodePredicate(&in, &plan.predicate, 0)) {
+    return Status::Corruption("bad query plan predicate");
+  }
+  uint32_t num_columns;
+  if (!GetVarint32(&in, &num_columns) || num_columns > 4096) {
+    return Status::Corruption("bad query plan projection");
+  }
+  plan.projection.columns.reserve(num_columns);
+  for (uint32_t i = 0; i < num_columns; i++) {
+    Slice column;
+    if (!GetLengthPrefixedSlice(&in, &column)) {
+      return Status::Corruption("bad query plan projection column");
+    }
+    plan.projection.columns.push_back(column.ToString());
+  }
+  if (in.size() < 2) return Status::Corruption("bad query plan aggregation");
+  uint8_t agg_kind = static_cast<uint8_t>(in[0]);
+  in.remove_prefix(1);
+  if (agg_kind > static_cast<uint8_t>(Aggregation::Kind::kMax)) {
+    return Status::Corruption("bad query plan aggregation kind");
+  }
+  plan.aggregation.kind = static_cast<Aggregation::Kind>(agg_kind);
+  Slice agg_column;
+  if (!GetLengthPrefixedSlice(&in, &agg_column)) {
+    return Status::Corruption("bad query plan aggregation column");
+  }
+  plan.aggregation.column = agg_column.ToString();
+  if (in.empty()) return Status::Corruption("bad query plan aggregation");
+  uint8_t value_kind = static_cast<uint8_t>(in[0]);
+  in.remove_prefix(1);
+  if (value_kind > static_cast<uint8_t>(Value::Kind::kInt64)) {
+    return Status::Corruption("bad query plan aggregation value kind");
+  }
+  plan.aggregation.value_kind = static_cast<Value::Kind>(value_kind);
+  if (!GetVarint32(&in, &plan.aggregation.group_by_prefix_len)) {
+    return Status::Corruption("bad query plan group-by");
+  }
+  if (!in.empty()) return Status::Corruption("trailing query plan bytes");
+  return plan;
+}
+
+std::string PrefixSuccessor(const std::string& prefix) {
+  std::string successor = prefix;
+  while (!successor.empty()) {
+    unsigned char last = static_cast<unsigned char>(successor.back());
+    if (last < 0xff) {
+      successor.back() = static_cast<char>(last + 1);
+      return successor;
+    }
+    successor.pop_back();
+  }
+  return successor;  // empty: unbounded
+}
+
+}  // namespace logbase::query

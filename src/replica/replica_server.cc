@@ -273,6 +273,53 @@ Result<std::vector<tablet::ReadRow>> ReplicaServer::Scan(
   return rows;
 }
 
+Result<query::TabletResult> ReplicaServer::ExecuteScan(
+    const std::string& uid, const Slice& encoded_plan, uint64_t as_of,
+    int64_t max_staleness_us, const query::ExecOptions& options,
+    uint64_t* snapshot_ts) {
+  obs::Span span("replica.exec_scan");
+  if (!running()) return Status::Unavailable("replica server is down");
+  MutexLock l(mu_);
+  auto it = tablets_.find(uid);
+  if (it == tablets_.end()) {
+    return Status::NotFound("unknown replica tablet: " + uid);
+  }
+  ReplicatedTablet& t = it->second;
+
+  uint64_t effective_ts = 0;
+  LOGBASE_RETURN_NOT_OK(
+      SnapshotBoundLocked(t, as_of, max_staleness_us, &effective_ts));
+  if (snapshot_ts != nullptr) *snapshot_ts = effective_ts;
+
+  auto plan = query::QueryPlan::Decode(encoded_plan);
+  if (!plan.ok()) return plan.status();
+
+  std::vector<index::IndexEntry> entries = t.index->ScanRange(
+      Slice(plan->start_key), Slice(plan->end_key), effective_ts);
+  // Values are fetched up front under mu_ (FetchValueLocked flags stale log
+  // pointers for reseed); the executor then runs over the materialized
+  // chunk. The executor fetches every scanned value regardless — predicates
+  // read them — so nothing is wasted by eager fetching.
+  std::vector<std::string> values;
+  values.reserve(entries.size());
+  for (const index::IndexEntry& entry : entries) {
+    auto value = FetchValueLocked(&t, entry);
+    if (!value.ok()) return value.status();
+    values.push_back(std::move(*value));
+  }
+  auto fetch = [&values](size_t i,
+                         const index::IndexEntry&) -> Result<std::string> {
+    return std::move(values[i]);
+  };
+  auto result =
+      query::ExecuteOverEntries(*plan, entries, fetch, options.batch_rows);
+  if (!result.ok()) return result.status();
+  query::RecordScanMetrics(result->stats);
+  static obs::Counter* served = ReplicaCounter("replica.read.served");
+  served->Add();
+  return result;
+}
+
 Result<uint64_t> ReplicaServer::Watermark(const std::string& uid) const {
   MutexLock l(mu_);
   auto it = tablets_.find(uid);

@@ -26,6 +26,7 @@
 #include "src/dfs/dfs.h"
 #include "src/index/multiversion_index.h"
 #include "src/log/log_reader.h"
+#include "src/query/executor.h"
 #include "src/replica/log_tailer.h"
 #include "src/tablet/read_buffer.h"
 #include "src/tablet/schema.h"
@@ -94,6 +95,19 @@ class ReplicaServer {
                                             uint64_t as_of,
                                             int64_t max_staleness_us,
                                             uint64_t* snapshot_ts = nullptr);
+
+  /// Scan pushdown at the replica (the Taurus-style analytics-over-the-log
+  /// tier): evaluates the wire-encoded QueryPlan at
+  /// min(`as_of`, applied watermark), under the same staleness gate as
+  /// Get/Scan. Aggregation partials computed here merge bit-identically
+  /// with primary partials — the snapshot bound, not the serving tier,
+  /// decides the answer.
+  Result<query::TabletResult> ExecuteScan(const std::string& uid,
+                                          const Slice& encoded_plan,
+                                          uint64_t as_of,
+                                          int64_t max_staleness_us,
+                                          const query::ExecOptions& options = {},
+                                          uint64_t* snapshot_ts = nullptr);
 
   // -- Introspection -----------------------------------------------------
 

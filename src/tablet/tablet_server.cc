@@ -582,6 +582,48 @@ Result<std::vector<ReadRow>> TabletServer::Scan(const std::string& tablet_uid,
   return rows;
 }
 
+Result<query::TabletResult> TabletServer::ExecuteScan(
+    const std::string& tablet_uid, const Slice& encoded_plan,
+    const query::ExecOptions& options) {
+  obs::Span span("tablet.exec_scan");
+  if (!running()) return Status::Unavailable("tablet server is down");
+  Tablet* tablet = FindTablet(tablet_uid);
+  if (tablet == nullptr) return Status::NotFound("unknown tablet");
+  auto plan = query::QueryPlan::Decode(encoded_plan);
+  if (!plan.ok()) return plan.status();
+
+  std::vector<index::IndexEntry> entries = [&] {
+    obs::Span probe("index.probe");
+    return tablet->index()->ScanRange(Slice(plan->start_key),
+                                      Slice(plan->end_key), options.as_of);
+  }();
+  // Only latest-snapshot executions may populate the read buffer: it holds
+  // the newest version per key, and caching an as-of version would serve
+  // stale data to later Gets.
+  const bool cacheable = options.as_of == ~0ull;
+  uint64_t scanned_bytes = 0;
+  auto fetch = [&](size_t, const index::IndexEntry& entry)
+      -> Result<std::string> {
+    const std::string bkey = BufferKey(tablet_uid, Slice(entry.key));
+    CachedRecord cached;
+    if (buffer_.Get(bkey, &cached) && cached.timestamp == entry.timestamp) {
+      scanned_bytes += entry.key.size() + cached.value.size();
+      return std::move(cached.value);
+    }
+    auto value = FetchRecordValue(entry.ptr, entry.timestamp);
+    if (!value.ok()) return value.status();
+    scanned_bytes += entry.key.size() + value->size();
+    if (cacheable) buffer_.Put(bkey, CachedRecord{entry.timestamp, *value});
+    return value;
+  };
+  auto result =
+      query::ExecuteOverEntries(*plan, entries, fetch, options.batch_rows);
+  if (!result.ok()) return result.status();
+  tablet->RecordRead(scanned_bytes);
+  query::RecordScanMetrics(result->stats);
+  return result;
+}
+
 Result<uint64_t> TabletServer::FullScanCount(const std::string& tablet_uid) {
   if (!running()) return Status::Unavailable("tablet server is down");
   Tablet* tablet = FindTablet(tablet_uid);

@@ -21,6 +21,7 @@
 #include "src/log/log_reader.h"
 #include "src/log/log_writer.h"
 #include "src/lsm/lsm_tree.h"
+#include "src/query/executor.h"
 #include "src/tablet/read_buffer.h"
 #include "src/tablet/tablet.h"
 
@@ -183,6 +184,19 @@ class TabletServer {
   /// Full scan with index version check (§3.6.4): returns the number of
   /// records whose stored version is current.
   Result<uint64_t> FullScanCount(const std::string& tablet_uid);
+
+  // -- Scan pushdown (src/query/, ROADMAP item 4) -----------------------
+
+  /// Evaluates a pushed-down QueryPlan over the tablet's index + log values
+  /// and returns filtered/projected column batches or pre-aggregated
+  /// partials instead of whole rows. The plan arrives in its wire encoding
+  /// (exactly what the RPC layer delivers); value fetches go through the
+  /// read buffer first, so warm scans skip the log entirely. Historical
+  /// executions (`options.as_of`) never populate the buffer — it holds only
+  /// latest versions.
+  Result<query::TabletResult> ExecuteScan(
+      const std::string& tablet_uid, const Slice& encoded_plan,
+      const query::ExecOptions& options = {});
 
   // -- Transaction support (used by txn::TransactionManager) ------------
 

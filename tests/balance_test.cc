@@ -221,7 +221,7 @@ TEST(SplitTest, SplitPreservesDataAndScans) {
     ASSERT_TRUE(r->found()) << Key(i);
     EXPECT_EQ(r->value(), "v" + std::to_string(i));
   }
-  auto rows = client->Scan("t", 0, "", "");
+  auto rows = client->Scan("t", 0, "", "", client::ReadOptions{});
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 60u);
   // Writes land on the correct child and survive.
@@ -268,7 +268,7 @@ TEST(SplitTest, SplitSurvivesServerRestart) {
   r = client->Get("t", 0, Key(38), client::ReadOptions{});
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->value(), "post-split");
-  auto rows = client->Scan("t", 0, "", "");
+  auto rows = client->Scan("t", 0, "", "", client::ReadOptions{});
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 40u);
 }

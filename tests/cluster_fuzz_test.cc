@@ -70,7 +70,7 @@ TEST_P(ClusterFuzzTest, ClientViewMatchesOracleAcrossCrashes) {
       // Scan a random sub-range and compare against the oracle.
       std::string lo = "key" + std::to_string(rnd.Uniform(9));
       std::string hi = lo + "\xff";
-      auto rows = client->Scan("t", 0, lo, hi);
+      auto rows = client->Scan("t", 0, lo, hi, client::ReadOptions{});
       ASSERT_TRUE(rows.ok());
       size_t expected = 0;
       for (const auto& [k, v] : oracle) {

@@ -206,7 +206,8 @@ TEST(ClientTest, ScanSpansTablets) {
     ASSERT_TRUE(
         f.client->Put("users", 0, "user" + std::to_string(i), "v", {}).ok());
   }
-  auto rows = f.client->Scan("users", 0, "user2", "user8");
+  auto rows =
+      f.client->Scan("users", 0, "user2", "user8", client::ReadOptions{});
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 6u);  // user2..user7
   EXPECT_EQ((*rows)[0].key, "user2");
