@@ -210,6 +210,21 @@ inline void PrintComponentBreakdown(
                 static_cast<unsigned long long>(
                     m.CounterValue("tablet.recovery.redo_bytes")));
   }
+  if (m.CounterValue("qos.admitted") + m.CounterValue("qos.queued") +
+          m.CounterValue("qos.shed") >
+      0) {
+    const obs::MetricPoint* qd = m.Find("qos.queue_depth");
+    const obs::MetricPoint* tokens = m.Find("qos.tokens_available");
+    std::printf("  %-12s admitted=%-10llu queued=%-8llu shed=%-8llu "
+                "queue_depth=%lld  tokens=%lld\n",
+                "qos",
+                static_cast<unsigned long long>(
+                    m.CounterValue("qos.admitted")),
+                static_cast<unsigned long long>(m.CounterValue("qos.queued")),
+                static_cast<unsigned long long>(m.CounterValue("qos.shed")),
+                static_cast<long long>(qd != nullptr ? qd->gauge : 0),
+                static_cast<long long>(tokens != nullptr ? tokens->gauge : 0));
+  }
   if (m.CounterValue("query.scan.rows_scanned") > 0) {
     const obs::MetricPoint* sel = m.Find("query.scan.pushdown_selectivity");
     std::printf("  %-12s scanned=%-10llu returned=%-10llu shipped=%llu bytes"

@@ -14,6 +14,11 @@
 #                                    # -Wthread-safety as errors plus the
 #                                    # tsa_negative harness (skips with a
 #                                    # notice when clang is not installed)
+#   scripts/check.sh --bench [names] # build the default preset, run the
+#                                    # named benches (all bench_* when none
+#                                    # given) and aggregate their --json
+#                                    # results into repo-root BENCH_*.json
+#                                    # via scripts/collect_bench.py
 #   scripts/check.sh default tsan    # explicit preset list
 #
 # The default preset runs the full suite including the `lint` and
@@ -34,24 +39,34 @@ presets=()
 lint_only=0
 chaos=0
 tsa=0
+bench=0
+bench_names=()
 for arg in "$@"; do
+  if [ "${bench}" -eq 1 ]; then
+    # Everything after --bench names a bench binary to run.
+    bench_names+=("${arg}")
+    continue
+  fi
   case "${arg}" in
     --lint) lint_only=1 ;;
     --asan) presets+=(asan) ;;
     --tsan) presets+=(tsan) ;;
     --chaos) chaos=1 ;;
     --tsa) tsa=1 ;;
+    --bench) bench=1 ;;
     *) presets+=("${arg}") ;;
   esac
 done
 
 if [ "${lint_only}" -eq 1 ] && [ ${#presets[@]} -eq 0 ] \
-    && [ "${chaos}" -eq 0 ] && [ "${tsa}" -eq 0 ]; then
+    && [ "${chaos}" -eq 0 ] && [ "${tsa}" -eq 0 ] \
+    && [ "${bench}" -eq 0 ]; then
   run_lint
   exit 0
 fi
 
-if [ ${#presets[@]} -eq 0 ] && [ "${chaos}" -eq 0 ] && [ "${tsa}" -eq 0 ]; then
+if [ ${#presets[@]} -eq 0 ] && [ "${chaos}" -eq 0 ] && [ "${tsa}" -eq 0 ] \
+    && [ "${bench}" -eq 0 ]; then
   presets=(default asan)
 fi
 
@@ -64,18 +79,20 @@ for preset in "${presets[@]}"; do
   ctest --preset "${preset}"
   # The balance suite (live migration / split protocol safety), the
   # replica suite (snapshot-serving read replicas, I6 nemesis), the log
-  # suite (group commit, quorum appends, quorum-tail recovery) and the
-  # query suite (scan pushdown three-way differential) gate the default and
-  # tsan trees explicitly by label, mirroring the chaos stage.
+  # suite (group commit, quorum appends, quorum-tail recovery), the query
+  # suite (scan pushdown three-way differential) and the qos suite
+  # (multi-tenant admission control, I7 nemesis) gate the default and tsan
+  # trees explicitly by label, mirroring the chaos stage.
   case "${preset}" in
     default)
-      echo "==== balance+replica+log+query: ${preset} ===="
-      (cd "build" && ctest -L 'balance|replica|log|query' --output-on-failure)
+      echo "==== balance+replica+log+query+qos: ${preset} ===="
+      (cd "build" && \
+        ctest -L 'balance|replica|log|query|qos' --output-on-failure)
       ;;
     tsan)
-      echo "==== balance+replica+log+query: ${preset} ===="
+      echo "==== balance+replica+log+query+qos: ${preset} ===="
       (cd "build-tsan" && TSAN_OPTIONS=halt_on_error=1 \
-        ctest -L 'balance|replica|log|query' --output-on-failure)
+        ctest -L 'balance|replica|log|query|qos' --output-on-failure)
       ;;
   esac
 done
@@ -115,6 +132,19 @@ if [ "${chaos}" -eq 1 ]; then
     fi
   done
   presets+=(chaos)
+fi
+
+if [ "${bench}" -eq 1 ]; then
+  # Benchmarks: build the default preset, run the requested benches (all of
+  # them when none were named) and aggregate each binary's --json result
+  # into repo-root BENCH_*.json plus one BENCH_SUMMARY.json. A bench that
+  # exits non-zero or writes no result fails the stage.
+  echo "==== bench ===="
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)"
+  python3 scripts/collect_bench.py --build-dir build \
+    ${bench_names[@]+"${bench_names[@]}"}
+  presets+=(bench)
 fi
 
 echo "==== all stages passed: lint ${presets[*]} ===="

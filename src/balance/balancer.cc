@@ -34,6 +34,11 @@ std::map<std::string, double> Balancer::TabletScores() const {
   return tablet_score_;
 }
 
+std::map<std::string, double> Balancer::TenantScores() const {
+  MutexLock l(mu_);
+  return tenant_score_;
+}
+
 Status Balancer::Tick() {
   MutexLock l(mu_);
   master::Master* m = master_resolver_();
@@ -47,11 +52,17 @@ Status Balancer::Tick() {
   // Drain every live server's load window. The servers aggregate per-tablet
   // op/byte counters between ticks; CollectLoadReport hands over the delta.
   std::map<std::string, double> fresh;  // uid -> this window's score
+  std::map<std::string, double> fresh_tenants;  // tenant -> window score
   for (int id : live) {
     tablet::TabletServer* server = m->ResolveServer(id);
     if (server == nullptr || !server->running()) continue;
     LoadReport report = server->CollectLoadReport();
-    for (const TabletLoad& t : report.tablets) fresh[t.uid] += t.Score();
+    for (const TabletLoad& t : report.tablets) {
+      fresh[t.uid] += t.Score();
+      for (const TenantLoad& tenant : t.tenants) {
+        fresh_tenants[tenant.tenant] += tenant.Score();
+      }
+    }
   }
 
   // EWMA fold: smooth reported windows in, decay silent tablets toward
@@ -72,6 +83,24 @@ Status Balancer::Tick() {
     if (tablet_score_.count(uid) == 0 && assignments.count(uid) > 0) {
       tablet_score_[uid] = score;
     }
+  }
+
+  // Same fold for per-tenant scores (src/qos/): smooth reporting tenants in,
+  // decay silent ones, and forget tenants once they fade below a noise
+  // floor so one-shot tenants don't accumulate forever.
+  for (auto it = tenant_score_.begin(); it != tenant_score_.end();) {
+    auto f = fresh_tenants.find(it->first);
+    double window = f == fresh_tenants.end() ? 0.0 : f->second;
+    it->second = options_.smoothing_alpha * window +
+                 (1.0 - options_.smoothing_alpha) * it->second;
+    if (it->second < 1e-3 && window == 0.0) {
+      it = tenant_score_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+  for (const auto& [tenant, score] : fresh_tenants) {
+    if (tenant_score_.count(tenant) == 0) tenant_score_[tenant] = score;
   }
 
   // Per-server smoothed score + tablet count over live servers.

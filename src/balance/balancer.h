@@ -63,6 +63,10 @@ class Balancer {
   BalancerStats stats() const;
   /// Smoothed per-tablet scores, for tests and benchmarks.
   std::map<std::string, double> TabletScores() const;
+  /// Smoothed per-tenant scores aggregated across all tablets (src/qos/).
+  /// Surfaces which tenant is driving cluster load — a noisy neighbor shows
+  /// up here even before any tablet gets hot enough to migrate.
+  std::map<std::string, double> TenantScores() const;
 
  private:
   const std::function<master::Master*()> master_resolver_;
@@ -71,6 +75,9 @@ class Balancer {
   mutable OrderedMutex mu_{lockrank::kBalancerState, "balancer.state"};
   // By uid, EWMA-smoothed.
   std::map<std::string, double> tablet_score_ GUARDED_BY(mu_);
+  // By tenant name, EWMA-smoothed across all tablets; silent tenants decay
+  // toward zero and are forgotten below a noise floor.
+  std::map<std::string, double> tenant_score_ GUARDED_BY(mu_);
   BalancerStats stats_ GUARDED_BY(mu_);
   Random rnd_ GUARDED_BY(mu_);
   std::function<void(MigrationStep)> hook_ GUARDED_BY(mu_);

@@ -266,6 +266,7 @@ Status LogBaseClient::PutBatch(const std::string& table,
                                const WriteBatch& batch,
                                const WriteOptions& options) {
   obs::Span span("client.put_batch");
+  qos::TenantScope tenant(&tenant_);
   if (batch.empty()) return Status::OK();
   sim::SimContext* ctx = sim::SimContext::Current();
   const sim::VirtualTime start = ctx != nullptr ? ctx->now() : 0;
@@ -384,6 +385,7 @@ Result<ReadResult> LogBaseClient::Get(const std::string& table,
                                       uint32_t column_group, const Slice& key,
                                       const ReadOptions& options) {
   obs::Span span("client.get");
+  qos::TenantScope tenant(&tenant_);
   return retry_.Run<ReadResult>("client.get", [&]() -> Result<ReadResult> {
     auto route = Resolve(table, column_group, key);
     if (!route.ok()) return route.status();
@@ -542,6 +544,7 @@ Result<QueryResult> LogBaseClient::Query(const std::string& table,
                                          const query::QueryPlan& plan,
                                          const QueryOptions& options) {
   obs::Span span("client.query");
+  qos::TenantScope tenant(&tenant_);
   // Encoded once; the same bytes ship to every server (and are what the
   // network model charges for each request).
   const std::string wire_plan = plan.Encode();
@@ -687,6 +690,7 @@ Result<std::string> LogBaseClient::TxnReadImpl(txn::Transaction* txn,
                                                const std::string& table,
                                                uint32_t column_group,
                                                const Slice& key) {
+  qos::TenantScope tenant(&tenant_);
   auto route = Resolve(table, column_group, key);
   if (!route.ok()) return route.status();
   return txn_->Read(txn, route->tablet_uid, key);
@@ -710,6 +714,7 @@ Status LogBaseClient::TxnDeleteImpl(txn::Transaction* txn,
 }
 
 Status LogBaseClient::CommitImpl(txn::Transaction* txn, log::AckMode ack) {
+  qos::TenantScope tenant(&tenant_);
   return txn_->Commit(txn, ack);
 }
 

@@ -21,6 +21,7 @@
 
 #include "src/fault/retry_policy.h"
 #include "src/master/master.h"
+#include "src/qos/tenant.h"
 #include "src/query/executor.h"
 #include "src/sim/network_model.h"
 #include "src/txn/transaction_manager.h"
@@ -219,6 +220,14 @@ class LogBaseClient {
     return retry_.options();
   }
 
+  /// Who this client's traffic belongs to (multi-tenant QoS, src/qos/).
+  /// The identity rides every operation thread-ambiently — servers bill the
+  /// tenant's token buckets and attribute load to it. Defaults to
+  /// "default"/kNormal; set once at setup (not thread-safe against in-
+  /// flight operations).
+  void set_tenant(const qos::TenantIdentity& identity) { tenant_ = identity; }
+  const qos::TenantIdentity& tenant() const { return tenant_; }
+
   // -- Writes (auto-commit, §3.6) ------------------------------------------
 
   /// The unified write entry point: applies the batch's mutations in
@@ -366,6 +375,10 @@ class LogBaseClient {
   std::function<replica::ReplicaServer*(int)> replica_resolver_;
   const int node_;
   sim::NetworkModel* const network_;
+  // Set once at setup (see set_tenant); read thread-ambiently via
+  // qos::TenantScope installed at each public entry point.
+  qos::TenantIdentity tenant_{qos::DefaultTenantName(),
+                              qos::Priority::kNormal};
   // Fixed after construction (per-call policies are copies of options()).
   fault::RetryPolicy retry_;
   // Set in the constructor; TransactionManager is internally synchronized.

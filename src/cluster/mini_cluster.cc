@@ -25,12 +25,14 @@ MiniCluster::MiniCluster(MiniClusterOptions options)
     server_ids.push_back(node);
   }
   for (int i = 0; i < options_.num_replicas; i++) {
-    replica::ReplicaServerOptions replica_options;
+    replica::ReplicaServerOptions replica_options = options_.replica_template;
     replica_options.replica_id = i;
     replica_options.node = (i + 1) % options_.num_nodes;
     replica_options.read_buffer_bytes = options_.replica_read_buffer_bytes;
+    // Replicas get the coordination service so their quota registries see
+    // /meta/quota updates made through the master (src/qos/).
     replicas_.push_back(std::make_unique<replica::ReplicaServer>(
-        replica_options, dfs_.get()));
+        replica_options, dfs_.get(), coord_.get()));
   }
   std::vector<int> replica_ids;
   for (int i = 0; i < options_.num_replicas; i++) replica_ids.push_back(i);

@@ -39,6 +39,10 @@ struct MiniClusterOptions {
   /// advances when the driver calls TickReplicas().
   int num_replicas = 0;
   size_t replica_read_buffer_bytes = 32ull << 20;
+  /// Template for replica servers (admission control + quota refresh knobs,
+  /// src/qos/); replica_id, node and read_buffer_bytes are overridden per
+  /// instance from the fields above.
+  replica::ReplicaServerOptions replica_template;
 };
 
 class MiniCluster {

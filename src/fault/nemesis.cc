@@ -7,6 +7,7 @@
 
 #include "src/client/client.h"
 #include "src/cluster/mini_cluster.h"
+#include "src/qos/quota_registry.h"
 #include "src/sim/sim_context.h"
 #include "src/util/crc32c.h"
 #include "src/util/logging.h"
@@ -26,6 +27,18 @@ constexpr const char* kPairB = "key0000-txb";
 std::string KeyName(int i) {
   char buf[16];
   std::snprintf(buf, sizeof(buf), "key%04d", i);
+  return buf;
+}
+
+// The hostile tenant's key space ('h' < 'k' keeps it inside the first
+// tablet's range, so its traffic hammers one tablet like a real noisy
+// neighbor would).
+constexpr const char* kHostileTenant = "hostile";
+constexpr int kHostileKeys = 16;
+
+std::string HostileKeyName(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "hst%04d", i);
   return buf;
 }
 
@@ -59,6 +72,10 @@ std::string NemesisReport::ToString() const {
   out += "nemesis: " + std::to_string(faults_fired) + " faults, " +
          std::to_string(ops_acked) + "/" + std::to_string(ops_attempted) +
          " ops acked, digest=" + std::to_string(table_digest) + "\n";
+  if (ops_hostile_attempted > 0) {
+    out += "  qos: " + std::to_string(ops_shed) + "/" +
+           std::to_string(ops_hostile_attempted) + " hostile writes shed\n";
+  }
   if (stale_reads_served > 0 || stale_read_fallbacks > 0) {
     out += "  stale reads: " + std::to_string(stale_reads_served) +
            " replica-served, " + std::to_string(stale_read_fallbacks) +
@@ -82,6 +99,15 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
   // lets the balancer actually act during the run.
   copts.balancer.min_total_score = 4.0;
   copts.num_replicas = options.num_replicas;
+  const bool qos_on = options.qos_hostile_ops_per_sec > 0.0;
+  if (qos_on) {
+    copts.server_template.admission.enabled = true;
+    // Quotas must propagate well within the run: refresh every 20ms of
+    // virtual time instead of the production default.
+    copts.server_template.quota_registry.refresh_interval_us = 20'000;
+    copts.replica_template.admission.enabled = true;
+    copts.replica_template.quota_registry.refresh_interval_us = 20'000;
+  }
   cluster::MiniCluster cluster(copts);
   LOGBASE_RETURN_NOT_OK(cluster.Start());
 
@@ -106,6 +132,16 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
     }
   }
 
+  // The hostile tenant's quota, persisted through the master so every
+  // server's registry resolves it from /meta/quota (I7).
+  if (qos_on) {
+    qos::QuotaSpec quota;
+    quota.tenant = kHostileTenant;
+    quota.limits.ops_per_sec = options.qos_hostile_ops_per_sec;
+    quota.limits.ops_burst = options.qos_hostile_burst_ops;
+    LOGBASE_RETURN_NOT_OK(boot_master->SetQuota(quota));
+  }
+
   FaultInjector injector(ClusterTargets(&cluster), plan, options.seed);
 
   auto client = cluster.NewClient(1 % options.num_nodes);
@@ -113,12 +149,25 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
   if (retry.seed == 0) retry.seed = options.seed;
   client->set_retry_options(retry);
 
+  // The hostile client writes fail-fast (one attempt, no backoff): a shed
+  // write is rejected by admission before any server state is touched, so
+  // it must never surface in the table — which I7 verifies after heal.
+  std::unique_ptr<client::LogBaseClient> hostile;
+  if (qos_on) {
+    hostile = cluster.NewClient(2 % options.num_nodes);
+    hostile->set_tenant({kHostileTenant, qos::Priority::kLow});
+    RetryOptions hostile_retry = retry;
+    hostile_retry.max_attempts = 1;
+    hostile->set_retry_options(hostile_retry);
+  }
+
   NemesisReport report;
   Random rnd(options.seed);
   uint64_t seq = 0;
   std::map<std::string, uint64_t> max_acked;
   std::map<std::string, std::set<uint64_t>> attempted;
   std::set<uint64_t> pair_acked;
+  std::set<uint64_t> shed_seqs;  // hostile seqs rejected by admission (I7)
   std::vector<SnapshotSample> samples;
   std::vector<SnapshotSample> stale_samples;  // replica-served reads (I6)
 
@@ -170,6 +219,23 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
             if (!active->AddReplica(uid).ok()) break;
           }
         }
+      }
+    }
+
+    // One hostile write per round, over quota by construction. A shed is
+    // identified by the retry-after hint only admission attaches — any
+    // other failure (crash mid-op) is in-doubt and claims nothing.
+    if (qos_on) {
+      seq++;
+      std::string hkey = HostileKeyName(round % kHostileKeys);
+      attempted[hkey].insert(seq);
+      report.ops_hostile_attempted++;
+      Status s = hostile->Put(kTable, 0, hkey, EncodeSeq(seq), {});
+      if (s.ok()) {
+        max_acked[hkey] = std::max(max_acked[hkey], seq);
+      } else if (s.retry_after_us() > 0) {
+        report.ops_shed++;
+        shed_seqs.insert(seq);
       }
     }
 
@@ -393,6 +459,13 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
   for (int i = 0; i < options.keys; i++) all_keys.push_back(KeyName(i));
   all_keys.push_back(kPairA);
   all_keys.push_back(kPairB);
+  // Hostile keys ride the I1 sweep too: admitted + acked hostile writes are
+  // as durable as anyone else's, throttled or not.
+  if (qos_on) {
+    for (int i = 0; i < kHostileKeys; i++) {
+      all_keys.push_back(HostileKeyName(i));
+    }
+  }
 
   std::map<std::string, uint64_t> final_seq;
   for (const std::string& key : all_keys) {
@@ -472,6 +545,30 @@ Result<NemesisReport> RunNemesis(const NemesisOptions& options,
           sample.value + "', primary has " +
           (r.ok() ? (r->found() ? "'" + r->value() + "'" : "<missing>")
                   : r.status().ToString()));
+    }
+  }
+
+  // -- I7: shed writes never reached the table ----------------------------
+  // A shed is an admission rejection before any tablet/log state was
+  // touched, so its sequence number must not appear in *any* surviving
+  // version of the key — partial application would show up here even if a
+  // later write papered over the latest version.
+  if (qos_on) {
+    for (int i = 0; i < kHostileKeys; i++) {
+      std::string key = HostileKeyName(i);
+      client::ReadOptions ro;
+      ro.all_versions = true;
+      auto r = checker->Get(kTable, 0, key, ro);
+      if (!r.ok()) continue;  // unreadable keys are I1's problem
+      for (const tablet::ReadRow& row : r->rows) {
+        uint64_t got = 0;
+        if (!DecodeSeq(row.value, &got)) continue;
+        if (shed_seqs.count(got) > 0) {
+          report.violations.push_back(
+              "I7: shed write seq " + std::to_string(got) +
+              " surfaced in " + key + " (admission rejected it)");
+        }
+      }
     }
   }
 

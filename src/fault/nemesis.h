@@ -22,6 +22,14 @@
 //                       the same value, even after replica crashes — a
 //                       replica never serves above its watermark and never
 //                       invents or loses an acknowledged write.
+//   I7 (QoS)          — quota enforcement stays deterministic and safe under
+//                       faults: a shed write (admission rejected it with a
+//                       retry-after hint, no retries) never appears in the
+//                       table — not even partially — while admitted, acked
+//                       writes from the throttled tenant survive like any
+//                       other (covered by the I1 sweep). The shed count is
+//                       part of the replay contract: equal across replays
+//                       of the same (plan, seed).
 //
 // Everything runs single-threaded on the virtual clock, so the same
 // (plan, seed) pair replays bit-identically — the report carries a digest
@@ -69,6 +77,15 @@ struct NemesisOptions {
   /// With replicas: percentage of workload reads issued stale-tolerant
   /// (allow_stale, routed to replicas with primary fallback).
   int stale_read_percent = 40;
+  /// Multi-tenant QoS chaos (I7): when > 0, enables admission control on
+  /// every tablet server, installs an op/sec quota of this rate for tenant
+  /// "hostile", and runs a second client under that tenant issuing one
+  /// fail-fast write per round (no retries). Writes above the quota are
+  /// shed at the front door; I7 then checks that no shed write ever
+  /// reached the table. 0 disables the machinery.
+  double qos_hostile_ops_per_sec = 0.0;
+  /// Burst (ops) granted to the hostile tenant's bucket.
+  double qos_hostile_burst_ops = 4.0;
   RetryOptions retry;
 };
 
@@ -91,6 +108,11 @@ struct NemesisReport {
   /// (plan, seed).
   int stale_reads_served = 0;
   int stale_read_fallbacks = 0;
+  /// Hostile-tenant writes attempted / shed by admission control (0 unless
+  /// `qos_hostile_ops_per_sec` was set). Deterministic per (plan, seed) —
+  /// the I7 replay contract includes the shed count.
+  int ops_hostile_attempted = 0;
+  int ops_shed = 0;
 
   bool ok() const { return violations.empty(); }
   std::string ToString() const;

@@ -66,9 +66,17 @@ sim::VirtualTime RetryPolicy::BackoffUs(const char* op, int attempt) const {
 
 bool RetryPolicy::PrepareRetry(const char* op, int attempt,
                                const Status& last) const {
-  (void)last;  // kept for symmetry/logging hooks
   if (attempt >= options_.max_attempts) return false;
   sim::VirtualTime backoff = BackoffUs(op, attempt);
+  // A server-computed retry-after hint (QoS admission shed) caps the
+  // jittered exponential backoff: the server told us exactly when tokens
+  // refill, so sleeping longer only wastes the client's deadline. The
+  // deadline budget below intentionally stays on the nominal BackoffUs
+  // schedule, so whether a run hits its deadline does not depend on which
+  // attempts happened to carry hints.
+  if (last.retry_after_us() > 0 && last.retry_after_us() < backoff) {
+    backoff = std::max<sim::VirtualTime>(last.retry_after_us(), 1);
+  }
   if (options_.deadline_us > 0) {
     sim::VirtualTime slept = 0;
     for (int i = 1; i <= attempt; i++) slept += BackoffUs(op, i);
@@ -84,9 +92,16 @@ bool RetryPolicy::PrepareRetry(const char* op, int attempt,
 Status RetryPolicy::Exhausted(const char* op, int attempts,
                               const Status& last) const {
   RetryExhausted()->Add();
-  return Status::Unavailable(std::string(op) + " failed after " +
-                             std::to_string(attempts) +
-                             " attempts: " + last.ToString());
+  const std::string msg = std::string(op) + " failed after " +
+                          std::to_string(attempts) +
+                          " attempts: " + last.ToString();
+  // Preserve a QoS retry-after hint through the wrap: the caller can both
+  // identify an admission shed (which guarantees the op never applied) and
+  // honor the server's pacing on its own later retry.
+  if (last.retry_after_us() > 0) {
+    return Status::UnavailableWithRetryAfter(msg, last.retry_after_us());
+  }
+  return Status::Unavailable(msg);
 }
 
 Status RetryPolicy::Run(const char* op,

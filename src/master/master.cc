@@ -59,6 +59,7 @@ void Master::Crash() {
   tables_.clear();
   split_keys_.clear();
   assignments_.clear();
+  quotas_.clear();
   next_table_id_ = 1;
 }
 
@@ -136,6 +137,62 @@ Status Master::PersistReplicaSetLocked(const std::string& uid) {
   return created.ok() ? Status::OK() : created.status();
 }
 
+Status Master::PersistQuotaLocked(const qos::QuotaSpec& spec) {
+  coord::ZnodeTree* znodes = coord_->znodes();
+  for (const char* path : {kMetaRoot, qos::kMetaQuota}) {
+    if (!znodes->Exists(path)) {
+      auto created = znodes->Create(session_, path, "",
+                                    coord::CreateMode::kPersistent);
+      if (!created.ok() && !znodes->Exists(path)) return created.status();
+    }
+  }
+  std::string data = qos::EncodeQuotaSpec(spec);
+  std::string path = qos::QuotaPath(spec.Id());
+  coord_->ChargeRoundTrip(node_, data.size());
+  if (znodes->Exists(path)) return znodes->Set(path, data);
+  auto created =
+      znodes->Create(session_, path, data, coord::CreateMode::kPersistent);
+  return created.ok() ? Status::OK() : created.status();
+}
+
+Status Master::SetQuota(const qos::QuotaSpec& spec) {
+  MutexLock l(mu_);
+  if (!promoted_) return Status::Unavailable("not the active master");
+  if (spec.tenant.empty()) {
+    return Status::InvalidArgument("quota needs a tenant");
+  }
+  LOGBASE_RETURN_NOT_OK(PersistQuotaLocked(spec));
+  quotas_[spec.Id()] = spec;
+  LOGBASE_LOG(kInfo,
+              "master %d set quota %s: %.0f ops/s (burst %.0f), "
+              "%.0f B/s (burst %.0f)",
+              node_, spec.Id().c_str(), spec.limits.ops_per_sec,
+              spec.limits.ops_burst, spec.limits.bytes_per_sec,
+              spec.limits.bytes_burst);
+  return Status::OK();
+}
+
+Result<qos::QuotaSpec> Master::GetQuota(const std::string& tenant,
+                                        const std::string& table) const {
+  MutexLock l(mu_);
+  qos::QuotaSpec probe;
+  probe.tenant = tenant;
+  probe.table = table;
+  auto it = quotas_.find(probe.Id());
+  if (it == quotas_.end()) {
+    return Status::NotFound("no quota for " + probe.Id());
+  }
+  return it->second;
+}
+
+std::vector<qos::QuotaSpec> Master::QuotasSnapshot() const {
+  MutexLock l(mu_);
+  std::vector<qos::QuotaSpec> out;
+  out.reserve(quotas_.size());
+  for (const auto& [id, spec] : quotas_) out.push_back(spec);
+  return out;
+}
+
 void Master::DropReplicasLocked(const std::string& uid) {
   auto it = assignments_.find(uid);
   if (it == assignments_.end() || it->second.replicas.empty()) return;
@@ -155,6 +212,7 @@ Status Master::RecoverMetadataLocked() {
   tables_.clear();
   split_keys_.clear();
   assignments_.clear();
+  quotas_.clear();
   next_table_id_ = 1;
   coord::ZnodeTree* znodes = coord_->znodes();
   coord_->ChargeRoundTrip(node_);
@@ -204,6 +262,19 @@ Status Master::RecoverMetadataLocked() {
       if (!meta::DecodeReplicaSet(Slice(*data), &it->second.replicas)) {
         return Status::Corruption("bad replica set metadata for " + uid);
       }
+    }
+  }
+  if (znodes->Exists(qos::kMetaQuota)) {
+    auto ids = znodes->GetChildren(qos::kMetaQuota);
+    if (!ids.ok()) return ids.status();
+    for (const std::string& id : *ids) {
+      auto data = znodes->Get(qos::QuotaPath(id));
+      if (!data.ok()) return data.status();
+      qos::QuotaSpec spec;
+      if (!qos::DecodeQuotaSpec(Slice(*data), &spec)) {
+        return Status::Corruption("bad quota metadata for " + id);
+      }
+      quotas_[spec.Id()] = std::move(spec);
     }
   }
   return Status::OK();

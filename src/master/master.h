@@ -148,6 +148,21 @@ class Master {
   /// replica loses all soft state on crash/stop).
   Status ReseedReplica(int replica_id);
 
+  // -- Multi-tenant QoS (src/qos/) -----------------------------------------
+
+  /// Installs (or replaces) a tenant quota: persists it under
+  /// /meta/quota/<id> so every server's TenantQuotaRegistry resolves it
+  /// within one refresh interval, and survives master failover. Active
+  /// master only.
+  Status SetQuota(const qos::QuotaSpec& spec);
+  /// The persisted quota for (tenant, table); NotFound when absent. Exact
+  /// key match — no tenant-wide fallback (that resolution happens on the
+  /// servers).
+  Result<qos::QuotaSpec> GetQuota(const std::string& tenant,
+                                  const std::string& table) const;
+  /// Copy of all configured quotas, id-ordered.
+  std::vector<qos::QuotaSpec> QuotasSnapshot() const;
+
   // -- Failure handling ----------------------------------------------------
 
   /// Servers whose liveness znode is present.
@@ -185,6 +200,7 @@ class Master {
   Status PersistAssignmentLocked(const TabletLocation& location)
       REQUIRES(mu_);
   Status PersistReplicaSetLocked(const std::string& uid) REQUIRES(mu_);
+  Status PersistQuotaLocked(const qos::QuotaSpec& spec) REQUIRES(mu_);
   /// Detaches `uid`'s replicas and drops the persisted set. Used when the
   /// tablet's log stream changes owner (migration/split/failure), which
   /// invalidates every replica's tail cursor.
@@ -209,6 +225,8 @@ class Master {
   std::map<std::string, std::vector<std::string>> split_keys_ GUARDED_BY(mu_);
   // By uid.
   std::map<std::string, TabletLocation> assignments_ GUARDED_BY(mu_);
+  // Tenant quotas by QuotaSpec::Id().
+  std::map<std::string, qos::QuotaSpec> quotas_ GUARDED_BY(mu_);
   uint32_t next_table_id_ GUARDED_BY(mu_) = 1;
   // Balancer-fed, may be empty.
   std::function<double(int)> load_hint_ GUARDED_BY(mu_);

@@ -1,0 +1,130 @@
+#include "src/qos/admission.h"
+
+#include <algorithm>
+
+#include "src/obs/metrics.h"
+#include "src/sim/sim_context.h"
+
+namespace logbase::qos {
+
+namespace {
+obs::Counter* Admitted() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("qos.admitted");
+  return c;
+}
+obs::Counter* ShedCount() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().counter("qos.shed");
+  return c;
+}
+obs::Counter* QueuedCount() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().counter("qos.queued");
+  return c;
+}
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().gauge("qos.queue_depth");
+  return g;
+}
+obs::Gauge* TokensAvailableGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().gauge("qos.tokens_available");
+  return g;
+}
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionOptions& options,
+                                         TenantQuotaRegistry* registry)
+    : options_(options), registry_(registry) {
+  MutexLock l(mu_);
+  server_bucket_.Reset(options_.server_limits);
+}
+
+size_t AdmissionController::PruneQueuesLocked(sim::VirtualTime now) {
+  size_t depth = 0;
+  for (auto& q : queues_) {
+    while (!q.empty() && q.front() <= now) q.pop_front();
+    depth += q.size();
+  }
+  return depth;
+}
+
+size_t AdmissionController::QueueDepth() const {
+  const sim::VirtualTime now = sim::CurrentVirtualTime();
+  MutexLock l(mu_);
+  size_t depth = 0;
+  for (const auto& q : queues_) {
+    for (const auto release : q) {
+      if (release > now) depth++;
+    }
+  }
+  return depth;
+}
+
+Status AdmissionController::Admit(const std::string& table, uint64_t ops,
+                                  uint64_t bytes) {
+  if (!options_.enabled) return Status::OK();
+  const TenantIdentity& who = CurrentTenant();
+  const int pri = static_cast<int>(who.priority);
+  const sim::VirtualTime now = sim::CurrentVirtualTime();
+
+  MutexLock l(mu_);
+  // Probe both gates first — the tenant's quota and the server-wide
+  // saturation bucket — and only consume once the request is actually
+  // admitted, so a shed burns no tokens anywhere. kQosAdmission <
+  // kQosRegistry, so the registry call nests under mu_.
+  const int64_t tenant_wait =
+      registry_ != nullptr
+          ? registry_->WaitFor(who.tenant, table, ops, bytes, now)
+          : 0;
+  const int64_t server_wait = server_bucket_.WaitFor(ops, bytes, now);
+  const int64_t wait = std::max(tenant_wait, server_wait);
+
+  const size_t depth = PruneQueuesLocked(now);
+  QueueDepthGauge()->Set(static_cast<int64_t>(depth));
+  if (registry_ != nullptr) {
+    const double avail = registry_->OpsAvailable(who.tenant, table, now);
+    if (avail >= 0) {
+      TokensAvailableGauge()->Set(static_cast<int64_t>(avail));
+    }
+  }
+
+  if (wait == 0) {
+    if (registry_ != nullptr) {
+      registry_->Consume(who.tenant, table, ops, bytes, now);
+    }
+    server_bucket_.Consume(ops, bytes, now);
+    Admitted()->Add();
+    return Status::OK();
+  }
+
+  auto& queue = queues_[pri];
+  const bool can_queue =
+      wait <= options_.max_queue_wait_us[pri] &&
+      queue.size() < static_cast<size_t>(options_.max_queue_depth[pri]);
+  if (!can_queue) {
+    ShedCount()->Add();
+    const char* why = tenant_wait >= server_wait ? "over tenant quota: "
+                                                 : "server saturated: ";
+    return Status::UnavailableWithRetryAfter(std::string(why) + who.tenant,
+                                             wait);
+  }
+
+  // Queue: park the request for `wait` virtual microseconds. Advancing the
+  // caller's ambient clock is the deterministic analogue of blocking; tokens
+  // are consumed at the release time so later arrivals see the queue's debt
+  // and back up behind it.
+  const sim::VirtualTime release = now + wait;
+  queue.push_back(release);
+  if (auto* ctx = sim::SimContext::Current()) ctx->Advance(wait);
+  if (registry_ != nullptr) {
+    registry_->Consume(who.tenant, table, ops, bytes, release);
+  }
+  server_bucket_.Consume(ops, bytes, release);
+  QueuedCount()->Add();
+  Admitted()->Add();
+  return Status::OK();
+}
+
+}  // namespace logbase::qos

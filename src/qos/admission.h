@@ -1,0 +1,90 @@
+// Admission control at the server front door. Every externally-driven
+// operation (Put/Get/Scan/ExecuteScan/Submit) passes through Admit() before
+// touching any server state, so a rejected op can never partially apply.
+//
+// Decision ladder, evaluated on the virtual clock:
+//   1. The tenant's token bucket (TenantQuotaRegistry) and the server-wide
+//      saturation bucket are both consulted. Tokens in both → ADMIT.
+//   2. Tokens short but the wait is small (<= the priority class's
+//      max_queue_wait_us) and that class's bounded wait-queue has room →
+//      QUEUE: the caller's ambient virtual clock advances by the wait (the
+//      deterministic analogue of parking the request) and the tokens are
+//      consumed at the release time.
+//   3. Otherwise → SHED: fail fast with retryable Unavailable carrying a
+//      server-computed retry_after_us hint that fault::RetryPolicy honors
+//      on the client. No state was touched, nothing is consumed.
+//
+// Shedding over queueing under sustained overload is the point: a deep queue
+// only converts overload into timeouts, while an early retryable error with
+// an honest hint lets well-behaved clients back off and keeps the server's
+// queue short enough that high-priority work still fits (see DESIGN.md § 12).
+
+#ifndef LOGBASE_QOS_ADMISSION_H_
+#define LOGBASE_QOS_ADMISSION_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/qos/quota_registry.h"
+#include "src/qos/tenant.h"
+#include "src/qos/token_bucket.h"
+#include "src/util/ordered_mutex.h"
+#include "src/util/status.h"
+#include "src/util/thread_annotations.h"
+
+namespace logbase::qos {
+
+/// Copyable knobs; ride in TabletServerOptions / ReplicaServerOptions.
+struct AdmissionOptions {
+  /// Master switch: disabled means Admit() is a free pass (the default, so
+  /// existing tests and benches are unaffected until a bench opts in).
+  bool enabled = false;
+
+  /// Server-wide saturation bucket, independent of any tenant quota: caps
+  /// the aggregate rate one server accepts. Zero rates = unlimited.
+  BucketLimits server_limits;
+
+  /// Per-priority queue policy, indexed by qos::Priority. A computed wait
+  /// above the class's cap — or a full queue — sheds instead of queueing.
+  std::array<int64_t, kNumPriorities> max_queue_wait_us{20'000, 10'000,
+                                                        5'000};
+  std::array<int, kNumPriorities> max_queue_depth{64, 32, 16};
+};
+
+class AdmissionController {
+ public:
+  /// `registry` may be null: only the server-wide bucket then applies.
+  AdmissionController(const AdmissionOptions& options,
+                      TenantQuotaRegistry* registry);
+
+  bool enabled() const { return options_.enabled; }
+
+  /// Gate one operation of `ops` logical ops / `bytes` payload bytes against
+  /// `table` for the ambient tenant. OK = admitted (possibly after a queued
+  /// wait that advanced the ambient virtual clock); Unavailable with a
+  /// retry_after_us hint = shed before any state was touched.
+  [[nodiscard]] Status Admit(const std::string& table, uint64_t ops,
+                             uint64_t bytes);
+
+  /// Entries currently parked across all priority queues (test aid; also
+  /// exported as the qos.queue_depth gauge).
+  size_t QueueDepth() const;
+
+ private:
+  size_t PruneQueuesLocked(sim::VirtualTime now) REQUIRES(mu_);
+
+  const AdmissionOptions options_;
+  TenantQuotaRegistry* const registry_;
+
+  mutable OrderedMutex mu_{lockrank::kQosAdmission, "qos::Admission::mu_"};
+  TokenBucket server_bucket_ GUARDED_BY(mu_);
+  /// Release times of queued ops per priority class, pruned lazily.
+  std::array<std::deque<sim::VirtualTime>, kNumPriorities> queues_
+      GUARDED_BY(mu_);
+};
+
+}  // namespace logbase::qos
+
+#endif  // LOGBASE_QOS_ADMISSION_H_

@@ -1,0 +1,141 @@
+#include "src/qos/quota_registry.h"
+
+#include <cstring>
+
+#include "src/coord/coordination_service.h"
+#include "src/util/coding.h"
+
+namespace logbase::qos {
+
+namespace {
+// Doubles are stored as their IEEE-754 bit pattern: exact round-trip, no
+// locale/printf dependence.
+void PutDouble(std::string* dst, double v) {
+  uint64_t bits;
+  memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(dst, bits);
+}
+
+bool GetDouble(Slice* in, double* v) {
+  uint64_t bits;
+  if (!GetFixed64(in, &bits)) return false;
+  memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+}  // namespace
+
+std::string EncodeQuotaSpec(const QuotaSpec& spec) {
+  std::string out;
+  PutLengthPrefixedSlice(&out, Slice(spec.tenant));
+  PutLengthPrefixedSlice(&out, Slice(spec.table));
+  PutDouble(&out, spec.limits.ops_per_sec);
+  PutDouble(&out, spec.limits.ops_burst);
+  PutDouble(&out, spec.limits.bytes_per_sec);
+  PutDouble(&out, spec.limits.bytes_burst);
+  return out;
+}
+
+bool DecodeQuotaSpec(Slice in, QuotaSpec* spec) {
+  Slice tenant, table;
+  if (!GetLengthPrefixedSlice(&in, &tenant)) return false;
+  if (!GetLengthPrefixedSlice(&in, &table)) return false;
+  spec->tenant = tenant.ToString();
+  spec->table = table.ToString();
+  return GetDouble(&in, &spec->limits.ops_per_sec) &&
+         GetDouble(&in, &spec->limits.ops_burst) &&
+         GetDouble(&in, &spec->limits.bytes_per_sec) &&
+         GetDouble(&in, &spec->limits.bytes_burst) && in.empty();
+}
+
+TenantQuotaRegistry::TenantQuotaRegistry(coord::CoordinationService* coord,
+                                         int node, Options options)
+    : coord_(coord), node_(node), options_(options) {}
+
+TenantQuotaRegistry::TenantQuotaRegistry(coord::CoordinationService* coord,
+                                         int node)
+    : TenantQuotaRegistry(coord, node, Options()) {}
+
+void TenantQuotaRegistry::SetLocal(const QuotaSpec& spec) {
+  MutexLock l(mu_);
+  Entry& entry = entries_[spec.Id()];
+  entry.spec = spec;
+  entry.bucket.Reset(spec.limits);
+}
+
+void TenantQuotaRegistry::Invalidate() {
+  MutexLock l(mu_);
+  last_refresh_ = -1;
+}
+
+void TenantQuotaRegistry::RefreshLocked(sim::VirtualTime now) {
+  if (coord_ == nullptr) return;
+  if (last_refresh_ >= 0 && now >= last_refresh_ &&
+      now - last_refresh_ < options_.refresh_interval_us) {
+    return;
+  }
+  last_refresh_ = now;
+  auto* znodes = coord_->znodes();
+  auto children = znodes->GetChildren(kMetaQuota);
+  coord_->ChargeRoundTrip(node_);
+  if (!children.ok()) {
+    // No quota subtree yet: drop znode-sourced entries, keep local ones.
+    // (Local entries have no znode backing; we can't tell them apart, so
+    // keep everything — a missing subtree means quotas were never pushed.)
+    return;
+  }
+  for (const auto& child : children.value()) {
+    auto data = znodes->Get(QuotaPath(child));
+    if (!data.ok()) continue;
+    QuotaSpec spec;
+    if (!DecodeQuotaSpec(Slice(data.value()), &spec)) continue;
+    Entry& entry = entries_[spec.Id()];
+    const bool changed = entry.spec.tenant != spec.tenant ||
+                         !(entry.spec.limits == spec.limits);
+    entry.spec = spec;
+    // Only a changed limit resets the bucket: a routine refresh must not
+    // forgive accumulated debt.
+    if (changed) entry.bucket.Reset(spec.limits);
+  }
+}
+
+TenantQuotaRegistry::Entry* TenantQuotaRegistry::ResolveLocked(
+    const std::string& tenant, const std::string& table) {
+  if (!table.empty()) {
+    auto it = entries_.find(tenant + "@" + table);
+    if (it != entries_.end()) return &it->second;
+  }
+  auto it = entries_.find(tenant);
+  if (it != entries_.end()) return &it->second;
+  return nullptr;
+}
+
+int64_t TenantQuotaRegistry::WaitFor(const std::string& tenant,
+                                     const std::string& table, uint64_t ops,
+                                     uint64_t bytes, sim::VirtualTime now) {
+  MutexLock l(mu_);
+  RefreshLocked(now);
+  Entry* entry = ResolveLocked(tenant, table);
+  if (entry == nullptr || entry->spec.limits.Unlimited()) return 0;
+  return entry->bucket.WaitFor(ops, bytes, now);
+}
+
+void TenantQuotaRegistry::Consume(const std::string& tenant,
+                                  const std::string& table, uint64_t ops,
+                                  uint64_t bytes, sim::VirtualTime at) {
+  MutexLock l(mu_);
+  Entry* entry = ResolveLocked(tenant, table);
+  if (entry == nullptr || entry->spec.limits.Unlimited()) return;
+  entry->bucket.Consume(ops, bytes, at);
+}
+
+double TenantQuotaRegistry::OpsAvailable(const std::string& tenant,
+                                         const std::string& table,
+                                         sim::VirtualTime now) {
+  MutexLock l(mu_);
+  RefreshLocked(now);
+  Entry* entry = ResolveLocked(tenant, table);
+  if (entry == nullptr || entry->spec.limits.Unlimited()) return -1.0;
+  return entry->bucket.OpsAvailable(now);
+}
+
+}  // namespace logbase::qos

@@ -1,0 +1,119 @@
+// Tenant quota specs and their distribution. Quotas are configured through
+// the master (Master::SetQuota), persisted as znodes under /meta/quota/<id>,
+// and resolved on every tablet/replica server by a TenantQuotaRegistry that
+// reads the znodes through the shared coordination service with a
+// virtual-clock TTL cache — a quota update becomes visible fleet-wide within
+// one TTL without any push protocol, and the read path stays deterministic.
+//
+// The codec and paths live here (not in master/meta_codec.h) so the master
+// can depend on qos without qos depending back on master.
+
+#ifndef LOGBASE_QOS_QUOTA_REGISTRY_H_
+#define LOGBASE_QOS_QUOTA_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/qos/token_bucket.h"
+#include "src/sim/sim_context.h"
+#include "src/util/ordered_mutex.h"
+#include "src/util/slice.h"
+#include "src/util/thread_annotations.h"
+
+namespace logbase::coord {
+class CoordinationService;
+}  // namespace logbase::coord
+
+namespace logbase::qos {
+
+/// Znode subtree holding one child per quota id.
+inline constexpr const char* kMetaQuota = "/meta/quota";
+
+inline std::string QuotaPath(const std::string& id) {
+  return std::string(kMetaQuota) + "/" + id;
+}
+
+/// A quota keyed by tenant, optionally narrowed to one scope. The empty
+/// table means the quota covers all of the tenant's traffic; a scoped
+/// quota, when present, takes precedence for ops on that scope. The scope
+/// string must match what the server's front door passes to Admit(), which
+/// is the tablet uid (servers route by uid, not table name).
+struct QuotaSpec {
+  std::string tenant;
+  std::string table;  // empty = tenant-wide
+  BucketLimits limits;
+
+  /// Registry/znode key: "<tenant>" or "<tenant>@<table>".
+  std::string Id() const {
+    return table.empty() ? tenant : tenant + "@" + table;
+  }
+};
+
+std::string EncodeQuotaSpec(const QuotaSpec& spec);
+bool DecodeQuotaSpec(Slice in, QuotaSpec* spec);
+
+/// Per-server quota resolution: maps (tenant, table) to a live TokenBucket,
+/// refreshing its view of /meta/quota from the coordination service at most
+/// once per `refresh_interval_us` of virtual time. Buckets survive a refresh
+/// unless their limits changed, so accumulated debt is not forgiven by a
+/// routine re-read. Thread-safe.
+class TenantQuotaRegistry {
+ public:
+  struct Options {
+    /// How long a resolved view stays fresh before the next lookup re-reads
+    /// the znodes. 0 re-reads on every lookup.
+    int64_t refresh_interval_us = 250'000;
+  };
+
+  /// `coord` may be null (unit tests, benches without a master): the
+  /// registry then serves only quotas installed via SetLocal.
+  TenantQuotaRegistry(coord::CoordinationService* coord, int node,
+                      Options options);
+  TenantQuotaRegistry(coord::CoordinationService* coord, int node);
+
+  /// Installs/overwrites a quota locally without a master (tests, benches).
+  void SetLocal(const QuotaSpec& spec);
+
+  /// Wait in microseconds until (ops, bytes) fit the bucket governing
+  /// (tenant, table) at virtual time `now`; 0 = they fit now. Never
+  /// consumes. A tenant with no matching quota is unlimited (always 0).
+  int64_t WaitFor(const std::string& tenant, const std::string& table,
+                  uint64_t ops, uint64_t bytes, sim::VirtualTime now);
+
+  /// Debits (ops, bytes) from the governing bucket as of virtual time `at`
+  /// (`now` for an immediate admit, the release time for a queued request).
+  void Consume(const std::string& tenant, const std::string& table,
+               uint64_t ops, uint64_t bytes, sim::VirtualTime at);
+
+  /// Op tokens currently available to (tenant, table), or -1 if unlimited.
+  double OpsAvailable(const std::string& tenant, const std::string& table,
+                      sim::VirtualTime now);
+
+  /// Forces the next lookup to re-read the znodes (tests).
+  void Invalidate();
+
+ private:
+  struct Entry {
+    QuotaSpec spec;
+    TokenBucket bucket;
+  };
+
+  void RefreshLocked(sim::VirtualTime now) REQUIRES(mu_);
+  /// The bucket governing (tenant, table): table-scoped quota first, then
+  /// tenant-wide, else null.
+  Entry* ResolveLocked(const std::string& tenant, const std::string& table)
+      REQUIRES(mu_);
+
+  coord::CoordinationService* const coord_;
+  const int node_;
+  const Options options_;
+
+  mutable OrderedMutex mu_{lockrank::kQosRegistry, "qos::QuotaRegistry::mu_"};
+  std::map<std::string, Entry> entries_ GUARDED_BY(mu_);
+  sim::VirtualTime last_refresh_ GUARDED_BY(mu_) = -1;
+};
+
+}  // namespace logbase::qos
+
+#endif  // LOGBASE_QOS_QUOTA_REGISTRY_H_

@@ -21,9 +21,12 @@ obs::Counter* ReplicaCounter(const char* name) {
 
 }  // namespace
 
-ReplicaServer::ReplicaServer(ReplicaServerOptions options, dfs::Dfs* dfs)
+ReplicaServer::ReplicaServer(ReplicaServerOptions options, dfs::Dfs* dfs,
+                             coord::CoordinationService* coord)
     : options_(options),
       dfs_(dfs),
+      quota_registry_(coord, options_.node, options_.quota_registry),
+      admission_(options_.admission, &quota_registry_),
       fs_(std::make_unique<dfs::DfsFileSystem>(dfs, options_.node)),
       buffer_(options_.read_buffer_bytes,
               tablet::MakePolicy(options_.replacement_policy)) {}
@@ -204,6 +207,9 @@ Result<tablet::ReadValue> ReplicaServer::Get(const std::string& uid,
                                              uint64_t* snapshot_ts) {
   obs::Span span("replica.get");
   if (!running()) return Status::Unavailable("replica server is down");
+  // Admission before any replica state is touched (same contract as the
+  // primary front doors: a shed op never partially applies).
+  LOGBASE_RETURN_NOT_OK(admission_.Admit(uid, 1, key.size()));
   MutexLock l(mu_);
   auto it = tablets_.find(uid);
   if (it == tablets_.end()) {
@@ -248,6 +254,8 @@ Result<std::vector<tablet::ReadRow>> ReplicaServer::Scan(
     uint64_t as_of, int64_t max_staleness_us, uint64_t* snapshot_ts) {
   obs::Span span("replica.scan");
   if (!running()) return Status::Unavailable("replica server is down");
+  LOGBASE_RETURN_NOT_OK(
+      admission_.Admit(uid, 1, start_key.size() + end_key.size()));
   MutexLock l(mu_);
   auto it = tablets_.find(uid);
   if (it == tablets_.end()) {
@@ -279,6 +287,7 @@ Result<query::TabletResult> ReplicaServer::ExecuteScan(
     uint64_t* snapshot_ts) {
   obs::Span span("replica.exec_scan");
   if (!running()) return Status::Unavailable("replica server is down");
+  LOGBASE_RETURN_NOT_OK(admission_.Admit(uid, 1, encoded_plan.size()));
   MutexLock l(mu_);
   auto it = tablets_.find(uid);
   if (it == tablets_.end()) {

@@ -44,11 +44,18 @@ struct ReplicaServerOptions {
   int node = 0;
   size_t read_buffer_bytes = 32ull << 20;
   std::string replacement_policy = "lru";
+  /// Multi-tenant QoS at the replica front door (src/qos/): disabled by
+  /// default.
+  qos::AdmissionOptions admission;
+  qos::TenantQuotaRegistry::Options quota_registry;
 };
 
 class ReplicaServer {
  public:
-  ReplicaServer(ReplicaServerOptions options, dfs::Dfs* dfs);
+  /// `coord` may be null: quota znodes are then invisible and only locally
+  /// installed quotas (quota_registry()->SetLocal) apply.
+  ReplicaServer(ReplicaServerOptions options, dfs::Dfs* dfs,
+                coord::CoordinationService* coord = nullptr);
 
   ReplicaServer(const ReplicaServer&) = delete;
   ReplicaServer& operator=(const ReplicaServer&) = delete;
@@ -117,6 +124,8 @@ class ReplicaServer {
   Result<int64_t> StalenessUs(const std::string& uid) const;
   int replica_id() const { return options_.replica_id; }
   int node() const { return options_.node; }
+  qos::TenantQuotaRegistry* quota_registry() { return &quota_registry_; }
+  qos::AdmissionController* admission() { return &admission_; }
 
  private:
   struct ReplicatedTablet {
@@ -144,6 +153,9 @@ class ReplicaServer {
 
   ReplicaServerOptions options_;  // fixed after construction
   dfs::Dfs* const dfs_;
+  // Internally synchronized; gates Get/Scan/ExecuteScan before mu_.
+  qos::TenantQuotaRegistry quota_registry_;
+  qos::AdmissionController admission_;
   // Set in the constructor; the DFS adapter is internally synchronized.
   std::unique_ptr<FileSystem> fs_;  // DFS adapter bound to this node
 

@@ -51,6 +51,8 @@ TabletServer::TabletServer(TabletServerOptions options, dfs::Dfs* dfs,
     : options_(std::move(options)),
       dfs_(dfs),
       coord_(coord),
+      quota_registry_(coord, options_.server_id, options_.quota_registry),
+      admission_(options_.admission, &quota_registry_),
       fs_(std::make_unique<dfs::DfsFileSystem>(dfs, options_.server_id)),
       buffer_(options_.read_buffer_bytes,
               MakePolicy(options_.replacement_policy)) {
@@ -284,6 +286,13 @@ balance::LoadReport TabletServer::CollectLoadReport() {
       load.write_ops = w.write_ops;
       load.read_bytes = w.read_bytes;
       load.write_bytes = w.write_bytes;
+      for (auto& [tenant, tw] : tablet->TakeTenantWindows()) {
+        balance::TenantLoad tl;
+        tl.tenant = tenant;
+        tl.ops = tw.read_ops + tw.write_ops;
+        tl.bytes = tw.read_bytes + tw.write_bytes;
+        load.tenants.push_back(std::move(tl));
+      }
       report.tablets.push_back(std::move(load));
     }
   }
@@ -389,6 +398,12 @@ Result<PendingWrite> TabletServer::SubmitPut(
     const std::vector<std::pair<std::string, std::string>>& kvs,
     log::AckMode ack) {
   if (!running()) return Status::Unavailable("tablet server is down");
+  // Admission before any state is touched: a shed write must not have
+  // recorded load, drawn timestamps, or enqueued log records (I7).
+  uint64_t payload = 0;
+  for (const auto& [key, value] : kvs) payload += key.size() + value.size();
+  LOGBASE_RETURN_NOT_OK(
+      admission_.Admit(tablet_uid, kvs.empty() ? 1 : kvs.size(), payload));
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
   if (tablet->sealed()) {
@@ -465,6 +480,7 @@ Result<ReadValue> TabletServer::Get(const std::string& tablet_uid,
                                     const Slice& key) {
   obs::Span span("tablet.get");
   if (!running()) return Status::Unavailable("tablet server is down");
+  LOGBASE_RETURN_NOT_OK(admission_.Admit(tablet_uid, 1, key.size()));
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
 
@@ -490,6 +506,7 @@ Result<ReadValue> TabletServer::GetAsOf(const std::string& tablet_uid,
                                         const Slice& key, uint64_t as_of) {
   obs::Span span("tablet.get");
   if (!running()) return Status::Unavailable("tablet server is down");
+  LOGBASE_RETURN_NOT_OK(admission_.Admit(tablet_uid, 1, key.size()));
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
 
@@ -514,6 +531,7 @@ Result<ReadValue> TabletServer::GetAsOf(const std::string& tablet_uid,
 Result<std::vector<ReadRow>> TabletServer::GetVersions(
     const std::string& tablet_uid, const Slice& key) {
   if (!running()) return Status::Unavailable("tablet server is down");
+  LOGBASE_RETURN_NOT_OK(admission_.Admit(tablet_uid, 1, key.size()));
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
 
@@ -533,6 +551,7 @@ Result<std::vector<ReadRow>> TabletServer::GetVersions(
 Status TabletServer::Delete(const std::string& tablet_uid, const Slice& key,
                             log::AckMode ack) {
   if (!running()) return Status::Unavailable("tablet server is down");
+  LOGBASE_RETURN_NOT_OK(admission_.Admit(tablet_uid, 1, key.size()));
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
   if (tablet->sealed()) {
@@ -566,6 +585,8 @@ Result<std::vector<ReadRow>> TabletServer::Scan(const std::string& tablet_uid,
                                                 uint64_t as_of) {
   obs::Span span("tablet.scan");
   if (!running()) return Status::Unavailable("tablet server is down");
+  LOGBASE_RETURN_NOT_OK(
+      admission_.Admit(tablet_uid, 1, start_key.size() + end_key.size()));
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
 
@@ -587,6 +608,8 @@ Result<query::TabletResult> TabletServer::ExecuteScan(
     const query::ExecOptions& options) {
   obs::Span span("tablet.exec_scan");
   if (!running()) return Status::Unavailable("tablet server is down");
+  LOGBASE_RETURN_NOT_OK(
+      admission_.Admit(tablet_uid, 1, encoded_plan.size()));
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
   auto plan = query::QueryPlan::Decode(encoded_plan);
@@ -626,6 +649,7 @@ Result<query::TabletResult> TabletServer::ExecuteScan(
 
 Result<uint64_t> TabletServer::FullScanCount(const std::string& tablet_uid) {
   if (!running()) return Status::Unavailable("tablet server is down");
+  LOGBASE_RETURN_NOT_OK(admission_.Admit(tablet_uid, 1, 0));
   Tablet* tablet = FindTablet(tablet_uid);
   if (tablet == nullptr) return Status::NotFound("unknown tablet");
 
@@ -665,6 +689,13 @@ Result<uint64_t> TabletServer::FullScanCount(const std::string& tablet_uid) {
 Result<std::vector<log::LogPtr>> TabletServer::AppendBatch(
     std::vector<log::LogRecord>* records, log::AckMode ack) {
   if (!running()) return Status::Unavailable("tablet server is down");
+  // Transactional front door: gate the whole batch before it reaches the
+  // log. Publishes of an already-appended batch are not re-gated (shedding
+  // half a committed transaction would violate atomicity).
+  uint64_t payload = 0;
+  for (const log::LogRecord& r : *records) payload += r.value.size();
+  LOGBASE_RETURN_NOT_OK(admission_.Admit(
+      "", records->empty() ? 1 : records->size(), payload));
   std::vector<log::LogPtr> ptrs;
   LOGBASE_RETURN_NOT_OK(writer_->AppendBatch(records, &ptrs, ack));
   return ptrs;

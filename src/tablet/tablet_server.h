@@ -21,6 +21,8 @@
 #include "src/log/log_reader.h"
 #include "src/log/log_writer.h"
 #include "src/lsm/lsm_tree.h"
+#include "src/qos/admission.h"
+#include "src/qos/quota_registry.h"
 #include "src/query/executor.h"
 #include "src/tablet/read_buffer.h"
 #include "src/tablet/tablet.h"
@@ -45,6 +47,9 @@ struct TabletServerOptions {
   log::AppendQueueOptions group_commit;
   /// Settings for IndexKind::kLsm.
   lsm::LsmOptions lsm;
+  /// Multi-tenant QoS at the front door (src/qos/): disabled by default.
+  qos::AdmissionOptions admission;
+  qos::TenantQuotaRegistry::Options quota_registry;
 };
 
 /// A read result: the version (write timestamp) and value.
@@ -267,6 +272,10 @@ class TabletServer {
   coord::CoordinationService* coord() { return coord_; }
   dfs::Dfs* dfs() { return dfs_; }
   const TabletServerOptions& options() const { return options_; }
+  /// Front-door admission control (test/bench aid: quota registry for local
+  /// overrides, controller for queue introspection).
+  qos::TenantQuotaRegistry* quota_registry() { return &quota_registry_; }
+  qos::AdmissionController* admission() { return &admission_; }
 
  private:
   friend Status RunRecovery(TabletServer* server, RecoveryStats* stats);
@@ -298,6 +307,10 @@ class TabletServer {
   TabletServerOptions options_;  // fixed after construction
   dfs::Dfs* const dfs_;
   coord::CoordinationService* const coord_;
+  // Internally synchronized (kQosRegistry / kQosAdmission); the controller
+  // gates every front door before any server state is touched.
+  qos::TenantQuotaRegistry quota_registry_;
+  qos::AdmissionController admission_;
   // Set in the constructor; the DFS adapter is internally synchronized.
   std::unique_ptr<FileSystem> fs_;  // DFS adapter bound to this node
 

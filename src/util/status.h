@@ -59,6 +59,15 @@ class [[nodiscard]] Status {
   static Status Unavailable(Slice msg = Slice()) {
     return Status(Code::kUnavailable, msg);
   }
+  /// Unavailable carrying a server-computed retry-after hint (microseconds,
+  /// virtual time): "come back no sooner than this". fault::RetryPolicy caps
+  /// its next backoff at the hint so clients neither hammer an overloaded
+  /// server nor sleep far past the point tokens refill.
+  static Status UnavailableWithRetryAfter(Slice msg, int64_t retry_after_us) {
+    Status s(Code::kUnavailable, msg);
+    s.retry_after_us_ = retry_after_us > 0 ? retry_after_us : 0;
+    return s;
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -73,15 +82,24 @@ class [[nodiscard]] Status {
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
+  /// Retry-after hint in microseconds; 0 = absent.
+  int64_t retry_after_us() const { return retry_after_us_; }
 
   /// Human-readable "<code>: <message>" form for logging and test output.
   std::string ToString() const;
+
+  /// Wire form (code + message + optional retry-after hint), for statuses
+  /// that cross a simulated RPC boundary. Round-trips exactly; a decoded
+  /// legacy encoding without the hint yields retry_after_us() == 0.
+  std::string EncodeWire() const;
+  static bool DecodeWire(Slice in, Status* out);
 
  private:
   Status(Code code, Slice msg) : code_(code), msg_(msg.ToString()) {}
 
   Code code_;
   std::string msg_;
+  int64_t retry_after_us_ = 0;
 };
 
 /// Propagates a non-ok Status to the caller (Arrow idiom).

@@ -150,6 +150,94 @@ TEST(RetryPolicyTest, DeadlineBoundsAttempts) {
   EXPECT_LT(calls, 10);
 }
 
+TEST(RetryPolicyTest, ZeroBudgetDeadlineStillRunsFirstAttempt) {
+  // The deadline bounds *backoff*, not the first try: even a budget smaller
+  // than any possible backoff gets exactly one attempt, and no virtual time
+  // is charged (the check runs before sleeping).
+  sim::SimContext ctx;
+  sim::SimContext::Scope scope(&ctx);
+  RetryOptions opts;
+  opts.max_attempts = 100;
+  opts.initial_backoff_us = 1000;
+  opts.jitter = 0.2;  // min possible first backoff: 800us
+  opts.deadline_us = 1;
+  RetryPolicy policy{opts};
+  int calls = 0;
+  Status s = policy.Run("op", [&]() {
+    calls++;
+    return Status::Unavailable("down");
+  });
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(ctx.now(), 0);
+}
+
+TEST(RetryPolicyTest, DeadlineExpiringMidBackoffStopsBeforeSleeping) {
+  // jitter 0 makes the schedule exact: backoffs are 1000, 2000, 4000...
+  // A 2500us deadline admits the first retry (cumulative 1000) but not the
+  // second (cumulative 3000) — and the rejected retry charges nothing, so
+  // the clock stops at exactly the backoff actually slept.
+  sim::SimContext ctx;
+  sim::SimContext::Scope scope(&ctx);
+  RetryOptions opts;
+  opts.max_attempts = 100;
+  opts.initial_backoff_us = 1000;
+  opts.jitter = 0.0;
+  opts.deadline_us = 2500;
+  RetryPolicy policy{opts};
+  int calls = 0;
+  Status s = policy.Run("op", [&]() {
+    calls++;
+    return Status::Unavailable("down");
+  });
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(ctx.now(), 1000);
+
+  // Boundary: cumulative backoff exactly equal to the deadline is within
+  // budget (the check is strictly "would cross").
+  opts.deadline_us = 1000;
+  RetryPolicy exact{opts};
+  calls = 0;
+  (void)exact.Run("op", [&]() {
+    calls++;
+    return Status::Unavailable("down");
+  });
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryPolicyTest, DeadlineIsIndependentOfRetryAfterHints) {
+  // A QoS retry-after hint shortens the *sleep*, but the deadline budget
+  // stays on the nominal backoff schedule — so whether a run exhausts its
+  // deadline cannot depend on which attempts happened to carry hints.
+  RetryOptions opts;
+  opts.max_attempts = 100;
+  opts.initial_backoff_us = 1000;
+  opts.jitter = 0.0;
+  opts.deadline_us = 2500;
+  RetryPolicy policy{opts};
+
+  auto run = [&policy](bool hinted, sim::VirtualTime* elapsed) {
+    sim::SimContext ctx;
+    sim::SimContext::Scope scope(&ctx);
+    int calls = 0;
+    (void)policy.Run("op", [&]() {
+      calls++;
+      return hinted ? Status::UnavailableWithRetryAfter("shed", 1)
+                    : Status::Unavailable("down");
+    });
+    *elapsed = ctx.now();
+    return calls;
+  };
+
+  sim::VirtualTime plain_elapsed = 0, hinted_elapsed = 0;
+  int plain_calls = run(false, &plain_elapsed);
+  int hinted_calls = run(true, &hinted_elapsed);
+  EXPECT_EQ(plain_calls, hinted_calls);  // same attempt budget
+  EXPECT_EQ(plain_elapsed, 1000);        // slept the nominal backoff
+  EXPECT_EQ(hinted_elapsed, 1);          // slept only to the hint
+}
+
 TEST(RetryPolicyTest, ResultOverloadPassesThroughValue) {
   RetryPolicy policy{RetryOptions{}};
   int calls = 0;
